@@ -1,0 +1,35 @@
+//! Chase expansion throughput: O-chase vs R-chase on the Figure 1 Σ and
+//! the successor cycle, by target level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqchase_core::chase::{Chase, ChaseBudget, ChaseMode};
+use cqchase_workload::families::{figure1, successor_cycle};
+
+fn bench_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase_expand");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for (family, program) in [("figure1", figure1()), ("successor", successor_cycle())] {
+        let q = program.query("Q").unwrap().clone();
+        for level in [2u32, 4, 6] {
+            for (mode_name, mode) in [("R", ChaseMode::Required), ("O", ChaseMode::Oblivious)] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{family}/{mode_name}"), level),
+                    &level,
+                    |b, &level| {
+                        b.iter(|| {
+                            let mut ch = Chase::new(&q, &program.deps, &program.catalog, mode);
+                            ch.expand_to_level(level, ChaseBudget::default());
+                            std::hint::black_box(ch.state().num_alive())
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chase);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Containment testing cost per dependency class (the E7 sweep, under
+//! Criterion): chain self-containment with Σ ∈ {∅, FDs, INDs, key-based}.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqchase_core::{contained, ContainmentOptions};
+use cqchase_ir::parse_program;
+use cqchase_workload::chain_query;
+
+fn bench_containment(c: &mut Criterion) {
+    let variants: Vec<(&str, &str)> = vec![
+        ("empty", "relation R(a, b)."),
+        ("fds", "relation R(a, b). fd R: a -> b."),
+        ("inds", "relation R(a, b). ind R[2] <= R[1]."),
+        (
+            "keybased",
+            "relation R(a, b). relation K(k, v). fd K: k -> v. ind R[2] <= K[1].",
+        ),
+    ];
+    let opts = ContainmentOptions::default();
+    let mut group = c.benchmark_group("containment_chain");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for (label, schema) in variants {
+        let p = parse_program(schema).unwrap();
+        for n in [2usize, 4, 8] {
+            let q = chain_query("Q", &p.catalog, "R", n).unwrap();
+            let qp = chain_query("Qp", &p.catalog, "R", n).unwrap();
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let a = contained(&q, &qp, &p.deps, &p.catalog, &opts).unwrap();
+                    assert!(a.contained);
+                    std::hint::black_box(a.chase_conjuncts)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_containment);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! IND-inference cost: axiomatic saturation vs the Corollary 2.3
+//! chase reduction, on transitive chains of INDs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cqchase_core::inference::{implies_ind_axiomatic, implies_ind_via_chase};
+use cqchase_core::ContainmentOptions;
+use cqchase_ir::{Catalog, DependencySet, Ind};
+
+fn chain_setup(n: usize, width: usize) -> (Catalog, DependencySet, Ind) {
+    let mut catalog = Catalog::new();
+    for i in 0..=n {
+        catalog
+            .declare(format!("R{i}"), (0..width).map(|c| format!("c{c}")))
+            .unwrap();
+    }
+    let cols: Vec<usize> = (0..width).collect();
+    let mut sigma = DependencySet::new();
+    for i in 0..n {
+        sigma.push(Ind::new(
+            catalog.resolve(&format!("R{i}")).unwrap(),
+            cols.clone(),
+            catalog.resolve(&format!("R{}", i + 1)).unwrap(),
+            cols.clone(),
+        ));
+    }
+    let goal = Ind::new(
+        catalog.resolve("R0").unwrap(),
+        cols.clone(),
+        catalog.resolve(&format!("R{n}")).unwrap(),
+        cols,
+    );
+    (catalog, sigma, goal)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ind_inference");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    let opts = ContainmentOptions::default();
+    for n in [3usize, 6, 10] {
+        let (catalog, sigma, goal) = chain_setup(n, 1);
+        group.bench_with_input(BenchmarkId::new("axiomatic", n), &n, |b, _| {
+            b.iter(|| {
+                let r = implies_ind_axiomatic(&sigma, &goal, 10_000_000);
+                assert_eq!(r, Some(true));
+                std::hint::black_box(r)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("chase", n), &n, |b, _| {
+            b.iter(|| {
+                let r = implies_ind_via_chase(&sigma, &goal, &catalog, &opts).unwrap();
+                assert!(r.contained);
+                std::hint::black_box(r.chase_conjuncts)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Experiment driver: regenerates every figure and worked example of
+//! Johnson & Klug (PODS 1982).
+//!
+//! ```text
+//! experiments all              # run E1–E13
+//! experiments e4 e12           # run a subset
+//! experiments all --json out.json
+//! ```
+
+use std::io::Write as _;
+
+use cqchase_bench::exp;
+use serde_json::{Map, Value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_path = it.next(),
+            "-h" | "--help" => {
+                eprintln!("usage: experiments [all | e1 … e13]... [--json FILE]");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = exp::ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut results = Map::new();
+    for id in &ids {
+        println!("\n================================================================");
+        println!("{}", id.to_uppercase());
+        println!("================================================================");
+        match exp::run(id) {
+            Some(out) => {
+                println!(">>> {}", out.title);
+                results.insert(out.id.to_string(), out.json);
+            }
+            None => {
+                eprintln!("unknown experiment id `{id}` (expected e1 … e13)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let mut f = std::fs::File::create(&path).expect("create JSON output file");
+        let doc = Value::Object(results);
+        f.write_all(serde_json::to_string_pretty(&doc).unwrap().as_bytes())
+            .expect("write JSON");
+        eprintln!("wrote {path}");
+    }
+}

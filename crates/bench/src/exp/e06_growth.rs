@@ -1,0 +1,76 @@
+//! **E6 — chase growth**: conjuncts per level for the O-chase vs the
+//! R-chase across IND families (the phenomenon Figure 1 illustrates).
+//! The R-chase prunes witnessed applications, so it grows no faster than
+//! the O-chase; on the Figure 1 Σ the O-chase's redundant `T`/`S`
+//! applications compound each level.
+
+use cqchase_core::chase::{Chase, ChaseBudget, ChaseMode};
+use cqchase_ir::parse_program;
+use cqchase_workload::families::{figure1, successor_cycle};
+use serde_json::json;
+
+use super::ExperimentOutput;
+use crate::table::Table;
+
+const DEPTH: u32 = 6;
+
+fn histogram(p: &cqchase_ir::Program, qname: &str, mode: ChaseMode) -> Vec<usize> {
+    let mut ch = Chase::new(p.query(qname).unwrap(), &p.deps, &p.catalog, mode);
+    ch.expand_to_level(DEPTH, ChaseBudget::default());
+    let mut h = ch.state().level_histogram();
+    h.resize(DEPTH as usize + 1, 0);
+    h
+}
+
+/// Runs E6.
+pub fn run() -> ExperimentOutput {
+    let mut table = Table::new(&["family", "mode", "L0", "L1", "L2", "L3", "L4", "L5", "L6"]);
+    let two_cycles = parse_program(
+        "relation R(a, b).
+         ind R[2] <= R[1]. ind R[1] <= R[2].
+         Q(x) :- R(x, y).",
+    )
+    .unwrap();
+    let families: Vec<(&str, cqchase_ir::Program, &str)> = vec![
+        ("successor", successor_cycle(), "Q"),
+        ("figure1", figure1(), "Q"),
+        ("two-cycles", two_cycles, "Q"),
+    ];
+    let mut monotone_ok = true;
+    for (name, p, qname) in &families {
+        let rh = histogram(p, qname, ChaseMode::Required);
+        let oh = histogram(p, qname, ChaseMode::Oblivious);
+        monotone_ok &= rh.iter().zip(&oh).all(|(r, o)| o >= r);
+        for (mode, h) in [("R", &rh), ("O", &oh)] {
+            let mut cells = vec![name.to_string(), mode.to_string()];
+            cells.extend(h.iter().map(|n| n.to_string()));
+            table.rowd(&cells);
+        }
+    }
+    println!("{}", table.render());
+    println!("O-chase ≥ R-chase at every level: {monotone_ok}");
+
+    ExperimentOutput {
+        id: "e6",
+        title: "Chase growth per level — O-chase vs R-chase across IND families",
+        json: json!({ "rows": table.to_json(), "o_dominates_r": monotone_ok }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn e6_o_dominates_r() {
+        let out = super::run();
+        assert_eq!(out.json["o_dominates_r"], true);
+        let rows = out.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 6);
+        // The successor family grows one conjunct per level in both modes.
+        assert_eq!(rows[0]["L3"], 1);
+        assert_eq!(rows[1]["L3"], 1);
+        // Figure 1's O-chase strictly outgrows its R-chase by level 4.
+        let r4 = rows[2]["L4"].as_i64().unwrap();
+        let o4 = rows[3]["L4"].as_i64().unwrap();
+        assert!(o4 >= r4);
+    }
+}

@@ -1,0 +1,53 @@
+//! The experiments: one module per paper artifact. See `DESIGN.md` §5
+//! for the experiment index and `EXPERIMENTS.md` for recorded outputs.
+
+pub mod e01_figure1;
+pub mod e02_intro;
+pub mod e03_inference_agreement;
+pub mod e04_finite_counterexample;
+pub mod e05_bound;
+pub mod e06_growth;
+pub mod e07_scaling;
+pub mod e08_fd_baseline;
+pub mod e09_width_cost;
+pub mod e10_minimization;
+pub mod e11_lemmas;
+pub mod e12_qstar;
+pub mod e13_vardi;
+
+use serde_json::Value;
+
+/// One experiment's rendered output.
+pub struct ExperimentOutput {
+    /// Experiment id (`e1` … `e13`).
+    pub id: &'static str,
+    /// One-line description (printed as the section header).
+    pub title: &'static str,
+    /// Machine-readable result rows.
+    pub json: Value,
+}
+
+/// Runs one experiment by id. Returns `None` for unknown ids.
+pub fn run(id: &str) -> Option<ExperimentOutput> {
+    match id {
+        "e1" => Some(e01_figure1::run()),
+        "e2" => Some(e02_intro::run()),
+        "e3" => Some(e03_inference_agreement::run()),
+        "e4" => Some(e04_finite_counterexample::run()),
+        "e5" => Some(e05_bound::run()),
+        "e6" => Some(e06_growth::run()),
+        "e7" => Some(e07_scaling::run()),
+        "e8" => Some(e08_fd_baseline::run()),
+        "e9" => Some(e09_width_cost::run()),
+        "e10" => Some(e10_minimization::run()),
+        "e11" => Some(e11_lemmas::run()),
+        "e12" => Some(e12_qstar::run()),
+        "e13" => Some(e13_vardi::run()),
+        _ => None,
+    }
+}
+
+/// All experiment ids in order.
+pub const ALL: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+];

@@ -1,0 +1,10 @@
+//! # cqchase-bench — experiment harness
+//!
+//! One module per experiment (E1–E12), each regenerating a figure,
+//! worked example or theorem-shaped claim of Johnson & Klug (PODS 1982).
+//! The `experiments` binary drives them; `EXPERIMENTS.md` records the
+//! outputs. Criterion microbenchmarks live under `benches/`.
+
+pub mod exp;
+pub mod table;
+pub mod util;

@@ -1,0 +1,132 @@
+//! Minimal aligned-column table printing + JSON row capture for the
+//! experiment harness.
+
+use serde_json::{Map, Value};
+
+/// An experiment table: headers, rows, and a JSON mirror of every row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells; must match header count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of `Display`able cells.
+    pub fn rowd<D: std::fmt::Display>(&mut self, cells: &[D]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The rows as JSON objects keyed by header.
+    pub fn to_json(&self) -> Value {
+        Value::Array(
+            self.rows
+                .iter()
+                .map(|row| {
+                    let mut obj = Map::new();
+                    for (h, c) in self.headers.iter().zip(row) {
+                        // Numbers stay numbers where they parse.
+                        let v = c
+                            .parse::<i64>()
+                            .map(Value::from)
+                            .or_else(|_| c.parse::<f64>().map(Value::from))
+                            .unwrap_or_else(|_| Value::String(c.clone()));
+                        obj.insert(h.clone(), v);
+                    }
+                    Value::Object(obj)
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns() {
+        let mut t = Table::new(&["a", "long_header"]);
+        t.rowd(&["xxxxx", "1"]);
+        t.rowd(&["y", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a    "), "{s}");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn json_types() {
+        let mut t = Table::new(&["name", "n", "x"]);
+        t.rowd(&["abc", "42", "1.5"]);
+        let j = t.to_json();
+        assert_eq!(j[0]["n"], 42);
+        assert_eq!(j[0]["x"], 1.5);
+        assert_eq!(j[0]["name"], "abc");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_length_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.rowd(&["only one"]);
+    }
+}

@@ -1,0 +1,531 @@
+//! The chase driver: deterministic scheduling of FD and IND rule
+//! applications, exactly as the paper prescribes.
+//!
+//! > *The following sequence of two instructions is repeated until there
+//! > are no more applicable (required) dependencies:*
+//! >
+//! > *(1) While there is an applicable FD, choose one as above and apply
+//! > it.*
+//! >
+//! > *(2) If a number of conjuncts have applicable (required) INDs,
+//! > choose the lexicographically first from among those such conjuncts
+//! > having minimum level, and apply the lexicographically first
+//! > applicable (required) IND to it.*
+//!
+//! "Lexicographically first conjunct" is realized as smallest conjunct id
+//! (creation order), and "lexicographically first IND" as Σ declaration
+//! order — fixed canonical choices in the spirit of the paper's
+//! convention (Maier, Mendelzon & Sagiv show the result is unique up to
+//! variable renaming regardless).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use cqchase_ir::{Catalog, ConjunctiveQuery, DependencySet, Fd, Ind};
+
+use super::fd::{fd_phase, Merge};
+use super::ind::{apply_ind, record_cross, WitnessIndex};
+use super::state::{ChaseState, ConjId};
+
+/// Which chase discipline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaseMode {
+    /// The **O-chase**: every IND is applied (once) to every conjunct it
+    /// is applicable to, including redundant applications. The paper uses
+    /// this when Σ consists of INDs only.
+    Oblivious,
+    /// The **R-chase**: an IND is applied to a conjunct only when
+    /// *required* (no witnessing conjunct exists); redundancies become
+    /// cross arcs. The paper uses this for key-based Σ.
+    Required,
+}
+
+/// Resource limits for chase expansion. IND chases can be infinite, so
+/// every driver entry point takes a budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaseBudget {
+    /// Maximum number of scheduling steps (IND applications + witness
+    /// skips) across the chase's lifetime.
+    pub max_steps: usize,
+    /// Maximum number of conjuncts ever created.
+    pub max_conjuncts: usize,
+}
+
+impl Default for ChaseBudget {
+    fn default() -> Self {
+        ChaseBudget {
+            max_steps: 1_000_000,
+            max_conjuncts: 250_000,
+        }
+    }
+}
+
+/// Why a driver call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaseStatus {
+    /// No applicable (required) dependencies remain — the chase is finite
+    /// and fully constructed.
+    Complete,
+    /// The FD rule failed on a constant clash: the chase is the *empty
+    /// query* (contained in everything).
+    Failed,
+    /// The requested level was fully built; pending work remains beyond
+    /// it.
+    LevelReached,
+    /// The budget ran out before the target condition was met.
+    BudgetExhausted,
+}
+
+/// A chase in progress (or finished). Construct with [`Chase::new`], grow
+/// with [`Chase::run_to_completion`] or [`Chase::expand_to_level`],
+/// inspect through [`Chase::state`].
+#[derive(Debug)]
+pub struct Chase {
+    state: ChaseState,
+    mode: ChaseMode,
+    fds: Vec<Fd>,
+    inds: Vec<Ind>,
+    /// Conjuncts that still have unprocessed applicable INDs, keyed by
+    /// (level, id) so the scheduler's min is the paper's choice.
+    pending: BTreeSet<(u32, ConjId)>,
+    /// Side map: pending key currently stored for each conjunct (levels
+    /// can shrink on FD merges).
+    pending_key: HashMap<ConjId, u32>,
+    /// `(conjunct, ind index)` pairs already handled.
+    processed: HashSet<(ConjId, usize)>,
+    witness: WitnessIndex,
+    steps: usize,
+    fd_steps: usize,
+}
+
+impl Chase {
+    /// Initializes the chase: level-0 conjuncts from `q`, then the
+    /// initial FD phase (instruction (1) run to quiescence).
+    pub fn new(
+        q: &ConjunctiveQuery,
+        deps: &DependencySet,
+        catalog: &Catalog,
+        mode: ChaseMode,
+    ) -> Chase {
+        let mut state = ChaseState::from_query(q, catalog);
+        let fds: Vec<Fd> = deps.fds().cloned().collect();
+        let inds: Vec<Ind> = deps.inds().cloned().collect();
+        let mut fd_steps = 0;
+        if let Ok((n, _)) = fd_phase(&mut state, &fds, None) {
+            fd_steps = n;
+        }
+        let mut chase = Chase {
+            witness: WitnessIndex::new(inds.len()),
+            state,
+            mode,
+            fds,
+            inds,
+            pending: BTreeSet::new(),
+            pending_key: HashMap::new(),
+            processed: HashSet::new(),
+            steps: 0,
+            fd_steps,
+        };
+        if !chase.state.failed {
+            let ids: Vec<ConjId> = chase.state.alive_conjuncts().map(|(id, _)| id).collect();
+            for id in ids {
+                chase.refresh_pending(id);
+            }
+        }
+        chase
+    }
+
+    /// The chase mode.
+    pub fn mode(&self) -> ChaseMode {
+        self.mode
+    }
+
+    /// Read access to the current (partial) chase.
+    pub fn state(&self) -> &ChaseState {
+        &self.state
+    }
+
+    /// Total IND scheduling steps taken so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Total FD rule applications so far.
+    pub fn fd_steps(&self) -> usize {
+        self.fd_steps
+    }
+
+    /// Whether the chase has terminated on its own (no pending work).
+    pub fn is_complete(&self) -> bool {
+        self.state.failed || self.pending.is_empty()
+    }
+
+    /// The minimum level with unprocessed conjuncts. All conjuncts with
+    /// level ≤ `frontier_level()` already exist; `None` means the chase
+    /// is complete (every level of the finite chase is built).
+    pub fn frontier_level(&self) -> Option<u32> {
+        self.pending.iter().next().map(|&(l, _)| l)
+    }
+
+    /// Whether the IND at `ind_idx` applies to conjunct `id` and has not
+    /// been handled yet.
+    fn unprocessed_inds(&self, id: ConjId) -> impl Iterator<Item = usize> + '_ {
+        let rel = self.state.conjunct(id).rel;
+        self.inds
+            .iter()
+            .enumerate()
+            .filter(move |(_, ind)| ind.lhs_rel == rel)
+            .map(|(i, _)| i)
+            .filter(move |i| !self.processed.contains(&(id, *i)))
+    }
+
+    fn refresh_pending(&mut self, id: ConjId) {
+        let alive = self.state.conjunct(id).alive;
+        let has_work = alive && self.unprocessed_inds(id).next().is_some();
+        let level = self.state.conjunct(id).level;
+        match (self.pending_key.get(&id).copied(), has_work) {
+            (Some(old), true) if old == level => {}
+            (Some(old), true) => {
+                self.pending.remove(&(old, id));
+                self.pending.insert((level, id));
+                self.pending_key.insert(id, level);
+            }
+            (Some(old), false) => {
+                self.pending.remove(&(old, id));
+                self.pending_key.remove(&id);
+            }
+            (None, true) => {
+                self.pending.insert((level, id));
+                self.pending_key.insert(id, level);
+            }
+            (None, false) => {}
+        }
+    }
+
+    fn absorb_merges(&mut self, merges: &[Merge]) {
+        for m in merges {
+            // The survivor has identical terms, so anything witnessed for
+            // the dead conjunct is witnessed for the survivor; in O-mode,
+            // the merged conjunct *is* one conjunct, so "applied once"
+            // transfers too.
+            for i in 0..self.inds.len() {
+                if self.processed.contains(&(m.dead, i)) {
+                    self.processed.insert((m.survivor, i));
+                }
+            }
+            self.refresh_pending(m.dead);
+            self.refresh_pending(m.survivor);
+        }
+        if !merges.is_empty() {
+            // Levels may have shrunk anywhere; refresh every pending key.
+            let ids: Vec<ConjId> = self.pending_key.keys().copied().collect();
+            for id in ids {
+                self.refresh_pending(id);
+            }
+        }
+    }
+
+    /// Performs one scheduling step: instruction (2) once, followed by
+    /// instruction (1) to quiescence. Returns `false` when the chase is
+    /// complete or failed.
+    fn step_once(&mut self) -> bool {
+        if self.state.failed {
+            return false;
+        }
+        let Some(&(_, id)) = self.pending.iter().next() else {
+            return false;
+        };
+        let Some(ind_idx) = self.unprocessed_inds(id).next() else {
+            self.refresh_pending(id);
+            return !self.pending.is_empty();
+        };
+        self.steps += 1;
+        self.processed.insert((id, ind_idx));
+        let required = match self.mode {
+            ChaseMode::Oblivious => {
+                // The O-chase applies regardless; the only exception is an
+                // IND covering every column of S, whose "new" conjunct is
+                // term-identical to an existing one — conjunct sets don't
+                // duplicate, so record the arc against the existing copy.
+                let ind = &self.inds[ind_idx];
+                if ind.rhs_cols.len() == self.state.catalog().arity(ind.rhs_rel) {
+                    self.witness
+                        .witness(&self.state, &self.inds, id, ind_idx)
+                        .map(|w| (false, w))
+                } else {
+                    None
+                }
+            }
+            ChaseMode::Required => self
+                .witness
+                .witness(&self.state, &self.inds, id, ind_idx)
+                .map(|w| (true, w)),
+        };
+        match required {
+            Some((_, w)) => {
+                record_cross(&mut self.state, id, w, ind_idx);
+            }
+            None => {
+                let ind = self.inds[ind_idx].clone();
+                let child = apply_ind(&mut self.state, id, &ind, ind_idx);
+                self.witness.register(&self.state, &self.inds, child);
+                // Instruction (1): exhaust FDs, which only the new
+                // conjunct can have triggered.
+                if !self.fds.is_empty() {
+                    match fd_phase(&mut self.state, &self.fds, Some(child)) {
+                        Ok((n, merges)) => {
+                            self.fd_steps += n;
+                            if n > 0 {
+                                self.witness.mark_dirty();
+                            }
+                            self.absorb_merges(&merges);
+                        }
+                        Err(_) => {
+                            return false;
+                        }
+                    }
+                }
+                if self.state.conjunct(child).alive {
+                    self.refresh_pending(child);
+                }
+            }
+        }
+        self.refresh_pending(id);
+        true
+    }
+
+    /// Runs until the chase completes or the budget is exhausted.
+    pub fn run_to_completion(&mut self, budget: ChaseBudget) -> ChaseStatus {
+        loop {
+            if self.state.failed {
+                return ChaseStatus::Failed;
+            }
+            if self.pending.is_empty() {
+                return ChaseStatus::Complete;
+            }
+            if self.steps >= budget.max_steps
+                || self.state.all_conjuncts().len() >= budget.max_conjuncts
+            {
+                return ChaseStatus::BudgetExhausted;
+            }
+            self.step_once();
+        }
+    }
+
+    /// Expands until every conjunct of level ≤ `level` exists (i.e. the
+    /// frontier moved past `level − 1`), the chase completes, or the
+    /// budget runs out.
+    pub fn expand_to_level(&mut self, level: u32, budget: ChaseBudget) -> ChaseStatus {
+        loop {
+            if self.state.failed {
+                return ChaseStatus::Failed;
+            }
+            match self.frontier_level() {
+                None => return ChaseStatus::Complete,
+                Some(f) if f >= level => return ChaseStatus::LevelReached,
+                Some(_) => {}
+            }
+            if self.steps >= budget.max_steps
+                || self.state.all_conjuncts().len() >= budget.max_conjuncts
+            {
+                return ChaseStatus::BudgetExhausted;
+            }
+            self.step_once();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqchase_ir::parse_program;
+
+    fn chase_of(src: &str, mode: ChaseMode) -> Chase {
+        let p = parse_program(src).unwrap();
+        Chase::new(&p.queries[0], &p.deps, &p.catalog, mode)
+    }
+
+    #[test]
+    fn acyclic_ind_chase_terminates() {
+        let mut ch = chase_of(
+            "relation EMP(eno, sal, dept). relation DEP(dno, loc).
+             ind EMP[dept] <= DEP[dno].
+             Q(e) :- EMP(e, s, d).",
+            ChaseMode::Required,
+        );
+        let status = ch.run_to_completion(ChaseBudget::default());
+        assert_eq!(status, ChaseStatus::Complete);
+        assert!(ch.is_complete());
+        // One new DEP conjunct at level 1.
+        assert_eq!(ch.state().num_alive(), 2);
+        assert_eq!(ch.state().level_histogram(), vec![1, 1]);
+        assert_eq!(ch.steps(), 1);
+    }
+
+    #[test]
+    fn required_application_skipped_when_witnessed() {
+        let mut ch = chase_of(
+            "relation EMP(eno, sal, dept). relation DEP(dno, loc).
+             ind EMP[dept] <= DEP[dno].
+             Q(e) :- EMP(e, s, d), DEP(d, l).",
+            ChaseMode::Required,
+        );
+        let status = ch.run_to_completion(ChaseBudget::default());
+        assert_eq!(status, ChaseStatus::Complete);
+        // No new conjunct — the DEP atom already witnesses the IND.
+        assert_eq!(ch.state().num_alive(), 2);
+        // But the cross arc is recorded.
+        assert_eq!(ch.state().arcs().len(), 1);
+        assert_eq!(
+            ch.state().arcs()[0].kind,
+            super::super::state::ArcKind::Cross
+        );
+    }
+
+    #[test]
+    fn oblivious_applies_redundantly() {
+        let mut ch = chase_of(
+            "relation EMP(eno, sal, dept). relation DEP(dno, loc).
+             ind EMP[dept] <= DEP[dno].
+             Q(e) :- EMP(e, s, d), DEP(d, l).",
+            ChaseMode::Oblivious,
+        );
+        let status = ch.run_to_completion(ChaseBudget::default());
+        assert_eq!(status, ChaseStatus::Complete);
+        // The O-chase adds DEP(d, n) even though DEP(d, l) exists.
+        assert_eq!(ch.state().num_alive(), 3);
+    }
+
+    #[test]
+    fn cyclic_ind_is_infinite() {
+        let mut ch = chase_of(
+            "relation R(a, b).
+             ind R[2] <= R[1].
+             Q(x) :- R(x, y).",
+            ChaseMode::Required,
+        );
+        let status = ch.run_to_completion(ChaseBudget {
+            max_steps: 100,
+            max_conjuncts: 100,
+        });
+        assert_eq!(status, ChaseStatus::BudgetExhausted);
+        assert!(!ch.is_complete());
+        // Each level adds exactly one conjunct: R(x,y) → R(y,n1) → R(n1,n2)…
+        let hist = ch.state().level_histogram();
+        assert!(hist.iter().all(|&n| n == 1));
+        assert!(hist.len() > 10);
+    }
+
+    #[test]
+    fn expand_to_level_builds_exactly_enough() {
+        let mut ch = chase_of(
+            "relation R(a, b).
+             ind R[2] <= R[1].
+             Q(x) :- R(x, y).",
+            ChaseMode::Required,
+        );
+        let status = ch.expand_to_level(5, ChaseBudget::default());
+        assert_eq!(status, ChaseStatus::LevelReached);
+        assert_eq!(ch.state().max_level(), Some(5));
+        assert_eq!(ch.frontier_level(), Some(5));
+        // Monotone growth: expanding further keeps earlier levels intact.
+        let before: Vec<String> = ch
+            .state()
+            .alive_conjuncts()
+            .map(|(id, _)| ch.state().render_conjunct(id))
+            .collect();
+        ch.expand_to_level(8, ChaseBudget::default());
+        let after: Vec<String> = ch
+            .state()
+            .alive_conjuncts()
+            .map(|(id, _)| ch.state().render_conjunct(id))
+            .collect();
+        assert_eq!(&after[..before.len()], &before[..]);
+        assert_eq!(ch.state().max_level(), Some(8));
+    }
+
+    #[test]
+    fn fd_failure_during_init() {
+        let mut ch = chase_of(
+            "relation R(a, b). fd R: a -> b.
+             Q(x) :- R(x, 1), R(x, 2).",
+            ChaseMode::Required,
+        );
+        assert!(ch.state().is_failed());
+        assert_eq!(
+            ch.run_to_completion(ChaseBudget::default()),
+            ChaseStatus::Failed
+        );
+    }
+
+    #[test]
+    fn section4_sigma_rchase() {
+        // Σ = {R:{2}→1, R[2]⊆R[1]} over Q1(x) :- R(x, y).
+        // IND adds R(y, n1); FD (2→1 means col b determines col a) — the
+        // new conjunct and nothing else share b-values, so no merge; the
+        // chase keeps growing: infinite.
+        let mut ch = chase_of(
+            "relation R(a, b). fd R: b -> a. ind R[2] <= R[1].
+             Q(x) :- R(x, y).",
+            ChaseMode::Required,
+        );
+        let status = ch.run_to_completion(ChaseBudget {
+            max_steps: 50,
+            max_conjuncts: 50,
+        });
+        assert_eq!(status, ChaseStatus::BudgetExhausted);
+    }
+
+    #[test]
+    fn fd_triggered_by_ind_merges() {
+        // Key-based-violating mix where an IND child collides with an
+        // existing conjunct via the FD: R(x,y) with IND R[1] ⊆ S[1] and
+        // FD S: a -> b, plus an existing S(x, z): the created S(x, n)
+        // merges with S(x, z) (n is an NDV created later, so z survives).
+        let mut ch = chase_of(
+            "relation R(a, b). relation S(a, b).
+             fd S: a -> b. ind R[1] <= S[1].
+             Q(x) :- R(x, y), S(x, z).",
+            ChaseMode::Oblivious,
+        );
+        let status = ch.run_to_completion(ChaseBudget::default());
+        assert_eq!(status, ChaseStatus::Complete);
+        // The redundant O-chase child merged back into S(x, z).
+        assert_eq!(ch.state().num_alive(), 2);
+        assert!(ch.fd_steps() >= 1);
+    }
+
+    #[test]
+    fn full_width_ind_oblivious_dedups_exact() {
+        // IND covering all columns of S: the O-chase "new" conjunct is
+        // term-identical to the witness; sets of conjuncts don't
+        // duplicate.
+        let mut ch = chase_of(
+            "relation R(a, b). relation S(x, y).
+             ind R[1, 2] <= S[1, 2].
+             Q(x) :- R(x, y), S(x, y).",
+            ChaseMode::Oblivious,
+        );
+        let status = ch.run_to_completion(ChaseBudget::default());
+        assert_eq!(status, ChaseStatus::Complete);
+        assert_eq!(ch.state().num_alive(), 2);
+    }
+
+    #[test]
+    fn levels_follow_parents() {
+        let mut ch = chase_of(
+            "relation R(a). relation S(a). relation T(a).
+             ind R[1] <= S[1]. ind S[1] <= T[1].
+             Q(x) :- R(x).",
+            ChaseMode::Required,
+        );
+        ch.run_to_completion(ChaseBudget::default());
+        assert_eq!(ch.state().level_histogram(), vec![1, 1, 1]);
+        // S child at level 1, T grandchild at level 2.
+        let levels: Vec<u32> = ch
+            .state()
+            .alive_conjuncts()
+            .map(|(_, c)| c.level)
+            .collect();
+        assert_eq!(levels, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Rendering the chase as the paper's Figure 1 graph: a vertex per
+//! conjunct, ordinary arcs for IND-created conjuncts, cross arcs for
+//! R-chase redundancies, levels as rows.
+
+use std::fmt::Write as _;
+
+use super::state::{ArcKind, ChaseState, ConjId};
+
+/// A textual, per-level view of a (partial) chase — the shape of the
+/// paper's Figure 1.
+pub fn render_levels(state: &ChaseState) -> String {
+    let mut out = String::new();
+    if state.is_failed() {
+        out.push_str("<failed: empty chase>\n");
+        return out;
+    }
+    let max = state.max_level().unwrap_or(0);
+    for level in 0..=max {
+        let _ = writeln!(out, "level {level}:");
+        for (id, _c) in state.alive_conjuncts().filter(|(_, c)| c.level == level) {
+            let _ = write!(out, "  [{}] {}", id.0, state.render_conjunct(id));
+            // Incoming ordinary arc (at most one) tells the provenance.
+            if let Some(arc) = state
+                .arcs()
+                .iter()
+                .find(|a| state.resolve_conjunct(a.to) == id && a.kind == ArcKind::Ordinary)
+            {
+                let _ = write!(out, "   <- [{}] via IND#{}", arc.from.0, arc.ind_idx);
+            }
+            out.push('\n');
+        }
+    }
+    let crosses: Vec<_> = state
+        .arcs()
+        .iter()
+        .filter(|a| a.kind == ArcKind::Cross)
+        .collect();
+    if !crosses.is_empty() {
+        out.push_str("cross arcs:\n");
+        for a in crosses {
+            let _ = writeln!(
+                out,
+                "  [{}] -> [{}] via IND#{}",
+                a.from.0,
+                state.resolve_conjunct(a.to).0,
+                a.ind_idx
+            );
+        }
+    }
+    out
+}
+
+/// GraphViz DOT output of the chase graph (ordinary arcs solid, cross
+/// arcs dashed), one rank per level.
+pub fn render_dot(state: &ChaseState, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=TB; node [shape=box, fontname=monospace];");
+    let max = state.max_level().unwrap_or(0);
+    for level in 0..=max {
+        let ids: Vec<ConjId> = state
+            .alive_conjuncts()
+            .filter(|(_, c)| c.level == level)
+            .map(|(id, _)| id)
+            .collect();
+        if ids.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "  {{ rank=same;");
+        for id in &ids {
+            let _ = write!(out, " c{};", id.0);
+        }
+        let _ = writeln!(out, " }}");
+        for id in ids {
+            let _ = writeln!(
+                out,
+                "  c{} [label=\"{}\\nL{}\"];",
+                id.0,
+                state.render_conjunct(id).replace('"', "\\\""),
+                level
+            );
+        }
+    }
+    for a in state.arcs() {
+        let to = state.resolve_conjunct(a.to);
+        if !state.conjunct(to).alive || !state.conjunct(state.resolve_conjunct(a.from)).alive {
+            continue;
+        }
+        let style = match a.kind {
+            ArcKind::Ordinary => "solid",
+            ArcKind::Cross => "dashed",
+        };
+        let _ = writeln!(
+            out,
+            "  c{} -> c{} [style={}, label=\"IND#{}\"];",
+            state.resolve_conjunct(a.from).0,
+            to.0,
+            style,
+            a.ind_idx
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::driver::{Chase, ChaseBudget, ChaseMode};
+    use cqchase_ir::parse_program;
+
+    fn figure1_chase(mode: ChaseMode, levels: u32) -> Chase {
+        // Figure 1: Q(c) :- R(a, b, c) with
+        // Σ = {R[1] ⊆ T[1], R[1,3] ⊆ S[1,2], S[1,3] ⊆ R[1,2]}.
+        let p = parse_program(
+            "relation R(a, b, c). relation S(x, y, z). relation T(u, v).
+             ind R[1] <= T[1].
+             ind R[1, 3] <= S[1, 2].
+             ind S[1, 3] <= R[1, 2].
+             Q(c) :- R(a, b, c).",
+        )
+        .unwrap();
+        let mut ch = Chase::new(&p.queries[0], &p.deps, &p.catalog, mode);
+        ch.expand_to_level(levels, ChaseBudget::default());
+        ch
+    }
+
+    #[test]
+    fn figure1_is_infinite_in_both_modes() {
+        for mode in [ChaseMode::Required, ChaseMode::Oblivious] {
+            let ch = figure1_chase(mode, 6);
+            assert!(!ch.is_complete(), "{mode:?} chase must keep growing");
+            assert_eq!(ch.state().max_level(), Some(6));
+        }
+    }
+
+    #[test]
+    fn figure1_level_text() {
+        let ch = figure1_chase(ChaseMode::Required, 3);
+        let text = render_levels(ch.state());
+        assert!(text.contains("level 0:"), "{text}");
+        assert!(text.contains("level 3:"), "{text}");
+        assert!(text.contains("via IND#"), "{text}");
+    }
+
+    #[test]
+    fn figure1_structure_level1() {
+        // From R(a, b, c): IND#0 gives T(a, n), IND#1 gives S(a, c, n').
+        let ch = figure1_chase(ChaseMode::Required, 1);
+        let hist = ch.state().level_histogram();
+        assert_eq!(hist[0], 1);
+        assert_eq!(hist[1], 2);
+        let rels: Vec<&str> = ch
+            .state()
+            .alive_conjuncts()
+            .filter(|(_, c)| c.level == 1)
+            .map(|(_, c)| ch.state().catalog().name(c.rel))
+            .collect();
+        assert!(rels.contains(&"T"));
+        assert!(rels.contains(&"S"));
+    }
+
+    #[test]
+    fn oblivious_grows_at_least_as_fast_as_required() {
+        let r = figure1_chase(ChaseMode::Required, 4);
+        let o = figure1_chase(ChaseMode::Oblivious, 4);
+        let rh = r.state().level_histogram();
+        let oh = o.state().level_histogram();
+        for (lvl, (a, b)) in rh.iter().zip(&oh).enumerate() {
+            assert!(b >= a, "level {lvl}: O-chase {b} < R-chase {a}");
+        }
+    }
+
+    #[test]
+    fn failed_chase_renders_empty_marker() {
+        let p = parse_program(
+            "relation R(a, b). fd R: a -> b.
+             Q(x) :- R(x, 1), R(x, 2).",
+        )
+        .unwrap();
+        let ch = Chase::new(&p.queries[0], &p.deps, &p.catalog, ChaseMode::Required);
+        assert!(ch.state().is_failed());
+        assert!(render_levels(ch.state()).contains("failed"));
+    }
+
+    #[test]
+    fn dot_escapes_quoted_constants() {
+        let p = parse_program(
+            r#"relation R(a). Q(x) :- R(x), R("lit")."#,
+        )
+        .unwrap();
+        let ch = Chase::new(&p.queries[0], &p.deps, &p.catalog, ChaseMode::Required);
+        let dot = render_dot(ch.state(), "g");
+        // The string constant's quotes are escaped inside DOT labels.
+        assert!(dot.contains("\\\"lit\\\""), "{dot}");
+    }
+
+    #[test]
+    fn dot_output_wellformed() {
+        let ch = figure1_chase(ChaseMode::Required, 2);
+        let dot = render_dot(ch.state(), "fig1");
+        assert!(dot.starts_with("digraph fig1 {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("rank=same"));
+        assert!(dot.contains("style=solid"));
+    }
+}

@@ -1,0 +1,224 @@
+//! The IND chase rule and the witness index used for *required* checks.
+//!
+//! > *IND CHASE RULE. Let the IND `R[X] ⊆ S[Y]` and conjunct `c` be as
+//! > above. Add a new conjunct `c′` to Q, where `R(c′) = S`,
+//! > `c′[Y] = c[X]` and where `c′[A]` is a distinct new NDV symbol for
+//! > each attribute `A` not in `Y`, this symbol following all previously
+//! > introduced symbols in the lexicographic order.*
+
+use std::collections::HashMap;
+
+use cqchase_ir::Ind;
+
+use super::state::{ArcKind, CTerm, ChaseArc, ChaseState, ConjId, Conjunct};
+
+/// Projects conjunct terms on a column list.
+pub(crate) fn project(terms: &[CTerm], cols: &[usize]) -> Vec<CTerm> {
+    cols.iter().map(|&c| terms[c].clone()).collect()
+}
+
+/// Applies the IND rule: creates the new conjunct at `level(c) + 1` with
+/// fresh NDVs outside `Y`, records the ordinary arc, and returns the new
+/// conjunct's id.
+pub(crate) fn apply_ind(
+    state: &mut ChaseState,
+    parent: ConjId,
+    ind: &Ind,
+    ind_idx: usize,
+) -> ConjId {
+    let parent_terms = state.conjunct(parent).terms.clone();
+    let level = state.conjunct(parent).level + 1;
+    let arity = state.catalog().arity(ind.rhs_rel);
+    let child = ConjId(state.conjuncts.len() as u32);
+    let mut terms = Vec::with_capacity(arity);
+    for col in 0..arity {
+        match ind.rhs_cols.iter().position(|&y| y == col) {
+            Some(k) => terms.push(parent_terms[ind.lhs_cols[k]].clone()),
+            None => {
+                let v = state.fresh_var(col, parent, ind_idx, level);
+                terms.push(CTerm::Var(v));
+            }
+        }
+    }
+    state.conjuncts.push(Conjunct {
+        rel: ind.rhs_rel,
+        terms,
+        level,
+        alive: true,
+        merged_into: None,
+    });
+    state.arcs.push(ChaseArc {
+        from: parent,
+        to: child,
+        ind_idx,
+        kind: ArcKind::Ordinary,
+    });
+    child
+}
+
+/// Records a cross arc `parent → witness` labelled by `ind_idx` (R-chase
+/// bookkeeping when the required conjunct already exists).
+pub(crate) fn record_cross(state: &mut ChaseState, parent: ConjId, witness: ConjId, ind_idx: usize) {
+    state.arcs.push(ChaseArc {
+        from: parent,
+        to: witness,
+        ind_idx,
+        kind: ArcKind::Cross,
+    });
+}
+
+/// Per-IND index of the existing witnesses: for IND *i* with right-hand
+/// side `S[Y]`, maps the `Y`-projection of every conjunct over `S` to one
+/// such conjunct. Used for the R-chase's "is this application required?"
+/// test and for O-chase exact-duplicate avoidance.
+///
+/// FD substitutions rewrite terms in place and would silently invalidate
+/// the keys, so the driver marks the index dirty after any FD application
+/// and it rebuilds lazily.
+#[derive(Debug, Default)]
+pub(crate) struct WitnessIndex {
+    /// One map per IND (index-aligned with Σ's IND list).
+    maps: Vec<HashMap<Vec<CTerm>, ConjId>>,
+    dirty: bool,
+}
+
+impl WitnessIndex {
+    pub(crate) fn new(num_inds: usize) -> Self {
+        WitnessIndex {
+            maps: vec![HashMap::new(); num_inds],
+            dirty: true,
+        }
+    }
+
+    pub(crate) fn mark_dirty(&mut self) {
+        self.dirty = true;
+    }
+
+    fn rebuild(&mut self, state: &ChaseState, inds: &[Ind]) {
+        for m in &mut self.maps {
+            m.clear();
+        }
+        for (id, c) in state.alive_conjuncts() {
+            for (i, ind) in inds.iter().enumerate() {
+                if ind.rhs_rel == c.rel {
+                    self.maps[i]
+                        .entry(project(&c.terms, &ind.rhs_cols))
+                        .or_insert(id);
+                }
+            }
+        }
+        self.dirty = false;
+    }
+
+    /// Registers a newly created conjunct (no-op while dirty — the next
+    /// rebuild will pick it up).
+    pub(crate) fn register(&mut self, state: &ChaseState, inds: &[Ind], id: ConjId) {
+        if self.dirty {
+            return;
+        }
+        let c = state.conjunct(id);
+        for (i, ind) in inds.iter().enumerate() {
+            if ind.rhs_rel == c.rel {
+                self.maps[i]
+                    .entry(project(&c.terms, &ind.rhs_cols))
+                    .or_insert(id);
+            }
+        }
+    }
+
+    /// Finds a live conjunct witnessing `ind_idx` for `parent`, i.e. a
+    /// `c″` over `S` with `c″[Y] = c[X]`.
+    pub(crate) fn witness(
+        &mut self,
+        state: &ChaseState,
+        inds: &[Ind],
+        parent: ConjId,
+        ind_idx: usize,
+    ) -> Option<ConjId> {
+        if self.dirty {
+            self.rebuild(state, inds);
+        }
+        let key = project(
+            &state.conjunct(parent).terms,
+            &inds[ind_idx].lhs_cols,
+        );
+        self.maps[ind_idx]
+            .get(&key)
+            .map(|&id| state.resolve_conjunct(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqchase_ir::parse_program;
+
+    #[test]
+    fn apply_creates_child_with_fresh_ndvs() {
+        let p = parse_program(
+            "relation R(a, b, c). relation S(x, y).
+             ind R[1, 3] <= S[1, 2].
+             Q(z) :- R(u, v, z).",
+        )
+        .unwrap();
+        let mut st = ChaseState::from_query(&p.queries[0], &p.catalog);
+        let ind = p.deps.inds().next().unwrap().clone();
+        let child = apply_ind(&mut st, ConjId(0), &ind, 0);
+        let c = st.conjunct(child);
+        assert_eq!(c.level, 1);
+        assert_eq!(st.catalog().name(c.rel), "S");
+        // S(x, y) receives (R.a, R.c) = (u, z).
+        let parent = st.conjunct(ConjId(0));
+        assert_eq!(c.terms[0], parent.terms[0]);
+        assert_eq!(c.terms[1], parent.terms[2]);
+        assert_eq!(st.arcs().len(), 1);
+        assert_eq!(st.arcs()[0].kind, ArcKind::Ordinary);
+    }
+
+    #[test]
+    fn non_covered_columns_get_fresh_vars() {
+        let p = parse_program(
+            "relation R(a). relation S(x, y, z).
+             ind R[1] <= S[2].
+             Q(u) :- R(u).",
+        )
+        .unwrap();
+        let mut st = ChaseState::from_query(&p.queries[0], &p.catalog);
+        let ind = p.deps.inds().next().unwrap().clone();
+        let before_vars = st.num_vars();
+        let child = apply_ind(&mut st, ConjId(0), &ind, 0);
+        let c = st.conjunct(child).clone();
+        // Column 1 (0-based) carries u; columns 0 and 2 are fresh.
+        assert_eq!(c.terms[1], st.conjunct(ConjId(0)).terms[0]);
+        assert_eq!(st.num_vars(), before_vars + 2);
+        let v0 = c.terms[0].as_var().unwrap();
+        let v2 = c.terms[2].as_var().unwrap();
+        assert_ne!(v0, v2);
+        // Fresh symbols follow all earlier ones in the order.
+        assert!(v0.index() >= before_vars && v2.index() >= before_vars);
+    }
+
+    #[test]
+    fn witness_index_finds_existing() {
+        let p = parse_program(
+            "relation R(a, b).
+             ind R[2] <= R[1].
+             Q(x) :- R(x, y), R(y, z).",
+        )
+        .unwrap();
+        let mut st = ChaseState::from_query(&p.queries[0], &p.catalog);
+        let inds: Vec<Ind> = p.deps.inds().cloned().collect();
+        let mut wi = WitnessIndex::new(1);
+        // Conjunct 0 is R(x, y); its projection on [b] is (y), and R(y, z)
+        // has (y) in column a — so the application is NOT required.
+        let w = wi.witness(&st, &inds, ConjId(0), 0);
+        assert_eq!(w, Some(ConjId(1)));
+        // Conjunct 1 is R(y, z): projection (z) has no witness.
+        let w2 = wi.witness(&st, &inds, ConjId(1), 0);
+        assert_eq!(w2, None);
+        // After applying, the new conjunct witnesses it.
+        let child = apply_ind(&mut st, ConjId(1), &inds[0], 0);
+        wi.register(&st, &inds, child);
+        assert_eq!(wi.witness(&st, &inds, ConjId(1), 0), Some(child));
+    }
+}

@@ -1,0 +1,414 @@
+//! Chase state: symbols with a total lexicographic order, conjuncts with
+//! levels, the summary row, and the arc structure of the chase graph.
+
+use std::collections::HashMap;
+
+use cqchase_ir::{Catalog, ConjunctiveQuery, Constant, RelId, Term, VarId, VarKind};
+
+/// A chase symbol (variable) identified by its **ordinal**: the position
+/// in the chase's symbol table.
+///
+/// The ordinal *is* the paper's lexicographic order: distinguished
+/// variables of the original query come first, then its nondistinguished
+/// variables, then every chase-created NDV in creation order ("this
+/// symbol following all previously introduced symbols in the
+/// lexicographic order used by the FD chase rule").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CVar(pub u32);
+
+impl CVar {
+    /// The ordinal as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A term inside the chase: a constant or a chase symbol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CTerm {
+    /// A constant (fixed by every homomorphism).
+    Const(Constant),
+    /// A chase variable.
+    Var(CVar),
+}
+
+impl CTerm {
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<CVar> {
+        match self {
+            CTerm::Var(v) => Some(*v),
+            CTerm::Const(_) => None,
+        }
+    }
+
+    /// Whether this is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, CTerm::Const(_))
+    }
+}
+
+/// Where a chase symbol came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CVarOrigin {
+    /// A variable of the original query.
+    Query {
+        /// Its id in the query's variable table.
+        var: VarId,
+        /// DV or NDV.
+        kind: VarKind,
+    },
+    /// An NDV created by an IND chase-rule application. The fields encode
+    /// the paper's naming scheme: "a name that encodes A, c, the IND, and
+    /// the level of c′".
+    Created {
+        /// Column (attribute position) the symbol was created in.
+        attr: usize,
+        /// The conjunct the IND was applied to.
+        parent: ConjId,
+        /// Index of the IND in Σ's declaration order.
+        ind_idx: usize,
+        /// Level of the *created* conjunct.
+        level: u32,
+    },
+}
+
+/// Metadata for one chase symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CVarInfo {
+    /// Provenance.
+    pub origin: CVarOrigin,
+    /// Display name (query variables keep their names; created NDVs get
+    /// encoded names).
+    pub name: String,
+}
+
+/// Identifier of a conjunct within the chase, assigned in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConjId(pub u32);
+
+impl ConjId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One conjunct (tuple) of the chase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conjunct {
+    /// The relation this conjunct belongs to.
+    pub rel: RelId,
+    /// One term per column.
+    pub terms: Vec<CTerm>,
+    /// The paper's *level*: 0 for original conjuncts, parent's level + 1
+    /// for IND-created ones, minimum on FD merges.
+    pub level: u32,
+    /// `false` once this conjunct has been merged into another by the FD
+    /// rule (the survivor keeps `true`).
+    pub alive: bool,
+    /// When dead: who absorbed it.
+    pub merged_into: Option<ConjId>,
+}
+
+/// Arc kinds of the chase graph (Figure 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArcKind {
+    /// The IND application created the target conjunct.
+    Ordinary,
+    /// (R-chase) the required conjunct already existed; points at it.
+    Cross,
+}
+
+/// One labelled arc of the chase graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaseArc {
+    /// Source conjunct (the one the IND was applied to).
+    pub from: ConjId,
+    /// Target conjunct (created, or pre-existing for cross arcs).
+    pub to: ConjId,
+    /// Index of the IND in Σ's declaration order (the arc label).
+    pub ind_idx: usize,
+    /// Ordinary or cross.
+    pub kind: ArcKind,
+}
+
+/// The complete (partial) chase: symbols, conjuncts, summary row, arcs.
+#[derive(Debug, Clone)]
+pub struct ChaseState {
+    pub(crate) catalog: Catalog,
+    pub(crate) vars: Vec<CVarInfo>,
+    pub(crate) conjuncts: Vec<Conjunct>,
+    pub(crate) summary: Vec<CTerm>,
+    pub(crate) arcs: Vec<ChaseArc>,
+    /// Set when the FD rule met two distinct constants: the chase is the
+    /// empty query ("this query cannot be chased to an equivalent query
+    /// obeying the given FD").
+    pub(crate) failed: bool,
+}
+
+impl ChaseState {
+    /// Initializes the state from a query: its conjuncts at level 0, its
+    /// variables with DVs preceding NDVs in the symbol order.
+    pub(crate) fn from_query(q: &ConjunctiveQuery, catalog: &Catalog) -> ChaseState {
+        // Map query VarIds to chase ordinals: DVs first (in VarId order),
+        // then NDVs (in VarId order).
+        let mut order: Vec<VarId> = q.vars.iter().map(|(v, _)| v).collect();
+        order.sort_by_key(|&v| (q.vars.kind(v) != VarKind::Distinguished, v));
+        let mut to_cvar: HashMap<VarId, CVar> = HashMap::new();
+        let mut vars = Vec::with_capacity(order.len());
+        for v in order {
+            let cv = CVar(vars.len() as u32);
+            to_cvar.insert(v, cv);
+            vars.push(CVarInfo {
+                origin: CVarOrigin::Query {
+                    var: v,
+                    kind: q.vars.kind(v),
+                },
+                name: q.vars.name(v).to_owned(),
+            });
+        }
+        let conv = |t: &Term| match t {
+            Term::Const(c) => CTerm::Const(c.clone()),
+            Term::Var(v) => CTerm::Var(to_cvar[v]),
+        };
+        // The paper's C_Q is a set of *distinct* conjuncts — collapse
+        // syntactic duplicates (keeping first-occurrence order).
+        let mut seen: std::collections::HashSet<(RelId, Vec<CTerm>)> = std::collections::HashSet::new();
+        let mut conjuncts = Vec::with_capacity(q.atoms.len());
+        for a in &q.atoms {
+            let terms: Vec<CTerm> = a.terms.iter().map(conv).collect();
+            if seen.insert((a.relation, terms.clone())) {
+                conjuncts.push(Conjunct {
+                    rel: a.relation,
+                    terms,
+                    level: 0,
+                    alive: true,
+                    merged_into: None,
+                });
+            }
+        }
+        let summary = q.head.iter().map(conv).collect();
+        ChaseState {
+            catalog: catalog.clone(),
+            vars,
+            conjuncts,
+            summary,
+            arcs: Vec::new(),
+            failed: false,
+        }
+    }
+
+    /// The catalog the chase runs against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Whether the FD rule failed on a constant clash (empty chase).
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// The summary row (rewritten by FD merges as the chase proceeds).
+    pub fn summary(&self) -> &[CTerm] {
+        &self.summary
+    }
+
+    /// All conjunct slots, dead ones included (use
+    /// [`ChaseState::alive_conjuncts`] for the live view).
+    pub fn all_conjuncts(&self) -> &[Conjunct] {
+        &self.conjuncts
+    }
+
+    /// The conjunct at `id`.
+    pub fn conjunct(&self, id: ConjId) -> &Conjunct {
+        &self.conjuncts[id.index()]
+    }
+
+    /// Live conjuncts with their ids, in creation order.
+    pub fn alive_conjuncts(&self) -> impl Iterator<Item = (ConjId, &Conjunct)> {
+        self.conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.alive)
+            .map(|(i, c)| (ConjId(i as u32), c))
+    }
+
+    /// Number of live conjuncts.
+    pub fn num_alive(&self) -> usize {
+        self.conjuncts.iter().filter(|c| c.alive).count()
+    }
+
+    /// All arcs recorded so far.
+    pub fn arcs(&self) -> &[ChaseArc] {
+        &self.arcs
+    }
+
+    /// Symbol metadata by ordinal.
+    pub fn var_info(&self, v: CVar) -> &CVarInfo {
+        &self.vars[v.index()]
+    }
+
+    /// Number of symbols ever created.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Follows merge links to the live representative of `id`.
+    pub fn resolve_conjunct(&self, mut id: ConjId) -> ConjId {
+        while let Some(next) = self.conjuncts[id.index()].merged_into {
+            id = next;
+        }
+        id
+    }
+
+    /// The maximum level among live conjuncts (`None` when the chase is
+    /// empty, e.g. after failure).
+    pub fn max_level(&self) -> Option<u32> {
+        self.conjuncts
+            .iter()
+            .filter(|c| c.alive)
+            .map(|c| c.level)
+            .max()
+    }
+
+    /// Live conjunct count per level (index = level).
+    pub fn level_histogram(&self) -> Vec<usize> {
+        let mut h = Vec::new();
+        for c in self.conjuncts.iter().filter(|c| c.alive) {
+            let l = c.level as usize;
+            if h.len() <= l {
+                h.resize(l + 1, 0);
+            }
+            h[l] += 1;
+        }
+        h
+    }
+
+    /// Creates a fresh NDV with the paper's provenance encoding; its name
+    /// lexicographically follows all earlier symbols by construction
+    /// (ordinal order *is* the order).
+    pub(crate) fn fresh_var(
+        &mut self,
+        attr: usize,
+        parent: ConjId,
+        ind_idx: usize,
+        level: u32,
+    ) -> CVar {
+        let cv = CVar(self.vars.len() as u32);
+        let name = format!("n{}_c{}i{}a{}L{}", cv.0, parent.0, ind_idx, attr, level);
+        self.vars.push(CVarInfo {
+            origin: CVarOrigin::Created {
+                attr,
+                parent,
+                ind_idx,
+                level,
+            },
+            name,
+        });
+        cv
+    }
+
+    /// Renders a conjunct as `R(a, b, n3_c0i1a2L1)`.
+    pub fn render_conjunct(&self, id: ConjId) -> String {
+        let c = &self.conjuncts[id.index()];
+        let mut s = format!("{}(", self.catalog.name(c.rel));
+        for (i, t) in c.terms.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            match t {
+                CTerm::Const(k) => s.push_str(&k.to_string()),
+                CTerm::Var(v) => s.push_str(&self.vars[v.index()].name),
+            }
+        }
+        s.push(')');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqchase_ir::{parse_program, Program};
+
+    fn prog() -> Program {
+        parse_program(
+            "relation R(a, b, c). Q(z) :- R(x, y, z), R(z, y, x).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dvs_precede_ndvs_in_symbol_order() {
+        let p = prog();
+        let st = ChaseState::from_query(&p.queries[0], &p.catalog);
+        // Query variable order is x, y (NDVs interned first in the body)
+        // …actually z is the head DV and interned first. Regardless of
+        // interning order, the chase order must put the DV `z` first.
+        assert_eq!(st.vars[0].name, "z");
+        assert!(matches!(
+            st.vars[0].origin,
+            CVarOrigin::Query {
+                kind: VarKind::Distinguished,
+                ..
+            }
+        ));
+        for info in &st.vars[1..] {
+            assert!(matches!(
+                info.origin,
+                CVarOrigin::Query {
+                    kind: VarKind::Existential,
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn conjuncts_start_at_level_zero() {
+        let p = prog();
+        let st = ChaseState::from_query(&p.queries[0], &p.catalog);
+        assert_eq!(st.num_alive(), 2);
+        assert!(st.alive_conjuncts().all(|(_, c)| c.level == 0));
+        assert_eq!(st.max_level(), Some(0));
+        assert_eq!(st.level_histogram(), vec![2]);
+    }
+
+    #[test]
+    fn shared_variables_share_symbols() {
+        let p = prog();
+        let st = ChaseState::from_query(&p.queries[0], &p.catalog);
+        let c0 = &st.conjuncts[0];
+        let c1 = &st.conjuncts[1];
+        // Q(z) :- R(x, y, z), R(z, y, x): position 2 of c0 == position 0 of c1.
+        assert_eq!(c0.terms[2], c1.terms[0]);
+        assert_eq!(c0.terms[1], c1.terms[1]);
+        assert_eq!(st.summary(), &[c0.terms[2].clone()]);
+    }
+
+    #[test]
+    fn fresh_vars_extend_the_order() {
+        let p = prog();
+        let mut st = ChaseState::from_query(&p.queries[0], &p.catalog);
+        let before = st.num_vars();
+        let v = st.fresh_var(1, ConjId(0), 0, 1);
+        assert_eq!(v.index(), before);
+        assert!(matches!(
+            st.var_info(v).origin,
+            CVarOrigin::Created { attr: 1, level: 1, .. }
+        ));
+        // Encoded name mentions provenance.
+        assert!(st.var_info(v).name.contains("c0"));
+    }
+
+    #[test]
+    fn render() {
+        let p = prog();
+        let st = ChaseState::from_query(&p.queries[0], &p.catalog);
+        let s = st.render_conjunct(ConjId(0));
+        assert!(s.starts_with("R("), "{s}");
+        assert!(s.contains('z'), "{s}");
+    }
+}

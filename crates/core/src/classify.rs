@@ -1,0 +1,307 @@
+//! Classification of dependency sets — which decision procedure applies.
+//!
+//! The paper's positive results cover Σ that (i) consists entirely of
+//! INDs, or (ii) is **key-based**:
+//!
+//! > *(a) For a given relation R, the FDs `R: Z → A` all have the same
+//! > left-hand side `Z`, and every attribute `A` of relation `R` which is
+//! > not in `Z` is the right-hand side of some FD for `R`; and*
+//! >
+//! > *(b) each IND `R[X] ⊆ S[Y]` has its right-hand side `Y` contained in
+//! > the left-hand side of an FD for the relation `S`, and its left-hand
+//! > side `X` disjoint from the left-hand sides of the FDs for the
+//! > relation `R`.*
+//!
+//! Note (a) implies `Z` is a key for `R`. Mixed FD+IND sets outside these
+//! classes are classified [`SigmaClass::Mixed`]; for them the containment
+//! problem is open (and the related inference problem undecidable,
+//! Mitchell 1983), so the engine falls back to a sound semi-decision.
+
+use std::collections::HashMap;
+
+use cqchase_ir::{Catalog, DependencySet, RelId};
+
+/// The classes of Σ the engine distinguishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SigmaClass {
+    /// No dependencies: pure Chandra–Merlin containment.
+    Empty,
+    /// Only FDs: the classical finite chase decides containment.
+    FdsOnly,
+    /// Only INDs (paper case (i)); `width` is the maximum IND width `W`.
+    IndsOnly {
+        /// Maximum IND width.
+        width: usize,
+    },
+    /// Key-based FDs + INDs (paper case (ii)).
+    KeyBased {
+        /// Maximum IND width.
+        width: usize,
+        /// The key (common FD left-hand side) of each relation that has
+        /// FDs.
+        keys: HashMap<RelId, Vec<usize>>,
+    },
+    /// FDs and INDs together, but not key-based: only a semi-decision is
+    /// available.
+    Mixed,
+}
+
+impl SigmaClass {
+    /// Whether the Theorem 2 level bound certifies negative answers for
+    /// this class.
+    pub fn bound_is_certified(&self) -> bool {
+        !matches!(self, SigmaClass::Mixed)
+    }
+
+    /// Which chase discipline the paper uses for this class.
+    pub fn preferred_mode(&self) -> crate::chase::ChaseMode {
+        match self {
+            // INDs-only: the paper's certificate argument uses the
+            // O-chase; key-based (and everything else): the R-chase.
+            SigmaClass::IndsOnly { .. } => crate::chase::ChaseMode::Oblivious,
+            _ => crate::chase::ChaseMode::Required,
+        }
+    }
+}
+
+/// Explains why Σ is not key-based, or returns the per-relation keys if
+/// it is. (Only meaningful when Σ mixes FDs and INDs; callers normally go
+/// through [`classify`].)
+pub fn key_based_keys(
+    deps: &DependencySet,
+    catalog: &Catalog,
+) -> Result<HashMap<RelId, Vec<usize>>, String> {
+    let mut keys: HashMap<RelId, Vec<usize>> = HashMap::new();
+    // Condition (a).
+    for rel in catalog.rel_ids() {
+        let fds: Vec<_> = deps.fds_for(rel).collect();
+        if fds.is_empty() {
+            continue;
+        }
+        let z = fds[0].lhs.clone();
+        for fd in &fds {
+            if fd.lhs != z {
+                return Err(format!(
+                    "relation {} has FDs with different left-hand sides",
+                    catalog.name(rel)
+                ));
+            }
+        }
+        for col in 0..catalog.arity(rel) {
+            if !z.contains(&col) && !fds.iter().any(|fd| fd.rhs == col) {
+                return Err(format!(
+                    "attribute {} of {} is neither in the key nor determined by it",
+                    catalog.schema(rel).attribute(col),
+                    catalog.name(rel)
+                ));
+            }
+        }
+        keys.insert(rel, z);
+    }
+    // Condition (b).
+    for ind in deps.inds() {
+        match keys.get(&ind.rhs_rel) {
+            None => {
+                return Err(format!(
+                    "IND into {} whose target relation has no FDs (no key)",
+                    catalog.name(ind.rhs_rel)
+                ));
+            }
+            Some(key) => {
+                if !ind.rhs_cols.iter().all(|c| key.contains(c)) {
+                    return Err(format!(
+                        "IND right-hand side not contained in the key of {}",
+                        catalog.name(ind.rhs_rel)
+                    ));
+                }
+            }
+        }
+        if let Some(key) = keys.get(&ind.lhs_rel) {
+            if ind.lhs_cols.iter().any(|c| key.contains(c)) {
+                return Err(format!(
+                    "IND left-hand side intersects the key of {}",
+                    catalog.name(ind.lhs_rel)
+                ));
+            }
+        }
+    }
+    Ok(keys)
+}
+
+/// Classifies Σ.
+pub fn classify(deps: &DependencySet, catalog: &Catalog) -> SigmaClass {
+    let n_fds = deps.num_fds();
+    let n_inds = deps.num_inds();
+    if n_fds == 0 && n_inds == 0 {
+        return SigmaClass::Empty;
+    }
+    if n_inds == 0 {
+        return SigmaClass::FdsOnly;
+    }
+    let width = deps.max_ind_width();
+    if n_fds == 0 {
+        return SigmaClass::IndsOnly { width };
+    }
+    match key_based_keys(deps, catalog) {
+        Ok(keys) => SigmaClass::KeyBased { width, keys },
+        Err(_) => SigmaClass::Mixed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::ChaseMode;
+    use cqchase_ir::parse_program;
+
+    fn class_of(src: &str) -> SigmaClass {
+        let p = parse_program(src).unwrap();
+        classify(&p.deps, &p.catalog)
+    }
+
+    #[test]
+    fn empty_class() {
+        assert_eq!(class_of("relation R(a)."), SigmaClass::Empty);
+    }
+
+    #[test]
+    fn fds_only() {
+        assert_eq!(
+            class_of("relation R(a, b). fd R: a -> b."),
+            SigmaClass::FdsOnly
+        );
+    }
+
+    #[test]
+    fn inds_only_width() {
+        assert_eq!(
+            class_of(
+                "relation R(a, b, c). relation S(x, y, z).
+                 ind R[1, 2] <= S[2, 3]. ind S[1] <= R[1]."
+            ),
+            SigmaClass::IndsOnly { width: 2 }
+        );
+    }
+
+    #[test]
+    fn key_based_accepted() {
+        // EMP(eno, sal, dept) with key eno, DEP(dno, loc) with key dno,
+        // IND EMP[dept] ⊆ DEP[dno]: dept is non-key in EMP, dno is the
+        // key of DEP — textbook key-based.
+        let c = class_of(
+            "relation EMP(eno, sal, dept). relation DEP(dno, loc).
+             fd EMP: eno -> sal. fd EMP: eno -> dept.
+             fd DEP: dno -> loc.
+             ind EMP[dept] <= DEP[dno].",
+        );
+        match c {
+            SigmaClass::KeyBased { width, keys } => {
+                assert_eq!(width, 1);
+                assert_eq!(keys.len(), 2);
+            }
+            other => panic!("expected KeyBased, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn different_lhs_not_key_based() {
+        assert_eq!(
+            class_of(
+                "relation R(a, b, c).
+                 fd R: a -> b. fd R: b -> c.
+                 ind R[3] <= R[1]."
+            ),
+            SigmaClass::Mixed
+        );
+    }
+
+    #[test]
+    fn uncovered_attribute_not_key_based() {
+        // c is neither in the key {a} nor determined by it.
+        assert_eq!(
+            class_of(
+                "relation R(a, b, c). relation S(k, v).
+                 fd R: a -> b. fd S: k -> v.
+                 ind R[3] <= S[1]."
+            ),
+            SigmaClass::Mixed
+        );
+    }
+
+    #[test]
+    fn ind_into_keyless_relation_not_key_based() {
+        assert_eq!(
+            class_of(
+                "relation R(a, b). relation S(x, y).
+                 fd R: a -> b.
+                 ind R[2] <= S[1]."
+            ),
+            SigmaClass::Mixed
+        );
+    }
+
+    #[test]
+    fn ind_rhs_outside_key_not_key_based() {
+        assert_eq!(
+            class_of(
+                "relation R(a, b). relation S(k, v).
+                 fd R: a -> b. fd S: k -> v.
+                 ind R[2] <= S[2]." // v is not in S's key
+            ),
+            SigmaClass::Mixed
+        );
+    }
+
+    #[test]
+    fn ind_lhs_hits_own_key_not_key_based() {
+        // X must be disjoint from the key of R.
+        assert_eq!(
+            class_of(
+                "relation R(a, b). relation S(k, v).
+                 fd R: a -> b. fd S: k -> v.
+                 ind R[1] <= S[1]."
+            ),
+            SigmaClass::Mixed
+        );
+    }
+
+    #[test]
+    fn section4_sigma_is_key_based() {
+        // Σ = {R: {2} → 1, R[2] ⊆ R[1]}: key of R is {b}; a is determined;
+        // IND's Y = [a]… wait, Y must lie in the key {b}? Column 1 is `a`,
+        // not in the key — so this Σ is *not* key-based (which is exactly
+        // why the paper's finite counterexample can exist: Theorem 3(ii)
+        // would otherwise forbid it).
+        assert_eq!(
+            class_of(
+                "relation R(a, b).
+                 fd R: b -> a.
+                 ind R[2] <= R[1]."
+            ),
+            SigmaClass::Mixed
+        );
+    }
+
+    #[test]
+    fn wide_key_based() {
+        let c = class_of(
+            "relation F(k1, k2, p, q). relation G(g1, g2, w).
+             fd F: k1, k2 -> p. fd F: k1, k2 -> q.
+             fd G: g1, g2 -> w.
+             ind F[p, q] <= G[g1, g2].",
+        );
+        assert!(matches!(c, SigmaClass::KeyBased { width: 2, .. }), "{c:?}");
+    }
+
+    #[test]
+    fn preferred_modes() {
+        assert_eq!(
+            SigmaClass::IndsOnly { width: 1 }.preferred_mode(),
+            ChaseMode::Oblivious
+        );
+        assert_eq!(SigmaClass::Empty.preferred_mode(), ChaseMode::Required);
+        assert!(SigmaClass::Mixed.preferred_mode() == ChaseMode::Required);
+        assert!(!SigmaClass::Mixed.bound_is_certified());
+        assert!(SigmaClass::FdsOnly.bound_is_certified());
+    }
+}

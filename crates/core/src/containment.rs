@@ -1,0 +1,660 @@
+//! Deciding `Σ ⊨ Q ⊆∞ Q′` — the paper's Theorems 1 and 2 made effective.
+//!
+//! **Theorem 1.** `Σ ⊨ Q ⊆∞ Q′` iff there is a query homomorphism from
+//! `Q′` to `chase_Σ(Q)` (O- or R-chase). The chase may be infinite, so
+//! this alone is only semi-decidable.
+//!
+//! **Theorem 2.** When Σ consists of INDs only, or is key-based, a
+//! witness homomorphism (if any) lands within chase level
+//! `|Q′| · |Σ| · (W+1)^W`. We therefore expand the chase level by level
+//! (iterative deepening — positive answers return as early as possible)
+//! and declare non-containment once the bound is fully explored.
+//!
+//! For Σ = ∅ this degenerates to the Chandra–Merlin homomorphism test;
+//! for FDs-only, to the classical finite chase of Aho–Sagiv–Ullman /
+//! Maier–Mendelzon–Sagiv. For mixed non-key-based sets (open in the
+//! paper; the inference problem is undecidable, Mitchell 1983) the engine
+//! is a sound *semi-decision*: positive answers are exact, negative
+//! answers within a finite budget are flagged `exact = false`.
+
+use cqchase_ir::{validate, Catalog, ConjunctiveQuery, DependencySet, IrError};
+
+use crate::chase::{theorem2_bound, Chase, ChaseBudget, ChaseMode, ChaseStatus};
+use crate::classify::{classify, SigmaClass};
+use crate::hom::{find_chase_hom, Homomorphism};
+
+/// Options for one containment test.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContainmentOptions {
+    /// Chase discipline override (`None`: the paper's choice for the
+    /// class — O-chase for INDs-only, R-chase otherwise).
+    pub mode: Option<ChaseMode>,
+    /// Chase resource limits.
+    pub budget: ChaseBudgetOpt,
+}
+
+/// Budget wrapper so `ContainmentOptions` can derive `Default`.
+///
+/// The default is deliberately smaller than [`ChaseBudget::default`]:
+/// the containment loop performs a homomorphism search per chase level,
+/// so unbounded Mixed-class chases (which grow forever) must cut off
+/// after a few thousand steps rather than a million. Raise it explicitly
+/// for deep certified instances.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaseBudgetOpt(pub ChaseBudget);
+
+impl Default for ChaseBudgetOpt {
+    fn default() -> Self {
+        ChaseBudgetOpt(ChaseBudget {
+            max_steps: 4_000,
+            max_conjuncts: 20_000,
+        })
+    }
+}
+
+/// The outcome of a containment test.
+#[derive(Debug, Clone)]
+pub struct ContainmentAnswer {
+    /// Whether `Σ ⊨ Q ⊆∞ Q′` (see `exact` for the caveat).
+    pub contained: bool,
+    /// `true` when the answer is certified: positives always are;
+    /// negatives are certified when the class admits the Theorem 2 bound
+    /// and it was fully explored (or the chase completed). A `false` here
+    /// only happens for [`SigmaClass::Mixed`] negatives cut off by the
+    /// budget.
+    pub exact: bool,
+    /// The witness homomorphism `Q′ → chase_Σ(Q)` for positive answers.
+    /// `None` for positives that hold vacuously (the chase failed on an
+    /// FD constant clash, so `Q` is empty on every Σ-database).
+    pub witness: Option<Homomorphism>,
+    /// Whether the chase failed (vacuous containment).
+    pub empty_chase: bool,
+    /// The classification that selected the procedure.
+    pub class: SigmaClass,
+    /// The Theorem 2 level bound used (0 when not applicable).
+    pub bound: u32,
+    /// Highest chase level actually materialized.
+    pub levels_explored: u32,
+    /// Live conjuncts in the final (partial) chase.
+    pub chase_conjuncts: usize,
+    /// IND scheduling steps taken by the chase.
+    pub chase_steps: usize,
+}
+
+/// Ways a containment test can fail to produce an answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainmentEngineError {
+    /// Malformed input (e.g. output arity mismatch).
+    Ir(IrError),
+    /// A certified class ran out of budget before exploring the bound —
+    /// raise [`ContainmentOptions::budget`] to decide this instance.
+    BudgetExhausted {
+        /// The Theorem 2 bound that had to be explored.
+        bound: u32,
+        /// How far the chase got.
+        levels_explored: u32,
+        /// Chase size when the budget ran out.
+        chase_conjuncts: usize,
+    },
+}
+
+impl std::fmt::Display for ContainmentEngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainmentEngineError::Ir(e) => write!(f, "invalid input: {e}"),
+            ContainmentEngineError::BudgetExhausted {
+                bound,
+                levels_explored,
+                chase_conjuncts,
+            } => write!(
+                f,
+                "chase budget exhausted at level {levels_explored} of {bound} ({chase_conjuncts} conjuncts)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ContainmentEngineError {}
+
+impl From<IrError> for ContainmentEngineError {
+    fn from(e: IrError) -> Self {
+        ContainmentEngineError::Ir(e)
+    }
+}
+
+fn answer(
+    contained: bool,
+    exact: bool,
+    witness: Option<Homomorphism>,
+    empty_chase: bool,
+    class: SigmaClass,
+    bound: u32,
+    chase: &Chase,
+) -> ContainmentAnswer {
+    ContainmentAnswer {
+        contained,
+        exact,
+        witness,
+        empty_chase,
+        class,
+        bound,
+        levels_explored: chase.state().max_level().unwrap_or(0),
+        chase_conjuncts: chase.state().num_alive(),
+        chase_steps: chase.steps(),
+    }
+}
+
+/// Tests `Σ ⊨ Q ⊆∞ Q′`.
+///
+/// See the module docs for the per-class algorithm and the meaning of
+/// [`ContainmentAnswer::exact`].
+///
+/// ```
+/// use cqchase_core::{contained, ContainmentOptions};
+/// use cqchase_ir::parse_program;
+///
+/// let p = parse_program(
+///     "relation EMP(eno, sal, dept).
+///      relation DEP(dno, loc).
+///      ind EMP[dept] <= DEP[dno].
+///      Q1(e) :- EMP(e, s, d), DEP(d, l).
+///      Q2(e) :- EMP(e, s, d).",
+/// ).unwrap();
+/// let ans = contained(
+///     p.query("Q2").unwrap(), p.query("Q1").unwrap(),
+///     &p.deps, &p.catalog, &ContainmentOptions::default(),
+/// ).unwrap();
+/// assert!(ans.contained && ans.exact);
+/// ```
+pub fn contained(
+    q: &ConjunctiveQuery,
+    q_prime: &ConjunctiveQuery,
+    sigma: &DependencySet,
+    catalog: &Catalog,
+    opts: &ContainmentOptions,
+) -> Result<ContainmentAnswer, ContainmentEngineError> {
+    validate::validate_comparable(q, q_prime)?;
+    let class = classify(sigma, catalog);
+    let mode = opts.mode.unwrap_or_else(|| class.preferred_mode());
+    let budget = opts.budget.0;
+    let certified = class.bound_is_certified();
+    let bound = if certified {
+        match class {
+            SigmaClass::Empty => 0,
+            SigmaClass::FdsOnly => 0,
+            _ => theorem2_bound(q_prime, sigma),
+        }
+    } else {
+        u32::MAX
+    };
+
+    let mut chase = Chase::new(q, sigma, catalog, mode);
+    if chase.state().is_failed() {
+        // Q is unsatisfiable w.r.t. Σ: contained in everything.
+        return Ok(answer(true, true, None, true, class, bound, &chase));
+    }
+
+    // Iterative deepening over levels 0, 1, …, bound. Early levels are
+    // checked one by one (cheap, returns positives as soon as possible);
+    // past level 32 the homomorphism search runs every 8 levels — each
+    // check rebuilds a target of the chase's size, so per-level checking
+    // would make deep negatives quadratic in the chase.
+    let mut level: u32 = 0;
+    loop {
+        let status = chase.expand_to_level(level, budget);
+        match status {
+            ChaseStatus::Failed => {
+                return Ok(answer(true, true, None, true, class, bound, &chase));
+            }
+            ChaseStatus::Complete => {
+                // Finite chase: Theorem 1 decides outright.
+                let h = find_chase_hom(q_prime, chase.state(), u32::MAX);
+                let found = h.is_some();
+                return Ok(answer(found, true, h, false, class, bound, &chase));
+            }
+            ChaseStatus::LevelReached => {
+                let check = level <= 32 || level.is_multiple_of(8) || level >= bound;
+                if check {
+                    if let Some(h) = find_chase_hom(q_prime, chase.state(), level) {
+                        return Ok(answer(true, true, Some(h), false, class, bound, &chase));
+                    }
+                }
+                if level >= bound {
+                    // Bound fully explored without a witness.
+                    return Ok(answer(false, certified, None, false, class, bound, &chase));
+                }
+                level += 1;
+            }
+            ChaseStatus::BudgetExhausted => {
+                // One last look at whatever was built.
+                if let Some(h) = find_chase_hom(q_prime, chase.state(), u32::MAX) {
+                    return Ok(answer(true, true, Some(h), false, class, bound, &chase));
+                }
+                if certified {
+                    return Err(ContainmentEngineError::BudgetExhausted {
+                        bound,
+                        levels_explored: chase.state().max_level().unwrap_or(0),
+                        chase_conjuncts: chase.state().num_alive(),
+                    });
+                }
+                // Mixed semi-decision: inconclusive negative.
+                return Ok(answer(false, false, None, false, class, bound, &chase));
+            }
+        }
+    }
+}
+
+/// The outcome of an equivalence test: both containment answers.
+#[derive(Debug, Clone)]
+pub struct EquivalenceAnswer {
+    /// `Σ ⊨ Q ⊆∞ Q′`.
+    pub forward: ContainmentAnswer,
+    /// `Σ ⊨ Q′ ⊆∞ Q` (only computed when `forward` holds; otherwise a
+    /// copy of the failed direction is *not* present and this is `None`).
+    pub backward: Option<ContainmentAnswer>,
+}
+
+impl EquivalenceAnswer {
+    /// Whether the queries are equivalent under Σ.
+    pub fn equivalent(&self) -> bool {
+        self.forward.contained
+            && self
+                .backward
+                .as_ref()
+                .map(|b| b.contained)
+                .unwrap_or(false)
+    }
+
+    /// Whether both directions are certified.
+    pub fn exact(&self) -> bool {
+        self.forward.exact && self.backward.as_ref().map(|b| b.exact).unwrap_or(true)
+    }
+}
+
+/// Tests `Σ ⊨ Q ≡∞ Q′` (both containments; the second is skipped if the
+/// first already fails).
+pub fn equivalent(
+    q: &ConjunctiveQuery,
+    q_prime: &ConjunctiveQuery,
+    sigma: &DependencySet,
+    catalog: &Catalog,
+    opts: &ContainmentOptions,
+) -> Result<EquivalenceAnswer, ContainmentEngineError> {
+    let forward = contained(q, q_prime, sigma, catalog, opts)?;
+    if !forward.contained {
+        return Ok(EquivalenceAnswer {
+            forward,
+            backward: None,
+        });
+    }
+    let backward = contained(q_prime, q, sigma, catalog, opts)?;
+    Ok(EquivalenceAnswer {
+        forward,
+        backward: Some(backward),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqchase_ir::parse_program;
+
+    fn test_contained(src: &str, q: &str, qp: &str) -> ContainmentAnswer {
+        let p = parse_program(src).unwrap();
+        contained(
+            p.query(q).unwrap(),
+            p.query(qp).unwrap(),
+            &p.deps,
+            &p.catalog,
+            &ContainmentOptions::default(),
+        )
+        .unwrap()
+    }
+
+    const INTRO: &str = "
+        relation EMP(eno, sal, dept). relation DEP(dno, loc).
+        ind EMP[dept] <= DEP[dno].
+        Q1(e) :- EMP(e, s, d), DEP(d, l).
+        Q2(e) :- EMP(e, s, d).
+    ";
+
+    #[test]
+    fn intro_example_equivalence_under_ind() {
+        // With the IND, Q2 ⊆ Q1 (the chase supplies the DEP conjunct) and
+        // Q1 ⊆ Q2 trivially — the paper's opening example.
+        let fwd = test_contained(INTRO, "Q2", "Q1");
+        assert!(fwd.contained && fwd.exact);
+        assert!(fwd.witness.is_some());
+        let bwd = test_contained(INTRO, "Q1", "Q2");
+        assert!(bwd.contained && bwd.exact);
+    }
+
+    #[test]
+    fn intro_example_fails_without_ind() {
+        let src = "
+            relation EMP(eno, sal, dept). relation DEP(dno, loc).
+            Q1(e) :- EMP(e, s, d), DEP(d, l).
+            Q2(e) :- EMP(e, s, d).
+        ";
+        let fwd = test_contained(src, "Q2", "Q1");
+        assert!(!fwd.contained);
+        assert!(fwd.exact);
+        assert_eq!(fwd.class, SigmaClass::Empty);
+        let bwd = test_contained(src, "Q1", "Q2");
+        assert!(bwd.contained);
+    }
+
+    #[test]
+    fn equivalence_wrapper() {
+        let p = parse_program(INTRO).unwrap();
+        let eq = equivalent(
+            p.query("Q1").unwrap(),
+            p.query("Q2").unwrap(),
+            &p.deps,
+            &p.catalog,
+            &ContainmentOptions::default(),
+        )
+        .unwrap();
+        assert!(eq.equivalent());
+        assert!(eq.exact());
+    }
+
+    #[test]
+    fn chandra_merlin_no_deps() {
+        let a = test_contained(
+            "relation R(a, b).
+             Q(x) :- R(x, y), R(y, z).
+             Qp(x) :- R(x, y).",
+            "Q",
+            "Qp",
+        );
+        assert!(a.contained && a.exact);
+        assert_eq!(a.bound, 0);
+        assert_eq!(a.levels_explored, 0);
+    }
+
+    #[test]
+    fn fd_only_containment() {
+        // With R: a -> b, Q(x) :- R(x,y), R(x,z) collapses to one conjunct,
+        // so Q ≡ Qp.
+        let a = test_contained(
+            "relation R(a, b).
+             fd R: a -> b.
+             Q(x) :- R(x, y), R(x, z).
+             Qp(x) :- R(x, w).",
+            "Q",
+            "Qp",
+        );
+        assert!(a.contained);
+        // And Qp ⊆ Q also holds *with* the FD (both atoms map to R(x,w)).
+        let b = test_contained(
+            "relation R(a, b).
+             fd R: a -> b.
+             Q(x) :- R(x, y), R(x, z).
+             Qp(x) :- R(x, w).",
+            "Qp",
+            "Q",
+        );
+        assert!(b.contained);
+    }
+
+    #[test]
+    fn fd_clash_gives_vacuous_containment() {
+        let a = test_contained(
+            "relation R(a, b). relation S(a).
+             fd R: a -> b.
+             Q(x) :- R(x, 1), R(x, 2).
+             Qp(x) :- S(x).",
+            "Q",
+            "Qp",
+        );
+        assert!(a.contained && a.exact && a.empty_chase);
+        assert!(a.witness.is_none());
+    }
+
+    #[test]
+    fn inds_only_positive_needs_chase_depth() {
+        // Cyclic IND: Q(x) :- R(x, y) is contained in the 3-chain query
+        // because the chase unfolds R(y, n1), R(n1, n2).
+        let a = test_contained(
+            "relation R(a, b).
+             ind R[2] <= R[1].
+             Q(x) :- R(x, y).
+             Qp(x) :- R(x, y), R(y, z), R(z, w).",
+            "Q",
+            "Qp",
+        );
+        assert!(a.contained && a.exact);
+        let w = a.witness.unwrap();
+        assert_eq!(w.max_level, 2);
+        assert!(matches!(a.class, SigmaClass::IndsOnly { width: 1 }));
+    }
+
+    #[test]
+    fn inds_only_negative_certified_by_bound() {
+        // Q(x) :- R(x, y) vs Q'(x) :- R(y, x): the chase of Q never
+        // creates a conjunct with x in the second column.
+        let a = test_contained(
+            "relation R(a, b).
+             ind R[2] <= R[1].
+             Q(x) :- R(x, y).
+             Qp(x) :- R(y, x).",
+            "Q",
+            "Qp",
+        );
+        assert!(!a.contained);
+        assert!(a.exact, "negative must be certified for INDs-only");
+        // Bound explored: |Q'| · |Σ| · (W+1)^W = 1 · 1 · 2 = 2.
+        assert_eq!(a.bound, 2);
+        assert!(a.levels_explored >= 2);
+    }
+
+    #[test]
+    fn key_based_positive() {
+        let a = test_contained(
+            "relation EMP(eno, sal, dept). relation DEP(dno, loc).
+             fd EMP: eno -> sal. fd EMP: eno -> dept. fd DEP: dno -> loc.
+             ind EMP[dept] <= DEP[dno].
+             Q2(e) :- EMP(e, s, d).
+             Q1(e) :- EMP(e, s, d), DEP(d, l).",
+            "Q2",
+            "Q1",
+        );
+        assert!(a.contained && a.exact);
+        assert!(matches!(a.class, SigmaClass::KeyBased { .. }));
+    }
+
+    #[test]
+    fn key_based_fd_interaction() {
+        // Key-based FDs merge the two EMP atoms (same key value), making
+        // Q ⊆ Qp for a Qp requiring consistent attributes.
+        let a = test_contained(
+            "relation EMP(eno, sal, dept).
+             fd EMP: eno -> sal. fd EMP: eno -> dept.
+             Q(e) :- EMP(e, s, d), EMP(e, s2, d2).
+             Qp(e) :- EMP(e, s3, d3).",
+            "Q",
+            "Qp",
+        );
+        assert!(a.contained);
+    }
+
+    #[test]
+    fn mixed_positive_is_exact() {
+        // Section 4's Σ is Mixed. Q2 ⊆ Q1 still verifiable positively:
+        // hom Q1 → chase(Q2)... here test the trivial direction.
+        let a = test_contained(
+            "relation R(a, b).
+             fd R: b -> a. ind R[2] <= R[1].
+             Q2(x) :- R(x, y), R(yp, x).
+             Q1(x) :- R(x, y).",
+            "Q2",
+            "Q1",
+        );
+        assert!(a.contained && a.exact);
+        assert_eq!(a.class, SigmaClass::Mixed);
+    }
+
+    #[test]
+    fn mixed_negative_is_inexact() {
+        // The paper's finite counterexample: Σ ⊨ Q1 ⊆f Q2 holds finitely
+        // but NOT infinitely — the chase-based engine must keep saying
+        // "no hom" and, being Mixed, flags the negative as inexact.
+        let p = parse_program(
+            "relation R(a, b).
+             fd R: b -> a. ind R[2] <= R[1].
+             Q1(x) :- R(x, y).
+             Q2(x) :- R(x, y), R(yp, x).",
+        )
+        .unwrap();
+        let opts = ContainmentOptions {
+            budget: ChaseBudgetOpt(ChaseBudget {
+                max_steps: 500,
+                max_conjuncts: 500,
+            }),
+            ..Default::default()
+        };
+        let a = contained(
+            p.query("Q1").unwrap(),
+            p.query("Q2").unwrap(),
+            &p.deps,
+            &p.catalog,
+            &opts,
+        )
+        .unwrap();
+        assert!(!a.contained);
+        assert!(!a.exact, "Mixed negatives are semi-decisions");
+    }
+
+    #[test]
+    fn certified_budget_exhaustion_is_error() {
+        // INDs-only with a wide cyclic IND family explodes; a tiny budget
+        // must surface as an error, not a wrong negative.
+        let p = parse_program(
+            "relation R(a, b, c).
+             ind R[2, 3] <= R[1, 2]. ind R[3, 1] <= R[1, 2].
+             Q(x) :- R(x, y, z).
+             Qp(x) :- R(x, u, v), R(u, v, w), R(v, w, t), R(w, t, s).",
+        )
+        .unwrap();
+        let opts = ContainmentOptions {
+            budget: ChaseBudgetOpt(ChaseBudget {
+                max_steps: 5,
+                max_conjuncts: 5,
+            }),
+            ..Default::default()
+        };
+        let r = contained(
+            p.query("Q").unwrap(),
+            p.query("Qp").unwrap(),
+            &p.deps,
+            &p.catalog,
+            &opts,
+        );
+        assert!(matches!(
+            r,
+            Err(ContainmentEngineError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn output_arity_mismatch_rejected() {
+        let p = parse_program(
+            "relation R(a, b).
+             Q(x) :- R(x, y).
+             Qp(x, y2) :- R(x, y2).",
+        )
+        .unwrap();
+        let r = contained(
+            p.query("Q").unwrap(),
+            p.query("Qp").unwrap(),
+            &p.deps,
+            &p.catalog,
+            &ContainmentOptions::default(),
+        );
+        assert!(matches!(r, Err(ContainmentEngineError::Ir(_))));
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_transitive_sample() {
+        let src = "
+            relation R(a, b).
+            ind R[2] <= R[1].
+            A(x) :- R(x, y).
+            B(x) :- R(x, y), R(y, z).
+            C(x) :- R(x, y), R(y, z), R(z, w).
+        ";
+        for q in ["A", "B", "C"] {
+            let a = test_contained(src, q, q);
+            assert!(a.contained, "reflexivity for {q}");
+        }
+        // A ⊆ B ⊆ C and A ⊆ C (chase unfolds the chain).
+        assert!(test_contained(src, "A", "B").contained);
+        assert!(test_contained(src, "B", "C").contained);
+        assert!(test_contained(src, "A", "C").contained);
+        // Longer chains are contained in shorter ones trivially.
+        assert!(test_contained(src, "C", "A").contained);
+    }
+
+    #[test]
+    fn deep_witness_beyond_check_stride_is_found() {
+        // The hom search runs every 8 levels past level 32; a witness
+        // that only appears at level 35 must still be found (at the
+        // level-40 check, whose target contains all shallower levels).
+        let mut src = String::from(
+            "relation R(a, b). ind R[2] <= R[1].\nQ(x) :- R(x, y).\nQp(v0) :- ",
+        );
+        let n = 36;
+        for i in 0..n {
+            if i > 0 {
+                src.push_str(", ");
+            }
+            src.push_str(&format!("R(v{i}, v{})", i + 1));
+        }
+        src.push('.');
+        let p = parse_program(&src).unwrap();
+        let opts = ContainmentOptions {
+            budget: ChaseBudgetOpt(ChaseBudget {
+                max_steps: 10_000,
+                max_conjuncts: 10_000,
+            }),
+            ..Default::default()
+        };
+        let a = contained(
+            p.query("Q").unwrap(),
+            p.query("Qp").unwrap(),
+            &p.deps,
+            &p.catalog,
+            &opts,
+        )
+        .unwrap();
+        assert!(a.contained, "deep chain must be found despite the stride");
+        assert_eq!(a.witness.unwrap().max_level, 35);
+    }
+
+    #[test]
+    fn oblivious_and_required_agree() {
+        let p = parse_program(
+            "relation R(a, b). relation S(x, y).
+             ind R[2] <= S[1]. ind S[2] <= R[1].
+             Q(x) :- R(x, y).
+             Qp(x) :- R(x, y), S(y, z), R(z, w).",
+        )
+        .unwrap();
+        for mode in [ChaseMode::Oblivious, ChaseMode::Required] {
+            let opts = ContainmentOptions {
+                mode: Some(mode),
+                ..Default::default()
+            };
+            let a = contained(
+                p.query("Q").unwrap(),
+                p.query("Qp").unwrap(),
+                &p.deps,
+                &p.catalog,
+                &opts,
+            )
+            .unwrap();
+            assert!(a.contained, "{mode:?}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The symbol-travel constant `k_Σ` of Theorem 3.
+//!
+//! > *For any Σ satisfying (i) or (ii), there is a constant `k_Σ` such
+//! > that no symbol can occur in conjuncts at distinct levels `i` and `j`
+//! > unless `|i − j| ≤ k_Σ`.*
+//!
+//! * Key-based Σ: `k_Σ = 1` (Lemma 6 — symbols enter non-key columns and
+//!   can be passed on only into key columns, so they last two levels).
+//! * Width-1 IND sets: a symbol propagates one level per (relation,
+//!   column) it has not visited before in an R-chase, so the sum of the
+//!   arities of the relations occurring as IND right-hand sides bounds
+//!   the travel.
+
+use std::collections::BTreeSet;
+
+use cqchase_ir::{Catalog, DependencySet};
+
+use crate::classify::{classify, SigmaClass};
+
+/// Computes `k_Σ`, or `None` when Σ is in neither Theorem 3 class
+/// (finite controllability is then not guaranteed — see the Section 4
+/// counterexample).
+pub fn k_sigma(sigma: &DependencySet, catalog: &Catalog) -> Option<u32> {
+    match classify(sigma, catalog) {
+        SigmaClass::KeyBased { .. } => Some(1),
+        SigmaClass::Empty | SigmaClass::FdsOnly => Some(0),
+        SigmaClass::IndsOnly { width } if width <= 1 => {
+            let rhs_rels: BTreeSet<_> = sigma.inds().map(|i| i.rhs_rel).collect();
+            let total: usize = rhs_rels.iter().map(|&r| catalog.arity(r)).sum();
+            Some(total as u32)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqchase_ir::parse_program;
+
+    fn k(src: &str) -> Option<u32> {
+        let p = parse_program(src).unwrap();
+        k_sigma(&p.deps, &p.catalog)
+    }
+
+    #[test]
+    fn key_based_is_one() {
+        assert_eq!(
+            k("relation E(k, a). relation D(k2, b).
+               fd E: k -> a. fd D: k2 -> b.
+               ind E[2] <= D[1]."),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn width_one_inds_sum_arities() {
+        // RHS relations: R (arity 2) and S (arity 3) → k = 5.
+        assert_eq!(
+            k("relation R(a, b). relation S(x, y, z).
+               ind R[2] <= R[1]. ind R[1] <= S[2]. ind S[1] <= R[1]."),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn rhs_relation_counted_once() {
+        assert_eq!(
+            k("relation R(a, b).
+               ind R[2] <= R[1]. ind R[1] <= R[2]."),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn wide_inds_not_covered() {
+        assert_eq!(
+            k("relation R(a, b). relation S(x, y).
+               ind R[1, 2] <= S[1, 2]."),
+            None
+        );
+    }
+
+    #[test]
+    fn section4_sigma_not_covered() {
+        // Mixed (non-key-based) FD+IND: no k_Σ — exactly why the finite
+        // counterexample can exist.
+        assert_eq!(
+            k("relation R(a, b).
+               fd R: b -> a. ind R[2] <= R[1]."),
+            None
+        );
+    }
+
+    #[test]
+    fn degenerate_classes() {
+        assert_eq!(k("relation R(a)."), Some(0));
+        assert_eq!(k("relation R(a, b). fd R: a -> b."), Some(0));
+    }
+}

@@ -1,0 +1,21 @@
+//! Finite databases vs. all databases — the paper's Section 4.
+//!
+//! Containment over finite databases (`⊆f`) is implied by containment
+//! over all databases (`⊆∞`) but not conversely: the paper exhibits a
+//! one-FD-one-IND Σ separating them ([`counterexample`]). When the two
+//! notions coincide the problem is *finitely controllable*; Theorem 3
+//! proves this for key-based Σ and for width-1 IND sets, via a constant
+//! [`ksigma::k_sigma`] bounding how far a symbol can travel between
+//! levels and a finite query `Q*` ([`qstar`]) that mimics the infinite
+//! chase locally. [`empirical`] verifies finite-containment claims by
+//! exhaustive enumeration of small instances.
+
+pub mod counterexample;
+pub mod empirical;
+pub mod ksigma;
+pub mod qstar;
+
+pub use counterexample::{section4_example, Section4Example};
+pub use empirical::{finite_contained_exhaustive, FiniteCheckReport};
+pub use ksigma::k_sigma;
+pub use qstar::{build_qstar, QStar, QsTerm};

@@ -1,0 +1,508 @@
+//! Query homomorphisms — the decision primitive of Theorem 1.
+//!
+//! A *query homomorphism* from `Q′` to a target (another query, or a
+//! chase viewed as a query) is a symbol mapping that fixes constants,
+//! sends every conjunct of `Q′` onto a conjunct of the target, and maps
+//! the summary row of `Q′` onto the target's summary row.
+//!
+//! Both kinds of target are flattened into a [`HomTarget`] so one
+//! backtracking search serves Chandra–Merlin containment (Σ = ∅), the
+//! classical FD-chase test, and the bounded IND-chase test.
+
+use std::collections::BTreeSet;
+
+use cqchase_ir::{Catalog, ConjunctiveQuery, Constant, RelId, Term, VarId};
+
+use crate::chase::{CTerm, ChaseState, ConjId};
+
+/// A symbol of a homomorphism target: a constant or an abstract node
+/// (variable of the target query / chase symbol).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TSym {
+    /// A constant — homomorphisms must map constants to themselves.
+    Const(Constant),
+    /// An abstract target symbol, identified by an ordinal.
+    Node(u64),
+}
+
+/// One row (conjunct/tuple) of a homomorphism target.
+#[derive(Debug, Clone)]
+pub struct TargetRow {
+    /// The row's symbols, one per column.
+    pub syms: Vec<TSym>,
+    /// Caller-meaningful identifier (conjunct id for chases, atom index
+    /// for queries).
+    pub tag: u32,
+    /// Chase level of the row (0 for query targets).
+    pub level: u32,
+}
+
+/// A flattened homomorphism target: rows per relation plus the summary
+/// row the homomorphism must preserve.
+#[derive(Debug, Clone)]
+pub struct HomTarget {
+    rows: Vec<Vec<TargetRow>>,
+    summary: Vec<TSym>,
+}
+
+impl HomTarget {
+    /// Builds a target from a query: nodes are its variables, rows its
+    /// atoms, the summary its head.
+    pub fn from_query(q: &ConjunctiveQuery, catalog: &Catalog) -> HomTarget {
+        let conv = |t: &Term| match t {
+            Term::Const(c) => TSym::Const(c.clone()),
+            Term::Var(v) => TSym::Node(u64::from(v.0)),
+        };
+        let mut rows = vec![Vec::new(); catalog.len()];
+        for (i, a) in q.atoms.iter().enumerate() {
+            rows[a.relation.index()].push(TargetRow {
+                syms: a.terms.iter().map(conv).collect(),
+                tag: i as u32,
+                level: 0,
+            });
+        }
+        HomTarget {
+            rows,
+            summary: q.head.iter().map(conv).collect(),
+        }
+    }
+
+    /// Builds a target from a (partial) chase, keeping only live
+    /// conjuncts with level ≤ `max_level` (pass `u32::MAX` for all).
+    /// Nodes are chase symbols; the summary is the chase's (possibly
+    /// FD-rewritten) summary row.
+    pub fn from_chase(state: &ChaseState, max_level: u32) -> HomTarget {
+        let conv = |t: &CTerm| match t {
+            CTerm::Const(c) => TSym::Const(c.clone()),
+            CTerm::Var(v) => TSym::Node(u64::from(v.0)),
+        };
+        let mut rows = vec![Vec::new(); state.catalog().len()];
+        for (id, c) in state.alive_conjuncts() {
+            if c.level <= max_level {
+                rows[c.rel.index()].push(TargetRow {
+                    syms: c.terms.iter().map(conv).collect(),
+                    tag: id.0,
+                    level: c.level,
+                });
+            }
+        }
+        HomTarget {
+            rows,
+            summary: state.summary().iter().map(conv).collect(),
+        }
+    }
+
+    /// Assembles a target from pre-built rows (indexed by relation id)
+    /// and a summary row. Used by constructions that are neither queries
+    /// nor chases (e.g. the Theorem 3 `Q*`).
+    pub fn from_parts(rows: Vec<Vec<TargetRow>>, summary: Vec<TSym>) -> HomTarget {
+        HomTarget { rows, summary }
+    }
+
+    /// The target's summary row.
+    pub fn summary(&self) -> &[TSym] {
+        &self.summary
+    }
+
+    /// Rows of `rel`.
+    pub fn rows(&self, rel: RelId) -> &[TargetRow] {
+        &self.rows[rel.index()]
+    }
+
+    /// Total row count.
+    pub fn len(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the target has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A witness homomorphism from a source query into a target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Homomorphism {
+    /// Image of each source variable (indexed by `VarId`); `None` for
+    /// variables not occurring in the source's body or head.
+    pub var_images: Vec<Option<TSym>>,
+    /// For each source atom, the `tag` of the target row it maps onto.
+    pub atom_images: Vec<u32>,
+    /// Maximum target-row level used (the *witness level* of Theorem 2).
+    pub max_level: u32,
+}
+
+struct Search<'a> {
+    source: &'a ConjunctiveQuery,
+    target: &'a HomTarget,
+    bind: Vec<Option<TSym>>,
+    atom_rows: Vec<u32>,
+    atom_levels: Vec<u32>,
+}
+
+impl<'a> Search<'a> {
+    fn try_row(&mut self, atom_idx: usize, row: &TargetRow) -> Option<Vec<VarId>> {
+        let atom = &self.source.atoms[atom_idx];
+        let mut newly = Vec::new();
+        for (t, s) in atom.terms.iter().zip(row.syms.iter()) {
+            let ok = match t {
+                Term::Const(c) => matches!(s, TSym::Const(sc) if sc == c),
+                Term::Var(v) => match &self.bind[v.index()] {
+                    Some(b) => b == s,
+                    None => {
+                        self.bind[v.index()] = Some(s.clone());
+                        newly.push(*v);
+                        true
+                    }
+                },
+            };
+            if !ok {
+                for u in &newly {
+                    self.bind[u.index()] = None;
+                }
+                return None;
+            }
+        }
+        Some(newly)
+    }
+
+    fn solve(&mut self, order: &[usize], depth: usize) -> bool {
+        if depth == order.len() {
+            return true;
+        }
+        let atom_idx = order[depth];
+        let rel = self.source.atoms[atom_idx].relation;
+        let n_rows = self.target.rows(rel).len();
+        for r in 0..n_rows {
+            let row = &self.target.rows(rel)[r];
+            let (tag, level) = (row.tag, row.level);
+            // Clone the row terms out to appease the borrow checker; rows
+            // are short (relation arity).
+            let row = row.clone();
+            if let Some(newly) = self.try_row(atom_idx, &row) {
+                self.atom_rows[atom_idx] = tag;
+                self.atom_levels[atom_idx] = level;
+                if self.solve(order, depth + 1) {
+                    return true;
+                }
+                for u in newly {
+                    self.bind[u.index()] = None;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Greedy atom order: most bound symbols first, fewer candidate rows as
+/// tie-break.
+fn atom_order(q: &ConjunctiveQuery, target: &HomTarget, pre_bound: &[Option<TSym>]) -> Vec<usize> {
+    let n = q.atoms.len();
+    let mut order = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    let mut bound: BTreeSet<VarId> = pre_bound
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.is_some())
+        .map(|(i, _)| VarId(i as u32))
+        .collect();
+    for _ in 0..n {
+        let mut best: Option<(usize, usize, usize)> = None;
+        for (i, atom) in q.atoms.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let score = atom
+                .terms
+                .iter()
+                .filter(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                })
+                .count();
+            let size = target.rows(atom.relation).len();
+            let better = match best {
+                None => true,
+                Some((_, s, sz)) => score > s || (score == s && size < sz),
+            };
+            if better {
+                best = Some((i, score, size));
+            }
+        }
+        let (i, _, _) = best.expect("unused atom exists");
+        used[i] = true;
+        bound.extend(q.atoms[i].vars());
+        order.push(i);
+    }
+    order
+}
+
+/// Searches for a query homomorphism from `source` into `target` that
+/// maps the source's summary row onto the target's summary row.
+///
+/// Returns `None` when the output arities differ or no homomorphism
+/// exists.
+pub fn find_hom(source: &ConjunctiveQuery, target: &HomTarget) -> Option<Homomorphism> {
+    if source.head.len() != target.summary().len() {
+        return None;
+    }
+    let mut bind: Vec<Option<TSym>> = vec![None; source.vars.len()];
+    // Pre-bind from the summary constraint.
+    for (t, s) in source.head.iter().zip(target.summary().iter()) {
+        match t {
+            Term::Const(c) => {
+                if !matches!(s, TSym::Const(sc) if sc == c) {
+                    return None;
+                }
+            }
+            Term::Var(v) => match &bind[v.index()] {
+                Some(b) => {
+                    if b != s {
+                        return None;
+                    }
+                }
+                None => bind[v.index()] = Some(s.clone()),
+            },
+        }
+    }
+    let order = atom_order(source, target, &bind);
+    let mut search = Search {
+        source,
+        target,
+        bind,
+        atom_rows: vec![0; source.atoms.len()],
+        atom_levels: vec![0; source.atoms.len()],
+    };
+    if search.solve(&order, 0) {
+        Some(Homomorphism {
+            max_level: search.atom_levels.iter().copied().max().unwrap_or(0),
+            var_images: search.bind,
+            atom_images: search.atom_rows,
+        })
+    } else {
+        None
+    }
+}
+
+/// Chandra–Merlin containment primitive: a homomorphism `q_to → q_from`
+/// (note the direction: `Q ⊆ Q′` iff `Q′` maps into `Q`).
+pub fn find_query_hom(
+    from: &ConjunctiveQuery,
+    into: &ConjunctiveQuery,
+    catalog: &Catalog,
+) -> Option<Homomorphism> {
+    find_hom(from, &HomTarget::from_query(into, catalog))
+}
+
+/// Searches for a homomorphism into a (partial) chase truncated at
+/// `max_level`.
+pub fn find_chase_hom(
+    source: &ConjunctiveQuery,
+    state: &ChaseState,
+    max_level: u32,
+) -> Option<Homomorphism> {
+    find_hom(source, &HomTarget::from_chase(state, max_level))
+}
+
+/// Resolves a homomorphism's atom image tags back to chase conjunct ids.
+pub fn atom_images_as_conjuncts(h: &Homomorphism) -> Vec<ConjId> {
+    h.atom_images.iter().map(|&t| ConjId(t)).collect()
+}
+
+/// Renders a witness homomorphism `source → chase` as a human-readable
+/// certificate: one line per variable mapping and one per conjunct
+/// image. This is the "short proof" of Theorem 2's NP membership made
+/// printable.
+pub fn render_chase_witness(
+    h: &Homomorphism,
+    source: &ConjunctiveQuery,
+    state: &ChaseState,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "witness homomorphism (max level {}):", h.max_level);
+    for (i, img) in h.var_images.iter().enumerate() {
+        let Some(img) = img else { continue };
+        let name = source.vars.name(VarId(i as u32));
+        match img {
+            TSym::Const(c) => {
+                let _ = writeln!(out, "  {name} -> {c}");
+            }
+            TSym::Node(n) => {
+                let v = crate::chase::CVar(*n as u32);
+                let _ = writeln!(out, "  {name} -> {}", state.var_info(v).name);
+            }
+        }
+    }
+    for (i, &tag) in h.atom_images.iter().enumerate() {
+        let id = ConjId(tag);
+        let _ = writeln!(
+            out,
+            "  atom {} -> [{}] {} (level {})",
+            i,
+            tag,
+            state.render_conjunct(id),
+            state.conjunct(id).level
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqchase_ir::parse_program;
+
+    #[test]
+    fn identity_hom_exists() {
+        let p = parse_program("relation R(a, b). Q(x) :- R(x, y), R(y, x).").unwrap();
+        let q = &p.queries[0];
+        let h = find_query_hom(q, q, &p.catalog).unwrap();
+        assert_eq!(h.atom_images.len(), 2);
+        assert_eq!(h.max_level, 0);
+    }
+
+    #[test]
+    fn chandra_merlin_direction() {
+        // Q ⊆ Q′ without dependencies iff hom Q′ → Q.
+        // Q(x) :- R(x, y), R(y, z)  is contained in  Q′(x) :- R(x, y).
+        let p = parse_program(
+            "relation R(a, b).
+             Q(x) :- R(x, y), R(y, z).
+             Qp(x) :- R(x, w).",
+        )
+        .unwrap();
+        let q = p.query("Q").unwrap();
+        let qp = p.query("Qp").unwrap();
+        assert!(find_query_hom(qp, q, &p.catalog).is_some());
+        assert!(find_query_hom(q, qp, &p.catalog).is_none());
+    }
+
+    #[test]
+    fn summary_must_be_preserved() {
+        // Both queries have a body hom, but the summary rows must align:
+        // Q(x) :- R(x, y) and Qy(y) :- R(x, y) are incomparable.
+        let p = parse_program(
+            "relation R(a, b).
+             Q(x) :- R(x, y).
+             Qy(y2) :- R(x2, y2).",
+        )
+        .unwrap();
+        let q = p.query("Q").unwrap();
+        let qy = p.query("Qy").unwrap();
+        assert!(find_query_hom(q, qy, &p.catalog).is_none());
+        assert!(find_query_hom(qy, q, &p.catalog).is_none());
+    }
+
+    #[test]
+    fn constants_fixed() {
+        let p = parse_program(
+            "relation R(a, b).
+             Q1(x) :- R(x, 1).
+             Q2(x) :- R(x, y).",
+        )
+        .unwrap();
+        let q1 = p.query("Q1").unwrap();
+        let q2 = p.query("Q2").unwrap();
+        // Q1 ⊆ Q2: map y ↦ 1.
+        assert!(find_query_hom(q2, q1, &p.catalog).is_some());
+        // Q2 ⊄ Q1: constant 1 has no preimage.
+        assert!(find_query_hom(q1, q2, &p.catalog).is_none());
+    }
+
+    #[test]
+    fn repeated_vars_constrain() {
+        let p = parse_program(
+            "relation R(a, b).
+             Qxx(x) :- R(x, x).
+             Qxy(x) :- R(x, y).",
+        )
+        .unwrap();
+        let qxx = p.query("Qxx").unwrap();
+        let qxy = p.query("Qxy").unwrap();
+        // R(x,x) ⊆ R(x,y): hom sends y ↦ x.
+        assert!(find_query_hom(qxy, qxx, &p.catalog).is_some());
+        assert!(find_query_hom(qxx, qxy, &p.catalog).is_none());
+    }
+
+    #[test]
+    fn hom_into_chase_levels() {
+        use crate::chase::{Chase, ChaseBudget, ChaseMode};
+        let p = parse_program(
+            "relation R(a, b).
+             ind R[2] <= R[1].
+             Q(x) :- R(x, y).
+             Qp(x) :- R(x, y), R(y, z).",
+        )
+        .unwrap();
+        let mut ch = Chase::new(p.query("Q").unwrap(), &p.deps, &p.catalog, ChaseMode::Required);
+        ch.expand_to_level(3, ChaseBudget::default());
+        let qp = p.query("Qp").unwrap();
+        // At level 0 only R(x, y) exists: no hom for the 2-chain.
+        assert!(find_chase_hom(qp, ch.state(), 0).is_none());
+        // With level 1 the chase has R(y, n): the chain maps.
+        let h = find_chase_hom(qp, ch.state(), 1).unwrap();
+        assert_eq!(h.max_level, 1);
+    }
+
+    #[test]
+    fn witness_renders() {
+        use crate::chase::{Chase, ChaseBudget, ChaseMode};
+        let p = parse_program(
+            "relation R(a, b).
+             ind R[2] <= R[1].
+             Q(x) :- R(x, y).
+             Qp(x) :- R(x, y), R(y, z).",
+        )
+        .unwrap();
+        let mut ch = Chase::new(p.query("Q").unwrap(), &p.deps, &p.catalog, ChaseMode::Required);
+        ch.expand_to_level(2, ChaseBudget::default());
+        let qp = p.query("Qp").unwrap();
+        let h = find_chase_hom(qp, ch.state(), 2).unwrap();
+        let text = render_chase_witness(&h, qp, ch.state());
+        assert!(text.contains("max level 1"), "{text}");
+        assert!(text.contains("atom 0"), "{text}");
+        assert!(text.contains("atom 1"), "{text}");
+        assert!(text.contains("x ->"), "{text}");
+    }
+
+    #[test]
+    fn boolean_source() {
+        let p = parse_program(
+            "relation R(a, b).
+             B() :- R(x, x).
+             Q() :- R(u, v).",
+        )
+        .unwrap();
+        let b = p.query("B").unwrap();
+        let q = p.query("Q").unwrap();
+        // Q ⊆ B is false (hom B → Q needs R(x,x) image); B ⊆ Q is true.
+        assert!(find_query_hom(b, q, &p.catalog).is_none());
+        assert!(find_query_hom(q, b, &p.catalog).is_some());
+    }
+
+    #[test]
+    fn arity_mismatch_is_none() {
+        let p = parse_program(
+            "relation R(a, b).
+             Q1(x) :- R(x, y).
+             Q2(x, y2) :- R(x, y2).",
+        )
+        .unwrap();
+        assert!(find_query_hom(p.query("Q1").unwrap(), p.query("Q2").unwrap(), &p.catalog).is_none());
+    }
+
+    #[test]
+    fn empty_target_no_hom() {
+        let p = parse_program(
+            "relation R(a, b). relation S(a).
+             Q(x) :- R(x, y).
+             Qs(x) :- R(x, y), S(x).",
+        )
+        .unwrap();
+        // Qs needs an S row; Q's target has none.
+        assert!(
+            find_query_hom(p.query("Qs").unwrap(), p.query("Q").unwrap(), &p.catalog).is_none()
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! FD implication via attribute-set closure.
+//!
+//! The classical polynomial-time procedure: `Σ ⊨ R: Z → A` iff
+//! `A ∈ closure_Σ(Z)` where the closure repeatedly fires FDs whose
+//! left-hand sides are covered. The paper cites this as the easy
+//! counterpoint to IND inference (PSPACE-complete) and FD+IND inference
+//! (undecidable).
+
+use std::collections::BTreeSet;
+
+use cqchase_ir::{Catalog, DependencySet, Fd, RelId};
+
+/// The closure of `attrs` under the FDs of Σ that constrain `rel`.
+pub fn attribute_closure(
+    sigma: &DependencySet,
+    rel: RelId,
+    attrs: &[usize],
+) -> BTreeSet<usize> {
+    let fds: Vec<&Fd> = sigma.fds_for(rel).collect();
+    let mut closure: BTreeSet<usize> = attrs.iter().copied().collect();
+    loop {
+        let mut grew = false;
+        for fd in &fds {
+            if !closure.contains(&fd.rhs) && fd.lhs.iter().all(|a| closure.contains(a)) {
+                closure.insert(fd.rhs);
+                grew = true;
+            }
+        }
+        if !grew {
+            return closure;
+        }
+    }
+}
+
+/// Whether `Σ ⊨ fd` (FDs of Σ only; INDs do not interact in this
+/// fragment).
+pub fn implies_fd(sigma: &DependencySet, fd: &Fd) -> bool {
+    attribute_closure(sigma, fd.relation, &fd.lhs).contains(&fd.rhs)
+}
+
+/// Whether `attrs` is a superkey of `rel` under Σ's FDs.
+pub fn is_superkey(sigma: &DependencySet, catalog: &Catalog, rel: RelId, attrs: &[usize]) -> bool {
+    let closure = attribute_closure(sigma, rel, attrs);
+    (0..catalog.arity(rel)).all(|c| closure.contains(&c))
+}
+
+/// All candidate keys (minimal superkeys) of `rel` under Σ's FDs, each
+/// sorted ascending; the list is sorted by (size, lexicographic).
+///
+/// Exhaustive over attribute subsets, so callers should keep arities
+/// modest (the enumeration is `2^arity`; we refuse above 16 columns).
+pub fn candidate_keys(
+    sigma: &DependencySet,
+    catalog: &Catalog,
+    rel: RelId,
+) -> Option<Vec<Vec<usize>>> {
+    let arity = catalog.arity(rel);
+    if arity > 16 {
+        return None;
+    }
+    if arity == 0 {
+        return Some(vec![vec![]]);
+    }
+    let mut keys: Vec<Vec<usize>> = Vec::new();
+    // Enumerate subsets in increasing popcount so minimality is a simple
+    // superset check against already-found keys.
+    let mut masks: Vec<u32> = (0u32..(1 << arity)).collect();
+    masks.sort_by_key(|m| m.count_ones());
+    for mask in masks {
+        let attrs: Vec<usize> = (0..arity).filter(|c| mask & (1 << c) != 0).collect();
+        if keys
+            .iter()
+            .any(|k| k.iter().all(|c| attrs.contains(c)))
+        {
+            continue; // superset of a known key
+        }
+        if is_superkey(sigma, catalog, rel, &attrs) {
+            keys.push(attrs);
+        }
+    }
+    keys.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    Some(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqchase_ir::parse_program;
+
+    fn setup() -> (cqchase_ir::Catalog, DependencySet, RelId) {
+        let p = parse_program(
+            "relation R(a, b, c, d).
+             fd R: a -> b. fd R: b -> c.",
+        )
+        .unwrap();
+        let rel = p.catalog.resolve("R").unwrap();
+        (p.catalog, p.deps, rel)
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let (_, sigma, r) = setup();
+        let cl = attribute_closure(&sigma, r, &[0]);
+        assert_eq!(cl.into_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn implies_transitively() {
+        let (_, sigma, r) = setup();
+        assert!(implies_fd(&sigma, &Fd::new(r, vec![0], 2)));
+        assert!(!implies_fd(&sigma, &Fd::new(r, vec![0], 3)));
+        assert!(!implies_fd(&sigma, &Fd::new(r, vec![1], 0)));
+        // Trivial FDs are implied (rhs in closure of lhs immediately).
+        assert!(implies_fd(&sigma, &Fd::new(r, vec![2, 3], 3)));
+    }
+
+    #[test]
+    fn superkey_check() {
+        let (cat, sigma, r) = setup();
+        assert!(is_superkey(&sigma, &cat, r, &[0, 3]));
+        assert!(!is_superkey(&sigma, &cat, r, &[0]));
+        assert!(is_superkey(&sigma, &cat, r, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn composite_lhs_fires_only_when_covered() {
+        let p = parse_program(
+            "relation S(x, y, z).
+             fd S: x, y -> z.",
+        )
+        .unwrap();
+        let s = p.catalog.resolve("S").unwrap();
+        assert_eq!(attribute_closure(&p.deps, s, &[0]).len(), 1);
+        assert_eq!(attribute_closure(&p.deps, s, &[0, 1]).len(), 3);
+    }
+
+    #[test]
+    fn candidate_keys_basic() {
+        let (cat, sigma, r) = setup();
+        // R(a,b,c,d) with a→b, b→c: every key must include a and d.
+        let keys = candidate_keys(&sigma, &cat, r).unwrap();
+        assert_eq!(keys, vec![vec![0, 3]]);
+    }
+
+    #[test]
+    fn candidate_keys_multiple() {
+        let p = parse_program(
+            "relation R(a, b).
+             fd R: a -> b. fd R: b -> a.",
+        )
+        .unwrap();
+        let r = p.catalog.resolve("R").unwrap();
+        let keys = candidate_keys(&p.deps, &p.catalog, r).unwrap();
+        assert_eq!(keys, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn candidate_keys_no_fds() {
+        let p = parse_program("relation R(a, b).").unwrap();
+        let r = p.catalog.resolve("R").unwrap();
+        let keys = candidate_keys(&p.deps, &p.catalog, r).unwrap();
+        assert_eq!(keys, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn other_relations_ignored() {
+        let p = parse_program(
+            "relation R(a, b). relation S(a, b).
+             fd S: a -> b.",
+        )
+        .unwrap();
+        let r = p.catalog.resolve("R").unwrap();
+        assert!(!implies_fd(&p.deps, &Fd::new(r, vec![0], 1)));
+    }
+}

@@ -1,0 +1,271 @@
+//! The Casanova–Fagin–Papadimitriou axiomatization of IND implication.
+//!
+//! Three rules are sound and complete for (finite and unrestricted)
+//! implication of INDs by INDs (CFP, cited as \[3\] in the paper):
+//!
+//! 1. **Reflexivity**: `R[X] ⊆ R[X]` for any sequence `X` of distinct
+//!    attributes;
+//! 2. **Projection & permutation**: from `R[A₁…Aₘ] ⊆ S[B₁…Bₘ]` derive
+//!    `R[A_{i₁}…A_{iₖ}] ⊆ S[B_{i₁}…B_{iₖ}]` for any sequence of distinct
+//!    indices `i₁…iₖ`;
+//! 3. **Transitivity**: from `R[X] ⊆ S[Y]` and `S[Y] ⊆ T[Z]` derive
+//!    `R[X] ⊆ T[Z]`.
+//!
+//! Since projection never widens an IND and transitivity preserves width,
+//! every derivation for a goal of width `k` stays within the width of the
+//! widest premise, so forward saturation over the finite IND universe
+//! decides implication. The universe is exponential in relation arity
+//! (this is where PSPACE-hardness lives), so saturation carries a step
+//! budget.
+
+use std::collections::{HashSet, VecDeque};
+
+use cqchase_ir::{DependencySet, Ind};
+
+/// Result of saturating a set of INDs under the CFP rules.
+#[derive(Debug, Clone)]
+pub struct IndSaturation {
+    /// Every derivable IND up to the premise width (projection-closed).
+    pub derived: HashSet<Ind>,
+    /// Rule applications performed.
+    pub steps: usize,
+    /// Whether saturation finished (false: budget hit; `derived` is a
+    /// sound under-approximation).
+    pub complete: bool,
+}
+
+/// All projection/permutation images of `ind` (every sequence of distinct
+/// index positions), including `ind` itself.
+fn projections(ind: &Ind, out: &mut Vec<Ind>) {
+    let m = ind.width();
+    // Enumerate all non-empty sequences of distinct indices of length ≤ m
+    // via DFS.
+    let mut stack: Vec<Vec<usize>> = (0..m).map(|i| vec![i]).collect();
+    while let Some(seq) = stack.pop() {
+        let proj = Ind::new(
+            ind.lhs_rel,
+            seq.iter().map(|&i| ind.lhs_cols[i]).collect(),
+            ind.rhs_rel,
+            seq.iter().map(|&i| ind.rhs_cols[i]).collect(),
+        );
+        out.push(proj);
+        for i in 0..m {
+            if !seq.contains(&i) {
+                let mut next = seq.clone();
+                next.push(i);
+                stack.push(next);
+            }
+        }
+    }
+}
+
+/// Saturates Σ's INDs under projection/permutation and transitivity.
+/// `max_steps` bounds rule applications (the space is exponential in
+/// arity).
+pub fn saturate_inds(sigma: &DependencySet, max_steps: usize) -> IndSaturation {
+    let mut derived: HashSet<Ind> = HashSet::new();
+    let mut queue: VecDeque<Ind> = VecDeque::new();
+    let mut steps = 0usize;
+    let push = |ind: Ind, derived: &mut HashSet<Ind>, queue: &mut VecDeque<Ind>| {
+        if !derived.contains(&ind) {
+            derived.insert(ind.clone());
+            queue.push_back(ind);
+        }
+    };
+    for ind in sigma.inds() {
+        let mut projs = Vec::new();
+        projections(ind, &mut projs);
+        for p in projs {
+            push(p, &mut derived, &mut queue);
+        }
+    }
+    let mut complete = true;
+    'outer: while let Some(ind) = queue.pop_front() {
+        // Transitivity in both directions against everything derived.
+        let partners: Vec<Ind> = derived.iter().cloned().collect();
+        for other in partners {
+            steps += 1;
+            if steps > max_steps {
+                complete = false;
+                break 'outer;
+            }
+            // ind ∘ other: ind: R[X] ⊆ S[Y], other: S[Y] ⊆ T[Z].
+            if ind.rhs_rel == other.lhs_rel && ind.rhs_cols == other.lhs_cols {
+                push(
+                    Ind::new(
+                        ind.lhs_rel,
+                        ind.lhs_cols.clone(),
+                        other.rhs_rel,
+                        other.rhs_cols.clone(),
+                    ),
+                    &mut derived,
+                    &mut queue,
+                );
+            }
+            // other ∘ ind.
+            if other.rhs_rel == ind.lhs_rel && other.rhs_cols == ind.lhs_cols {
+                push(
+                    Ind::new(
+                        other.lhs_rel,
+                        other.lhs_cols.clone(),
+                        ind.rhs_rel,
+                        ind.rhs_cols.clone(),
+                    ),
+                    &mut derived,
+                    &mut queue,
+                );
+            }
+        }
+    }
+    IndSaturation {
+        derived,
+        steps,
+        complete,
+    }
+}
+
+/// Whether `Σ ⊢ goal` in the CFP proof system (hence `Σ ⊨ goal` for both
+/// finite and unrestricted databases).
+///
+/// Returns `None` if the saturation budget is exhausted before the goal
+/// is derived (unknown); `Some(true/false)` otherwise.
+pub fn implies_ind_axiomatic(
+    sigma: &DependencySet,
+    goal: &Ind,
+    max_steps: usize,
+) -> Option<bool> {
+    // Reflexivity handles R[X] ⊆ R[X] goals outright.
+    if goal.is_trivial() {
+        return Some(true);
+    }
+    let sat = saturate_inds(sigma, max_steps);
+    if sat.derived.contains(goal) {
+        return Some(true);
+    }
+    if sat.complete {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqchase_ir::parse_program;
+
+    fn goal(p: &cqchase_ir::Program, l: &str, lc: Vec<usize>, r: &str, rc: Vec<usize>) -> Ind {
+        Ind::new(
+            p.catalog.resolve(l).unwrap(),
+            lc,
+            p.catalog.resolve(r).unwrap(),
+            rc,
+        )
+    }
+
+    #[test]
+    fn transitivity_chain() {
+        let p = parse_program(
+            "relation R(a). relation S(a). relation T(a).
+             ind R[1] <= S[1]. ind S[1] <= T[1].",
+        )
+        .unwrap();
+        let g = goal(&p, "R", vec![0], "T", vec![0]);
+        assert_eq!(implies_ind_axiomatic(&p.deps, &g, 100_000), Some(true));
+        let not = goal(&p, "T", vec![0], "R", vec![0]);
+        assert_eq!(implies_ind_axiomatic(&p.deps, &not, 100_000), Some(false));
+    }
+
+    #[test]
+    fn projection_and_permutation() {
+        let p = parse_program(
+            "relation R(a, b, c). relation S(x, y, z).
+             ind R[1, 2, 3] <= S[1, 2, 3].",
+        )
+        .unwrap();
+        // Projection: R[1] ⊆ S[1].
+        assert_eq!(
+            implies_ind_axiomatic(&p.deps, &goal(&p, "R", vec![0], "S", vec![0]), 100_000),
+            Some(true)
+        );
+        // Permutation: R[3, 1] ⊆ S[3, 1].
+        assert_eq!(
+            implies_ind_axiomatic(&p.deps, &goal(&p, "R", vec![2, 0], "S", vec![2, 0]), 100_000),
+            Some(true)
+        );
+        // But not a *re-pairing*: R[1] ⊆ S[2] is not derivable.
+        assert_eq!(
+            implies_ind_axiomatic(&p.deps, &goal(&p, "R", vec![0], "S", vec![1]), 100_000),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn reflexivity() {
+        let p = parse_program("relation R(a, b).").unwrap();
+        assert_eq!(
+            implies_ind_axiomatic(&p.deps, &goal(&p, "R", vec![0, 1], "R", vec![0, 1]), 10),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn projection_then_transitivity() {
+        // R[1,2] ⊆ S[1,2] and S[1] ⊆ T[1] give R[1] ⊆ T[1] only via a
+        // projection first.
+        let p = parse_program(
+            "relation R(a, b). relation S(x, y). relation T(u).
+             ind R[1, 2] <= S[1, 2]. ind S[1] <= T[1].",
+        )
+        .unwrap();
+        assert_eq!(
+            implies_ind_axiomatic(&p.deps, &goal(&p, "R", vec![0], "T", vec![0]), 100_000),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn cyclic_inds_saturate() {
+        let p = parse_program(
+            "relation R(a, b).
+             ind R[2] <= R[1].",
+        )
+        .unwrap();
+        // R[2] ⊆ R[1] does NOT give R[1] ⊆ R[2].
+        assert_eq!(
+            implies_ind_axiomatic(&p.deps, &goal(&p, "R", vec![0], "R", vec![1]), 100_000),
+            Some(false)
+        );
+        // Composing the IND with itself stays R[2] ⊆ R[1] (no new facts).
+        let sat = saturate_inds(&p.deps, 100_000);
+        assert!(sat.complete);
+        assert_eq!(sat.derived.len(), 1);
+    }
+
+    #[test]
+    fn budget_returns_unknown() {
+        let p = parse_program(
+            "relation A(a). relation B(a). relation C(a).
+             ind A[1] <= B[1]. ind B[1] <= C[1].",
+        )
+        .unwrap();
+        let g = goal(&p, "A", vec![0], "C", vec![0]);
+        assert_eq!(implies_ind_axiomatic(&p.deps, &g, 0), None);
+    }
+
+    #[test]
+    fn projections_count() {
+        // A width-2 IND has 1 (itself as [0,1]) + [1,0] + [0] + [1] = 4
+        // projection images.
+        let p = parse_program(
+            "relation R(a, b). relation S(x, y).
+             ind R[1, 2] <= S[1, 2].",
+        )
+        .unwrap();
+        let ind = p.deps.inds().next().unwrap();
+        let mut out = Vec::new();
+        projections(ind, &mut out);
+        let set: HashSet<Ind> = out.into_iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+}

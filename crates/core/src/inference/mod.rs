@@ -1,0 +1,18 @@
+//! Dependency inference.
+//!
+//! * [`fd_closure`] — Armstrong-style attribute-set closure for FDs
+//!   (polynomial; the paper contrasts this with the IND case);
+//! * [`ind_axioms`] — the Casanova–Fagin–Papadimitriou proof system for
+//!   INDs (reflexivity, projection & permutation, transitivity), complete
+//!   for IND implication and PSPACE-complete in general;
+//! * [`reduction`] — Corollary 2.3's embedding of IND inference into
+//!   conjunctive-query containment, giving a second, chase-based decision
+//!   procedure the experiments cross-check against the axiomatic one.
+
+pub mod fd_closure;
+pub mod ind_axioms;
+pub mod reduction;
+
+pub use fd_closure::{attribute_closure, candidate_keys, implies_fd, is_superkey};
+pub use ind_axioms::{implies_ind_axiomatic, saturate_inds, IndSaturation};
+pub use reduction::{implies_fd_via_chase, implies_ind_via_chase, ind_inference_queries};

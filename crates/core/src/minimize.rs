@@ -1,0 +1,251 @@
+//! Conjunct minimization under dependencies.
+//!
+//! The paper reduces non-minimality to containment: a query is
+//! *non-minimal* when some proper subquery (same summary row, fewer
+//! conjuncts) is Σ-equivalent to it. Because dropping conjuncts can only
+//! enlarge the answer (`Q ⊆∞ Q\{c}` always holds, by the identity
+//! homomorphism), checking `Σ ⊨ Q\{c} ⊆∞ Q` suffices.
+//!
+//! [`minimize`] deletes conjuncts greedily until no single deletion
+//! preserves equivalence. For Σ = ∅ this yields the Chandra–Merlin core
+//! (unique up to isomorphism); under dependencies it yields a minimal
+//! *subquery*, the notion the paper's Section 1 motivates (e.g. the
+//! intro's `Q1` loses its `DEP` conjunct under the foreign-key IND).
+
+use cqchase_ir::{Catalog, ConjunctiveQuery, DependencySet};
+
+use crate::containment::{contained, ContainmentEngineError, ContainmentOptions};
+
+/// The result of minimizing a query.
+#[derive(Debug, Clone)]
+pub struct MinimizeResult {
+    /// The minimized query (a subquery of the input).
+    pub query: ConjunctiveQuery,
+    /// Indices (into the *original* atom list) of deleted conjuncts.
+    pub removed: Vec<usize>,
+    /// Whether every deletion decision was certified (see
+    /// [`crate::containment::ContainmentAnswer::exact`]). With an inexact
+    /// step the result is still a sound equivalent query, but might not
+    /// be minimal.
+    pub exact: bool,
+}
+
+/// Minimizes `q` under Σ by greedy conjunct deletion.
+///
+/// ```
+/// use cqchase_core::{minimize, ContainmentOptions};
+/// use cqchase_ir::parse_program;
+///
+/// let p = parse_program(
+///     "relation EMP(eno, sal, dept).
+///      relation DEP(dno, loc).
+///      ind EMP[dept] <= DEP[dno].
+///      Q1(e) :- EMP(e, s, d), DEP(d, l).",
+/// ).unwrap();
+/// let m = minimize(
+///     p.query("Q1").unwrap(), &p.deps, &p.catalog,
+///     &ContainmentOptions::default(),
+/// ).unwrap();
+/// assert_eq!(m.query.num_atoms(), 1); // the DEP join was free
+/// ```
+pub fn minimize(
+    q: &ConjunctiveQuery,
+    sigma: &DependencySet,
+    catalog: &Catalog,
+    opts: &ContainmentOptions,
+) -> Result<MinimizeResult, ContainmentEngineError> {
+    let mut current = q.clone();
+    // Position i of `origin` = original index of current atom i.
+    let mut origin: Vec<usize> = (0..q.atoms.len()).collect();
+    let mut removed = Vec::new();
+    let mut exact = true;
+    let mut i = 0;
+    while i < current.atoms.len() {
+        if current.atoms.len() == 1 {
+            break; // a single-conjunct body cannot shrink (queries need a body)
+        }
+        let candidate = current.without_atom(i);
+        let ans = contained(&candidate, &current, sigma, catalog, opts)?;
+        exact &= ans.exact || ans.contained;
+        if ans.contained {
+            removed.push(origin[i]);
+            origin.remove(i);
+            current = candidate;
+            // Restart from the front: removing an atom can unlock earlier
+            // deletions under dependencies.
+            i = 0;
+        } else {
+            i += 1;
+        }
+    }
+    current.name = format!("{}_min", q.name);
+    Ok(MinimizeResult {
+        query: current,
+        removed,
+        exact,
+    })
+}
+
+/// Whether `q` is minimal under Σ (no single conjunct can be deleted).
+pub fn is_minimal(
+    q: &ConjunctiveQuery,
+    sigma: &DependencySet,
+    catalog: &Catalog,
+    opts: &ContainmentOptions,
+) -> Result<bool, ContainmentEngineError> {
+    if q.atoms.len() <= 1 {
+        return Ok(true);
+    }
+    for i in 0..q.atoms.len() {
+        let candidate = q.without_atom(i);
+        if contained(&candidate, q, sigma, catalog, opts)?.contained {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqchase_ir::parse_program;
+
+    fn run_minimize(src: &str, qname: &str) -> MinimizeResult {
+        let p = parse_program(src).unwrap();
+        minimize(
+            p.query(qname).unwrap(),
+            &p.deps,
+            &p.catalog,
+            &ContainmentOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn intro_example_drops_dep_conjunct() {
+        let r = run_minimize(
+            "relation EMP(eno, sal, dept). relation DEP(dno, loc).
+             ind EMP[dept] <= DEP[dno].
+             Q1(e) :- EMP(e, s, d), DEP(d, l).",
+            "Q1",
+        );
+        assert_eq!(r.query.num_atoms(), 1);
+        assert_eq!(r.removed, vec![1]);
+        assert!(r.exact);
+    }
+
+    #[test]
+    fn without_ind_nothing_drops() {
+        let r = run_minimize(
+            "relation EMP(eno, sal, dept). relation DEP(dno, loc).
+             Q1(e) :- EMP(e, s, d), DEP(d, l).",
+            "Q1",
+        );
+        assert_eq!(r.query.num_atoms(), 2);
+        assert!(r.removed.is_empty());
+    }
+
+    #[test]
+    fn chandra_merlin_core() {
+        // R(x,y), R(x,z): without dependencies the second atom folds into
+        // the first (map z ↦ y).
+        let r = run_minimize(
+            "relation R(a, b).
+             Q(x) :- R(x, y), R(x, z).",
+            "Q",
+        );
+        assert_eq!(r.query.num_atoms(), 1);
+    }
+
+    #[test]
+    fn cycle_is_minimal_without_deps() {
+        let p = parse_program(
+            "relation R(a, b).
+             Q(x) :- R(x, y), R(y, x).",
+        )
+        .unwrap();
+        assert!(is_minimal(
+            p.query("Q").unwrap(),
+            &p.deps,
+            &p.catalog,
+            &ContainmentOptions::default()
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn fd_enables_deletion() {
+        // With R: a -> b, R(x, y), R(x, z) chase-merges, so one atom
+        // suffices (already true without FDs here, but the FD also makes
+        // the *joined* variant collapsible).
+        let r = run_minimize(
+            "relation R(a, b). relation S(b).
+             fd R: a -> b.
+             Q(x) :- R(x, y), R(x, z), S(y).",
+            "Q",
+        );
+        // S(y) stays; R duplicates collapse to one atom.
+        assert_eq!(r.query.num_atoms(), 2);
+    }
+
+    #[test]
+    fn cascading_deletions_under_inds() {
+        // A chain R→S→T of INDs lets both the S and T conjuncts go.
+        let r = run_minimize(
+            "relation R(a). relation S(a). relation T(a).
+             ind R[1] <= S[1]. ind S[1] <= T[1].
+             Q(x) :- R(x), S(x), T(x).",
+            "Q",
+        );
+        assert_eq!(r.query.num_atoms(), 1);
+        assert_eq!(r.removed.len(), 2);
+    }
+
+    #[test]
+    fn single_atom_is_minimal() {
+        let p = parse_program("relation R(a). Q(x) :- R(x).").unwrap();
+        let r = minimize(
+            p.query("Q").unwrap(),
+            &p.deps,
+            &p.catalog,
+            &ContainmentOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(r.query.num_atoms(), 1);
+        assert!(is_minimal(
+            p.query("Q").unwrap(),
+            &p.deps,
+            &p.catalog,
+            &ContainmentOptions::default()
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn minimized_query_is_equivalent() {
+        use crate::containment::equivalent;
+        let p = parse_program(
+            "relation R(a, b). relation S(a).
+             ind R[1] <= S[1].
+             Q(x) :- R(x, y), S(x), R(x, z).",
+        )
+        .unwrap();
+        let r = minimize(
+            p.query("Q").unwrap(),
+            &p.deps,
+            &p.catalog,
+            &ContainmentOptions::default(),
+        )
+        .unwrap();
+        let eq = equivalent(
+            p.query("Q").unwrap(),
+            &r.query,
+            &p.deps,
+            &p.catalog,
+            &ContainmentOptions::default(),
+        )
+        .unwrap();
+        assert!(eq.equivalent());
+        assert_eq!(r.query.num_atoms(), 1);
+    }
+}

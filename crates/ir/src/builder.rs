@@ -1,0 +1,346 @@
+//! Ergonomic builders for queries and dependency sets.
+//!
+//! The builders resolve names against a [`Catalog`], intern variables on
+//! first use (head variables become DVs, all others NDVs), and validate
+//! the finished object, so programmatic construction is as safe as going
+//! through the parser.
+
+use crate::catalog::{Catalog, RelId};
+use crate::deps::{DependencySet, Fd, Ind};
+use crate::error::{IrError, IrResult};
+use crate::query::{Atom, ConjunctiveQuery, VarKind, VarTable};
+use crate::term::{Constant, Term};
+use crate::validate;
+
+/// A term as written by a builder user: a variable *name* or a constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TermSpec {
+    /// A named variable; interned on first use.
+    Var(String),
+    /// A constant.
+    Const(Constant),
+}
+
+impl From<&str> for TermSpec {
+    fn from(s: &str) -> Self {
+        TermSpec::Var(s.to_owned())
+    }
+}
+
+impl From<String> for TermSpec {
+    fn from(s: String) -> Self {
+        TermSpec::Var(s)
+    }
+}
+
+impl From<i64> for TermSpec {
+    fn from(i: i64) -> Self {
+        TermSpec::Const(Constant::int(i))
+    }
+}
+
+impl From<Constant> for TermSpec {
+    fn from(c: Constant) -> Self {
+        TermSpec::Const(c)
+    }
+}
+
+/// Builds a [`ConjunctiveQuery`] by naming variables.
+///
+/// ```
+/// use cqchase_ir::{Catalog, QueryBuilder};
+///
+/// let mut cat = Catalog::new();
+/// cat.declare("EMP", ["eno", "sal", "dept"]).unwrap();
+/// cat.declare("DEP", ["dno", "loc"]).unwrap();
+///
+/// let q = QueryBuilder::new("Q1", &cat)
+///     .head_vars(["e"])
+///     .atom("EMP", ["e", "s", "d"]).unwrap()
+///     .atom("DEP", ["d", "l"]).unwrap()
+///     .build()
+///     .unwrap();
+/// assert_eq!(q.num_atoms(), 2);
+/// ```
+pub struct QueryBuilder<'c> {
+    catalog: &'c Catalog,
+    name: String,
+    head: Vec<TermSpec>,
+    atoms: Vec<(RelId, Vec<TermSpec>)>,
+}
+
+impl<'c> QueryBuilder<'c> {
+    /// Starts a query named `name` over `catalog`.
+    pub fn new(name: impl Into<String>, catalog: &'c Catalog) -> Self {
+        QueryBuilder {
+            catalog,
+            name: name.into(),
+            head: Vec::new(),
+            atoms: Vec::new(),
+        }
+    }
+
+    /// Sets the summary row to the given variable names (the common case).
+    pub fn head_vars(mut self, vars: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.head = vars
+            .into_iter()
+            .map(|v| TermSpec::Var(v.into()))
+            .collect();
+        self
+    }
+
+    /// Sets the summary row from mixed term specs (variables and
+    /// constants).
+    pub fn head(mut self, terms: impl IntoIterator<Item = impl Into<TermSpec>>) -> Self {
+        self.head = terms.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds a conjunct over `relation` with the given terms.
+    pub fn atom(
+        mut self,
+        relation: &str,
+        terms: impl IntoIterator<Item = impl Into<TermSpec>>,
+    ) -> IrResult<Self> {
+        let rel = self.catalog.require(relation)?;
+        self.atoms
+            .push((rel, terms.into_iter().map(Into::into).collect()));
+        Ok(self)
+    }
+
+    /// Finishes the query: interns variables (head variables are DVs,
+    /// everything else NDVs, in first-occurrence order with DVs first) and
+    /// validates the result.
+    pub fn build(self) -> IrResult<ConjunctiveQuery> {
+        let mut vars = VarTable::new();
+        // Head variables first, as DVs; this makes the natural var order
+        // "DVs before NDVs", matching the paper's lexicographic setup.
+        let mut head = Vec::with_capacity(self.head.len());
+        for spec in &self.head {
+            head.push(match spec {
+                TermSpec::Const(c) => Term::Const(c.clone()),
+                TermSpec::Var(n) => {
+                    let v = vars
+                        .resolve(n)
+                        .unwrap_or_else(|| vars.push(n.clone(), VarKind::Distinguished));
+                    Term::Var(v)
+                }
+            });
+        }
+        let mut atoms = Vec::with_capacity(self.atoms.len());
+        for (rel, specs) in &self.atoms {
+            let mut terms = Vec::with_capacity(specs.len());
+            for spec in specs {
+                terms.push(match spec {
+                    TermSpec::Const(c) => Term::Const(c.clone()),
+                    TermSpec::Var(n) => {
+                        let v = vars
+                            .resolve(n)
+                            .unwrap_or_else(|| vars.push(n.clone(), VarKind::Existential));
+                        Term::Var(v)
+                    }
+                });
+            }
+            atoms.push(Atom::new(*rel, terms));
+        }
+        let q = ConjunctiveQuery {
+            name: self.name,
+            head,
+            atoms,
+            vars,
+        };
+        validate::validate_query(&q, self.catalog)?;
+        Ok(q)
+    }
+}
+
+/// Builds a validated [`DependencySet`] by naming relations and attributes.
+///
+/// ```
+/// use cqchase_ir::{Catalog, DependencySetBuilder};
+///
+/// let mut cat = Catalog::new();
+/// cat.declare("EMP", ["eno", "sal", "dept"]).unwrap();
+/// cat.declare("DEP", ["dno", "loc"]).unwrap();
+///
+/// let sigma = DependencySetBuilder::new(&cat)
+///     .fd("EMP", ["eno"], "sal").unwrap()
+///     .ind("EMP", ["dept"], "DEP", ["dno"]).unwrap()
+///     .build();
+/// assert_eq!(sigma.len(), 2);
+/// ```
+pub struct DependencySetBuilder<'c> {
+    catalog: &'c Catalog,
+    deps: DependencySet,
+}
+
+impl<'c> DependencySetBuilder<'c> {
+    /// Starts an empty Σ over `catalog`.
+    pub fn new(catalog: &'c Catalog) -> Self {
+        DependencySetBuilder {
+            catalog,
+            deps: DependencySet::new(),
+        }
+    }
+
+    fn col(&self, rel: RelId, attr: &str) -> IrResult<usize> {
+        // Accept `#k` (1-based position) as well as attribute names.
+        if let Some(num) = attr.strip_prefix('#') {
+            if let Ok(k) = num.parse::<usize>() {
+                if k >= 1 && k <= self.catalog.arity(rel) {
+                    return Ok(k - 1);
+                }
+            }
+            return Err(IrError::UnknownAttribute {
+                relation: self.catalog.name(rel).to_owned(),
+                attribute: attr.to_owned(),
+            });
+        }
+        self.catalog
+            .schema(rel)
+            .column_of(attr)
+            .ok_or_else(|| IrError::UnknownAttribute {
+                relation: self.catalog.name(rel).to_owned(),
+                attribute: attr.to_owned(),
+            })
+    }
+
+    /// Adds the FD `relation: lhs -> rhs`.
+    pub fn fd(
+        mut self,
+        relation: &str,
+        lhs: impl IntoIterator<Item = impl AsRef<str>>,
+        rhs: &str,
+    ) -> IrResult<Self> {
+        let rel = self.catalog.require(relation)?;
+        let lhs: IrResult<Vec<usize>> = lhs.into_iter().map(|a| self.col(rel, a.as_ref())).collect();
+        let fd = Fd::new(rel, lhs?, self.col(rel, rhs)?);
+        validate::validate_fd(&fd, self.catalog)?;
+        self.deps.push(fd);
+        Ok(self)
+    }
+
+    /// Adds the IND `lhs_rel[lhs_cols] ⊆ rhs_rel[rhs_cols]`.
+    pub fn ind(
+        mut self,
+        lhs_rel: &str,
+        lhs_cols: impl IntoIterator<Item = impl AsRef<str>>,
+        rhs_rel: &str,
+        rhs_cols: impl IntoIterator<Item = impl AsRef<str>>,
+    ) -> IrResult<Self> {
+        let lr = self.catalog.require(lhs_rel)?;
+        let rr = self.catalog.require(rhs_rel)?;
+        let lc: IrResult<Vec<usize>> = lhs_cols
+            .into_iter()
+            .map(|a| self.col(lr, a.as_ref()))
+            .collect();
+        let rc: IrResult<Vec<usize>> = rhs_cols
+            .into_iter()
+            .map(|a| self.col(rr, a.as_ref()))
+            .collect();
+        let ind = Ind::new(lr, lc?, rr, rc?);
+        validate::validate_ind(&ind, self.catalog)?;
+        self.deps.push(ind);
+        Ok(self)
+    }
+
+    /// Finishes the set.
+    pub fn build(self) -> DependencySet {
+        self.deps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::VarKind;
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare("EMP", ["eno", "sal", "dept"]).unwrap();
+        c.declare("DEP", ["dno", "loc"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn build_intro_query() {
+        let c = cat();
+        let q = QueryBuilder::new("Q1", &c)
+            .head_vars(["e"])
+            .atom("EMP", ["e", "s", "d"])
+            .unwrap()
+            .atom("DEP", ["d", "l"])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(q.num_atoms(), 2);
+        assert_eq!(q.vars.len(), 4);
+        let e = q.vars.resolve("e").unwrap();
+        assert_eq!(q.vars.kind(e), VarKind::Distinguished);
+        let d = q.vars.resolve("d").unwrap();
+        assert_eq!(q.vars.kind(d), VarKind::Existential);
+        // Shared variable `d` links the two atoms.
+        assert_eq!(q.atoms[0].terms[2], q.atoms[1].terms[0]);
+    }
+
+    #[test]
+    fn constants_in_atoms() {
+        let c = cat();
+        let q = QueryBuilder::new("Q", &c)
+            .head_vars(["e"])
+            .atom("EMP", [TermSpec::from("e"), TermSpec::from(100), "d".into()])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(q.atoms[0].terms[1].is_const());
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let c = cat();
+        assert!(QueryBuilder::new("Q", &c)
+            .head_vars(["x"])
+            .atom("NOPE", ["x"])
+            .is_err());
+    }
+
+    #[test]
+    fn deps_builder_with_positions() {
+        let c = cat();
+        let sigma = DependencySetBuilder::new(&c)
+            .fd("EMP", ["#1"], "#2")
+            .unwrap()
+            .ind("EMP", ["#3"], "DEP", ["#1"])
+            .unwrap()
+            .build();
+        assert_eq!(sigma.len(), 2);
+        let fd = sigma.fds().next().unwrap();
+        assert_eq!(fd.lhs, vec![0]);
+        assert_eq!(fd.rhs, 1);
+        let ind = sigma.inds().next().unwrap();
+        assert_eq!(ind.lhs_cols, vec![2]);
+        assert_eq!(ind.rhs_cols, vec![0]);
+    }
+
+    #[test]
+    fn deps_builder_bad_position() {
+        let c = cat();
+        assert!(DependencySetBuilder::new(&c).fd("EMP", ["#9"], "#1").is_err());
+        assert!(DependencySetBuilder::new(&c).fd("EMP", ["#0"], "#1").is_err());
+        assert!(DependencySetBuilder::new(&c)
+            .ind("EMP", ["nope"], "DEP", ["dno"])
+            .is_err());
+    }
+
+    #[test]
+    fn head_constant() {
+        let c = cat();
+        let q = QueryBuilder::new("Q", &c)
+            .head([TermSpec::from("e"), TermSpec::from(1)])
+            .atom("EMP", ["e", "s", "d"])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(q.output_arity(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Relation schemas and the catalog (the paper's *database scheme*).
+
+use std::collections::HashMap;
+
+use crate::error::{IrError, IrResult};
+
+/// Identifier of a relation within a [`Catalog`].
+///
+/// `RelId`s are dense indices assigned in declaration order, so they can be
+/// used to index per-relation side tables (`Vec`s) everywhere downstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The scheme of one relation: its name and the ordered list of attribute
+/// names labelling its columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Creates a schema, rejecting repeated attribute names (the paper
+    /// requires columns to be labelled by *distinct* attributes).
+    pub fn new(
+        name: impl Into<String>,
+        attributes: impl IntoIterator<Item = impl Into<String>>,
+    ) -> IrResult<Self> {
+        let name = name.into();
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].contains(a) {
+                return Err(IrError::DuplicateAttribute {
+                    relation: name,
+                    attribute: a.clone(),
+                });
+            }
+        }
+        Ok(RelationSchema { name, attributes })
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Attribute names in column order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Name of the attribute at 0-based `column`.
+    pub fn attribute(&self, column: usize) -> &str {
+        &self.attributes[column]
+    }
+
+    /// Resolves an attribute name to its 0-based column index.
+    pub fn column_of(&self, attribute: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == attribute)
+    }
+}
+
+/// A database scheme: the set of relation schemas queries and dependencies
+/// are formulated against.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    relations: Vec<RelationSchema>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Declares a relation, returning its id. Fails on duplicate names.
+    pub fn add_relation(&mut self, schema: RelationSchema) -> IrResult<RelId> {
+        if self.by_name.contains_key(schema.name()) {
+            return Err(IrError::DuplicateRelation {
+                name: schema.name().to_owned(),
+            });
+        }
+        let id = RelId(self.relations.len() as u32);
+        self.by_name.insert(schema.name().to_owned(), id);
+        self.relations.push(schema);
+        Ok(id)
+    }
+
+    /// Convenience: declare a relation from a name and attribute list.
+    pub fn declare(
+        &mut self,
+        name: impl Into<String>,
+        attributes: impl IntoIterator<Item = impl Into<String>>,
+    ) -> IrResult<RelId> {
+        self.add_relation(RelationSchema::new(name, attributes)?)
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether no relations are declared.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The schema for `id`.
+    pub fn schema(&self, id: RelId) -> &RelationSchema {
+        &self.relations[id.index()]
+    }
+
+    /// The arity of relation `id`.
+    pub fn arity(&self, id: RelId) -> usize {
+        self.schema(id).arity()
+    }
+
+    /// The name of relation `id`.
+    pub fn name(&self, id: RelId) -> &str {
+        self.schema(id).name()
+    }
+
+    /// Looks a relation up by name.
+    pub fn resolve(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Like [`Catalog::resolve`] but produces an [`IrError`] on failure.
+    pub fn require(&self, name: &str) -> IrResult<RelId> {
+        self.resolve(name).ok_or_else(|| IrError::UnknownRelation {
+            name: name.to_owned(),
+        })
+    }
+
+    /// Iterator over `(id, schema)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelationSchema)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RelId(i as u32), s))
+    }
+
+    /// All relation ids in declaration order.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> {
+        (0..self.relations.len() as u32).map(RelId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_resolve() {
+        let mut cat = Catalog::new();
+        let emp = cat.declare("EMP", ["eno", "sal", "dept"]).unwrap();
+        let dep = cat.declare("DEP", ["dno", "loc"]).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.resolve("EMP"), Some(emp));
+        assert_eq!(cat.resolve("DEP"), Some(dep));
+        assert_eq!(cat.resolve("NOPE"), None);
+        assert_eq!(cat.arity(emp), 3);
+        assert_eq!(cat.name(dep), "DEP");
+        assert_eq!(cat.schema(emp).column_of("dept"), Some(2));
+        assert_eq!(cat.schema(emp).column_of("zzz"), None);
+        assert_eq!(cat.schema(emp).attribute(1), "sal");
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut cat = Catalog::new();
+        cat.declare("R", ["a"]).unwrap();
+        let err = cat.declare("R", ["b"]).unwrap_err();
+        assert!(matches!(err, IrError::DuplicateRelation { .. }));
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = RelationSchema::new("R", ["a", "b", "a"]).unwrap_err();
+        assert!(matches!(err, IrError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn empty_catalog() {
+        let cat = Catalog::new();
+        assert!(cat.is_empty());
+        assert!(cat.require("R").is_err());
+    }
+
+    #[test]
+    fn zero_arity_relation_allowed() {
+        let mut cat = Catalog::new();
+        let r = cat.declare("UNIT", Vec::<String>::new()).unwrap();
+        assert_eq!(cat.arity(r), 0);
+    }
+
+    #[test]
+    fn iter_order_is_declaration_order() {
+        let mut cat = Catalog::new();
+        cat.declare("A", ["x"]).unwrap();
+        cat.declare("B", ["y"]).unwrap();
+        let names: Vec<&str> = cat.iter().map(|(_, s)| s.name()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+}

@@ -1,0 +1,265 @@
+//! Functional and inclusion dependencies.
+
+use crate::catalog::RelId;
+
+/// A functional dependency `R: Z -> A`: no two tuples of `R` may agree on
+/// the columns `Z` yet differ on column `A`.
+///
+/// Columns are 0-based indices into the relation's scheme. Following the
+/// paper, the right-hand side is a single attribute; conjunctions
+/// `Z -> A1 A2` are represented as several FDs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    /// The relation constrained.
+    pub relation: RelId,
+    /// Left-hand side columns `Z` (sorted, duplicate-free).
+    pub lhs: Vec<usize>,
+    /// Right-hand side column `A`.
+    pub rhs: usize,
+}
+
+impl Fd {
+    /// Creates an FD, sorting and deduplicating the left-hand side so that
+    /// structurally equal dependencies compare equal.
+    pub fn new(relation: RelId, mut lhs: Vec<usize>, rhs: usize) -> Self {
+        lhs.sort_unstable();
+        lhs.dedup();
+        Fd { relation, lhs, rhs }
+    }
+
+    /// An FD is trivial when its right-hand side is already on the left.
+    pub fn is_trivial(&self) -> bool {
+        self.lhs.contains(&self.rhs)
+    }
+}
+
+/// An inclusion dependency `R[X] ⊆ S[Y]`: every subtuple occurring in
+/// columns `X` of `R` also occurs in columns `Y` of some tuple of `S`.
+///
+/// `X` and `Y` are *ordered* lists of equal length (the IND's **width**);
+/// each list must not repeat a column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ind {
+    /// Left relation `R`.
+    pub lhs_rel: RelId,
+    /// Left column list `X` (0-based, order matters).
+    pub lhs_cols: Vec<usize>,
+    /// Right relation `S`.
+    pub rhs_rel: RelId,
+    /// Right column list `Y` (0-based, order matters, same length as `X`).
+    pub rhs_cols: Vec<usize>,
+}
+
+impl Ind {
+    /// Creates an IND. Width equality is checked by
+    /// [`validate`](crate::validate); this constructor is shape-preserving.
+    pub fn new(lhs_rel: RelId, lhs_cols: Vec<usize>, rhs_rel: RelId, rhs_cols: Vec<usize>) -> Self {
+        Ind {
+            lhs_rel,
+            lhs_cols,
+            rhs_rel,
+            rhs_cols,
+        }
+    }
+
+    /// The number of attributes on either side (the paper's *width*).
+    pub fn width(&self) -> usize {
+        self.lhs_cols.len()
+    }
+
+    /// An IND of the form `R[X] ⊆ R[X]` is trivial.
+    pub fn is_trivial(&self) -> bool {
+        self.lhs_rel == self.rhs_rel && self.lhs_cols == self.rhs_cols
+    }
+}
+
+/// Either kind of dependency.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dependency {
+    /// A functional dependency.
+    Fd(Fd),
+    /// An inclusion dependency.
+    Ind(Ind),
+}
+
+impl Dependency {
+    /// The FD inside, if any.
+    pub fn as_fd(&self) -> Option<&Fd> {
+        match self {
+            Dependency::Fd(f) => Some(f),
+            Dependency::Ind(_) => None,
+        }
+    }
+
+    /// The IND inside, if any.
+    pub fn as_ind(&self) -> Option<&Ind> {
+        match self {
+            Dependency::Ind(i) => Some(i),
+            Dependency::Fd(_) => None,
+        }
+    }
+}
+
+impl From<Fd> for Dependency {
+    fn from(f: Fd) -> Self {
+        Dependency::Fd(f)
+    }
+}
+
+impl From<Ind> for Dependency {
+    fn from(i: Ind) -> Self {
+        Dependency::Ind(i)
+    }
+}
+
+/// An ordered set Σ of dependencies. Order is significant: the paper's
+/// canonical chase picks "the lexicographically first applicable
+/// dependency", which we realize as *first in declaration order*.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DependencySet {
+    deps: Vec<Dependency>,
+}
+
+impl DependencySet {
+    /// An empty Σ.
+    pub fn new() -> Self {
+        DependencySet::default()
+    }
+
+    /// Builds from any iterator of dependencies, preserving order and
+    /// dropping exact duplicates.
+    #[allow(clippy::should_implement_trait)] // FromIterator is also implemented; this inherent form reads better at call sites
+    pub fn from_iter(deps: impl IntoIterator<Item = Dependency>) -> Self {
+        let mut out = DependencySet::new();
+        for d in deps {
+            out.push(d);
+        }
+        out
+    }
+
+    /// Appends a dependency unless an identical one is already present.
+    pub fn push(&mut self, dep: impl Into<Dependency>) {
+        let dep = dep.into();
+        if !self.deps.contains(&dep) {
+            self.deps.push(dep);
+        }
+    }
+
+    /// Number of dependencies (the paper's `|Σ|`).
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Whether Σ is empty.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// All dependencies in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Dependency> {
+        self.deps.iter()
+    }
+
+    /// The FDs, in declaration order (the paper's `Σ[F]`).
+    pub fn fds(&self) -> impl Iterator<Item = &Fd> {
+        self.deps.iter().filter_map(Dependency::as_fd)
+    }
+
+    /// The INDs, in declaration order (the paper's `Σ[I]`).
+    pub fn inds(&self) -> impl Iterator<Item = &Ind> {
+        self.deps.iter().filter_map(Dependency::as_ind)
+    }
+
+    /// Number of FDs.
+    pub fn num_fds(&self) -> usize {
+        self.fds().count()
+    }
+
+    /// Number of INDs.
+    pub fn num_inds(&self) -> usize {
+        self.inds().count()
+    }
+
+    /// The FDs constraining relation `rel`.
+    pub fn fds_for(&self, rel: RelId) -> impl Iterator<Item = &Fd> {
+        self.fds().filter(move |f| f.relation == rel)
+    }
+
+    /// The INDs whose left-hand relation is `rel` (the ones *applicable*
+    /// to conjuncts of `rel` in the chase).
+    pub fn inds_from(&self, rel: RelId) -> impl Iterator<Item = &Ind> {
+        self.inds().filter(move |i| i.lhs_rel == rel)
+    }
+
+    /// The maximum IND width `W` (0 when there are no INDs), the parameter
+    /// of the paper's Theorem 2 bound.
+    pub fn max_ind_width(&self) -> usize {
+        self.inds().map(Ind::width).max().unwrap_or(0)
+    }
+
+    /// Splits Σ into `(Σ[F], Σ[I])` as two fresh sets.
+    pub fn split(&self) -> (DependencySet, DependencySet) {
+        let fds = DependencySet::from_iter(self.fds().cloned().map(Dependency::Fd));
+        let inds = DependencySet::from_iter(self.inds().cloned().map(Dependency::Ind));
+        (fds, inds)
+    }
+}
+
+impl FromIterator<Dependency> for DependencySet {
+    fn from_iter<T: IntoIterator<Item = Dependency>>(iter: T) -> Self {
+        DependencySet::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_lhs_canonicalized() {
+        let f = Fd::new(RelId(0), vec![2, 0, 2], 1);
+        assert_eq!(f.lhs, vec![0, 2]);
+        assert!(!f.is_trivial());
+        assert!(Fd::new(RelId(0), vec![1], 1).is_trivial());
+    }
+
+    #[test]
+    fn ind_width_and_trivial() {
+        let i = Ind::new(RelId(0), vec![0, 2], RelId(1), vec![1, 0]);
+        assert_eq!(i.width(), 2);
+        assert!(!i.is_trivial());
+        assert!(Ind::new(RelId(0), vec![0], RelId(0), vec![0]).is_trivial());
+        assert!(!Ind::new(RelId(0), vec![0], RelId(0), vec![1]).is_trivial());
+    }
+
+    #[test]
+    fn set_dedups_and_splits() {
+        let mut s = DependencySet::new();
+        s.push(Fd::new(RelId(0), vec![0], 1));
+        s.push(Fd::new(RelId(0), vec![0], 1)); // duplicate
+        s.push(Ind::new(RelId(0), vec![1], RelId(1), vec![0]));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_fds(), 1);
+        assert_eq!(s.num_inds(), 1);
+        let (f, i) = s.split();
+        assert_eq!(f.len(), 1);
+        assert_eq!(i.len(), 1);
+        assert_eq!(s.max_ind_width(), 1);
+    }
+
+    #[test]
+    fn per_relation_accessors() {
+        let mut s = DependencySet::new();
+        s.push(Fd::new(RelId(0), vec![0], 1));
+        s.push(Fd::new(RelId(1), vec![0], 1));
+        s.push(Ind::new(RelId(0), vec![1], RelId(1), vec![0]));
+        assert_eq!(s.fds_for(RelId(0)).count(), 1);
+        assert_eq!(s.inds_from(RelId(0)).count(), 1);
+        assert_eq!(s.inds_from(RelId(1)).count(), 0);
+    }
+
+    #[test]
+    fn empty_width_is_zero() {
+        assert_eq!(DependencySet::new().max_ind_width(), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Pretty-printing of IR objects in the surface-language syntax.
+//!
+//! Rendering needs a [`Catalog`] to turn ids back into names, so the
+//! `Display` implementations live on small wrapper types produced by the
+//! free functions here: `println!("{}", display::query(&q, &cat))`.
+//! Output round-trips through [`crate::parse`].
+
+use std::fmt;
+
+use crate::catalog::Catalog;
+use crate::deps::{Dependency, DependencySet, Fd, Ind};
+use crate::query::ConjunctiveQuery;
+use crate::term::Term;
+
+/// Displayable wrapper for a query.
+pub struct QueryDisplay<'a> {
+    q: &'a ConjunctiveQuery,
+    cat: &'a Catalog,
+}
+
+/// Displayable wrapper for an FD.
+pub struct FdDisplay<'a> {
+    fd: &'a Fd,
+    cat: &'a Catalog,
+}
+
+/// Displayable wrapper for an IND.
+pub struct IndDisplay<'a> {
+    ind: &'a Ind,
+    cat: &'a Catalog,
+}
+
+/// Displayable wrapper for a whole dependency set.
+pub struct DepsDisplay<'a> {
+    deps: &'a DependencySet,
+    cat: &'a Catalog,
+}
+
+/// Renders `q` in `Q(x, y) :- R(x, z), S(z, y).` syntax.
+pub fn query<'a>(q: &'a ConjunctiveQuery, cat: &'a Catalog) -> QueryDisplay<'a> {
+    QueryDisplay { q, cat }
+}
+
+/// Renders `fd R: a, b -> c.`.
+pub fn fd<'a>(fd: &'a Fd, cat: &'a Catalog) -> FdDisplay<'a> {
+    FdDisplay { fd, cat }
+}
+
+/// Renders `ind R[a, b] <= S[x, y].`.
+pub fn ind<'a>(ind: &'a Ind, cat: &'a Catalog) -> IndDisplay<'a> {
+    IndDisplay { ind, cat }
+}
+
+/// Renders every dependency of Σ, one per line.
+pub fn deps<'a>(deps: &'a DependencySet, cat: &'a Catalog) -> DepsDisplay<'a> {
+    DepsDisplay { deps, cat }
+}
+
+fn write_term(f: &mut fmt::Formatter<'_>, t: &Term, q: &ConjunctiveQuery) -> fmt::Result {
+    match t {
+        Term::Const(c) => write!(f, "{c}"),
+        Term::Var(v) => write!(f, "{}", q.vars.name(*v)),
+    }
+}
+
+impl fmt::Display for QueryDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.q.name)?;
+        for (i, t) in self.q.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write_term(f, t, self.q)?;
+        }
+        write!(f, ") :- ")?;
+        for (i, atom) in self.q.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}(", self.cat.name(atom.relation))?;
+            for (j, t) in atom.terms.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write_term(f, t, self.q)?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, ".")
+    }
+}
+
+impl fmt::Display for FdDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let schema = self.cat.schema(self.fd.relation);
+        write!(f, "fd {}: ", schema.name())?;
+        for (i, &c) in self.fd.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", schema.attribute(c))?;
+        }
+        write!(f, " -> {}.", schema.attribute(self.fd.rhs))
+    }
+}
+
+impl fmt::Display for IndDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let l = self.cat.schema(self.ind.lhs_rel);
+        let r = self.cat.schema(self.ind.rhs_rel);
+        write!(f, "ind {}[", l.name())?;
+        for (i, &c) in self.ind.lhs_cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", l.attribute(c))?;
+        }
+        write!(f, "] <= {}[", r.name())?;
+        for (i, &c) in self.ind.rhs_cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", r.attribute(c))?;
+        }
+        write!(f, "].")
+    }
+}
+
+impl fmt::Display for DepsDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.deps.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            match d {
+                Dependency::Fd(x) => write!(f, "{}", fd(x, self.cat))?,
+                Dependency::Ind(x) => write!(f, "{}", ind(x, self.cat))?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Renders a whole catalog as `relation R(a, b);` declarations.
+pub struct CatalogDisplay<'a> {
+    cat: &'a Catalog,
+}
+
+/// Renders the catalog's declarations.
+pub fn catalog(cat: &Catalog) -> CatalogDisplay<'_> {
+    CatalogDisplay { cat }
+}
+
+impl fmt::Display for CatalogDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (_, schema)) in self.cat.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "relation {}(", schema.name())?;
+            for (j, a) in schema.attributes().iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ").")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{DependencySetBuilder, QueryBuilder};
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare("EMP", ["eno", "sal", "dept"]).unwrap();
+        c.declare("DEP", ["dno", "loc"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn render_query() {
+        let c = cat();
+        let q = QueryBuilder::new("Q1", &c)
+            .head_vars(["e"])
+            .atom("EMP", ["e", "s", "d"])
+            .unwrap()
+            .atom("DEP", ["d", "l"])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(
+            query(&q, &c).to_string(),
+            "Q1(e) :- EMP(e, s, d), DEP(d, l)."
+        );
+    }
+
+    #[test]
+    fn render_deps() {
+        let c = cat();
+        let sigma = DependencySetBuilder::new(&c)
+            .fd("EMP", ["eno"], "sal")
+            .unwrap()
+            .ind("EMP", ["dept"], "DEP", ["dno"])
+            .unwrap()
+            .build();
+        let s = deps(&sigma, &c).to_string();
+        assert_eq!(s, "fd EMP: eno -> sal.\nind EMP[dept] <= DEP[dno].");
+    }
+
+    #[test]
+    fn render_catalog() {
+        let c = cat();
+        assert_eq!(
+            catalog(&c).to_string(),
+            "relation EMP(eno, sal, dept).\nrelation DEP(dno, loc)."
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Error types shared across the IR: parse errors with source spans and
+//! structural validation errors.
+
+use std::fmt;
+
+/// A half-open byte range into a source text, with 1-based line/column of
+/// its start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Every way constructing or parsing an IR object can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// The surface-language lexer met a character it cannot start a token
+    /// with.
+    Lex {
+        /// Location of the offending character.
+        span: Span,
+        /// Explanation of what was found.
+        message: String,
+    },
+    /// The parser met an unexpected token.
+    Parse {
+        /// Location of the unexpected token.
+        span: Span,
+        /// What was expected and what was found.
+        message: String,
+    },
+    /// A relation name was declared twice in one catalog.
+    DuplicateRelation {
+        /// The repeated name.
+        name: String,
+    },
+    /// A relation declared with a repeated attribute name.
+    DuplicateAttribute {
+        /// The relation being declared.
+        relation: String,
+        /// The repeated attribute.
+        attribute: String,
+    },
+    /// A name was used where a declared relation was required.
+    UnknownRelation {
+        /// The undeclared name.
+        name: String,
+    },
+    /// An attribute name or index did not exist in the named relation.
+    UnknownAttribute {
+        /// The relation consulted.
+        relation: String,
+        /// The attribute (name or 1-based index rendered as text).
+        attribute: String,
+    },
+    /// An atom supplied the wrong number of terms for its relation.
+    ArityMismatch {
+        /// The relation.
+        relation: String,
+        /// Number of columns the schema declares.
+        expected: usize,
+        /// Number of terms the atom supplied.
+        found: usize,
+    },
+    /// The two sides of an inclusion dependency have different lengths.
+    IndWidthMismatch {
+        /// Length of the left-hand attribute list.
+        lhs: usize,
+        /// Length of the right-hand attribute list.
+        rhs: usize,
+    },
+    /// An attribute list that must not repeat attributes repeated one.
+    RepeatedColumn {
+        /// The relation whose column list is malformed.
+        relation: String,
+        /// 0-based column index that was repeated.
+        column: usize,
+    },
+    /// An FD whose right-hand side also appears on its left-hand side is
+    /// trivial and rejected to keep dependency sets canonical.
+    TrivialFd {
+        /// The relation of the dependency.
+        relation: String,
+    },
+    /// A query head used a variable that never occurs in the body, so the
+    /// query is not range-restricted (safe).
+    UnsafeHeadVariable {
+        /// The query.
+        query: String,
+        /// The offending variable name.
+        variable: String,
+    },
+    /// A query used the same name twice (e.g. two queries named `Q`).
+    DuplicateQuery {
+        /// The repeated query name.
+        name: String,
+    },
+    /// Two queries were combined in an operation that requires identical
+    /// output schemes (e.g. containment), but the schemes differ.
+    OutputSchemeMismatch {
+        /// Arity of the first query's summary row.
+        left: usize,
+        /// Arity of the second query's summary row.
+        right: usize,
+    },
+    /// A variable id referenced a slot that does not exist in the query's
+    /// variable table.
+    DanglingVariable {
+        /// The raw variable index.
+        index: u32,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Lex { span, message } => write!(f, "lex error at {span}: {message}"),
+            IrError::Parse { span, message } => write!(f, "parse error at {span}: {message}"),
+            IrError::DuplicateRelation { name } => {
+                write!(f, "relation `{name}` is declared more than once")
+            }
+            IrError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => write!(
+                f,
+                "relation `{relation}` declares attribute `{attribute}` more than once"
+            ),
+            IrError::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
+            IrError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(
+                f,
+                "relation `{relation}` has no attribute `{attribute}`"
+            ),
+            IrError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation `{relation}` has {expected} columns but {found} terms were supplied"
+            ),
+            IrError::IndWidthMismatch { lhs, rhs } => write!(
+                f,
+                "inclusion dependency sides have different widths ({lhs} vs {rhs})"
+            ),
+            IrError::RepeatedColumn { relation, column } => write!(
+                f,
+                "column list for `{relation}` repeats column index {column}"
+            ),
+            IrError::TrivialFd { relation } => write!(
+                f,
+                "functional dependency on `{relation}` is trivial (rhs contained in lhs)"
+            ),
+            IrError::UnsafeHeadVariable { query, variable } => write!(
+                f,
+                "query `{query}` head variable `{variable}` does not occur in the body"
+            ),
+            IrError::DuplicateQuery { name } => {
+                write!(f, "query `{name}` is declared more than once")
+            }
+            IrError::OutputSchemeMismatch { left, right } => write!(
+                f,
+                "queries have different output arities ({left} vs {right})"
+            ),
+            IrError::DanglingVariable { index } => {
+                write!(f, "variable index {index} is out of range for this query")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Convenience alias used throughout the crate.
+pub type IrResult<T> = Result<T, IrError>;

@@ -1,0 +1,44 @@
+//! # cqchase-ir — relational intermediate representation
+//!
+//! This crate defines the formal objects of Johnson & Klug, *"Testing
+//! Containment of Conjunctive Queries under Functional and Inclusion
+//! Dependencies"* (PODS 1982 / JCSS 28, 1984), Section 2:
+//!
+//! * **Relation schemas and catalogs** ([`RelationSchema`], [`Catalog`]):
+//!   a relation is a table with columns labelled by distinct attributes;
+//!   a database scheme is the set of relation schemes.
+//! * **Conjunctive queries** ([`ConjunctiveQuery`]): an input database
+//!   scheme, an output relation scheme, distinguished variables (DVs),
+//!   nondistinguished variables (NDVs), a set of conjuncts ([`Atom`]s) and
+//!   a summary row whose entries are DVs or constants.
+//! * **Functional dependencies** ([`Fd`]): statements `R: Z -> A`.
+//! * **Inclusion dependencies** ([`Ind`]): statements `R[X] ⊆ S[Y]`,
+//!   where `X` and `Y` are equal-length lists of attributes; the shared
+//!   length is the *width* of the IND.
+//! * A **surface language** ([`parse`]) and pretty-printer ([`display`])
+//!   so that examples and experiments can be written as text.
+//!
+//! Everything downstream (the chase engines, containment tests, the
+//! storage substrate and the workload generators) is expressed in terms of
+//! these types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod catalog;
+pub mod deps;
+pub mod display;
+pub mod error;
+pub mod parse;
+pub mod query;
+pub mod term;
+pub mod validate;
+
+pub use builder::{DependencySetBuilder, QueryBuilder};
+pub use catalog::{Catalog, RelId, RelationSchema};
+pub use deps::{Dependency, DependencySet, Fd, Ind};
+pub use error::{IrError, IrResult, Span};
+pub use parse::{parse_program, Program};
+pub use query::{Atom, ConjunctiveQuery, VarKind, VarTable};
+pub use term::{Constant, Term, VarId};

@@ -1,0 +1,378 @@
+//! Hand-rolled lexer for the surface language.
+
+use crate::error::{IrError, IrResult, Span};
+
+/// The kinds of token the parser consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier (`EMP`, `x`, `relation`, ...). Keywords are resolved
+    /// by the parser.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A quoted string literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `:-`
+    Turnstile,
+    /// `<=` or `⊆`
+    SubsetEq,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(i) => format!("integer `{i}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::Turnstile => "`:-`".into(),
+            TokenKind::SubsetEq => "`<=`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Tokenizes a full source string up front (inputs are small).
+pub struct Lexer {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Lexer {
+    /// Tokenizes `src`, failing on the first invalid character.
+    pub fn new(src: &str) -> IrResult<Self> {
+        let mut tokens = Vec::new();
+        let bytes = src.as_bytes();
+        let mut i = 0usize;
+        let mut line: u32 = 1;
+        let mut line_start = 0usize;
+        macro_rules! span_at {
+            ($start:expr, $end:expr) => {
+                Span {
+                    start: $start,
+                    end: $end,
+                    line,
+                    col: ($start - line_start) as u32 + 1,
+                }
+            };
+        }
+        while i < bytes.len() {
+            let b = bytes[i];
+            match b {
+                b'\n' => {
+                    i += 1;
+                    line += 1;
+                    line_start = i;
+                }
+                b' ' | b'\t' | b'\r' => i += 1,
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                }
+                b'(' => {
+                    tokens.push(Token { kind: TokenKind::LParen, span: span_at!(i, i + 1) });
+                    i += 1;
+                }
+                b')' => {
+                    tokens.push(Token { kind: TokenKind::RParen, span: span_at!(i, i + 1) });
+                    i += 1;
+                }
+                b'[' => {
+                    tokens.push(Token { kind: TokenKind::LBracket, span: span_at!(i, i + 1) });
+                    i += 1;
+                }
+                b']' => {
+                    tokens.push(Token { kind: TokenKind::RBracket, span: span_at!(i, i + 1) });
+                    i += 1;
+                }
+                b',' => {
+                    tokens.push(Token { kind: TokenKind::Comma, span: span_at!(i, i + 1) });
+                    i += 1;
+                }
+                b'.' => {
+                    tokens.push(Token { kind: TokenKind::Dot, span: span_at!(i, i + 1) });
+                    i += 1;
+                }
+                b':' if bytes.get(i + 1) == Some(&b'-') => {
+                    tokens.push(Token { kind: TokenKind::Turnstile, span: span_at!(i, i + 2) });
+                    i += 2;
+                }
+                b':' => {
+                    tokens.push(Token { kind: TokenKind::Colon, span: span_at!(i, i + 1) });
+                    i += 1;
+                }
+                b'-' if bytes.get(i + 1) == Some(&b'>') => {
+                    tokens.push(Token { kind: TokenKind::Arrow, span: span_at!(i, i + 2) });
+                    i += 2;
+                }
+                b'<' if bytes.get(i + 1) == Some(&b'=') => {
+                    tokens.push(Token { kind: TokenKind::SubsetEq, span: span_at!(i, i + 2) });
+                    i += 2;
+                }
+                b'"' | b'\'' => {
+                    let quote = b;
+                    let start = i;
+                    i += 1;
+                    let mut s = String::new();
+                    let mut closed = false;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' if i + 1 < bytes.len() => {
+                                // The escaped character may be multi-byte.
+                                let ch = src[i + 1..].chars().next().unwrap();
+                                s.push(ch);
+                                i += 1 + ch.len_utf8();
+                            }
+                            c if c == quote => {
+                                i += 1;
+                                closed = true;
+                                break;
+                            }
+                            b'\n' => break,
+                            _ => {
+                                // Copy the full UTF-8 character.
+                                let ch_start = i;
+                                let ch = src[ch_start..].chars().next().unwrap();
+                                s.push(ch);
+                                i += ch.len_utf8();
+                            }
+                        }
+                    }
+                    if !closed {
+                        return Err(IrError::Lex {
+                            span: span_at!(start, i),
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    tokens.push(Token { kind: TokenKind::Str(s), span: span_at!(start, i) });
+                }
+                b'-' | b'0'..=b'9' => {
+                    let start = i;
+                    if b == b'-' {
+                        i += 1;
+                        if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                            return Err(IrError::Lex {
+                                span: span_at!(start, i),
+                                message: "`-` must start a number or `->`".into(),
+                            });
+                        }
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &src[start..i];
+                    let value = text.parse::<i64>().map_err(|_| IrError::Lex {
+                        span: span_at!(start, i),
+                        message: format!("integer `{text}` out of range"),
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Int(value), span: span_at!(start, i) });
+                }
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                    let start = i;
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Ident(src[start..i].to_owned()),
+                        span: span_at!(start, i),
+                    });
+                }
+                _ => {
+                    // Accept the Unicode subset sign as `<=`.
+                    let ch = src[i..].chars().next().unwrap();
+                    if ch == '⊆' {
+                        let len = ch.len_utf8();
+                        tokens.push(Token { kind: TokenKind::SubsetEq, span: span_at!(i, i + len) });
+                        i += len;
+                    } else {
+                        return Err(IrError::Lex {
+                            span: span_at!(i, i + ch.len_utf8()),
+                            message: format!("unexpected character `{ch}`"),
+                        });
+                    }
+                }
+            }
+        }
+        tokens.push(Token {
+            kind: TokenKind::Eof,
+            span: Span {
+                start: src.len(),
+                end: src.len(),
+                line,
+                col: (src.len() - line_start) as u32 + 1,
+            },
+        });
+        Ok(Lexer { tokens, pos: 0 })
+    }
+
+    /// The current token without consuming it.
+    pub fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    /// Consumes and returns the current token.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: Eof repeats forever
+    pub fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Whether the next token is `Eof`.
+    pub fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let mut lx = Lexer::new(src).unwrap();
+        let mut out = Vec::new();
+        loop {
+            let t = lx.next();
+            let done = t.kind == TokenKind::Eof;
+            out.push(t.kind);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let k = kinds("R(a, b) :- <= -> : . [ ]");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("R".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("b".into()),
+                TokenKind::RParen,
+                TokenKind::Turnstile,
+                TokenKind::SubsetEq,
+                TokenKind::Arrow,
+                TokenKind::Colon,
+                TokenKind::Dot,
+                TokenKind::LBracket,
+                TokenKind::RBracket,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let k = kinds(r#"42 -7 "hi" 'there'"#);
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(-7),
+                TokenKind::Str("hi".into()),
+                TokenKind::Str("there".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("a // comment with ( tokens .\nb");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_subset() {
+        let k = kinds("R ⊆ S");
+        assert_eq!(k[1], TokenKind::SubsetEq);
+    }
+
+    #[test]
+    fn line_tracking() {
+        let mut lx = Lexer::new("a\n  b").unwrap();
+        let a = lx.next();
+        assert_eq!((a.span.line, a.span.col), (1, 1));
+        let b = lx.next();
+        assert_eq!((b.span.line, b.span.col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string() {
+        assert!(matches!(
+            Lexer::new("\"oops"),
+            Err(IrError::Lex { .. })
+        ));
+    }
+
+    #[test]
+    fn lone_dash_rejected() {
+        assert!(Lexer::new("a - b").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let k = kinds(r#""a\"b""#);
+        assert_eq!(k[0], TokenKind::Str("a\"b".into()));
+    }
+
+    #[test]
+    fn multibyte_escape_does_not_split_codepoints() {
+        // Regression (found by fuzzing): an escaped multi-byte character
+        // must advance past the whole codepoint.
+        let k = kinds("\"a\\→b\"");
+        assert_eq!(k[0], TokenKind::Str("a→b".into()));
+    }
+}

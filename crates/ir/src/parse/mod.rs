@@ -1,0 +1,214 @@
+//! Surface language for schemas, dependencies and queries.
+//!
+//! The grammar, one statement per item, each terminated by `.`:
+//!
+//! ```text
+//! relation EMP(eno, sal, dept).
+//! fd EMP: eno -> sal.                 // attributes by name or 1-based index
+//! ind EMP[dept] <= DEP[dno].          // inclusion dependency R[X] ⊆ S[Y]
+//! Q1(e) :- EMP(e, s, d), DEP(d, l).   // conjunctive query
+//! EMP(7, 100, "sales").               // ground fact (all constants)
+//! ```
+//!
+//! Inside query bodies, bare identifiers are variables (head variables are
+//! the distinguished ones), integers and quoted strings are constants.
+//! `//` starts a line comment. Output of [`crate::display`] parses back to
+//! an equal object.
+
+mod lexer;
+mod parser;
+
+use std::collections::HashMap;
+
+use crate::catalog::{Catalog, RelId};
+use crate::deps::DependencySet;
+use crate::error::IrResult;
+use crate::query::ConjunctiveQuery;
+use crate::term::Constant;
+
+pub use lexer::{Lexer, Token, TokenKind};
+
+/// The result of parsing a full program: a catalog, the dependency set Σ,
+/// every declared query, and any ground facts.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The declared relations.
+    pub catalog: Catalog,
+    /// All declared dependencies, in declaration order.
+    pub deps: DependencySet,
+    /// All declared queries, in declaration order.
+    pub queries: Vec<ConjunctiveQuery>,
+    /// Ground facts (`R(1, "x").`), in declaration order.
+    pub facts: Vec<(RelId, Vec<Constant>)>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Program {
+    pub(crate) fn register_query(&mut self, q: ConjunctiveQuery) -> IrResult<()> {
+        if self.by_name.contains_key(&q.name) {
+            return Err(crate::error::IrError::DuplicateQuery {
+                name: q.name.clone(),
+            });
+        }
+        self.by_name.insert(q.name.clone(), self.queries.len());
+        self.queries.push(q);
+        Ok(())
+    }
+
+    /// Looks a query up by name.
+    pub fn query(&self, name: &str) -> Option<&ConjunctiveQuery> {
+        self.by_name.get(name).map(|&i| &self.queries[i])
+    }
+}
+
+/// Parses a whole program. See the module docs for the grammar.
+pub fn parse_program(src: &str) -> IrResult<Program> {
+    parser::Parser::new(src)?.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display;
+    use crate::term::Term;
+
+    const INTRO: &str = r#"
+        // The paper's Section 1 example schema.
+        relation EMP(eno, sal, dept).
+        relation DEP(dno, loc).
+        ind EMP[dept] <= DEP[dno].
+        Q1(e) :- EMP(e, s, d), DEP(d, l).
+        Q2(e) :- EMP(e, s, d).
+    "#;
+
+    #[test]
+    fn parse_intro_example() {
+        let p = parse_program(INTRO).unwrap();
+        assert_eq!(p.catalog.len(), 2);
+        assert_eq!(p.deps.len(), 1);
+        assert_eq!(p.queries.len(), 2);
+        let q1 = p.query("Q1").unwrap();
+        assert_eq!(q1.num_atoms(), 2);
+        assert_eq!(q1.output_arity(), 1);
+        assert!(p.query("Q3").is_none());
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let p = parse_program(INTRO).unwrap();
+        let text = format!(
+            "{}\n{}\n{}\n{}",
+            display::catalog(&p.catalog),
+            display::deps(&p.deps, &p.catalog),
+            display::query(&p.queries[0], &p.catalog),
+            display::query(&p.queries[1], &p.catalog),
+        );
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p2.catalog, p.catalog);
+        assert_eq!(p2.deps, p.deps);
+        assert_eq!(p2.queries.len(), p.queries.len());
+        for (a, b) in p.queries.iter().zip(&p2.queries) {
+            assert_eq!(a.head, b.head);
+            assert_eq!(a.atoms, b.atoms);
+        }
+    }
+
+    #[test]
+    fn attribute_positions() {
+        let p = parse_program(
+            "relation R(a, b, c). fd R: 2 -> 1. ind R[2] <= R[1].",
+        )
+        .unwrap();
+        let fd = p.deps.fds().next().unwrap();
+        assert_eq!(fd.lhs, vec![1]);
+        assert_eq!(fd.rhs, 0);
+        let ind = p.deps.inds().next().unwrap();
+        assert_eq!(ind.lhs_cols, vec![1]);
+        assert_eq!(ind.rhs_cols, vec![0]);
+    }
+
+    #[test]
+    fn constants_in_query() {
+        let p = parse_program(
+            r#"relation R(a, b). Q(x) :- R(x, 7), R(x, "lbl")."#,
+        )
+        .unwrap();
+        let q = p.query("Q").unwrap();
+        assert!(q.atoms[0].terms[1].is_const());
+        assert!(q.atoms[1].terms[1].is_const());
+    }
+
+    #[test]
+    fn boolean_query() {
+        let p = parse_program("relation R(a). Q() :- R(x).").unwrap();
+        assert!(p.query("Q").unwrap().is_boolean());
+    }
+
+    #[test]
+    fn constant_in_head() {
+        let p = parse_program("relation R(a, b). Q(x, 3) :- R(x, y).").unwrap();
+        let q = p.query("Q").unwrap();
+        assert_eq!(q.output_arity(), 2);
+        assert!(matches!(q.head[1], Term::Const(_)));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = parse_program("relation R(a)\nQ(x) :- R(x).").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("parse error"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_query_rejected() {
+        let err =
+            parse_program("relation R(a). Q(x) :- R(x). Q(y) :- R(y).").unwrap_err();
+        assert!(matches!(err, crate::error::IrError::DuplicateQuery { .. }));
+    }
+
+    #[test]
+    fn unknown_relation_in_query() {
+        let err = parse_program("relation R(a). Q(x) :- S(x).").unwrap_err();
+        assert!(matches!(err, crate::error::IrError::UnknownRelation { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let err = parse_program("relation R(a, b). Q(x) :- R(x).").unwrap_err();
+        assert!(matches!(err, crate::error::IrError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn ground_facts_parse() {
+        let p = parse_program(
+            r#"relation R(a, b).
+               R(1, 2).
+               R(3, "x").
+               Q(x) :- R(x, y)."#,
+        )
+        .unwrap();
+        assert_eq!(p.facts.len(), 2);
+        assert_eq!(p.queries.len(), 1);
+        let (rel, consts) = &p.facts[1];
+        assert_eq!(p.catalog.name(*rel), "R");
+        assert_eq!(consts[1], crate::term::Constant::str("x"));
+    }
+
+    #[test]
+    fn fact_with_variable_rejected() {
+        let err = parse_program("relation R(a). R(x).").unwrap_err();
+        assert!(matches!(err, crate::error::IrError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn fact_arity_checked() {
+        let err = parse_program("relation R(a, b). R(1).").unwrap_err();
+        assert!(matches!(err, crate::error::IrError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn subset_symbol_accepted() {
+        let p = parse_program("relation R(a, b). ind R[a] ⊆ R[b].").unwrap();
+        assert_eq!(p.deps.num_inds(), 1);
+    }
+}

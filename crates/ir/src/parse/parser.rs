@@ -1,0 +1,323 @@
+//! Recursive-descent parser over [`Lexer`] tokens.
+
+use crate::catalog::{RelId, RelationSchema};
+use crate::deps::{Fd, Ind};
+use crate::error::{IrError, IrResult};
+use crate::query::{Atom, ConjunctiveQuery, VarKind, VarTable};
+use crate::term::{Constant, Term};
+use crate::validate;
+
+use super::lexer::{Lexer, Token, TokenKind};
+use super::Program;
+
+pub(super) struct Parser {
+    lx: Lexer,
+    prog: Program,
+}
+
+impl Parser {
+    pub(super) fn new(src: &str) -> IrResult<Self> {
+        Ok(Parser {
+            lx: Lexer::new(src)?,
+            prog: Program::default(),
+        })
+    }
+
+    pub(super) fn program(mut self) -> IrResult<Program> {
+        while !self.lx.at_eof() {
+            self.item()?;
+        }
+        Ok(self.prog)
+    }
+
+    fn unexpected(&self, tok: &Token, expected: &str) -> IrError {
+        IrError::Parse {
+            span: tok.span,
+            message: format!("expected {expected}, found {}", tok.kind.describe()),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, expected: &str) -> IrResult<Token> {
+        let tok = self.lx.next();
+        if &tok.kind == kind {
+            Ok(tok)
+        } else {
+            Err(self.unexpected(&tok, expected))
+        }
+    }
+
+    fn ident(&mut self, expected: &str) -> IrResult<(String, Token)> {
+        let tok = self.lx.next();
+        match &tok.kind {
+            TokenKind::Ident(s) => Ok((s.clone(), tok.clone())),
+            _ => Err(self.unexpected(&tok, expected)),
+        }
+    }
+
+    fn item(&mut self) -> IrResult<()> {
+        let (head, head_tok) = self.ident("`relation`, `fd`, `ind` or a query name")?;
+        match head.as_str() {
+            "relation" => self.relation_decl(),
+            "fd" => self.fd_decl(),
+            "ind" => self.ind_decl(),
+            _ => self.query_decl(head, head_tok),
+        }
+    }
+
+    fn relation_decl(&mut self) -> IrResult<()> {
+        let (name, _) = self.ident("a relation name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut attrs = Vec::new();
+        if self.lx.peek().kind != TokenKind::RParen {
+            loop {
+                let (a, _) = self.ident("an attribute name")?;
+                attrs.push(a);
+                if self.lx.peek().kind == TokenKind::Comma {
+                    self.lx.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.expect(&TokenKind::Dot, "`.`")?;
+        self.prog
+            .catalog
+            .add_relation(RelationSchema::new(name, attrs)?)?;
+        Ok(())
+    }
+
+    /// One attribute reference: a name or a 1-based position.
+    fn attr(&mut self, rel: RelId) -> IrResult<usize> {
+        let tok = self.lx.next();
+        let schema = self.prog.catalog.schema(rel);
+        match &tok.kind {
+            TokenKind::Ident(name) => {
+                schema
+                    .column_of(name)
+                    .ok_or_else(|| IrError::UnknownAttribute {
+                        relation: schema.name().to_owned(),
+                        attribute: name.clone(),
+                    })
+            }
+            TokenKind::Int(k) => {
+                if *k >= 1 && (*k as usize) <= schema.arity() {
+                    Ok(*k as usize - 1)
+                } else {
+                    Err(IrError::UnknownAttribute {
+                        relation: schema.name().to_owned(),
+                        attribute: format!("#{k}"),
+                    })
+                }
+            }
+            _ => Err(self.unexpected(&tok, "an attribute name or position")),
+        }
+    }
+
+    fn attr_list(&mut self, rel: RelId, terminator: &TokenKind) -> IrResult<Vec<usize>> {
+        let mut cols = Vec::new();
+        loop {
+            cols.push(self.attr(rel)?);
+            if self.lx.peek().kind == TokenKind::Comma {
+                self.lx.next();
+            } else {
+                break;
+            }
+        }
+        if &self.lx.peek().kind != terminator {
+            let tok = self.lx.next();
+            return Err(self.unexpected(&tok, &terminator.describe()));
+        }
+        Ok(cols)
+    }
+
+    fn fd_decl(&mut self) -> IrResult<()> {
+        let (rel_name, _) = self.ident("a relation name")?;
+        let rel = self.prog.catalog.require(&rel_name)?;
+        self.expect(&TokenKind::Colon, "`:`")?;
+        let lhs = self.attr_list(rel, &TokenKind::Arrow)?;
+        self.expect(&TokenKind::Arrow, "`->`")?;
+        let rhs = self.attr(rel)?;
+        self.expect(&TokenKind::Dot, "`.`")?;
+        let fd = Fd::new(rel, lhs, rhs);
+        validate::validate_fd(&fd, &self.prog.catalog)?;
+        self.prog.deps.push(fd);
+        Ok(())
+    }
+
+    fn ind_decl(&mut self) -> IrResult<()> {
+        let (l_name, _) = self.ident("a relation name")?;
+        let lhs_rel = self.prog.catalog.require(&l_name)?;
+        self.expect(&TokenKind::LBracket, "`[`")?;
+        let lhs_cols = self.attr_list(lhs_rel, &TokenKind::RBracket)?;
+        self.expect(&TokenKind::RBracket, "`]`")?;
+        self.expect(&TokenKind::SubsetEq, "`<=`")?;
+        let (r_name, _) = self.ident("a relation name")?;
+        let rhs_rel = self.prog.catalog.require(&r_name)?;
+        self.expect(&TokenKind::LBracket, "`[`")?;
+        let rhs_cols = self.attr_list(rhs_rel, &TokenKind::RBracket)?;
+        self.expect(&TokenKind::RBracket, "`]`")?;
+        self.expect(&TokenKind::Dot, "`.`")?;
+        let ind = Ind::new(lhs_rel, lhs_cols, rhs_rel, rhs_cols);
+        validate::validate_ind(&ind, &self.prog.catalog)?;
+        self.prog.deps.push(ind);
+        Ok(())
+    }
+
+    /// One term of a head or atom, interning variables into `vars`.
+    fn term(&mut self, vars: &mut VarTable, kind_if_new: VarKind) -> IrResult<Term> {
+        let tok = self.lx.next();
+        match &tok.kind {
+            TokenKind::Ident(name) => {
+                let v = vars
+                    .resolve(name)
+                    .unwrap_or_else(|| vars.push(name.clone(), kind_if_new));
+                Ok(Term::Var(v))
+            }
+            TokenKind::Int(i) => Ok(Term::Const(Constant::int(*i))),
+            TokenKind::Str(s) => Ok(Term::Const(Constant::str(s))),
+            _ => Err(self.unexpected(&tok, "a variable or constant")),
+        }
+    }
+
+    fn term_list(&mut self, vars: &mut VarTable, kind_if_new: VarKind) -> IrResult<Vec<Term>> {
+        let mut terms = Vec::new();
+        if self.lx.peek().kind != TokenKind::RParen {
+            loop {
+                terms.push(self.term(vars, kind_if_new)?);
+                if self.lx.peek().kind == TokenKind::Comma {
+                    self.lx.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok(terms)
+    }
+
+    fn query_decl(&mut self, name: String, head_tok: Token) -> IrResult<()> {
+        let mut vars = VarTable::new();
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let head = self.term_list(&mut vars, VarKind::Distinguished)?;
+        // `R(1, 2).` — a ground fact rather than a query.
+        if self.lx.peek().kind == TokenKind::Dot {
+            self.lx.next();
+            return self.register_fact(name, head, &vars, head_tok);
+        }
+        self.expect(&TokenKind::Turnstile, "`:-`")?;
+        let mut atoms = Vec::new();
+        loop {
+            let (rel_name, _) = self.ident("a relation name")?;
+            let rel = self.prog.catalog.require(&rel_name)?;
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let terms = self.term_list(&mut vars, VarKind::Existential)?;
+            atoms.push(Atom::new(rel, terms));
+            if self.lx.peek().kind == TokenKind::Comma {
+                self.lx.next();
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Dot, "`.`")?;
+        let q = ConjunctiveQuery {
+            name,
+            head,
+            atoms,
+            vars,
+        };
+        validate::validate_query(&q, &self.prog.catalog)?;
+        self.prog.register_query(q)
+    }
+
+    /// A ground fact `R(c1, …, cn).`: the "head" must be all constants
+    /// and match the relation's arity.
+    fn register_fact(
+        &mut self,
+        rel_name: String,
+        terms: Vec<Term>,
+        vars: &VarTable,
+        head_tok: Token,
+    ) -> IrResult<()> {
+        let rel = self.prog.catalog.require(&rel_name)?;
+        let arity = self.prog.catalog.arity(rel);
+        if terms.len() != arity {
+            return Err(IrError::ArityMismatch {
+                relation: rel_name,
+                expected: arity,
+                found: terms.len(),
+            });
+        }
+        let mut consts = Vec::with_capacity(terms.len());
+        for t in terms {
+            match t {
+                Term::Const(c) => consts.push(c),
+                Term::Var(v) => {
+                    return Err(IrError::Parse {
+                        span: head_tok.span,
+                        message: format!(
+                            "fact for `{rel_name}` contains variable `{}` (facts must be ground)",
+                            vars.name(v)
+                        ),
+                    });
+                }
+            }
+        }
+        self.prog.facts.push((rel, consts));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse_program;
+    use crate::error::IrError;
+
+    #[test]
+    fn missing_dot() {
+        assert!(matches!(
+            parse_program("relation R(a)"),
+            Err(IrError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn fd_requires_declared_relation() {
+        assert!(matches!(
+            parse_program("fd R: a -> b."),
+            Err(IrError::UnknownRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn ind_unknown_attribute() {
+        assert!(matches!(
+            parse_program("relation R(a). ind R[zzz] <= R[a]."),
+            Err(IrError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn attr_position_out_of_range() {
+        assert!(matches!(
+            parse_program("relation R(a). fd R: 2 -> 1."),
+            Err(IrError::UnknownAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn query_body_required() {
+        assert!(matches!(
+            parse_program("relation R(a). Q(x) :- ."),
+            Err(IrError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let p = parse_program("  // nothing\n").unwrap();
+        assert!(p.catalog.is_empty());
+        assert!(p.deps.is_empty());
+        assert!(p.queries.is_empty());
+    }
+}

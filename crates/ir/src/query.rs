@@ -1,0 +1,273 @@
+//! Conjunctive queries: conjuncts, summary rows and variable tables.
+
+use std::collections::BTreeSet;
+
+use crate::catalog::RelId;
+use crate::term::{Term, VarId};
+
+/// Whether a variable is distinguished (occurs in the summary row /
+/// output) or nondistinguished (existential).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VarKind {
+    /// A distinguished variable (DV): may appear in the summary row.
+    Distinguished,
+    /// A nondistinguished variable (NDV): purely existential.
+    Existential,
+}
+
+/// Metadata for one variable of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Human-readable name (unique within the query).
+    pub name: String,
+    /// DV or NDV.
+    pub kind: VarKind,
+}
+
+/// The variable table of a query: names and kinds, indexed by [`VarId`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarTable {
+    vars: Vec<VarInfo>,
+}
+
+impl VarTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        VarTable::default()
+    }
+
+    /// Adds a variable and returns its id. Names are not checked for
+    /// uniqueness here (builders and the parser enforce that).
+    pub fn push(&mut self, name: impl Into<String>, kind: VarKind) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarInfo {
+            name: name.into(),
+            kind,
+        });
+        id
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Metadata for `v`. Panics if `v` is out of range.
+    pub fn info(&self, v: VarId) -> &VarInfo {
+        &self.vars[v.index()]
+    }
+
+    /// The kind of `v`.
+    pub fn kind(&self, v: VarId) -> VarKind {
+        self.vars[v.index()].kind
+    }
+
+    /// The name of `v`.
+    pub fn name(&self, v: VarId) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// Looks up a variable by name.
+    pub fn resolve(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|i| i.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Iterator over `(id, info)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &VarInfo)> {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (VarId(i as u32), v))
+    }
+
+    /// Ids of all distinguished variables, ascending.
+    pub fn distinguished(&self) -> Vec<VarId> {
+        self.iter()
+            .filter(|(_, i)| i.kind == VarKind::Distinguished)
+            .map(|(v, _)| v)
+            .collect()
+    }
+}
+
+/// One conjunct of a query: a relation and a term for each of its columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// The relation this conjunct ranges over (the paper's `R(c)`).
+    pub relation: RelId,
+    /// One term per column of the relation.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom. Arity against the catalog is checked by
+    /// [`validate`](crate::validate).
+    pub fn new(relation: RelId, terms: Vec<Term>) -> Self {
+        Atom { relation, terms }
+    }
+
+    /// The variables occurring in this atom, in position order with
+    /// duplicates.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+}
+
+/// A conjunctive query, following the paper's six-part formalization:
+/// input scheme (the catalog, held externally), output scheme (positional,
+/// the summary row's arity), DVs and NDVs (the [`VarTable`]), conjuncts
+/// ([`Atom`]s) and a summary row of DVs and constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// Name of the query (used in display and diagnostics).
+    pub name: String,
+    /// The summary row: each entry is a DV or a constant.
+    pub head: Vec<Term>,
+    /// The conjuncts.
+    pub atoms: Vec<Atom>,
+    /// Variable names and kinds.
+    pub vars: VarTable,
+}
+
+impl ConjunctiveQuery {
+    /// Output arity (the paper's `p`).
+    pub fn output_arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Number of conjuncts (the paper's `|Q|` size measure is dominated by
+    /// this).
+    pub fn num_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the query is Boolean (empty summary row): "return the empty
+    /// tuple iff the body is satisfiable".
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// The set of variables occurring in the body.
+    pub fn body_vars(&self) -> BTreeSet<VarId> {
+        self.atoms.iter().flat_map(|a| a.vars()).collect()
+    }
+
+    /// The set of variables occurring in the head.
+    pub fn head_vars(&self) -> BTreeSet<VarId> {
+        self.head.iter().filter_map(Term::as_var).collect()
+    }
+
+    /// The subquery induced by keeping only the atoms at `keep` (indices
+    /// into [`ConjunctiveQuery::atoms`]), with the same summary row and
+    /// variable table. This mirrors the paper's notion of a subquery: "a
+    /// subset of the conjuncts viewed as a query with the same summary
+    /// row".
+    pub fn subquery(&self, keep: &[usize]) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            name: format!("{}_sub", self.name),
+            head: self.head.clone(),
+            atoms: keep.iter().map(|&i| self.atoms[i].clone()).collect(),
+            vars: self.vars.clone(),
+        }
+    }
+
+    /// The subquery dropping exactly the atom at `drop_idx`.
+    pub fn without_atom(&self, drop_idx: usize) -> ConjunctiveQuery {
+        let keep: Vec<usize> = (0..self.atoms.len()).filter(|&i| i != drop_idx).collect();
+        self.subquery(&keep)
+    }
+
+    /// Total number of term positions across all conjuncts — a convenient
+    /// size measure for budgets and experiment tables.
+    pub fn size(&self) -> usize {
+        self.atoms.iter().map(|a| a.terms.len()).sum::<usize>() + self.head.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Constant;
+
+    fn tiny() -> ConjunctiveQuery {
+        // Q(x) :- R(x, y), R(y, x)
+        let mut vars = VarTable::new();
+        let x = vars.push("x", VarKind::Distinguished);
+        let y = vars.push("y", VarKind::Existential);
+        ConjunctiveQuery {
+            name: "Q".into(),
+            head: vec![Term::Var(x)],
+            atoms: vec![
+                Atom::new(RelId(0), vec![Term::Var(x), Term::Var(y)]),
+                Atom::new(RelId(0), vec![Term::Var(y), Term::Var(x)]),
+            ],
+            vars,
+        }
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let q = tiny();
+        assert_eq!(q.output_arity(), 1);
+        assert_eq!(q.num_atoms(), 2);
+        assert!(!q.is_boolean());
+        assert_eq!(q.body_vars().len(), 2);
+        assert_eq!(q.head_vars().len(), 1);
+        assert_eq!(q.size(), 5);
+    }
+
+    #[test]
+    fn var_table_lookup() {
+        let q = tiny();
+        let x = q.vars.resolve("x").unwrap();
+        assert_eq!(q.vars.kind(x), VarKind::Distinguished);
+        assert_eq!(q.vars.name(x), "x");
+        assert!(q.vars.resolve("zz").is_none());
+        assert_eq!(q.vars.distinguished(), vec![x]);
+    }
+
+    #[test]
+    fn subquery_keeps_head() {
+        let q = tiny();
+        let s = q.subquery(&[1]);
+        assert_eq!(s.num_atoms(), 1);
+        assert_eq!(s.head, q.head);
+        let d = q.without_atom(0);
+        assert_eq!(d.atoms[0], q.atoms[1]);
+    }
+
+    #[test]
+    fn boolean_query() {
+        let mut vars = VarTable::new();
+        let y = vars.push("y", VarKind::Existential);
+        let q = ConjunctiveQuery {
+            name: "B".into(),
+            head: vec![],
+            atoms: vec![Atom::new(RelId(0), vec![Term::Var(y), Term::Var(y)])],
+            vars,
+        };
+        assert!(q.is_boolean());
+        assert_eq!(q.output_arity(), 0);
+    }
+
+    #[test]
+    fn constant_in_head() {
+        let mut vars = VarTable::new();
+        let x = vars.push("x", VarKind::Distinguished);
+        let q = ConjunctiveQuery {
+            name: "C".into(),
+            head: vec![Term::Var(x), Term::Const(Constant::int(1))],
+            atoms: vec![Atom::new(RelId(0), vec![Term::Var(x)])],
+            vars,
+        };
+        assert_eq!(q.output_arity(), 2);
+        assert_eq!(q.head_vars().len(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Terms: the symbols that fill conjunct positions — constants and
+//! variables.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A constant value. The paper treats constants abstractly as elements of
+/// attribute domains; we support integers and interned strings, which is
+/// enough for every construction in the paper (constants only matter up to
+/// equality and identity-preservation under homomorphisms).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Constant {
+    /// An integer constant.
+    Int(i64),
+    /// A string constant (cheap to clone: shared allocation).
+    Str(Arc<str>),
+}
+
+impl Constant {
+    /// A string constant from any string-ish value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Constant::Str(Arc::from(s.as_ref()))
+    }
+
+    /// An integer constant.
+    pub fn int(i: i64) -> Self {
+        Constant::Int(i)
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(i) => write!(f, "{i}"),
+            Constant::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Constant {
+    fn from(i: i64) -> Self {
+        Constant::Int(i)
+    }
+}
+
+impl From<&str> for Constant {
+    fn from(s: &str) -> Self {
+        Constant::str(s)
+    }
+}
+
+/// Identifier of a variable within one query's [`VarTable`].
+///
+/// Variable ids are dense per-query indices; they are meaningless across
+/// queries (renaming apart is explicit downstream).
+///
+/// [`VarTable`]: crate::query::VarTable
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One position of a conjunct or summary row: a distinguished variable, a
+/// nondistinguished variable, or a constant. Which of DV/NDV a variable is
+/// lives in the owning query's variable table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A constant.
+    Const(Constant),
+    /// A variable (distinguished or not — see the owning query).
+    Var(VarId),
+}
+
+impl Term {
+    /// Whether the term is a constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// Whether the term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// The variable id, if the term is a variable.
+    pub fn as_var(&self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if the term is one.
+    pub fn as_const(&self) -> Option<&Constant> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl From<VarId> for Term {
+    fn from(v: VarId) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Constant> for Term {
+    fn from(c: Constant) -> Self {
+        Term::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_equality_and_order() {
+        assert_eq!(Constant::int(3), Constant::Int(3));
+        assert_eq!(Constant::str("x"), Constant::str("x"));
+        assert_ne!(Constant::str("x"), Constant::str("y"));
+        assert!(Constant::Int(1) < Constant::Int(2));
+        // Ints sort before strings by enum declaration order.
+        assert!(Constant::Int(99) < Constant::str("a"));
+    }
+
+    #[test]
+    fn term_accessors() {
+        let t = Term::Var(VarId(4));
+        assert!(t.is_var());
+        assert_eq!(t.as_var(), Some(VarId(4)));
+        assert_eq!(t.as_const(), None);
+        let c = Term::Const(Constant::int(7));
+        assert!(c.is_const());
+        assert_eq!(c.as_const(), Some(&Constant::Int(7)));
+        assert_eq!(c.as_var(), None);
+    }
+
+    #[test]
+    fn display_constants() {
+        assert_eq!(Constant::int(-5).to_string(), "-5");
+        assert_eq!(Constant::str("hi").to_string(), "\"hi\"");
+    }
+}

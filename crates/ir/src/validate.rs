@@ -1,0 +1,266 @@
+//! Structural validation of queries and dependency sets against a catalog.
+//!
+//! The constructors in this crate are shape-preserving; this module holds
+//! the whole-object checks: arity agreement, column ranges, IND width
+//! equality, head safety, and so on. Downstream engines may assume
+//! validated inputs.
+
+use crate::catalog::Catalog;
+use crate::deps::{Dependency, DependencySet, Fd, Ind};
+use crate::error::{IrError, IrResult};
+use crate::query::ConjunctiveQuery;
+use crate::term::Term;
+
+/// Checks one FD against the catalog: relation exists, all columns in
+/// range, non-trivial.
+pub fn validate_fd(fd: &Fd, catalog: &Catalog) -> IrResult<()> {
+    let arity = catalog.arity(fd.relation);
+    let rel_name = || catalog.name(fd.relation).to_owned();
+    for &c in fd.lhs.iter().chain(std::iter::once(&fd.rhs)) {
+        if c >= arity {
+            return Err(IrError::UnknownAttribute {
+                relation: rel_name(),
+                attribute: format!("#{}", c + 1),
+            });
+        }
+    }
+    if fd.is_trivial() {
+        return Err(IrError::TrivialFd {
+            relation: rel_name(),
+        });
+    }
+    Ok(())
+}
+
+/// Checks one IND against the catalog: widths equal, all columns in range,
+/// no repeated column on either side (the paper's attribute lists are
+/// lists of *distinct* attributes).
+pub fn validate_ind(ind: &Ind, catalog: &Catalog) -> IrResult<()> {
+    if ind.lhs_cols.len() != ind.rhs_cols.len() {
+        return Err(IrError::IndWidthMismatch {
+            lhs: ind.lhs_cols.len(),
+            rhs: ind.rhs_cols.len(),
+        });
+    }
+    for (rel, cols) in [(ind.lhs_rel, &ind.lhs_cols), (ind.rhs_rel, &ind.rhs_cols)] {
+        let arity = catalog.arity(rel);
+        for (i, &c) in cols.iter().enumerate() {
+            if c >= arity {
+                return Err(IrError::UnknownAttribute {
+                    relation: catalog.name(rel).to_owned(),
+                    attribute: format!("#{}", c + 1),
+                });
+            }
+            if cols[..i].contains(&c) {
+                return Err(IrError::RepeatedColumn {
+                    relation: catalog.name(rel).to_owned(),
+                    column: c,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks every dependency in Σ.
+pub fn validate_deps(deps: &DependencySet, catalog: &Catalog) -> IrResult<()> {
+    for d in deps.iter() {
+        match d {
+            Dependency::Fd(f) => validate_fd(f, catalog)?,
+            Dependency::Ind(i) => validate_ind(i, catalog)?,
+        }
+    }
+    Ok(())
+}
+
+/// Checks a conjunctive query against the catalog:
+///
+/// * every atom's arity matches its relation's scheme;
+/// * every variable id is within the variable table;
+/// * every head variable occurs in some conjunct (range restriction — the
+///   paper's homomorphism semantics silently requires this for the
+///   summary row image to be determined);
+/// * head terms are DVs or constants (an NDV in the head is promoted to an
+///   error rather than silently reinterpreted).
+pub fn validate_query(q: &ConjunctiveQuery, catalog: &Catalog) -> IrResult<()> {
+    let n_vars = q.vars.len() as u32;
+    for atom in &q.atoms {
+        let arity = catalog.arity(atom.relation);
+        if atom.terms.len() != arity {
+            return Err(IrError::ArityMismatch {
+                relation: catalog.name(atom.relation).to_owned(),
+                expected: arity,
+                found: atom.terms.len(),
+            });
+        }
+        for t in &atom.terms {
+            if let Term::Var(v) = t {
+                if v.0 >= n_vars {
+                    return Err(IrError::DanglingVariable { index: v.0 });
+                }
+            }
+        }
+    }
+    let body = q.body_vars();
+    for t in &q.head {
+        if let Term::Var(v) = t {
+            if v.0 >= n_vars {
+                return Err(IrError::DanglingVariable { index: v.0 });
+            }
+            if q.vars.kind(*v) != crate::query::VarKind::Distinguished {
+                return Err(IrError::UnsafeHeadVariable {
+                    query: q.name.clone(),
+                    variable: q.vars.name(*v).to_owned(),
+                });
+            }
+            if !body.contains(v) {
+                return Err(IrError::UnsafeHeadVariable {
+                    query: q.name.clone(),
+                    variable: q.vars.name(*v).to_owned(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that two queries can be compared for containment: identical
+/// output arity.
+pub fn validate_comparable(q: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> IrResult<()> {
+    if q.output_arity() != q2.output_arity() {
+        return Err(IrError::OutputSchemeMismatch {
+            left: q.output_arity(),
+            right: q2.output_arity(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::query::{Atom, VarKind, VarTable};
+    use crate::term::{Constant, VarId};
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        c.declare("S", ["x", "y", "z"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn fd_column_range() {
+        let c = cat();
+        let r = c.resolve("R").unwrap();
+        assert!(validate_fd(&Fd::new(r, vec![0], 1), &c).is_ok());
+        assert!(validate_fd(&Fd::new(r, vec![5], 1), &c).is_err());
+        assert!(validate_fd(&Fd::new(r, vec![0], 9), &c).is_err());
+        assert!(matches!(
+            validate_fd(&Fd::new(r, vec![1], 1), &c),
+            Err(IrError::TrivialFd { .. })
+        ));
+    }
+
+    #[test]
+    fn ind_checks() {
+        let c = cat();
+        let r = c.resolve("R").unwrap();
+        let s = c.resolve("S").unwrap();
+        assert!(validate_ind(&Ind::new(r, vec![0, 1], s, vec![2, 0]), &c).is_ok());
+        assert!(matches!(
+            validate_ind(&Ind::new(r, vec![0], s, vec![0, 1]), &c),
+            Err(IrError::IndWidthMismatch { .. })
+        ));
+        assert!(matches!(
+            validate_ind(&Ind::new(r, vec![0, 0], s, vec![0, 1]), &c),
+            Err(IrError::RepeatedColumn { .. })
+        ));
+        assert!(validate_ind(&Ind::new(r, vec![7], s, vec![0]), &c).is_err());
+    }
+
+    fn q_ok(c: &Catalog) -> ConjunctiveQuery {
+        let r = c.resolve("R").unwrap();
+        let mut vars = VarTable::new();
+        let x = vars.push("x", VarKind::Distinguished);
+        let y = vars.push("y", VarKind::Existential);
+        ConjunctiveQuery {
+            name: "Q".into(),
+            head: vec![Term::Var(x)],
+            atoms: vec![Atom::new(r, vec![Term::Var(x), Term::Var(y)])],
+            vars,
+        }
+    }
+
+    #[test]
+    fn query_valid() {
+        let c = cat();
+        assert!(validate_query(&q_ok(&c), &c).is_ok());
+    }
+
+    #[test]
+    fn query_arity_mismatch() {
+        let c = cat();
+        let mut q = q_ok(&c);
+        q.atoms[0].terms.pop();
+        assert!(matches!(
+            validate_query(&q, &c),
+            Err(IrError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn query_unsafe_head() {
+        let c = cat();
+        let mut q = q_ok(&c);
+        // Head var that never occurs in the body.
+        let z = q.vars.push("z", VarKind::Distinguished);
+        q.head = vec![Term::Var(z)];
+        assert!(matches!(
+            validate_query(&q, &c),
+            Err(IrError::UnsafeHeadVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn query_ndv_in_head_rejected() {
+        let c = cat();
+        let mut q = q_ok(&c);
+        let y = q.vars.resolve("y").unwrap();
+        q.head = vec![Term::Var(y)];
+        assert!(matches!(
+            validate_query(&q, &c),
+            Err(IrError::UnsafeHeadVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn query_dangling_var() {
+        let c = cat();
+        let mut q = q_ok(&c);
+        q.atoms[0].terms[1] = Term::Var(VarId(99));
+        assert!(matches!(
+            validate_query(&q, &c),
+            Err(IrError::DanglingVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_head_ok() {
+        let c = cat();
+        let mut q = q_ok(&c);
+        q.head.push(Term::Const(Constant::int(3)));
+        assert!(validate_query(&q, &c).is_ok());
+    }
+
+    #[test]
+    fn comparable() {
+        let c = cat();
+        let q = q_ok(&c);
+        let mut q2 = q.clone();
+        assert!(validate_comparable(&q, &q2).is_ok());
+        q2.head.push(Term::Const(Constant::int(0)));
+        assert!(validate_comparable(&q, &q2).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Coverage for the diagnostic surface: every error variant renders a
+//! useful message, spans carry positions, and common user mistakes map
+//! to the right variant.
+
+use cqchase_ir::{parse_program, IrError, Span};
+
+fn err_of(src: &str) -> IrError {
+    parse_program(src).expect_err("program must be rejected")
+}
+
+#[test]
+fn messages_name_the_culprit() {
+    let cases: Vec<(&str, &str)> = vec![
+        ("relation R(a). relation R(b).", "declared more than once"),
+        ("relation R(a, a).", "more than once"),
+        ("Q(x) :- S(x).", "unknown relation `S`"),
+        ("relation R(a). fd R: zz -> a.", "no attribute"),
+        ("relation R(a, b). fd R: a -> a.", "trivial"),
+        (
+            "relation R(a). relation S(x, y). ind R[1] <= S[1, 2].",
+            "different widths",
+        ),
+        ("relation R(a, b). Q(x) :- R(x).", "2 columns but 1 terms"),
+        (
+            "relation R(a). Q(x) :- R(y).",
+            "does not occur in the body",
+        ),
+        (
+            "relation R(a). Q(x) :- R(x). Q(y) :- R(y).",
+            "declared more than once",
+        ),
+    ];
+    for (src, needle) in cases {
+        let msg = err_of(src).to_string();
+        assert!(
+            msg.contains(needle),
+            "source `{src}` produced `{msg}` (wanted `{needle}`)"
+        );
+    }
+}
+
+#[test]
+fn parse_errors_carry_line_and_column() {
+    let err = err_of("relation R(a).\n  fd R a -> a.");
+    match err {
+        IrError::Parse { span, ref message } => {
+            assert_eq!(span.line, 2, "{message}");
+            assert!(span.col >= 3, "{span:?}");
+            assert!(message.contains("expected"), "{message}");
+        }
+        other => panic!("expected Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn lex_errors_carry_position() {
+    let err = err_of("relation R(a).\n@");
+    match err {
+        IrError::Lex { span, .. } => assert_eq!(span.line, 2),
+        other => panic!("expected Lex, got {other:?}"),
+    }
+}
+
+#[test]
+fn span_display() {
+    let s = Span {
+        start: 10,
+        end: 12,
+        line: 3,
+        col: 4,
+    };
+    assert_eq!(s.to_string(), "3:4");
+}
+
+#[test]
+fn errors_implement_std_error() {
+    let err: Box<dyn std::error::Error> = Box::new(err_of("relation R(a). relation R(a)."));
+    assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn repeated_ind_column_rejected() {
+    let msg = err_of("relation R(a, b). ind R[1, 1] <= R[1, 2].").to_string();
+    assert!(msg.contains("repeats"), "{msg}");
+}

@@ -1,0 +1,302 @@
+//! Databases: finite sets of relation instances over a catalog.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use cqchase_ir::{Catalog, IrError, IrResult, RelId};
+
+use crate::value::{NullId, Value};
+
+/// A row of a relation instance.
+pub type Tuple = Vec<Value>;
+
+/// One relation's extent: a duplicate-free multiset of tuples in insertion
+/// order (order is preserved so experiments print deterministically).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelationInstance {
+    tuples: Vec<Tuple>,
+    index: HashSet<Tuple>,
+}
+
+impl RelationInstance {
+    /// Inserts a tuple; returns `true` if it was new.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        if self.index.contains(&t) {
+            return false;
+        }
+        self.index.insert(t.clone());
+        self.tuples.push(t);
+        true
+    }
+
+    /// Whether the tuple is present.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.index.contains(t)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples, in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Rebuilds the instance applying `f` to every value (used by the data
+    /// chase when unifying nulls). Collapses tuples that become equal.
+    pub fn map_values(&mut self, f: impl Fn(&Value) -> Value) {
+        let old = std::mem::take(&mut self.tuples);
+        self.index.clear();
+        for t in old {
+            let t: Tuple = t.iter().map(&f).collect();
+            self.insert(t);
+        }
+    }
+}
+
+/// A database instance: one [`RelationInstance`] per catalog relation,
+/// plus a counter for minting fresh labelled nulls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Database {
+    catalog: Catalog,
+    relations: Vec<RelationInstance>,
+    next_null: u32,
+}
+
+impl Database {
+    /// An empty database over `catalog`.
+    pub fn new(catalog: &Catalog) -> Self {
+        Database {
+            catalog: catalog.clone(),
+            relations: vec![RelationInstance::default(); catalog.len()],
+            next_null: 0,
+        }
+    }
+
+    /// The catalog this database is formatted against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The instance of relation `rel`.
+    pub fn relation(&self, rel: RelId) -> &RelationInstance {
+        &self.relations[rel.index()]
+    }
+
+    /// Mutable access to the instance of relation `rel`.
+    pub fn relation_mut(&mut self, rel: RelId) -> &mut RelationInstance {
+        &mut self.relations[rel.index()]
+    }
+
+    /// Inserts a tuple into `rel`, checking arity. Returns whether the
+    /// tuple was new.
+    pub fn insert(&mut self, rel: RelId, tuple: Tuple) -> IrResult<bool> {
+        let arity = self.catalog.arity(rel);
+        if tuple.len() != arity {
+            return Err(IrError::ArityMismatch {
+                relation: self.catalog.name(rel).to_owned(),
+                expected: arity,
+                found: tuple.len(),
+            });
+        }
+        for v in &tuple {
+            if let Value::Null(n) = v {
+                self.next_null = self.next_null.max(n.0 + 1);
+            }
+        }
+        Ok(self.relations[rel.index()].insert(tuple))
+    }
+
+    /// Inserts by relation name; values convert via `Into<Value>`.
+    pub fn insert_named(
+        &mut self,
+        rel: &str,
+        tuple: impl IntoIterator<Item = impl Into<Value>>,
+    ) -> IrResult<bool> {
+        let rel = self.catalog.require(rel)?;
+        self.insert(rel, tuple.into_iter().map(Into::into).collect())
+    }
+
+    /// Builds a database from parsed ground facts (e.g.
+    /// [`Program::facts`](cqchase_ir::parse::Program)).
+    pub fn from_facts(
+        catalog: &Catalog,
+        facts: &[(RelId, Vec<cqchase_ir::Constant>)],
+    ) -> IrResult<Database> {
+        let mut db = Database::new(catalog);
+        for (rel, consts) in facts {
+            db.insert(*rel, consts.iter().cloned().map(Value::Const).collect())?;
+        }
+        Ok(db)
+    }
+
+    /// Mints a fresh labelled null, unique within this database.
+    pub fn fresh_null(&mut self) -> Value {
+        let id = NullId(self.next_null);
+        self.next_null += 1;
+        Value::Null(id)
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(RelationInstance::len).sum()
+    }
+
+    /// Whether any value anywhere is a labelled null.
+    pub fn has_nulls(&self) -> bool {
+        self.relations
+            .iter()
+            .flat_map(|r| r.tuples())
+            .flatten()
+            .any(Value::is_null)
+    }
+
+    /// Applies `f` to every value in every relation (collapsing duplicate
+    /// tuples that result).
+    pub fn map_values(&mut self, f: impl Fn(&Value) -> Value + Copy) {
+        for r in &mut self.relations {
+            r.map_values(f);
+        }
+    }
+
+    /// Iterator over `(rel, instance)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelationInstance)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i as u32), r))
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (rel, inst) in self.iter() {
+            if inst.is_empty() {
+                continue;
+            }
+            for t in inst.tuples() {
+                if !first {
+                    writeln!(f)?;
+                }
+                first = false;
+                write!(f, "{}(", self.catalog.name(rel))?;
+                for (i, v) in t.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        c.declare("S", ["x"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn insert_and_dedup() {
+        let c = cat();
+        let mut db = Database::new(&c);
+        assert!(db.insert_named("R", [1i64, 2]).unwrap());
+        assert!(!db.insert_named("R", [1i64, 2]).unwrap());
+        assert!(db.insert_named("R", [2i64, 1]).unwrap());
+        assert_eq!(db.total_tuples(), 2);
+        let r = c.resolve("R").unwrap();
+        assert!(db.relation(r).contains(&vec![Value::int(1), Value::int(2)]));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let c = cat();
+        let mut db = Database::new(&c);
+        assert!(db.insert_named("R", [1i64]).is_err());
+        assert!(db.insert_named("NOPE", [1i64]).is_err());
+    }
+
+    #[test]
+    fn fresh_nulls_distinct() {
+        let c = cat();
+        let mut db = Database::new(&c);
+        let n1 = db.fresh_null();
+        let n2 = db.fresh_null();
+        assert_ne!(n1, n2);
+        assert!(!db.has_nulls()); // not inserted anywhere yet
+        let r = c.resolve("R").unwrap();
+        db.insert(r, vec![n1, Value::int(1)]).unwrap();
+        assert!(db.has_nulls());
+    }
+
+    #[test]
+    fn null_counter_tracks_inserted_nulls() {
+        let c = cat();
+        let mut db = Database::new(&c);
+        let r = c.resolve("R").unwrap();
+        db.insert(r, vec![Value::Null(NullId(5)), Value::int(0)])
+            .unwrap();
+        // The next fresh null must not collide with null 5.
+        assert_eq!(db.fresh_null(), Value::Null(NullId(6)));
+    }
+
+    #[test]
+    fn map_values_collapses() {
+        let c = cat();
+        let mut db = Database::new(&c);
+        db.insert_named("R", [1i64, 7]).unwrap();
+        db.insert_named("R", [2i64, 7]).unwrap();
+        // Map both keys to 9 — the tuples become identical and collapse.
+        db.map_values(|v| {
+            if v.as_const().and_then(|c| match c {
+                cqchase_ir::Constant::Int(i) => Some(*i),
+                _ => None,
+            }) == Some(7)
+            {
+                v.clone()
+            } else {
+                Value::int(9)
+            }
+        });
+        assert_eq!(db.total_tuples(), 1);
+    }
+
+    #[test]
+    fn from_facts_roundtrip() {
+        let p = cqchase_ir::parse_program(
+            "relation R(a, b). R(1, 2). R(2, 3).",
+        )
+        .unwrap();
+        let db = Database::from_facts(&p.catalog, &p.facts).unwrap();
+        assert_eq!(db.total_tuples(), 2);
+        let r = p.catalog.resolve("R").unwrap();
+        assert!(db.relation(r).contains(&vec![Value::int(2), Value::int(3)]));
+    }
+
+    #[test]
+    fn display_lists_tuples() {
+        let c = cat();
+        let mut db = Database::new(&c);
+        db.insert_named("R", [1i64, 2]).unwrap();
+        db.insert_named("S", [3i64]).unwrap();
+        let s = db.to_string();
+        assert!(s.contains("R(1, 2)"));
+        assert!(s.contains("S(3)"));
+    }
+}

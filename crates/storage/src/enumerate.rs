@@ -1,0 +1,156 @@
+//! Exhaustive enumeration of small database instances.
+//!
+//! Section 4 of the paper separates finite from unrestricted containment
+//! with a concrete Σ. To verify such claims *empirically* we need to walk
+//! every instance over a small domain: each possible tuple is a "cell",
+//! and every subset of cells is an instance. The count is
+//! `2^(Σ_R n^arity(R))`, so callers keep domains tiny (the experiments use
+//! binary relations with domains of 2–4 elements).
+
+use cqchase_ir::{Catalog, RelId};
+
+use crate::database::Database;
+use crate::value::Value;
+
+/// Hard cap on the number of cells (tuple slots) we are willing to
+/// enumerate over: `2^MAX_CELLS` instances.
+pub const MAX_CELLS: u32 = 24;
+
+/// All tuples over domain `{0, …, domain-1}` of the given arity, in
+/// lexicographic order.
+fn all_tuples(arity: usize, domain: i64) -> Vec<Vec<Value>> {
+    let mut out = Vec::new();
+    let total = (domain as u64).pow(arity as u32);
+    for code in 0..total {
+        let mut t = Vec::with_capacity(arity);
+        let mut c = code;
+        for _ in 0..arity {
+            t.push(Value::int((c % domain as u64) as i64));
+            c /= domain as u64;
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// An iterator over **every** database instance over `catalog` whose
+/// values are drawn from `{0, …, domain-1}`.
+///
+/// Returns `None` when the cell count exceeds [`MAX_CELLS`] (the caller
+/// should sample instead of enumerating).
+pub fn all_instances(catalog: &Catalog, domain: i64) -> Option<AllInstances> {
+    let mut cells: Vec<(RelId, Vec<Value>)> = Vec::new();
+    for (rel, schema) in catalog.iter() {
+        for t in all_tuples(schema.arity(), domain) {
+            cells.push((rel, t));
+        }
+    }
+    if cells.len() as u32 > MAX_CELLS {
+        return None;
+    }
+    Some(AllInstances {
+        catalog: catalog.clone(),
+        cells,
+        next: 0,
+        total: None,
+    })
+}
+
+/// See [`all_instances`].
+pub struct AllInstances {
+    catalog: Catalog,
+    cells: Vec<(RelId, Vec<Value>)>,
+    next: u64,
+    total: Option<u64>,
+}
+
+impl AllInstances {
+    /// Number of instances this iterator will yield.
+    pub fn count_total(&self) -> u64 {
+        1u64 << self.cells.len()
+    }
+}
+
+impl Iterator for AllInstances {
+    type Item = Database;
+
+    fn next(&mut self) -> Option<Database> {
+        let total = *self.total.get_or_insert_with(|| 1u64 << self.cells.len());
+        if self.next >= total {
+            return None;
+        }
+        let mask = self.next;
+        self.next += 1;
+        let mut db = Database::new(&self.catalog);
+        for (i, (rel, t)) in self.cells.iter().enumerate() {
+            if mask & (1u64 << i) != 0 {
+                db.insert(*rel, t.clone()).expect("cell arity is correct");
+            }
+        }
+        Some(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::satisfies;
+    use cqchase_ir::DependencySetBuilder;
+
+    #[test]
+    fn counts_match() {
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        // domain 2, binary relation: 4 cells, 16 instances.
+        let it = all_instances(&c, 2).unwrap();
+        assert_eq!(it.count_total(), 16);
+        assert_eq!(it.count(), 16);
+    }
+
+    #[test]
+    fn first_is_empty_last_is_full() {
+        let mut c = Catalog::new();
+        c.declare("R", ["a"]).unwrap();
+        let mut it = all_instances(&c, 2).unwrap();
+        let first = it.next().unwrap();
+        assert_eq!(first.total_tuples(), 0);
+        let last = it.last().unwrap();
+        assert_eq!(last.total_tuples(), 2);
+    }
+
+    #[test]
+    fn too_many_cells_refused() {
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b", "c"]).unwrap();
+        // domain 3: 27 cells > 24.
+        assert!(all_instances(&c, 3).is_none());
+    }
+
+    #[test]
+    fn satisfying_instances_are_found() {
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        let deps = DependencySetBuilder::new(&c)
+            .fd("R", ["b"], "a")
+            .unwrap()
+            .ind("R", ["b"], "R", ["a"])
+            .unwrap()
+            .build();
+        let sat = all_instances(&c, 2)
+            .unwrap()
+            .filter(|db| satisfies(db, &deps))
+            .count();
+        // At least the empty instance and the two self-loops satisfy Σ.
+        assert!(sat >= 3, "found {sat}");
+    }
+
+    #[test]
+    fn multi_relation_enumeration() {
+        let mut c = Catalog::new();
+        c.declare("R", ["a"]).unwrap();
+        c.declare("S", ["x"]).unwrap();
+        // 2 + 2 cells = 16 instances.
+        let it = all_instances(&c, 2).unwrap();
+        assert_eq!(it.count(), 16);
+    }
+}

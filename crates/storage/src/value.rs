@@ -1,0 +1,102 @@
+//! Values stored in relation instances: constants and labelled nulls.
+
+use std::fmt;
+
+use cqchase_ir::Constant;
+
+/// Identifier of a labelled null within one database.
+///
+/// Labelled nulls are the instance-level analogue of the chase's created
+/// NDVs: fresh, mutually distinct placeholders that the data chase may
+/// later unify with constants or with each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NullId(pub u32);
+
+/// One cell of a tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An ordinary constant.
+    Const(Constant),
+    /// A labelled null (distinct nulls are distinct values until the data
+    /// chase unifies them).
+    Null(NullId),
+}
+
+impl Value {
+    /// Integer constant shorthand.
+    pub fn int(i: i64) -> Self {
+        Value::Const(Constant::int(i))
+    }
+
+    /// String constant shorthand.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Const(Constant::str(s))
+    }
+
+    /// Whether this is a labelled null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(&self) -> Option<&Constant> {
+        match self {
+            Value::Const(c) => Some(c),
+            Value::Null(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(c) => write!(f, "{c}"),
+            Value::Null(n) => write!(f, "⊥{}", n.0),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<Constant> for Value {
+    fn from(c: Constant) -> Self {
+        Value::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let v = Value::int(3);
+        assert!(!v.is_null());
+        assert_eq!(v.as_const(), Some(&Constant::Int(3)));
+        let n = Value::Null(NullId(0));
+        assert!(n.is_null());
+        assert_eq!(n.as_const(), None);
+    }
+
+    #[test]
+    fn distinct_nulls_differ() {
+        assert_ne!(Value::Null(NullId(0)), Value::Null(NullId(1)));
+        assert_eq!(Value::Null(NullId(2)), Value::Null(NullId(2)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::int(1).to_string(), "1");
+        assert_eq!(Value::Null(NullId(4)).to_string(), "⊥4");
+    }
+}

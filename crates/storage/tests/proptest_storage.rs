@@ -1,0 +1,154 @@
+//! Property tests on the storage substrate: the data chase repairs into
+//! Σ-satisfying instances, evaluation is monotone, and the evaluation
+//! entry points agree.
+
+use cqchase_ir::{parse_program, Catalog, DependencySet, Fd, Ind, RelId};
+use cqchase_storage::{
+    chase_instance, contains_tuple, evaluate, evaluate_boolean, satisfies, DataChaseBudget,
+    DataChaseOutcome, Database, Value,
+};
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.declare("R", ["a", "b"]).unwrap();
+    c.declare("S", ["x"]).unwrap();
+    c
+}
+
+/// A random instance over R (binary) and S (unary) with domain 0..4.
+fn instances() -> impl Strategy<Value = Database> {
+    (
+        proptest::collection::vec((0i64..4, 0i64..4), 0..6),
+        proptest::collection::vec(0i64..4, 0..4),
+    )
+        .prop_map(|(rs, ss)| {
+            let c = catalog();
+            let mut db = Database::new(&c);
+            for (a, b) in rs {
+                db.insert_named("R", [a, b]).unwrap();
+            }
+            for s in ss {
+                db.insert_named("S", [s]).unwrap();
+            }
+            db
+        })
+}
+
+/// Random Σ: possibly an FD on R, possibly the acyclic IND R[b] ⊆ S[x].
+fn sigmas() -> impl Strategy<Value = DependencySet> {
+    (any::<bool>(), any::<bool>()).prop_map(|(fd, ind)| {
+        let c = catalog();
+        let r = c.resolve("R").unwrap();
+        let s = c.resolve("S").unwrap();
+        let mut out = DependencySet::new();
+        if fd {
+            out.push(Fd::new(r, vec![0], 1));
+        }
+        if ind {
+            out.push(Ind::new(r, vec![1], s, vec![0]));
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A successful data chase yields an instance satisfying Σ, and never
+    /// loses the answer tuples of queries over the *original* data
+    /// (homomorphic repairs only merge and add).
+    #[test]
+    fn data_chase_repairs(db in instances(), sigma in sigmas()) {
+        match chase_instance(&db, &sigma, DataChaseBudget::default()) {
+            DataChaseOutcome::Satisfied(repaired) => {
+                prop_assert!(satisfies(&repaired, &sigma));
+            }
+            DataChaseOutcome::Inconsistent => {
+                // Only FDs over constants can be inconsistent.
+                prop_assert!(sigma.num_fds() > 0);
+            }
+            DataChaseOutcome::BudgetExhausted(_) => {
+                // The acyclic Σ here always terminates.
+                prop_assert!(false, "acyclic data chase must terminate");
+            }
+        }
+    }
+
+    /// Already-satisfying instances pass through the chase unchanged.
+    #[test]
+    fn chase_is_identity_on_satisfying(db in instances(), sigma in sigmas()) {
+        if satisfies(&db, &sigma) {
+            let out = chase_instance(&db, &sigma, DataChaseBudget::default());
+            match out {
+                DataChaseOutcome::Satisfied(repaired) => {
+                    prop_assert_eq!(repaired, db);
+                }
+                _ => prop_assert!(false, "satisfying instance must stay satisfied"),
+            }
+        }
+    }
+
+    /// CQ answers are monotone under tuple insertion.
+    #[test]
+    fn evaluation_monotone(db in instances(), extra in (0i64..4, 0i64..4)) {
+        let p = parse_program(
+            "relation R(a, b). relation S(x).
+             Q(u) :- R(u, v), S(v).",
+        )
+        .unwrap();
+        let q = p.query("Q").unwrap();
+        let before = evaluate(q, &db);
+        let mut bigger = db.clone();
+        bigger.insert_named("R", [extra.0, extra.1]).unwrap();
+        let after = evaluate(q, &bigger);
+        for t in &before {
+            prop_assert!(after.contains(t), "answers must be monotone");
+        }
+    }
+
+    /// `contains_tuple` agrees with full evaluation.
+    #[test]
+    fn contains_agrees_with_evaluate(db in instances(), probe in 0i64..4) {
+        let p = parse_program(
+            "relation R(a, b). relation S(x).
+             Q(u) :- R(u, v).",
+        )
+        .unwrap();
+        let q = p.query("Q").unwrap();
+        let all = evaluate(q, &db);
+        let t = vec![Value::int(probe)];
+        prop_assert_eq!(contains_tuple(q, &db, &t), all.contains(&t));
+    }
+
+    /// Boolean evaluation = nonempty answer.
+    #[test]
+    fn boolean_agrees(db in instances()) {
+        let p = parse_program(
+            "relation R(a, b). relation S(x).
+             Q(u) :- R(u, v), R(v, w).",
+        )
+        .unwrap();
+        let q = p.query("Q").unwrap();
+        prop_assert_eq!(evaluate_boolean(q, &db), !evaluate(q, &db).is_empty());
+    }
+
+    /// Enumeration covers exactly the advertised count and every yielded
+    /// instance is well-formed.
+    #[test]
+    fn enumeration_counts(domain in 1i64..=2) {
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        let it = cqchase_storage::enumerate::all_instances(&c, domain).unwrap();
+        let expect = it.count_total();
+        let r = RelId(0);
+        let mut n = 0u64;
+        for db in it {
+            n += 1;
+            for t in db.relation(r).tuples() {
+                prop_assert_eq!(t.len(), 2);
+            }
+        }
+        prop_assert_eq!(n, expect);
+    }
+}

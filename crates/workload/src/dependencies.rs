@@ -1,0 +1,332 @@
+//! Dependency-set generators: random INDs and random key-based schemas.
+
+use cqchase_ir::{Catalog, DependencySet, Fd, Ind, RelId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Random IND-set generation over an existing catalog.
+#[derive(Debug, Clone)]
+pub struct IndSetGen {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of INDs to produce.
+    pub num_inds: usize,
+    /// Exact width of each IND (must not exceed the smallest arity).
+    pub width: usize,
+    /// Restrict to *acyclic* INDs (relation ids strictly increase from
+    /// left to right), guaranteeing a finite chase.
+    pub acyclic: bool,
+}
+
+impl Default for IndSetGen {
+    fn default() -> Self {
+        IndSetGen {
+            seed: 0,
+            num_inds: 3,
+            width: 1,
+            acyclic: false,
+        }
+    }
+}
+
+impl IndSetGen {
+    /// Generates the IND set. Widths wider than some relation's arity are
+    /// clamped per IND side.
+    pub fn generate(&self, catalog: &Catalog) -> DependencySet {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let rels: Vec<RelId> = catalog.rel_ids().collect();
+        assert!(!rels.is_empty());
+        let mut out = DependencySet::new();
+        let mut attempts = 0;
+        while out.num_inds() < self.num_inds && attempts < self.num_inds * 50 {
+            attempts += 1;
+            let lhs = rels[rng.gen_range(0..rels.len())];
+            let rhs = if self.acyclic {
+                // Need a strictly larger relation id for acyclicity.
+                let larger: Vec<RelId> = rels.iter().copied().filter(|r| *r > lhs).collect();
+                if larger.is_empty() {
+                    continue;
+                }
+                larger[rng.gen_range(0..larger.len())]
+            } else {
+                rels[rng.gen_range(0..rels.len())]
+            };
+            let w = self
+                .width
+                .min(catalog.arity(lhs))
+                .min(catalog.arity(rhs));
+            if w == 0 {
+                continue;
+            }
+            let mut lhs_cols: Vec<usize> = (0..catalog.arity(lhs)).collect();
+            lhs_cols.shuffle(&mut rng);
+            lhs_cols.truncate(w);
+            let mut rhs_cols: Vec<usize> = (0..catalog.arity(rhs)).collect();
+            rhs_cols.shuffle(&mut rng);
+            rhs_cols.truncate(w);
+            let ind = Ind::new(lhs, lhs_cols, rhs, rhs_cols);
+            if !ind.is_trivial() {
+                out.push(ind);
+            }
+        }
+        out
+    }
+}
+
+/// Random FD-set generation over an existing catalog (the classical
+/// workload for the FD chase).
+#[derive(Debug, Clone)]
+pub struct FdSetGen {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of FDs to produce (fewer if the catalog cannot support
+    /// them, e.g. all-unary relations).
+    pub num_fds: usize,
+    /// Maximum left-hand-side size (uniform in `1..=max_lhs`).
+    pub max_lhs: usize,
+}
+
+impl Default for FdSetGen {
+    fn default() -> Self {
+        FdSetGen {
+            seed: 0,
+            num_fds: 2,
+            max_lhs: 1,
+        }
+    }
+}
+
+impl FdSetGen {
+    /// Generates the FD set (non-trivial FDs only).
+    pub fn generate(&self, catalog: &Catalog) -> DependencySet {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let rels: Vec<RelId> = catalog.rel_ids().collect();
+        let mut out = DependencySet::new();
+        let mut attempts = 0;
+        while out.len() < self.num_fds && attempts < self.num_fds * 50 {
+            attempts += 1;
+            let rel = rels[rng.gen_range(0..rels.len())];
+            let arity = catalog.arity(rel);
+            if arity < 2 {
+                continue;
+            }
+            let lhs_size = rng.gen_range(1..=self.max_lhs.min(arity - 1));
+            let mut cols: Vec<usize> = (0..arity).collect();
+            cols.shuffle(&mut rng);
+            let lhs: Vec<usize> = cols[..lhs_size].to_vec();
+            let rhs = cols[lhs_size];
+            out.push(Fd::new(rel, lhs, rhs));
+        }
+        out
+    }
+}
+
+/// Generates a whole **key-based** schema: a catalog plus Σ satisfying
+/// the paper's conditions (a) and (b).
+///
+/// Every relation gets `key_width` leading key columns and
+/// `nonkey_width` dependent columns; FDs `key → each non-key column`
+/// realize condition (a). INDs go from non-key columns of one relation
+/// into (a prefix of) the key of another, realizing condition (b).
+#[derive(Debug, Clone)]
+pub struct KeyBasedGen {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of relations.
+    pub num_relations: usize,
+    /// Key width per relation (condition (b) caps IND width by this).
+    pub key_width: usize,
+    /// Number of non-key columns per relation.
+    pub nonkey_width: usize,
+    /// Number of INDs.
+    pub num_inds: usize,
+    /// Width of each IND (≤ `key_width` and ≤ `nonkey_width`).
+    pub ind_width: usize,
+    /// Restrict to acyclic INDs (relation indices strictly increase),
+    /// guaranteeing finite chases — both query-level and data-level.
+    pub acyclic: bool,
+}
+
+impl Default for KeyBasedGen {
+    fn default() -> Self {
+        KeyBasedGen {
+            seed: 0,
+            num_relations: 3,
+            key_width: 1,
+            nonkey_width: 2,
+            num_inds: 3,
+            ind_width: 1,
+            acyclic: false,
+        }
+    }
+}
+
+impl KeyBasedGen {
+    /// Generates `(catalog, Σ)`; the result always classifies as
+    /// key-based (asserted in tests).
+    pub fn generate(&self) -> (Catalog, DependencySet) {
+        assert!(self.ind_width <= self.key_width && self.ind_width <= self.nonkey_width);
+        assert!(self.ind_width >= 1 && self.num_relations >= 1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut catalog = Catalog::new();
+        for r in 0..self.num_relations {
+            let attrs: Vec<String> = (0..self.key_width)
+                .map(|k| format!("k{k}"))
+                .chain((0..self.nonkey_width).map(|a| format!("a{a}")))
+                .collect();
+            catalog.declare(format!("R{r}"), attrs).unwrap();
+        }
+        let mut sigma = DependencySet::new();
+        // Condition (a): shared-LHS FDs covering every non-key column.
+        for rel in catalog.rel_ids() {
+            let key: Vec<usize> = (0..self.key_width).collect();
+            for a in 0..self.nonkey_width {
+                sigma.push(Fd::new(rel, key.clone(), self.key_width + a));
+            }
+        }
+        // Condition (b): INDs from non-key columns into key prefixes.
+        let rels: Vec<RelId> = catalog.rel_ids().collect();
+        let mut attempts = 0;
+        while sigma.num_inds() < self.num_inds && attempts < self.num_inds * 50 {
+            attempts += 1;
+            let lhs = rels[rng.gen_range(0..rels.len())];
+            let rhs = if self.acyclic {
+                let larger: Vec<RelId> = rels.iter().copied().filter(|r| *r > lhs).collect();
+                if larger.is_empty() {
+                    continue;
+                }
+                larger[rng.gen_range(0..larger.len())]
+            } else {
+                rels[rng.gen_range(0..rels.len())]
+            };
+            // X ⊆ non-key columns of lhs, distinct.
+            let mut nonkey: Vec<usize> =
+                (self.key_width..self.key_width + self.nonkey_width).collect();
+            nonkey.shuffle(&mut rng);
+            let lhs_cols: Vec<usize> = nonkey[..self.ind_width].to_vec();
+            // Y ⊆ key columns of rhs, distinct.
+            let mut keycols: Vec<usize> = (0..self.key_width).collect();
+            keycols.shuffle(&mut rng);
+            let rhs_cols: Vec<usize> = keycols[..self.ind_width].to_vec();
+            let ind = Ind::new(lhs, lhs_cols, rhs, rhs_cols);
+            if !ind.is_trivial() {
+                sigma.push(ind);
+            }
+        }
+        (catalog, sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqchase_core::classify::{classify, SigmaClass};
+    use cqchase_ir::validate::validate_deps;
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare("A", ["x", "y"]).unwrap();
+        c.declare("B", ["u", "v", "w"]).unwrap();
+        c.declare("C", ["p"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn fd_sets_validate() {
+        let c = cat();
+        for seed in 0..10 {
+            let s = FdSetGen {
+                seed,
+                num_fds: 3,
+                max_lhs: 2,
+            }
+            .generate(&c);
+            validate_deps(&s, &c).unwrap();
+            assert_eq!(s.num_inds(), 0);
+            assert!(s.fds().all(|fd| !fd.is_trivial()));
+        }
+    }
+
+    #[test]
+    fn fd_gen_skips_unary_relations() {
+        let mut c = Catalog::new();
+        c.declare("U", ["only"]).unwrap();
+        let s = FdSetGen::default().generate(&c);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn ind_sets_validate() {
+        let c = cat();
+        for seed in 0..10 {
+            let s = IndSetGen {
+                seed,
+                num_inds: 4,
+                width: 2,
+                acyclic: false,
+            }
+            .generate(&c);
+            validate_deps(&s, &c).unwrap();
+            assert!(s.num_inds() <= 4);
+            assert!(matches!(
+                classify(&s, &c),
+                SigmaClass::IndsOnly { .. } | SigmaClass::Empty
+            ));
+        }
+    }
+
+    #[test]
+    fn acyclic_sets_are_acyclic() {
+        let c = cat();
+        for seed in 0..10 {
+            let s = IndSetGen {
+                seed,
+                num_inds: 3,
+                width: 1,
+                acyclic: true,
+            }
+            .generate(&c);
+            for ind in s.inds() {
+                assert!(ind.rhs_rel > ind.lhs_rel);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = cat();
+        let g = IndSetGen::default();
+        assert_eq!(g.generate(&c), g.generate(&c));
+    }
+
+    #[test]
+    fn key_based_gen_is_key_based() {
+        for seed in 0..10 {
+            let (cat, sigma) = KeyBasedGen {
+                seed,
+                num_relations: 4,
+                key_width: 2,
+                nonkey_width: 2,
+                num_inds: 5,
+                ind_width: 2,
+                acyclic: false,
+            }
+            .generate();
+            validate_deps(&sigma, &cat).unwrap();
+            assert!(
+                matches!(classify(&sigma, &cat), SigmaClass::KeyBased { .. }),
+                "seed {seed} must be key-based"
+            );
+        }
+    }
+
+    #[test]
+    fn key_based_widths_respected() {
+        let (cat, sigma) = KeyBasedGen::default().generate();
+        assert_eq!(cat.len(), 3);
+        assert_eq!(sigma.max_ind_width(), 1);
+        // Each relation has nonkey_width FDs.
+        assert_eq!(sigma.num_fds(), 3 * 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Named workloads referenced throughout the experiments: the paper's
+//! own schemas and dependency sets.
+
+use cqchase_ir::{parse_program, Program};
+
+/// The introduction's EMP/DEP schema with the foreign-key IND and the two
+/// queries `Q1`, `Q2` (equivalent under the IND, inequivalent without).
+pub fn intro_emp_dep() -> Program {
+    parse_program(
+        "relation EMP(eno, sal, dept).
+         relation DEP(dno, loc).
+         ind EMP[dept] <= DEP[dno].
+         Q1(e) :- EMP(e, s, d), DEP(d, l).
+         Q2(e) :- EMP(e, s, d).",
+    )
+    .expect("the intro example is well-formed")
+}
+
+/// Figure 1's query and Σ: `Q(c) :- R(a, b, c)` with
+/// `Σ = {R[1] ⊆ T[1], R[1,3] ⊆ S[1,2], S[1,3] ⊆ R[1,2]}` — both chases
+/// are infinite.
+pub fn figure1() -> Program {
+    parse_program(
+        "relation R(a, b, c).
+         relation S(x, y, z).
+         relation T(u, v).
+         ind R[1] <= T[1].
+         ind R[1, 3] <= S[1, 2].
+         ind S[1, 3] <= R[1, 2].
+         Q(c) :- R(a, b, c).",
+    )
+    .expect("the Figure 1 example is well-formed")
+}
+
+/// The key-based variant of the intro schema (adds the keys), used by
+/// experiments that need a KeyBased classification.
+pub fn intro_key_based() -> Program {
+    parse_program(
+        "relation EMP(eno, sal, dept).
+         relation DEP(dno, loc).
+         fd EMP: eno -> sal.
+         fd EMP: eno -> dept.
+         fd DEP: dno -> loc.
+         ind EMP[dept] <= DEP[dno].
+         Q1(e) :- EMP(e, s, d), DEP(d, l).
+         Q2(e) :- EMP(e, s, d).",
+    )
+    .expect("the key-based intro example is well-formed")
+}
+
+/// A single binary relation with the cyclic width-1 IND `R[2] ⊆ R[1]` —
+/// the simplest infinite chase (the paper's "(R\[2\] ⊆ R\[1\])" remark) plus
+/// chain queries of several lengths.
+pub fn successor_cycle() -> Program {
+    parse_program(
+        "relation R(a, b).
+         ind R[2] <= R[1].
+         Q(x) :- R(x, y).
+         Chain2(x) :- R(x, y), R(y, z).
+         Chain3(x) :- R(x, y), R(y, z), R(z, w).
+         Back(x) :- R(y, x).",
+    )
+    .expect("the successor example is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqchase_core::classify::{classify, SigmaClass};
+
+    #[test]
+    fn families_parse_and_classify() {
+        let intro = intro_emp_dep();
+        assert!(matches!(
+            classify(&intro.deps, &intro.catalog),
+            SigmaClass::IndsOnly { width: 1 }
+        ));
+        let fig1 = figure1();
+        assert!(matches!(
+            classify(&fig1.deps, &fig1.catalog),
+            SigmaClass::IndsOnly { width: 2 }
+        ));
+        let kb = intro_key_based();
+        assert!(matches!(
+            classify(&kb.deps, &kb.catalog),
+            SigmaClass::KeyBased { .. }
+        ));
+        let succ = successor_cycle();
+        assert_eq!(succ.queries.len(), 4);
+    }
+}

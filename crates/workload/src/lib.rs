@@ -1,0 +1,28 @@
+//! # cqchase-workload — deterministic workload generators
+//!
+//! Every experiment in the paper-reproduction harness sweeps over
+//! families of queries, dependency sets and database instances. This
+//! crate generates them *deterministically* (seeded `StdRng` everywhere)
+//! so experiment tables are reproducible run to run:
+//!
+//! * [`queries`] — chain / star / cycle / random-shape conjunctive
+//!   queries;
+//! * [`dependencies`] — random IND sets (acyclic or cyclic, width-
+//!   controlled), random FD sets, and random **key-based** schemas
+//!   (FDs + INDs satisfying the paper's conditions (a) and (b));
+//! * [`databases`] — random instances, optionally repaired into
+//!   Σ-satisfying ones through the storage-layer data chase;
+//! * [`families`] — the named workloads the experiments reference
+//!   (the Figure 1 Σ, the Section 4 Σ, the intro's EMP/DEP schema).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod databases;
+pub mod dependencies;
+pub mod families;
+pub mod queries;
+
+pub use databases::DatabaseGen;
+pub use dependencies::{FdSetGen, IndSetGen, KeyBasedGen};
+pub use queries::{chain_query, cycle_query, star_query, QueryGen};

@@ -1,0 +1,70 @@
+//! IND inference two ways: the Casanova–Fagin–Papadimitriou axioms
+//! (reflexivity, projection & permutation, transitivity) versus the
+//! paper's Corollary 2.3 reduction to conjunctive-query containment.
+//!
+//! Run with `cargo run --example ind_inference`.
+
+use cqchase::core::inference::{implies_ind_axiomatic, implies_ind_via_chase, ind_inference_queries};
+use cqchase::core::ContainmentOptions;
+use cqchase::ir::{display, parse_program, Ind};
+
+fn main() {
+    let program = parse_program(
+        "
+        relation ORDERS(oid, cust, item).
+        relation CUST(cid, name).
+        relation VIP(vid).
+
+        ind ORDERS[cust] <= CUST[cid].
+        ind CUST[cid] <= VIP[vid].
+        ",
+    )
+    .unwrap();
+    let cat = &program.catalog;
+    let opts = ContainmentOptions::default();
+
+    let goals = [
+        // Transitive composition: holds.
+        Ind::new(
+            cat.resolve("ORDERS").unwrap(),
+            vec![1],
+            cat.resolve("VIP").unwrap(),
+            vec![0],
+        ),
+        // Reverse direction: fails.
+        Ind::new(
+            cat.resolve("VIP").unwrap(),
+            vec![0],
+            cat.resolve("ORDERS").unwrap(),
+            vec![1],
+        ),
+        // Reflexivity: holds.
+        Ind::new(
+            cat.resolve("CUST").unwrap(),
+            vec![0, 1],
+            cat.resolve("CUST").unwrap(),
+            vec![0, 1],
+        ),
+    ];
+
+    println!("Σ:\n{}\n", display::deps(&program.deps, cat));
+    for goal in &goals {
+        let (q, qp) = ind_inference_queries(goal, cat);
+        let axiomatic = implies_ind_axiomatic(&program.deps, goal, 1_000_000)
+            .expect("saturation completes on this tiny schema");
+        let chase = implies_ind_via_chase(&program.deps, goal, cat, &opts)
+            .expect("within budget");
+        println!("goal: {}", display::ind(goal, cat));
+        println!("  Corollary 2.3 queries:");
+        println!("    {}", display::query(&q, cat));
+        println!("    {}", display::query(&qp, cat));
+        println!("  axiomatic prover: {axiomatic}");
+        println!(
+            "  chase-based     : {} (chase explored {} conjuncts, {} levels)",
+            chase.contained, chase.chase_conjuncts, chase.levels_explored
+        );
+        assert_eq!(axiomatic, chase.contained, "the two engines must agree");
+        println!();
+    }
+    println!("Both decision procedures agree on every goal.");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: parse a schema, dependencies and queries, then test
+//! containment, equivalence and minimization.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use cqchase::core::{contained, equivalent, minimize, ContainmentOptions};
+use cqchase::ir::{display, parse_program};
+
+fn main() {
+    // The paper's opening example: employees and departments with a
+    // foreign-key inclusion dependency.
+    let program = parse_program(
+        "
+        relation EMP(eno, sal, dept).
+        relation DEP(dno, loc).
+
+        // Every department that has an employee also has a location.
+        ind EMP[dept] <= DEP[dno].
+
+        Q1(e) :- EMP(e, s, d), DEP(d, l).
+        Q2(e) :- EMP(e, s, d).
+        ",
+    )
+    .expect("program parses");
+
+    let q1 = program.query("Q1").unwrap();
+    let q2 = program.query("Q2").unwrap();
+    let opts = ContainmentOptions::default();
+
+    println!("Schema:\n{}\n", display::catalog(&program.catalog));
+    println!("Dependencies:\n{}\n", display::deps(&program.deps, &program.catalog));
+    println!("{}", display::query(q1, &program.catalog));
+    println!("{}\n", display::query(q2, &program.catalog));
+
+    // Containment both ways.
+    let fwd = contained(q2, q1, &program.deps, &program.catalog, &opts).unwrap();
+    println!(
+        "Q2 ⊆ Q1 under Σ?  {}   (class: {:?}, witness level {})",
+        fwd.contained,
+        fwd.class,
+        fwd.witness.as_ref().map(|w| w.max_level).unwrap_or(0),
+    );
+    let bwd = contained(q1, q2, &program.deps, &program.catalog, &opts).unwrap();
+    println!("Q1 ⊆ Q2 under Σ?  {}", bwd.contained);
+
+    // Equivalence in one call.
+    let eq = equivalent(q1, q2, &program.deps, &program.catalog, &opts).unwrap();
+    println!("Q1 ≡ Q2 under Σ?  {}", eq.equivalent());
+
+    // Minimization: the DEP conjunct of Q1 is redundant under the IND.
+    let min = minimize(q1, &program.deps, &program.catalog, &opts).unwrap();
+    println!(
+        "\nminimize(Q1) dropped conjuncts {:?}:\n  {}",
+        min.removed,
+        display::query(&min.query, &program.catalog)
+    );
+
+    // Without the IND the queries differ.
+    let no_deps = cqchase::ir::DependencySet::new();
+    let fwd2 = contained(q2, q1, &no_deps, &program.catalog, &opts).unwrap();
+    println!("\nWithout Σ: Q2 ⊆ Q1?  {}", fwd2.contained);
+}

@@ -1,0 +1,192 @@
+//! `cqchase` — command-line front end.
+//!
+//! ```text
+//! cqchase check FILE                    parse + validate + classify Σ
+//! cqchase chase FILE Q [--levels N] [--mode r|o] [--dot]
+//! cqchase contain FILE Q QP             test Σ ⊨ Q ⊆∞ QP (with witness)
+//! cqchase equiv FILE Q QP               test Σ ⊨ Q ≡∞ QP
+//! cqchase minimize FILE Q               minimal equivalent subquery
+//! cqchase eval FILE Q                   evaluate Q over the file's facts
+//! ```
+//!
+//! `FILE` is a program in the surface language (`relation …`, `fd …`,
+//! `ind …`, queries, and optional ground facts).
+
+use std::process::ExitCode;
+
+use cqchase::core::chase::{graph, Chase, ChaseBudget, ChaseMode};
+use cqchase::core::classify::classify;
+use cqchase::core::{
+    contained, equivalent, minimize, render_chase_witness, ContainmentOptions,
+};
+use cqchase::ir::{display, parse_program, ConjunctiveQuery, Program};
+use cqchase::storage::{evaluate, Database};
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_program(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn query<'p>(p: &'p Program, name: &str) -> Result<&'p ConjunctiveQuery, String> {
+    p.query(name)
+        .ok_or_else(|| format!("no query named `{name}` (declared: {})",
+            p.queries.iter().map(|q| q.name.as_str()).collect::<Vec<_>>().join(", ")))
+}
+
+fn cmd_check(path: &str) -> Result<(), String> {
+    let p = load(path)?;
+    println!("{}", display::catalog(&p.catalog));
+    if !p.deps.is_empty() {
+        println!("{}", display::deps(&p.deps, &p.catalog));
+    }
+    for q in &p.queries {
+        println!("{}", display::query(q, &p.catalog));
+    }
+    println!(
+        "\nrelations: {}   dependencies: {} ({} FDs, {} INDs, max width {})   queries: {}   facts: {}",
+        p.catalog.len(),
+        p.deps.len(),
+        p.deps.num_fds(),
+        p.deps.num_inds(),
+        p.deps.max_ind_width(),
+        p.queries.len(),
+        p.facts.len(),
+    );
+    println!("classification: {:?}", classify(&p.deps, &p.catalog));
+    Ok(())
+}
+
+fn cmd_chase(path: &str, qname: &str, levels: u32, mode: ChaseMode, dot: bool) -> Result<(), String> {
+    let p = load(path)?;
+    let q = query(&p, qname)?;
+    let mut ch = Chase::new(q, &p.deps, &p.catalog, mode);
+    let status = ch.expand_to_level(levels, ChaseBudget::default());
+    if dot {
+        println!("{}", graph::render_dot(ch.state(), qname));
+    } else {
+        println!("{}", graph::render_levels(ch.state()));
+        println!(
+            "status: {status:?}   conjuncts: {}   levels: {:?}   complete: {}",
+            ch.state().num_alive(),
+            ch.state().level_histogram(),
+            ch.is_complete(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_contain(path: &str, a: &str, b: &str) -> Result<(), String> {
+    let p = load(path)?;
+    let q = query(&p, a)?;
+    let qp = query(&p, b)?;
+    let ans = contained(q, qp, &p.deps, &p.catalog, &ContainmentOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "Σ ⊨ {a} ⊆ {b}: {}{}",
+        ans.contained,
+        if ans.exact { "" } else { "   (semi-decision: inconclusive negative)" }
+    );
+    println!(
+        "class: {:?}   bound: {}   levels explored: {}   chase conjuncts: {}",
+        ans.class, ans.bound, ans.levels_explored, ans.chase_conjuncts
+    );
+    if let Some(h) = &ans.witness {
+        // Re-derive the chase for rendering (answers don't retain state).
+        let mode = ans.class.preferred_mode();
+        let mut ch = Chase::new(q, &p.deps, &p.catalog, mode);
+        ch.expand_to_level(h.max_level, ChaseBudget::default());
+        println!("{}", render_chase_witness(h, qp, ch.state()));
+    }
+    Ok(())
+}
+
+fn cmd_equiv(path: &str, a: &str, b: &str) -> Result<(), String> {
+    let p = load(path)?;
+    let eq = equivalent(
+        query(&p, a)?,
+        query(&p, b)?,
+        &p.deps,
+        &p.catalog,
+        &ContainmentOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("Σ ⊨ {a} ≡ {b}: {} (exact: {})", eq.equivalent(), eq.exact());
+    Ok(())
+}
+
+fn cmd_minimize(path: &str, qname: &str) -> Result<(), String> {
+    let p = load(path)?;
+    let q = query(&p, qname)?;
+    let m = minimize(q, &p.deps, &p.catalog, &ContainmentOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!("{}", display::query(q, &p.catalog));
+    println!("=> {}", display::query(&m.query, &p.catalog));
+    println!("removed conjunct indices: {:?}", m.removed);
+    Ok(())
+}
+
+fn cmd_eval(path: &str, qname: &str) -> Result<(), String> {
+    let p = load(path)?;
+    let q = query(&p, qname)?;
+    let db = Database::from_facts(&p.catalog, &p.facts).map_err(|e| e.to_string())?;
+    let rows = evaluate(q, &db);
+    println!("{} rows", rows.len());
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("({})", cells.join(", "));
+    }
+    Ok(())
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cqchase check FILE\n  cqchase chase FILE Q [--levels N] [--mode r|o] [--dot]\n  cqchase contain FILE Q QP\n  cqchase equiv FILE Q QP\n  cqchase minimize FILE Q\n  cqchase eval FILE Q"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    let rest = &args[1..];
+    let result = match (cmd.as_str(), rest) {
+        ("check", [file]) => cmd_check(file),
+        ("chase", [file, q, opts @ ..]) => {
+            let mut levels = 5u32;
+            let mut mode = ChaseMode::Required;
+            let mut dot = false;
+            let mut it = opts.iter();
+            while let Some(o) = it.next() {
+                match o.as_str() {
+                    "--levels" => {
+                        levels = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(levels)
+                    }
+                    "--mode" => {
+                        mode = match it.next().map(String::as_str) {
+                            Some("o") | Some("O") => ChaseMode::Oblivious,
+                            _ => ChaseMode::Required,
+                        }
+                    }
+                    "--dot" => dot = true,
+                    other => return { eprintln!("unknown option {other}"); usage() },
+                }
+            }
+            cmd_chase(file, q, levels, mode, dot)
+        }
+        ("contain", [file, a, b]) => cmd_contain(file, a, b),
+        ("equiv", [file, a, b]) => cmd_equiv(file, a, b),
+        ("minimize", [file, q]) => cmd_minimize(file, q),
+        ("eval", [file, q]) => cmd_eval(file, q),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! # cqchase — facade crate
+//!
+//! Re-exports the full public API of the workspace. See the README for a
+//! tour and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use cqchase_core as core;
+pub use cqchase_ir as ir;
+pub use cqchase_storage as storage;
+pub use cqchase_workload as workload;
