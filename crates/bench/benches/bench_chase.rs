@@ -1,9 +1,9 @@
 //! Chase expansion throughput: O-chase vs R-chase on the Figure 1 Σ and
 //! the successor cycle, by target level.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqchase_core::chase::{Chase, ChaseBudget, ChaseMode};
 use cqchase_workload::families::{figure1, successor_cycle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_chase(c: &mut Criterion) {
     let mut group = c.benchmark_group("chase_expand");

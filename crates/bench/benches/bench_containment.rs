@@ -1,10 +1,10 @@
 //! Containment testing cost per dependency class (the E7 sweep, under
 //! Criterion): chain self-containment with Σ ∈ {∅, FDs, INDs, key-based}.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqchase_core::{contained, ContainmentOptions};
 use cqchase_ir::parse_program;
 use cqchase_workload::chain_query;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_containment(c: &mut Criterion) {
     let variants: Vec<(&str, &str)> = vec![

@@ -1,10 +1,10 @@
 //! Instance repair cost: the data chase on random instances under
 //! foreign-key dependencies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqchase_ir::parse_program;
 use cqchase_storage::{chase_instance, DataChaseBudget};
 use cqchase_workload::DatabaseGen;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_datachase(c: &mut Criterion) {
     let p = parse_program(

@@ -1,10 +1,10 @@
 //! Query evaluation over finite instances: chain joins over random
 //! binary relations of growing size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqchase_ir::Catalog;
 use cqchase_storage::evaluate;
 use cqchase_workload::{chain_query, DatabaseGen};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_eval(c: &mut Criterion) {
     let mut catalog = Catalog::new();

@@ -1,9 +1,9 @@
 //! FD-chase cost: queries with n atoms sharing a key, which the FD rule
 //! merges pairwise (the classical chase workload of [1,2,11]).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqchase_core::chase::{chase_query, ChaseBudget, ChaseMode, ChaseStatus};
 use cqchase_ir::{parse_program, QueryBuilder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_fd_chase(c: &mut Criterion) {
     let p = parse_program("relation R(a, b). fd R: a -> b.").unwrap();

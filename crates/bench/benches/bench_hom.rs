@@ -1,11 +1,11 @@
 //! Homomorphism search cost vs target size: map a k-atom chain query
 //! into chases of growing depth.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqchase_core::chase::{Chase, ChaseBudget, ChaseMode};
 use cqchase_core::hom::{find_hom, HomTarget};
 use cqchase_workload::chain_query;
 use cqchase_workload::families::successor_cycle;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_hom(c: &mut Criterion) {
     let program = successor_cycle();

@@ -1,10 +1,10 @@
 //! IND-inference cost: axiomatic saturation vs the Corollary 2.3
 //! chase reduction, on transitive chains of INDs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqchase_core::inference::{implies_ind_axiomatic, implies_ind_via_chase};
 use cqchase_core::ContainmentOptions;
 use cqchase_ir::{Catalog, DependencySet, Ind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn chain_setup(n: usize, width: usize) -> (Catalog, DependencySet, Ind) {
     let mut catalog = Catalog::new();

@@ -39,8 +39,10 @@ pub fn run() -> ExperimentOutput {
     let (f3, b3) = record("key-based", &kb, &kb.deps);
 
     println!("{}", table.render());
-    println!("paper claim: equivalent iff the IND holds — reproduced: {}",
-        (f1 && b1) && (!f2 && b2) && (f3 && b3));
+    println!(
+        "paper claim: equivalent iff the IND holds — reproduced: {}",
+        (f1 && b1) && (!f2 && b2) && (f3 && b3)
+    );
 
     ExperimentOutput {
         id: "e2",

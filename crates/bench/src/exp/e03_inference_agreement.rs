@@ -67,8 +67,8 @@ pub fn run() -> ExperimentOutput {
         let goals = 20;
         for _ in 0..goals {
             let goal = random_goal(&catalog, 1, &mut rng);
-            let ax = implies_ind_axiomatic(&sigma, &goal, 1_000_000)
-                .expect("tiny universe saturates");
+            let ax =
+                implies_ind_axiomatic(&sigma, &goal, 1_000_000).expect("tiny universe saturates");
             let ch = match implies_ind_via_chase(&sigma, &goal, &catalog, &opts) {
                 Ok(a) => a.contained,
                 Err(_) => continue,

@@ -21,7 +21,14 @@ use crate::util::{ancestors_plus_roots, query_from_conjuncts};
 /// Runs E5.
 pub fn run() -> ExperimentOutput {
     let mut table = Table::new(&[
-        "class", "seed", "|Q'|", "|Σ|", "W", "bound", "witness level", "slack",
+        "class",
+        "seed",
+        "|Q'|",
+        "|Σ|",
+        "W",
+        "bound",
+        "witness level",
+        "slack",
     ]);
     let mut violations = 0usize;
     let opts = ContainmentOptions::default();

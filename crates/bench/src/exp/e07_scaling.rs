@@ -55,7 +55,9 @@ pub fn run() -> ExperimentOutput {
     }
 
     println!("{}", table.render());
-    println!("all classes answer `true` on self-containment; cost grows with chase depth, not class");
+    println!(
+        "all classes answer `true` on self-containment; cost grows with chase depth, not class"
+    );
 
     ExperimentOutput {
         id: "e7",

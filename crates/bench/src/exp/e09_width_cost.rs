@@ -54,7 +54,7 @@ pub fn run() -> ExperimentOutput {
                 .ok()
                 .map(|a| a.contained);
         });
-        let bound_factor = theorem2_bound_raw(1, 1, w) ; // just (W+1)^W
+        let bound_factor = theorem2_bound_raw(1, 1, w); // just (W+1)^W
         let agree = ax_ans == Some(true) && ch_ans == Some(true);
         table.rowd(&[
             w.to_string(),

@@ -91,7 +91,10 @@ pub fn run() -> ExperimentOutput {
             .unwrap()
             .query
             .num_atoms();
-        after_yes += minimize(q, &sigma_succ, &cat3, &opts).unwrap().query.num_atoms();
+        after_yes += minimize(q, &sigma_succ, &cat3, &opts)
+            .unwrap()
+            .query
+            .num_atoms();
     }
     table.rowd(&[
         "random×8".to_string(),

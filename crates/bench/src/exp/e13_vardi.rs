@@ -25,7 +25,15 @@ pub fn run() -> ExperimentOutput {
     catalog.declare("S", ["x", "y"]).unwrap();
     let opts = ContainmentOptions::default();
 
-    let mut table = Table::new(&["seed", "|Σ|", "pairs", "⊆∞ yes", "⊆∞ no", "agree", "mismatch"]);
+    let mut table = Table::new(&[
+        "seed",
+        "|Σ|",
+        "pairs",
+        "⊆∞ yes",
+        "⊆∞ no",
+        "agree",
+        "mismatch",
+    ]);
     let mut total_mismatch = 0usize;
 
     for seed in 0..6u64 {
@@ -63,9 +71,7 @@ pub fn run() -> ExperimentOutput {
                 };
                 // Exhaustive finite check over domain 2 (2·4 cells = 256
                 // instances per pair; cheap and decisive at this scale).
-                let Some(fin) =
-                    finite_contained_exhaustive(q, qp, &sigma, &catalog, 2)
-                else {
+                let Some(fin) = finite_contained_exhaustive(q, qp, &sigma, &catalog, 2) else {
                     continue;
                 };
                 pairs += 1;

@@ -35,11 +35,7 @@ pub fn theorem2_bound_raw(q_prime_conjuncts: usize, sigma_len: usize, w: usize) 
 /// level at most this value (paper, proof of Theorem 2); exhausting the
 /// chase to this level without finding one certifies non-containment.
 pub fn theorem2_bound(q_prime: &ConjunctiveQuery, sigma: &DependencySet) -> u32 {
-    let raw = theorem2_bound_raw(
-        q_prime.num_atoms(),
-        sigma.len(),
-        sigma.max_ind_width(),
-    );
+    let raw = theorem2_bound_raw(q_prime.num_atoms(), sigma.len(), sigma.max_ind_width());
     u32::try_from(raw.min(u128::from(u32::MAX))).expect("clamped")
 }
 
@@ -93,6 +89,9 @@ mod tests {
     #[test]
     fn zero_conjuncts_bound_zero() {
         let p = parse_program("relation R(a). Q(x) :- R(x).").unwrap();
-        assert_eq!(theorem2_bound(p.query("Q").unwrap(), &DependencySet::new()), 0);
+        assert_eq!(
+            theorem2_bound(p.query("Q").unwrap(), &DependencySet::new()),
+            0
+        );
     }
 }

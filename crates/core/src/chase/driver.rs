@@ -22,9 +22,9 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 
 use cqchase_ir::{Catalog, ConjunctiveQuery, DependencySet, Fd, Ind};
 
-use super::fd::{fd_phase, Merge};
-use super::ind::{apply_ind, record_cross, WitnessIndex};
-use super::state::{ChaseState, ConjId};
+use super::fd::fd_phase;
+use super::ind::{apply_ind, record_cross};
+use super::state::{ChaseState, ConjId, Merge};
 
 /// Which chase discipline to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -92,7 +92,6 @@ pub struct Chase {
     pending_key: HashMap<ConjId, u32>,
     /// `(conjunct, ind index)` pairs already handled.
     processed: HashSet<(ConjId, usize)>,
-    witness: WitnessIndex,
     steps: usize,
     fd_steps: usize,
 }
@@ -114,7 +113,6 @@ impl Chase {
             fd_steps = n;
         }
         let mut chase = Chase {
-            witness: WitnessIndex::new(inds.len()),
             state,
             mode,
             fds,
@@ -240,7 +238,7 @@ impl Chase {
         };
         self.steps += 1;
         self.processed.insert((id, ind_idx));
-        let required = match self.mode {
+        let witness = match self.mode {
             ChaseMode::Oblivious => {
                 // The O-chase applies regardless; the only exception is an
                 // IND covering every column of S, whose "new" conjunct is
@@ -248,35 +246,26 @@ impl Chase {
                 // duplicate, so record the arc against the existing copy.
                 let ind = &self.inds[ind_idx];
                 if ind.rhs_cols.len() == self.state.catalog().arity(ind.rhs_rel) {
-                    self.witness
-                        .witness(&self.state, &self.inds, id, ind_idx)
-                        .map(|w| (false, w))
+                    self.state.find_witness(ind, id)
                 } else {
                     None
                 }
             }
-            ChaseMode::Required => self
-                .witness
-                .witness(&self.state, &self.inds, id, ind_idx)
-                .map(|w| (true, w)),
+            ChaseMode::Required => self.state.find_witness(&self.inds[ind_idx], id),
         };
-        match required {
-            Some((_, w)) => {
+        match witness {
+            Some(w) => {
                 record_cross(&mut self.state, id, w, ind_idx);
             }
             None => {
                 let ind = self.inds[ind_idx].clone();
                 let child = apply_ind(&mut self.state, id, &ind, ind_idx);
-                self.witness.register(&self.state, &self.inds, child);
                 // Instruction (1): exhaust FDs, which only the new
                 // conjunct can have triggered.
                 if !self.fds.is_empty() {
                     match fd_phase(&mut self.state, &self.fds, Some(child)) {
                         Ok((n, merges)) => {
                             self.fd_steps += n;
-                            if n > 0 {
-                                self.witness.mark_dirty();
-                            }
                             self.absorb_merges(&merges);
                         }
                         Err(_) => {
@@ -521,11 +510,7 @@ mod tests {
         ch.run_to_completion(ChaseBudget::default());
         assert_eq!(ch.state().level_histogram(), vec![1, 1, 1]);
         // S child at level 1, T grandchild at level 2.
-        let levels: Vec<u32> = ch
-            .state()
-            .alive_conjuncts()
-            .map(|(_, c)| c.level)
-            .collect();
+        let levels: Vec<u32> = ch.state().alive_conjuncts().map(|(_, c)| c.level).collect();
         assert_eq!(levels, vec![0, 1, 2]);
     }
 }

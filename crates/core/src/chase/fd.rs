@@ -11,132 +11,21 @@
 //! `(c₁, c₂)` (by conjunct id, which is creation order) with an
 //! applicable FD, and the first applicable FD in Σ's declaration order —
 //! realizing the paper's canonical-chase convention.
-
-use std::collections::HashMap;
+//!
+//! Both halves run on the chase's incremental indexes: applicability is
+//! found by hash-grouping / posting intersection
+//! ([`ChaseState::find_applicable_fd`]) and the substitution rewrites
+//! only the conjuncts actually containing the eliminated symbol
+//! ([`ChaseState::substitute`]) — no quadratic pair scans, no whole-state
+//! rewrite passes.
 
 use cqchase_ir::Fd;
 
-use super::state::{CTerm, ChaseState, ConjId, Conjunct};
+use super::state::{CTerm, ChaseState, ConjId, Merge};
 
 /// The FD rule met two distinct constants: the chase is the empty query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FdFailure;
-
-/// A merge of two conjuncts that became identical after a substitution:
-/// `dead` was absorbed into `survivor` (which keeps the minimum level).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Merge {
-    /// The absorbed conjunct.
-    pub dead: ConjId,
-    /// The conjunct that remains alive.
-    pub survivor: ConjId,
-}
-
-/// Finds the first applicable FD: the smallest pair of live conjuncts (by
-/// id) of the same relation agreeing on some FD's left-hand side and
-/// differing on its right-hand side. When `involving` is set, only pairs
-/// containing that conjunct are examined (valid when the state was
-/// FD-quiescent before that conjunct appeared).
-pub(crate) fn find_applicable(
-    state: &ChaseState,
-    fds: &[Fd],
-    involving: Option<ConjId>,
-) -> Option<(ConjId, ConjId, usize)> {
-    let applicable = |a: &Conjunct, b: &Conjunct| -> Option<usize> {
-        fds.iter().position(|fd| {
-            fd.relation == a.rel
-                && fd.lhs.iter().all(|&z| a.terms[z] == b.terms[z])
-                && a.terms[fd.rhs] != b.terms[fd.rhs]
-        })
-    };
-    let ids: Vec<ConjId> = state.alive_conjuncts().map(|(id, _)| id).collect();
-    match involving {
-        Some(c) => {
-            let cc = state.conjunct(c);
-            if !cc.alive {
-                return None;
-            }
-            for &other in &ids {
-                if other == c {
-                    continue;
-                }
-                let oc = state.conjunct(other);
-                if oc.rel != cc.rel {
-                    continue;
-                }
-                let (c1, c2) = if other < c { (other, c) } else { (c, other) };
-                let (a, b) = (state.conjunct(c1), state.conjunct(c2));
-                if let Some(fd_idx) = applicable(a, b) {
-                    return Some((c1, c2, fd_idx));
-                }
-            }
-            None
-        }
-        None => {
-            for (i, &c1) in ids.iter().enumerate() {
-                let a = state.conjunct(c1);
-                for &c2 in &ids[i + 1..] {
-                    let b = state.conjunct(c2);
-                    if a.rel != b.rel {
-                        continue;
-                    }
-                    if let Some(fd_idx) = applicable(a, b) {
-                        return Some((c1, c2, fd_idx));
-                    }
-                }
-            }
-            None
-        }
-    }
-}
-
-/// Substitutes `from ↦ to` through every live conjunct and the summary
-/// row, then merges conjuncts that became identical. Returns the merges
-/// performed (in order).
-fn substitute_and_dedup(state: &mut ChaseState, from: &CTerm, to: &CTerm) -> Vec<Merge> {
-    for c in state.conjuncts.iter_mut().filter(|c| c.alive) {
-        for t in &mut c.terms {
-            if t == from {
-                *t = to.clone();
-            }
-        }
-    }
-    for t in &mut state.summary {
-        if t == from {
-            *t = to.clone();
-        }
-    }
-    // Merge duplicates: the earliest conjunct with a given (rel, terms)
-    // survives; later copies die and donate their minimum level — "the
-    // merged conjunct gets the minimum of the two original levels".
-    let mut merges = Vec::new();
-    let mut seen: HashMap<(cqchase_ir::RelId, Vec<CTerm>), ConjId> = HashMap::new();
-    let n = state.conjuncts.len();
-    for i in 0..n {
-        if !state.conjuncts[i].alive {
-            continue;
-        }
-        let key = (
-            state.conjuncts[i].rel,
-            state.conjuncts[i].terms.clone(),
-        );
-        match seen.get(&key) {
-            None => {
-                seen.insert(key, ConjId(i as u32));
-            }
-            Some(&survivor) => {
-                let dead = ConjId(i as u32);
-                let lvl = state.conjuncts[i].level;
-                state.conjuncts[i].alive = false;
-                state.conjuncts[i].merged_into = Some(survivor);
-                let s = &mut state.conjuncts[survivor.index()];
-                s.level = s.level.min(lvl);
-                merges.push(Merge { dead, survivor });
-            }
-        }
-    }
-    merges
-}
 
 /// Applies the FD rule to `(c1, c2, fd)`. On a constant clash the state
 /// is marked failed and all conjuncts are deleted.
@@ -151,25 +40,22 @@ pub(crate) fn apply(
     debug_assert_ne!(u, v, "the FD must be applicable");
     let (from, to) = match (&u, &v) {
         (CTerm::Const(_), CTerm::Const(_)) => {
-            state.failed = true;
-            for c in &mut state.conjuncts {
-                c.alive = false;
-            }
+            state.fail();
             return Err(FdFailure);
         }
-        (CTerm::Const(_), CTerm::Var(_)) => (v, u),
-        (CTerm::Var(_), CTerm::Const(_)) => (u, v),
+        (CTerm::Const(_), CTerm::Var(b)) => (*b, u),
+        (CTerm::Var(a), CTerm::Const(_)) => (*a, v),
         (CTerm::Var(a), CTerm::Var(b)) => {
             // Lexicographically first symbol wins; ordinal order encodes
             // "DVs precede NDVs, earlier creations precede later ones".
             if a < b {
-                (v, u)
+                (*b, u)
             } else {
-                (u, v)
+                (*a, v)
             }
         }
     };
-    Ok(substitute_and_dedup(state, &from, &to))
+    Ok(state.substitute(from, &to))
 }
 
 /// Exhausts the FD rule: repeatedly finds and applies the canonical
@@ -191,14 +77,13 @@ pub(crate) fn fd_phase(
     let mut merges = Vec::new();
     let mut involving = hint;
     loop {
-        match find_applicable(state, fds, involving) {
+        match state.find_applicable_fd(fds, involving) {
             Some((c1, c2, fd_idx)) => {
                 let fd = fds[fd_idx].clone();
                 merges.extend(apply(state, c1, c2, &fd)?);
                 steps += 1;
                 involving = None; // substitution may enable arbitrary pairs
             }
-            None if involving.is_some() => return Ok((steps, merges)),
             None => return Ok((steps, merges)),
         }
     }
@@ -219,9 +104,8 @@ mod tests {
     #[test]
     fn merge_two_variables_keeps_lex_first() {
         // R(x, y), R(x, z) with R: a -> b forces y = z.
-        let (_, mut st, fds) = state_of(
-            "relation R(a, b). fd R: a -> b. Q(x) :- R(x, y), R(x, z).",
-        );
+        let (_, mut st, fds) =
+            state_of("relation R(a, b). fd R: a -> b. Q(x) :- R(x, y), R(x, z).");
         let (steps, merges) = fd_phase(&mut st, &fds, None).unwrap();
         assert_eq!(steps, 1);
         // The two conjuncts became identical and merged.
@@ -238,9 +122,8 @@ mod tests {
         // Q(x, w) :- R(x, w), R(x, y): w is a DV, y an NDV; the combined
         // symbol must be the DV even though `y` was interned... DVs always
         // precede NDVs in the order.
-        let (_, mut st, fds) = state_of(
-            "relation R(a, b). fd R: a -> b. Q(x, w) :- R(x, y), R(x, w).",
-        );
+        let (_, mut st, fds) =
+            state_of("relation R(a, b). fd R: a -> b. Q(x, w) :- R(x, y), R(x, w).");
         fd_phase(&mut st, &fds, None).unwrap();
         let (_, c) = st.alive_conjuncts().next().unwrap();
         let v = c.terms[1].as_var().unwrap();
@@ -251,9 +134,8 @@ mod tests {
 
     #[test]
     fn constant_beats_variable() {
-        let (_, mut st, fds) = state_of(
-            "relation R(a, b). fd R: a -> b. Q(x) :- R(x, y), R(x, 7).",
-        );
+        let (_, mut st, fds) =
+            state_of("relation R(a, b). fd R: a -> b. Q(x) :- R(x, y), R(x, 7).");
         fd_phase(&mut st, &fds, None).unwrap();
         assert_eq!(st.num_alive(), 1);
         let (_, c) = st.alive_conjuncts().next().unwrap();
@@ -262,9 +144,8 @@ mod tests {
 
     #[test]
     fn constant_clash_fails() {
-        let (_, mut st, fds) = state_of(
-            "relation R(a, b). fd R: a -> b. Q(x) :- R(x, 1), R(x, 2).",
-        );
+        let (_, mut st, fds) =
+            state_of("relation R(a, b). fd R: a -> b. Q(x) :- R(x, 1), R(x, 2).");
         let r = fd_phase(&mut st, &fds, None);
         assert_eq!(r, Err(FdFailure));
         assert!(st.is_failed());
@@ -299,9 +180,8 @@ mod tests {
         // The FD merges the head variable's *occurrence*: Q(x, w) with w
         // merged into y? No — lex order keeps the DV; ensure the summary
         // reflects whichever symbol survived.
-        let (_, mut st, fds) = state_of(
-            "relation R(a, b). fd R: a -> b. Q(x, w) :- R(x, w), R(x, y).",
-        );
+        let (_, mut st, fds) =
+            state_of("relation R(a, b). fd R: a -> b. Q(x, w) :- R(x, w), R(x, y).");
         fd_phase(&mut st, &fds, None).unwrap();
         // w (DV) survives; summary unchanged and both conjuncts merged.
         assert_eq!(st.num_alive(), 1);
@@ -311,20 +191,32 @@ mod tests {
 
     #[test]
     fn composite_lhs() {
-        let (_, mut st, fds) = state_of(
-            "relation R(a, b, c). fd R: a, b -> c. Q(x) :- R(x, x, u), R(x, x, v).",
-        );
+        let (_, mut st, fds) =
+            state_of("relation R(a, b, c). fd R: a, b -> c. Q(x) :- R(x, x, u), R(x, x, v).");
         fd_phase(&mut st, &fds, None).unwrap();
         assert_eq!(st.num_alive(), 1);
     }
 
     #[test]
     fn lhs_mismatch_not_applicable() {
-        let (_, mut st, fds) = state_of(
-            "relation R(a, b). fd R: a -> b. Q(x) :- R(x, u), R(y, v).",
-        );
+        let (_, mut st, fds) =
+            state_of("relation R(a, b). fd R: a -> b. Q(x) :- R(x, u), R(y, v).");
         let (steps, _) = fd_phase(&mut st, &fds, None).unwrap();
         assert_eq!(steps, 0);
         assert_eq!(st.num_alive(), 2);
+    }
+
+    #[test]
+    fn hinted_scan_matches_full_scan() {
+        // After pushing a fresh conjunct into a quiescent state, the
+        // hinted scan must find exactly what the full scan finds.
+        let (_, mut st, fds) = state_of("relation R(a, b). fd R: a -> b. Q(x) :- R(x, y).");
+        let x = st.summary()[0].clone();
+        let n = st.fresh_var(1, ConjId(0), 0, 1);
+        let new = st.push_conjunct(cqchase_ir::RelId(0), vec![x, CTerm::Var(n)], 1);
+        let hinted = st.find_applicable_fd(&fds, Some(new));
+        let full = st.find_applicable_fd(&fds, None);
+        assert_eq!(hinted, full);
+        assert_eq!(hinted, Some((ConjId(0), new, 0)));
     }
 }

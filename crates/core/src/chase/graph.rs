@@ -185,10 +185,7 @@ mod tests {
 
     #[test]
     fn dot_escapes_quoted_constants() {
-        let p = parse_program(
-            r#"relation R(a). Q(x) :- R(x), R("lit")."#,
-        )
-        .unwrap();
+        let p = parse_program(r#"relation R(a). Q(x) :- R(x), R("lit")."#).unwrap();
         let ch = Chase::new(&p.queries[0], &p.deps, &p.catalog, ChaseMode::Required);
         let dot = render_dot(ch.state(), "g");
         // The string constant's quotes are escaped inside DOT labels.

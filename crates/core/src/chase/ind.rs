@@ -1,21 +1,20 @@
-//! The IND chase rule and the witness index used for *required* checks.
+//! The IND chase rule.
 //!
 //! > *IND CHASE RULE. Let the IND `R[X] ⊆ S[Y]` and conjunct `c` be as
 //! > above. Add a new conjunct `c′` to Q, where `R(c′) = S`,
 //! > `c′[Y] = c[X]` and where `c′[A]` is a distinct new NDV symbol for
 //! > each attribute `A` not in `Y`, this symbol following all previously
 //! > introduced symbols in the lexicographic order.*
-
-use std::collections::HashMap;
+//!
+//! The *required* check ("does a witnessing conjunct already exist?") is
+//! [`ChaseState::find_witness`] — a posting-list intersection on the
+//! chase's incremental indexes, replacing the seed's per-IND hash maps
+//! that had to be rebuilt from the full conjunct set after every FD
+//! merge.
 
 use cqchase_ir::Ind;
 
-use super::state::{ArcKind, CTerm, ChaseArc, ChaseState, ConjId, Conjunct};
-
-/// Projects conjunct terms on a column list.
-pub(crate) fn project(terms: &[CTerm], cols: &[usize]) -> Vec<CTerm> {
-    cols.iter().map(|&c| terms[c].clone()).collect()
-}
+use super::state::{ArcKind, CTerm, ChaseArc, ChaseState, ConjId};
 
 /// Applies the IND rule: creates the new conjunct at `level(c) + 1` with
 /// fresh NDVs outside `Y`, records the ordinary arc, and returns the new
@@ -29,7 +28,6 @@ pub(crate) fn apply_ind(
     let parent_terms = state.conjunct(parent).terms.clone();
     let level = state.conjunct(parent).level + 1;
     let arity = state.catalog().arity(ind.rhs_rel);
-    let child = ConjId(state.conjuncts.len() as u32);
     let mut terms = Vec::with_capacity(arity);
     for col in 0..arity {
         match ind.rhs_cols.iter().position(|&y| y == col) {
@@ -40,13 +38,7 @@ pub(crate) fn apply_ind(
             }
         }
     }
-    state.conjuncts.push(Conjunct {
-        rel: ind.rhs_rel,
-        terms,
-        level,
-        alive: true,
-        merged_into: None,
-    });
+    let child = state.push_conjunct(ind.rhs_rel, terms, level);
     state.arcs.push(ChaseArc {
         from: parent,
         to: child,
@@ -58,94 +50,18 @@ pub(crate) fn apply_ind(
 
 /// Records a cross arc `parent → witness` labelled by `ind_idx` (R-chase
 /// bookkeeping when the required conjunct already exists).
-pub(crate) fn record_cross(state: &mut ChaseState, parent: ConjId, witness: ConjId, ind_idx: usize) {
+pub(crate) fn record_cross(
+    state: &mut ChaseState,
+    parent: ConjId,
+    witness: ConjId,
+    ind_idx: usize,
+) {
     state.arcs.push(ChaseArc {
         from: parent,
         to: witness,
         ind_idx,
         kind: ArcKind::Cross,
     });
-}
-
-/// Per-IND index of the existing witnesses: for IND *i* with right-hand
-/// side `S[Y]`, maps the `Y`-projection of every conjunct over `S` to one
-/// such conjunct. Used for the R-chase's "is this application required?"
-/// test and for O-chase exact-duplicate avoidance.
-///
-/// FD substitutions rewrite terms in place and would silently invalidate
-/// the keys, so the driver marks the index dirty after any FD application
-/// and it rebuilds lazily.
-#[derive(Debug, Default)]
-pub(crate) struct WitnessIndex {
-    /// One map per IND (index-aligned with Σ's IND list).
-    maps: Vec<HashMap<Vec<CTerm>, ConjId>>,
-    dirty: bool,
-}
-
-impl WitnessIndex {
-    pub(crate) fn new(num_inds: usize) -> Self {
-        WitnessIndex {
-            maps: vec![HashMap::new(); num_inds],
-            dirty: true,
-        }
-    }
-
-    pub(crate) fn mark_dirty(&mut self) {
-        self.dirty = true;
-    }
-
-    fn rebuild(&mut self, state: &ChaseState, inds: &[Ind]) {
-        for m in &mut self.maps {
-            m.clear();
-        }
-        for (id, c) in state.alive_conjuncts() {
-            for (i, ind) in inds.iter().enumerate() {
-                if ind.rhs_rel == c.rel {
-                    self.maps[i]
-                        .entry(project(&c.terms, &ind.rhs_cols))
-                        .or_insert(id);
-                }
-            }
-        }
-        self.dirty = false;
-    }
-
-    /// Registers a newly created conjunct (no-op while dirty — the next
-    /// rebuild will pick it up).
-    pub(crate) fn register(&mut self, state: &ChaseState, inds: &[Ind], id: ConjId) {
-        if self.dirty {
-            return;
-        }
-        let c = state.conjunct(id);
-        for (i, ind) in inds.iter().enumerate() {
-            if ind.rhs_rel == c.rel {
-                self.maps[i]
-                    .entry(project(&c.terms, &ind.rhs_cols))
-                    .or_insert(id);
-            }
-        }
-    }
-
-    /// Finds a live conjunct witnessing `ind_idx` for `parent`, i.e. a
-    /// `c″` over `S` with `c″[Y] = c[X]`.
-    pub(crate) fn witness(
-        &mut self,
-        state: &ChaseState,
-        inds: &[Ind],
-        parent: ConjId,
-        ind_idx: usize,
-    ) -> Option<ConjId> {
-        if self.dirty {
-            self.rebuild(state, inds);
-        }
-        let key = project(
-            &state.conjunct(parent).terms,
-            &inds[ind_idx].lhs_cols,
-        );
-        self.maps[ind_idx]
-            .get(&key)
-            .map(|&id| state.resolve_conjunct(id))
-    }
 }
 
 #[cfg(test)]
@@ -199,7 +115,7 @@ mod tests {
     }
 
     #[test]
-    fn witness_index_finds_existing() {
+    fn witness_lookup_finds_existing_and_new() {
         let p = parse_program(
             "relation R(a, b).
              ind R[2] <= R[1].
@@ -208,17 +124,14 @@ mod tests {
         .unwrap();
         let mut st = ChaseState::from_query(&p.queries[0], &p.catalog);
         let inds: Vec<Ind> = p.deps.inds().cloned().collect();
-        let mut wi = WitnessIndex::new(1);
         // Conjunct 0 is R(x, y); its projection on [b] is (y), and R(y, z)
         // has (y) in column a — so the application is NOT required.
-        let w = wi.witness(&st, &inds, ConjId(0), 0);
-        assert_eq!(w, Some(ConjId(1)));
+        assert_eq!(st.find_witness(&inds[0], ConjId(0)), Some(ConjId(1)));
         // Conjunct 1 is R(y, z): projection (z) has no witness.
-        let w2 = wi.witness(&st, &inds, ConjId(1), 0);
-        assert_eq!(w2, None);
-        // After applying, the new conjunct witnesses it.
+        assert_eq!(st.find_witness(&inds[0], ConjId(1)), None);
+        // After applying, the new conjunct witnesses it — no rebuild, the
+        // incremental index picked it up on insertion.
         let child = apply_ind(&mut st, ConjId(1), &inds[0], 0);
-        wi.register(&st, &inds, child);
-        assert_eq!(wi.witness(&st, &inds, ConjId(1), 0), Some(child));
+        assert_eq!(st.find_witness(&inds[0], ConjId(1)), Some(child));
     }
 }

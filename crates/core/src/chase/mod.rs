@@ -21,7 +21,9 @@ mod state;
 
 pub use bound::{theorem2_bound, theorem2_bound_raw};
 pub use driver::{Chase, ChaseBudget, ChaseMode, ChaseStatus};
-pub use state::{ArcKind, CTerm, CVar, CVarInfo, CVarOrigin, ChaseArc, ChaseState, ConjId, Conjunct};
+pub use state::{
+    ArcKind, CTerm, CVar, CVarInfo, CVarOrigin, ChaseArc, ChaseState, ConjId, Conjunct,
+};
 
 use cqchase_ir::{Catalog, ConjunctiveQuery, DependencySet};
 
@@ -114,9 +116,7 @@ mod tests {
                 .iter()
                 .map(|t| match t {
                     CTerm::Const(k) => Value::Const(k.clone()),
-                    CTerm::Var(v) => {
-                        Value::Const(Constant::str(&ch.state().var_info(*v).name))
-                    }
+                    CTerm::Var(v) => Value::Const(Constant::str(&ch.state().var_info(*v).name)),
                 })
                 .collect();
             db.insert(c.rel, tuple).unwrap();

@@ -1,9 +1,22 @@
 //! Chase state: symbols with a total lexicographic order, conjuncts with
-//! levels, the summary row, and the arc structure of the chase graph.
+//! levels, the summary row, the arc structure of the chase graph — and
+//! the incrementally maintained indexes every chase-rule application and
+//! homomorphism search runs against.
+//!
+//! The index side (constant pool, per-column posting lists, whole-row
+//! dedup, per-variable occurrence lists) is derived data: every mutation
+//! goes through [`ChaseState::push_conjunct`] /
+//! [`ChaseState::substitute`] so the two views never diverge. This is
+//! what lets the FD rule, the R-chase's witness checks, and
+//! [`find_chase_hom`](crate::hom::find_chase_hom) run without rescanning
+//! the conjunct vector.
 
 use std::collections::HashMap;
 
-use cqchase_ir::{Catalog, ConjunctiveQuery, Constant, RelId, Term, VarId, VarKind};
+use cqchase_index::{ColumnIndex, DedupIndex, FactSource, Sym, SymPool};
+use cqchase_ir::{Catalog, ConjunctiveQuery, Constant, Ind, RelId, Term, VarId, VarKind};
+
+use crate::hom::TSym;
 
 /// A chase symbol (variable) identified by its **ordinal**: the position
 /// in the chase's symbol table.
@@ -134,6 +147,79 @@ pub struct ChaseArc {
     pub kind: ArcKind,
 }
 
+/// A merge of two conjuncts that became identical after a substitution:
+/// `dead` was absorbed into `survivor` (which keeps the minimum level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Merge {
+    /// The absorbed conjunct.
+    pub dead: ConjId,
+    /// The conjunct that remains alive.
+    pub survivor: ConjId,
+}
+
+/// The derived index side of a chase state.
+///
+/// Symbols are encoded as `Sym(const_id << 1)` for interned constants and
+/// `Sym(ordinal << 1 | 1)` for chase variables, so fresh variables never
+/// touch the pool.
+#[derive(Debug, Clone, Default)]
+struct ChaseIndex {
+    consts: SymPool<Constant>,
+    /// Posting lists; row ids are `ConjId.0`.
+    cols: ColumnIndex,
+    /// Whole-row dedup over live conjuncts.
+    dedup: DedupIndex,
+    /// Interned terms per conjunct (ConjId-indexed, dead rows retained).
+    sym_rows: Vec<Vec<Sym>>,
+    /// Live conjunct ids per relation, ascending.
+    rel_rows: Vec<Vec<u32>>,
+    /// Live conjunct ids containing each chase variable, ascending.
+    var_occ: Vec<Vec<u32>>,
+}
+
+impl ChaseIndex {
+    fn const_sym(&mut self, c: &Constant) -> Sym {
+        Sym(self.consts.intern(c).0 << 1)
+    }
+
+    fn var_sym(v: CVar) -> Sym {
+        Sym((v.0 << 1) | 1)
+    }
+
+    fn term_sym(&mut self, t: &CTerm) -> Sym {
+        match t {
+            CTerm::Const(c) => self.const_sym(c),
+            CTerm::Var(v) => ChaseIndex::var_sym(*v),
+        }
+    }
+
+    fn sym_var(sym: Sym) -> Option<CVar> {
+        (sym.0 & 1 == 1).then_some(CVar(sym.0 >> 1))
+    }
+
+    fn occ_insert(&mut self, sym: Sym, row: u32) {
+        if let Some(v) = ChaseIndex::sym_var(sym) {
+            if self.var_occ.len() <= v.index() {
+                self.var_occ.resize(v.index() + 1, Vec::new());
+            }
+            let list = &mut self.var_occ[v.index()];
+            if let Err(pos) = list.binary_search(&row) {
+                list.insert(pos, row);
+            }
+        }
+    }
+
+    fn occ_remove(&mut self, sym: Sym, row: u32) {
+        if let Some(v) = ChaseIndex::sym_var(sym) {
+            if let Some(list) = self.var_occ.get_mut(v.index()) {
+                if let Ok(pos) = list.binary_search(&row) {
+                    list.remove(pos);
+                }
+            }
+        }
+    }
+}
+
 /// The complete (partial) chase: symbols, conjuncts, summary row, arcs.
 #[derive(Debug, Clone)]
 pub struct ChaseState {
@@ -146,11 +232,14 @@ pub struct ChaseState {
     /// empty query ("this query cannot be chased to an equivalent query
     /// obeying the given FD").
     pub(crate) failed: bool,
+    index: ChaseIndex,
 }
 
 impl ChaseState {
     /// Initializes the state from a query: its conjuncts at level 0, its
-    /// variables with DVs preceding NDVs in the symbol order.
+    /// variables with DVs preceding NDVs in the symbol order. Syntactic
+    /// duplicates collapse through the dedup index (the paper's `C_Q` is
+    /// a *set* of conjuncts).
     pub(crate) fn from_query(q: &ConjunctiveQuery, catalog: &Catalog) -> ChaseState {
         // Map query VarIds to chase ordinals: DVs first (in VarId order),
         // then NDVs (in VarId order).
@@ -173,31 +262,30 @@ impl ChaseState {
             Term::Const(c) => CTerm::Const(c.clone()),
             Term::Var(v) => CTerm::Var(to_cvar[v]),
         };
-        // The paper's C_Q is a set of *distinct* conjuncts — collapse
-        // syntactic duplicates (keeping first-occurrence order).
-        let mut seen: std::collections::HashSet<(RelId, Vec<CTerm>)> = std::collections::HashSet::new();
-        let mut conjuncts = Vec::with_capacity(q.atoms.len());
-        for a in &q.atoms {
-            let terms: Vec<CTerm> = a.terms.iter().map(conv).collect();
-            if seen.insert((a.relation, terms.clone())) {
-                conjuncts.push(Conjunct {
-                    rel: a.relation,
-                    terms,
-                    level: 0,
-                    alive: true,
-                    merged_into: None,
-                });
-            }
-        }
-        let summary = q.head.iter().map(conv).collect();
-        ChaseState {
+        let mut state = ChaseState {
             catalog: catalog.clone(),
             vars,
-            conjuncts,
-            summary,
+            conjuncts: Vec::new(),
+            summary: q.head.iter().map(conv).collect(),
             arcs: Vec::new(),
             failed: false,
+            index: ChaseIndex {
+                cols: ColumnIndex::new(catalog.rel_ids().map(|r| catalog.arity(r))),
+                rel_rows: vec![Vec::new(); catalog.len()],
+                ..ChaseIndex::default()
+            },
+        };
+        for a in &q.atoms {
+            let terms: Vec<CTerm> = a.terms.iter().map(conv).collect();
+            state.push_conjunct_dedup(a.relation, terms, 0);
         }
+        // Intern summary constants (head constants need not occur in any
+        // conjunct, but homomorphism pre-binding must resolve them).
+        let summary = state.summary.clone();
+        for t in &summary {
+            state.index.term_sym(t);
+        }
+        state
     }
 
     /// The catalog the chase runs against.
@@ -237,7 +325,7 @@ impl ChaseState {
 
     /// Number of live conjuncts.
     pub fn num_alive(&self) -> usize {
-        self.conjuncts.iter().filter(|c| c.alive).count()
+        self.index.rel_rows.iter().map(Vec::len).sum()
     }
 
     /// All arcs recorded so far.
@@ -310,6 +398,292 @@ impl ChaseState {
         cv
     }
 
+    /// Appends a conjunct unconditionally, registering it in every index.
+    /// The caller guarantees it is not a duplicate of a live conjunct
+    /// (IND children carry fresh NDVs or were witness-checked first).
+    pub(crate) fn push_conjunct(&mut self, rel: RelId, terms: Vec<CTerm>, level: u32) -> ConjId {
+        let id = ConjId(self.conjuncts.len() as u32);
+        let syms: Vec<Sym> = terms.iter().map(|t| self.index.term_sym(t)).collect();
+        self.index.cols.insert_row(rel, id.0, &syms);
+        let prev = self.index.dedup.insert(rel, &syms, id.0);
+        debug_assert!(prev.is_none(), "push_conjunct must not duplicate a row");
+        for &s in &syms {
+            self.index.occ_insert(s, id.0);
+        }
+        let list = &mut self.index.rel_rows[rel.index()];
+        debug_assert!(list.last().is_none_or(|&l| l < id.0));
+        list.push(id.0);
+        self.index.sym_rows.push(syms);
+        self.conjuncts.push(Conjunct {
+            rel,
+            terms,
+            level,
+            alive: true,
+            merged_into: None,
+        });
+        id
+    }
+
+    /// Appends a conjunct unless an identical live one exists (used for
+    /// the level-0 conjuncts, where `C_Q` is a set). Returns the id of
+    /// the representative.
+    fn push_conjunct_dedup(&mut self, rel: RelId, terms: Vec<CTerm>, level: u32) -> ConjId {
+        let syms: Vec<Sym> = terms.iter().map(|t| self.index.term_sym(t)).collect();
+        if let Some(existing) = self.index.dedup.get(rel, &syms) {
+            return ConjId(existing);
+        }
+        self.push_conjunct(rel, terms, level)
+    }
+
+    /// Kills `dead`, recording `survivor` as its representative; fixes
+    /// every index. The caller has already rewritten terms so that both
+    /// rows are identical.
+    fn kill_conjunct(&mut self, dead: ConjId, survivor: ConjId) {
+        let rel = self.conjuncts[dead.index()].rel;
+        let syms = std::mem::take(&mut self.index.sym_rows[dead.index()]);
+        self.index.cols.remove_row(rel, dead.0, &syms);
+        for &s in &syms {
+            self.index.occ_remove(s, dead.0);
+        }
+        self.index.sym_rows[dead.index()] = syms;
+        let list = &mut self.index.rel_rows[rel.index()];
+        if let Ok(pos) = list.binary_search(&dead.0) {
+            list.remove(pos);
+        }
+        let c = &mut self.conjuncts[dead.index()];
+        c.alive = false;
+        c.merged_into = Some(survivor);
+        let lvl = c.level;
+        let s = &mut self.conjuncts[survivor.index()];
+        s.level = s.level.min(lvl);
+    }
+
+    /// Marks the chase failed (FD constant clash): deletes every conjunct
+    /// and clears the live indexes.
+    pub(crate) fn fail(&mut self) {
+        self.failed = true;
+        for c in &mut self.conjuncts {
+            c.alive = false;
+        }
+        self.index.cols = ColumnIndex::new(self.catalog.rel_ids().map(|r| self.catalog.arity(r)));
+        self.index.dedup = DedupIndex::new();
+        for list in &mut self.index.rel_rows {
+            list.clear();
+        }
+        for list in &mut self.index.var_occ {
+            list.clear();
+        }
+    }
+
+    /// Substitutes the variable `from ↦ to` through every live conjunct
+    /// and the summary row, merging conjuncts that become identical
+    /// (earliest id survives, donating the minimum level). This is the
+    /// FD chase rule's mutation primitive; the occurrence index makes it
+    /// proportional to the rows actually containing `from`, not the
+    /// whole chase.
+    pub(crate) fn substitute(&mut self, from: CVar, to: &CTerm) -> Vec<Merge> {
+        let from_sym = ChaseIndex::var_sym(from);
+        let to_sym = self.index.term_sym(to);
+        debug_assert_ne!(from_sym, to_sym);
+        let rows = self
+            .index
+            .var_occ
+            .get_mut(from.index())
+            .map(std::mem::take)
+            .unwrap_or_default();
+        let mut merges = Vec::new();
+        for row in rows {
+            let id = ConjId(row);
+            debug_assert!(self.conjuncts[id.index()].alive);
+            let rel = self.conjuncts[id.index()].rel;
+            // Un-register the old row shape.
+            let old_syms = self.index.sym_rows[id.index()].clone();
+            self.index.dedup.remove(rel, &old_syms, row);
+            // Rewrite terms + syms + postings in the affected columns.
+            for (col, sym) in old_syms.iter().enumerate() {
+                if *sym == from_sym {
+                    self.index
+                        .cols
+                        .replace_in_col(rel, col, row, from_sym, to_sym);
+                    self.index.sym_rows[id.index()][col] = to_sym;
+                    self.conjuncts[id.index()].terms[col] = to.clone();
+                }
+            }
+            self.index.occ_insert(to_sym, row);
+            let new_syms = self.index.sym_rows[id.index()].clone();
+            // Re-register, merging on collision (min id survives).
+            if let Some(other) = self.index.dedup.try_insert(rel, &new_syms, row) {
+                let (survivor, dead) = if other < row {
+                    (ConjId(other), id)
+                } else {
+                    (id, ConjId(other))
+                };
+                if survivor.0 == row {
+                    // `try_insert` left the old holder in place; the
+                    // rewritten row outranks it.
+                    self.index.dedup.insert(rel, &new_syms, row);
+                }
+                self.kill_conjunct(dead, survivor);
+                merges.push(Merge { dead, survivor });
+            }
+        }
+        // `from` no longer occurs anywhere; its occurrence list stays
+        // empty. Rewrite the summary row.
+        for t in self.summary.iter_mut() {
+            if matches!(t, CTerm::Var(v) if *v == from) {
+                *t = to.clone();
+            }
+        }
+        merges
+    }
+
+    /// Finds a live conjunct witnessing `ind` for `parent`: a `c″` over
+    /// the IND's right-hand relation with `c″[Y] = parent[X]`. Pure
+    /// index intersection; the smallest conjunct id wins (the canonical
+    /// witness, matching creation order).
+    pub(crate) fn find_witness(&self, ind: &Ind, parent: ConjId) -> Option<ConjId> {
+        let parent_syms = &self.index.sym_rows[parent.index()];
+        let bound: Vec<(usize, Sym)> = ind
+            .rhs_cols
+            .iter()
+            .zip(ind.lhs_cols.iter())
+            .map(|(&y, &x)| (y, parent_syms[x]))
+            .collect();
+        if bound.is_empty() {
+            // Width-0 IND (degenerate but constructible): any live row
+            // of the right-hand relation witnesses it.
+            return self.index.rel_rows[ind.rhs_rel.index()]
+                .first()
+                .map(|&id| ConjId(id));
+        }
+        self.index
+            .cols
+            .first_candidate(
+                ind.rhs_rel,
+                &bound,
+                |row| &self.index.sym_rows[row as usize],
+                |_| true,
+            )
+            .map(ConjId)
+    }
+
+    /// Finds the canonical applicable FD: the lexicographically first
+    /// pair of live conjuncts (by id) agreeing on some FD's left-hand
+    /// side and differing on its right-hand side, and the first such FD
+    /// in Σ order for that pair. When `involving` is set, only pairs
+    /// containing that conjunct are examined (valid when the state was
+    /// FD-quiescent before that conjunct appeared).
+    ///
+    /// Uses hash grouping / posting intersection — linear in the rows of
+    /// the FDs' relations instead of quadratic in the chase.
+    pub(crate) fn find_applicable_fd(
+        &self,
+        fds: &[cqchase_ir::Fd],
+        involving: Option<ConjId>,
+    ) -> Option<(ConjId, ConjId, usize)> {
+        match involving {
+            Some(c) => {
+                if !self.conjuncts[c.index()].alive {
+                    return None;
+                }
+                let rel = self.conjuncts[c.index()].rel;
+                let c_syms = &self.index.sym_rows[c.index()];
+                // Original schedule: iterate other conjuncts in id order,
+                // and per other take the first applicable FD — i.e.
+                // minimize (other, fd_idx).
+                let mut best: Option<(u32, usize)> = None;
+                for (fd_idx, fd) in fds.iter().enumerate() {
+                    if fd.relation != rel {
+                        continue;
+                    }
+                    // Candidates are visited in ascending id order, so
+                    // the first accepted row is this fd's minimal
+                    // applicable partner for `c`.
+                    let accept = |other: u32| {
+                        other != c.0
+                            && self.index.sym_rows[other as usize][fd.rhs] != c_syms[fd.rhs]
+                    };
+                    let bound: Vec<(usize, Sym)> = fd.lhs.iter().map(|&z| (z, c_syms[z])).collect();
+                    let first = if bound.is_empty() {
+                        self.index.rel_rows[rel.index()]
+                            .iter()
+                            .copied()
+                            .find(|&r| accept(r))
+                    } else {
+                        self.index.cols.first_candidate(
+                            rel,
+                            &bound,
+                            |row| &self.index.sym_rows[row as usize],
+                            accept,
+                        )
+                    };
+                    if let Some(other) = first {
+                        let better = match best {
+                            None => true,
+                            Some((o, f)) => other < o || (other == o && fd_idx < f),
+                        };
+                        if better {
+                            best = Some((other, fd_idx));
+                        }
+                    }
+                }
+                best.map(|(other, fd_idx)| {
+                    let other = ConjId(other);
+                    let (c1, c2) = if other < c { (other, c) } else { (c, other) };
+                    (c1, c2, fd_idx)
+                })
+            }
+            None => {
+                // Minimize the pair (c1, c2) over all FDs; for the
+                // winning pair take the smallest applicable fd index —
+                // exactly the pair-major schedule of the naive scan.
+                let mut best: Option<(u32, u32, usize)> = None;
+                for (fd_idx, fd) in fds.iter().enumerate() {
+                    let mut groups: HashMap<Vec<Sym>, (u32, Sym)> = HashMap::new();
+                    for &row in &self.index.rel_rows[fd.relation.index()] {
+                        let syms = &self.index.sym_rows[row as usize];
+                        let key: Vec<Sym> = fd.lhs.iter().map(|&z| syms[z]).collect();
+                        let rhs = syms[fd.rhs];
+                        match groups.get(&key) {
+                            None => {
+                                groups.insert(key, (row, rhs));
+                            }
+                            Some(&(first, first_rhs)) => {
+                                if rhs != first_rhs {
+                                    // Rows are visited in ascending id
+                                    // order, so (first, row) is this
+                                    // group's minimal applicable pair.
+                                    let better = match best {
+                                        None => true,
+                                        Some((b1, b2, bf)) => (first, row, fd_idx) < (b1, b2, bf),
+                                    };
+                                    if better {
+                                        best = Some((first, row, fd_idx));
+                                    }
+                                    // Later rows in this group can only
+                                    // form larger pairs; but keep the
+                                    // first entry so other rows still
+                                    // compare against the group minimum.
+                                }
+                            }
+                        }
+                    }
+                }
+                best.map(|(c1, c2, fd_idx)| (ConjId(c1), ConjId(c2), fd_idx))
+            }
+        }
+    }
+
+    /// A [`FactSource`] view of the live conjuncts with level ≤
+    /// `max_level`, for homomorphism search straight off the chase's
+    /// incremental indexes.
+    pub fn hom_source(&self, max_level: u32) -> ChaseHomSource<'_> {
+        ChaseHomSource {
+            state: self,
+            max_level,
+        }
+    }
+
     /// Renders a conjunct as `R(a, b, n3_c0i1a2L1)`.
     pub fn render_conjunct(&self, id: ConjId) -> String {
         let c = &self.conjuncts[id.index()];
@@ -328,16 +702,102 @@ impl ChaseState {
     }
 }
 
+/// A level-truncated [`FactSource`] view of a [`ChaseState`]. Row ids
+/// are conjunct ids.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaseHomSource<'a> {
+    state: &'a ChaseState,
+    max_level: u32,
+}
+
+impl ChaseHomSource<'_> {
+    #[inline]
+    fn level_ok(&self, row: u32) -> bool {
+        self.state.conjuncts[row as usize].level <= self.max_level
+    }
+
+    /// The summary row as target symbols.
+    pub fn summary_tsyms(&self) -> Vec<TSym> {
+        self.state
+            .summary
+            .iter()
+            .map(|t| match t {
+                CTerm::Const(c) => TSym::Const(c.clone()),
+                CTerm::Var(v) => TSym::Node(u64::from(v.0)),
+            })
+            .collect()
+    }
+
+    /// Resolves a target symbol into the chase's interned space.
+    pub fn sym_of_tsym(&self, s: &TSym) -> Option<Sym> {
+        match s {
+            TSym::Const(c) => self.state.index.consts.get(c).map(|s| Sym(s.0 << 1)),
+            TSym::Node(n) => Some(ChaseIndex::var_sym(CVar(*n as u32))),
+        }
+    }
+
+    /// The target symbol behind an interned chase symbol.
+    pub fn tsym_of(&self, sym: Sym) -> TSym {
+        match ChaseIndex::sym_var(sym) {
+            Some(v) => TSym::Node(u64::from(v.0)),
+            None => TSym::Const(self.state.index.consts.resolve(Sym(sym.0 >> 1)).clone()),
+        }
+    }
+}
+
+impl FactSource for ChaseHomSource<'_> {
+    fn rel_size(&self, rel: RelId) -> usize {
+        // Upper bound (level filtering not applied) — ordering heuristic.
+        self.state.index.rel_rows[rel.index()].len()
+    }
+
+    fn row_syms(&self, _rel: RelId, row: u32) -> &[Sym] {
+        &self.state.index.sym_rows[row as usize]
+    }
+
+    fn posting_len(&self, rel: RelId, col: usize, sym: Sym) -> usize {
+        self.state.index.cols.posting_len(rel, col, sym)
+    }
+
+    fn candidates(&self, rel: RelId, bound: &[(usize, Sym)], out: &mut Vec<u32>) {
+        if bound.is_empty() {
+            out.extend(
+                self.state.index.rel_rows[rel.index()]
+                    .iter()
+                    .copied()
+                    .filter(|&r| self.level_ok(r)),
+            );
+        } else {
+            let start = out.len();
+            self.state.index.cols.candidates(
+                rel,
+                bound,
+                |row| &self.state.index.sym_rows[row as usize],
+                out,
+            );
+            let mut keep = start;
+            for i in start..out.len() {
+                if self.level_ok(out[i]) {
+                    out.swap(keep, i);
+                    keep += 1;
+                }
+            }
+            out.truncate(keep);
+        }
+    }
+
+    fn sym_of_const(&self, c: &Constant) -> Option<Sym> {
+        self.state.index.consts.get(c).map(|s| Sym(s.0 << 1))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cqchase_ir::{parse_program, Program};
 
     fn prog() -> Program {
-        parse_program(
-            "relation R(a, b, c). Q(z) :- R(x, y, z), R(z, y, x).",
-        )
-        .unwrap()
+        parse_program("relation R(a, b, c). Q(z) :- R(x, y, z), R(z, y, x).").unwrap()
     }
 
     #[test]
@@ -397,7 +857,11 @@ mod tests {
         assert_eq!(v.index(), before);
         assert!(matches!(
             st.var_info(v).origin,
-            CVarOrigin::Created { attr: 1, level: 1, .. }
+            CVarOrigin::Created {
+                attr: 1,
+                level: 1,
+                ..
+            }
         ));
         // Encoded name mentions provenance.
         assert!(st.var_info(v).name.contains("c0"));
@@ -410,5 +874,53 @@ mod tests {
         let s = st.render_conjunct(ConjId(0));
         assert!(s.starts_with("R("), "{s}");
         assert!(s.contains('z'), "{s}");
+    }
+
+    #[test]
+    fn substitute_merges_duplicates_and_rewrites_summary() {
+        // Q(z) :- R(x, y, z), R(z, y, x): substituting x ↦ z makes the
+        // two conjuncts identical; the earlier one survives.
+        let p = prog();
+        let mut st = ChaseState::from_query(&p.queries[0], &p.catalog);
+        let x = st.alive_conjuncts().next().unwrap().1.terms[0]
+            .as_var()
+            .unwrap();
+        let z = st.summary()[0].clone();
+        let merges = st.substitute(x, &z);
+        assert_eq!(merges.len(), 1);
+        assert_eq!(merges[0].survivor, ConjId(0));
+        assert_eq!(merges[0].dead, ConjId(1));
+        assert_eq!(st.num_alive(), 1);
+        assert_eq!(st.resolve_conjunct(ConjId(1)), ConjId(0));
+        // The live conjunct's first and third columns now both hold z.
+        let (_, c) = st.alive_conjuncts().next().unwrap();
+        assert_eq!(c.terms[0], z);
+        assert_eq!(c.terms[2], z);
+    }
+
+    #[test]
+    fn width_zero_ind_witnessed_by_any_row() {
+        let p = parse_program("relation R(a, b). Q(x) :- R(x, y).").unwrap();
+        let st = ChaseState::from_query(&p.queries[0], &p.catalog);
+        let r = p.catalog.resolve("R").unwrap();
+        let ind = cqchase_ir::Ind::new(r, vec![], r, vec![]);
+        // Degenerate width-0 IND: every nonempty relation witnesses it.
+        assert_eq!(st.find_witness(&ind, ConjId(0)), Some(ConjId(0)));
+    }
+
+    #[test]
+    fn find_witness_uses_postings() {
+        let p = parse_program(
+            "relation R(a, b).
+             ind R[2] <= R[1].
+             Q(x) :- R(x, y), R(y, z).",
+        )
+        .unwrap();
+        let st = ChaseState::from_query(&p.queries[0], &p.catalog);
+        let ind = p.deps.inds().next().unwrap();
+        // R(x, y) projected on [2] is (y); R(y, z) has y in column 1.
+        assert_eq!(st.find_witness(ind, ConjId(0)), Some(ConjId(1)));
+        // R(y, z) projected on [2] is (z); nothing has z in column 1.
+        assert_eq!(st.find_witness(ind, ConjId(1)), None);
     }
 }

@@ -257,12 +257,7 @@ pub struct EquivalenceAnswer {
 impl EquivalenceAnswer {
     /// Whether the queries are equivalent under Σ.
     pub fn equivalent(&self) -> bool {
-        self.forward.contained
-            && self
-                .backward
-                .as_ref()
-                .map(|b| b.contained)
-                .unwrap_or(false)
+        self.forward.contained && self.backward.as_ref().map(|b| b.contained).unwrap_or(false)
     }
 
     /// Whether both directions are certified.
@@ -601,9 +596,8 @@ mod tests {
         // The hom search runs every 8 levels past level 32; a witness
         // that only appears at level 35 must still be found (at the
         // level-40 check, whose target contains all shallower levels).
-        let mut src = String::from(
-            "relation R(a, b). ind R[2] <= R[1].\nQ(x) :- R(x, y).\nQp(v0) :- ",
-        );
+        let mut src =
+            String::from("relation R(a, b). ind R[2] <= R[1].\nQ(x) :- R(x, y).\nQp(v0) :- ");
         let n = 36;
         for i in 0..n {
             if i > 0 {

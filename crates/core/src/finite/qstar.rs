@@ -79,7 +79,13 @@ pub fn query_graph_diameter(q: &ConjunctiveQuery) -> u32 {
     // Node 0 = summary row; nodes 1.. = atoms.
     let n = q.atoms.len() + 1;
     let mut vars_of: Vec<HashSet<u32>> = Vec::with_capacity(n);
-    vars_of.push(q.head.iter().filter_map(|t| t.as_var()).map(|v| v.0).collect());
+    vars_of.push(
+        q.head
+            .iter()
+            .filter_map(|t| t.as_var())
+            .map(|v| v.0)
+            .collect(),
+    );
     for a in &q.atoms {
         vars_of.push(a.vars().map(|v| v.0).collect());
     }
@@ -171,8 +177,7 @@ pub fn build_qstar(
     let project = |terms: &[QsTerm], cols: &[usize]| -> Vec<QsTerm> {
         cols.iter().map(|&c| terms[c].clone()).collect()
     };
-    let register = |row: &(RelId, Vec<QsTerm>),
-                    witness: &mut HashMap<(usize, Vec<QsTerm>), ()>| {
+    let register = |row: &(RelId, Vec<QsTerm>), witness: &mut HashMap<(usize, Vec<QsTerm>), ()>| {
         for (i, ind) in inds.iter().enumerate() {
             if ind.rhs_rel == row.0 {
                 witness.insert((i, project(&row.1, &ind.rhs_cols)), ());
@@ -404,7 +409,9 @@ mod tests {
             let d = query_graph_diameter(qp);
             let qs = build_qstar(q, &p.deps, &p.catalog, d, ChaseBudget::default()).unwrap();
             let hom = find_hom(qp, &qs.hom_target(&p.catalog)).is_some();
-            let inf = contained(q, qp, &p.deps, &p.catalog, &opts).unwrap().contained;
+            let inf = contained(q, qp, &p.deps, &p.catalog, &opts)
+                .unwrap()
+                .contained;
             assert_eq!(inf, expect, "containment for {name}");
             assert_eq!(hom, expect, "Q* hom for {name}");
         }
@@ -419,7 +426,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            build_qstar(p.query("Q").unwrap(), &p.deps, &p.catalog, 1, ChaseBudget::default()),
+            build_qstar(
+                p.query("Q").unwrap(),
+                &p.deps,
+                &p.catalog,
+                1,
+                ChaseBudget::default()
+            ),
             Err(QStarError::NoKSigma)
         );
     }

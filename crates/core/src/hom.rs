@@ -5,12 +5,15 @@
 //! sends every conjunct of `Q′` onto a conjunct of the target, and maps
 //! the summary row of `Q′` onto the target's summary row.
 //!
-//! Both kinds of target are flattened into a [`HomTarget`] so one
-//! backtracking search serves Chandra–Merlin containment (Σ = ∅), the
-//! classical FD-chase test, and the bounded IND-chase test.
+//! Both kinds of target are flattened into a [`HomTarget`] so one search
+//! serves Chandra–Merlin containment (Σ = ∅), the classical FD-chase
+//! test, and the bounded IND-chase test. The search itself is the shared
+//! indexed join engine of [`cqchase_index`]: targets carry per-column
+//! posting lists built at construction, and [`find_hom`] never scans a
+//! relation's full row vector per atom. The seed's scan-based search is
+//! retained in [`naive`] as a differential-testing reference.
 
-use std::collections::BTreeSet;
-
+use cqchase_index::{compile, join, ColumnIndex, FactSource, JoinOutcome, Sym, SymPool};
 use cqchase_ir::{Catalog, ConjunctiveQuery, Constant, RelId, Term, VarId};
 
 use crate::chase::{CTerm, ChaseState, ConjId};
@@ -38,14 +41,58 @@ pub struct TargetRow {
 }
 
 /// A flattened homomorphism target: rows per relation plus the summary
-/// row the homomorphism must preserve.
+/// row the homomorphism must preserve, with prebuilt column indexes.
 #[derive(Debug, Clone)]
 pub struct HomTarget {
     rows: Vec<Vec<TargetRow>>,
     summary: Vec<TSym>,
+    /// Interned symbol space (rows and summary symbols).
+    pool: SymPool<TSym>,
+    /// Posting lists over the interned rows.
+    cols: ColumnIndex,
+    /// Interned rows, flattened per relation (arity-strided).
+    sym_rows: Vec<Vec<Sym>>,
+    /// Arity per relation (0 for relations without rows).
+    arities: Vec<usize>,
 }
 
 impl HomTarget {
+    /// Builds the index side of a target from its rows and summary.
+    fn build(rows: Vec<Vec<TargetRow>>, summary: Vec<TSym>) -> HomTarget {
+        let mut pool = SymPool::new();
+        let arities: Vec<usize> = rows
+            .iter()
+            .map(|rs| rs.first().map_or(0, |r| r.syms.len()))
+            .collect();
+        let mut cols = ColumnIndex::new(arities.iter().copied());
+        let mut sym_rows: Vec<Vec<Sym>> = Vec::with_capacity(rows.len());
+        for (r, rs) in rows.iter().enumerate() {
+            let rel = RelId(r as u32);
+            let mut flat = Vec::with_capacity(rs.len() * arities[r]);
+            for (i, row) in rs.iter().enumerate() {
+                let start = flat.len();
+                for s in &row.syms {
+                    flat.push(pool.intern(s));
+                }
+                cols.insert_row(rel, i as u32, &flat[start..]);
+            }
+            sym_rows.push(flat);
+        }
+        // Summary symbols may not occur in any row (e.g. head constants);
+        // intern them so pre-binding always has a symbol to bind to.
+        for s in &summary {
+            pool.intern(s);
+        }
+        HomTarget {
+            rows,
+            summary,
+            pool,
+            cols,
+            sym_rows,
+            arities,
+        }
+    }
+
     /// Builds a target from a query: nodes are its variables, rows its
     /// atoms, the summary its head.
     pub fn from_query(q: &ConjunctiveQuery, catalog: &Catalog) -> HomTarget {
@@ -61,16 +108,17 @@ impl HomTarget {
                 level: 0,
             });
         }
-        HomTarget {
-            rows,
-            summary: q.head.iter().map(conv).collect(),
-        }
+        HomTarget::build(rows, q.head.iter().map(conv).collect())
     }
 
     /// Builds a target from a (partial) chase, keeping only live
     /// conjuncts with level ≤ `max_level` (pass `u32::MAX` for all).
     /// Nodes are chase symbols; the summary is the chase's (possibly
     /// FD-rewritten) summary row.
+    ///
+    /// For repeated searches against a *growing* chase prefer
+    /// [`find_chase_hom`], which reuses the chase's own incremental
+    /// indexes instead of flattening the state per call.
     pub fn from_chase(state: &ChaseState, max_level: u32) -> HomTarget {
         let conv = |t: &CTerm| match t {
             CTerm::Const(c) => TSym::Const(c.clone()),
@@ -86,17 +134,14 @@ impl HomTarget {
                 });
             }
         }
-        HomTarget {
-            rows,
-            summary: state.summary().iter().map(conv).collect(),
-        }
+        HomTarget::build(rows, state.summary().iter().map(conv).collect())
     }
 
     /// Assembles a target from pre-built rows (indexed by relation id)
     /// and a summary row. Used by constructions that are neither queries
     /// nor chases (e.g. the Theorem 3 `Q*`).
     pub fn from_parts(rows: Vec<Vec<TargetRow>>, summary: Vec<TSym>) -> HomTarget {
-        HomTarget { rows, summary }
+        HomTarget::build(rows, summary)
     }
 
     /// The target's summary row.
@@ -120,6 +165,35 @@ impl HomTarget {
     }
 }
 
+impl FactSource for HomTarget {
+    fn rel_size(&self, rel: RelId) -> usize {
+        self.rows[rel.index()].len()
+    }
+
+    fn row_syms(&self, rel: RelId, row: u32) -> &[Sym] {
+        let a = self.arities[rel.index()];
+        let start = row as usize * a;
+        &self.sym_rows[rel.index()][start..start + a]
+    }
+
+    fn posting_len(&self, rel: RelId, col: usize, sym: Sym) -> usize {
+        self.cols.posting_len(rel, col, sym)
+    }
+
+    fn candidates(&self, rel: RelId, bound: &[(usize, Sym)], out: &mut Vec<u32>) {
+        if bound.is_empty() {
+            out.extend(0..self.rows[rel.index()].len() as u32);
+        } else {
+            self.cols
+                .candidates(rel, bound, |row| self.row_syms(rel, row), out);
+        }
+    }
+
+    fn sym_of_const(&self, c: &Constant) -> Option<Sym> {
+        self.pool.get(&TSym::Const(c.clone()))
+    }
+}
+
 /// A witness homomorphism from a source query into a target.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Homomorphism {
@@ -132,109 +206,36 @@ pub struct Homomorphism {
     pub max_level: u32,
 }
 
-struct Search<'a> {
-    source: &'a ConjunctiveQuery,
-    target: &'a HomTarget,
-    bind: Vec<Option<TSym>>,
-    atom_rows: Vec<u32>,
-    atom_levels: Vec<u32>,
-}
-
-impl<'a> Search<'a> {
-    fn try_row(&mut self, atom_idx: usize, row: &TargetRow) -> Option<Vec<VarId>> {
-        let atom = &self.source.atoms[atom_idx];
-        let mut newly = Vec::new();
-        for (t, s) in atom.terms.iter().zip(row.syms.iter()) {
-            let ok = match t {
-                Term::Const(c) => matches!(s, TSym::Const(sc) if sc == c),
-                Term::Var(v) => match &self.bind[v.index()] {
-                    Some(b) => b == s,
-                    None => {
-                        self.bind[v.index()] = Some(s.clone());
-                        newly.push(*v);
-                        true
-                    }
-                },
-            };
-            if !ok {
-                for u in &newly {
-                    self.bind[u.index()] = None;
-                }
-                return None;
-            }
-        }
-        Some(newly)
+/// Pre-binds source head variables against a target summary row.
+/// Returns `None` on a direct conflict (constant mismatch or two summary
+/// positions forcing one variable to two symbols).
+fn bind_summary(
+    head: &[Term],
+    summary: &[TSym],
+    num_vars: usize,
+    mut sym_of: impl FnMut(&TSym) -> Option<Sym>,
+) -> Option<Vec<Option<Sym>>> {
+    if head.len() != summary.len() {
+        return None;
     }
-
-    fn solve(&mut self, order: &[usize], depth: usize) -> bool {
-        if depth == order.len() {
-            return true;
-        }
-        let atom_idx = order[depth];
-        let rel = self.source.atoms[atom_idx].relation;
-        let n_rows = self.target.rows(rel).len();
-        for r in 0..n_rows {
-            let row = &self.target.rows(rel)[r];
-            let (tag, level) = (row.tag, row.level);
-            // Clone the row terms out to appease the borrow checker; rows
-            // are short (relation arity).
-            let row = row.clone();
-            if let Some(newly) = self.try_row(atom_idx, &row) {
-                self.atom_rows[atom_idx] = tag;
-                self.atom_levels[atom_idx] = level;
-                if self.solve(order, depth + 1) {
-                    return true;
+    let mut bind: Vec<Option<Sym>> = vec![None; num_vars];
+    for (t, s) in head.iter().zip(summary.iter()) {
+        match t {
+            Term::Const(c) => {
+                if !matches!(s, TSym::Const(sc) if sc == c) {
+                    return None;
                 }
-                for u in newly {
-                    self.bind[u.index()] = None;
+            }
+            Term::Var(v) => {
+                let sym = sym_of(s)?;
+                match bind[v.index()] {
+                    Some(b) if b != sym => return None,
+                    _ => bind[v.index()] = Some(sym),
                 }
             }
         }
-        false
     }
-}
-
-/// Greedy atom order: most bound symbols first, fewer candidate rows as
-/// tie-break.
-fn atom_order(q: &ConjunctiveQuery, target: &HomTarget, pre_bound: &[Option<TSym>]) -> Vec<usize> {
-    let n = q.atoms.len();
-    let mut order = Vec::with_capacity(n);
-    let mut used = vec![false; n];
-    let mut bound: BTreeSet<VarId> = pre_bound
-        .iter()
-        .enumerate()
-        .filter(|(_, b)| b.is_some())
-        .map(|(i, _)| VarId(i as u32))
-        .collect();
-    for _ in 0..n {
-        let mut best: Option<(usize, usize, usize)> = None;
-        for (i, atom) in q.atoms.iter().enumerate() {
-            if used[i] {
-                continue;
-            }
-            let score = atom
-                .terms
-                .iter()
-                .filter(|t| match t {
-                    Term::Const(_) => true,
-                    Term::Var(v) => bound.contains(v),
-                })
-                .count();
-            let size = target.rows(atom.relation).len();
-            let better = match best {
-                None => true,
-                Some((_, s, sz)) => score > s || (score == s && size < sz),
-            };
-            if better {
-                best = Some((i, score, size));
-            }
-        }
-        let (i, _, _) = best.expect("unused atom exists");
-        used[i] = true;
-        bound.extend(q.atoms[i].vars());
-        order.push(i);
-    }
-    order
+    Some(bind)
 }
 
 /// Searches for a query homomorphism from `source` into `target` that
@@ -243,45 +244,34 @@ fn atom_order(q: &ConjunctiveQuery, target: &HomTarget, pre_bound: &[Option<TSym
 /// Returns `None` when the output arities differ or no homomorphism
 /// exists.
 pub fn find_hom(source: &ConjunctiveQuery, target: &HomTarget) -> Option<Homomorphism> {
-    if source.head.len() != target.summary().len() {
-        return None;
-    }
-    let mut bind: Vec<Option<TSym>> = vec![None; source.vars.len()];
-    // Pre-bind from the summary constraint.
-    for (t, s) in source.head.iter().zip(target.summary().iter()) {
-        match t {
-            Term::Const(c) => {
-                if !matches!(s, TSym::Const(sc) if sc == c) {
-                    return None;
-                }
-            }
-            Term::Var(v) => match &bind[v.index()] {
-                Some(b) => {
-                    if b != s {
-                        return None;
-                    }
-                }
-                None => bind[v.index()] = Some(s.clone()),
-            },
-        }
-    }
-    let order = atom_order(source, target, &bind);
-    let mut search = Search {
-        source,
-        target,
-        bind,
-        atom_rows: vec![0; source.atoms.len()],
-        atom_levels: vec![0; source.atoms.len()],
-    };
-    if search.solve(&order, 0) {
-        Some(Homomorphism {
-            max_level: search.atom_levels.iter().copied().max().unwrap_or(0),
-            var_images: search.bind,
-            atom_images: search.atom_rows,
-        })
-    } else {
-        None
-    }
+    let pre = bind_summary(&source.head, target.summary(), source.vars.len(), |s| {
+        target.pool.get(s)
+    })?;
+    let cq = compile(source, target)?;
+    let mut found: Option<Homomorphism> = None;
+    let outcome = join(target, &cq, pre, |bind, rows| {
+        let mut max_level = 0;
+        let atom_images: Vec<u32> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &row)| {
+                let r = &target.rows[source.atoms[i].relation.index()][row as usize];
+                max_level = max_level.max(r.level);
+                r.tag
+            })
+            .collect();
+        found = Some(Homomorphism {
+            var_images: bind
+                .iter()
+                .map(|b| b.map(|s| target.pool.resolve(s).clone()))
+                .collect(),
+            atom_images,
+            max_level,
+        });
+        true
+    });
+    debug_assert_eq!(outcome == JoinOutcome::Stopped, found.is_some());
+    found
 }
 
 /// Chandra–Merlin containment primitive: a homomorphism `q_to → q_from`
@@ -295,13 +285,39 @@ pub fn find_query_hom(
 }
 
 /// Searches for a homomorphism into a (partial) chase truncated at
-/// `max_level`.
+/// `max_level`, using the chase's incrementally maintained indexes (no
+/// per-call target flattening).
 pub fn find_chase_hom(
     source: &ConjunctiveQuery,
     state: &ChaseState,
     max_level: u32,
 ) -> Option<Homomorphism> {
-    find_hom(source, &HomTarget::from_chase(state, max_level))
+    let view = state.hom_source(max_level);
+    let pre = bind_summary(
+        &source.head,
+        &view.summary_tsyms(),
+        source.vars.len(),
+        |s| view.sym_of_tsym(s),
+    )?;
+    let cq = compile(source, &view)?;
+    let mut found: Option<Homomorphism> = None;
+    join(&view, &cq, pre, |bind, rows| {
+        let mut max_used = 0;
+        let atom_images: Vec<u32> = rows
+            .iter()
+            .map(|&row| {
+                max_used = max_used.max(state.conjunct(ConjId(row)).level);
+                row
+            })
+            .collect();
+        found = Some(Homomorphism {
+            var_images: bind.iter().map(|b| b.map(|s| view.tsym_of(s))).collect(),
+            atom_images,
+            max_level: max_used,
+        });
+        true
+    });
+    found
 }
 
 /// Resolves a homomorphism's atom image tags back to chase conjunct ids.
@@ -346,6 +362,166 @@ pub fn render_chase_witness(
         );
     }
     out
+}
+
+/// The seed's scan-based homomorphism search, retained verbatim as the
+/// differential-testing and benchmarking reference for the indexed
+/// engine. Per atom it loops over **all** target rows of the atom's
+/// relation — correct, and the behavior the property tests compare the
+/// indexed engine against.
+pub mod naive {
+    use std::collections::BTreeSet;
+
+    use cqchase_ir::{ConjunctiveQuery, Term, VarId};
+
+    use super::{HomTarget, Homomorphism, TSym, TargetRow};
+
+    struct Search<'a> {
+        source: &'a ConjunctiveQuery,
+        target: &'a HomTarget,
+        bind: Vec<Option<TSym>>,
+        atom_rows: Vec<u32>,
+        atom_levels: Vec<u32>,
+    }
+
+    impl Search<'_> {
+        fn try_row(&mut self, atom_idx: usize, row: &TargetRow) -> Option<Vec<VarId>> {
+            let atom = &self.source.atoms[atom_idx];
+            let mut newly = Vec::new();
+            for (t, s) in atom.terms.iter().zip(row.syms.iter()) {
+                let ok = match t {
+                    Term::Const(c) => matches!(s, TSym::Const(sc) if sc == c),
+                    Term::Var(v) => match &self.bind[v.index()] {
+                        Some(b) => b == s,
+                        None => {
+                            self.bind[v.index()] = Some(s.clone());
+                            newly.push(*v);
+                            true
+                        }
+                    },
+                };
+                if !ok {
+                    for u in &newly {
+                        self.bind[u.index()] = None;
+                    }
+                    return None;
+                }
+            }
+            Some(newly)
+        }
+
+        fn solve(&mut self, order: &[usize], depth: usize) -> bool {
+            if depth == order.len() {
+                return true;
+            }
+            let atom_idx = order[depth];
+            let rel = self.source.atoms[atom_idx].relation;
+            let n_rows = self.target.rows(rel).len();
+            for r in 0..n_rows {
+                let row = self.target.rows(rel)[r].clone();
+                if let Some(newly) = self.try_row(atom_idx, &row) {
+                    self.atom_rows[atom_idx] = row.tag;
+                    self.atom_levels[atom_idx] = row.level;
+                    if self.solve(order, depth + 1) {
+                        return true;
+                    }
+                    for u in newly {
+                        self.bind[u.index()] = None;
+                    }
+                }
+            }
+            false
+        }
+    }
+
+    /// Greedy atom order: most bound symbols first, fewer candidate rows
+    /// as tie-break.
+    fn atom_order(
+        q: &ConjunctiveQuery,
+        target: &HomTarget,
+        pre_bound: &[Option<TSym>],
+    ) -> Vec<usize> {
+        let n = q.atoms.len();
+        let mut order = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        let mut bound: BTreeSet<VarId> = pre_bound
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_some())
+            .map(|(i, _)| VarId(i as u32))
+            .collect();
+        for _ in 0..n {
+            let mut best: Option<(usize, usize, usize)> = None;
+            for (i, atom) in q.atoms.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let score = atom
+                    .terms
+                    .iter()
+                    .filter(|t| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => bound.contains(v),
+                    })
+                    .count();
+                let size = target.rows(atom.relation).len();
+                let better = match best {
+                    None => true,
+                    Some((_, s, sz)) => score > s || (score == s && size < sz),
+                };
+                if better {
+                    best = Some((i, score, size));
+                }
+            }
+            let (i, _, _) = best.expect("unused atom exists");
+            used[i] = true;
+            bound.extend(q.atoms[i].vars());
+            order.push(i);
+        }
+        order
+    }
+
+    /// The scan-based equivalent of [`super::find_hom`].
+    pub fn find_hom(source: &ConjunctiveQuery, target: &HomTarget) -> Option<Homomorphism> {
+        if source.head.len() != target.summary().len() {
+            return None;
+        }
+        let mut bind: Vec<Option<TSym>> = vec![None; source.vars.len()];
+        for (t, s) in source.head.iter().zip(target.summary().iter()) {
+            match t {
+                Term::Const(c) => {
+                    if !matches!(s, TSym::Const(sc) if sc == c) {
+                        return None;
+                    }
+                }
+                Term::Var(v) => match &bind[v.index()] {
+                    Some(b) => {
+                        if b != s {
+                            return None;
+                        }
+                    }
+                    None => bind[v.index()] = Some(s.clone()),
+                },
+            }
+        }
+        let order = atom_order(source, target, &bind);
+        let mut search = Search {
+            source,
+            target,
+            bind,
+            atom_rows: vec![0; source.atoms.len()],
+            atom_levels: vec![0; source.atoms.len()],
+        };
+        if search.solve(&order, 0) {
+            Some(Homomorphism {
+                max_level: search.atom_levels.iter().copied().max().unwrap_or(0),
+                var_images: search.bind,
+                atom_images: search.atom_rows,
+            })
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -435,7 +611,12 @@ mod tests {
              Qp(x) :- R(x, y), R(y, z).",
         )
         .unwrap();
-        let mut ch = Chase::new(p.query("Q").unwrap(), &p.deps, &p.catalog, ChaseMode::Required);
+        let mut ch = Chase::new(
+            p.query("Q").unwrap(),
+            &p.deps,
+            &p.catalog,
+            ChaseMode::Required,
+        );
         ch.expand_to_level(3, ChaseBudget::default());
         let qp = p.query("Qp").unwrap();
         // At level 0 only R(x, y) exists: no hom for the 2-chain.
@@ -455,7 +636,12 @@ mod tests {
              Qp(x) :- R(x, y), R(y, z).",
         )
         .unwrap();
-        let mut ch = Chase::new(p.query("Q").unwrap(), &p.deps, &p.catalog, ChaseMode::Required);
+        let mut ch = Chase::new(
+            p.query("Q").unwrap(),
+            &p.deps,
+            &p.catalog,
+            ChaseMode::Required,
+        );
         ch.expand_to_level(2, ChaseBudget::default());
         let qp = p.query("Qp").unwrap();
         let h = find_chase_hom(qp, ch.state(), 2).unwrap();
@@ -489,7 +675,9 @@ mod tests {
              Q2(x, y2) :- R(x, y2).",
         )
         .unwrap();
-        assert!(find_query_hom(p.query("Q1").unwrap(), p.query("Q2").unwrap(), &p.catalog).is_none());
+        assert!(
+            find_query_hom(p.query("Q1").unwrap(), p.query("Q2").unwrap(), &p.catalog).is_none()
+        );
     }
 
     #[test]
@@ -504,5 +692,30 @@ mod tests {
         assert!(
             find_query_hom(p.query("Qs").unwrap(), p.query("Q").unwrap(), &p.catalog).is_none()
         );
+    }
+
+    #[test]
+    fn indexed_agrees_with_naive_on_query_targets() {
+        let p = parse_program(
+            "relation R(a, b). relation S(a, b).
+             A(x) :- R(x, y), S(y, z), R(z, x).
+             B(x) :- R(x, y), S(y, y).
+             C(x) :- R(x, x).
+             D(x) :- R(x, y), R(y, z), S(z, 1).",
+        )
+        .unwrap();
+        let names = ["A", "B", "C", "D"];
+        for from in names {
+            for into in names {
+                let target = HomTarget::from_query(p.query(into).unwrap(), &p.catalog);
+                let fast = find_hom(p.query(from).unwrap(), &target);
+                let slow = naive::find_hom(p.query(from).unwrap(), &target);
+                assert_eq!(
+                    fast.is_some(),
+                    slow.is_some(),
+                    "hom {from} -> {into} disagreement"
+                );
+            }
+        }
     }
 }

@@ -11,11 +11,7 @@ use std::collections::BTreeSet;
 use cqchase_ir::{Catalog, DependencySet, Fd, RelId};
 
 /// The closure of `attrs` under the FDs of Σ that constrain `rel`.
-pub fn attribute_closure(
-    sigma: &DependencySet,
-    rel: RelId,
-    attrs: &[usize],
-) -> BTreeSet<usize> {
+pub fn attribute_closure(sigma: &DependencySet, rel: RelId, attrs: &[usize]) -> BTreeSet<usize> {
     let fds: Vec<&Fd> = sigma.fds_for(rel).collect();
     let mut closure: BTreeSet<usize> = attrs.iter().copied().collect();
     loop {
@@ -68,10 +64,7 @@ pub fn candidate_keys(
     masks.sort_by_key(|m| m.count_ones());
     for mask in masks {
         let attrs: Vec<usize> = (0..arity).filter(|c| mask & (1 << c) != 0).collect();
-        if keys
-            .iter()
-            .any(|k| k.iter().all(|c| attrs.contains(c)))
-        {
+        if keys.iter().any(|k| k.iter().all(|c| attrs.contains(c))) {
             continue; // superset of a known key
         }
         if is_superkey(sigma, catalog, rel, &attrs) {

@@ -129,11 +129,7 @@ pub fn saturate_inds(sigma: &DependencySet, max_steps: usize) -> IndSaturation {
 ///
 /// Returns `None` if the saturation budget is exhausted before the goal
 /// is derived (unknown); `Some(true/false)` otherwise.
-pub fn implies_ind_axiomatic(
-    sigma: &DependencySet,
-    goal: &Ind,
-    max_steps: usize,
-) -> Option<bool> {
+pub fn implies_ind_axiomatic(sigma: &DependencySet, goal: &Ind, max_steps: usize) -> Option<bool> {
     // Reflexivity handles R[X] ⊆ R[X] goals outright.
     if goal.is_trivial() {
         return Some(true);
@@ -190,7 +186,11 @@ mod tests {
         );
         // Permutation: R[3, 1] ⊆ S[3, 1].
         assert_eq!(
-            implies_ind_axiomatic(&p.deps, &goal(&p, "R", vec![2, 0], "S", vec![2, 0]), 100_000),
+            implies_ind_axiomatic(
+                &p.deps,
+                &goal(&p, "R", vec![2, 0], "S", vec![2, 0]),
+                100_000
+            ),
             Some(true)
         );
         // But not a *re-pairing*: R[1] ⊆ S[2] is not derivable.

@@ -14,7 +14,9 @@
 
 use cqchase_ir::{Catalog, ConjunctiveQuery, DependencySet, Ind, QueryBuilder};
 
-use crate::containment::{contained, ContainmentAnswer, ContainmentEngineError, ContainmentOptions};
+use crate::containment::{
+    contained, ContainmentAnswer, ContainmentEngineError, ContainmentOptions,
+};
 
 /// Builds the pair `(Q, Q′)` of Corollary 2.3 for `goal`.
 pub fn ind_inference_queries(
@@ -106,8 +108,7 @@ pub fn implies_fd_via_chase(
     let identified = || {
         let c0 = chase.state().resolve_conjunct(ConjId(0));
         let c1 = chase.state().resolve_conjunct(ConjId(1));
-        chase.state().conjunct(c0).terms[goal.rhs]
-            == chase.state().conjunct(c1).terms[goal.rhs]
+        chase.state().conjunct(c0).terms[goal.rhs] == chase.state().conjunct(c1).terms[goal.rhs]
     };
     match status {
         ChaseStatus::Failed => Some(true), // tableau inconsistent ⇒ vacuous
@@ -174,12 +175,16 @@ mod tests {
         let opts = ContainmentOptions::default();
         let yes = goal(&p, "R", vec![0], "T", vec![0]);
         let no = goal(&p, "T", vec![0], "R", vec![0]);
-        assert!(implies_ind_via_chase(&p.deps, &yes, &p.catalog, &opts)
-            .unwrap()
-            .contained);
-        assert!(!implies_ind_via_chase(&p.deps, &no, &p.catalog, &opts)
-            .unwrap()
-            .contained);
+        assert!(
+            implies_ind_via_chase(&p.deps, &yes, &p.catalog, &opts)
+                .unwrap()
+                .contained
+        );
+        assert!(
+            !implies_ind_via_chase(&p.deps, &no, &p.catalog, &opts)
+                .unwrap()
+                .contained
+        );
         assert_eq!(implies_ind_axiomatic(&p.deps, &yes, 100_000), Some(true));
         assert_eq!(implies_ind_axiomatic(&p.deps, &no, 100_000), Some(false));
     }
@@ -245,15 +250,30 @@ mod tests {
         .unwrap();
         let r = p.catalog.resolve("R").unwrap();
         assert_eq!(
-            implies_fd_via_chase(&p.deps, &Fd::new(r, vec![0, 1], 2), &p.catalog, ChaseBudget::default()),
+            implies_fd_via_chase(
+                &p.deps,
+                &Fd::new(r, vec![0, 1], 2),
+                &p.catalog,
+                ChaseBudget::default()
+            ),
             Some(true)
         );
         assert_eq!(
-            implies_fd_via_chase(&p.deps, &Fd::new(r, vec![0], 2), &p.catalog, ChaseBudget::default()),
+            implies_fd_via_chase(
+                &p.deps,
+                &Fd::new(r, vec![0], 2),
+                &p.catalog,
+                ChaseBudget::default()
+            ),
             Some(false)
         );
         assert_eq!(
-            implies_fd_via_chase(&p.deps, &Fd::new(r, vec![0, 1], 3), &p.catalog, ChaseBudget::default()),
+            implies_fd_via_chase(
+                &p.deps,
+                &Fd::new(r, vec![0, 1], 3),
+                &p.catalog,
+                ChaseBudget::default()
+            ),
             Some(false)
         );
     }
@@ -271,7 +291,12 @@ mod tests {
         .unwrap();
         let r = p.catalog.resolve("R").unwrap();
         assert_eq!(
-            implies_fd_via_chase(&p.deps, &Fd::new(r, vec![0], 1), &p.catalog, ChaseBudget::default()),
+            implies_fd_via_chase(
+                &p.deps,
+                &Fd::new(r, vec![0], 1),
+                &p.catalog,
+                ChaseBudget::default()
+            ),
             Some(true)
         );
     }
@@ -281,9 +306,11 @@ mod tests {
         let p = parse_program("relation R(a, b).").unwrap();
         let g = goal(&p, "R", vec![0], "R", vec![0]);
         let opts = ContainmentOptions::default();
-        assert!(implies_ind_via_chase(&p.deps, &g, &p.catalog, &opts)
-            .unwrap()
-            .contained);
+        assert!(
+            implies_ind_via_chase(&p.deps, &g, &p.catalog, &opts)
+                .unwrap()
+                .contained
+        );
     }
 
     #[test]
@@ -295,21 +322,25 @@ mod tests {
         .unwrap();
         let opts = ContainmentOptions::default();
         // R[2] ⊆ R[1] holds (it is in Σ); R[1] ⊆ R[2] does not.
-        assert!(implies_ind_via_chase(
-            &p.deps,
-            &goal(&p, "R", vec![1], "R", vec![0]),
-            &p.catalog,
-            &opts
-        )
-        .unwrap()
-        .contained);
-        assert!(!implies_ind_via_chase(
-            &p.deps,
-            &goal(&p, "R", vec![0], "R", vec![1]),
-            &p.catalog,
-            &opts
-        )
-        .unwrap()
-        .contained);
+        assert!(
+            implies_ind_via_chase(
+                &p.deps,
+                &goal(&p, "R", vec![1], "R", vec![0]),
+                &p.catalog,
+                &opts
+            )
+            .unwrap()
+            .contained
+        );
+        assert!(
+            !implies_ind_via_chase(
+                &p.deps,
+                &goal(&p, "R", vec![0], "R", vec![1]),
+                &p.catalog,
+                &opts
+            )
+            .unwrap()
+            .contained
+        );
     }
 }

@@ -121,7 +121,10 @@ mod tests {
              Q2(u) :- R(u, w), R(w, u).",
         )
         .unwrap();
-        assert!(is_isomorphic(p.query("Q1").unwrap(), p.query("Q2").unwrap()));
+        assert!(is_isomorphic(
+            p.query("Q1").unwrap(),
+            p.query("Q2").unwrap()
+        ));
     }
 
     #[test]
@@ -132,7 +135,10 @@ mod tests {
              Q2(x) :- S(z), R(x, z).",
         )
         .unwrap();
-        assert!(is_isomorphic(p.query("Q1").unwrap(), p.query("Q2").unwrap()));
+        assert!(is_isomorphic(
+            p.query("Q1").unwrap(),
+            p.query("Q2").unwrap()
+        ));
     }
 
     #[test]
@@ -143,7 +149,10 @@ mod tests {
              Q2(y2) :- R(x2, y2).",
         )
         .unwrap();
-        assert!(!is_isomorphic(p.query("Q1").unwrap(), p.query("Q2").unwrap()));
+        assert!(!is_isomorphic(
+            p.query("Q1").unwrap(),
+            p.query("Q2").unwrap()
+        ));
     }
 
     #[test]
@@ -154,7 +163,10 @@ mod tests {
              Q2(x) :- R(x, y).",
         )
         .unwrap();
-        assert!(!is_isomorphic(p.query("Q1").unwrap(), p.query("Q2").unwrap()));
+        assert!(!is_isomorphic(
+            p.query("Q1").unwrap(),
+            p.query("Q2").unwrap()
+        ));
     }
 
     #[test]
@@ -169,7 +181,10 @@ mod tests {
              Q2(x) :- R(x, w), R(w, x).",
         )
         .unwrap();
-        assert!(!is_isomorphic(p.query("Q1").unwrap(), p.query("Q2").unwrap()));
+        assert!(!is_isomorphic(
+            p.query("Q1").unwrap(),
+            p.query("Q2").unwrap()
+        ));
     }
 
     #[test]
@@ -181,8 +196,14 @@ mod tests {
              Q3(x) :- R(x, 1).",
         )
         .unwrap();
-        assert!(!is_isomorphic(p.query("Q1").unwrap(), p.query("Q2").unwrap()));
-        assert!(is_isomorphic(p.query("Q1").unwrap(), p.query("Q3").unwrap()));
+        assert!(!is_isomorphic(
+            p.query("Q1").unwrap(),
+            p.query("Q2").unwrap()
+        ));
+        assert!(is_isomorphic(
+            p.query("Q1").unwrap(),
+            p.query("Q3").unwrap()
+        ));
     }
 
     #[test]

@@ -32,9 +32,7 @@ pub mod inference;
 pub mod isomorphism;
 pub mod minimize;
 
-pub use chase::{
-    chase_query, theorem2_bound, Chase, ChaseBudget, ChaseMode, ChaseStatus,
-};
+pub use chase::{chase_query, theorem2_bound, Chase, ChaseBudget, ChaseMode, ChaseStatus};
 pub use classify::{classify, SigmaClass};
 pub use containment::{
     contained, equivalent, ContainmentAnswer, ContainmentEngineError, ContainmentOptions,

@@ -3,8 +3,8 @@
 
 use cqchase_core::chase::{CTerm, Chase, ChaseBudget, ChaseMode, ChaseStatus};
 use cqchase_core::classify::{classify, SigmaClass};
-use cqchase_core::containment::{ChaseBudgetOpt, ContainmentOptions};
 use cqchase_core::contained;
+use cqchase_core::containment::{ChaseBudgetOpt, ContainmentOptions};
 use cqchase_core::inference::{implies_fd, implies_fd_via_chase};
 use cqchase_ir::{parse_program, Catalog, ConjunctiveQuery, DependencySet, Fd, Ind, QueryBuilder};
 use cqchase_storage::{satisfies, Database, Value};

@@ -1,0 +1,411 @@
+//! The shared backtracking-join engine.
+//!
+//! A conjunctive query is compiled against a [`FactSource`] into atoms
+//! of [`Slot`]s (interned constants and dense variable slots). The
+//! search then repeatedly picks the *most constrained* remaining atom —
+//! the one whose already-bound slots admit the fewest candidate rows,
+//! estimated from posting-list lengths — asks the source for the
+//! matching rows (an index intersection, not a scan), and recurses.
+//!
+//! One engine serves all three homomorphism consumers of the paper:
+//! query-to-query homomorphisms (Chandra–Merlin), query-to-chase
+//! homomorphisms (Theorems 1/2), and finite evaluation `Q(B)`.
+
+use cqchase_ir::{ConjunctiveQuery, Constant, RelId, Term};
+
+use crate::sym::Sym;
+
+/// A finite store of rows of interned symbols, queryable by column.
+///
+/// Row ids are source-chosen `u32`s, unique per relation and stable for
+/// the duration of a [`join`] call.
+pub trait FactSource {
+    /// Number of live rows of `rel` (ordering heuristic).
+    fn rel_size(&self, rel: RelId) -> usize;
+
+    /// The symbols of live row `row` of `rel`.
+    fn row_syms(&self, rel: RelId, row: u32) -> &[Sym];
+
+    /// Upper bound on the number of live rows of `rel` carrying `sym` in
+    /// column `col` (ordering heuristic; exactness not required).
+    fn posting_len(&self, rel: RelId, col: usize, sym: Sym) -> usize;
+
+    /// Pushes (in ascending order) every live row of `rel` that carries
+    /// `sym` in column `col` for all `(col, sym)` in `bound` into `out`.
+    /// An empty `bound` enumerates all live rows.
+    fn candidates(&self, rel: RelId, bound: &[(usize, Sym)], out: &mut Vec<u32>);
+
+    /// Resolves a query constant into this source's symbol space, or
+    /// `None` when the constant occurs nowhere in the source.
+    fn sym_of_const(&self, c: &Constant) -> Option<Sym>;
+}
+
+/// One compiled atom position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// A constant, pre-resolved to the source's symbol space.
+    Const(Sym),
+    /// A query variable (dense per-query index).
+    Var(u32),
+}
+
+/// One compiled atom.
+#[derive(Debug, Clone)]
+pub struct CompiledAtom {
+    /// The relation the atom ranges over.
+    pub rel: RelId,
+    /// One slot per column.
+    pub slots: Vec<Slot>,
+}
+
+/// A query compiled against one source's symbol space.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    /// Atoms in the original query's order (the engine reorders
+    /// dynamically during search; result rows stay indexed by this
+    /// order).
+    pub atoms: Vec<CompiledAtom>,
+    /// Size of the variable table (bindings are indexed by `VarId`).
+    pub num_vars: usize,
+}
+
+/// Compiles `q`'s body against `src`. Returns `None` when some body
+/// constant does not occur in the source at all — no atom can then match,
+/// so the query is unsatisfiable over this source.
+pub fn compile(q: &ConjunctiveQuery, src: &impl FactSource) -> Option<CompiledQuery> {
+    let mut atoms = Vec::with_capacity(q.atoms.len());
+    for a in &q.atoms {
+        let mut slots = Vec::with_capacity(a.terms.len());
+        for t in &a.terms {
+            slots.push(match t {
+                Term::Var(v) => Slot::Var(v.0),
+                Term::Const(c) => Slot::Const(src.sym_of_const(c)?),
+            });
+        }
+        atoms.push(CompiledAtom {
+            rel: a.relation,
+            slots,
+        });
+    }
+    Some(CompiledQuery {
+        atoms,
+        num_vars: q.vars.len(),
+    })
+}
+
+/// What a [`join`] call found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinOutcome {
+    /// The emit callback requested a stop (it saw the solution it
+    /// wanted).
+    Stopped,
+    /// The search space was exhausted; every solution was emitted.
+    Exhausted,
+}
+
+/// Solution callback: `(bindings, chosen row per original atom)`;
+/// returning `true` stops the search.
+type EmitFn<'e> = dyn FnMut(&[Option<Sym>], &[u32]) -> bool + 'e;
+
+struct Search<'a, S: FactSource> {
+    src: &'a S,
+    cq: &'a CompiledQuery,
+    bind: Vec<Option<Sym>>,
+    /// Chosen row per original atom index.
+    rows: Vec<u32>,
+    done: Vec<bool>,
+    /// Reused candidate buffers, one per depth.
+    bufs: Vec<Vec<u32>>,
+    /// Reused bound-constraint buffer.
+    bound: Vec<(usize, Sym)>,
+}
+
+impl<S: FactSource> Search<'_, S> {
+    /// Picks the unresolved atom with the fewest estimated candidates:
+    /// the minimum posting length over its bound slots, or the full
+    /// relation size when nothing is bound yet. Ties break toward more
+    /// bound slots, then the smaller atom index (determinism).
+    fn most_constrained(&self) -> usize {
+        let mut best: Option<(usize, usize, usize)> = None; // (atom, est, bound_ct)
+        for (i, atom) in self.cq.atoms.iter().enumerate() {
+            if self.done[i] {
+                continue;
+            }
+            let mut est = self.src.rel_size(atom.rel);
+            let mut bound_ct = 0usize;
+            for (col, slot) in atom.slots.iter().enumerate() {
+                let sym = match slot {
+                    Slot::Const(s) => Some(*s),
+                    Slot::Var(v) => self.bind[*v as usize],
+                };
+                if let Some(s) = sym {
+                    bound_ct += 1;
+                    est = est.min(self.src.posting_len(atom.rel, col, s));
+                }
+            }
+            let better = match best {
+                None => true,
+                Some((_, e, b)) => est < e || (est == e && bound_ct > b),
+            };
+            if better {
+                best = Some((i, est, bound_ct));
+            }
+        }
+        best.expect("an unresolved atom exists").0
+    }
+
+    fn solve(&mut self, depth: usize, emit: &mut EmitFn<'_>) -> bool {
+        if depth == self.cq.atoms.len() {
+            return emit(&self.bind, &self.rows);
+        }
+        let atom_idx = self.most_constrained();
+        let (rel, nslots) = {
+            let a = &self.cq.atoms[atom_idx];
+            (a.rel, a.slots.len())
+        };
+
+        // Index-intersection candidate generation over the bound slots.
+        self.bound.clear();
+        for col in 0..nslots {
+            let sym = match self.cq.atoms[atom_idx].slots[col] {
+                Slot::Const(s) => Some(s),
+                Slot::Var(v) => self.bind[v as usize],
+            };
+            if let Some(s) = sym {
+                self.bound.push((col, s));
+            }
+        }
+        let mut buf = std::mem::take(&mut self.bufs[depth]);
+        buf.clear();
+        self.src.candidates(rel, &self.bound, &mut buf);
+
+        self.done[atom_idx] = true;
+        let mut stopped = false;
+        let mut newly: Vec<u32> = Vec::new();
+        'rows: for &row in &buf {
+            // Bind the unbound slots from the row, verifying repeated
+            // variables within the atom.
+            newly.clear();
+            for (col, slot) in self.cq.atoms[atom_idx].slots.iter().enumerate() {
+                if let Slot::Var(v) = slot {
+                    let sym = self.src.row_syms(rel, row)[col];
+                    match self.bind[*v as usize] {
+                        Some(b) if b == sym => {}
+                        Some(_) => {
+                            for &u in &newly {
+                                self.bind[u as usize] = None;
+                            }
+                            continue 'rows;
+                        }
+                        None => {
+                            self.bind[*v as usize] = Some(sym);
+                            newly.push(*v);
+                        }
+                    }
+                }
+            }
+            self.rows[atom_idx] = row;
+            if self.solve(depth + 1, emit) {
+                stopped = true;
+                break;
+            }
+            for &u in &newly {
+                self.bind[u as usize] = None;
+            }
+        }
+        if stopped {
+            // Keep bindings intact for the caller (witness extraction).
+        } else {
+            self.done[atom_idx] = false;
+        }
+        self.bufs[depth] = buf;
+        stopped
+    }
+}
+
+/// Runs the backtracking join of `cq` over `src`.
+///
+/// `pre` seeds variable bindings (e.g. from a summary-row constraint);
+/// its length must be `cq.num_vars`. For every total assignment the
+/// engine calls `emit(bindings, rows)` — `rows[i]` is the source row the
+/// `i`-th atom mapped onto. Returning `true` from `emit` stops the
+/// search with [`JoinOutcome::Stopped`] and leaves that solution's
+/// bindings observable in the callback; returning `false` keeps
+/// enumerating.
+pub fn join<S: FactSource>(
+    src: &S,
+    cq: &CompiledQuery,
+    pre: Vec<Option<Sym>>,
+    mut emit: impl FnMut(&[Option<Sym>], &[u32]) -> bool,
+) -> JoinOutcome {
+    assert_eq!(pre.len(), cq.num_vars, "pre-binding length mismatch");
+    let n = cq.atoms.len();
+    let mut search = Search {
+        src,
+        cq,
+        bind: pre,
+        rows: vec![0; n],
+        done: vec![false; n],
+        bufs: vec![Vec::new(); n],
+        bound: Vec::new(),
+    };
+    if search.solve(0, &mut emit) {
+        JoinOutcome::Stopped
+    } else {
+        JoinOutcome::Exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ColumnIndex;
+    use crate::sym::SymPool;
+    use cqchase_ir::{parse_program, Catalog};
+
+    /// A toy source: rows stored flat, indexed by `ColumnIndex`.
+    struct Toy {
+        pool: SymPool<Constant>,
+        cols: ColumnIndex,
+        rows: Vec<Vec<Vec<Sym>>>,
+    }
+
+    impl Toy {
+        fn new(catalog: &Catalog, facts: &[(&str, &[i64])]) -> Toy {
+            let mut pool = SymPool::new();
+            let mut cols = ColumnIndex::new(catalog.rel_ids().map(|r| catalog.arity(r)));
+            let mut rows = vec![Vec::new(); catalog.len()];
+            for (name, vals) in facts {
+                let rel = catalog.resolve(name).unwrap();
+                let syms: Vec<Sym> = vals
+                    .iter()
+                    .map(|v| pool.intern(&Constant::int(*v)))
+                    .collect();
+                let id = rows[rel.index()].len() as u32;
+                cols.insert_row(rel, id, &syms);
+                rows[rel.index()].push(syms);
+            }
+            Toy { pool, cols, rows }
+        }
+    }
+
+    impl FactSource for Toy {
+        fn rel_size(&self, rel: RelId) -> usize {
+            self.rows[rel.index()].len()
+        }
+
+        fn row_syms(&self, rel: RelId, row: u32) -> &[Sym] {
+            &self.rows[rel.index()][row as usize]
+        }
+
+        fn posting_len(&self, rel: RelId, col: usize, sym: Sym) -> usize {
+            self.cols.posting_len(rel, col, sym)
+        }
+
+        fn candidates(&self, rel: RelId, bound: &[(usize, Sym)], out: &mut Vec<u32>) {
+            if bound.is_empty() {
+                out.extend(0..self.rows[rel.index()].len() as u32);
+            } else {
+                self.cols
+                    .candidates(rel, bound, |row| &self.rows[rel.index()][row as usize], out);
+            }
+        }
+
+        fn sym_of_const(&self, c: &Constant) -> Option<Sym> {
+            self.pool.get(c)
+        }
+    }
+
+    fn count_solutions(src: &Toy, q: &ConjunctiveQuery) -> usize {
+        let Some(cq) = compile(q, src) else { return 0 };
+        let mut n = 0;
+        join(src, &cq, vec![None; cq.num_vars], |_, _| {
+            n += 1;
+            false
+        });
+        n
+    }
+
+    #[test]
+    fn joins_across_relations() {
+        let p = parse_program("relation R(a, b). relation S(b, c). Q(x, z) :- R(x, y), S(y, z).")
+            .unwrap();
+        let src = Toy::new(
+            &p.catalog,
+            &[
+                ("R", &[1, 2]),
+                ("R", &[5, 6]),
+                ("S", &[2, 3]),
+                ("S", &[2, 4]),
+            ],
+        );
+        assert_eq!(count_solutions(&src, &p.queries[0]), 2);
+    }
+
+    #[test]
+    fn repeated_vars_and_constants() {
+        let p = parse_program(
+            "relation R(a, b).
+             Qxx(x) :- R(x, x).
+             Qc(x) :- R(x, 7).",
+        )
+        .unwrap();
+        let src = Toy::new(
+            &p.catalog,
+            &[("R", &[1, 1]), ("R", &[1, 2]), ("R", &[3, 7])],
+        );
+        assert_eq!(count_solutions(&src, p.query("Qxx").unwrap()), 1);
+        assert_eq!(count_solutions(&src, p.query("Qc").unwrap()), 1);
+    }
+
+    #[test]
+    fn missing_constant_is_unsatisfiable() {
+        let p = parse_program("relation R(a, b). Q(x) :- R(x, 99).").unwrap();
+        let src = Toy::new(&p.catalog, &[("R", &[1, 2])]);
+        assert_eq!(count_solutions(&src, &p.queries[0]), 0);
+    }
+
+    #[test]
+    fn early_stop_keeps_bindings() {
+        let p = parse_program("relation R(a, b). Q(x) :- R(x, y).").unwrap();
+        let src = Toy::new(&p.catalog, &[("R", &[1, 2]), ("R", &[3, 4])]);
+        let cq = compile(&p.queries[0], &src).unwrap();
+        let mut seen: Option<Vec<Option<Sym>>> = None;
+        let outcome = join(&src, &cq, vec![None; cq.num_vars], |bind, rows| {
+            assert_eq!(rows.len(), 1);
+            seen = Some(bind.to_vec());
+            true
+        });
+        assert_eq!(outcome, JoinOutcome::Stopped);
+        let bind = seen.unwrap();
+        assert!(bind.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn pre_binding_restricts() {
+        let p = parse_program("relation R(a, b). Q(x) :- R(x, y).").unwrap();
+        let src = Toy::new(&p.catalog, &[("R", &[1, 2]), ("R", &[3, 4])]);
+        let cq = compile(&p.queries[0], &src).unwrap();
+        // Bind x (VarId 0 — head var interned first) to the sym of 3.
+        let x_sym = src.sym_of_const(&Constant::int(3)).unwrap();
+        let mut pre = vec![None; cq.num_vars];
+        pre[0] = Some(x_sym);
+        let mut n = 0;
+        join(&src, &cq, pre, |bind, _| {
+            assert_eq!(bind[0], Some(x_sym));
+            n += 1;
+            false
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn chain_on_path_has_expected_solutions() {
+        // A 6-node path (5 edges); a 3-chain fits at 3 start edges.
+        let p = parse_program("relation R(a, b). Q(x) :- R(x, y), R(y, z), R(z, w).").unwrap();
+        let facts: Vec<(&str, Vec<i64>)> = (0..5).map(|i| ("R", vec![i, i + 1])).collect();
+        let borrowed: Vec<(&str, &[i64])> = facts.iter().map(|(n, v)| (*n, v.as_slice())).collect();
+        let src = Toy::new(&p.catalog, &borrowed);
+        assert_eq!(count_solutions(&src, &p.queries[0]), 3);
+    }
+}

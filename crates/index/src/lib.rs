@@ -1,0 +1,38 @@
+//! # cqchase-index — indexed fact stores and the shared join core
+//!
+//! Every decision procedure in this workspace bottoms out in the same
+//! operation: find an assignment of query variables to the symbols of
+//! some finite fact store such that every atom maps onto a stored row.
+//! The paper uses it three ways — the Chandra–Merlin homomorphism test,
+//! the chase's "is this dependency application required?" checks, and
+//! finite evaluation `Q(B)` — and the seed implemented it three times
+//! with per-atom linear scans.
+//!
+//! This crate is the shared substrate:
+//!
+//! * [`Sym`] / [`SymPool`] — interned `u32` symbols, so the hot paths
+//!   compare and hash machine words instead of cloning [`Constant`]s;
+//! * [`ColumnIndex`] — per-relation, per-column posting lists
+//!   `(rel, col, sym) → sorted row ids`, maintained incrementally under
+//!   insertion, deletion, and symbol substitution;
+//! * [`DedupIndex`] — hash-based duplicate detection of whole rows (the
+//!   chase's "sets of conjuncts don't duplicate" rule as an O(1) lookup);
+//! * [`FactSource`] + [`join`] — the backtracking-join engine with
+//!   most-constrained-atom-first dynamic ordering and index-intersection
+//!   candidate generation.
+//!
+//! Consumers implement [`FactSource`] over their own storage
+//! (`HomTarget`, `ChaseState`, `Database`) and share one search.
+//!
+//! [`Constant`]: cqchase_ir::Constant
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod store;
+pub mod sym;
+
+pub use engine::{compile, join, CompiledAtom, CompiledQuery, FactSource, JoinOutcome, Slot};
+pub use store::{ColumnIndex, DedupIndex};
+pub use sym::{Sym, SymPool};

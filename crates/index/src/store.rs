@@ -1,0 +1,214 @@
+//! Incremental per-relation indexes over rows of interned symbols.
+//!
+//! Rows live with their owner (chase state, hom target, database); the
+//! structures here are *derived* data the owner keeps in sync. Row ids
+//! are caller-chosen `u32`s (conjunct ids for the chase, per-relation
+//! row numbers for databases and hom targets) — the index treats them as
+//! opaque keys and keeps posting lists sorted by them.
+
+use std::collections::HashMap;
+
+use cqchase_ir::RelId;
+
+use crate::sym::Sym;
+
+/// Posting lists `(relation, column, symbol) → sorted row ids`.
+///
+/// Supports incremental insertion, deletion, and symbol substitution, so
+/// mutating owners (the chase under FD merges) never rebuild.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnIndex {
+    /// One map per relation per column.
+    rels: Vec<Vec<HashMap<Sym, Vec<u32>>>>,
+}
+
+impl ColumnIndex {
+    /// An index over relations with the given arities.
+    pub fn new(arities: impl IntoIterator<Item = usize>) -> Self {
+        ColumnIndex {
+            rels: arities
+                .into_iter()
+                .map(|a| vec![HashMap::new(); a])
+                .collect(),
+        }
+    }
+
+    /// Registers `row` (with symbols `syms`) under every column of `rel`.
+    pub fn insert_row(&mut self, rel: RelId, row: u32, syms: &[Sym]) {
+        for (col, &sym) in syms.iter().enumerate() {
+            let list = self.rels[rel.index()][col].entry(sym).or_default();
+            match list.binary_search(&row) {
+                Ok(_) => {}
+                Err(pos) => list.insert(pos, row),
+            }
+        }
+    }
+
+    /// Removes `row` (with symbols `syms`) from every column of `rel`.
+    pub fn remove_row(&mut self, rel: RelId, row: u32, syms: &[Sym]) {
+        for (col, &sym) in syms.iter().enumerate() {
+            if let Some(list) = self.rels[rel.index()][col].get_mut(&sym) {
+                if let Ok(pos) = list.binary_search(&row) {
+                    list.remove(pos);
+                }
+                if list.is_empty() {
+                    self.rels[rel.index()][col].remove(&sym);
+                }
+            }
+        }
+    }
+
+    /// Moves `row` from `from`'s posting list to `to`'s in column `col`
+    /// of `rel` (the FD substitution primitive).
+    pub fn replace_in_col(&mut self, rel: RelId, col: usize, row: u32, from: Sym, to: Sym) {
+        let maps = &mut self.rels[rel.index()][col];
+        if let Some(list) = maps.get_mut(&from) {
+            if let Ok(pos) = list.binary_search(&row) {
+                list.remove(pos);
+            }
+            if list.is_empty() {
+                maps.remove(&from);
+            }
+        }
+        let list = maps.entry(to).or_default();
+        if let Err(pos) = list.binary_search(&row) {
+            list.insert(pos, row);
+        }
+    }
+
+    /// The sorted row ids with `sym` in column `col` of `rel`. Columns
+    /// the index never saw a row for (e.g. a relation with no rows at
+    /// all, whose arity the owner could not derive) read as empty.
+    pub fn posting(&self, rel: RelId, col: usize, sym: Sym) -> &[u32] {
+        self.rels[rel.index()]
+            .get(col)
+            .and_then(|m| m.get(&sym))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Length of [`ColumnIndex::posting`] without materializing it.
+    pub fn posting_len(&self, rel: RelId, col: usize, sym: Sym) -> usize {
+        self.posting(rel, col, sym).len()
+    }
+
+    /// Intersects the posting lists for the given `(col, sym)`
+    /// constraints: probes the shortest list and verifies the remaining
+    /// constraints via `syms_of`, pushing surviving row ids (ascending)
+    /// into `out`.
+    ///
+    /// `bound` must be nonempty; full enumeration is the owner's job
+    /// (only it knows its live-row universe).
+    pub fn candidates<'a>(
+        &self,
+        rel: RelId,
+        bound: &[(usize, Sym)],
+        syms_of: impl Fn(u32) -> &'a [Sym],
+        out: &mut Vec<u32>,
+    ) {
+        debug_assert!(!bound.is_empty());
+        let probe = (0..bound.len())
+            .min_by_key(|&i| self.posting_len(rel, bound[i].0, bound[i].1))
+            .expect("bound is nonempty");
+        let (c0, s0) = bound[probe];
+        'rows: for &row in self.posting(rel, c0, s0) {
+            let syms = syms_of(row);
+            for &(c, s) in bound {
+                if syms[c] != s {
+                    continue 'rows;
+                }
+            }
+            out.push(row);
+        }
+    }
+
+    /// Like [`ColumnIndex::candidates`], but stops at the first
+    /// intersection row `accept` returns `true` for and returns it —
+    /// the early-exit probe for existence checks (witness lookups, FD
+    /// applicability). Rows are visited in ascending id order, so the
+    /// returned row is the minimal accepted match.
+    pub fn first_candidate<'a>(
+        &self,
+        rel: RelId,
+        bound: &[(usize, Sym)],
+        syms_of: impl Fn(u32) -> &'a [Sym],
+        mut accept: impl FnMut(u32) -> bool,
+    ) -> Option<u32> {
+        debug_assert!(!bound.is_empty());
+        let probe = (0..bound.len())
+            .min_by_key(|&i| self.posting_len(rel, bound[i].0, bound[i].1))
+            .expect("bound is nonempty");
+        let (c0, s0) = bound[probe];
+        'rows: for &row in self.posting(rel, c0, s0) {
+            let syms = syms_of(row);
+            for &(c, s) in bound {
+                if syms[c] != s {
+                    continue 'rows;
+                }
+            }
+            if accept(row) {
+                return Some(row);
+            }
+        }
+        None
+    }
+}
+
+/// Hash-based whole-row duplicate detection: `(relation, symbols) → row`.
+#[derive(Debug, Clone, Default)]
+pub struct DedupIndex {
+    map: HashMap<(RelId, Vec<Sym>), u32>,
+}
+
+impl DedupIndex {
+    /// An empty dedup index.
+    pub fn new() -> Self {
+        DedupIndex::default()
+    }
+
+    /// The row already holding `(rel, syms)`, if any.
+    pub fn get(&self, rel: RelId, syms: &[Sym]) -> Option<u32> {
+        self.map.get(&(rel, syms.to_vec())).copied()
+    }
+
+    /// Registers `(rel, syms) → row`; returns the previous holder if the
+    /// key was taken (the caller decides who survives).
+    pub fn insert(&mut self, rel: RelId, syms: &[Sym], row: u32) -> Option<u32> {
+        self.map.insert((rel, syms.to_vec()), row)
+    }
+
+    /// Registers `(rel, syms) → row` only when the key is free; returns
+    /// the existing holder otherwise (without overwriting it). One key
+    /// allocation for the combined probe-and-insert — the substitution
+    /// hot path's primitive.
+    pub fn try_insert(&mut self, rel: RelId, syms: &[Sym], row: u32) -> Option<u32> {
+        use std::collections::hash_map::Entry;
+        match self.map.entry((rel, syms.to_vec())) {
+            Entry::Occupied(e) => Some(*e.get()),
+            Entry::Vacant(e) => {
+                e.insert(row);
+                None
+            }
+        }
+    }
+
+    /// Removes the entry for `(rel, syms)` when it points at `row`.
+    pub fn remove(&mut self, rel: RelId, syms: &[Sym], row: u32) {
+        use std::collections::hash_map::Entry;
+        if let Entry::Occupied(e) = self.map.entry((rel, syms.to_vec())) {
+            if *e.get() == row {
+                e.remove();
+            }
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no keys are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}

@@ -82,10 +82,7 @@ impl<'c> QueryBuilder<'c> {
 
     /// Sets the summary row to the given variable names (the common case).
     pub fn head_vars(mut self, vars: impl IntoIterator<Item = impl Into<String>>) -> Self {
-        self.head = vars
-            .into_iter()
-            .map(|v| TermSpec::Var(v.into()))
-            .collect();
+        self.head = vars.into_iter().map(|v| TermSpec::Var(v.into())).collect();
         self
     }
 
@@ -213,7 +210,8 @@ impl<'c> DependencySetBuilder<'c> {
         rhs: &str,
     ) -> IrResult<Self> {
         let rel = self.catalog.require(relation)?;
-        let lhs: IrResult<Vec<usize>> = lhs.into_iter().map(|a| self.col(rel, a.as_ref())).collect();
+        let lhs: IrResult<Vec<usize>> =
+            lhs.into_iter().map(|a| self.col(rel, a.as_ref())).collect();
         let fd = Fd::new(rel, lhs?, self.col(rel, rhs)?);
         validate::validate_fd(&fd, self.catalog)?;
         self.deps.push(fd);
@@ -288,7 +286,10 @@ mod tests {
         let c = cat();
         let q = QueryBuilder::new("Q", &c)
             .head_vars(["e"])
-            .atom("EMP", [TermSpec::from("e"), TermSpec::from(100), "d".into()])
+            .atom(
+                "EMP",
+                [TermSpec::from("e"), TermSpec::from(100), "d".into()],
+            )
             .unwrap()
             .build()
             .unwrap();
@@ -325,8 +326,12 @@ mod tests {
     #[test]
     fn deps_builder_bad_position() {
         let c = cat();
-        assert!(DependencySetBuilder::new(&c).fd("EMP", ["#9"], "#1").is_err());
-        assert!(DependencySetBuilder::new(&c).fd("EMP", ["#0"], "#1").is_err());
+        assert!(DependencySetBuilder::new(&c)
+            .fd("EMP", ["#9"], "#1")
+            .is_err());
+        assert!(DependencySetBuilder::new(&c)
+            .fd("EMP", ["#0"], "#1")
+            .is_err());
         assert!(DependencySetBuilder::new(&c)
             .ind("EMP", ["nope"], "DEP", ["dno"])
             .is_err());

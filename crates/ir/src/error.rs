@@ -142,10 +142,7 @@ impl fmt::Display for IrError {
             IrError::UnknownAttribute {
                 relation,
                 attribute,
-            } => write!(
-                f,
-                "relation `{relation}` has no attribute `{attribute}`"
-            ),
+            } => write!(f, "relation `{relation}` has no attribute `{attribute}`"),
             IrError::ArityMismatch {
                 relation,
                 expected,

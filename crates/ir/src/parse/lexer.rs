@@ -106,43 +106,73 @@ impl Lexer {
                     }
                 }
                 b'(' => {
-                    tokens.push(Token { kind: TokenKind::LParen, span: span_at!(i, i + 1) });
+                    tokens.push(Token {
+                        kind: TokenKind::LParen,
+                        span: span_at!(i, i + 1),
+                    });
                     i += 1;
                 }
                 b')' => {
-                    tokens.push(Token { kind: TokenKind::RParen, span: span_at!(i, i + 1) });
+                    tokens.push(Token {
+                        kind: TokenKind::RParen,
+                        span: span_at!(i, i + 1),
+                    });
                     i += 1;
                 }
                 b'[' => {
-                    tokens.push(Token { kind: TokenKind::LBracket, span: span_at!(i, i + 1) });
+                    tokens.push(Token {
+                        kind: TokenKind::LBracket,
+                        span: span_at!(i, i + 1),
+                    });
                     i += 1;
                 }
                 b']' => {
-                    tokens.push(Token { kind: TokenKind::RBracket, span: span_at!(i, i + 1) });
+                    tokens.push(Token {
+                        kind: TokenKind::RBracket,
+                        span: span_at!(i, i + 1),
+                    });
                     i += 1;
                 }
                 b',' => {
-                    tokens.push(Token { kind: TokenKind::Comma, span: span_at!(i, i + 1) });
+                    tokens.push(Token {
+                        kind: TokenKind::Comma,
+                        span: span_at!(i, i + 1),
+                    });
                     i += 1;
                 }
                 b'.' => {
-                    tokens.push(Token { kind: TokenKind::Dot, span: span_at!(i, i + 1) });
+                    tokens.push(Token {
+                        kind: TokenKind::Dot,
+                        span: span_at!(i, i + 1),
+                    });
                     i += 1;
                 }
                 b':' if bytes.get(i + 1) == Some(&b'-') => {
-                    tokens.push(Token { kind: TokenKind::Turnstile, span: span_at!(i, i + 2) });
+                    tokens.push(Token {
+                        kind: TokenKind::Turnstile,
+                        span: span_at!(i, i + 2),
+                    });
                     i += 2;
                 }
                 b':' => {
-                    tokens.push(Token { kind: TokenKind::Colon, span: span_at!(i, i + 1) });
+                    tokens.push(Token {
+                        kind: TokenKind::Colon,
+                        span: span_at!(i, i + 1),
+                    });
                     i += 1;
                 }
                 b'-' if bytes.get(i + 1) == Some(&b'>') => {
-                    tokens.push(Token { kind: TokenKind::Arrow, span: span_at!(i, i + 2) });
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        span: span_at!(i, i + 2),
+                    });
                     i += 2;
                 }
                 b'<' if bytes.get(i + 1) == Some(&b'=') => {
-                    tokens.push(Token { kind: TokenKind::SubsetEq, span: span_at!(i, i + 2) });
+                    tokens.push(Token {
+                        kind: TokenKind::SubsetEq,
+                        span: span_at!(i, i + 2),
+                    });
                     i += 2;
                 }
                 b'"' | b'\'' => {
@@ -180,7 +210,10 @@ impl Lexer {
                             message: "unterminated string literal".into(),
                         });
                     }
-                    tokens.push(Token { kind: TokenKind::Str(s), span: span_at!(start, i) });
+                    tokens.push(Token {
+                        kind: TokenKind::Str(s),
+                        span: span_at!(start, i),
+                    });
                 }
                 b'-' | b'0'..=b'9' => {
                     let start = i;
@@ -201,12 +234,14 @@ impl Lexer {
                         span: span_at!(start, i),
                         message: format!("integer `{text}` out of range"),
                     })?;
-                    tokens.push(Token { kind: TokenKind::Int(value), span: span_at!(start, i) });
+                    tokens.push(Token {
+                        kind: TokenKind::Int(value),
+                        span: span_at!(start, i),
+                    });
                 }
                 b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
                     let start = i;
-                    while i < bytes.len()
-                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
                     {
                         i += 1;
                     }
@@ -220,7 +255,10 @@ impl Lexer {
                     let ch = src[i..].chars().next().unwrap();
                     if ch == '⊆' {
                         let len = ch.len_utf8();
-                        tokens.push(Token { kind: TokenKind::SubsetEq, span: span_at!(i, i + len) });
+                        tokens.push(Token {
+                            kind: TokenKind::SubsetEq,
+                            span: span_at!(i, i + len),
+                        });
                         i += len;
                     } else {
                         return Err(IrError::Lex {
@@ -351,10 +389,7 @@ mod tests {
 
     #[test]
     fn unterminated_string() {
-        assert!(matches!(
-            Lexer::new("\"oops"),
-            Err(IrError::Lex { .. })
-        ));
+        assert!(matches!(Lexer::new("\"oops"), Err(IrError::Lex { .. })));
     }
 
     #[test]

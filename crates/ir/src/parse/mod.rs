@@ -115,10 +115,7 @@ mod tests {
 
     #[test]
     fn attribute_positions() {
-        let p = parse_program(
-            "relation R(a, b, c). fd R: 2 -> 1. ind R[2] <= R[1].",
-        )
-        .unwrap();
+        let p = parse_program("relation R(a, b, c). fd R: 2 -> 1. ind R[2] <= R[1].").unwrap();
         let fd = p.deps.fds().next().unwrap();
         assert_eq!(fd.lhs, vec![1]);
         assert_eq!(fd.rhs, 0);
@@ -129,10 +126,7 @@ mod tests {
 
     #[test]
     fn constants_in_query() {
-        let p = parse_program(
-            r#"relation R(a, b). Q(x) :- R(x, 7), R(x, "lbl")."#,
-        )
-        .unwrap();
+        let p = parse_program(r#"relation R(a, b). Q(x) :- R(x, 7), R(x, "lbl")."#).unwrap();
         let q = p.query("Q").unwrap();
         assert!(q.atoms[0].terms[1].is_const());
         assert!(q.atoms[1].terms[1].is_const());
@@ -161,8 +155,7 @@ mod tests {
 
     #[test]
     fn duplicate_query_rejected() {
-        let err =
-            parse_program("relation R(a). Q(x) :- R(x). Q(y) :- R(y).").unwrap_err();
+        let err = parse_program("relation R(a). Q(x) :- R(x). Q(y) :- R(y).").unwrap_err();
         assert!(matches!(err, crate::error::IrError::DuplicateQuery { .. }));
     }
 

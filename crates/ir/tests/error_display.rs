@@ -21,10 +21,7 @@ fn messages_name_the_culprit() {
             "different widths",
         ),
         ("relation R(a, b). Q(x) :- R(x).", "2 columns but 1 terms"),
-        (
-            "relation R(a). Q(x) :- R(y).",
-            "does not occur in the body",
-        ),
+        ("relation R(a). Q(x) :- R(y).", "does not occur in the body"),
         (
             "relation R(a). Q(x) :- R(x). Q(y) :- R(y).",
             "declared more than once",

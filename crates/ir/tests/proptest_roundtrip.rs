@@ -2,8 +2,8 @@
 //! whole IR (catalogs, dependency sets, queries).
 
 use cqchase_ir::{
-    display, parse_program, Atom, Catalog, ConjunctiveQuery, DependencySet, Fd, Ind,
-    RelId, Term, VarKind, VarTable,
+    display, parse_program, Atom, Catalog, ConjunctiveQuery, DependencySet, Fd, Ind, RelId, Term,
+    VarKind, VarTable,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,478 @@
+//! Offline shim for the subset of `serde_json` used by this workspace:
+//! the [`Value`] tree, [`Map`], the [`json!`] macro for flat object
+//! literals, and [`to_string_pretty`]. No serde integration — the bench
+//! harness only ever serializes `Value`s it built by hand.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON number: integer or floating point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::UInt(u) => write!(f, "{u}"),
+            Number::Float(x) if x.is_finite() => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            // JSON has no NaN/inf; mirror serde_json by emitting null.
+            Number::Float(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// A JSON object with sorted keys (like upstream's default `Map`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map<K = String, V = Value> {
+    entries: BTreeMap<K, V>,
+}
+
+impl Map<String, Value> {
+    /// An empty object.
+    pub fn new() -> Self {
+        Map {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts a key/value pair, returning any previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.entries.insert(key, value)
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterator over entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter()
+    }
+}
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object, if this is one.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, when numeric and representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i),
+            Value::Number(Number::UInt(u)) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, when numeric and representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::Int(i)) => u64::try_from(*i).ok(),
+            Value::Number(Number::UInt(u)) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i as f64),
+            Value::Number(Number::UInt(u)) => Some(*u as f64),
+            Value::Number(Number::Float(f)) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+/// Shared "missing entry" value for `Index` (upstream does the same).
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_eq_via {
+    ($conv:ident / $repr:ty => $($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.$conv() == Some(*other as $repr)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+impl_eq_via!(as_i64 / i64 => i8, i16, i32, i64, u8, u16, u32);
+impl_eq_via!(as_f64 / f64 => f32, f64);
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<usize> for Value {
+    fn eq(&self, other: &usize) -> bool {
+        self.as_u64() == Some(*other as u64)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::Int(v as i64))
+            }
+        }
+    )*};
+}
+
+impl_from_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        match i64::try_from(v) {
+            Ok(i) => Value::Number(Number::Int(i)),
+            Err(_) => Value::Number(Number::UInt(v)),
+        }
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::from(v as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(f64::from(v)))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact single-line JSON rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => {
+                let mut out = String::new();
+                escape_into(s, &mut out);
+                write!(f, "{out}")
+            }
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(map) => {
+                write!(f, "{{")?;
+                for (i, (k, item)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    let mut key = String::new();
+                    escape_into(k, &mut key);
+                    write!(f, "{key}:{item}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Serialization failure (never produced by this shim; kept so call sites
+/// can `.unwrap()` exactly as with upstream serde_json).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    const STEP: &str = "  ";
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&STEP.repeat(indent + 1));
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&STEP.repeat(indent + 1));
+                escape_into(k, out);
+                out.push_str(": ");
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&STEP.repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-prints a [`Value`] with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(value, 0, &mut out);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from a flat object literal (`json!({ "k": expr })`)
+/// or any single `Into<Value>` expression.
+#[macro_export]
+macro_rules! json {
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $(map.insert($key.to_string(), $crate::Value::from($val));)*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::Value::from($other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_and_pretty() {
+        let v = json!({ "b": 2, "a": vec![1, 2], "s": "x\"y" });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": ["));
+        assert!(s.contains("\"s\": \"x\\\"y\""));
+        // Keys are sorted like upstream's default map.
+        assert!(s.find("\"a\"").unwrap() < s.find("\"b\"").unwrap());
+    }
+
+    #[test]
+    fn numbers_format() {
+        assert_eq!(Number::Int(-3).to_string(), "-3");
+        assert_eq!(Number::Float(1.5).to_string(), "1.5");
+        assert_eq!(Number::Float(2.0).to_string(), "2.0");
+        assert_eq!(Number::Float(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn nested_value_passthrough() {
+        let inner = json!({ "x": 1 });
+        let outer = json!({ "inner": inner, "flag": true });
+        match outer {
+            Value::Object(m) => {
+                assert!(matches!(m.get("inner"), Some(Value::Object(_))));
+                assert_eq!(m.get("flag"), Some(&Value::Bool(true)));
+            }
+            _ => panic!("expected object"),
+        }
+    }
+}

@@ -156,7 +156,14 @@ mod tests {
         db.insert_named("DEP", [10i64, 7]).unwrap();
         let v = violations(&db, &deps);
         assert_eq!(v.len(), 1);
-        assert!(matches!(v[0], Violation::Fd { first: 0, second: 1, .. }));
+        assert!(matches!(
+            v[0],
+            Violation::Fd {
+                first: 0,
+                second: 1,
+                ..
+            }
+        ));
         assert!(!satisfies(&db, &deps));
     }
 
@@ -179,8 +186,10 @@ mod tests {
         let n1 = db.fresh_null();
         let n2 = db.fresh_null();
         let emp = c.resolve("EMP").unwrap();
-        db.insert(emp, vec![Value::int(1), n1, Value::int(10)]).unwrap();
-        db.insert(emp, vec![Value::int(1), n2, Value::int(10)]).unwrap();
+        db.insert(emp, vec![Value::int(1), n1, Value::int(10)])
+            .unwrap();
+        db.insert(emp, vec![Value::int(1), n2, Value::int(10)])
+            .unwrap();
         db.insert_named("DEP", [10i64, 7]).unwrap();
         assert!(!satisfies(&db, &deps));
     }
@@ -204,7 +213,7 @@ mod tests {
         let mut db = Database::new(&c);
         db.insert_named("R", [1i64, 99, 2]).unwrap();
         db.insert_named("S", [2i64, 1]).unwrap(); // S(y=1 at col x? S(x=2,y=1): Y=[y,x] -> (1,2)? no
-        // R[a,c] = (1,2) must appear in S[y,x]; S(2,1) has (y,x) = (1,2). OK.
+                                                  // R[a,c] = (1,2) must appear in S[y,x]; S(2,1) has (y,x) = (1,2). OK.
         assert!(satisfies(&db, &deps));
         let mut db2 = Database::new(&c);
         db2.insert_named("R", [1i64, 99, 2]).unwrap();

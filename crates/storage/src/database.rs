@@ -279,10 +279,7 @@ mod tests {
 
     #[test]
     fn from_facts_roundtrip() {
-        let p = cqchase_ir::parse_program(
-            "relation R(a, b). R(1, 2). R(2, 3).",
-        )
-        .unwrap();
+        let p = cqchase_ir::parse_program("relation R(a, b). R(1, 2). R(2, 3).").unwrap();
         let db = Database::from_facts(&p.catalog, &p.facts).unwrap();
         assert_eq!(db.total_tuples(), 2);
         let r = p.catalog.resolve("R").unwrap();

@@ -17,10 +17,12 @@
 //! IND chases need not terminate (e.g. `R[2] ⊆ R[1]` over a tuple with
 //! distinct values), so every run carries a [`DataChaseBudget`].
 
+use cqchase_index::Sym;
 use cqchase_ir::{Dependency, DependencySet, Fd, Ind};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use crate::database::{Database, Tuple};
+use crate::indexed::DbIndex;
 use crate::value::Value;
 
 /// Resource limits for one instance-chase run.
@@ -63,6 +65,8 @@ impl DataChaseOutcome {
     }
 }
 
+/// Unifies two values through the whole database. A value rewrite can
+/// collapse tuples arbitrarily, so the caller must rebuild its index.
 fn unify(db: &mut Database, a: &Value, b: &Value) -> Result<(), ()> {
     let (from, to) = match (a, b) {
         (Value::Const(x), Value::Const(y)) => {
@@ -84,67 +88,56 @@ fn unify(db: &mut Database, a: &Value, b: &Value) -> Result<(), ()> {
     Ok(())
 }
 
-/// One pass: fix the first FD violation found. Returns `Some(Ok(()))` if a
-/// unification happened, `Some(Err(()))` on constant clash, `None` if no
-/// FD is applicable.
-fn fd_step(db: &mut Database, fds: &[&Fd]) -> Option<Result<(), ()>> {
+/// One pass: find the first FD violation (hash-grouped over the indexed
+/// rows). Returns the two right-hand-side values to unify, or `None` if
+/// no FD is applicable.
+fn find_fd_violation(idx: &DbIndex, fds: &[&Fd]) -> Option<(Value, Value)> {
     for fd in fds {
-        let mut seen: HashMap<Vec<Value>, Value> = HashMap::new();
-        let mut todo: Option<(Value, Value)> = None;
-        for t in db.relation(fd.relation).tuples() {
-            let key: Vec<Value> = fd.lhs.iter().map(|&c| t[c].clone()).collect();
-            let rhs = t[fd.rhs].clone();
+        let mut seen: HashMap<Vec<Sym>, Sym> = HashMap::new();
+        for row in 0..idx.num_rows(fd.relation) as u32 {
+            let syms = cqchase_index::FactSource::row_syms(idx, fd.relation, row);
+            let key: Vec<Sym> = fd.lhs.iter().map(|&c| syms[c]).collect();
+            let rhs = syms[fd.rhs];
             match seen.get(&key) {
                 None => {
                     seen.insert(key, rhs);
                 }
-                Some(prev) => {
-                    if *prev != rhs {
-                        todo = Some((prev.clone(), rhs));
-                        break;
+                Some(&prev) => {
+                    if prev != rhs {
+                        return Some((idx.value_of(prev).clone(), idx.value_of(rhs).clone()));
                     }
                 }
             }
-        }
-        if let Some((x, y)) = todo {
-            return Some(unify(db, &x, &y));
         }
     }
     None
 }
 
-/// One pass: fix the first IND violation found. Returns whether a tuple
-/// was inserted.
-fn ind_step(db: &mut Database, inds: &[&Ind]) -> bool {
+/// One pass: fix the first IND violation found, probing for witnesses
+/// through the column index instead of materializing projection sets.
+/// Returns whether a tuple was inserted.
+fn ind_step(db: &mut Database, idx: &mut DbIndex, inds: &[&Ind]) -> bool {
     for ind in inds {
-        let witnesses: HashSet<Vec<Value>> = db
-            .relation(ind.rhs_rel)
-            .tuples()
-            .iter()
-            .map(|t| ind.rhs_cols.iter().map(|&c| t[c].clone()).collect())
-            .collect();
-        let missing: Option<Vec<Value>> = db
-            .relation(ind.lhs_rel)
-            .tuples()
-            .iter()
-            .map(|t| {
-                ind.lhs_cols
-                    .iter()
-                    .map(|&c| t[c].clone())
-                    .collect::<Vec<Value>>()
+        let missing: Option<Vec<Sym>> = (0..idx.num_rows(ind.lhs_rel) as u32)
+            .map(|row| {
+                let syms = cqchase_index::FactSource::row_syms(idx, ind.lhs_rel, row);
+                ind.lhs_cols.iter().map(|&c| syms[c]).collect::<Vec<Sym>>()
             })
-            .find(|proj| !witnesses.contains(proj));
+            .find(|proj| !idx.has_row_with(ind.rhs_rel, &ind.rhs_cols, proj));
         if let Some(proj) = missing {
             let arity = db.catalog().arity(ind.rhs_rel);
             let mut new_tuple: Tuple = Vec::with_capacity(arity);
             for col in 0..arity {
                 match ind.rhs_cols.iter().position(|&c| c == col) {
-                    Some(k) => new_tuple.push(proj[k].clone()),
+                    Some(k) => new_tuple.push(idx.value_of(proj[k]).clone()),
                     None => new_tuple.push(db.fresh_null()),
                 }
             }
-            db.insert(ind.rhs_rel, new_tuple)
+            let inserted = db
+                .insert(ind.rhs_rel, new_tuple.clone())
                 .expect("arity is correct by construction");
+            debug_assert!(inserted, "a missing witness cannot already exist");
+            idx.note_insert(ind.rhs_rel, &new_tuple);
             return true;
         }
     }
@@ -167,23 +160,23 @@ pub fn chase_instance(
         .filter_map(Dependency::as_ind)
         .filter(|i| !i.is_trivial())
         .collect();
+    let mut idx = DbIndex::build(&db);
     let mut steps = 0usize;
     loop {
-        // Exhaust FDs.
-        loop {
-            match fd_step(&mut db, &fds) {
-                Some(Ok(())) => {
-                    steps += 1;
-                    if steps >= budget.max_steps {
-                        return DataChaseOutcome::BudgetExhausted(db);
-                    }
-                }
-                Some(Err(())) => return DataChaseOutcome::Inconsistent,
-                None => break,
+        // Exhaust FDs. Each unification rewrites values wholesale, so
+        // the index is rebuilt; IND insertions below keep it incremental.
+        while let Some((x, y)) = find_fd_violation(&idx, &fds) {
+            if unify(&mut db, &x, &y).is_err() {
+                return DataChaseOutcome::Inconsistent;
+            }
+            idx = DbIndex::build(&db);
+            steps += 1;
+            if steps >= budget.max_steps {
+                return DataChaseOutcome::BudgetExhausted(db);
             }
         }
         // One IND repair, then re-check FDs.
-        if !ind_step(&mut db, &inds) {
+        if !ind_step(&mut db, &mut idx, &inds) {
             return DataChaseOutcome::Satisfied(db);
         }
         steps += 1;
@@ -235,8 +228,10 @@ mod tests {
         let n1 = db.fresh_null();
         let n2 = db.fresh_null();
         let emp = c.resolve("EMP").unwrap();
-        db.insert(emp, vec![Value::int(1), n1, Value::int(10)]).unwrap();
-        db.insert(emp, vec![Value::int(1), n2, Value::int(10)]).unwrap();
+        db.insert(emp, vec![Value::int(1), n1, Value::int(10)])
+            .unwrap();
+        db.insert(emp, vec![Value::int(1), n2, Value::int(10)])
+            .unwrap();
         db.insert_named("DEP", [10i64, 0]).unwrap();
         let repaired = chase_instance(&db, &deps, DataChaseBudget::default())
             .into_satisfied()

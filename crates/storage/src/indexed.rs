@@ -1,0 +1,178 @@
+//! Column indexes over a [`Database`], shared by query evaluation and
+//! the instance-level chase.
+//!
+//! A [`DbIndex`] interns every [`Value`] of the instance into the
+//! [`Sym`] space of [`cqchase_index`] and maintains per-relation,
+//! per-column posting lists. It implements [`FactSource`], so the shared
+//! backtracking-join engine evaluates conjunctive queries over it with
+//! the same most-constrained-first ordering and index-intersection
+//! candidate generation as homomorphism search in `cqchase-core` — one
+//! engine, three consumers.
+//!
+//! The index is derived data: build it from a database, and keep it in
+//! sync with [`DbIndex::note_insert`] when appending tuples (the data
+//! chase does). Wholesale value rewrites ([`Database::map_values`])
+//! invalidate it; rebuild afterwards.
+
+use cqchase_index::{ColumnIndex, FactSource, Sym, SymPool};
+use cqchase_ir::{Constant, RelId};
+
+use crate::database::{Database, Tuple};
+use crate::value::Value;
+
+/// Posting lists and interned rows for one [`Database`] snapshot.
+#[derive(Debug, Clone)]
+pub struct DbIndex {
+    pool: SymPool<Value>,
+    cols: ColumnIndex,
+    /// Interned tuples, flattened per relation (arity-strided).
+    sym_rows: Vec<Vec<Sym>>,
+    /// Row count per relation (not derivable from `sym_rows` for
+    /// zero-arity relations).
+    counts: Vec<usize>,
+    arities: Vec<usize>,
+}
+
+impl DbIndex {
+    /// Builds the index for the current contents of `db`.
+    pub fn build(db: &Database) -> DbIndex {
+        let catalog = db.catalog();
+        let arities: Vec<usize> = catalog.rel_ids().map(|r| catalog.arity(r)).collect();
+        let mut idx = DbIndex {
+            pool: SymPool::new(),
+            cols: ColumnIndex::new(arities.iter().copied()),
+            sym_rows: vec![Vec::new(); catalog.len()],
+            counts: vec![0; catalog.len()],
+            arities,
+        };
+        for (rel, inst) in db.iter() {
+            for t in inst.tuples() {
+                idx.note_insert(rel, t);
+            }
+        }
+        idx
+    }
+
+    /// Registers a tuple just appended to `rel` (must be called in
+    /// insertion order, once per *new* tuple).
+    pub fn note_insert(&mut self, rel: RelId, tuple: &Tuple) {
+        let row = self.counts[rel.index()] as u32;
+        self.counts[rel.index()] += 1;
+        let start = self.sym_rows[rel.index()].len();
+        for v in tuple {
+            let sym = self.pool.intern(v);
+            self.sym_rows[rel.index()].push(sym);
+        }
+        let syms = &self.sym_rows[rel.index()][start..];
+        self.cols.insert_row(rel, row, syms);
+    }
+
+    /// Number of indexed rows of `rel`.
+    pub fn num_rows(&self, rel: RelId) -> usize {
+        self.counts[rel.index()]
+    }
+
+    /// The interned symbol of a value, if it occurs in the instance.
+    pub fn sym_of_value(&self, v: &Value) -> Option<Sym> {
+        self.pool.get(v)
+    }
+
+    /// The value behind an interned symbol.
+    pub fn value_of(&self, sym: Sym) -> &Value {
+        self.pool.resolve(sym)
+    }
+
+    /// Whether some row of `rel` carries exactly `syms` at `cols` — the
+    /// IND-witness probe of the data chase, via posting intersection.
+    pub fn has_row_with(&self, rel: RelId, cols: &[usize], syms: &[Sym]) -> bool {
+        debug_assert_eq!(cols.len(), syms.len());
+        let bound: Vec<(usize, Sym)> = cols.iter().copied().zip(syms.iter().copied()).collect();
+        if bound.is_empty() {
+            return self.num_rows(rel) > 0;
+        }
+        let mut out = Vec::new();
+        self.cols
+            .candidates(rel, &bound, |row| self.row(rel, row), &mut out);
+        !out.is_empty()
+    }
+
+    #[inline]
+    fn row(&self, rel: RelId, row: u32) -> &[Sym] {
+        let a = self.arities[rel.index()];
+        let start = row as usize * a;
+        &self.sym_rows[rel.index()][start..start + a]
+    }
+}
+
+impl FactSource for DbIndex {
+    fn rel_size(&self, rel: RelId) -> usize {
+        self.num_rows(rel)
+    }
+
+    fn row_syms(&self, rel: RelId, row: u32) -> &[Sym] {
+        self.row(rel, row)
+    }
+
+    fn posting_len(&self, rel: RelId, col: usize, sym: Sym) -> usize {
+        self.cols.posting_len(rel, col, sym)
+    }
+
+    fn candidates(&self, rel: RelId, bound: &[(usize, Sym)], out: &mut Vec<u32>) {
+        if bound.is_empty() {
+            out.extend(0..self.num_rows(rel) as u32);
+        } else {
+            self.cols
+                .candidates(rel, bound, |row| self.row(rel, row), out);
+        }
+    }
+
+    fn sym_of_const(&self, c: &Constant) -> Option<Sym> {
+        self.pool.get(&Value::Const(c.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqchase_ir::Catalog;
+
+    fn db() -> (Catalog, Database) {
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        c.declare("S", ["x"]).unwrap();
+        let mut db = Database::new(&c);
+        db.insert_named("R", [1i64, 2]).unwrap();
+        db.insert_named("R", [2i64, 2]).unwrap();
+        db.insert_named("S", [2i64]).unwrap();
+        (c, db)
+    }
+
+    #[test]
+    fn build_and_probe() {
+        let (c, db) = db();
+        let idx = DbIndex::build(&db);
+        let r = c.resolve("R").unwrap();
+        let s = c.resolve("S").unwrap();
+        assert_eq!(idx.num_rows(r), 2);
+        assert_eq!(idx.num_rows(s), 1);
+        let two = idx.sym_of_value(&Value::int(2)).unwrap();
+        assert_eq!(idx.posting_len(r, 1, two), 2);
+        assert_eq!(idx.posting_len(r, 0, two), 1);
+        assert!(idx.has_row_with(s, &[0], &[two]));
+        let one = idx.sym_of_value(&Value::int(1)).unwrap();
+        assert!(!idx.has_row_with(s, &[0], &[one]));
+    }
+
+    #[test]
+    fn note_insert_keeps_pace() {
+        let (c, mut db) = db();
+        let mut idx = DbIndex::build(&db);
+        let s = c.resolve("S").unwrap();
+        let t: Tuple = vec![Value::int(9)];
+        assert!(db.insert(s, t.clone()).unwrap());
+        idx.note_insert(s, &t);
+        assert_eq!(idx.num_rows(s), 2);
+        let nine = idx.sym_of_value(&Value::int(9)).unwrap();
+        assert!(idx.has_row_with(s, &[0], &[nine]));
+    }
+}

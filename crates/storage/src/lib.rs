@@ -24,10 +24,15 @@ pub mod database;
 pub mod datachase;
 pub mod enumerate;
 pub mod eval;
+pub mod indexed;
 pub mod value;
 
 pub use check::{satisfies, violations, Violation};
 pub use database::{Database, RelationInstance, Tuple};
 pub use datachase::{chase_instance, DataChaseBudget, DataChaseOutcome};
-pub use eval::{contains_tuple, evaluate, evaluate_boolean};
+pub use eval::{
+    contains_tuple, contains_tuple_indexed, evaluate, evaluate_boolean, evaluate_boolean_indexed,
+    evaluate_indexed,
+};
+pub use indexed::DbIndex;
 pub use value::{NullId, Value};

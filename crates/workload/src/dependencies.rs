@@ -52,10 +52,7 @@ impl IndSetGen {
             } else {
                 rels[rng.gen_range(0..rels.len())]
             };
-            let w = self
-                .width
-                .min(catalog.arity(lhs))
-                .min(catalog.arity(rhs));
+            let w = self.width.min(catalog.arity(lhs)).min(catalog.arity(rhs));
             if w == 0 {
                 continue;
             }

@@ -6,7 +6,12 @@ use rand::{Rng, SeedableRng};
 
 /// A chain query over a binary relation:
 /// `Q(x0) :- R(x0, x1), R(x1, x2), …, R(x_{n-1}, x_n)`.
-pub fn chain_query(name: &str, catalog: &Catalog, rel: &str, length: usize) -> IrResult<ConjunctiveQuery> {
+pub fn chain_query(
+    name: &str,
+    catalog: &Catalog,
+    rel: &str,
+    length: usize,
+) -> IrResult<ConjunctiveQuery> {
     assert!(length >= 1, "a chain needs at least one atom");
     let mut b = QueryBuilder::new(name, catalog).head_vars(["x0"]);
     for i in 0..length {
@@ -17,7 +22,12 @@ pub fn chain_query(name: &str, catalog: &Catalog, rel: &str, length: usize) -> I
 
 /// A cycle query over a binary relation:
 /// `Q(x0) :- R(x0, x1), …, R(x_{n-1}, x0)`.
-pub fn cycle_query(name: &str, catalog: &Catalog, rel: &str, length: usize) -> IrResult<ConjunctiveQuery> {
+pub fn cycle_query(
+    name: &str,
+    catalog: &Catalog,
+    rel: &str,
+    length: usize,
+) -> IrResult<ConjunctiveQuery> {
     assert!(length >= 1);
     let mut b = QueryBuilder::new(name, catalog).head_vars(["x0"]);
     for i in 0..length {
@@ -28,7 +38,12 @@ pub fn cycle_query(name: &str, catalog: &Catalog, rel: &str, length: usize) -> I
 }
 
 /// A star query: `Q(c) :- R(c, y1), R(c, y2), …, R(c, yn)`.
-pub fn star_query(name: &str, catalog: &Catalog, rel: &str, rays: usize) -> IrResult<ConjunctiveQuery> {
+pub fn star_query(
+    name: &str,
+    catalog: &Catalog,
+    rel: &str,
+    rays: usize,
+) -> IrResult<ConjunctiveQuery> {
     assert!(rays >= 1);
     let mut b = QueryBuilder::new(name, catalog).head_vars(["c"]);
     for i in 0..rays {
@@ -115,8 +130,8 @@ impl QueryGen {
                 }
             }
         }
-        let mut b = QueryBuilder::new(name, catalog)
-            .head_vars((0..self.num_dvs).map(|i| format!("v{i}")));
+        let mut b =
+            QueryBuilder::new(name, catalog).head_vars((0..self.num_dvs).map(|i| format!("v{i}")));
         for (rel, picks) in &atoms {
             let rel_name = catalog.name(*rel).to_owned();
             let specs: Vec<cqchase_ir::builder::TermSpec> = picks
@@ -132,7 +147,12 @@ impl QueryGen {
     }
 
     /// Generates `n` queries with seeds `seed, seed+1, …`.
-    pub fn generate_many(&self, prefix: &str, catalog: &Catalog, n: usize) -> Vec<ConjunctiveQuery> {
+    pub fn generate_many(
+        &self,
+        prefix: &str,
+        catalog: &Catalog,
+        n: usize,
+    ) -> Vec<ConjunctiveQuery> {
         (0..n)
             .map(|i| {
                 let mut cfg = self.clone();

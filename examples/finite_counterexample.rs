@@ -38,8 +38,14 @@ fn main() {
     // Part 2: unrestricted containment fails — the chase of Q1 is an
     // infinite forward chain R(x, y), R(y, n1), R(n1, n2), … in which x
     // never gains an incoming edge.
-    let ans = contained(&ex.q1, &ex.q2, &ex.sigma, &ex.catalog, &ContainmentOptions::default())
-        .unwrap();
+    let ans = contained(
+        &ex.q1,
+        &ex.q2,
+        &ex.sigma,
+        &ex.catalog,
+        &ContainmentOptions::default(),
+    )
+    .unwrap();
     println!(
         "\nQ1 ⊆∞ Q2? {} (class {:?}; semi-decision exact = {})",
         ans.contained, ans.class, ans.exact

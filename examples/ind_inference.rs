@@ -4,7 +4,9 @@
 //!
 //! Run with `cargo run --example ind_inference`.
 
-use cqchase::core::inference::{implies_ind_axiomatic, implies_ind_via_chase, ind_inference_queries};
+use cqchase::core::inference::{
+    implies_ind_axiomatic, implies_ind_via_chase, ind_inference_queries,
+};
 use cqchase::core::ContainmentOptions;
 use cqchase::ir::{display, parse_program, Ind};
 
@@ -52,8 +54,7 @@ fn main() {
         let (q, qp) = ind_inference_queries(goal, cat);
         let axiomatic = implies_ind_axiomatic(&program.deps, goal, 1_000_000)
             .expect("saturation completes on this tiny schema");
-        let chase = implies_ind_via_chase(&program.deps, goal, cat, &opts)
-            .expect("within budget");
+        let chase = implies_ind_via_chase(&program.deps, goal, cat, &opts).expect("within budget");
         println!("goal: {}", display::ind(goal, cat));
         println!("  Corollary 2.3 queries:");
         println!("    {}", display::query(&q, cat));

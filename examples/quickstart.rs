@@ -28,7 +28,10 @@ fn main() {
     let opts = ContainmentOptions::default();
 
     println!("Schema:\n{}\n", display::catalog(&program.catalog));
-    println!("Dependencies:\n{}\n", display::deps(&program.deps, &program.catalog));
+    println!(
+        "Dependencies:\n{}\n",
+        display::deps(&program.deps, &program.catalog)
+    );
     println!("{}", display::query(q1, &program.catalog));
     println!("{}\n", display::query(q2, &program.catalog));
 

@@ -16,9 +16,7 @@ use std::process::ExitCode;
 
 use cqchase::core::chase::{graph, Chase, ChaseBudget, ChaseMode};
 use cqchase::core::classify::classify;
-use cqchase::core::{
-    contained, equivalent, minimize, render_chase_witness, ContainmentOptions,
-};
+use cqchase::core::{contained, equivalent, minimize, render_chase_witness, ContainmentOptions};
 use cqchase::ir::{display, parse_program, ConjunctiveQuery, Program};
 use cqchase::storage::{evaluate, Database};
 
@@ -28,9 +26,16 @@ fn load(path: &str) -> Result<Program, String> {
 }
 
 fn query<'p>(p: &'p Program, name: &str) -> Result<&'p ConjunctiveQuery, String> {
-    p.query(name)
-        .ok_or_else(|| format!("no query named `{name}` (declared: {})",
-            p.queries.iter().map(|q| q.name.as_str()).collect::<Vec<_>>().join(", ")))
+    p.query(name).ok_or_else(|| {
+        format!(
+            "no query named `{name}` (declared: {})",
+            p.queries
+                .iter()
+                .map(|q| q.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })
 }
 
 fn cmd_check(path: &str) -> Result<(), String> {
@@ -56,7 +61,13 @@ fn cmd_check(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_chase(path: &str, qname: &str, levels: u32, mode: ChaseMode, dot: bool) -> Result<(), String> {
+fn cmd_chase(
+    path: &str,
+    qname: &str,
+    levels: u32,
+    mode: ChaseMode,
+    dot: bool,
+) -> Result<(), String> {
     let p = load(path)?;
     let q = query(&p, qname)?;
     let mut ch = Chase::new(q, &p.deps, &p.catalog, mode);
@@ -84,7 +95,11 @@ fn cmd_contain(path: &str, a: &str, b: &str) -> Result<(), String> {
     println!(
         "Σ ⊨ {a} ⊆ {b}: {}{}",
         ans.contained,
-        if ans.exact { "" } else { "   (semi-decision: inconclusive negative)" }
+        if ans.exact {
+            ""
+        } else {
+            "   (semi-decision: inconclusive negative)"
+        }
     );
     println!(
         "class: {:?}   bound: {}   levels explored: {}   chase conjuncts: {}",
@@ -147,7 +162,9 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else { return usage() };
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
     let rest = &args[1..];
     let result = match (cmd.as_str(), rest) {
         ("check", [file]) => cmd_check(file),
@@ -158,12 +175,7 @@ fn main() -> ExitCode {
             let mut it = opts.iter();
             while let Some(o) = it.next() {
                 match o.as_str() {
-                    "--levels" => {
-                        levels = it
-                            .next()
-                            .and_then(|v| v.parse().ok())
-                            .unwrap_or(levels)
-                    }
+                    "--levels" => levels = it.next().and_then(|v| v.parse().ok()).unwrap_or(levels),
                     "--mode" => {
                         mode = match it.next().map(String::as_str) {
                             Some("o") | Some("O") => ChaseMode::Oblivious,
@@ -171,7 +183,12 @@ fn main() -> ExitCode {
                         }
                     }
                     "--dot" => dot = true,
-                    other => return { eprintln!("unknown option {other}"); usage() },
+                    other => {
+                        return {
+                            eprintln!("unknown option {other}");
+                            usage()
+                        }
+                    }
                 }
             }
             cmd_chase(file, q, levels, mode, dot)

@@ -130,7 +130,10 @@ fn positive_containments_hold_on_instances_key_based() {
                     continue;
                 };
                 if ans.contained && ans.exact {
-                    verified += check_on_instances(q, qp, &sigma, &catalog, 0..4);
+                    // Key FDs make random instances frequently inconsistent
+                    // (constant clashes), so sweep enough seeds that some
+                    // instance survives the repair.
+                    verified += check_on_instances(q, qp, &sigma, &catalog, 0..16);
                 }
             }
         }
