@@ -2,26 +2,46 @@
 //! Johnson & Klug (PODS 1982).
 //!
 //! ```text
-//! experiments all              # run E1–E13
+//! experiments all              # run E1–E14
 //! experiments e4 e12           # run a subset
 //! experiments all --json out.json
+//! experiments e6 --max-steps 50000 --max-conjuncts 10000
 //! ```
+//!
+//! `--max-steps` / `--max-conjuncts` override the chase budget the
+//! chase-driven experiments run under (defaults:
+//! [`DEFAULT_MAX_STEPS`](cqchase_core::chase::DEFAULT_MAX_STEPS) /
+//! [`DEFAULT_MAX_CONJUNCTS`](cqchase_core::chase::DEFAULT_MAX_CONJUNCTS)).
 
 use std::io::Write as _;
 
 use cqchase_bench::exp;
+use cqchase_core::chase::ChaseBudget;
 use serde_json::{Map, Value};
+
+fn parse_usize(flag: &str, value: Option<String>) -> usize {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a positive integer argument");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
+    let mut budget = ChaseBudget::default();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json_path = it.next(),
+            "--max-steps" => budget.max_steps = parse_usize("--max-steps", it.next()),
+            "--max-conjuncts" => budget.max_conjuncts = parse_usize("--max-conjuncts", it.next()),
             "-h" | "--help" => {
-                eprintln!("usage: experiments [all | e1 … e13]... [--json FILE]");
+                eprintln!(
+                    "usage: experiments [all | e1 … e14]... [--json FILE] \
+                     [--max-steps N] [--max-conjuncts N]"
+                );
                 return;
             }
             other => ids.push(other.to_string()),
@@ -36,13 +56,13 @@ fn main() {
         println!("\n================================================================");
         println!("{}", id.to_uppercase());
         println!("================================================================");
-        match exp::run(id) {
+        match exp::run_with(id, budget) {
             Some(out) => {
                 println!(">>> {}", out.title);
                 results.insert(out.id.to_string(), out.json);
             }
             None => {
-                eprintln!("unknown experiment id `{id}` (expected e1 … e13)");
+                eprintln!("unknown experiment id `{id}` (expected e1 … e14)");
                 std::process::exit(2);
             }
         }

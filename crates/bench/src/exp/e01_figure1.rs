@@ -18,7 +18,7 @@ use crate::table::Table;
 const DEPTH: u32 = 5;
 
 /// Runs E1.
-pub fn run() -> ExperimentOutput {
+pub fn run(budget: ChaseBudget) -> ExperimentOutput {
     let p = figure1();
     let q = p.query("Q").unwrap();
     let mut table = Table::new(&["level", "R-chase conjuncts", "O-chase conjuncts"]);
@@ -26,7 +26,7 @@ pub fn run() -> ExperimentOutput {
     let mut states = Vec::new();
     for mode in [ChaseMode::Required, ChaseMode::Oblivious] {
         let mut ch = Chase::new(q, &p.deps, &p.catalog, mode);
-        ch.expand_to_level(DEPTH, ChaseBudget::default());
+        ch.expand_to_level(DEPTH, budget);
         assert!(!ch.is_complete(), "Figure 1's chases are infinite");
         states.push(ch);
     }
@@ -66,7 +66,7 @@ pub fn run() -> ExperimentOutput {
 mod tests {
     #[test]
     fn e1_structure() {
-        let out = super::run();
+        let out = super::run(cqchase_core::chase::ChaseBudget::default());
         let levels = out.json["levels"].as_array().unwrap();
         // Level 0: exactly the single original conjunct in both chases.
         assert_eq!(levels[0]["R-chase conjuncts"], 1);

@@ -19,7 +19,7 @@ use crate::table::Table;
 use crate::util::{ancestors_plus_roots, query_from_conjuncts};
 
 /// Runs E5.
-pub fn run() -> ExperimentOutput {
+pub fn run(budget: ChaseBudget) -> ExperimentOutput {
     let mut table = Table::new(&[
         "class",
         "seed",
@@ -50,7 +50,7 @@ pub fn run() -> ExperimentOutput {
         }
         let q = chain_query("Q", &catalog, "R", 1).unwrap();
         let mut ch = Chase::new(&q, &sigma, &catalog, ChaseMode::Required);
-        ch.expand_to_level(4, ChaseBudget::default());
+        ch.expand_to_level(4, budget);
         let Some(deep) = ch
             .state()
             .alive_conjuncts()
@@ -107,7 +107,7 @@ pub fn run() -> ExperimentOutput {
         }
         .generate("Q", &catalog);
         let mut ch = Chase::new(&q, &sigma, &catalog, ChaseMode::Required);
-        ch.expand_to_level(4, ChaseBudget::default());
+        ch.expand_to_level(4, budget);
         let Some(deep) = ch
             .state()
             .alive_conjuncts()
@@ -156,7 +156,7 @@ pub fn run() -> ExperimentOutput {
 mod tests {
     #[test]
     fn e5_no_violations() {
-        let out = super::run();
+        let out = super::run(cqchase_core::chase::ChaseBudget::default());
         assert_eq!(out.json["violations"], 0);
         assert!(!out.json["rows"].as_array().unwrap().is_empty());
     }

@@ -14,16 +14,21 @@ use crate::table::Table;
 
 const DEPTH: u32 = 6;
 
-fn histogram(p: &cqchase_ir::Program, qname: &str, mode: ChaseMode) -> Vec<usize> {
+fn histogram(
+    p: &cqchase_ir::Program,
+    qname: &str,
+    mode: ChaseMode,
+    budget: ChaseBudget,
+) -> Vec<usize> {
     let mut ch = Chase::new(p.query(qname).unwrap(), &p.deps, &p.catalog, mode);
-    ch.expand_to_level(DEPTH, ChaseBudget::default());
+    ch.expand_to_level(DEPTH, budget);
     let mut h = ch.state().level_histogram();
     h.resize(DEPTH as usize + 1, 0);
     h
 }
 
 /// Runs E6.
-pub fn run() -> ExperimentOutput {
+pub fn run(budget: ChaseBudget) -> ExperimentOutput {
     let mut table = Table::new(&["family", "mode", "L0", "L1", "L2", "L3", "L4", "L5", "L6"]);
     let two_cycles = parse_program(
         "relation R(a, b).
@@ -38,8 +43,8 @@ pub fn run() -> ExperimentOutput {
     ];
     let mut monotone_ok = true;
     for (name, p, qname) in &families {
-        let rh = histogram(p, qname, ChaseMode::Required);
-        let oh = histogram(p, qname, ChaseMode::Oblivious);
+        let rh = histogram(p, qname, ChaseMode::Required, budget);
+        let oh = histogram(p, qname, ChaseMode::Oblivious, budget);
         monotone_ok &= rh.iter().zip(&oh).all(|(r, o)| o >= r);
         for (mode, h) in [("R", &rh), ("O", &oh)] {
             let mut cells = vec![name.to_string(), mode.to_string()];
@@ -61,7 +66,7 @@ pub fn run() -> ExperimentOutput {
 mod tests {
     #[test]
     fn e6_o_dominates_r() {
-        let out = super::run();
+        let out = super::run(cqchase_core::chase::ChaseBudget::default());
         assert_eq!(out.json["o_dominates_r"], true);
         let rows = out.json["rows"].as_array().unwrap();
         assert_eq!(rows.len(), 6);

@@ -33,7 +33,7 @@ fn max_symbol_span(state: &cqchase_core::chase::ChaseState) -> u32 {
 }
 
 /// Runs E11.
-pub fn run() -> ExperimentOutput {
+pub fn run(budget: ChaseBudget) -> ExperimentOutput {
     let mut table = Table::new(&[
         "seed",
         "|Σ|",
@@ -68,7 +68,7 @@ pub fn run() -> ExperimentOutput {
 
         let mut ch = Chase::new(&q, &sigma, &catalog, ChaseMode::Required);
         let init_fd = ch.fd_steps();
-        ch.expand_to_level(6, ChaseBudget::default());
+        ch.expand_to_level(6, budget);
         let post_fd = ch.fd_steps() - init_fd;
         let span = max_symbol_span(ch.state());
         let lemma2 = post_fd == 0;
@@ -99,7 +99,7 @@ pub fn run() -> ExperimentOutput {
 mod tests {
     #[test]
     fn e11_lemmas_hold() {
-        let out = super::run();
+        let out = super::run(cqchase_core::chase::ChaseBudget::default());
         assert_eq!(out.json["all_ok"], true);
     }
 }

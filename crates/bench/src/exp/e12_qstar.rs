@@ -15,7 +15,7 @@ use super::ExperimentOutput;
 use crate::table::Table;
 
 /// Runs E12.
-pub fn run() -> ExperimentOutput {
+pub fn run(budget: ChaseBudget) -> ExperimentOutput {
     let mut table = Table::new(&[
         "case", "d", "kΣ", "cutoff", "|Q*|", "prefix", "Σ ok", "⊆∞", "Q* hom", "agree",
     ]);
@@ -62,7 +62,7 @@ pub fn run() -> ExperimentOutput {
         let q = p.query("Q").unwrap();
         for qp in p.queries.iter().filter(|qq| qq.name != "Q") {
             let d = query_graph_diameter(qp);
-            let qs = match build_qstar(q, &p.deps, &p.catalog, d, ChaseBudget::default()) {
+            let qs = match build_qstar(q, &p.deps, &p.catalog, d, budget) {
                 Ok(qs) => qs,
                 Err(e) => {
                     all_agree = false;
@@ -106,7 +106,7 @@ pub fn run() -> ExperimentOutput {
 mod tests {
     #[test]
     fn e12_qstar_decides() {
-        let out = super::run();
+        let out = super::run(cqchase_core::chase::ChaseBudget::default());
         assert_eq!(out.json["all_agree"], true);
         let rows = out.json["rows"].as_array().unwrap();
         assert!(rows.len() >= 8);

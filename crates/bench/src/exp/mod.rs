@@ -1,6 +1,8 @@
 //! The experiments: one module per paper artifact. See `DESIGN.md` §5
 //! for the experiment index and `EXPERIMENTS.md` for recorded outputs.
 
+use cqchase_core::chase::ChaseBudget;
+
 pub mod e01_figure1;
 pub mod e02_intro;
 pub mod e03_inference_agreement;
@@ -14,6 +16,7 @@ pub mod e10_minimization;
 pub mod e11_lemmas;
 pub mod e12_qstar;
 pub mod e13_vardi;
+pub mod e14_throughput;
 
 use serde_json::Value;
 
@@ -27,27 +30,36 @@ pub struct ExperimentOutput {
     pub json: Value,
 }
 
-/// Runs one experiment by id. Returns `None` for unknown ids.
+/// Runs one experiment by id with the default chase budget. Returns
+/// `None` for unknown ids.
 pub fn run(id: &str) -> Option<ExperimentOutput> {
+    run_with(id, ChaseBudget::default())
+}
+
+/// Runs one experiment by id, passing `budget` to the chase-driven
+/// experiments (settable from the CLI via `--max-steps` /
+/// `--max-conjuncts`). Returns `None` for unknown ids.
+pub fn run_with(id: &str, budget: ChaseBudget) -> Option<ExperimentOutput> {
     match id {
-        "e1" => Some(e01_figure1::run()),
+        "e1" => Some(e01_figure1::run(budget)),
         "e2" => Some(e02_intro::run()),
         "e3" => Some(e03_inference_agreement::run()),
         "e4" => Some(e04_finite_counterexample::run()),
-        "e5" => Some(e05_bound::run()),
-        "e6" => Some(e06_growth::run()),
+        "e5" => Some(e05_bound::run(budget)),
+        "e6" => Some(e06_growth::run(budget)),
         "e7" => Some(e07_scaling::run()),
         "e8" => Some(e08_fd_baseline::run()),
         "e9" => Some(e09_width_cost::run()),
         "e10" => Some(e10_minimization::run()),
-        "e11" => Some(e11_lemmas::run()),
-        "e12" => Some(e12_qstar::run()),
+        "e11" => Some(e11_lemmas::run(budget)),
+        "e12" => Some(e12_qstar::run(budget)),
         "e13" => Some(e13_vardi::run()),
+        "e14" => Some(e14_throughput::run(budget)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const ALL: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];

@@ -84,17 +84,25 @@ pub fn ancestors_plus_roots(state: &ChaseState, of: ConjId) -> Vec<ConjId> {
     out
 }
 
-/// Median wall-clock time of `runs` executions of `f`, in microseconds.
-pub fn time_median_us<F: FnMut()>(runs: usize, mut f: F) -> f64 {
-    let mut samples: Vec<f64> = (0..runs.max(1))
+/// Median wall-clock time of `runs` executions of `f`, as a `Duration`.
+/// The measurement primitive behind [`time_median_us`]; the bench gate
+/// and baseline recorders share it so gate-vs-baseline comparisons use
+/// one methodology.
+pub fn time_median<F: FnMut()>(runs: usize, mut f: F) -> std::time::Duration {
+    let mut samples: Vec<std::time::Duration> = (0..runs.max(1))
         .map(|_| {
             let t = Instant::now();
             f();
-            t.elapsed().as_secs_f64() * 1e6
+            t.elapsed()
         })
         .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples.sort_unstable();
     samples[samples.len() / 2]
+}
+
+/// Median wall-clock time of `runs` executions of `f`, in microseconds.
+pub fn time_median_us<F: FnMut()>(runs: usize, f: F) -> f64 {
+    time_median(runs, f).as_secs_f64() * 1e6
 }
 
 #[cfg(test)]

@@ -18,8 +18,9 @@
 //! convention (Maier, Mendelzon & Sagiv show the result is unique up to
 //! variable renaming regardless).
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 
+use cqchase_index::{FxHashMap, FxHashSet};
 use cqchase_ir::{Catalog, ConjunctiveQuery, DependencySet, Fd, Ind};
 
 use super::fd::fd_phase;
@@ -50,11 +51,30 @@ pub struct ChaseBudget {
     pub max_conjuncts: usize,
 }
 
+/// Default cap on IND scheduling steps ([`ChaseBudget::max_steps`]).
+///
+/// Sized so a cyclic width-1 IND chase (one conjunct per level) can run
+/// about a million levels deep before cutting off — far beyond any
+/// Theorem 2 bound the test and experiment workloads produce, while
+/// still bounding runaway Mixed-class chases to seconds, not hours.
+/// Override per call site, or from the experiments CLI via
+/// `--max-steps`.
+pub const DEFAULT_MAX_STEPS: usize = 1_000_000;
+
+/// Default cap on conjuncts ever created
+/// ([`ChaseBudget::max_conjuncts`]).
+///
+/// Conjuncts dominate chase memory (terms plus posting/dedup/occurrence
+/// index entries — roughly a few hundred bytes each), so a quarter
+/// million caps a single chase at tens of megabytes. Override per call
+/// site, or from the experiments CLI via `--max-conjuncts`.
+pub const DEFAULT_MAX_CONJUNCTS: usize = 250_000;
+
 impl Default for ChaseBudget {
     fn default() -> Self {
         ChaseBudget {
-            max_steps: 1_000_000,
-            max_conjuncts: 250_000,
+            max_steps: DEFAULT_MAX_STEPS,
+            max_conjuncts: DEFAULT_MAX_CONJUNCTS,
         }
     }
 }
@@ -89,9 +109,9 @@ pub struct Chase {
     pending: BTreeSet<(u32, ConjId)>,
     /// Side map: pending key currently stored for each conjunct (levels
     /// can shrink on FD merges).
-    pending_key: HashMap<ConjId, u32>,
+    pending_key: FxHashMap<ConjId, u32>,
     /// `(conjunct, ind index)` pairs already handled.
-    processed: HashSet<(ConjId, usize)>,
+    processed: FxHashSet<(ConjId, usize)>,
     steps: usize,
     fd_steps: usize,
 }
@@ -118,8 +138,8 @@ impl Chase {
             fds,
             inds,
             pending: BTreeSet::new(),
-            pending_key: HashMap::new(),
-            processed: HashSet::new(),
+            pending_key: FxHashMap::default(),
+            processed: FxHashSet::default(),
             steps: 0,
             fd_steps,
         };

@@ -20,7 +20,9 @@ mod ind;
 mod state;
 
 pub use bound::{theorem2_bound, theorem2_bound_raw};
-pub use driver::{Chase, ChaseBudget, ChaseMode, ChaseStatus};
+pub use driver::{
+    Chase, ChaseBudget, ChaseMode, ChaseStatus, DEFAULT_MAX_CONJUNCTS, DEFAULT_MAX_STEPS,
+};
 pub use state::{
     ArcKind, CTerm, CVar, CVarInfo, CVarOrigin, ChaseArc, ChaseState, ConjId, Conjunct,
 };

@@ -11,9 +11,7 @@
 //! [`find_chase_hom`](crate::hom::find_chase_hom) run without rescanning
 //! the conjunct vector.
 
-use std::collections::HashMap;
-
-use cqchase_index::{ColumnIndex, DedupIndex, FactSource, Sym, SymPool};
+use cqchase_index::{ColumnIndex, DedupIndex, FactSource, FxHashMap, Sym, SymPool};
 use cqchase_ir::{Catalog, ConjunctiveQuery, Constant, Ind, RelId, Term, VarId, VarKind};
 
 use crate::hom::TSym;
@@ -245,7 +243,7 @@ impl ChaseState {
         // then NDVs (in VarId order).
         let mut order: Vec<VarId> = q.vars.iter().map(|(v, _)| v).collect();
         order.sort_by_key(|&v| (q.vars.kind(v) != VarKind::Distinguished, v));
-        let mut to_cvar: HashMap<VarId, CVar> = HashMap::new();
+        let mut to_cvar: FxHashMap<VarId, CVar> = FxHashMap::default();
         let mut vars = Vec::with_capacity(order.len());
         for v in order {
             let cv = CVar(vars.len() as u32);
@@ -639,7 +637,7 @@ impl ChaseState {
                 // exactly the pair-major schedule of the naive scan.
                 let mut best: Option<(u32, u32, usize)> = None;
                 for (fd_idx, fd) in fds.iter().enumerate() {
-                    let mut groups: HashMap<Vec<Sym>, (u32, Sym)> = HashMap::new();
+                    let mut groups: FxHashMap<Vec<Sym>, (u32, Sym)> = FxHashMap::default();
                     for &row in &self.index.rel_rows[fd.relation.index()] {
                         let syms = &self.index.sym_rows[row as usize];
                         let key: Vec<Sym> = fd.lhs.iter().map(|&z| syms[z]).collect();

@@ -17,7 +17,7 @@
 //! problem is open (and the related inference problem undecidable,
 //! Mitchell 1983), so the engine falls back to a sound semi-decision.
 
-use std::collections::HashMap;
+use cqchase_index::FxHashMap;
 
 use cqchase_ir::{Catalog, DependencySet, RelId};
 
@@ -39,7 +39,7 @@ pub enum SigmaClass {
         width: usize,
         /// The key (common FD left-hand side) of each relation that has
         /// FDs.
-        keys: HashMap<RelId, Vec<usize>>,
+        keys: FxHashMap<RelId, Vec<usize>>,
     },
     /// FDs and INDs together, but not key-based: only a semi-decision is
     /// available.
@@ -70,8 +70,8 @@ impl SigmaClass {
 pub fn key_based_keys(
     deps: &DependencySet,
     catalog: &Catalog,
-) -> Result<HashMap<RelId, Vec<usize>>, String> {
-    let mut keys: HashMap<RelId, Vec<usize>> = HashMap::new();
+) -> Result<FxHashMap<RelId, Vec<usize>>, String> {
+    let mut keys: FxHashMap<RelId, Vec<usize>> = FxHashMap::default();
     // Condition (a).
     for rel in catalog.rel_ids() {
         let fds: Vec<_> = deps.fds_for(rel).collect();

@@ -17,11 +17,12 @@
 //! is a sound *semi-decision*: positive answers are exact, negative
 //! answers within a finite budget are flagged `exact = false`.
 
+use cqchase_index::FxHashMap;
 use cqchase_ir::{validate, Catalog, ConjunctiveQuery, DependencySet, IrError};
 
 use crate::chase::{theorem2_bound, Chase, ChaseBudget, ChaseMode, ChaseStatus};
 use crate::classify::{classify, SigmaClass};
-use crate::hom::{find_chase_hom, Homomorphism};
+use crate::hom::{ChaseHomFinder, Homomorphism};
 
 /// Options for one containment test.
 #[derive(Debug, Clone, Copy, Default)]
@@ -43,11 +44,21 @@ pub struct ContainmentOptions {
 #[derive(Debug, Clone, Copy)]
 pub struct ChaseBudgetOpt(pub ChaseBudget);
 
+/// Default step cap for containment-driven chases. Each level of an
+/// unbounded Mixed-class chase triggers a homomorphism search, so this
+/// is orders of magnitude below
+/// [`DEFAULT_MAX_STEPS`](crate::chase::DEFAULT_MAX_STEPS).
+pub const CONTAINMENT_MAX_STEPS: usize = 4_000;
+
+/// Default conjunct cap for containment-driven chases (the hom-search
+/// target's size; see [`CONTAINMENT_MAX_STEPS`]).
+pub const CONTAINMENT_MAX_CONJUNCTS: usize = 20_000;
+
 impl Default for ChaseBudgetOpt {
     fn default() -> Self {
         ChaseBudgetOpt(ChaseBudget {
-            max_steps: 4_000,
-            max_conjuncts: 20_000,
+            max_steps: CONTAINMENT_MAX_STEPS,
+            max_conjuncts: CONTAINMENT_MAX_CONJUNCTS,
         })
     }
 }
@@ -176,6 +187,20 @@ pub fn contained(
     validate::validate_comparable(q, q_prime)?;
     let class = classify(sigma, catalog);
     let mode = opts.mode.unwrap_or_else(|| class.preferred_mode());
+    let mut chase = Chase::new(q, sigma, catalog, mode);
+    contained_against(&mut chase, q_prime, sigma, class, opts)
+}
+
+/// The containment loop against an already-initialized (possibly
+/// already-expanded) chase of `Q`. Factored out of [`contained`] so the
+/// batch engine can run several `Q′` against one shared chase.
+fn contained_against(
+    chase: &mut Chase,
+    q_prime: &ConjunctiveQuery,
+    sigma: &DependencySet,
+    class: SigmaClass,
+    opts: &ContainmentOptions,
+) -> Result<ContainmentAnswer, ContainmentEngineError> {
     let budget = opts.budget.0;
     let certified = class.bound_is_certified();
     let bound = if certified {
@@ -188,11 +213,16 @@ pub fn contained(
         u32::MAX
     };
 
-    let mut chase = Chase::new(q, sigma, catalog, mode);
     if chase.state().is_failed() {
         // Q is unsatisfiable w.r.t. Σ: contained in everything.
-        return Ok(answer(true, true, None, true, class, bound, &chase));
+        return Ok(answer(true, true, None, true, class, bound, chase));
     }
+
+    // One finder for the whole loop: `Q′` is compiled against the chase
+    // once (the plan stays valid as the chase grows — constants are all
+    // interned at initialization) and the join scratch is reused, so the
+    // per-level recheck allocates nothing beyond the witness itself.
+    let mut finder = ChaseHomFinder::new(q_prime);
 
     // Iterative deepening over levels 0, 1, …, bound. Early levels are
     // checked one by one (cheap, returns positives as soon as possible);
@@ -204,31 +234,31 @@ pub fn contained(
         let status = chase.expand_to_level(level, budget);
         match status {
             ChaseStatus::Failed => {
-                return Ok(answer(true, true, None, true, class, bound, &chase));
+                return Ok(answer(true, true, None, true, class, bound, chase));
             }
             ChaseStatus::Complete => {
                 // Finite chase: Theorem 1 decides outright.
-                let h = find_chase_hom(q_prime, chase.state(), u32::MAX);
+                let h = finder.find(chase.state(), u32::MAX);
                 let found = h.is_some();
-                return Ok(answer(found, true, h, false, class, bound, &chase));
+                return Ok(answer(found, true, h, false, class, bound, chase));
             }
             ChaseStatus::LevelReached => {
                 let check = level <= 32 || level.is_multiple_of(8) || level >= bound;
                 if check {
-                    if let Some(h) = find_chase_hom(q_prime, chase.state(), level) {
-                        return Ok(answer(true, true, Some(h), false, class, bound, &chase));
+                    if let Some(h) = finder.find(chase.state(), level) {
+                        return Ok(answer(true, true, Some(h), false, class, bound, chase));
                     }
                 }
                 if level >= bound {
                     // Bound fully explored without a witness.
-                    return Ok(answer(false, certified, None, false, class, bound, &chase));
+                    return Ok(answer(false, certified, None, false, class, bound, chase));
                 }
                 level += 1;
             }
             ChaseStatus::BudgetExhausted => {
                 // One last look at whatever was built.
-                if let Some(h) = find_chase_hom(q_prime, chase.state(), u32::MAX) {
-                    return Ok(answer(true, true, Some(h), false, class, bound, &chase));
+                if let Some(h) = finder.find(chase.state(), u32::MAX) {
+                    return Ok(answer(true, true, Some(h), false, class, bound, chase));
                 }
                 if certified {
                     return Err(ContainmentEngineError::BudgetExhausted {
@@ -238,10 +268,76 @@ pub fn contained(
                     });
                 }
                 // Mixed semi-decision: inconclusive negative.
-                return Ok(answer(false, false, None, false, class, bound, &chase));
+                return Ok(answer(false, false, None, false, class, bound, chase));
             }
         }
     }
+}
+
+/// One containment test of a batch: indices into the batch's query
+/// slice, `Σ ⊨ queries[q] ⊆∞ queries[q_prime]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContainmentPair {
+    /// Index of the contained-side query `Q`.
+    pub q: usize,
+    /// Index of the containing-side query `Q′`.
+    pub q_prime: usize,
+}
+
+/// Tests a batch of containments over one dependency set, sequentially.
+///
+/// Semantically this is exactly `pairs.map(|p| contained(..))` — the
+/// differential property tests hold the batch engine to that — but the
+/// batch layout lets shared work be shared:
+///
+/// * pairs with the same left query reuse one chase when Σ has only one
+///   kind of dependency (INDs-only / FDs-only / empty — the common
+///   classes). Such chases grow monotonically (no FD merge can restage
+///   IND-created conjuncts or vice versa), so a deeper-than-needed chase
+///   presents level-for-level identical views to every `Q′`;
+/// * each containment run compiles its `Q′` once and reuses join
+///   scratch across levels (see [`ChaseHomFinder`]).
+///
+/// When Σ mixes FDs and INDs, each pair gets a fresh chase: later FD
+/// merges can reshape low levels, so view equality across pairs would
+/// not be exact. Answers agree with [`contained`] in every decision
+/// field (`contained`, `exact`, `empty_chase`, `class`, `bound`, and
+/// witness *existence*). The witness itself is a certificate, not a
+/// canonical value: a shared chase that already completed is searched
+/// whole where a fresh chase is searched level by level, so the two
+/// runs can return different (equally valid) homomorphisms. The
+/// chase-size diagnostics (`levels_explored`, `chase_conjuncts`,
+/// `chase_steps`) likewise describe the possibly-shared chase.
+///
+/// This is the sequential reference engine; `cqchase-par` runs the same
+/// computation across worker threads.
+pub fn check_batch(
+    queries: &[ConjunctiveQuery],
+    pairs: &[ContainmentPair],
+    sigma: &DependencySet,
+    catalog: &Catalog,
+    opts: &ContainmentOptions,
+) -> Vec<Result<ContainmentAnswer, ContainmentEngineError>> {
+    let class = classify(sigma, catalog);
+    let mode = opts.mode.unwrap_or_else(|| class.preferred_mode());
+    let share_chases = sigma.fds().next().is_none() || sigma.inds().next().is_none();
+    let mut chases: FxHashMap<usize, Chase> = FxHashMap::default();
+    pairs
+        .iter()
+        .map(|&ContainmentPair { q: qi, q_prime }| {
+            let (q, qp) = (&queries[qi], &queries[q_prime]);
+            validate::validate_comparable(q, qp)?;
+            if share_chases {
+                let chase = chases
+                    .entry(qi)
+                    .or_insert_with(|| Chase::new(q, sigma, catalog, mode));
+                contained_against(chase, qp, sigma, class.clone(), opts)
+            } else {
+                let mut chase = Chase::new(q, sigma, catalog, mode);
+                contained_against(&mut chase, qp, sigma, class.clone(), opts)
+            }
+        })
+        .collect()
 }
 
 /// The outcome of an equivalence test: both containment answers.

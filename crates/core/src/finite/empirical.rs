@@ -53,7 +53,7 @@ pub fn finite_contained_exhaustive(
         if counterexample.is_none() {
             let a = evaluate(q, &db);
             let b = evaluate(q_prime, &db);
-            let b_set: std::collections::HashSet<_> = b.into_iter().collect();
+            let b_set: cqchase_index::FxHashSet<_> = b.into_iter().collect();
             if !a.iter().all(|t| b_set.contains(t)) {
                 counterexample = Some(db);
             }

@@ -21,7 +21,9 @@
 //! per-attribute symbols that is at least as discriminating, so the
 //! termination and locality arguments carry over unchanged.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use cqchase_index::{FxHashMap, FxHashSet};
 
 use cqchase_ir::{Catalog, ConjunctiveQuery, Constant, DependencySet, Ind, RelId};
 use cqchase_storage::{Database, Value};
@@ -78,7 +80,7 @@ pub enum QStarError {
 pub fn query_graph_diameter(q: &ConjunctiveQuery) -> u32 {
     // Node 0 = summary row; nodes 1.. = atoms.
     let n = q.atoms.len() + 1;
-    let mut vars_of: Vec<HashSet<u32>> = Vec::with_capacity(n);
+    let mut vars_of: Vec<FxHashSet<u32>> = Vec::with_capacity(n);
     vars_of.push(
         q.head
             .iter()
@@ -147,7 +149,7 @@ pub fn build_qstar(
     }
     let state = chase.state();
     let mut conjuncts: Vec<(RelId, Vec<QsTerm>)> = Vec::new();
-    let mut seen: HashSet<(RelId, Vec<QsTerm>)> = HashSet::new();
+    let mut seen: FxHashSet<(RelId, Vec<QsTerm>)> = FxHashSet::default();
     for (_, c) in state.alive_conjuncts() {
         let row = (c.rel, c.terms.iter().map(cterm_to_qs).collect::<Vec<_>>());
         if seen.insert(row.clone()) {
@@ -173,11 +175,12 @@ pub fn build_qstar(
     // entries are the special symbols. The symbol universe is finite, so
     // this terminates; the budget is a safety net.
     let inds: Vec<Ind> = sigma.inds().cloned().collect();
-    let mut witness: HashMap<(usize, Vec<QsTerm>), ()> = HashMap::new();
+    let mut witness: FxHashMap<(usize, Vec<QsTerm>), ()> = FxHashMap::default();
     let project = |terms: &[QsTerm], cols: &[usize]| -> Vec<QsTerm> {
         cols.iter().map(|&c| terms[c].clone()).collect()
     };
-    let register = |row: &(RelId, Vec<QsTerm>), witness: &mut HashMap<(usize, Vec<QsTerm>), ()>| {
+    let register = |row: &(RelId, Vec<QsTerm>),
+                    witness: &mut FxHashMap<(usize, Vec<QsTerm>), ()>| {
         for (i, ind) in inds.iter().enumerate() {
             if ind.rhs_rel == row.0 {
                 witness.insert((i, project(&row.1, &ind.rhs_cols)), ());
@@ -258,7 +261,7 @@ impl QStar {
     pub fn hom_target(&self, catalog: &Catalog) -> HomTarget {
         // Node encoding: chase symbols keep their ordinal; specials get
         // offset ids above every chase symbol.
-        let mut special_ids: HashMap<(RelId, u32), u64> = HashMap::new();
+        let mut special_ids: FxHashMap<(RelId, u32), u64> = FxHashMap::default();
         let mut next_special = 1u64 << 32;
         let mut conv = |t: &QsTerm| -> TSym {
             match t {

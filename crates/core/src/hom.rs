@@ -13,7 +13,10 @@
 //! relation's full row vector per atom. The seed's scan-based search is
 //! retained in [`naive`] as a differential-testing reference.
 
-use cqchase_index::{compile, join, ColumnIndex, FactSource, JoinOutcome, Sym, SymPool};
+use cqchase_index::{
+    compile, join_with, ColumnIndex, CompiledQuery, FactSource, FrozenSymPool, JoinOutcome,
+    JoinScratch, Sym, SymPool,
+};
 use cqchase_ir::{Catalog, ConjunctiveQuery, Constant, RelId, Term, VarId};
 
 use crate::chase::{CTerm, ChaseState, ConjId};
@@ -42,12 +45,16 @@ pub struct TargetRow {
 
 /// A flattened homomorphism target: rows per relation plus the summary
 /// row the homomorphism must preserve, with prebuilt column indexes.
+///
+/// Targets are built once and only read afterwards (the symbol pool is
+/// frozen at construction), so a `HomTarget` is `Send + Sync` and can be
+/// probed concurrently from many worker threads.
 #[derive(Debug, Clone)]
 pub struct HomTarget {
     rows: Vec<Vec<TargetRow>>,
     summary: Vec<TSym>,
-    /// Interned symbol space (rows and summary symbols).
-    pool: SymPool<TSym>,
+    /// Interned symbol space (rows and summary symbols), frozen.
+    pool: FrozenSymPool<TSym>,
     /// Posting lists over the interned rows.
     cols: ColumnIndex,
     /// Interned rows, flattened per relation (arity-strided).
@@ -86,7 +93,7 @@ impl HomTarget {
         HomTarget {
             rows,
             summary,
-            pool,
+            pool: pool.freeze(),
             cols,
             sym_rows,
             arities,
@@ -244,12 +251,23 @@ fn bind_summary(
 /// Returns `None` when the output arities differ or no homomorphism
 /// exists.
 pub fn find_hom(source: &ConjunctiveQuery, target: &HomTarget) -> Option<Homomorphism> {
+    find_hom_with(source, target, &mut JoinScratch::new())
+}
+
+/// [`find_hom`] with caller-owned scratch space — the batch layer's
+/// entry point (one scratch per worker thread, zero steady-state
+/// allocation in the search).
+pub fn find_hom_with(
+    source: &ConjunctiveQuery,
+    target: &HomTarget,
+    scratch: &mut JoinScratch,
+) -> Option<Homomorphism> {
     let pre = bind_summary(&source.head, target.summary(), source.vars.len(), |s| {
         target.pool.get(s)
     })?;
     let cq = compile(source, target)?;
     let mut found: Option<Homomorphism> = None;
-    let outcome = join(target, &cq, pre, |bind, rows| {
+    let outcome = join_with(target, &cq, &pre, scratch, |bind, rows| {
         let mut max_level = 0;
         let atom_images: Vec<u32> = rows
             .iter()
@@ -287,37 +305,78 @@ pub fn find_query_hom(
 /// Searches for a homomorphism into a (partial) chase truncated at
 /// `max_level`, using the chase's incrementally maintained indexes (no
 /// per-call target flattening).
+///
+/// For repeated probes against the *same growing chase* (the
+/// containment loop checks once per level) use a [`ChaseHomFinder`],
+/// which compiles the source query once and reuses its join scratch.
 pub fn find_chase_hom(
     source: &ConjunctiveQuery,
     state: &ChaseState,
     max_level: u32,
 ) -> Option<Homomorphism> {
-    let view = state.hom_source(max_level);
-    let pre = bind_summary(
-        &source.head,
-        &view.summary_tsyms(),
-        source.vars.len(),
-        |s| view.sym_of_tsym(s),
-    )?;
-    let cq = compile(source, &view)?;
-    let mut found: Option<Homomorphism> = None;
-    join(&view, &cq, pre, |bind, rows| {
-        let mut max_used = 0;
-        let atom_images: Vec<u32> = rows
-            .iter()
-            .map(|&row| {
-                max_used = max_used.max(state.conjunct(ConjId(row)).level);
-                row
-            })
-            .collect();
-        found = Some(Homomorphism {
-            var_images: bind.iter().map(|b| b.map(|s| view.tsym_of(s))).collect(),
-            atom_images,
-            max_level: max_used,
+    ChaseHomFinder::new(source).find(state, max_level)
+}
+
+/// A reusable homomorphism probe `source → chase`, for the containment
+/// engine's per-level rechecks.
+///
+/// The compiled plan embeds symbols resolved against the chase's
+/// constant pool. That pool is fully populated when the chase is
+/// initialized from its query (IND applications only mint fresh
+/// variables, FD substitutions only reuse existing terms), so the plan
+/// stays valid as the chase grows — but it is **per chase**: probing a
+/// different `ChaseState` with the same finder is a logic error.
+#[derive(Debug)]
+pub struct ChaseHomFinder<'q> {
+    source: &'q ConjunctiveQuery,
+    /// `None` until the first probe; then the compile result (which may
+    /// itself be `None`: some source constant is absent from the chase,
+    /// so no level can ever admit a homomorphism).
+    plan: Option<Option<CompiledQuery>>,
+    scratch: JoinScratch,
+}
+
+impl<'q> ChaseHomFinder<'q> {
+    /// A finder for homomorphisms from `source`.
+    pub fn new(source: &'q ConjunctiveQuery) -> ChaseHomFinder<'q> {
+        ChaseHomFinder {
+            source,
+            plan: None,
+            scratch: JoinScratch::new(),
+        }
+    }
+
+    /// Searches for a homomorphism into `state` truncated at
+    /// `max_level`, compiling the source query on the first call only.
+    pub fn find(&mut self, state: &ChaseState, max_level: u32) -> Option<Homomorphism> {
+        let view = state.hom_source(max_level);
+        let pre = bind_summary(
+            &self.source.head,
+            &view.summary_tsyms(),
+            self.source.vars.len(),
+            |s| view.sym_of_tsym(s),
+        )?;
+        let plan = self.plan.get_or_insert_with(|| compile(self.source, &view));
+        let cq = plan.as_ref()?;
+        let mut found: Option<Homomorphism> = None;
+        join_with(&view, cq, &pre, &mut self.scratch, |bind, rows| {
+            let mut max_used = 0;
+            let atom_images: Vec<u32> = rows
+                .iter()
+                .map(|&row| {
+                    max_used = max_used.max(state.conjunct(ConjId(row)).level);
+                    row
+                })
+                .collect();
+            found = Some(Homomorphism {
+                var_images: bind.iter().map(|b| b.map(|s| view.tsym_of(s))).collect(),
+                atom_images,
+                max_level: max_used,
+            });
+            true
         });
-        true
-    });
-    found
+        found
+    }
 }
 
 /// Resolves a homomorphism's atom image tags back to chase conjunct ids.

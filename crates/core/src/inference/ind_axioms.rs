@@ -18,15 +18,16 @@
 //! (this is where PSPACE-hardness lives), so saturation carries a step
 //! budget.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
+use cqchase_index::FxHashSet;
 use cqchase_ir::{DependencySet, Ind};
 
 /// Result of saturating a set of INDs under the CFP rules.
 #[derive(Debug, Clone)]
 pub struct IndSaturation {
     /// Every derivable IND up to the premise width (projection-closed).
-    pub derived: HashSet<Ind>,
+    pub derived: FxHashSet<Ind>,
     /// Rule applications performed.
     pub steps: usize,
     /// Whether saturation finished (false: budget hit; `derived` is a
@@ -63,10 +64,10 @@ fn projections(ind: &Ind, out: &mut Vec<Ind>) {
 /// `max_steps` bounds rule applications (the space is exponential in
 /// arity).
 pub fn saturate_inds(sigma: &DependencySet, max_steps: usize) -> IndSaturation {
-    let mut derived: HashSet<Ind> = HashSet::new();
+    let mut derived: FxHashSet<Ind> = FxHashSet::default();
     let mut queue: VecDeque<Ind> = VecDeque::new();
     let mut steps = 0usize;
-    let push = |ind: Ind, derived: &mut HashSet<Ind>, queue: &mut VecDeque<Ind>| {
+    let push = |ind: Ind, derived: &mut FxHashSet<Ind>, queue: &mut VecDeque<Ind>| {
         if !derived.contains(&ind) {
             derived.insert(ind.clone());
             queue.push_back(ind);
@@ -265,7 +266,7 @@ mod tests {
         let ind = p.deps.inds().next().unwrap();
         let mut out = Vec::new();
         projections(ind, &mut out);
-        let set: HashSet<Ind> = out.into_iter().collect();
+        let set: std::collections::HashSet<Ind> = out.into_iter().collect();
         assert_eq!(set.len(), 4);
     }
 }

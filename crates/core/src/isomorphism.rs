@@ -9,8 +9,7 @@
 //! isomorphism, which makes it a canonical form for dependency-free
 //! equivalence.
 
-use std::collections::HashMap;
-
+use cqchase_index::FxHashMap;
 use cqchase_ir::{Catalog, ConjunctiveQuery, DependencySet, Term, VarId};
 
 use crate::containment::{ContainmentEngineError, ContainmentOptions};
@@ -21,8 +20,8 @@ use crate::minimize::minimize;
 fn match_terms(
     a_terms: &[Term],
     b_terms: &[Term],
-    fwd: &mut HashMap<VarId, VarId>,
-    bwd: &mut HashMap<VarId, VarId>,
+    fwd: &mut FxHashMap<VarId, VarId>,
+    bwd: &mut FxHashMap<VarId, VarId>,
 ) -> Option<Vec<(VarId, VarId)>> {
     let mut newly = Vec::new();
     for (ta, tb) in a_terms.iter().zip(b_terms.iter()) {
@@ -56,8 +55,8 @@ fn search(
     b: &ConjunctiveQuery,
     idx: usize,
     used: &mut Vec<bool>,
-    fwd: &mut HashMap<VarId, VarId>,
-    bwd: &mut HashMap<VarId, VarId>,
+    fwd: &mut FxHashMap<VarId, VarId>,
+    bwd: &mut FxHashMap<VarId, VarId>,
 ) -> bool {
     if idx == a.atoms.len() {
         return true;
@@ -88,8 +87,8 @@ pub fn is_isomorphic(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
     if a.atoms.len() != b.atoms.len() || a.head.len() != b.head.len() {
         return false;
     }
-    let mut fwd = HashMap::new();
-    let mut bwd = HashMap::new();
+    let mut fwd = FxHashMap::default();
+    let mut bwd = FxHashMap::default();
     // Summary rows must align under the same bijection.
     if match_terms(&a.head, &b.head, &mut fwd, &mut bwd).is_none() {
         return false;

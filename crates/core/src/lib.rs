@@ -35,8 +35,9 @@ pub mod minimize;
 pub use chase::{chase_query, theorem2_bound, Chase, ChaseBudget, ChaseMode, ChaseStatus};
 pub use classify::{classify, SigmaClass};
 pub use containment::{
-    contained, equivalent, ContainmentAnswer, ContainmentEngineError, ContainmentOptions,
+    check_batch, contained, equivalent, ContainmentAnswer, ContainmentEngineError,
+    ContainmentOptions, ContainmentPair,
 };
-pub use hom::{find_query_hom, render_chase_witness, Homomorphism};
+pub use hom::{find_query_hom, render_chase_witness, ChaseHomFinder, Homomorphism};
 pub use isomorphism::{cm_core, is_isomorphic};
 pub use minimize::{is_minimal, minimize};

@@ -4,6 +4,7 @@
 
 use cqchase_core::chase::{Chase, ChaseBudget, ChaseMode};
 use cqchase_core::hom::{find_chase_hom, find_hom, naive, HomTarget};
+use cqchase_core::{check_batch, contained, ContainmentOptions, ContainmentPair};
 use cqchase_ir::builder::TermSpec;
 use cqchase_ir::{Catalog, ConjunctiveQuery, DependencySet, Fd, Ind, QueryBuilder};
 use proptest::prelude::*;
@@ -98,6 +99,48 @@ proptest! {
             // A witness never uses rows above the level cut.
             if let Some(h) = &live {
                 prop_assert!(h.max_level <= level);
+            }
+        }
+    }
+
+    /// The sequential batch engine (chase sharing + cached plans +
+    /// reused scratch) decides exactly like per-pair `contained`:
+    /// same decisions, same witness existence, same errors. (Witness
+    /// *identity* is not promised: a shared chase that already
+    /// completed is searched whole, a fresh one level by level, so
+    /// equally valid but different certificates can come back.)
+    #[test]
+    fn batch_containment_agrees_with_per_pair(
+        qs in proptest::collection::vec(small_query(), 2..5),
+        sigma in sigmas(),
+    ) {
+        let cat = catalog();
+        let opts = ContainmentOptions::default();
+        let mut pairs = Vec::new();
+        for q in 0..qs.len() {
+            for q_prime in 0..qs.len() {
+                pairs.push(ContainmentPair { q, q_prime });
+            }
+        }
+        let batch = check_batch(&qs, &pairs, &sigma, &cat, &opts);
+        for (p, got) in pairs.iter().zip(batch.iter()) {
+            let want = contained(&qs[p.q], &qs[p.q_prime], &sigma, &cat, &opts);
+            match (got, &want) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.contained, b.contained, "pair {:?}", p);
+                    prop_assert_eq!(a.exact, b.exact, "pair {:?}", p);
+                    prop_assert_eq!(a.empty_chase, b.empty_chase, "pair {:?}", p);
+                    prop_assert_eq!(a.bound, b.bound, "pair {:?}", p);
+                    prop_assert_eq!(&a.class, &b.class, "pair {:?}", p);
+                    prop_assert_eq!(
+                        a.witness.is_some(),
+                        b.witness.is_some(),
+                        "witness existence: pair {:?}",
+                        p
+                    );
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "pair {:?}", p),
+                _ => prop_assert!(false, "Ok/Err disagreement on pair {:?}", p),
             }
         }
     }

@@ -107,17 +107,63 @@ pub enum JoinOutcome {
 /// returning `true` stops the search.
 type EmitFn<'e> = dyn FnMut(&[Option<Sym>], &[u32]) -> bool + 'e;
 
+/// Reusable working memory for [`join_with`].
+///
+/// A join needs a binding table, per-depth candidate and
+/// newly-bound-variable buffers, and a bound-constraint scratch vector.
+/// Allocating them per call is invisible for one search but dominates
+/// steady-state batch workloads (millions of small joins); callers that
+/// run many joins keep one `JoinScratch` per thread and the engine
+/// performs no heap allocation after the buffers reach their
+/// high-water marks.
+#[derive(Debug, Default)]
+pub struct JoinScratch {
+    bind: Vec<Option<Sym>>,
+    rows: Vec<u32>,
+    done: Vec<bool>,
+    /// Candidate buffers, one per depth.
+    bufs: Vec<Vec<u32>>,
+    /// Newly-bound-variable buffers, one per depth.
+    newly: Vec<Vec<u32>>,
+    /// Bound-constraint buffer.
+    bound: Vec<(usize, Sym)>,
+}
+
+impl JoinScratch {
+    /// Fresh (empty) scratch space.
+    pub fn new() -> JoinScratch {
+        JoinScratch::default()
+    }
+
+    /// Sizes the buffers for `cq` and seeds the binding table from
+    /// `pre`, keeping existing heap capacity.
+    fn reset(&mut self, cq: &CompiledQuery, pre: &[Option<Sym>]) {
+        self.bind.clear();
+        self.bind.extend_from_slice(pre);
+        self.reset_rest(cq);
+    }
+
+    /// The binding-table-independent part of [`JoinScratch::reset`].
+    fn reset_rest(&mut self, cq: &CompiledQuery) {
+        let n = cq.atoms.len();
+        self.rows.clear();
+        self.rows.resize(n, 0);
+        self.done.clear();
+        self.done.resize(n, false);
+        if self.bufs.len() < n {
+            self.bufs.resize_with(n, Vec::new);
+        }
+        if self.newly.len() < n {
+            self.newly.resize_with(n, Vec::new);
+        }
+        self.bound.clear();
+    }
+}
+
 struct Search<'a, S: FactSource> {
     src: &'a S,
     cq: &'a CompiledQuery,
-    bind: Vec<Option<Sym>>,
-    /// Chosen row per original atom index.
-    rows: Vec<u32>,
-    done: Vec<bool>,
-    /// Reused candidate buffers, one per depth.
-    bufs: Vec<Vec<u32>>,
-    /// Reused bound-constraint buffer.
-    bound: Vec<(usize, Sym)>,
+    scratch: &'a mut JoinScratch,
 }
 
 impl<S: FactSource> Search<'_, S> {
@@ -128,7 +174,7 @@ impl<S: FactSource> Search<'_, S> {
     fn most_constrained(&self) -> usize {
         let mut best: Option<(usize, usize, usize)> = None; // (atom, est, bound_ct)
         for (i, atom) in self.cq.atoms.iter().enumerate() {
-            if self.done[i] {
+            if self.scratch.done[i] {
                 continue;
             }
             let mut est = self.src.rel_size(atom.rel);
@@ -136,7 +182,7 @@ impl<S: FactSource> Search<'_, S> {
             for (col, slot) in atom.slots.iter().enumerate() {
                 let sym = match slot {
                     Slot::Const(s) => Some(*s),
-                    Slot::Var(v) => self.bind[*v as usize],
+                    Slot::Var(v) => self.scratch.bind[*v as usize],
                 };
                 if let Some(s) = sym {
                     bound_ct += 1;
@@ -156,7 +202,7 @@ impl<S: FactSource> Search<'_, S> {
 
     fn solve(&mut self, depth: usize, emit: &mut EmitFn<'_>) -> bool {
         if depth == self.cq.atoms.len() {
-            return emit(&self.bind, &self.rows);
+            return emit(&self.scratch.bind, &self.scratch.rows);
         }
         let atom_idx = self.most_constrained();
         let (rel, nslots) = {
@@ -165,23 +211,23 @@ impl<S: FactSource> Search<'_, S> {
         };
 
         // Index-intersection candidate generation over the bound slots.
-        self.bound.clear();
+        self.scratch.bound.clear();
         for col in 0..nslots {
             let sym = match self.cq.atoms[atom_idx].slots[col] {
                 Slot::Const(s) => Some(s),
-                Slot::Var(v) => self.bind[v as usize],
+                Slot::Var(v) => self.scratch.bind[v as usize],
             };
             if let Some(s) = sym {
-                self.bound.push((col, s));
+                self.scratch.bound.push((col, s));
             }
         }
-        let mut buf = std::mem::take(&mut self.bufs[depth]);
+        let mut buf = std::mem::take(&mut self.scratch.bufs[depth]);
         buf.clear();
-        self.src.candidates(rel, &self.bound, &mut buf);
+        self.src.candidates(rel, &self.scratch.bound, &mut buf);
 
-        self.done[atom_idx] = true;
+        self.scratch.done[atom_idx] = true;
         let mut stopped = false;
-        let mut newly: Vec<u32> = Vec::new();
+        let mut newly = std::mem::take(&mut self.scratch.newly[depth]);
         'rows: for &row in &buf {
             // Bind the unbound slots from the row, verifying repeated
             // variables within the atom.
@@ -189,36 +235,37 @@ impl<S: FactSource> Search<'_, S> {
             for (col, slot) in self.cq.atoms[atom_idx].slots.iter().enumerate() {
                 if let Slot::Var(v) = slot {
                     let sym = self.src.row_syms(rel, row)[col];
-                    match self.bind[*v as usize] {
+                    match self.scratch.bind[*v as usize] {
                         Some(b) if b == sym => {}
                         Some(_) => {
                             for &u in &newly {
-                                self.bind[u as usize] = None;
+                                self.scratch.bind[u as usize] = None;
                             }
                             continue 'rows;
                         }
                         None => {
-                            self.bind[*v as usize] = Some(sym);
+                            self.scratch.bind[*v as usize] = Some(sym);
                             newly.push(*v);
                         }
                     }
                 }
             }
-            self.rows[atom_idx] = row;
+            self.scratch.rows[atom_idx] = row;
             if self.solve(depth + 1, emit) {
                 stopped = true;
                 break;
             }
             for &u in &newly {
-                self.bind[u as usize] = None;
+                self.scratch.bind[u as usize] = None;
             }
         }
         if stopped {
             // Keep bindings intact for the caller (witness extraction).
         } else {
-            self.done[atom_idx] = false;
+            self.scratch.done[atom_idx] = false;
         }
-        self.bufs[depth] = buf;
+        self.scratch.newly[depth] = newly;
+        self.scratch.bufs[depth] = buf;
         stopped
     }
 }
@@ -236,19 +283,45 @@ pub fn join<S: FactSource>(
     src: &S,
     cq: &CompiledQuery,
     pre: Vec<Option<Sym>>,
+    emit: impl FnMut(&[Option<Sym>], &[u32]) -> bool,
+) -> JoinOutcome {
+    join_with(src, cq, &pre, &mut JoinScratch::new(), emit)
+}
+
+/// [`join_with`] with no pre-bound variables: the all-unbound binding
+/// table is built inside the scratch, so even the `pre` vector costs
+/// nothing per call. The batch evaluator's entry point.
+pub fn join_unbound<S: FactSource>(
+    src: &S,
+    cq: &CompiledQuery,
+    scratch: &mut JoinScratch,
+    mut emit: impl FnMut(&[Option<Sym>], &[u32]) -> bool,
+) -> JoinOutcome {
+    scratch.bind.clear();
+    scratch.bind.resize(cq.num_vars, None);
+    scratch.reset_rest(cq);
+    let mut search = Search { src, cq, scratch };
+    if search.solve(0, &mut emit) {
+        JoinOutcome::Stopped
+    } else {
+        JoinOutcome::Exhausted
+    }
+}
+
+/// [`join`] with caller-owned scratch space: identical semantics, but
+/// all working memory comes from (and returns to) `scratch`, so a caller
+/// running many joins — the batch containment and evaluation engines —
+/// allocates nothing per call once the buffers are warm.
+pub fn join_with<S: FactSource>(
+    src: &S,
+    cq: &CompiledQuery,
+    pre: &[Option<Sym>],
+    scratch: &mut JoinScratch,
     mut emit: impl FnMut(&[Option<Sym>], &[u32]) -> bool,
 ) -> JoinOutcome {
     assert_eq!(pre.len(), cq.num_vars, "pre-binding length mismatch");
-    let n = cq.atoms.len();
-    let mut search = Search {
-        src,
-        cq,
-        bind: pre,
-        rows: vec![0; n],
-        done: vec![false; n],
-        bufs: vec![Vec::new(); n],
-        bound: Vec::new(),
-    };
+    scratch.reset(cq, pre);
+    let mut search = Search { src, cq, scratch };
     if search.solve(0, &mut emit) {
         JoinOutcome::Stopped
     } else {

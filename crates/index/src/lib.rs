@@ -24,15 +24,32 @@
 //! Consumers implement [`FactSource`] over their own storage
 //! (`HomTarget`, `ChaseState`, `Database`) and share one search.
 //!
+//! The batch/parallel layer builds on three further pieces:
+//!
+//! * [`fx`] — a hand-rolled FxHash-style hasher ([`FxHashMap`] /
+//!   [`FxHashSet`]) for every hot map; keys are interned symbols we
+//!   produce ourselves, so SipHash's DoS resistance is pure overhead;
+//! * [`PlanCache`] — memoized [`CompiledQuery`] plans keyed by query
+//!   identity, so repeated checks of one query skip `compile`;
+//! * [`JoinScratch`] + [`join_with`] — caller-owned working memory, so
+//!   steady-state batch search allocates nothing per join.
+//!
 //! [`Constant`]: cqchase_ir::Constant
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fx;
+pub mod plan;
 pub mod store;
 pub mod sym;
 
-pub use engine::{compile, join, CompiledAtom, CompiledQuery, FactSource, JoinOutcome, Slot};
+pub use engine::{
+    compile, join, join_unbound, join_with, CompiledAtom, CompiledQuery, FactSource, JoinOutcome,
+    JoinScratch, Slot,
+};
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use plan::{query_key, PlanCache, QueryKey};
 pub use store::{ColumnIndex, DedupIndex};
-pub use sym::{Sym, SymPool};
+pub use sym::{FrozenSymPool, Sym, SymPool};

@@ -1,0 +1,245 @@
+//! Caching of compiled query plans.
+//!
+//! [`compile`](crate::engine::compile) is cheap but not free — it walks
+//! every atom, clones slot vectors, and resolves constants against the
+//! source's symbol pool. Workloads that run the *same* query against the
+//! same source many times (the containment engine probes `Q′` against a
+//! growing chase once per level; batch evaluation probes one query per
+//! tuple) pay that cost per call. A [`PlanCache`] memoizes compiled
+//! plans keyed by the query's *structural identity*, so repeated checks
+//! skip `compile` entirely.
+//!
+//! A cache is only valid against **one** fact source (plans embed
+//! source-resolved constant symbols), and only while that source's
+//! constant-symbol resolution is stable: interning new constants is fine
+//! (existing symbols never change), rebuilding the source's pool is not.
+//! Keep one cache per source, and drop it with the source.
+
+use std::hash::{Hash, Hasher};
+
+use cqchase_ir::{Atom, ConjunctiveQuery, Term};
+
+use crate::engine::{compile, CompiledQuery, FactSource};
+use crate::fx::{FxHashMap, FxHasher};
+
+/// Structural identity of a conjunctive query: a 64-bit content hash
+/// plus the cheap exact dimensions (atom, variable, head counts) as
+/// collision guards. Two queries with equal keys compile to the same
+/// plan against any given source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    hash: u64,
+    num_atoms: u32,
+    num_vars: u32,
+    head_len: u32,
+}
+
+/// Computes a query's [`QueryKey`] from its body and head structure
+/// (names are ignored — only relations, variable ids, and constants
+/// matter to the compiled plan).
+pub fn query_key(q: &ConjunctiveQuery) -> QueryKey {
+    let mut h = FxHasher::default();
+    for atom in &q.atoms {
+        atom.relation.0.hash(&mut h);
+        for t in &atom.terms {
+            match t {
+                Term::Var(v) => {
+                    h.write_u8(0);
+                    v.0.hash(&mut h);
+                }
+                Term::Const(c) => {
+                    h.write_u8(1);
+                    c.hash(&mut h);
+                }
+            }
+        }
+    }
+    for t in &q.head {
+        t.hash(&mut h);
+    }
+    QueryKey {
+        hash: h.finish(),
+        num_atoms: q.atoms.len() as u32,
+        num_vars: q.vars.len() as u32,
+        head_len: q.head.len() as u32,
+    }
+}
+
+/// One memoized plan plus the exact structure it was compiled from
+/// (the collision guard — a [`QueryKey`] hash match alone is not
+/// proof of structural equality).
+#[derive(Debug)]
+struct CachedPlan {
+    atoms: Vec<Atom>,
+    head: Vec<Term>,
+    plan: Option<CompiledQuery>,
+}
+
+/// A memo table `query structure → compiled plan` for one fact source.
+///
+/// Lookup hashes the [`QueryKey`] and then verifies *exact* structural
+/// equality (atoms and head) against the bucket's entries, so a 64-bit
+/// hash collision costs one extra compile, never a wrong plan.
+///
+/// `None` values are cached too: a query whose constants are absent from
+/// the source compiles to "unsatisfiable" and stays unsatisfiable for as
+/// long as the cache is valid.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: FxHashMap<QueryKey, Vec<CachedPlan>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// The plan for `q` against `src`, compiling on first sight.
+    /// Returns `None` when the query cannot match (some constant is
+    /// absent from the source).
+    pub fn get_or_compile(
+        &mut self,
+        q: &ConjunctiveQuery,
+        src: &impl FactSource,
+    ) -> Option<&CompiledQuery> {
+        let key = query_key(q);
+        let bucket = self.plans.entry(key).or_default();
+        match bucket
+            .iter()
+            .position(|c| c.atoms == q.atoms && c.head == q.head)
+        {
+            Some(i) => {
+                self.hits += 1;
+                bucket[i].plan.as_ref()
+            }
+            None => {
+                self.misses += 1;
+                bucket.push(CachedPlan {
+                    atoms: q.atoms.clone(),
+                    head: q.head.clone(),
+                    plan: compile(q, src),
+                });
+                bucket.last().expect("just pushed").plan.as_ref()
+            }
+        }
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of compilations (cache misses) so far.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Number of distinct plans held.
+    pub fn len(&self) -> usize {
+        self.plans.values().map(Vec::len).sum()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan (for when the source is rebuilt).
+    pub fn clear(&mut self) {
+        self.plans.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ColumnIndex;
+    use crate::sym::{Sym, SymPool};
+    use cqchase_ir::{parse_program, Constant, RelId};
+
+    struct Toy {
+        pool: SymPool<Constant>,
+        cols: ColumnIndex,
+        rows: Vec<Vec<Vec<Sym>>>,
+    }
+
+    impl FactSource for Toy {
+        fn rel_size(&self, rel: RelId) -> usize {
+            self.rows[rel.index()].len()
+        }
+        fn row_syms(&self, rel: RelId, row: u32) -> &[Sym] {
+            &self.rows[rel.index()][row as usize]
+        }
+        fn posting_len(&self, rel: RelId, col: usize, sym: Sym) -> usize {
+            self.cols.posting_len(rel, col, sym)
+        }
+        fn candidates(&self, rel: RelId, bound: &[(usize, Sym)], out: &mut Vec<u32>) {
+            if bound.is_empty() {
+                out.extend(0..self.rows[rel.index()].len() as u32);
+            } else {
+                self.cols
+                    .candidates(rel, bound, |row| &self.rows[rel.index()][row as usize], out);
+            }
+        }
+        fn sym_of_const(&self, c: &Constant) -> Option<Sym> {
+            self.pool.get(c)
+        }
+    }
+
+    fn toy() -> Toy {
+        let p = parse_program("relation R(a, b). Q(x) :- R(x, y).").unwrap();
+        let mut pool = SymPool::new();
+        let mut cols = ColumnIndex::new(p.catalog.rel_ids().map(|r| p.catalog.arity(r)));
+        let rel = p.catalog.resolve("R").unwrap();
+        let syms = vec![
+            pool.intern(&Constant::int(1)),
+            pool.intern(&Constant::int(2)),
+        ];
+        cols.insert_row(rel, 0, &syms);
+        Toy {
+            pool,
+            cols,
+            rows: vec![vec![syms]],
+        }
+    }
+
+    #[test]
+    fn keys_distinguish_structure() {
+        let p = parse_program(
+            "relation R(a, b).
+             Q1(x) :- R(x, y).
+             Q2(x) :- R(y, x).
+             Q3(x) :- R(x, 1).",
+        )
+        .unwrap();
+        let keys: Vec<QueryKey> = p.queries.iter().map(query_key).collect();
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[2]);
+        assert_eq!(keys[0], query_key(&p.queries[0]));
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let p = parse_program(
+            "relation R(a, b).
+             Q(x) :- R(x, y).
+             Qc(x) :- R(x, 99).",
+        )
+        .unwrap();
+        let src = toy();
+        let mut cache = PlanCache::new();
+        assert!(cache.get_or_compile(&p.queries[0], &src).is_some());
+        assert!(cache.get_or_compile(&p.queries[0], &src).is_some());
+        // Unsatisfiable (constant 99 absent) is cached as None.
+        assert!(cache.get_or_compile(&p.queries[1], &src).is_none());
+        assert!(cache.get_or_compile(&p.queries[1], &src).is_none());
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -6,20 +6,22 @@
 //! row numbers for databases and hom targets) — the index treats them as
 //! opaque keys and keeps posting lists sorted by them.
 
-use std::collections::HashMap;
-
 use cqchase_ir::RelId;
 
+use crate::fx::FxHashMap;
 use crate::sym::Sym;
 
 /// Posting lists `(relation, column, symbol) → sorted row ids`.
 ///
 /// Supports incremental insertion, deletion, and symbol substitution, so
-/// mutating owners (the chase under FD merges) never rebuild.
+/// mutating owners (the chase under FD merges) never rebuild. Maps hash
+/// with [`FxHasher`](crate::fx::FxHasher): keys are interned symbols we
+/// produce ourselves, so SipHash's DoS resistance buys nothing and its
+/// cost sits on the join engine's innermost probe.
 #[derive(Debug, Clone, Default)]
 pub struct ColumnIndex {
     /// One map per relation per column.
-    rels: Vec<Vec<HashMap<Sym, Vec<u32>>>>,
+    rels: Vec<Vec<FxHashMap<Sym, Vec<u32>>>>,
 }
 
 impl ColumnIndex {
@@ -28,7 +30,7 @@ impl ColumnIndex {
         ColumnIndex {
             rels: arities
                 .into_iter()
-                .map(|a| vec![HashMap::new(); a])
+                .map(|a| vec![FxHashMap::default(); a])
                 .collect(),
         }
     }
@@ -157,7 +159,7 @@ impl ColumnIndex {
 /// Hash-based whole-row duplicate detection: `(relation, symbols) → row`.
 #[derive(Debug, Clone, Default)]
 pub struct DedupIndex {
-    map: HashMap<(RelId, Vec<Sym>), u32>,
+    map: FxHashMap<(RelId, Vec<Sym>), u32>,
 }
 
 impl DedupIndex {

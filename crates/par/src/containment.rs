@@ -1,0 +1,125 @@
+//! Parallel batch containment.
+//!
+//! The unit of parallelism is a *chase group*: every pair sharing a
+//! left-hand query `Q` reuses one chase of `Q` (when Σ permits exact
+//! sharing — see [`cqchase_core::check_batch`]), so the group is the
+//! finest grain that keeps the sequential engine's sharing. Groups run
+//! on the executor's worker threads; within a group the sequential
+//! engine runs unchanged, so results are bit-for-bit those of
+//! [`cqchase_core::check_batch`] regardless of thread count.
+
+use cqchase_core::{
+    check_batch as check_batch_seq, ContainmentAnswer, ContainmentEngineError, ContainmentOptions,
+    ContainmentPair,
+};
+use cqchase_index::FxHashMap;
+use cqchase_ir::{Catalog, ConjunctiveQuery, DependencySet};
+
+use crate::pool::{map_with, BatchOptions};
+
+/// Tests a batch of containments across worker threads.
+///
+/// Returns exactly what [`cqchase_core::check_batch`] returns for the
+/// same inputs (and it *is* that function when `opts.threads == 1`);
+/// the differential property tests in this crate hold every thread
+/// count to that.
+pub fn check_batch(
+    queries: &[ConjunctiveQuery],
+    pairs: &[ContainmentPair],
+    sigma: &DependencySet,
+    catalog: &Catalog,
+    opts: &ContainmentOptions,
+    batch: BatchOptions,
+) -> Vec<Result<ContainmentAnswer, ContainmentEngineError>> {
+    if batch.threads <= 1 {
+        return check_batch_seq(queries, pairs, sigma, catalog, opts);
+    }
+
+    // Group pair positions by left query, preserving in-group order so
+    // chase reuse follows the same expansion sequence as the sequential
+    // engine.
+    let mut order: Vec<usize> = Vec::new(); // group id per first sight
+    let mut groups: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    for (pos, p) in pairs.iter().enumerate() {
+        let slot = groups.entry(p.q).or_insert_with(|| {
+            order.push(p.q);
+            Vec::new()
+        });
+        slot.push(pos);
+    }
+    let grouped: Vec<&[usize]> = order.iter().map(|q| groups[q].as_slice()).collect();
+
+    // One task per group; chunk = 1 so idle workers steal whole groups.
+    let task_opts = BatchOptions {
+        threads: batch.threads,
+        chunk: Some(1),
+    };
+    let group_results = map_with(
+        grouped.len(),
+        task_opts,
+        Vec::new, // per-worker reusable pair buffer
+        |pair_buf: &mut Vec<ContainmentPair>, g| {
+            pair_buf.clear();
+            pair_buf.extend(grouped[g].iter().map(|&pos| pairs[pos]));
+            check_batch_seq(queries, pair_buf, sigma, catalog, opts)
+        },
+    );
+
+    // Scatter group results back to original pair positions.
+    let mut out: Vec<Option<Result<ContainmentAnswer, ContainmentEngineError>>> =
+        Vec::with_capacity(pairs.len());
+    out.resize_with(pairs.len(), || None);
+    for (g, results) in group_results.into_iter().enumerate() {
+        for (&pos, r) in grouped[g].iter().zip(results) {
+            out[pos] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every pair answered"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqchase_ir::parse_program;
+
+    #[test]
+    fn agrees_with_sequential_across_thread_counts() {
+        let p = parse_program(
+            "relation R(a, b).
+             ind R[2] <= R[1].
+             A(x) :- R(x, y).
+             B(x) :- R(x, y), R(y, z).
+             C(x) :- R(x, y), R(y, z), R(z, w).
+             D(x) :- R(y, x).",
+        )
+        .unwrap();
+        let mut pairs = Vec::new();
+        for q in 0..4 {
+            for qp in 0..4 {
+                pairs.push(ContainmentPair { q, q_prime: qp });
+            }
+        }
+        let opts = ContainmentOptions::default();
+        let seq = check_batch_seq(&p.queries, &pairs, &p.deps, &p.catalog, &opts);
+        for threads in [1usize, 2, 4] {
+            let par = check_batch(
+                &p.queries,
+                &pairs,
+                &p.deps,
+                &p.catalog,
+                &opts,
+                BatchOptions::with_threads(threads),
+            );
+            assert_eq!(par.len(), seq.len());
+            for (i, (a, b)) in par.iter().zip(seq.iter()).enumerate() {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.contained, b.contained, "pair {i} @ {threads} threads");
+                assert_eq!(a.exact, b.exact, "pair {i}");
+                assert_eq!(a.witness, b.witness, "pair {i}");
+                assert_eq!(a.bound, b.bound, "pair {i}");
+            }
+        }
+    }
+}

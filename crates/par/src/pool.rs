@@ -1,0 +1,177 @@
+//! The hand-rolled parallel executor.
+//!
+//! The container this workspace builds in is offline, so there is no
+//! `rayon`/`crossbeam`; everything here is `std::thread` plus channels
+//! and one atomic:
+//!
+//! * [`parallel_map`] — the batch primitive. Worker threads are scoped
+//!   (they may borrow the batch), and they *self-schedule*: a shared
+//!   atomic cursor acts as the injector queue and each idle worker
+//!   steals the next chunk of indices from it. That is the
+//!   work-stealing discipline collapsed to its useful core — with one
+//!   producer and uniform tasks, per-worker deques would only add
+//!   shuffling; chunked self-scheduling gives the same load balance
+//!   (no worker idles while chunks remain) without them.
+//!
+//! Chunking matters: per-item dispatch would contend on the cursor for
+//! microsecond-sized items (one containment check can be < 1 µs), while
+//! static striping would let one hard chunk serialize the tail. The
+//! default splits the batch so each worker expects ~4 chunks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
+use std::thread;
+
+/// Number of worker threads to use by default: the hardware's available
+/// parallelism, or 1 when it cannot be determined.
+pub fn default_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Executor configuration for [`parallel_map`]-style batch runs.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Worker thread count. `1` runs inline on the caller's thread (no
+    /// spawns, exactly the sequential engine).
+    pub threads: usize,
+    /// Items per stolen chunk; `None` sizes chunks as
+    /// `ceil(len / (4 · threads))` so each worker expects ~4 steals.
+    pub chunk: Option<usize>,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            threads: default_threads(),
+            chunk: None,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Options for `threads` workers, default chunking.
+    pub fn with_threads(threads: usize) -> BatchOptions {
+        BatchOptions {
+            threads: threads.max(1),
+            chunk: None,
+        }
+    }
+
+    fn chunk_for(&self, len: usize) -> usize {
+        match self.chunk {
+            Some(c) => c.max(1),
+            None => len.div_ceil(4 * self.threads.max(1)).max(1),
+        }
+    }
+}
+
+/// Applies `f` to every index of `0..len` across worker threads and
+/// returns the results in index order.
+///
+/// `f` is called as `f(index)` and must be `Sync` (it runs concurrently
+/// on several threads; per-thread mutable state belongs inside the
+/// worker closure you build it from — see [`map_with`] for the
+/// scratch-carrying variant). With `opts.threads == 1` no thread is
+/// spawned and results are computed inline in order.
+pub fn parallel_map<R, F>(len: usize, opts: BatchOptions, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    map_with(len, opts, || (), move |(), i| f(i))
+}
+
+/// [`parallel_map`] with per-worker state: `init` runs once on each
+/// worker thread (build scratch buffers, plan caches, …) and `f` is
+/// called as `f(&mut state, index)`.
+///
+/// Results arrive over an `mpsc` channel tagged with their index and are
+/// reassembled in order, so the output is identical to
+/// `(0..len).map(..)` regardless of scheduling.
+pub fn map_with<R, S, I, F>(len: usize, opts: BatchOptions, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    if opts.threads <= 1 || len <= 1 {
+        let mut state = init();
+        return (0..len).map(|i| f(&mut state, i)).collect();
+    }
+    let chunk = opts.chunk_for(len);
+    let workers = opts.threads.min(len.div_ceil(chunk));
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = channel::<(usize, R)>();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let (init, f) = (&init, &f);
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    // Steal the next chunk from the shared injector.
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(len) {
+                        // The receiver outlives the scope; send cannot
+                        // fail while it does.
+                        let _ = tx.send((i, f(&mut state, i)));
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Collect on the caller's thread while workers run.
+        for (i, r) in rx.iter() {
+            out[i] = Some(r);
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        for threads in [1usize, 2, 4, 7] {
+            let got = parallel_map(100, BatchOptions::with_threads(threads), |i| i * i);
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_with_builds_state_per_worker() {
+        let opts = BatchOptions {
+            threads: 3,
+            chunk: Some(1),
+        };
+        // Each worker counts its own items; the sum must cover the batch.
+        let results = map_with(
+            50,
+            opts,
+            || 0usize,
+            |count, i| {
+                *count += 1;
+                (i, *count)
+            },
+        );
+        assert_eq!(results.len(), 50);
+        assert!(results.iter().enumerate().all(|(i, &(j, _))| i == j));
+    }
+
+    #[test]
+    fn empty_and_tiny_batches() {
+        assert!(parallel_map(0, BatchOptions::with_threads(4), |i| i).is_empty());
+        assert_eq!(parallel_map(1, BatchOptions::with_threads(4), |i| i), [0]);
+    }
+}

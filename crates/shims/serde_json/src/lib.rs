@@ -342,18 +342,237 @@ impl fmt::Display for Value {
     }
 }
 
-/// Serialization failure (never produced by this shim; kept so call sites
-/// can `.unwrap()` exactly as with upstream serde_json).
-#[derive(Debug)]
-pub struct Error;
+/// Serialization or parse failure. Serialization never fails in this
+/// shim (the type is kept so call sites can `.unwrap()` exactly as with
+/// upstream serde_json); parse failures carry a byte offset and message.
+#[derive(Debug, Default)]
+pub struct Error {
+    detail: Option<(usize, &'static str)>,
+}
+
+impl Error {
+    fn parse(at: usize, msg: &'static str) -> Error {
+        Error {
+            detail: Some((at, msg)),
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "serialization error")
+        match self.detail {
+            Some((at, msg)) => write!(f, "JSON parse error at byte {at}: {msg}"),
+            None => write!(f, "serialization error"),
+        }
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parses a JSON document into a [`Value`] (recursive descent over the
+/// full JSON grammar; `\u` escapes are decoded, surrogate pairs
+/// included). Trailing non-whitespace is an error, like upstream.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::parse(pos, "trailing characters"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &'static [u8], msg: &'static str) -> Result<(), Error> {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::parse(*pos, msg))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::parse(*pos, "unexpected end of input")),
+        Some(b'n') => expect(b, pos, b"null", "expected `null`").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, b"true", "expected `true`").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, b"false", "expected `false`").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::parse(*pos, "expected `,` or `]`")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = Map::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b":", "expected `:`")?;
+                map.insert(key, parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(Error::parse(*pos, "expected `,` or `}`")),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(b, pos, b"\"", "expected string")?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::parse(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or(Error::parse(*pos, "bad escape"))?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hi = parse_hex4(b, pos)?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: a second \uXXXX must follow.
+                            expect(b, pos, b"\\u", "expected low surrogate")?;
+                            let lo = parse_hex4(b, pos)?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error::parse(*pos, "invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or(Error::parse(*pos, "invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(Error::parse(*pos, "unknown escape")),
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // always a char boundary walk).
+                let rest = &b[*pos..];
+                let s = std::str::from_utf8(rest).map_err(|_| Error::parse(*pos, "bad utf-8"))?;
+                let c = s.chars().next().expect("nonempty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, Error> {
+    if b.len() - *pos < 4 {
+        return Err(Error::parse(*pos, "short unicode escape"));
+    }
+    let s = std::str::from_utf8(&b[*pos..*pos + 4])
+        .map_err(|_| Error::parse(*pos, "bad unicode escape"))?;
+    let v = u32::from_str_radix(s, 16).map_err(|_| Error::parse(*pos, "bad unicode escape"))?;
+    *pos += 4;
+    Ok(v)
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    if b.get(*pos) == Some(&b'.') {
+        is_float = true;
+        *pos += 1;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        is_float = true;
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("digits are ASCII");
+    if text.is_empty() || text == "-" {
+        return Err(Error::parse(start, "expected a value"));
+    }
+    let num = if !is_float {
+        if let Ok(i) = text.parse::<i64>() {
+            Number::Int(i)
+        } else if let Ok(u) = text.parse::<u64>() {
+            Number::UInt(u)
+        } else {
+            Number::Float(
+                text.parse::<f64>()
+                    .map_err(|_| Error::parse(start, "bad number"))?,
+            )
+        }
+    } else {
+        Number::Float(
+            text.parse::<f64>()
+                .map_err(|_| Error::parse(start, "bad number"))?,
+        )
+    };
+    Ok(Value::Number(num))
+}
 
 fn escape_into(s: &str, out: &mut String) {
     out.push('"');
@@ -474,5 +693,29 @@ mod tests {
             }
             _ => panic!("expected object"),
         }
+    }
+
+    #[test]
+    fn parse_roundtrips_pretty_output() {
+        let doc = json!({
+            "name": "bench",
+            "speedup": 194.47,
+            "count": 42,
+            "neg": -7,
+            "flag": true,
+            "nothing": Value::Null,
+        });
+        let text = to_string_pretty(&doc).unwrap();
+        assert_eq!(from_str(&text).unwrap(), doc);
+        // Arrays, nesting, escapes, unicode.
+        let v = from_str(r#"[1, 2.5, "a\\n\u00e9", {"k": []}, null]"#).unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[2].as_str(), Some("a\\né"));
+        // Errors: trailing garbage, bad literals.
+        assert!(from_str("{} extra").is_err());
+        assert!(from_str("nulx").is_err());
+        assert!(from_str("[1,").is_err());
     }
 }

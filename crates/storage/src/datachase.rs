@@ -17,9 +17,8 @@
 //! IND chases need not terminate (e.g. `R[2] ⊆ R[1]` over a tuple with
 //! distinct values), so every run carries a [`DataChaseBudget`].
 
-use cqchase_index::Sym;
+use cqchase_index::{FxHashMap, Sym};
 use cqchase_ir::{Dependency, DependencySet, Fd, Ind};
-use std::collections::HashMap;
 
 use crate::database::{Database, Tuple};
 use crate::indexed::DbIndex;
@@ -93,7 +92,7 @@ fn unify(db: &mut Database, a: &Value, b: &Value) -> Result<(), ()> {
 /// no FD is applicable.
 fn find_fd_violation(idx: &DbIndex, fds: &[&Fd]) -> Option<(Value, Value)> {
     for fd in fds {
-        let mut seen: HashMap<Vec<Sym>, Sym> = HashMap::new();
+        let mut seen: FxHashMap<Vec<Sym>, Sym> = FxHashMap::default();
         for row in 0..idx.num_rows(fd.relation) as u32 {
             let syms = cqchase_index::FactSource::row_syms(idx, fd.relation, row);
             let key: Vec<Sym> = fd.lhs.iter().map(|&c| syms[c]).collect();

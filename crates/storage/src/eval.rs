@@ -14,7 +14,7 @@
 
 use std::collections::BTreeSet;
 
-use cqchase_index::{compile, join, Sym};
+use cqchase_index::{compile, join, join_unbound, JoinScratch, PlanCache, Sym};
 use cqchase_ir::{ConjunctiveQuery, Term};
 
 use crate::database::{Database, Tuple};
@@ -37,6 +37,8 @@ fn summary_image(q: &ConjunctiveQuery, idx: &DbIndex, bind: &[Option<Sym>]) -> T
 /// summary-row images, sorted for deterministic output. Use this entry
 /// point when evaluating several queries over one instance.
 pub fn evaluate_indexed(q: &ConjunctiveQuery, idx: &DbIndex) -> Vec<Tuple> {
+    // One-shot path: compile directly — a throwaway plan cache would
+    // only add key hashing and structure clones.
     let Some(cq) = compile(q, idx) else {
         return Vec::new();
     };
@@ -52,6 +54,49 @@ pub fn evaluate_indexed(q: &ConjunctiveQuery, idx: &DbIndex) -> Vec<Tuple> {
 /// deterministic output.
 pub fn evaluate(q: &ConjunctiveQuery, db: &Database) -> Vec<Tuple> {
     evaluate_indexed(q, &DbIndex::build(db))
+}
+
+/// Evaluates a batch of queries over one instance: the index is built
+/// once and one plan cache plus one join scratch are shared across the
+/// whole batch, so repeated queries skip compilation and the steady
+/// state allocates only result tuples. Answers are exactly
+/// `qs.map(|q| evaluate(q, db))` — the differential property tests hold
+/// the batch path to that.
+///
+/// This is the sequential reference engine; `cqchase-par` runs the same
+/// computation across worker threads.
+pub fn evaluate_batch(qs: &[ConjunctiveQuery], db: &Database) -> Vec<Vec<Tuple>> {
+    evaluate_batch_indexed(qs, &DbIndex::build(db))
+}
+
+/// [`evaluate_batch`] against a prebuilt index.
+pub fn evaluate_batch_indexed(qs: &[ConjunctiveQuery], idx: &DbIndex) -> Vec<Vec<Tuple>> {
+    let mut cache = PlanCache::new();
+    let mut scratch = JoinScratch::new();
+    qs.iter()
+        .map(|q| evaluate_indexed_with(q, idx, &mut cache, &mut scratch))
+        .collect()
+}
+
+/// [`evaluate_indexed`] with a caller-owned plan cache and join scratch —
+/// the per-item primitive the batch engines (sequential above, parallel
+/// in `cqchase-par`) are built from. The cache must be dedicated to
+/// `idx` (plans embed index-resolved symbols).
+pub fn evaluate_indexed_with(
+    q: &ConjunctiveQuery,
+    idx: &DbIndex,
+    cache: &mut PlanCache,
+    scratch: &mut JoinScratch,
+) -> Vec<Tuple> {
+    let Some(cq) = cache.get_or_compile(q, idx) else {
+        return Vec::new();
+    };
+    let mut out: BTreeSet<Tuple> = BTreeSet::new();
+    join_unbound(idx, cq, scratch, |bind, _| {
+        out.insert(summary_image(q, idx, bind));
+        false
+    });
+    out.into_iter().collect()
 }
 
 /// [`evaluate_boolean`] against a prebuilt index — use when probing

@@ -31,8 +31,8 @@ pub use check::{satisfies, violations, Violation};
 pub use database::{Database, RelationInstance, Tuple};
 pub use datachase::{chase_instance, DataChaseBudget, DataChaseOutcome};
 pub use eval::{
-    contains_tuple, contains_tuple_indexed, evaluate, evaluate_boolean, evaluate_boolean_indexed,
-    evaluate_indexed,
+    contains_tuple, contains_tuple_indexed, evaluate, evaluate_batch, evaluate_batch_indexed,
+    evaluate_boolean, evaluate_boolean_indexed, evaluate_indexed, evaluate_indexed_with,
 };
 pub use indexed::DbIndex;
 pub use value::{NullId, Value};

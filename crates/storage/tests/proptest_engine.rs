@@ -5,7 +5,9 @@
 use cqchase_ir::builder::TermSpec;
 use cqchase_ir::{Catalog, ConjunctiveQuery, QueryBuilder};
 use cqchase_storage::eval::naive;
-use cqchase_storage::{contains_tuple, evaluate, evaluate_boolean, Database, Value};
+use cqchase_storage::{
+    contains_tuple, evaluate, evaluate_batch, evaluate_boolean, Database, Value,
+};
 use proptest::prelude::*;
 
 fn catalog() -> Catalog {
@@ -71,6 +73,21 @@ proptest! {
     #[test]
     fn boolean_agrees(q in queries(), db in instances()) {
         prop_assert_eq!(evaluate_boolean(&q, &db), naive::evaluate_boolean(&q, &db));
+    }
+
+    /// The batch evaluator (shared index, plan cache, join scratch)
+    /// returns exactly the per-query answer sets, against the naive
+    /// scan reference.
+    #[test]
+    fn evaluate_batch_agrees(
+        qs in proptest::collection::vec(queries(), 1..6),
+        db in instances(),
+    ) {
+        let batch = evaluate_batch(&qs, &db);
+        prop_assert_eq!(batch.len(), qs.len());
+        for (q, got) in qs.iter().zip(batch.iter()) {
+            prop_assert_eq!(got, &naive::evaluate(q, &db), "query {}", q.name);
+        }
     }
 
     /// Membership probes agree on every domain value.

@@ -1,0 +1,111 @@
+//! Batch workload generators for the batch/parallel engines.
+//!
+//! A containment batch is a query pool plus a list of `(q, q_prime)`
+//! index pairs (the shape `cqchase_core::check_batch` and
+//! `cqchase_par::check_batch` consume — pairs are plain index tuples
+//! here so this crate stays independent of `cqchase-core`). An
+//! evaluation batch is a query pool to run against one instance.
+
+use cqchase_ir::{parse_program, ConjunctiveQuery, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::queries::{chain_query, cycle_query, star_query};
+
+/// A containment batch over the `successor_cycle` schema (`R(a, b)`
+/// with the cyclic IND `R[2] ⊆ R[1]`).
+#[derive(Debug)]
+pub struct ContainmentBatch {
+    /// The schema and dependency set (queries of the program itself are
+    /// unused; the pool below is the workload).
+    pub program: Program,
+    /// The query pool: chains, cycles, and stars of assorted sizes.
+    pub queries: Vec<ConjunctiveQuery>,
+    /// `(q, q_prime)` index pairs into `queries`.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+/// Generates a deterministic containment batch: a pool of
+/// `pool_size` shaped queries (round-robin chain/cycle/star, sizes
+/// cycling 1–4) and `num_pairs` seeded-random ordered pairs.
+///
+/// Chains of length *k* are contained in chains of length ≥ *k* under
+/// the cyclic IND and cycles never map into the chase (a path), so the
+/// batch exercises positive answers at assorted witness levels *and*
+/// exhaustive negatives — the containment engine's two cost regimes.
+pub fn successor_containment_batch(
+    seed: u64,
+    pool_size: usize,
+    num_pairs: usize,
+) -> ContainmentBatch {
+    let program = parse_program(
+        "relation R(a, b).
+         ind R[2] <= R[1].
+         Q(x) :- R(x, y).",
+    )
+    .expect("the successor schema is well-formed");
+    let mut queries = Vec::with_capacity(pool_size);
+    for i in 0..pool_size {
+        let size = i % 4 + 1;
+        let q = match i % 3 {
+            0 => chain_query(&format!("Chain{i}"), &program.catalog, "R", size),
+            1 => cycle_query(&format!("Cycle{i}"), &program.catalog, "R", size + 1),
+            _ => star_query(&format!("Star{i}"), &program.catalog, "R", size),
+        }
+        .expect("generated queries are well-formed");
+        queries.push(q);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs = (0..num_pairs)
+        .map(|_| (rng.gen_range(0..pool_size), rng.gen_range(0..pool_size)))
+        .collect();
+    ContainmentBatch {
+        program,
+        queries,
+        pairs,
+    }
+}
+
+/// Generates a deterministic evaluation batch over a catalog's first
+/// binary relation: `pool_size` chain/star queries of sizes cycling
+/// 2–4 (size ≥ 2 keeps every query a genuine join).
+pub fn chain_eval_batch(program: &Program, pool_size: usize) -> Vec<ConjunctiveQuery> {
+    (0..pool_size)
+        .map(|i| {
+            let size = i % 3 + 2;
+            if i % 2 == 0 {
+                chain_query(&format!("EChain{i}"), &program.catalog, "R", size)
+            } else {
+                star_query(&format!("EStar{i}"), &program.catalog, "R", size)
+            }
+            .expect("generated queries are well-formed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_is_deterministic_and_in_range() {
+        let a = successor_containment_batch(11, 9, 40);
+        let b = successor_containment_batch(11, 9, 40);
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.queries.len(), 9);
+        assert_eq!(a.pairs.len(), 40);
+        assert!(a.pairs.iter().all(|&(x, y)| x < 9 && y < 9));
+        let names: Vec<&str> = a.queries.iter().map(|q| q.name.as_str()).collect();
+        assert!(names.contains(&"Chain0"));
+        assert!(names.contains(&"Cycle1"));
+        assert!(names.contains(&"Star2"));
+    }
+
+    #[test]
+    fn eval_batch_queries_are_joins() {
+        let p = parse_program("relation R(a, b). Q(x) :- R(x, y).").unwrap();
+        let qs = chain_eval_batch(&p, 6);
+        assert_eq!(qs.len(), 6);
+        assert!(qs.iter().all(|q| q.num_atoms() >= 2));
+    }
+}

@@ -13,16 +13,20 @@
 //! * [`databases`] — random instances, optionally repaired into
 //!   Σ-satisfying ones through the storage-layer data chase;
 //! * [`families`] — the named workloads the experiments reference
-//!   (the Figure 1 Σ, the Section 4 Σ, the intro's EMP/DEP schema).
+//!   (the Figure 1 Σ, the Section 4 Σ, the intro's EMP/DEP schema);
+//! * [`batches`] — batch workloads (query pools + containment pairs)
+//!   for the batch/parallel engines and their benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batches;
 pub mod databases;
 pub mod dependencies;
 pub mod families;
 pub mod queries;
 
+pub use batches::{chain_eval_batch, successor_containment_batch, ContainmentBatch};
 pub use databases::DatabaseGen;
 pub use dependencies::{FdSetGen, IndSetGen, KeyBasedGen};
 pub use queries::{chain_query, cycle_query, star_query, QueryGen};
