@@ -1,0 +1,190 @@
+//! Service throughput: the full request path (loopback TCP, protocol
+//! parse, admission queue, batch engines, semantic cache) under a
+//! deterministic workload.
+//!
+//! Besides the criterion group, the run records a JSON baseline at
+//! `crates/bench/baselines/bench_service.json`:
+//!
+//! * `cache_hit_rate` — hits / lookups after the canonical two-pass
+//!   sequence (single client, deterministic, machine-independent — the
+//!   gated metric);
+//! * `requests_per_sec_1c` / `requests_per_sec_4c` — sustained
+//!   throughput with 1 and 4 concurrent clients (absolute, documents
+//!   the recording machine, informational);
+//!
+//! plus correctness assertions that every served answer equals the
+//! sequential in-process engine's on the same inputs.
+
+use std::sync::Arc;
+
+use cqchase_bench::service_workload::{service_workload, FACTS, PAIRS, POOL, SEED};
+use cqchase_core::{contained, ContainmentOptions};
+use cqchase_par::default_threads;
+use cqchase_service::{Client, ServeOptions, Server};
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde_json::json;
+
+fn spawn_server() -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    Server::spawn(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        conn_workers: 6,
+        sem_cache_capacity: 4096,
+        ..Default::default()
+    })
+    .expect("spawn service")
+}
+
+/// One sequential pass over every pair on one connection; returns the
+/// number of requests sent.
+fn run_pass(client: &mut Client, names: &[String], pairs: &[(usize, usize)]) -> usize {
+    for &(q, qp) in pairs {
+        client.check("bench", &names[q], &names[qp]).expect("check");
+    }
+    pairs.len()
+}
+
+/// Four concurrent clients, each a strided quarter of the pairs.
+fn run_concurrent(
+    addr: std::net::SocketAddr,
+    names: &Arc<Vec<String>>,
+    pairs: &Arc<Vec<(usize, usize)>>,
+) -> usize {
+    let mut handles = Vec::new();
+    for t in 0..4usize {
+        let names = Arc::clone(names);
+        let pairs = Arc::clone(pairs);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            let mut sent = 0;
+            for (i, &(q, qp)) in pairs.iter().enumerate() {
+                if i % 4 == t {
+                    client.check("bench", &names[q], &names[qp]).expect("check");
+                    sent += 1;
+                }
+            }
+            sent
+        }));
+    }
+    handles.into_iter().map(|h| h.join().unwrap()).sum()
+}
+
+fn bench_request_path(c: &mut Criterion) {
+    let w = service_workload();
+    let (addr, handle) = spawn_server();
+    let mut client = Client::connect(addr).expect("connect");
+    client.register("bench", &w.program_src).expect("register");
+    // Warm the cache so the group measures the steady serving state.
+    run_pass(&mut client, &w.names, &w.batch.pairs);
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.bench_function("warm_check_roundtrip", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let (q, qp) = w.batch.pairs[i % w.batch.pairs.len()];
+            i += 1;
+            criterion::black_box(
+                client
+                    .check("bench", &w.names[q], &w.names[qp])
+                    .expect("check"),
+            )
+        });
+    });
+    group.finish();
+
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().unwrap();
+}
+
+/// Records the committed JSON baseline (see the module docs).
+fn record_baseline(_c: &mut Criterion) {
+    let w = service_workload();
+
+    // Ground truth for every pair, from the sequential library engine.
+    let opts = ContainmentOptions::default();
+    let direct: Vec<_> = w
+        .batch
+        .pairs
+        .iter()
+        .map(|&(q, qp)| {
+            contained(
+                &w.batch.queries[q],
+                &w.batch.queries[qp],
+                &w.batch.program.deps,
+                &w.batch.program.catalog,
+                &opts,
+            )
+            .expect("workload pairs decide")
+        })
+        .collect();
+
+    let (addr, handle) = spawn_server();
+    let mut client = Client::connect(addr).expect("connect");
+    client.register("bench", &w.program_src).expect("register");
+
+    // Canonical two-pass sequence: cold then warm, answers checked
+    // against the library on both passes.
+    let t0 = std::time::Instant::now();
+    let mut sent = 0usize;
+    for _pass in 0..2 {
+        for (i, &(q, qp)) in w.batch.pairs.iter().enumerate() {
+            let v = client
+                .check("bench", &w.names[q], &w.names[qp])
+                .expect("check");
+            let d = &direct[i];
+            assert_eq!(v["contained"], d.contained, "pair {i}");
+            assert_eq!(v["exact"], d.exact, "pair {i}");
+            assert_eq!(v["bound"], d.bound, "pair {i}");
+            sent += 1;
+        }
+    }
+    let elapsed_1c = t0.elapsed().as_secs_f64();
+    let stats = client.stats().expect("stats");
+    let hits = stats["semantic_cache"]["hits"].as_u64().unwrap_or(0);
+    let misses = stats["semantic_cache"]["misses"].as_u64().unwrap_or(0);
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let rps_1c = sent as f64 / elapsed_1c;
+
+    // Sustained concurrent throughput (warm cache).
+    let names = Arc::new(w.names.clone());
+    let pairs = Arc::new(w.batch.pairs.clone());
+    let t0 = std::time::Instant::now();
+    let sent_4c = run_concurrent(addr, &names, &pairs) + run_concurrent(addr, &names, &pairs);
+    let rps_4c = sent_4c as f64 / t0.elapsed().as_secs_f64();
+
+    let check_p50 = stats["endpoints"]["check"]["p50_us"].clone();
+    client.shutdown().expect("shutdown");
+    handle.join().unwrap().unwrap();
+
+    let doc = json!({
+        "workload": format!(
+            "service: seed-{SEED} successor batch, {POOL}-query pool, 2x{PAIRS} checks \
+             single-client (deterministic) + 2x{PAIRS} concurrent over {FACTS} facts"
+        ),
+        "cores": default_threads(),
+        "cache_hit_rate": (hit_rate * 1000.0).round() / 1000.0,
+        "requests_per_sec_1c": rps_1c.round(),
+        "requests_per_sec_4c": rps_4c.round(),
+        "check_p50_us": check_p50,
+        "semantic_cache_hits": hits,
+        "semantic_cache_misses": misses,
+    });
+    println!(
+        "\nservice baseline: {:.1}% hit rate, {:.0} req/s (1 client), {:.0} req/s (4 clients)",
+        hit_rate * 100.0,
+        rps_1c,
+        rps_4c
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/bench_service.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap())
+        .expect("write bench_service baseline");
+    println!("baseline written to {path}");
+}
+
+criterion_group!(benches, bench_request_path, record_baseline);
+criterion_main!(benches);

@@ -2,16 +2,20 @@
 //! Johnson & Klug (PODS 1982).
 //!
 //! ```text
-//! experiments all              # run E1–E14
+//! experiments all              # run E1–E15
 //! experiments e4 e12           # run a subset
 //! experiments all --json out.json
 //! experiments e6 --max-steps 50000 --max-conjuncts 10000
+//! experiments e14 e15 --threads 8
 //! ```
 //!
 //! `--max-steps` / `--max-conjuncts` override the chase budget the
 //! chase-driven experiments run under (defaults:
 //! [`DEFAULT_MAX_STEPS`](cqchase_core::chase::DEFAULT_MAX_STEPS) /
 //! [`DEFAULT_MAX_CONJUNCTS`](cqchase_core::chase::DEFAULT_MAX_CONJUNCTS)).
+//! `--threads N` overrides the thread counts of the parallel-workload
+//! experiments: E14 sweeps `{1, N}` instead of `{1, 2, 4}`, and E15
+//! runs its service with `N` batch workers.
 
 use std::io::Write as _;
 
@@ -31,16 +35,18 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut budget = ChaseBudget::default();
+    let mut threads: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json_path = it.next(),
             "--max-steps" => budget.max_steps = parse_usize("--max-steps", it.next()),
             "--max-conjuncts" => budget.max_conjuncts = parse_usize("--max-conjuncts", it.next()),
+            "--threads" => threads = Some(parse_usize("--threads", it.next())),
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: experiments [all | e1 … e14]... [--json FILE] \
-                     [--max-steps N] [--max-conjuncts N]"
+                    "usage: experiments [all | e1 … e15]... [--json FILE] \
+                     [--max-steps N] [--max-conjuncts N] [--threads N]"
                 );
                 return;
             }
@@ -56,13 +62,13 @@ fn main() {
         println!("\n================================================================");
         println!("{}", id.to_uppercase());
         println!("================================================================");
-        match exp::run_with(id, budget) {
+        match exp::run_with(id, budget, threads) {
             Some(out) => {
                 println!(">>> {}", out.title);
                 results.insert(out.id.to_string(), out.json);
             }
             None => {
-                eprintln!("unknown experiment id `{id}` (expected e1 … e14)");
+                eprintln!("unknown experiment id `{id}` (expected e1 … e15)");
                 std::process::exit(2);
             }
         }

@@ -1,8 +1,8 @@
 //! **E14 — batch throughput & thread scaling**: the parallel workload
 //! driver. Runs a mixed containment batch (chains / cycles / stars over
 //! the cyclic-IND successor schema) and an evaluation batch through the
-//! `cqchase-par` executor at 1, 2, and 4 threads, reporting items/sec
-//! and speedup over single-thread.
+//! `cqchase-par` executor at 1, 2, and 4 threads (or `{1, N}` under
+//! `--threads N`), reporting items/sec and speedup over single-thread.
 //!
 //! This is not a paper artifact — it drives the ROADMAP's serving
 //! scenario (millions of checks) and documents how throughput scales
@@ -26,9 +26,15 @@ const EVAL_QUERIES: usize = 32;
 const EVAL_TUPLES: usize = 600;
 
 /// Runs E14 with the given chase budget (CLI-settable via
-/// `--max-steps` / `--max-conjuncts`).
-pub fn run(budget: ChaseBudget) -> ExperimentOutput {
+/// `--max-steps` / `--max-conjuncts`) and thread sweep (`--threads N`
+/// replaces the default `{1, 2, 4}` with `{1, N}`).
+pub fn run(budget: ChaseBudget, threads: Option<usize>) -> ExperimentOutput {
     let cores = default_threads();
+    let thread_counts: Vec<usize> = match threads {
+        Some(n) if n <= 1 => vec![1],
+        Some(n) => vec![1, n],
+        None => vec![1, 2, 4],
+    };
     let batch = successor_containment_batch(7, POOL, PAIRS);
     let pairs: Vec<ContainmentPair> = batch
         .pairs
@@ -58,7 +64,7 @@ pub fn run(budget: ChaseBudget) -> ExperimentOutput {
     let mut rows = Vec::new();
     for (name, items) in [("containment", pairs.len()), ("evaluation", qs.len())] {
         let mut single_us = 0.0f64;
-        for threads in [1usize, 2, 4] {
+        for &threads in &thread_counts {
             let bopts = BatchOptions::with_threads(threads);
             let us = if name == "containment" {
                 time_median_us(5, || {

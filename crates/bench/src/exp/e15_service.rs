@@ -1,0 +1,194 @@
+//! **E15 — service load generator**: drives a real `cqchase-service`
+//! instance over loopback TCP with concurrent clients and reports
+//! sustained request throughput, endpoint latency percentiles, and
+//! semantic-cache effectiveness.
+//!
+//! Two passes over the same containment workload separate the cache
+//! regimes: the **cold** pass computes every isomorphism class once;
+//! the **warm** pass is answered from the semantic cache. The gap
+//! between the two is the value of residency — exactly the ROADMAP's
+//! serving story. Not a paper artifact.
+
+use std::sync::Arc;
+
+use cqchase_ir::display;
+use cqchase_par::default_threads;
+use cqchase_service::{Client, ServeOptions, Server};
+use cqchase_workload::successor_containment_batch;
+use serde_json::{json, Map, Value};
+
+use super::ExperimentOutput;
+use crate::table::Table;
+
+const POOL: usize = 12;
+const PAIRS: usize = 192;
+const CLIENTS: usize = 4;
+const FACTS: usize = 64;
+
+/// Renders the workload as a registerable program (schema + Σ + pool
+/// queries + a successor cycle of ground facts).
+pub fn render_service_program(
+    program: &cqchase_ir::Program,
+    queries: &[cqchase_ir::ConjunctiveQuery],
+    facts: usize,
+) -> String {
+    let mut src = String::new();
+    src.push_str(&display::catalog(&program.catalog).to_string());
+    src.push('\n');
+    src.push_str(&display::deps(&program.deps, &program.catalog).to_string());
+    src.push('\n');
+    for q in queries {
+        src.push_str(&display::query(q, &program.catalog).to_string());
+        src.push('\n');
+    }
+    for i in 0..facts {
+        src.push_str(&format!("R({i}, {}).\n", (i + 1) % facts));
+    }
+    src
+}
+
+/// One timed pass: `CLIENTS` threads fire their strided slice of the
+/// checks (plus one eval each per 16 checks). Returns (elapsed seconds,
+/// requests issued).
+fn run_pass(
+    addr: std::net::SocketAddr,
+    names: &Arc<Vec<String>>,
+    pairs: &Arc<Vec<(usize, usize)>>,
+) -> (f64, usize) {
+    let start = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..CLIENTS {
+        let names = Arc::clone(names);
+        let pairs = Arc::clone(pairs);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect load client");
+            let mut sent = 0usize;
+            for (i, &(q, qp)) in pairs.iter().enumerate() {
+                if i % CLIENTS != t {
+                    continue;
+                }
+                client
+                    .check("load", &names[q], &names[qp])
+                    .expect("check succeeds");
+                sent += 1;
+                if i % 16 == t {
+                    client.eval("load", &names[q]).expect("eval succeeds");
+                    sent += 1;
+                }
+            }
+            sent
+        }));
+    }
+    let sent: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    (start.elapsed().as_secs_f64(), sent)
+}
+
+/// Runs E15. `threads` (the `--threads` flag) sets the server's batch
+/// worker count; default: the machine's parallelism.
+pub fn run(threads: Option<usize>) -> ExperimentOutput {
+    let batch_threads = threads.unwrap_or_else(default_threads);
+    let batch = successor_containment_batch(11, POOL, PAIRS);
+    let program_src = render_service_program(&batch.program, &batch.queries, FACTS);
+    let names: Arc<Vec<String>> = Arc::new(batch.queries.iter().map(|q| q.name.clone()).collect());
+    let pairs = Arc::new(batch.pairs.clone());
+
+    let (addr, handle) = Server::spawn(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        batch_threads,
+        conn_workers: CLIENTS + 2,
+        sem_cache_capacity: 4096,
+        ..Default::default()
+    })
+    .expect("spawn service");
+    let mut admin = Client::connect(addr).expect("connect admin client");
+    admin
+        .register("load", &program_src)
+        .expect("register workload session");
+
+    let mut table = Table::new(&[
+        "pass",
+        "clients",
+        "requests",
+        "elapsed ms",
+        "req/s",
+        "cache hits",
+    ]);
+    let mut rows = Vec::new();
+    let mut hits_before = 0u64;
+    let mut warm_req_s = 0f64;
+    let mut cold_req_s = 0f64;
+    for pass in ["cold", "warm"] {
+        let (elapsed, sent) = run_pass(addr, &names, &pairs);
+        let stats = admin.stats().expect("stats");
+        let hits_total = stats["semantic_cache"]["hits"].as_u64().unwrap_or(0);
+        let hits = hits_total - hits_before;
+        hits_before = hits_total;
+        let req_s = sent as f64 / elapsed.max(1e-9);
+        if pass == "cold" {
+            cold_req_s = req_s;
+        } else {
+            warm_req_s = req_s;
+        }
+        table.rowd(&[
+            pass.to_string(),
+            CLIENTS.to_string(),
+            sent.to_string(),
+            format!("{:.1}", elapsed * 1e3),
+            format!("{req_s:.0}"),
+            hits.to_string(),
+        ]);
+        let mut row = Map::new();
+        row.insert("pass".into(), Value::from(pass));
+        row.insert("requests".into(), Value::from(sent));
+        row.insert(
+            "elapsed_ms".into(),
+            Value::from((elapsed * 1e4).round() / 10.0),
+        );
+        row.insert("req_per_sec".into(), Value::from(req_s.round()));
+        row.insert("cache_hits".into(), Value::from(hits));
+        rows.push(Value::Object(row));
+    }
+
+    let stats = admin.stats().expect("final stats");
+    let check_p50 = stats["endpoints"]["check"]["p50_us"].as_u64().unwrap_or(0);
+    let check_p99 = stats["endpoints"]["check"]["p99_us"].as_u64().unwrap_or(0);
+    let sem = &stats["semantic_cache"];
+    let (hits, misses) = (
+        sem["hits"].as_u64().unwrap_or(0),
+        sem["misses"].as_u64().unwrap_or(0),
+    );
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let coalesced = stats["batching"]["coalesced_items"].as_u64().unwrap_or(0);
+    println!("{}", table.render());
+    println!(
+        "server batch threads: {batch_threads}   check p50: {check_p50} µs   p99: {check_p99} µs"
+    );
+    println!(
+        "semantic cache: {hits} hits / {misses} misses ({:.0}% hit rate)   coalesced in-flight: {coalesced}",
+        hit_rate * 100.0
+    );
+    println!(
+        "warm/cold throughput: {:.1}x",
+        warm_req_s / cold_req_s.max(1e-9)
+    );
+
+    admin.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server run");
+
+    ExperimentOutput {
+        id: "e15",
+        title: "service load generator (throughput, latency, semantic-cache effect)",
+        json: json!({
+            "batch_threads": batch_threads,
+            "clients": CLIENTS,
+            "pairs": PAIRS,
+            "pool": POOL,
+            "check_p50_us": check_p50,
+            "check_p99_us": check_p99,
+            "cache_hit_rate": (hit_rate * 1000.0).round() / 1000.0,
+            "coalesced_items": coalesced,
+            "warm_over_cold_speedup": ((warm_req_s / cold_req_s.max(1e-9)) * 100.0).round() / 100.0,
+            "rows": Value::Array(rows),
+        }),
+    }
+}

@@ -17,6 +17,7 @@ pub mod e11_lemmas;
 pub mod e12_qstar;
 pub mod e13_vardi;
 pub mod e14_throughput;
+pub mod e15_service;
 
 use serde_json::Value;
 
@@ -33,13 +34,16 @@ pub struct ExperimentOutput {
 /// Runs one experiment by id with the default chase budget. Returns
 /// `None` for unknown ids.
 pub fn run(id: &str) -> Option<ExperimentOutput> {
-    run_with(id, ChaseBudget::default())
+    run_with(id, ChaseBudget::default(), None)
 }
 
 /// Runs one experiment by id, passing `budget` to the chase-driven
 /// experiments (settable from the CLI via `--max-steps` /
-/// `--max-conjuncts`). Returns `None` for unknown ids.
-pub fn run_with(id: &str, budget: ChaseBudget) -> Option<ExperimentOutput> {
+/// `--max-conjuncts`) and `threads` (the `--threads` flag) to the
+/// thread-count-driven ones: E14 sweeps `{1, threads}` instead of its
+/// default `{1, 2, 4}`, and E15 runs its service with that many batch
+/// workers. Returns `None` for unknown ids.
+pub fn run_with(id: &str, budget: ChaseBudget, threads: Option<usize>) -> Option<ExperimentOutput> {
     match id {
         "e1" => Some(e01_figure1::run(budget)),
         "e2" => Some(e02_intro::run()),
@@ -54,12 +58,13 @@ pub fn run_with(id: &str, budget: ChaseBudget) -> Option<ExperimentOutput> {
         "e11" => Some(e11_lemmas::run(budget)),
         "e12" => Some(e12_qstar::run(budget)),
         "e13" => Some(e13_vardi::run()),
-        "e14" => Some(e14_throughput::run(budget)),
+        "e14" => Some(e14_throughput::run(budget, threads)),
+        "e15" => Some(e15_service::run(threads)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];

@@ -1,10 +1,13 @@
 //! # cqchase-bench — experiment harness
 //!
-//! One module per experiment (E1–E12), each regenerating a figure,
-//! worked example or theorem-shaped claim of Johnson & Klug (PODS 1982).
-//! The `experiments` binary drives them; `EXPERIMENTS.md` records the
-//! outputs. Criterion microbenchmarks live under `benches/`.
+//! One module per experiment (E1–E13 regenerate figures, worked
+//! examples and theorem-shaped claims of Johnson & Klug (PODS 1982);
+//! E14 drives the parallel batch engines, E15 load-tests the resident
+//! service). The `experiments` binary drives them; `EXPERIMENTS.md`
+//! records the outputs. Criterion microbenchmarks live under
+//! `benches/`.
 
 pub mod exp;
+pub mod service_workload;
 pub mod table;
 pub mod util;

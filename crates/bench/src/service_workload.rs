@@ -1,0 +1,40 @@
+//! The deterministic service benchmark workload, shared by the
+//! `bench_service` baseline recorder and the `bench_gate` re-measurer
+//! so both sides of a gate comparison run the identical request
+//! sequence (the cache hit rate is only comparable when the sequences
+//! match exactly).
+
+use cqchase_workload::{successor_containment_batch, ContainmentBatch};
+
+use crate::exp::e15_service::render_service_program;
+
+/// Workload seed (pairs sequence).
+pub const SEED: u64 = 13;
+/// Query pool size.
+pub const POOL: usize = 12;
+/// Number of containment pairs per pass.
+pub const PAIRS: usize = 256;
+/// Ground facts in the registered program.
+pub const FACTS: usize = 64;
+
+/// The rendered program plus the request sequence.
+pub struct ServiceWorkload {
+    /// The underlying batch (schema, pool, pairs).
+    pub batch: ContainmentBatch,
+    /// Program text for the `register` request.
+    pub program_src: String,
+    /// Query names, indexed like `batch.queries`.
+    pub names: Vec<String>,
+}
+
+/// Builds the canonical service benchmark workload.
+pub fn service_workload() -> ServiceWorkload {
+    let batch = successor_containment_batch(SEED, POOL, PAIRS);
+    let program_src = render_service_program(&batch.program, &batch.queries, FACTS);
+    let names = batch.queries.iter().map(|q| q.name.clone()).collect();
+    ServiceWorkload {
+        batch,
+        program_src,
+        names,
+    }
+}

@@ -9,7 +9,9 @@
 //! isomorphism, which makes it a canonical form for dependency-free
 //! equivalence.
 
-use cqchase_index::FxHashMap;
+use std::hash::{Hash, Hasher};
+
+use cqchase_index::{FxHashMap, FxHasher};
 use cqchase_ir::{Catalog, ConjunctiveQuery, DependencySet, Term, VarId};
 
 use crate::containment::{ContainmentEngineError, ContainmentOptions};
@@ -95,6 +97,80 @@ pub fn is_isomorphic(a: &ConjunctiveQuery, b: &ConjunctiveQuery) -> bool {
     }
     let mut used = vec![false; b.atoms.len()];
     search(a, b, 0, &mut used, &mut fwd, &mut bwd)
+}
+
+/// A 64-bit key *invariant under isomorphism*: renaming variables or
+/// reordering atoms never changes a query's key, so isomorphic queries
+/// always collide. The converse does not hold — distinct queries can
+/// share a key (it is a hash) — so callers bucketing by `iso_key` must
+/// confirm candidates with [`is_isomorphic`] before treating them as
+/// equal. That is exactly how the `cqchase-service` semantic cache uses
+/// it: a key collision costs one extra exact check, never a wrong
+/// answer.
+///
+/// Construction: each variable gets a signature from its (sorted)
+/// occurrence profile — the multiset of `(relation, column)` slots it
+/// fills, head slots tagged specially — then atoms hash positionally
+/// over constant values and variable signatures, the atom hashes are
+/// sorted (order-invariance), and the summary row is hashed
+/// positionally on top.
+pub fn iso_key(q: &ConjunctiveQuery) -> u64 {
+    /// Tag for head occurrences in a variable's profile (no relation id
+    /// collides with it).
+    const HEAD_REL: u64 = u64::MAX;
+    let mut occ: Vec<Vec<(u64, u64)>> = vec![Vec::new(); q.vars.len()];
+    for atom in &q.atoms {
+        for (col, t) in atom.terms.iter().enumerate() {
+            if let Term::Var(v) = t {
+                occ[v.index()].push((u64::from(atom.relation.0), col as u64));
+            }
+        }
+    }
+    for (col, t) in q.head.iter().enumerate() {
+        if let Term::Var(v) = t {
+            occ[v.index()].push((HEAD_REL, col as u64));
+        }
+    }
+    let var_sig: Vec<u64> = occ
+        .into_iter()
+        .map(|mut profile| {
+            profile.sort_unstable();
+            let mut h = FxHasher::default();
+            profile.hash(&mut h);
+            h.finish()
+        })
+        .collect();
+    let hash_terms = |terms: &[Term], h: &mut FxHasher| {
+        for t in terms {
+            match t {
+                Term::Var(v) => {
+                    h.write_u8(0);
+                    h.write_u64(var_sig[v.index()]);
+                }
+                Term::Const(c) => {
+                    h.write_u8(1);
+                    c.hash(h);
+                }
+            }
+        }
+    };
+    let mut atom_hashes: Vec<u64> = q
+        .atoms
+        .iter()
+        .map(|atom| {
+            let mut h = FxHasher::default();
+            atom.relation.0.hash(&mut h);
+            hash_terms(&atom.terms, &mut h);
+            h.finish()
+        })
+        .collect();
+    atom_hashes.sort_unstable();
+    let mut h = FxHasher::default();
+    h.write_usize(q.atoms.len());
+    h.write_usize(q.head.len());
+    atom_hashes.hash(&mut h);
+    hash_terms(&q.head, &mut h);
+    h.finish()
 }
 
 /// The Chandra–Merlin core: the minimal Σ-free equivalent subquery
@@ -218,6 +294,46 @@ mod tests {
         let c2 = cm_core(p.query("Q2").unwrap(), &p.catalog).unwrap();
         assert_eq!(c1.num_atoms(), 1);
         assert!(is_isomorphic(&c1, &c2));
+    }
+
+    #[test]
+    fn iso_key_invariant_under_renaming_and_reordering() {
+        let p = parse_program(
+            "relation R(a, b). relation S(a).
+             Q1(x) :- R(x, y), S(y), R(y, x).
+             Q2(u) :- S(w), R(w, u), R(u, w).
+             Q3(x) :- R(x, y), S(x), R(y, x).",
+        )
+        .unwrap();
+        // Q2 is Q1 renamed + reordered; Q3 differs (S applied to the DV).
+        assert_eq!(
+            iso_key(p.query("Q1").unwrap()),
+            iso_key(p.query("Q2").unwrap())
+        );
+        assert_ne!(
+            iso_key(p.query("Q1").unwrap()),
+            iso_key(p.query("Q3").unwrap())
+        );
+        assert!(is_isomorphic(
+            p.query("Q1").unwrap(),
+            p.query("Q2").unwrap()
+        ));
+    }
+
+    #[test]
+    fn iso_key_distinguishes_heads_and_constants() {
+        let p = parse_program(
+            "relation R(a, b).
+             Q1(x) :- R(x, y).
+             Q2(y2) :- R(x2, y2).
+             Q3(x) :- R(x, 1).
+             Q4(x) :- R(x, 2).",
+        )
+        .unwrap();
+        let keys: Vec<u64> = p.queries.iter().map(iso_key).collect();
+        assert_ne!(keys[0], keys[1], "head position matters");
+        assert_ne!(keys[2], keys[3], "constant values matter");
+        assert_ne!(keys[0], keys[2], "const vs var matters");
     }
 
     #[test]

@@ -39,5 +39,5 @@ pub use containment::{
     ContainmentOptions, ContainmentPair,
 };
 pub use hom::{find_query_hom, render_chase_witness, ChaseHomFinder, Homomorphism};
-pub use isomorphism::{cm_core, is_isomorphic};
+pub use isomorphism::{cm_core, is_isomorphic, iso_key};
 pub use minimize::{is_minimal, minimize};

@@ -67,12 +67,14 @@ pub fn query_key(q: &ConjunctiveQuery) -> QueryKey {
 
 /// One memoized plan plus the exact structure it was compiled from
 /// (the collision guard — a [`QueryKey`] hash match alone is not
-/// proof of structural equality).
+/// proof of structural equality) and its last-use tick for LRU
+/// eviction.
 #[derive(Debug)]
 struct CachedPlan {
     atoms: Vec<Atom>,
     head: Vec<Term>,
     plan: Option<CompiledQuery>,
+    last_used: u64,
 }
 
 /// A memo table `query structure → compiled plan` for one fact source.
@@ -84,17 +86,39 @@ struct CachedPlan {
 /// `None` values are cached too: a query whose constants are absent from
 /// the source compiles to "unsatisfiable" and stays unsatisfiable for as
 /// long as the cache is valid.
+///
+/// A cache built with [`PlanCache::with_capacity`] is **bounded**: once
+/// it holds `capacity` plans, inserting another evicts the
+/// least-recently-used entry first. Eviction only ever discards memoized
+/// work — an evicted query simply recompiles on next sight — so bounded
+/// and unbounded caches return identical plans. Long-running processes
+/// (the `cqchase-service` server keeps one cache per session, forever)
+/// should always bound their caches.
 #[derive(Debug, Default)]
 pub struct PlanCache {
     plans: FxHashMap<QueryKey, Vec<CachedPlan>>,
+    capacity: Option<usize>,
+    tick: u64,
+    len: usize,
     hits: usize,
     misses: usize,
+    evictions: usize,
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> PlanCache {
         PlanCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` plans (LRU eviction
+    /// beyond that). A zero capacity caches nothing — every lookup
+    /// compiles.
+    pub fn with_capacity(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: Some(capacity),
+            ..PlanCache::default()
+        }
     }
 
     /// The plan for `q` against `src`, compiling on first sight.
@@ -105,26 +129,87 @@ impl PlanCache {
         q: &ConjunctiveQuery,
         src: &impl FactSource,
     ) -> Option<&CompiledQuery> {
+        if self.capacity == Some(0) {
+            // Degenerate bound: no memoization at all. Compile into a
+            // one-slot scratch bucket so the borrow can be returned.
+            self.misses += 1;
+            self.plans.clear();
+            let bucket = self.plans.entry(query_key(q)).or_default();
+            bucket.push(CachedPlan {
+                atoms: Vec::new(),
+                head: Vec::new(),
+                plan: compile(q, src),
+                last_used: 0,
+            });
+            return bucket.last().expect("just pushed").plan.as_ref();
+        }
+        self.tick += 1;
+        let tick = self.tick;
         let key = query_key(q);
-        let bucket = self.plans.entry(key).or_default();
-        match bucket
-            .iter()
-            .position(|c| c.atoms == q.atoms && c.head == q.head)
-        {
-            Some(i) => {
-                self.hits += 1;
-                bucket[i].plan.as_ref()
+        let hit = {
+            let bucket = self.plans.entry(key).or_default();
+            match bucket
+                .iter()
+                .position(|c| c.atoms == q.atoms && c.head == q.head)
+            {
+                Some(i) => {
+                    bucket[i].last_used = tick;
+                    true
+                }
+                None => false,
             }
-            None => {
-                self.misses += 1;
-                bucket.push(CachedPlan {
-                    atoms: q.atoms.clone(),
-                    head: q.head.clone(),
-                    plan: compile(q, src),
-                });
-                bucket.last().expect("just pushed").plan.as_ref()
+        };
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            let plan = compile(q, src);
+            self.plans.entry(key).or_default().push(CachedPlan {
+                atoms: q.atoms.clone(),
+                head: q.head.clone(),
+                plan,
+                last_used: tick,
+            });
+            self.len += 1;
+            if let Some(cap) = self.capacity {
+                if self.len > cap {
+                    self.evict_lru(key);
+                }
             }
         }
+        self.plans
+            .get(&key)
+            .expect("the bucket queried or inserted into still exists")
+            .iter()
+            .find(|c| c.atoms == q.atoms && c.head == q.head)
+            .expect("the just-touched entry is never the LRU victim")
+            .plan
+            .as_ref()
+    }
+
+    /// Evicts the least-recently-used plan. `keep` names the bucket of
+    /// the entry inserted this tick, which by construction has the
+    /// newest `last_used` and is therefore never chosen.
+    fn evict_lru(&mut self, keep: QueryKey) {
+        let victim_key = self
+            .plans
+            .iter()
+            .flat_map(|(k, bucket)| bucket.iter().map(|c| (c.last_used, *k)))
+            .min_by_key(|&(tick, _)| tick);
+        let Some((victim_tick, key)) = victim_key else {
+            return;
+        };
+        let bucket = self.plans.get_mut(&key).expect("victim bucket exists");
+        let pos = bucket
+            .iter()
+            .position(|c| c.last_used == victim_tick)
+            .expect("victim entry exists");
+        bucket.remove(pos);
+        if bucket.is_empty() && key != keep {
+            self.plans.remove(&key);
+        }
+        self.len -= 1;
+        self.evictions += 1;
     }
 
     /// Number of cache hits so far.
@@ -137,8 +222,21 @@ impl PlanCache {
         self.misses
     }
 
+    /// Number of plans evicted by the capacity bound so far.
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// The capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
     /// Number of distinct plans held.
     pub fn len(&self) -> usize {
+        if self.capacity == Some(0) {
+            return 0;
+        }
         self.plans.values().map(Vec::len).sum()
     }
 
@@ -150,6 +248,7 @@ impl PlanCache {
     /// Drops every cached plan (for when the source is rebuilt).
     pub fn clear(&mut self) {
         self.plans.clear();
+        self.len = 0;
     }
 }
 
@@ -240,6 +339,97 @@ mod tests {
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.len(), 2);
         cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    /// Runs a plan against the toy source and collects the bound rows —
+    /// the observable behavior eviction must not change.
+    fn rows_via(cache: &mut PlanCache, q: &cqchase_ir::ConjunctiveQuery, src: &Toy) -> Vec<u32> {
+        let mut rows = Vec::new();
+        match cache.get_or_compile(q, src) {
+            None => {}
+            Some(plan) => {
+                crate::engine::join(src, plan, vec![None; plan.num_vars], |_, picked| {
+                    rows.extend_from_slice(picked);
+                    false
+                });
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn eviction_preserves_correctness() {
+        let p = parse_program(
+            "relation R(a, b).
+             Q1(x) :- R(x, y).
+             Q2(x) :- R(y, x).
+             Q3(x, y) :- R(x, y).
+             Qc(x) :- R(x, 99).",
+        )
+        .unwrap();
+        let src = toy();
+
+        // Reference answers from an unbounded cache.
+        let mut unbounded = PlanCache::new();
+        let want: Vec<Vec<u32>> = p
+            .queries
+            .iter()
+            .map(|q| rows_via(&mut unbounded, q, &src))
+            .collect();
+
+        // A 2-plan cache cycling through 4 queries evicts constantly;
+        // every answer must still match the unbounded cache's.
+        let mut bounded = PlanCache::with_capacity(2);
+        for round in 0..3 {
+            for (q, w) in p.queries.iter().zip(&want) {
+                assert_eq!(rows_via(&mut bounded, q, &src), *w, "round {round}");
+                assert!(bounded.len() <= 2, "capacity respected");
+            }
+        }
+        assert!(bounded.evictions() > 0, "the bound actually evicted");
+        assert_eq!(bounded.capacity(), Some(2));
+        // Unsatisfiable plans (`None`) survive eviction/recompile too.
+        assert!(bounded
+            .get_or_compile(p.query("Qc").unwrap(), &src)
+            .is_none());
+    }
+
+    #[test]
+    fn lru_discipline_keeps_hot_entries() {
+        let p = parse_program(
+            "relation R(a, b).
+             Q1(x) :- R(x, y).
+             Q2(x) :- R(y, x).
+             Q3(x, y) :- R(x, y).",
+        )
+        .unwrap();
+        let src = toy();
+        let mut cache = PlanCache::with_capacity(2);
+        let (q1, q2, q3) = (&p.queries[0], &p.queries[1], &p.queries[2]);
+        cache.get_or_compile(q1, &src); // miss
+        cache.get_or_compile(q2, &src); // miss
+        cache.get_or_compile(q1, &src); // hit — q1 becomes most recent
+        cache.get_or_compile(q3, &src); // miss — evicts q2 (the LRU)
+        let hits_before = cache.hits();
+        cache.get_or_compile(q1, &src); // still cached
+        assert_eq!(cache.hits(), hits_before + 1);
+        let misses_before = cache.misses();
+        cache.get_or_compile(q2, &src); // was evicted — recompiles
+        assert_eq!(cache.misses(), misses_before + 1);
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_never_caches() {
+        let p = parse_program("relation R(a, b). Q(x) :- R(x, y).").unwrap();
+        let src = toy();
+        let mut cache = PlanCache::with_capacity(0);
+        for _ in 0..3 {
+            assert!(cache.get_or_compile(&p.queries[0], &src).is_some());
+        }
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 3);
         assert!(cache.is_empty());
     }
 }

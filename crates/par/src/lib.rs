@@ -10,8 +10,10 @@
 //! * [`pool`] — the hand-rolled executor: scoped `std::thread` workers
 //!   that self-schedule chunks off a shared atomic injector (the
 //!   work-stealing discipline collapsed to its single-producer core),
-//!   results reassembled in order over an `mpsc` channel. No external
-//!   crates — the build container is offline;
+//!   results reassembled in order over an `mpsc` channel, plus a
+//!   persistent [`ThreadPool`] for `'static` jobs (resident servers —
+//!   `cqchase-service` — own their workers for the process lifetime).
+//!   No external crates — the build container is offline;
 //! * [`containment::check_batch`] — parallel
 //!   [`cqchase_core::check_batch`], parallelized over chase groups so
 //!   the sequential engine's chase sharing is preserved;
@@ -33,4 +35,4 @@ pub mod pool;
 
 pub use containment::check_batch;
 pub use eval::{evaluate_batch, evaluate_batch_indexed};
-pub use pool::{default_threads, map_with, parallel_map, BatchOptions};
+pub use pool::{default_threads, map_with, parallel_map, BatchOptions, ThreadPool};

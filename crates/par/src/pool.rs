@@ -19,7 +19,8 @@
 //! default splits the batch so each worker expects ~4 chunks.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::channel;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 /// Number of worker threads to use by default: the hardware's available
@@ -136,6 +137,96 @@ where
         .collect()
 }
 
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool for `'static` jobs — the long-running
+/// counterpart of [`map_with`]'s scoped batch workers.
+///
+/// [`map_with`] spawns scoped threads per batch, which is right for a
+/// one-shot computation but wrong for a resident server: a process that
+/// lives for days should own its worker threads once and feed them work
+/// forever. `cqchase-service` runs one `ThreadPool` for connection
+/// handling; anything needing fire-and-forget concurrency with a
+/// bounded thread count can use it.
+///
+/// Jobs are boxed closures delivered over an mpsc channel whose
+/// receiving end is shared (mutexed) by the workers — idle workers
+/// self-schedule exactly like the batch executor's chunk stealing.
+/// Dropping the pool disconnects the channel and joins every worker, so
+/// shutdown is graceful: queued and in-flight jobs finish first.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// A pool of `workers` threads (at least one).
+    pub fn new(workers: usize) -> ThreadPool {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                thread::spawn(move || loop {
+                    // Hold the lock only for the dequeue, not the job.
+                    let job = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => break, // a job panicked holding the lock
+                    };
+                    match job {
+                        // A panicking job must not kill the worker: a
+                        // long-running server's pool would otherwise
+                        // shrink with every panic until nothing serves.
+                        Ok(job) => {
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        }
+                        Err(_) => break, // pool dropped: drain complete
+                    }
+                })
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// Enqueues a job. Some idle worker (or the next one to free up)
+    /// runs it; there is no result channel — send results through your
+    /// own channel if you need them back.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("sender lives until drop")
+            .send(Box::new(job))
+            .expect("workers live until drop");
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Disconnect, then join: workers drain the queue and exit.
+        drop(self.tx.take());
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +264,63 @@ mod tests {
     fn empty_and_tiny_batches() {
         assert!(parallel_map(0, BatchOptions::with_threads(4), |i| i).is_empty());
         assert_eq!(parallel_map(1, BatchOptions::with_threads(4), |i| i), [0]);
+    }
+
+    #[test]
+    fn thread_pool_runs_every_job() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        let (tx, rx) = channel();
+        for i in 0..50usize {
+            let tx = tx.clone();
+            pool.execute(move || {
+                let _ = tx.send(i * 2);
+            });
+        }
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        let want: Vec<usize> = (0..50).map(|i| i * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn thread_pool_drop_drains_queue() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..20 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Drop joins the workers after the queue drains.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn thread_pool_survives_panicking_jobs() {
+        // One worker: if a panic killed it, the second job would never
+        // run and recv would block forever (test would time out).
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("deliberate test panic"));
+        let (tx, rx) = channel();
+        pool.execute(move || {
+            let _ = tx.send(41);
+        });
+        assert_eq!(rx.recv().unwrap(), 41);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let (tx, rx) = channel();
+        pool.execute(move || {
+            let _ = tx.send(7usize);
+        });
+        assert_eq!(rx.recv().unwrap(), 7);
     }
 }

@@ -1,0 +1,584 @@
+//! The admission/batching queue: concurrent requests coalesce into
+//! batches that run through `cqchase-par`'s batch engines.
+//!
+//! Connection threads do not run containment or evaluation themselves.
+//! They [`submit`](Batcher::submit) work and block on a result channel;
+//! a submitter that finds no batch in flight becomes the **leader**,
+//! drains everything queued, runs it as one batch, and answers every
+//! waiter (admission windows form naturally under load: requests
+//! arriving while a batch runs ride the next one). Leadership is
+//! bounded — after [`MAX_LEADER_ROUNDS`] rounds the leader hands back,
+//! and any still-unanswered waiter promotes itself within one poll
+//! tick, so no single client is starved and a crashed leader cannot
+//! wedge the queue. This shape gives three things a thread-per-request
+//! design cannot:
+//!
+//! * **chase sharing** — checks with the same left query in one batch
+//!   reuse one chase (the batch engines' contract);
+//! * **coalescing** — identical in-flight requests (same session, same
+//!   query indices) run once and fan the answer out;
+//! * **bounded compute concurrency** — one batch runs at a time, on
+//!   [`check_batch`](cqchase_par::check_batch)'s worker threads, no
+//!   matter how many connections are open.
+//!
+//! The semantic cache is consulted *before* enqueueing (a hit never
+//! touches the queue) and filled by the leader after computing, so
+//! every isomorphism class is computed at most once per cache
+//! residency.
+
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+
+use cqchase_core::ContainmentPair;
+use cqchase_index::FxHashMap;
+use cqchase_par::BatchOptions;
+use cqchase_storage::Tuple;
+use serde_json::Value;
+
+use crate::metrics::Metrics;
+use crate::proto::CheckSummary;
+use crate::session::Session;
+
+/// One unit of submitted work.
+#[derive(Debug, Clone)]
+pub enum Work {
+    /// `Σ ⊨ queries[q] ⊆∞ queries[q_prime]` in `session`.
+    Check {
+        /// The session the queries are registered in.
+        session: Arc<Session>,
+        /// Contained-side query index.
+        q: usize,
+        /// Containing-side query index.
+        q_prime: usize,
+    },
+    /// Evaluate `queries[q]` over `session`'s facts.
+    Eval {
+        /// The session the query is registered in.
+        session: Arc<Session>,
+        /// Query index.
+        q: usize,
+    },
+}
+
+/// The answer to one unit of work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A containment answer (or a per-pair engine error).
+    Check {
+        /// The decision fields, or the engine error message.
+        summary: Result<CheckSummary, String>,
+        /// Answered from the semantic cache without computing.
+        cached: bool,
+        /// Answered by riding an identical in-flight request.
+        coalesced: bool,
+    },
+    /// Evaluation rows (sorted, deterministic).
+    Eval {
+        /// The result tuples.
+        rows: Vec<Tuple>,
+        /// Answered by riding an identical in-flight request.
+        coalesced: bool,
+    },
+}
+
+struct Pending {
+    work: Work,
+    tx: Sender<Outcome>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    pending: Vec<Pending>,
+    leader_running: bool,
+}
+
+/// How long a waiter sleeps before re-checking whether it should
+/// promote itself to leader (the normal wake-up is its result arriving,
+/// which is immediate).
+const LEADER_POLL: std::time::Duration = std::time::Duration::from_millis(50);
+
+/// Drain rounds one leader runs before handing leadership back, so a
+/// leader's own client is not starved by other clients refilling the
+/// queue indefinitely.
+const MAX_LEADER_ROUNDS: usize = 8;
+
+/// Unwinding safety for the leader: if `run_batch` panics (an engine
+/// invariant violated), the armed guard releases leadership and drops
+/// every still-queued sender, so waiters observe a disconnect and fail
+/// their one request instead of hanging forever — the queue stays
+/// usable for every subsequent request.
+struct LeaderGuard<'a> {
+    state: &'a Mutex<QueueState>,
+    armed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Never panic in a Drop that can run during unwinding: recover
+        // the state even from a poisoned lock.
+        let orphans = {
+            let mut state = self
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.leader_running = false;
+            std::mem::take(&mut state.pending)
+        };
+        // Dropping the senders disconnects the waiters' channels.
+        drop(orphans);
+    }
+}
+
+/// The admission queue. One per server; see the module docs.
+pub struct Batcher {
+    state: Mutex<QueueState>,
+    threads: usize,
+    metrics: Arc<Metrics>,
+}
+
+impl std::fmt::Debug for Batcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batcher")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Batcher {
+    /// A queue whose batches run on `threads` worker threads.
+    pub fn new(threads: usize, metrics: Arc<Metrics>) -> Batcher {
+        Batcher {
+            state: Mutex::new(QueueState::default()),
+            threads: threads.max(1),
+            metrics,
+        }
+    }
+
+    /// Submits one unit of work and blocks until its outcome is ready.
+    ///
+    /// Checks are first tried against the session's semantic cache; a
+    /// hit returns immediately. Otherwise the work is enqueued and the
+    /// calling thread alternates between waiting for a leader to answer
+    /// it and — whenever no leader is running — taking leadership
+    /// itself. Leadership is bounded to [`MAX_LEADER_ROUNDS`] drain
+    /// rounds, then handed back (a waiter promotes itself within one
+    /// poll tick), so one leader's client is never starved by a
+    /// sustained stream of other clients' requests. Returns `Err` only
+    /// if a leader panicked while holding this item (the engine's
+    /// invariants were violated); the queue itself recovers — see
+    /// [`LeaderGuard`].
+    pub fn submit(&self, work: Work) -> Result<Outcome, String> {
+        if let Work::Check {
+            session,
+            q,
+            q_prime,
+        } = &work
+        {
+            let hit = {
+                let mut cache = session.sem_cache.lock().expect("semantic cache lock");
+                cache.lookup(session.sigma_fp, session.query(*q), session.query(*q_prime))
+            };
+            if let Some(summary) = hit {
+                return Ok(Outcome::Check {
+                    summary: Ok(summary),
+                    cached: true,
+                    coalesced: false,
+                });
+            }
+        }
+
+        let (tx, rx) = channel();
+        {
+            let mut state = self.state.lock().expect("queue lock");
+            state.pending.push(Pending { work, tx });
+        }
+        loop {
+            let lead = {
+                let mut state = self.state.lock().expect("queue lock");
+                if !state.leader_running && !state.pending.is_empty() {
+                    state.leader_running = true;
+                    true
+                } else {
+                    false
+                }
+            };
+            if lead {
+                self.drain();
+            }
+            match rx.recv_timeout(LEADER_POLL) {
+                Ok(outcome) => return Ok(outcome),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(
+                        "internal error: the batch leader failed while holding this \
+                         request; please retry"
+                            .into(),
+                    )
+                }
+            }
+        }
+    }
+
+    /// Leads for up to [`MAX_LEADER_ROUNDS`] drain rounds, then
+    /// releases leadership (leftover work is picked up by a waiting
+    /// submitter's next poll tick or the next fresh submit).
+    fn drain(&self) {
+        let mut guard = LeaderGuard {
+            state: &self.state,
+            armed: true,
+        };
+        for _ in 0..MAX_LEADER_ROUNDS {
+            let batch = {
+                let mut state = self.state.lock().expect("queue lock");
+                if state.pending.is_empty() {
+                    break;
+                }
+                std::mem::take(&mut state.pending)
+            };
+            self.run_batch(batch);
+        }
+        let mut state = self.state.lock().expect("queue lock");
+        state.leader_running = false;
+        guard.armed = false;
+    }
+
+    /// Runs one drained batch: group per session, coalesce identical
+    /// items, run the batch engines, fan answers out.
+    fn run_batch(&self, batch: Vec<Pending>) {
+        use std::sync::atomic::Ordering;
+        self.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .batched_items
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        // Group by (session identity, kind), preserving arrival order.
+        struct Group {
+            session: Arc<Session>,
+            checks: Vec<(usize, usize, Sender<Outcome>)>,
+            evals: Vec<(usize, Sender<Outcome>)>,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        for p in batch {
+            let session = match &p.work {
+                Work::Check { session, .. } | Work::Eval { session, .. } => Arc::clone(session),
+            };
+            let slot = match groups
+                .iter_mut()
+                .find(|g| Arc::ptr_eq(&g.session, &session))
+            {
+                Some(g) => g,
+                None => {
+                    groups.push(Group {
+                        session,
+                        checks: Vec::new(),
+                        evals: Vec::new(),
+                    });
+                    groups.last_mut().expect("just pushed")
+                }
+            };
+            match p.work {
+                Work::Check { q, q_prime, .. } => slot.checks.push((q, q_prime, p.tx)),
+                Work::Eval { q, .. } => slot.evals.push((q, p.tx)),
+            }
+        }
+
+        for group in groups {
+            self.run_checks(&group.session, group.checks);
+            self.run_evals(&group.session, group.evals);
+        }
+    }
+
+    fn run_checks(&self, session: &Session, checks: Vec<(usize, usize, Sender<Outcome>)>) {
+        use std::sync::atomic::Ordering;
+        if checks.is_empty() {
+            return;
+        }
+        // Coalesce identical pairs: one computation, many answers.
+        let mut unique: Vec<ContainmentPair> = Vec::new();
+        let mut waiters: FxHashMap<(usize, usize), Vec<Sender<Outcome>>> = FxHashMap::default();
+        for (q, q_prime, tx) in checks {
+            let entry = waiters.entry((q, q_prime)).or_default();
+            if entry.is_empty() {
+                unique.push(ContainmentPair { q, q_prime });
+            } else {
+                self.metrics.coalesced_items.fetch_add(1, Ordering::Relaxed);
+            }
+            entry.push(tx);
+        }
+
+        let answers = cqchase_par::check_batch(
+            &session.program.queries,
+            &unique,
+            &session.program.deps,
+            &session.program.catalog,
+            &session.opts,
+            BatchOptions::with_threads(self.threads),
+        );
+
+        for (pair, answer) in unique.iter().zip(answers) {
+            let summary = match answer {
+                Ok(a) => {
+                    let s = CheckSummary {
+                        contained: a.contained,
+                        exact: a.exact,
+                        empty_chase: a.empty_chase,
+                        class: session.class_name.clone(),
+                        bound: a.bound,
+                    };
+                    let mut cache = session.sem_cache.lock().expect("semantic cache lock");
+                    cache.insert(
+                        session.sigma_fp,
+                        session.query(pair.q),
+                        session.query(pair.q_prime),
+                        s.clone(),
+                    );
+                    Ok(s)
+                }
+                Err(e) => Err(e.to_string()),
+            };
+            let txs = waiters
+                .remove(&(pair.q, pair.q_prime))
+                .expect("every unique pair has waiters");
+            for (i, tx) in txs.into_iter().enumerate() {
+                // A waiter that hung up (connection died) is not an
+                // error worth surfacing.
+                let _ = tx.send(Outcome::Check {
+                    summary: summary.clone(),
+                    cached: false,
+                    coalesced: i > 0,
+                });
+            }
+        }
+    }
+
+    fn run_evals(&self, session: &Session, evals: Vec<(usize, Sender<Outcome>)>) {
+        use std::sync::atomic::Ordering;
+        if evals.is_empty() {
+            return;
+        }
+        let mut waiters: FxHashMap<usize, Vec<Sender<Outcome>>> = FxHashMap::default();
+        let mut unique: Vec<usize> = Vec::new();
+        for (q, tx) in evals {
+            let entry = waiters.entry(q).or_default();
+            if entry.is_empty() {
+                unique.push(q);
+            } else {
+                self.metrics.coalesced_items.fetch_add(1, Ordering::Relaxed);
+            }
+            entry.push(tx);
+        }
+        for q in unique {
+            let rows = session.eval(q);
+            let txs = waiters.remove(&q).expect("every unique query has waiters");
+            for (i, tx) in txs.into_iter().enumerate() {
+                let _ = tx.send(Outcome::Eval {
+                    rows: rows.clone(),
+                    coalesced: i > 0,
+                });
+            }
+        }
+    }
+}
+
+/// Renders evaluation rows for the wire: each row an array of rendered
+/// values (constants print as themselves, labelled nulls as `⊥n`).
+pub fn rows_to_value(rows: &[Tuple]) -> Value {
+    Value::Array(
+        rows.iter()
+            .map(|row| Value::Array(row.iter().map(|v| Value::from(v.to_string())).collect()))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_session() -> Arc<Session> {
+        Arc::new(
+            Session::new(
+                "t",
+                "relation R(a, b).
+                 ind R[2] <= R[1].
+                 A(x) :- R(x, y).
+                 B(x) :- R(x, y), R(y, z).
+                 Biso(u) :- R(u, w), R(w, v).
+                 C(x) :- R(y, x).
+                 R(1, 2). R(2, 3).",
+                64,
+                64,
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn single_submit_matches_direct_engine() {
+        let s = test_session();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::new(1, Arc::clone(&metrics));
+        let out = batcher
+            .submit(Work::Check {
+                session: Arc::clone(&s),
+                q: 0,
+                q_prime: 1,
+            })
+            .unwrap();
+        let direct = cqchase_core::contained(
+            s.query(0),
+            s.query(1),
+            &s.program.deps,
+            &s.program.catalog,
+            &s.opts,
+        )
+        .unwrap();
+        match out {
+            Outcome::Check {
+                summary: Ok(sum),
+                cached,
+                coalesced,
+            } => {
+                assert_eq!(sum.contained, direct.contained);
+                assert_eq!(sum.exact, direct.exact);
+                assert_eq!(sum.bound, direct.bound);
+                assert!(!cached && !coalesced);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semantic_cache_answers_isomorphic_repeat() {
+        let s = test_session();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::new(1, Arc::clone(&metrics));
+        let first = batcher
+            .submit(Work::Check {
+                session: Arc::clone(&s),
+                q: 0,
+                q_prime: 1, // A ⊆ B
+            })
+            .unwrap();
+        // Biso (index 2) is isomorphic to B: must be a cache hit.
+        let second = batcher
+            .submit(Work::Check {
+                session: Arc::clone(&s),
+                q: 0,
+                q_prime: 2,
+            })
+            .unwrap();
+        let (
+            Outcome::Check {
+                summary: Ok(a),
+                cached: c1,
+                ..
+            },
+            Outcome::Check {
+                summary: Ok(b),
+                cached: c2,
+                ..
+            },
+        ) = (first, second)
+        else {
+            panic!("expected check outcomes");
+        };
+        assert!(!c1);
+        assert!(c2, "isomorphic repeat must hit the semantic cache");
+        assert_eq!(a, b);
+        assert_eq!(s.sem_cache.lock().unwrap().stats().hits, 1);
+    }
+
+    #[test]
+    fn eval_and_rendering() {
+        let s = test_session();
+        let batcher = Batcher::new(1, Arc::new(Metrics::new()));
+        let out = batcher
+            .submit(Work::Eval {
+                session: Arc::clone(&s),
+                q: 0,
+            })
+            .unwrap();
+        let Outcome::Eval { rows, coalesced } = out else {
+            panic!("expected eval outcome");
+        };
+        assert!(!coalesced);
+        assert_eq!(rows, cqchase_storage::evaluate(s.query(0), &s.db));
+        let rendered = rows_to_value(&rows);
+        assert_eq!(rendered[0][0], "1");
+    }
+
+    #[test]
+    fn concurrent_submits_coalesce_and_agree() {
+        let s = test_session();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Arc::new(Batcher::new(2, Arc::clone(&metrics)));
+        let mut handles = Vec::new();
+        for i in 0..8usize {
+            let batcher = Arc::clone(&batcher);
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                // Everyone asks (A ⊆ B) or (B ⊆ A) — at most 2 unique
+                // computations regardless of thread count.
+                let (q, qp) = if i % 2 == 0 { (0, 1) } else { (1, 0) };
+                batcher
+                    .submit(Work::Check {
+                        session: s,
+                        q,
+                        q_prime: qp,
+                    })
+                    .unwrap()
+            }));
+        }
+        let outcomes: Vec<Outcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, o) in outcomes.iter().enumerate() {
+            let Outcome::Check {
+                summary: Ok(sum), ..
+            } = o
+            else {
+                panic!("outcome {i} errored: {o:?}");
+            };
+            // A ⊆ B and B ⊆ A both hold under the cyclic IND.
+            assert!(sum.contained, "outcome {i}");
+        }
+        use std::sync::atomic::Ordering;
+        let computed = 8
+            - metrics.coalesced_items.load(Ordering::Relaxed)
+            - s.sem_cache.lock().unwrap().stats().hits;
+        assert!(
+            computed >= 2,
+            "both distinct questions must actually compute"
+        );
+    }
+
+    #[test]
+    fn queue_recovers_after_leader_panic() {
+        let s = test_session();
+        let batcher = Arc::new(Batcher::new(1, Arc::new(Metrics::new())));
+        let (b2, s2) = (Arc::clone(&batcher), Arc::clone(&s));
+        let poisoned = std::thread::spawn(move || {
+            // Out-of-range query index: the leader panics inside
+            // run_batch while holding leadership.
+            let _ = b2.submit(Work::Eval {
+                session: s2,
+                q: 999,
+            });
+        });
+        assert!(
+            poisoned.join().is_err(),
+            "the poison submitter's own thread panics"
+        );
+        // The LeaderGuard must have released leadership: fresh work is
+        // served normally instead of hanging forever.
+        let out = batcher
+            .submit(Work::Check {
+                session: Arc::clone(&s),
+                q: 0,
+                q_prime: 1,
+            })
+            .unwrap();
+        assert!(matches!(out, Outcome::Check { summary: Ok(_), .. }));
+    }
+}

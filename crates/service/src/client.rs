@@ -1,0 +1,155 @@
+//! The client library: a blocking connection speaking the
+//! newline-delimited JSON protocol, with typed helpers for every
+//! operation. The `cqchase request` CLI subcommand and the load
+//! generator (`e15_service`) are both built on this.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use serde_json::Value;
+
+use crate::proto::Request;
+
+/// Ways a client call can fail.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's line did not parse as JSON.
+    Protocol(String),
+    /// The server answered `{"ok":false,…}`; carries the message.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a `cqchase-service` server. Requests are strictly
+/// serial per connection (the protocol is request/response in order);
+/// open several clients for concurrency.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::with_capacity(4096),
+        })
+    }
+
+    /// Sends one raw protocol line and returns the raw response line.
+    pub fn request_line(&mut self, line: &str) -> Result<String, ClientError> {
+        debug_assert!(!line.contains('\n'), "one request per line");
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                return Ok(line);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(ClientError::Protocol(
+                        "connection closed before a response arrived".into(),
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+
+    /// Sends a request value; returns the decoded response object
+    /// (which may be `{"ok":false,…}` — see [`Client::expect_ok`]).
+    pub fn request_value(&mut self, v: &Value) -> Result<Value, ClientError> {
+        let line = self.request_line(&v.to_string())?;
+        serde_json::from_str(&line).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Sends a typed request.
+    pub fn request(&mut self, req: &Request) -> Result<Value, ClientError> {
+        self.request_value(&req.to_value())
+    }
+
+    /// Turns an `ok:false` response into [`ClientError::Server`].
+    pub fn expect_ok(v: Value) -> Result<Value, ClientError> {
+        if v["ok"] == true {
+            Ok(v)
+        } else {
+            let msg = v["error"].as_str().unwrap_or("unknown server error");
+            Err(ClientError::Server(msg.to_owned()))
+        }
+    }
+
+    fn checked(&mut self, req: &Request) -> Result<Value, ClientError> {
+        let v = self.request(req)?;
+        Self::expect_ok(v)
+    }
+
+    /// Registers (or replaces) a session from program text.
+    pub fn register(&mut self, session: &str, program: &str) -> Result<Value, ClientError> {
+        self.checked(&Request::Register {
+            session: session.into(),
+            program: program.into(),
+        })
+    }
+
+    /// Tests `Σ ⊨ q ⊆∞ q_prime` between two registered queries.
+    pub fn check(&mut self, session: &str, q: &str, q_prime: &str) -> Result<Value, ClientError> {
+        self.checked(&Request::Check {
+            session: session.into(),
+            q: q.into(),
+            q_prime: q_prime.into(),
+        })
+    }
+
+    /// Evaluates a registered query over the session's facts.
+    pub fn eval(&mut self, session: &str, query: &str) -> Result<Value, ClientError> {
+        self.checked(&Request::Eval {
+            session: session.into(),
+            query: query.into(),
+        })
+    }
+
+    /// The session's Σ classification.
+    pub fn classify(&mut self, session: &str) -> Result<Value, ClientError> {
+        self.checked(&Request::Classify {
+            session: session.into(),
+        })
+    }
+
+    /// Server metrics snapshot.
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        self.checked(&Request::Stats)
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<Value, ClientError> {
+        self.checked(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,54 @@
+//! # cqchase-service — the resident containment/evaluation server
+//!
+//! Every consumer of the library pays index/plan build cost per
+//! process. The ROADMAP's serving scenario wants the opposite shape —
+//! the exemplar scheduler/kg-service repos all converge on it — a
+//! long-running process owning warm state behind a small request
+//! protocol. Johnson & Klug's reduction makes the residency unusually
+//! profitable here: every operation (containment, evaluation,
+//! classification) is a hom-search against state the server keeps hot.
+//!
+//! * [`proto`] — the wire protocol: one JSON object per line
+//!   (`register`, `check`, `eval`, `classify`, `stats`, `shutdown`),
+//!   on the offline `serde_json` shim;
+//! * [`session`] — named sessions: catalog + Σ + facts registered once,
+//!   then queried many times over warm `DbIndex` / bounded `PlanCache`
+//!   state;
+//! * [`batch`] — the admission/batching queue: concurrent requests
+//!   coalesce into `cqchase-par` batch runs (chase sharing, identical
+//!   in-flight requests answered once);
+//! * [`cache`] — the semantic cache: containment answers keyed by the
+//!   *isomorphism class* of `(Q, Q′, Σ)` via [`cqchase_core::iso_key`],
+//!   verified by [`cqchase_core::is_isomorphic`], bounded LRU;
+//! * [`metrics`] — lock-free per-endpoint counters and latency
+//!   histograms behind the `stats` endpoint;
+//! * [`server`] — the `std::net` TCP server (bounded handler pool,
+//!   graceful shutdown);
+//! * [`client`] — the blocking client library the CLI (`cqchase serve`
+//!   / `cqchase request`) and load generator are built on.
+//!
+//! Correctness contract: the server returns exactly what the in-process
+//! engines return — a multi-client concurrent workload is
+//! differential-tested bit-identical to sequential
+//! `containment::check` / `eval::evaluate` calls, and the semantic
+//! cache never changes an answer (cache-on vs cache-off property
+//! tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use batch::{Batcher, Outcome, Work};
+pub use cache::{CacheStats, SemanticCache};
+pub use client::{Client, ClientError};
+pub use metrics::Metrics;
+pub use proto::{CheckSummary, Op, Request};
+pub use server::{ServeOptions, Server};
+pub use session::Session;

@@ -1,0 +1,217 @@
+//! Server metrics: per-endpoint request counters and latency
+//! histograms, plus batching counters — everything the `stats`
+//! endpoint reports.
+//!
+//! All counters are atomics, so the request hot path takes no lock to
+//! record a sample. Latencies land in power-of-two microsecond buckets
+//! (bucket *i* covers `[2^i, 2^(i+1))` µs), from which the snapshot
+//! derives approximate p50/p99 — histogram-derived percentiles are
+//! upper bounds at bucket granularity, the standard trade for lock-free
+//! recording.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use serde_json::{Map, Value};
+
+use crate::proto::{Op, ALL_OPS};
+
+/// Number of latency buckets: covers up to ~2^19 µs ≈ 0.5 s per bucket
+/// top; slower requests land in the last bucket.
+const BUCKETS: usize = 20;
+
+/// Lock-free counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    count: AtomicU64,
+    errors: AtomicU64,
+    total_us: AtomicU64,
+    hist: [AtomicU64; BUCKETS],
+}
+
+fn bucket_of(us: u64) -> usize {
+    ((u64::BITS - us.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+impl EndpointStats {
+    fn record(&self, latency: Duration, ok: bool) {
+        let us = latency.as_micros() as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.hist[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The upper edge (µs) of the bucket containing the `q`-quantile
+    /// sample, or 0 with no samples.
+    fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .hist
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    fn snapshot(&self) -> Value {
+        let count = self.count.load(Ordering::Relaxed);
+        let total_us = self.total_us.load(Ordering::Relaxed);
+        let mut m = Map::new();
+        m.insert("count".into(), Value::from(count));
+        m.insert(
+            "errors".into(),
+            Value::from(self.errors.load(Ordering::Relaxed)),
+        );
+        m.insert("total_us".into(), Value::from(total_us));
+        if let Some(mean) = total_us.checked_div(count) {
+            m.insert("mean_us".into(), Value::from(mean));
+            m.insert("p50_us".into(), Value::from(self.quantile_us(0.50)));
+            m.insert("p99_us".into(), Value::from(self.quantile_us(0.99)));
+        }
+        let hist: Vec<Value> = self
+            .hist
+            .iter()
+            .map(|b| Value::from(b.load(Ordering::Relaxed)))
+            .collect();
+        m.insert("histogram_us_pow2".into(), Value::Array(hist));
+        Value::Object(m)
+    }
+}
+
+/// All server metrics. One instance lives in the server's shared state.
+#[derive(Debug)]
+pub struct Metrics {
+    start: Instant,
+    endpoints: [EndpointStats; ALL_OPS.len()],
+    /// Batches executed by the admission queue's leader.
+    pub batches: AtomicU64,
+    /// Work items that went through a batch.
+    pub batched_items: AtomicU64,
+    /// Items answered by riding an identical in-flight item
+    /// (admission-queue coalescing).
+    pub coalesced_items: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            start: Instant::now(),
+            endpoints: Default::default(),
+            batches: AtomicU64::new(0),
+            batched_items: AtomicU64::new(0),
+            coalesced_items: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// Fresh metrics with the uptime clock starting now.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one request's latency and outcome.
+    pub fn record(&self, op: Op, latency: Duration, ok: bool) {
+        self.endpoints[op.index()].record(latency, ok);
+    }
+
+    /// Total requests recorded for `op`.
+    pub fn count(&self, op: Op) -> u64 {
+        self.endpoints[op.index()].count.load(Ordering::Relaxed)
+    }
+
+    /// The `stats` response body (endpoint table + batching counters +
+    /// uptime). Cache counters are appended by the server, which owns
+    /// the sessions.
+    pub fn snapshot(&self) -> Map<String, Value> {
+        let mut endpoints = Map::new();
+        for op in ALL_OPS {
+            endpoints.insert(op.as_str().into(), self.endpoints[op.index()].snapshot());
+        }
+        let mut batching = Map::new();
+        batching.insert(
+            "batches".into(),
+            Value::from(self.batches.load(Ordering::Relaxed)),
+        );
+        batching.insert(
+            "batched_items".into(),
+            Value::from(self.batched_items.load(Ordering::Relaxed)),
+        );
+        batching.insert(
+            "coalesced_items".into(),
+            Value::from(self.coalesced_items.load(Ordering::Relaxed)),
+        );
+        let mut m = Map::new();
+        m.insert(
+            "uptime_us".into(),
+            Value::from(self.start.elapsed().as_micros() as u64),
+        );
+        m.insert(
+            "connections".into(),
+            Value::from(self.connections.load(Ordering::Relaxed)),
+        );
+        m.insert("endpoints".into(), Value::Object(endpoints));
+        m.insert("batching".into(), Value::Object(batching));
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_reports_counts_and_percentiles() {
+        let m = Metrics::new();
+        for us in [1u64, 2, 4, 100, 10_000] {
+            m.record(Op::Check, Duration::from_micros(us), true);
+        }
+        m.record(Op::Check, Duration::from_micros(50), false);
+        m.record(Op::Eval, Duration::from_micros(3), true);
+        assert_eq!(m.count(Op::Check), 6);
+        let snap = Value::Object(m.snapshot());
+        assert_eq!(snap["endpoints"]["check"]["count"], 6u64);
+        assert_eq!(snap["endpoints"]["check"]["errors"], 1u64);
+        assert_eq!(snap["endpoints"]["eval"]["count"], 1u64);
+        assert!(snap["endpoints"]["check"]["p50_us"].as_u64().unwrap() >= 4);
+        assert!(snap["endpoints"]["check"]["p99_us"].as_u64().unwrap() >= 8192);
+        assert_eq!(snap["endpoints"]["stats"]["count"], 0u64);
+    }
+
+    #[test]
+    fn quantiles_of_empty_endpoint_are_absent() {
+        let m = Metrics::new();
+        let snap = Value::Object(m.snapshot());
+        assert!(matches!(
+            snap["endpoints"]["register"]["p50_us"],
+            Value::Null
+        ));
+    }
+}

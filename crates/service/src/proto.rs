@@ -1,0 +1,313 @@
+//! The wire protocol: newline-delimited JSON.
+//!
+//! Every request and every response is one JSON object on one line
+//! (compact serialization never contains interior newlines — the
+//! serde_json shim's round-trip property tests enforce that). Requests
+//! carry an `"op"` discriminator:
+//!
+//! ```text
+//! {"op":"register","session":"s","program":"relation R(a,b). …"}
+//! {"op":"check","session":"s","q":"Q1","q_prime":"Q2"}
+//! {"op":"eval","session":"s","query":"Q1"}
+//! {"op":"classify","session":"s"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"` (`true`/`false`) and echo `"op"`;
+//! failures carry `"error"` with a message. See the README "Service"
+//! section for the full field inventory and an example transcript.
+
+use serde_json::{Map, Value};
+
+/// The protocol operations, in stats-table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Create/replace a named session from a program text.
+    Register,
+    /// Containment test between two registered queries.
+    Check,
+    /// Evaluate a registered query over the session's facts.
+    Eval,
+    /// Report the session's Σ classification.
+    Classify,
+    /// Server counters, latency histograms, cache metrics.
+    Stats,
+    /// Graceful shutdown: stop accepting, drain, exit.
+    Shutdown,
+}
+
+/// All operations, indexable by `op as usize`.
+pub const ALL_OPS: [Op; 6] = [
+    Op::Register,
+    Op::Check,
+    Op::Eval,
+    Op::Classify,
+    Op::Stats,
+    Op::Shutdown,
+];
+
+impl Op {
+    /// The wire name of the operation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Op::Register => "register",
+            Op::Check => "check",
+            Op::Eval => "eval",
+            Op::Classify => "classify",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    /// Index into per-endpoint metric tables.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `{"op":"register","session":S,"program":P}` — parse `P` (surface
+    /// language: relations, dependencies, queries, ground facts) and
+    /// build warm session state under the name `S`, replacing any
+    /// previous session of that name.
+    Register {
+        /// Session name.
+        session: String,
+        /// Program text in the surface language.
+        program: String,
+    },
+    /// `{"op":"check","session":S,"q":Q,"q_prime":QP}` — test
+    /// `Σ ⊨ Q ⊆∞ QP` for two queries registered in `S`.
+    Check {
+        /// Session name.
+        session: String,
+        /// Name of the contained-side query.
+        q: String,
+        /// Name of the containing-side query.
+        q_prime: String,
+    },
+    /// `{"op":"eval","session":S,"query":Q}` — evaluate `Q` over the
+    /// session's ground facts.
+    Eval {
+        /// Session name.
+        session: String,
+        /// Name of the query to evaluate.
+        query: String,
+    },
+    /// `{"op":"classify","session":S}` — the session's Σ class.
+    Classify {
+        /// Session name.
+        session: String,
+    },
+    /// `{"op":"stats"}` — server metrics snapshot.
+    Stats,
+    /// `{"op":"shutdown"}` — graceful shutdown.
+    Shutdown,
+}
+
+fn str_field(obj: &Map<String, Value>, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+impl Request {
+    /// The request's operation.
+    pub fn op(&self) -> Op {
+        match self {
+            Request::Register { .. } => Op::Register,
+            Request::Check { .. } => Op::Check,
+            Request::Eval { .. } => Op::Eval,
+            Request::Classify { .. } => Op::Classify,
+            Request::Stats => Op::Stats,
+            Request::Shutdown => Op::Shutdown,
+        }
+    }
+
+    /// Parses a request from a decoded JSON value.
+    pub fn from_value(v: &Value) -> Result<Request, String> {
+        let obj = v.as_object().ok_or("request must be a JSON object")?;
+        let op = str_field(obj, "op")?;
+        match op.as_str() {
+            "register" => Ok(Request::Register {
+                session: str_field(obj, "session")?,
+                program: str_field(obj, "program")?,
+            }),
+            "check" => Ok(Request::Check {
+                session: str_field(obj, "session")?,
+                q: str_field(obj, "q")?,
+                q_prime: str_field(obj, "q_prime")?,
+            }),
+            "eval" => Ok(Request::Eval {
+                session: str_field(obj, "session")?,
+                query: str_field(obj, "query")?,
+            }),
+            "classify" => Ok(Request::Classify {
+                session: str_field(obj, "session")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown op `{other}` (expected register/check/eval/classify/stats/shutdown)"
+            )),
+        }
+    }
+
+    /// Parses a request from one protocol line.
+    pub fn from_line(line: &str) -> Result<Request, String> {
+        let v = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        Request::from_value(&v)
+    }
+
+    /// Serializes the request as a JSON value (the client side).
+    pub fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("op".into(), Value::from(self.op().as_str()));
+        match self {
+            Request::Register { session, program } => {
+                m.insert("session".into(), Value::from(session.as_str()));
+                m.insert("program".into(), Value::from(program.as_str()));
+            }
+            Request::Check {
+                session,
+                q,
+                q_prime,
+            } => {
+                m.insert("session".into(), Value::from(session.as_str()));
+                m.insert("q".into(), Value::from(q.as_str()));
+                m.insert("q_prime".into(), Value::from(q_prime.as_str()));
+            }
+            Request::Eval { session, query } => {
+                m.insert("session".into(), Value::from(session.as_str()));
+                m.insert("query".into(), Value::from(query.as_str()));
+            }
+            Request::Classify { session } => {
+                m.insert("session".into(), Value::from(session.as_str()));
+            }
+            Request::Stats | Request::Shutdown => {}
+        }
+        Value::Object(m)
+    }
+}
+
+/// A fresh `{"ok":true,"op":…}` response object to extend with fields.
+pub fn ok_response(op: Op) -> Map<String, Value> {
+    let mut m = Map::new();
+    m.insert("ok".into(), Value::from(true));
+    m.insert("op".into(), Value::from(op.as_str()));
+    m
+}
+
+/// An `{"ok":false,"op":…,"error":…}` response.
+pub fn error_response(op: Option<Op>, message: &str) -> Value {
+    let mut m = Map::new();
+    m.insert("ok".into(), Value::from(false));
+    if let Some(op) = op {
+        m.insert("op".into(), Value::from(op.as_str()));
+    }
+    m.insert("error".into(), Value::from(message));
+    Value::Object(m)
+}
+
+/// The answer fields of a containment check, as carried on the wire and
+/// stored in the semantic cache.
+///
+/// These are exactly the *decision* fields of
+/// [`ContainmentAnswer`](cqchase_core::ContainmentAnswer) — the fields
+/// documented to be identical across the sequential, batch, and
+/// parallel engines. Chase-size diagnostics (`levels_explored`,
+/// `chase_conjuncts`) are deliberately absent: they describe the
+/// possibly-shared chase a particular run happened to build, and the
+/// witness homomorphism names variables of one specific isomorphic
+/// representative, so neither survives semantic caching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Whether `Σ ⊨ Q ⊆∞ Q′`.
+    pub contained: bool,
+    /// Whether the answer is certified (see the containment engine).
+    pub exact: bool,
+    /// Whether the chase failed (vacuous containment).
+    pub empty_chase: bool,
+    /// Stable rendering of the Σ classification.
+    pub class: String,
+    /// The Theorem 2 level bound used (0 when not applicable).
+    pub bound: u32,
+}
+
+impl CheckSummary {
+    /// Extends a response object with the summary's fields.
+    pub fn write_into(&self, m: &mut Map<String, Value>) {
+        m.insert("contained".into(), Value::from(self.contained));
+        m.insert("exact".into(), Value::from(self.exact));
+        m.insert("empty_chase".into(), Value::from(self.empty_chase));
+        m.insert("class".into(), Value::from(self.class.as_str()));
+        m.insert("bound".into(), Value::from(self.bound));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = [
+            Request::Register {
+                session: "s".into(),
+                program: "relation R(a).\nQ(x) :- R(x).".into(),
+            },
+            Request::Check {
+                session: "s".into(),
+                q: "Q1".into(),
+                q_prime: "Q2".into(),
+            },
+            Request::Eval {
+                session: "s".into(),
+                query: "Q1".into(),
+            },
+            Request::Classify {
+                session: "s".into(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let line = serde_json::to_string(&r.to_value()).unwrap();
+            assert!(!line.contains('\n'), "one line per request: {line:?}");
+            assert_eq!(Request::from_line(&line).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        assert!(Request::from_line("not json").is_err());
+        assert!(Request::from_line("[1,2]").is_err());
+        assert!(Request::from_line(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(Request::from_line(r#"{"op":"check","session":"s"}"#).is_err());
+        assert!(Request::from_line(r#"{"op":"check","session":3,"q":"a","q_prime":"b"}"#).is_err());
+    }
+
+    #[test]
+    fn responses_have_shape() {
+        let mut ok = ok_response(Op::Check);
+        CheckSummary {
+            contained: true,
+            exact: true,
+            empty_chase: false,
+            class: "IndsOnly(width=1)".into(),
+            bound: 2,
+        }
+        .write_into(&mut ok);
+        let v = Value::Object(ok);
+        assert_eq!(v["ok"], true);
+        assert_eq!(v["op"], "check");
+        assert_eq!(v["contained"], true);
+        let err = error_response(Some(Op::Eval), "no such query");
+        assert_eq!(err["ok"], false);
+        assert_eq!(err["error"], "no such query");
+    }
+}

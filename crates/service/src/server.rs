@@ -1,0 +1,486 @@
+//! The TCP server: session registry, connection handling, dispatch,
+//! graceful shutdown.
+//!
+//! `std::net` only — the build container is offline, so there is no
+//! async runtime; concurrency is a bounded connection-handler
+//! [`ThreadPool`] (blocking reads with a short timeout so handlers
+//! notice shutdown) in front of the admission queue of [`crate::batch`],
+//! which bounds *compute* concurrency separately from connection count.
+//!
+//! Shutdown protocol: a `shutdown` request flips the shared flag and
+//! pokes the listener with a dummy connection to unblock `accept`. The
+//! accept loop exits, the handler pool is dropped — which drains
+//! in-flight connections (handlers observe the flag at their next read
+//! timeout, at most ~200 ms) and joins every worker — and `run`
+//! returns.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use cqchase_par::ThreadPool;
+use serde_json::{Map, Value};
+
+use crate::batch::{rows_to_value, Batcher, Outcome, Work};
+use crate::metrics::Metrics;
+use crate::proto::{error_response, ok_response, Op, Request};
+use crate::session::Session;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads for containment/evaluation batches.
+    pub batch_threads: usize,
+    /// Connection-handler threads (bounds concurrent connections).
+    pub conn_workers: usize,
+    /// Semantic-cache capacity per session (0 disables caching).
+    pub sem_cache_capacity: usize,
+    /// Evaluation plan-cache capacity per session.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7878".into(),
+            batch_threads: cqchase_par::default_threads(),
+            conn_workers: 8,
+            sem_cache_capacity: 1024,
+            plan_cache_capacity: 256,
+        }
+    }
+}
+
+/// State shared by every connection handler.
+struct Shared {
+    sessions: RwLock<HashMap<String, Arc<Session>>>,
+    batcher: Batcher,
+    metrics: Arc<Metrics>,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    opts: ServeOptions,
+    /// Connections accepted and not yet finished (serving or queued
+    /// for a handler). Bounds admission — see [`Server::run`].
+    active_conns: std::sync::atomic::AtomicUsize,
+}
+
+/// Decrements the active-connection count when a handler finishes —
+/// including by panic (the guard lives inside the pool job).
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.active_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state. The server does
+    /// not accept connections until [`run`](Server::run).
+    pub fn bind(opts: ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let shared = Arc::new(Shared {
+            sessions: RwLock::new(HashMap::new()),
+            batcher: Batcher::new(opts.batch_threads, Arc::clone(&metrics)),
+            metrics,
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            opts,
+            active_conns: std::sync::atomic::AtomicUsize::new(0),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Accepts and serves connections until a `shutdown` request
+    /// arrives, then drains and returns.
+    ///
+    /// Admission is bounded: a connection is handed to the worker pool
+    /// only while fewer than `2 × conn_workers` connections are live
+    /// (serving or queued for a free worker); beyond that the server
+    /// answers one `ok:false` overload line and closes, rather than
+    /// queueing sockets without bound until file descriptors run out.
+    pub fn run(self) -> io::Result<()> {
+        let pool = ThreadPool::new(self.shared.opts.conn_workers);
+        let max_conns = self.shared.opts.conn_workers.max(1) * 2;
+        loop {
+            let mut stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) => {
+                    if self.shared.shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(e);
+                }
+            };
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                // The shutdown waker (or a late client): drop it.
+                break;
+            }
+            if self.shared.active_conns.load(Ordering::Relaxed) >= max_conns {
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                let mut line = error_response(
+                    None,
+                    &format!("server overloaded: more than {max_conns} live connections"),
+                )
+                .to_string();
+                line.push('\n');
+                let _ = stream.write_all(line.as_bytes());
+                continue; // drop the stream: connection refused politely
+            }
+            self.shared.active_conns.fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .metrics
+                .connections
+                .fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::clone(&self.shared);
+            pool.execute(move || {
+                let guard = ConnGuard(Arc::clone(&shared));
+                handle_connection(stream, shared);
+                drop(guard);
+            });
+        }
+        // Dropping the pool joins the handlers: every in-flight
+        // connection notices the flag within one read timeout and
+        // exits. That is the graceful drain.
+        drop(pool);
+        Ok(())
+    }
+
+    /// Binds and runs on a background thread; returns the bound address
+    /// and the join handle. Convenience for tests, benchmarks, and the
+    /// load-generator experiment.
+    pub fn spawn(
+        opts: ServeOptions,
+    ) -> io::Result<(SocketAddr, std::thread::JoinHandle<io::Result<()>>)> {
+        let server = Server::bind(opts)?;
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        Ok((addr, handle))
+    }
+}
+
+/// How long a blocking read waits before re-checking the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Maximum accepted line length (a peer streaming bytes with no
+/// newline must not grow server memory without bound).
+const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// Buffered newline framing over a read-timeout socket. `BufRead::
+/// read_line` leaves its buffer unspecified after an error, so timeouts
+/// (which are routine here — they are the shutdown poll) need explicit
+/// buffering that survives them.
+struct LineReader {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl LineReader {
+    fn new() -> LineReader {
+        LineReader {
+            buf: Vec::with_capacity(4096),
+            start: 0,
+        }
+    }
+
+    /// The next `\n`-terminated line (without the terminator), `None`
+    /// on peer close or shutdown.
+    fn next_line(
+        &mut self,
+        stream: &mut TcpStream,
+        shutdown: &AtomicBool,
+    ) -> io::Result<Option<String>> {
+        loop {
+            if let Some(pos) = self.buf[self.start..].iter().position(|&b| b == b'\n') {
+                let end = self.start + pos;
+                let line = String::from_utf8_lossy(&self.buf[self.start..end]).into_owned();
+                self.start = end + 1;
+                if self.start == self.buf.len() {
+                    self.buf.clear();
+                    self.start = 0;
+                }
+                return Ok(Some(line));
+            }
+            if shutdown.load(Ordering::Acquire) {
+                return Ok(None);
+            }
+            if self.buf.len() - self.start > MAX_LINE_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "request line exceeds the maximum length",
+                ));
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => {
+                    // Drop consumed bytes before growing.
+                    if self.start > 0 {
+                        self.buf.drain(..self.start);
+                        self.start = 0;
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = LineReader::new();
+    loop {
+        let line = match reader.next_line(&mut stream, &shared.shutdown) {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let (response, op) = match Request::from_line(&line) {
+            Ok(req) => {
+                let op = req.op();
+                (dispatch(&shared, req), Some(op))
+            }
+            Err(msg) => (error_response(None, &msg), None),
+        };
+        let ok = response["ok"] == true;
+        if let Some(op) = op {
+            shared.metrics.record(op, started.elapsed(), ok);
+        }
+        let mut line_out = response.to_string();
+        line_out.push('\n');
+        if stream.write_all(line_out.as_bytes()).is_err() || stream.flush().is_err() {
+            break;
+        }
+        if op == Some(Op::Shutdown) && ok {
+            trigger_shutdown(&shared);
+            break;
+        }
+    }
+}
+
+/// Flips the flag and pokes the acceptor awake.
+fn trigger_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::Release);
+    let _ = TcpStream::connect(shared.local_addr);
+}
+
+fn get_session(shared: &Shared, name: &str) -> Result<Arc<Session>, String> {
+    shared
+        .sessions
+        .read()
+        .expect("session registry lock")
+        .get(name)
+        .cloned()
+        .ok_or_else(|| format!("no session named `{name}` (register it first)"))
+}
+
+fn dispatch(shared: &Shared, req: Request) -> Value {
+    let op = req.op();
+    match req {
+        Request::Register { session, program } => {
+            match Session::new(
+                &session,
+                &program,
+                shared.opts.sem_cache_capacity,
+                shared.opts.plan_cache_capacity,
+            ) {
+                Ok(s) => {
+                    let mut m = ok_response(op);
+                    m.insert("session".into(), Value::from(session.as_str()));
+                    m.insert(
+                        "queries".into(),
+                        Value::Array(
+                            s.program
+                                .queries
+                                .iter()
+                                .map(|q| Value::from(q.name.as_str()))
+                                .collect(),
+                        ),
+                    );
+                    m.insert("relations".into(), Value::from(s.program.catalog.len()));
+                    m.insert("dependencies".into(), Value::from(s.program.deps.len()));
+                    m.insert("facts".into(), Value::from(s.program.facts.len()));
+                    m.insert("class".into(), Value::from(s.class_name.as_str()));
+                    shared
+                        .sessions
+                        .write()
+                        .expect("session registry lock")
+                        .insert(session, Arc::new(s));
+                    Value::Object(m)
+                }
+                Err(msg) => error_response(Some(op), &msg),
+            }
+        }
+        Request::Check {
+            session,
+            q,
+            q_prime,
+        } => {
+            let result = get_session(shared, &session).and_then(|s| {
+                let qi = s.query_index(&q)?;
+                let qpi = s.query_index(&q_prime)?;
+                Ok((s, qi, qpi))
+            });
+            let (s, qi, qpi) = match result {
+                Ok(x) => x,
+                Err(msg) => return error_response(Some(op), &msg),
+            };
+            match shared.batcher.submit(Work::Check {
+                session: s,
+                q: qi,
+                q_prime: qpi,
+            }) {
+                Ok(Outcome::Check {
+                    summary: Ok(sum),
+                    cached,
+                    coalesced,
+                }) => {
+                    let mut m = ok_response(op);
+                    m.insert("q".into(), Value::from(q.as_str()));
+                    m.insert("q_prime".into(), Value::from(q_prime.as_str()));
+                    sum.write_into(&mut m);
+                    m.insert("cached".into(), Value::from(cached));
+                    m.insert("coalesced".into(), Value::from(coalesced));
+                    Value::Object(m)
+                }
+                Ok(Outcome::Check {
+                    summary: Err(msg), ..
+                })
+                | Err(msg) => error_response(Some(op), &msg),
+                Ok(Outcome::Eval { .. }) => unreachable!("check work yields check outcomes"),
+            }
+        }
+        Request::Eval { session, query } => {
+            let result =
+                get_session(shared, &session).and_then(|s| s.query_index(&query).map(|qi| (s, qi)));
+            let (s, qi) = match result {
+                Ok(x) => x,
+                Err(msg) => return error_response(Some(op), &msg),
+            };
+            match shared.batcher.submit(Work::Eval { session: s, q: qi }) {
+                Ok(Outcome::Eval { rows, coalesced }) => {
+                    let mut m = ok_response(op);
+                    m.insert("query".into(), Value::from(query.as_str()));
+                    m.insert("count".into(), Value::from(rows.len()));
+                    m.insert("rows".into(), rows_to_value(&rows));
+                    m.insert("coalesced".into(), Value::from(coalesced));
+                    Value::Object(m)
+                }
+                Err(msg) => error_response(Some(op), &msg),
+                Ok(Outcome::Check { .. }) => unreachable!("eval work yields eval outcomes"),
+            }
+        }
+        Request::Classify { session } => match get_session(shared, &session) {
+            Ok(s) => {
+                let mut m = ok_response(op);
+                m.insert("session".into(), Value::from(session.as_str()));
+                m.insert("class".into(), Value::from(s.class_name.as_str()));
+                m.insert("relations".into(), Value::from(s.program.catalog.len()));
+                m.insert("fds".into(), Value::from(s.program.deps.num_fds()));
+                m.insert("inds".into(), Value::from(s.program.deps.num_inds()));
+                Value::Object(m)
+            }
+            Err(msg) => error_response(Some(op), &msg),
+        },
+        Request::Stats => {
+            let mut m = ok_response(op);
+            for (k, v) in shared.metrics.snapshot().iter() {
+                m.insert(k.clone(), v.clone());
+            }
+            let sessions = shared.sessions.read().expect("session registry lock");
+            let mut names: Vec<&String> = sessions.keys().collect();
+            names.sort();
+            m.insert(
+                "sessions".into(),
+                Value::Array(names.iter().map(|n| Value::from(n.as_str())).collect()),
+            );
+            // Aggregate cache counters across sessions.
+            let (mut hits, mut misses, mut evictions, mut entries) = (0u64, 0u64, 0u64, 0usize);
+            let (mut plan_hits, mut plan_misses, mut plan_evictions) = (0u64, 0u64, 0u64);
+            for s in sessions.values() {
+                let c = s.sem_cache.lock().expect("semantic cache lock").stats();
+                hits += c.hits;
+                misses += c.misses;
+                evictions += c.evictions;
+                entries += c.entries;
+                let e = s.eval_state.lock().expect("eval state lock");
+                plan_hits += e.plans.hits() as u64;
+                plan_misses += e.plans.misses() as u64;
+                plan_evictions += e.plans.evictions() as u64;
+            }
+            let mut sem = Map::new();
+            sem.insert("hits".into(), Value::from(hits));
+            sem.insert("misses".into(), Value::from(misses));
+            sem.insert("evictions".into(), Value::from(evictions));
+            sem.insert("entries".into(), Value::from(entries));
+            sem.insert(
+                "capacity_per_session".into(),
+                Value::from(shared.opts.sem_cache_capacity),
+            );
+            m.insert("semantic_cache".into(), Value::Object(sem));
+            let mut plans = Map::new();
+            plans.insert("hits".into(), Value::from(plan_hits));
+            plans.insert("misses".into(), Value::from(plan_misses));
+            plans.insert("evictions".into(), Value::from(plan_evictions));
+            m.insert("plan_cache".into(), Value::Object(plans));
+            Value::Object(m)
+        }
+        Request::Shutdown => Value::Object(ok_response(op)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_picks_a_port_and_shuts_down() {
+        let (addr, handle) = Server::spawn(ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_ne!(addr.port(), 0);
+        let mut c = crate::client::Client::connect(addr).unwrap();
+        let v = c.shutdown().unwrap();
+        assert_eq!(v["ok"], true);
+        handle.join().unwrap().unwrap();
+    }
+}

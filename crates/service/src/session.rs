@@ -1,0 +1,205 @@
+//! A session: the warm, resident state one `register` request builds
+//! and many `check`/`eval` requests reuse.
+//!
+//! This is the whole point of running a server instead of linking the
+//! library: the catalog, Σ, its classification and fingerprint, the
+//! ground facts' [`DbIndex`] (interned symbols + column posting lists),
+//! a bounded [`PlanCache`] of compiled evaluation plans, and the
+//! semantic containment cache are all built once at registration and
+//! then served hot. A session is immutable after construction except
+//! for its two mutexed caches, so any number of connection threads can
+//! share it (`Arc<Session>`) without coordination on the read paths.
+
+use std::sync::Mutex;
+
+use cqchase_core::{classify, ContainmentOptions, SigmaClass};
+use cqchase_index::{JoinScratch, PlanCache};
+use cqchase_ir::{parse_program, ConjunctiveQuery, Program};
+use cqchase_storage::{evaluate_indexed_with, Database, DbIndex, Tuple};
+
+use crate::cache::{sigma_fingerprint, SemanticCache};
+
+/// Warm per-session evaluation state: compiled plans and join scratch,
+/// both dedicated to the session's index.
+#[derive(Debug)]
+pub struct EvalState {
+    /// Bounded plan cache (dedicated to this session's [`DbIndex`]).
+    pub plans: PlanCache,
+    /// Reusable join working memory.
+    pub scratch: JoinScratch,
+}
+
+/// One registered session. See the module docs.
+#[derive(Debug)]
+pub struct Session {
+    /// The session name (registry key).
+    pub name: String,
+    /// The parsed program: catalog, Σ, queries, ground facts.
+    pub program: Program,
+    /// Σ's classification (selects the decision procedure).
+    pub class: SigmaClass,
+    /// Stable rendering of `class` for the wire.
+    pub class_name: String,
+    /// Fingerprint of Σ for semantic-cache keys.
+    pub sigma_fp: u64,
+    /// The ground facts as a database.
+    pub db: Database,
+    /// Warm column indexes over `db`.
+    pub index: DbIndex,
+    /// Containment options every check in this session runs under
+    /// (fixed at registration, so cached answers are deterministic).
+    pub opts: ContainmentOptions,
+    /// Warm evaluation state (plan cache + scratch).
+    pub eval_state: Mutex<EvalState>,
+    /// The semantic containment cache.
+    pub sem_cache: Mutex<SemanticCache>,
+}
+
+/// Stable one-line rendering of a Σ class (the `Debug` form of
+/// `KeyBased` includes a hash map, whose iteration order must not leak
+/// onto the wire).
+pub fn class_name(class: &SigmaClass) -> String {
+    match class {
+        SigmaClass::Empty => "Empty".into(),
+        SigmaClass::FdsOnly => "FdsOnly".into(),
+        SigmaClass::IndsOnly { width } => format!("IndsOnly(width={width})"),
+        SigmaClass::KeyBased { width, .. } => format!("KeyBased(width={width})"),
+        SigmaClass::Mixed => "Mixed".into(),
+    }
+}
+
+impl Session {
+    /// Builds a session from program text (the `register` path).
+    pub fn new(
+        name: &str,
+        program_src: &str,
+        sem_cache_capacity: usize,
+        plan_cache_capacity: usize,
+    ) -> Result<Session, String> {
+        let program = parse_program(program_src).map_err(|e| e.to_string())?;
+        Session::from_program(name, program, sem_cache_capacity, plan_cache_capacity)
+    }
+
+    /// Builds a session from an already-parsed program (tests and
+    /// benchmarks assemble programs programmatically).
+    pub fn from_program(
+        name: &str,
+        program: Program,
+        sem_cache_capacity: usize,
+        plan_cache_capacity: usize,
+    ) -> Result<Session, String> {
+        let db =
+            Database::from_facts(&program.catalog, &program.facts).map_err(|e| e.to_string())?;
+        let index = DbIndex::build(&db);
+        let class = classify(&program.deps, &program.catalog);
+        Ok(Session {
+            name: name.to_owned(),
+            class_name: class_name(&class),
+            sigma_fp: sigma_fingerprint(&program.deps, &program.catalog),
+            class,
+            db,
+            index,
+            opts: ContainmentOptions::default(),
+            eval_state: Mutex::new(EvalState {
+                plans: PlanCache::with_capacity(plan_cache_capacity),
+                scratch: JoinScratch::new(),
+            }),
+            sem_cache: Mutex::new(SemanticCache::new(sem_cache_capacity)),
+            program,
+        })
+    }
+
+    /// Index of a query by name, for the batch engines.
+    pub fn query_index(&self, name: &str) -> Result<usize, String> {
+        self.program
+            .queries
+            .iter()
+            .position(|q| q.name == name)
+            .ok_or_else(|| {
+                format!(
+                    "no query named `{name}` in session `{}` (declared: {})",
+                    self.name,
+                    self.program
+                        .queries
+                        .iter()
+                        .map(|q| q.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+    }
+
+    /// The query at `idx`.
+    pub fn query(&self, idx: usize) -> &ConjunctiveQuery {
+        &self.program.queries[idx]
+    }
+
+    /// Evaluates the query at `idx` over the session's facts with the
+    /// warm plan cache and scratch. Result rows are sorted (the
+    /// evaluator's deterministic order).
+    pub fn eval(&self, idx: usize) -> Vec<Tuple> {
+        let q = &self.program.queries[idx];
+        let mut state = self.eval_state.lock().expect("eval state lock");
+        let EvalState { plans, scratch } = &mut *state;
+        evaluate_indexed_with(q, &self.index, plans, scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_builds_warm_state() {
+        let s = Session::new(
+            "s1",
+            "relation R(a, b).
+             ind R[2] <= R[1].
+             Q(x) :- R(x, y).
+             Q2(x) :- R(x, y), R(y, z).
+             R(1, 2). R(2, 3).",
+            64,
+            64,
+        )
+        .unwrap();
+        assert_eq!(s.class_name, "IndsOnly(width=1)");
+        assert_eq!(s.query_index("Q2").unwrap(), 1);
+        assert!(s.query_index("Nope").is_err());
+        // Evaluation answers match the one-shot evaluator and the plan
+        // cache warms across calls.
+        let direct = cqchase_storage::evaluate(s.query(1), &s.db);
+        assert_eq!(s.eval(1), direct);
+        assert_eq!(s.eval(1), direct);
+        let st = s.eval_state.lock().unwrap();
+        assert_eq!(st.plans.hits(), 1);
+        assert_eq!(st.plans.misses(), 1);
+    }
+
+    #[test]
+    fn bad_programs_are_rejected() {
+        assert!(Session::new("s", "relation R(a). Q(x) :- S(x).", 8, 8).is_err());
+        assert!(Session::new("s", "not a program", 8, 8).is_err());
+    }
+
+    #[test]
+    fn class_names_are_stable() {
+        let cases = [
+            ("relation R(a, b).", "Empty"),
+            ("relation R(a, b). fd R: a -> b.", "FdsOnly"),
+            ("relation R(a, b). ind R[2] <= R[1].", "IndsOnly(width=1)"),
+            (
+                "relation R(a, b). fd R: a -> b. ind R[2] <= R[1].",
+                "KeyBased(width=1)",
+            ),
+            (
+                // Section 4's Σ: the IND's right side is not the key.
+                "relation R(a, b). fd R: b -> a. ind R[2] <= R[1].",
+                "Mixed",
+            ),
+        ];
+        for (src, want) in cases {
+            let s = Session::new("s", src, 8, 8).unwrap();
+            assert_eq!(s.class_name, want, "{src}");
+        }
+    }
+}

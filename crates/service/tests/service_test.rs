@@ -1,0 +1,291 @@
+//! End-to-end tests over a real loopback TCP server.
+//!
+//! The acceptance contract: a multi-client concurrent workload through
+//! the server returns **bit-identical** answers to sequential
+//! in-process `containment::contained` / `eval::evaluate` calls on the
+//! same inputs.
+
+use std::sync::Arc;
+
+use cqchase_core::{contained, ContainmentOptions};
+use cqchase_ir::display;
+use cqchase_service::{Client, ServeOptions, Server};
+use cqchase_storage::{evaluate, Database};
+use cqchase_workload::successor_containment_batch;
+use serde_json::Value;
+
+/// Renders a full program (schema + Σ + queries + facts) as surface
+/// text the `register` endpoint accepts.
+fn render_program(
+    p: &cqchase_ir::Program,
+    queries: &[cqchase_ir::ConjunctiveQuery],
+    facts: &[(i64, i64)],
+) -> String {
+    let mut src = String::new();
+    src.push_str(&display::catalog(&p.catalog).to_string());
+    src.push('\n');
+    src.push_str(&display::deps(&p.deps, &p.catalog).to_string());
+    src.push('\n');
+    for q in queries {
+        src.push_str(&display::query(q, &p.catalog).to_string());
+        src.push('\n');
+    }
+    for (a, b) in facts {
+        src.push_str(&format!("R({a}, {b}).\n"));
+    }
+    src
+}
+
+fn test_facts() -> Vec<(i64, i64)> {
+    let mut f: Vec<(i64, i64)> = (0..40).map(|i| (i, (i + 1) % 40)).collect();
+    f.extend((0..10).map(|i| (i, i)));
+    f
+}
+
+fn spawn_server(
+    sem_cache_capacity: usize,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    Server::spawn(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        batch_threads: 2,
+        conn_workers: 6,
+        sem_cache_capacity,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn concurrent_clients_bit_identical_to_library() {
+    let batch = successor_containment_batch(5, 10, 80);
+    let facts = test_facts();
+    let program_src = render_program(&batch.program, &batch.queries, &facts);
+
+    // Ground truth: the sequential in-process engines on the same inputs.
+    let opts = ContainmentOptions::default();
+    let direct: Vec<_> = batch
+        .pairs
+        .iter()
+        .map(|&(q, qp)| {
+            contained(
+                &batch.queries[q],
+                &batch.queries[qp],
+                &batch.program.deps,
+                &batch.program.catalog,
+                &opts,
+            )
+            .expect("workload pairs decide under default options")
+        })
+        .collect();
+    let reparsed = cqchase_ir::parse_program(&program_src).expect("rendered program parses");
+    let db = Database::from_facts(&reparsed.catalog, &reparsed.facts).unwrap();
+    let direct_rows: Vec<Vec<Vec<String>>> = batch
+        .queries
+        .iter()
+        .map(|q| {
+            evaluate(q, &db)
+                .iter()
+                .map(|row| row.iter().map(|v| v.to_string()).collect())
+                .collect()
+        })
+        .collect();
+
+    let (addr, handle) = spawn_server(1024);
+    let mut admin = Client::connect(addr).unwrap();
+    let reg = admin.register("w", &program_src).unwrap();
+    assert_eq!(reg["class"], "IndsOnly(width=1)");
+
+    // 4 concurrent clients, each firing a strided slice of the pairs
+    // plus every tenth evaluation.
+    let pairs = Arc::new(batch.pairs.clone());
+    let names: Arc<Vec<String>> = Arc::new(batch.queries.iter().map(|q| q.name.clone()).collect());
+    let mut handles = Vec::new();
+    for t in 0..4usize {
+        let pairs = Arc::clone(&pairs);
+        let names = Arc::clone(&names);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let mut check_replies = Vec::new();
+            let mut eval_replies = Vec::new();
+            for (i, &(q, qp)) in pairs.iter().enumerate() {
+                if i % 4 != t {
+                    continue;
+                }
+                let v = client.check("w", &names[q], &names[qp]).unwrap();
+                check_replies.push((i, v));
+                if i % 10 == t {
+                    let e = client.eval("w", &names[q]).unwrap();
+                    eval_replies.push((q, e));
+                }
+            }
+            (check_replies, eval_replies)
+        }));
+    }
+
+    let mut answered = 0usize;
+    for h in handles {
+        let (checks, evals) = h.join().unwrap();
+        for (i, v) in checks {
+            let d = &direct[i];
+            assert_eq!(v["contained"], d.contained, "pair {i}: contained");
+            assert_eq!(v["exact"], d.exact, "pair {i}: exact");
+            assert_eq!(v["empty_chase"], d.empty_chase, "pair {i}: empty_chase");
+            assert_eq!(v["bound"], d.bound, "pair {i}: bound");
+            assert_eq!(v["class"], "IndsOnly(width=1)", "pair {i}: class");
+            answered += 1;
+        }
+        for (q, e) in evals {
+            let rows = e["rows"].as_array().unwrap();
+            assert_eq!(rows.len(), direct_rows[q].len(), "query {q}: row count");
+            for (ri, row) in rows.iter().enumerate() {
+                let got: Vec<&str> = row
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|c| c.as_str().unwrap())
+                    .collect();
+                let want: Vec<&str> = direct_rows[q][ri].iter().map(String::as_str).collect();
+                assert_eq!(got, want, "query {q} row {ri}");
+            }
+        }
+    }
+    assert_eq!(answered, 80);
+
+    // A second, sequential pass over every pair: answers must not
+    // change now that the semantic cache is warm, and repeats of an
+    // isomorphism class must be served from it.
+    for (i, &(q, qp)) in batch.pairs.iter().enumerate() {
+        let v = admin.check("w", &names[q], &names[qp]).unwrap();
+        let d = &direct[i];
+        assert_eq!(v["contained"], d.contained, "warm pair {i}");
+        assert_eq!(v["exact"], d.exact, "warm pair {i}");
+        assert_eq!(v["bound"], d.bound, "warm pair {i}");
+        assert_eq!(v["cached"], true, "warm pair {i} must hit the cache");
+    }
+
+    let stats = admin.stats().unwrap();
+    assert_eq!(stats["sessions"][0], "w");
+    assert!(stats["endpoints"]["check"]["count"].as_u64().unwrap() >= 160);
+    let hits = stats["semantic_cache"]["hits"].as_u64().unwrap();
+    assert!(
+        hits >= 80,
+        "second pass must be all cache hits (got {hits})"
+    );
+    assert!(stats["batching"]["batches"].as_u64().unwrap() >= 1);
+
+    admin.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn protocol_errors_leave_connection_usable() {
+    let (addr, handle) = spawn_server(64);
+    let mut c = Client::connect(addr).unwrap();
+
+    // Garbage line.
+    let v: Value = serde_json::from_str(&c.request_line("this is not json").unwrap()).unwrap();
+    assert_eq!(v["ok"], false);
+    // Unknown op.
+    let v: Value = serde_json::from_str(&c.request_line(r#"{"op":"nope"}"#).unwrap()).unwrap();
+    assert_eq!(v["ok"], false);
+    // Unknown session.
+    assert!(matches!(
+        c.check("ghost", "A", "B"),
+        Err(cqchase_service::ClientError::Server(_))
+    ));
+    // Bad program.
+    assert!(c.register("s", "relation R(a). Q(x) :- S(x).").is_err());
+    // The connection still works for a valid exchange.
+    c.register("s", "relation R(a, b). Q(x) :- R(x, y). R(1, 2).")
+        .unwrap();
+    // Unknown query inside a valid session.
+    assert!(c.check("s", "Q", "Nope").is_err());
+    let e = c.eval("s", "Q").unwrap();
+    assert_eq!(e["count"], 1);
+    assert_eq!(e["rows"][0][0], "1");
+    // Arity-mismatched pair is a per-request error, not a dead server.
+    c.register(
+        "s2",
+        "relation R(a, b). Q(x) :- R(x, y). P(x, y) :- R(x, y).",
+    )
+    .unwrap();
+    assert!(c.check("s2", "Q", "P").is_err());
+    assert_eq!(c.classify("s2").unwrap()["class"], "Empty");
+
+    c.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn overloaded_server_refuses_politely() {
+    use std::io::Read;
+    // 1 handler worker → at most 2 live connections admitted.
+    let (addr, handle) = Server::spawn(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        conn_workers: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut c1 = Client::connect(addr).unwrap();
+    c1.register("s", "relation R(a). Q(x) :- R(x).").unwrap();
+    let _c2 = std::net::TcpStream::connect(addr).unwrap(); // queued
+                                                           // Give the acceptor time to admit c2 before probing the limit.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // The third connection must get an overload error line, not hang.
+    let mut c3 = std::net::TcpStream::connect(addr).unwrap();
+    c3.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let mut line = String::new();
+    c3.read_to_string(&mut line).unwrap();
+    assert!(
+        line.contains("\"ok\":false") && line.contains("overloaded"),
+        "expected overload refusal, got {line:?}"
+    );
+    // The admitted connection still works.
+    assert_eq!(c1.eval("s", "Q").unwrap()["count"], 0);
+    c1.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn register_replaces_session() {
+    let (addr, handle) = spawn_server(64);
+    let mut c = Client::connect(addr).unwrap();
+    c.register("s", "relation R(a, b). Q(x) :- R(x, y). R(1, 2).")
+        .unwrap();
+    assert_eq!(c.eval("s", "Q").unwrap()["count"], 1);
+    c.register("s", "relation R(a, b). Q(x) :- R(x, y). R(1, 2). R(3, 4).")
+        .unwrap();
+    assert_eq!(c.eval("s", "Q").unwrap()["count"], 2);
+    c.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn semantic_cache_serves_isomorphic_clients() {
+    let (addr, handle) = spawn_server(64);
+    let mut c = Client::connect(addr).unwrap();
+    c.register(
+        "iso",
+        "relation R(a, b).
+         ind R[2] <= R[1].
+         A(x) :- R(x, y).
+         B(x) :- R(x, y), R(y, z).
+         Bren(u) :- R(u, w), R(w, v).",
+    )
+    .unwrap();
+    let first = c.check("iso", "A", "B").unwrap();
+    assert_eq!(first["cached"], false);
+    // A syntactically different but isomorphic Q′ from another client.
+    let mut c2 = Client::connect(addr).unwrap();
+    let second = c2.check("iso", "A", "Bren").unwrap();
+    assert_eq!(second["cached"], true, "isomorphic repeat must hit");
+    assert_eq!(second["contained"], first["contained"]);
+    assert_eq!(second["exact"], first["exact"]);
+    assert_eq!(second["bound"], first["bound"]);
+    c.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}

@@ -1,7 +1,11 @@
 //! Offline shim for the subset of `serde_json` used by this workspace:
 //! the [`Value`] tree, [`Map`], the [`json!`] macro for flat object
-//! literals, and [`to_string_pretty`]. No serde integration — the bench
-//! harness only ever serializes `Value`s it built by hand.
+//! literals, [`to_string`] / [`to_string_pretty`], and a full
+//! recursive-descent parser ([`from_str`]). No serde derive integration
+//! — consumers build and walk `Value`s by hand. The bench harness uses
+//! it for baselines and the `cqchase-service` wire protocol for its
+//! newline-delimited JSON requests, so `to_string`/`from_str` must
+//! round-trip every value tree (enforced by `tests/proptest_json.rs`).
 
 #![forbid(unsafe_code)]
 
@@ -25,10 +29,13 @@ impl fmt::Display for Number {
             Number::Int(i) => write!(f, "{i}"),
             Number::UInt(u) => write!(f, "{u}"),
             Number::Float(x) if x.is_finite() => {
-                if x.fract() == 0.0 && x.abs() < 1e15 {
-                    write!(f, "{x:.1}")
+                // Keep a float marker (`.` or exponent) so the value
+                // re-parses as a float — upstream does the same.
+                let s = format!("{x}");
+                if s.contains(['.', 'e', 'E']) {
+                    write!(f, "{s}")
                 } else {
-                    write!(f, "{x}")
+                    write!(f, "{s}.0")
                 }
             }
             // JSON has no NaN/inf; mirror serde_json by emitting null.
@@ -643,6 +650,14 @@ pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
     let mut out = String::new();
     write_pretty(value, 0, &mut out);
     Ok(out)
+}
+
+/// Serializes a [`Value`] compactly on one line (no interior newlines —
+/// the representation the newline-delimited service protocol relies
+/// on). Same output as the `Display` impl; the `Result` mirrors
+/// upstream's signature.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(value.to_string())
 }
 
 /// Builds a [`Value`] from a flat object literal (`json!({ "k": expr })`)

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Service smoke test: start `cqchase serve` on a loopback port, drive it
+# with `cqchase request` (register → check → eval → stats → shutdown),
+# and assert the answers are identical to direct CLI (library) calls on
+# the same inputs. CI runs this after the release build; run it locally
+# with `bash scripts/service_smoke.sh`.
+set -euo pipefail
+
+BIN=${CQCHASE_BIN:-target/release/cqchase}
+PORT=${SMOKE_PORT:-7979}
+ADDR=127.0.0.1:$PORT
+TMP=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# The workload: one line of surface language so it embeds in JSON
+# verbatim (statements are `.`-terminated; newlines are optional).
+PROG='relation R(a, b). ind R[2] <= R[1]. A(x) :- R(x, y). B(x) :- R(x, y), R(y, z). C(x) :- R(y, x). R(1, 2). R(2, 3).'
+printf '%s\n' "$PROG" > "$TMP/prog.cq"
+
+# --- Direct library answers via the non-server CLI -------------------
+direct_contained() { # args: Q QP -> "true"/"false"
+    "$BIN" contain "$TMP/prog.cq" "$1" "$2" | head -1 | grep -oE 'true|false' | head -1
+}
+DIRECT_AB=$(direct_contained A B)
+DIRECT_AC=$(direct_contained A C)
+"$BIN" eval "$TMP/prog.cq" B > "$TMP/direct_eval.txt"
+DIRECT_EVAL_COUNT=$(head -1 "$TMP/direct_eval.txt" | grep -oE '^[0-9]+')
+[ "$DIRECT_AB" = "true" ] || fail "sanity: A ⊆ B should hold under the cyclic IND"
+[ "$DIRECT_AC" = "false" ] || fail "sanity: A ⊆ C should not hold"
+
+# --- Start the server ------------------------------------------------
+"$BIN" serve --addr "$ADDR" &
+SERVER_PID=$!
+for _ in $(seq 100); do
+    if "$BIN" request --addr "$ADDR" '{"op":"stats"}' >/dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited before accepting connections"
+    sleep 0.1
+done
+
+req() { "$BIN" request --addr "$ADDR" "$1"; }
+
+# --- register --------------------------------------------------------
+R=$(req "{\"op\":\"register\",\"session\":\"smoke\",\"program\":\"$PROG\"}")
+echo "$R"
+echo "$R" | grep -q '"ok":true' || fail "register not ok"
+echo "$R" | grep -q '"class":"IndsOnly(width=1)"' || fail "register class mismatch"
+
+# --- check: answers must match the direct CLI ------------------------
+C1=$(req '{"op":"check","session":"smoke","q":"A","q_prime":"B"}')
+echo "$C1"
+echo "$C1" | grep -q "\"contained\":$DIRECT_AB" || fail "check A⊆B disagrees with direct call ($DIRECT_AB)"
+C2=$(req '{"op":"check","session":"smoke","q":"A","q_prime":"C"}')
+echo "$C2"
+echo "$C2" | grep -q "\"contained\":$DIRECT_AC" || fail "check A⊆C disagrees with direct call ($DIRECT_AC)"
+# A repeat must be served from the semantic cache, same answer.
+C3=$(req '{"op":"check","session":"smoke","q":"A","q_prime":"B"}')
+echo "$C3" | grep -q '"cached":true' || fail "repeated check did not hit the semantic cache"
+echo "$C3" | grep -q "\"contained\":$DIRECT_AB" || fail "cached answer changed"
+
+# --- eval: row count and every row must match the direct CLI ---------
+E=$(req '{"op":"eval","session":"smoke","query":"B"}')
+echo "$E"
+echo "$E" | grep -q "\"count\":$DIRECT_EVAL_COUNT" || fail "eval row count disagrees with direct call ($DIRECT_EVAL_COUNT)"
+tail -n +2 "$TMP/direct_eval.txt" | tr -d '() ' | while read -r row; do
+    [ -z "$row" ] && continue
+    echo "$E" | grep -q "\"$row\"" || fail "direct eval row ($row) missing from service answer"
+done
+
+# --- stats -----------------------------------------------------------
+S=$(req '{"op":"stats"}')
+echo "$S" | grep -q '"ok":true' || fail "stats not ok"
+echo "$S" | grep -q '"semantic_cache"' || fail "stats missing semantic_cache"
+echo "$S" | grep -q '"sessions":\["smoke"\]' || fail "stats missing session"
+
+# --- shutdown: server must exit cleanly ------------------------------
+req '{"op":"shutdown"}' | grep -q '"ok":true' || fail "shutdown not ok"
+for _ in $(seq 50); do
+    kill -0 "$SERVER_PID" 2>/dev/null || { SERVER_PID=; break; }
+    sleep 0.1
+done
+[ -z "$SERVER_PID" ] || fail "server still running after shutdown"
+
+echo "service smoke: OK"

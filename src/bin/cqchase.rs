@@ -7,17 +7,24 @@
 //! cqchase equiv FILE Q QP               test Σ ⊨ Q ≡∞ QP
 //! cqchase minimize FILE Q               minimal equivalent subquery
 //! cqchase eval FILE Q                   evaluate Q over the file's facts
+//! cqchase serve [--addr A] [--threads N] [--conn-workers N]
+//!               [--cache-capacity N]    run the containment/eval server
+//! cqchase request [--addr A] JSON…|-    send protocol lines, print replies
 //! ```
 //!
 //! `FILE` is a program in the surface language (`relation …`, `fd …`,
-//! `ind …`, queries, and optional ground facts).
+//! `ind …`, queries, and optional ground facts). `serve`/`request`
+//! speak the newline-delimited JSON protocol documented in the README's
+//! "Service" section.
 
+use std::io::Read as _;
 use std::process::ExitCode;
 
 use cqchase::core::chase::{graph, Chase, ChaseBudget, ChaseMode};
 use cqchase::core::classify::classify;
 use cqchase::core::{contained, equivalent, minimize, render_chase_witness, ContainmentOptions};
 use cqchase::ir::{display, parse_program, ConjunctiveQuery, Program};
+use cqchase::service::{Client, ServeOptions, Server};
 use cqchase::storage::{evaluate, Database};
 
 fn load(path: &str) -> Result<Program, String> {
@@ -153,9 +160,99 @@ fn cmd_eval(path: &str, qname: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(opts: &[String]) -> Result<(), String> {
+    let mut serve = ServeOptions::default();
+    let mut it = opts.iter();
+    while let Some(o) = it.next() {
+        let mut next = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs an argument"))
+        };
+        match o.as_str() {
+            "--addr" => serve.addr = next("--addr")?,
+            "--threads" => {
+                serve.batch_threads = next("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs a positive integer".to_string())?
+            }
+            "--conn-workers" => {
+                serve.conn_workers = next("--conn-workers")?
+                    .parse()
+                    .map_err(|_| "--conn-workers needs a positive integer".to_string())?
+            }
+            "--cache-capacity" => {
+                serve.sem_cache_capacity = next("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity needs an integer".to_string())?
+            }
+            other => return Err(format!("unknown serve option {other}")),
+        }
+    }
+    let server = Server::bind(serve.clone()).map_err(|e| format!("bind {}: {e}", serve.addr))?;
+    println!("cqchase-service listening on {}", server.local_addr());
+    println!(
+        "  batch threads: {}   connection workers: {}   semantic cache: {} entries/session",
+        serve.batch_threads, serve.conn_workers, serve.sem_cache_capacity
+    );
+    server.run().map_err(|e| format!("server error: {e}"))
+}
+
+fn cmd_request(opts: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut lines: Vec<String> = Vec::new();
+    let mut it = opts.iter();
+    while let Some(o) = it.next() {
+        match o.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--addr needs an argument".to_string())?
+            }
+            "-" => {
+                let mut buf = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| format!("reading stdin: {e}"))?;
+                lines.extend(buf.lines().map(str::to_owned));
+            }
+            json => lines.push(json.to_owned()),
+        }
+    }
+    if lines.is_empty() {
+        return Err("no requests given (pass JSON objects or `-` for stdin)".into());
+    }
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut failed = false;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = client
+            .request_line(line.trim())
+            .map_err(|e| format!("request failed: {e}"))?;
+        println!("{reply}");
+        match serde_json_reply_ok(&reply) {
+            Some(true) => {}
+            _ => failed = true,
+        }
+    }
+    if failed {
+        return Err("one or more requests returned ok:false".into());
+    }
+    Ok(())
+}
+
+/// Whether a response line carries `"ok":true` (None when unparsable).
+fn serde_json_reply_ok(line: &str) -> Option<bool> {
+    serde_json::from_str(line).ok().map(|v| v["ok"] == true)
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cqchase check FILE\n  cqchase chase FILE Q [--levels N] [--mode r|o] [--dot]\n  cqchase contain FILE Q QP\n  cqchase equiv FILE Q QP\n  cqchase minimize FILE Q\n  cqchase eval FILE Q"
+        "usage:\n  cqchase check FILE\n  cqchase chase FILE Q [--levels N] [--mode r|o] [--dot]\n  cqchase contain FILE Q QP\n  cqchase equiv FILE Q QP\n  cqchase minimize FILE Q\n  cqchase eval FILE Q\n  cqchase serve [--addr HOST:PORT] [--threads N] [--conn-workers N] [--cache-capacity N]\n  cqchase request [--addr HOST:PORT] JSON...|-"
     );
     ExitCode::from(2)
 }
@@ -197,6 +294,8 @@ fn main() -> ExitCode {
         ("equiv", [file, a, b]) => cmd_equiv(file, a, b),
         ("minimize", [file, q]) => cmd_minimize(file, q),
         ("eval", [file, q]) => cmd_eval(file, q),
+        ("serve", opts) => cmd_serve(opts),
+        ("request", opts) => cmd_request(opts),
         _ => return usage(),
     };
     match result {

@@ -8,5 +8,6 @@
 pub use cqchase_core as core;
 pub use cqchase_ir as ir;
 pub use cqchase_par as par;
+pub use cqchase_service as service;
 pub use cqchase_storage as storage;
 pub use cqchase_workload as workload;
