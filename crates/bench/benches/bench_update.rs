@@ -1,0 +1,75 @@
+//! Live-session mutation throughput: incremental fact deltas
+//! (`Session::apply_update` → `DbIndex::note_insert`/`note_remove` +
+//! epoch-tagged cache invalidation) versus the pre-mutation
+//! alternative — tearing the session down and re-registering from
+//! scratch — on a 10k-tuple session.
+//!
+//! Besides the criterion group, the run records a JSON baseline at
+//! `crates/bench/baselines/bench_update.json`:
+//!
+//! * `incremental_vs_teardown_speedup` — how many times the
+//!   incremental update+eval path beats teardown/re-register+eval on
+//!   the identical delta script (dimensionless — the gated metric);
+//! * `incremental_round_us` / `teardown_round_us` — absolute per-round
+//!   times (document the recording machine, informational);
+//!
+//! plus correctness assertions (inside `measure_update`) that both
+//! paths return bit-identical evaluation rows every round.
+
+use cqchase_bench::update_workload::{
+    measure_update, update_workload, DELTA_OPS, ROUNDS, SEED, TUPLES,
+};
+use cqchase_par::default_threads;
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde_json::json;
+
+fn bench_update_paths(c: &mut Criterion) {
+    let w = update_workload(ROUNDS);
+    let mut group = c.benchmark_group("update");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("incremental_vs_teardown_rounds", |b| {
+        b.iter(|| criterion::black_box(measure_update(&w)))
+    });
+    group.finish();
+}
+
+/// Records the committed JSON baseline (see the module docs).
+fn record_baseline(_c: &mut Criterion) {
+    let w = update_workload(ROUNDS);
+    // Median of several measurements: the ratio is stable, but a single
+    // run on a noisy box is not.
+    let mut runs: Vec<_> = (0..5).map(|_| measure_update(&w)).collect();
+    runs.sort_by(|a, b| a.speedup().total_cmp(&b.speedup()));
+    let m = runs[runs.len() / 2];
+
+    let doc = json!({
+        "workload": format!(
+            "update: {TUPLES}-tuple successor session, {ROUNDS} rounds of {DELTA_OPS} \
+             seed-{SEED} deltas (50% deletes, reinserts included), 2-chain eval per round"
+        ),
+        "cores": default_threads(),
+        "incremental_vs_teardown_speedup": (m.speedup() * 100.0).round() / 100.0,
+        "incremental_round_us": (m.incremental_s / ROUNDS as f64 * 1e6).round(),
+        "teardown_round_us": (m.teardown_s / ROUNDS as f64 * 1e6).round(),
+    });
+    println!(
+        "\nupdate baseline: incremental beats teardown {:.2}x \
+         ({:.0} µs vs {:.0} µs per round)",
+        m.speedup(),
+        m.incremental_s / ROUNDS as f64 * 1e6,
+        m.teardown_s / ROUNDS as f64 * 1e6,
+    );
+    assert!(
+        m.speedup() > 1.0,
+        "incremental updates must beat teardown/re-register at recording time"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/bench_update.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap())
+        .expect("write bench_update baseline");
+    println!("baseline written to {path}");
+}
+
+criterion_group!(benches, bench_update_paths, record_baseline);
+criterion_main!(benches);

@@ -22,6 +22,7 @@
 //! target would make CI nondeterministic on shared runners.
 
 use cqchase_bench::service_workload::service_workload;
+use cqchase_bench::update_workload::{measure_update, update_workload, ROUNDS};
 use cqchase_bench::util::time_median;
 use cqchase_core::chase::{Chase, ChaseBudget, ChaseMode};
 use cqchase_core::hom::{find_hom, naive, HomTarget};
@@ -248,11 +249,38 @@ fn measure_service_metrics(doc: &Value, out: &mut Vec<Metric>) {
     }
 }
 
+/// Re-measures the `bench_update` ratio by replaying the canonical
+/// delta script (same seed, same rounds as the baseline recorder)
+/// through both the incremental and the teardown/re-register path.
+///
+/// The **speedup ratio** is the gated metric: both paths run on the
+/// same machine in the same process, so the ratio survives moving
+/// between machines the way the index/parallel ratios do. Each
+/// `measure_update` call internally asserts both paths' evaluation
+/// rows are bit-identical.
+fn measure_update_metrics(doc: &Value, out: &mut Vec<Metric>) {
+    let w = update_workload(ROUNDS);
+    let mut runs: Vec<f64> = (0..3).map(|_| measure_update(&w).speedup()).collect();
+    runs.sort_by(f64::total_cmp);
+    if let Some(b) = doc["incremental_vs_teardown_speedup"].as_f64() {
+        out.push(Metric {
+            name: "update.incremental_vs_teardown_speedup",
+            baseline: b,
+            current: runs[runs.len() / 2],
+            gated: true,
+        });
+    }
+}
+
 fn run(check: bool) -> i32 {
     let mut metrics = Vec::new();
     match load_baseline("bench_index.json") {
         Some(doc) => measure_index_metrics(&doc, &mut metrics),
         None => println!("warning: baselines/bench_index.json missing or unparsable"),
+    }
+    match load_baseline("bench_update.json") {
+        Some(doc) => measure_update_metrics(&doc, &mut metrics),
+        None => println!("warning: baselines/bench_update.json missing or unparsable"),
     }
     match load_baseline("bench_parallel.json") {
         Some(doc) => measure_parallel_metrics(&doc, &mut metrics),

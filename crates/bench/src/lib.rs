@@ -10,4 +10,5 @@
 pub mod exp;
 pub mod service_workload;
 pub mod table;
+pub mod update_workload;
 pub mod util;

@@ -1,0 +1,179 @@
+//! The deterministic live-update benchmark workload, shared by the
+//! `bench_update` baseline recorder and the `bench_gate` re-measurer so
+//! both sides of a gate comparison replay the identical delta script.
+//!
+//! The question the workload answers: on a 10k-tuple session, is
+//! applying a fact delta **incrementally** (`Session::apply_update`
+//! through `DbIndex::note_insert`/`note_remove`) and re-evaluating
+//! faster than the only alternative the pre-mutation server offered —
+//! tearing the session down and re-registering from scratch (full
+//! index + plan rebuild) before evaluating? The *ratio*
+//! `teardown_time / incremental_time` is dimensionless and gated; the
+//! absolute per-round times document the recording machine.
+
+use cqchase_ir::{parse_program, Constant, Program, RelId};
+use cqchase_service::Session;
+use cqchase_storage::{Tuple, Value};
+use cqchase_workload::{split_deltas, Delta, DeltaScriptGen};
+
+/// Live tuples at registration.
+pub const TUPLES: usize = 10_000;
+/// Deltas per update round.
+pub const DELTA_OPS: usize = 64;
+/// Update→eval rounds per measurement.
+pub const ROUNDS: usize = 8;
+/// Script seed.
+pub const SEED: u64 = 11;
+
+/// The schema, Σ-free query pool, and per-round delta scripts.
+pub struct UpdateWorkload {
+    /// Parsed schema + queries, with the initial facts filled in.
+    pub program: Program,
+    /// Per-round delta scripts (each applied as one `update`).
+    pub rounds: Vec<Vec<Delta>>,
+}
+
+/// One measurement: both paths replay the same rounds, answers are
+/// asserted identical, and the wall times are returned.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateMeasurement {
+    /// Total seconds for the incremental path (update + eval per round).
+    pub incremental_s: f64,
+    /// Total seconds for the teardown path (re-register + eval per
+    /// round).
+    pub teardown_s: f64,
+}
+
+impl UpdateMeasurement {
+    /// How many times the incremental path beat teardown/re-register.
+    pub fn speedup(&self) -> f64 {
+        self.teardown_s / self.incremental_s.max(1e-12)
+    }
+}
+
+/// Builds the canonical workload: a successor cycle of [`TUPLES`]
+/// facts, two queries (scan + 2-chain), and [`ROUNDS`] seeded scripts
+/// of [`DELTA_OPS`] deltas each (live deletes, fresh inserts, and
+/// delete-then-reinserts — see [`DeltaScriptGen`]).
+pub fn update_workload(rounds: usize) -> UpdateWorkload {
+    let mut program = parse_program(
+        "relation R(a, b).
+         A(x) :- R(x, y).
+         B(x) :- R(x, y), R(y, z).",
+    )
+    .expect("static program parses");
+    let r = program.catalog.resolve("R").unwrap();
+    program.facts = (0..TUPLES as i64)
+        .map(|i| {
+            (
+                r,
+                vec![Constant::Int(i), Constant::Int((i + 1) % TUPLES as i64)],
+            )
+        })
+        .collect();
+    let initial: Vec<(RelId, Tuple)> = program
+        .facts
+        .iter()
+        .map(|(rel, cs)| (*rel, cs.iter().cloned().map(Value::Const).collect()))
+        .collect();
+    // One generator across all rounds so later rounds can delete what
+    // earlier rounds inserted; split per round afterwards. NOTE: a
+    // chunk can touch one tuple twice (insert then delete), where
+    // `split_deltas`'s deletes-before-inserts order diverges from
+    // strict interleaving — harmless here because BOTH measured paths
+    // apply the same split order (it is the `update` op's semantics),
+    // so the differential assertion compares identical requests.
+    let gen = DeltaScriptGen {
+        seed: SEED,
+        ops: DELTA_OPS * rounds,
+        domain: 2 * TUPLES as i64,
+        delete_fraction: 0.5,
+    };
+    let script = gen.generate(&program.catalog, &initial);
+    let rounds = script.chunks(DELTA_OPS).map(<[Delta]>::to_vec).collect();
+    UpdateWorkload { program, rounds }
+}
+
+/// The wire-shaped fact lists `Session::apply_update` takes.
+type FactSpecs = Vec<(String, Vec<Constant>)>;
+
+/// Converts a delta batch into the `(insert, delete)` fact lists
+/// `Session::apply_update` takes.
+fn to_fact_specs(program: &Program, deltas: &[Delta]) -> (FactSpecs, FactSpecs) {
+    let (ins, del) = split_deltas(deltas);
+    let spec = |(rel, t): (RelId, Tuple)| {
+        (
+            program.catalog.name(rel).to_owned(),
+            t.iter()
+                .map(|v| v.as_const().expect("delta values are constants").clone())
+                .collect::<Vec<Constant>>(),
+        )
+    };
+    (
+        ins.into_iter().map(spec).collect(),
+        del.into_iter().map(spec).collect(),
+    )
+}
+
+/// Replays the workload through both paths and measures them.
+///
+/// Incremental: one resident session, `apply_update` + eval per round.
+/// Teardown: a from-scratch `Session::from_program` (the re-register
+/// cost: full `DbIndex` + plan state rebuild) + the same eval per
+/// round, on identical facts. Every round asserts the two paths'
+/// answer rows are bit-identical, outside the timed regions.
+pub fn measure_update(w: &UpdateWorkload) -> UpdateMeasurement {
+    let eval_q = 1; // the 2-chain query B
+    let live = Session::from_program("live", w.program.clone(), 64, 64)
+        .expect("workload program registers");
+
+    let mut incremental_s = 0.0;
+    let mut teardown_s = 0.0;
+    let mut teardown_facts = w.program.facts.clone();
+    for deltas in &w.rounds {
+        let (ins, del) = to_fact_specs(&w.program, deltas);
+
+        let t0 = std::time::Instant::now();
+        live.apply_update(&ins, &del).expect("valid deltas");
+        let live_rows = live.eval(eval_q);
+        incremental_s += t0.elapsed().as_secs_f64();
+
+        // Mirror the deltas onto the fact list (deletes first, then
+        // inserts, matching apply_update), outside the timed region.
+        for (rel_name, tuple) in &del {
+            let rel = w.program.catalog.resolve(rel_name).unwrap();
+            if let Some(pos) = teardown_facts
+                .iter()
+                .position(|(r, cs)| *r == rel && cs == tuple)
+            {
+                teardown_facts.remove(pos);
+            }
+        }
+        for (rel_name, tuple) in &ins {
+            let rel = w.program.catalog.resolve(rel_name).unwrap();
+            if !teardown_facts
+                .iter()
+                .any(|(r, cs)| *r == rel && cs == tuple)
+            {
+                teardown_facts.push((rel, tuple.clone()));
+            }
+        }
+        let mut program = w.program.clone();
+        program.facts = teardown_facts.clone();
+
+        let t0 = std::time::Instant::now();
+        let fresh =
+            Session::from_program("fresh", program, 64, 64).expect("mutated program registers");
+        let fresh_rows = fresh.eval(eval_q);
+        teardown_s += t0.elapsed().as_secs_f64();
+
+        assert_eq!(
+            live_rows, fresh_rows,
+            "incremental and teardown answers diverged"
+        );
+    }
+    UpdateMeasurement {
+        incremental_s,
+        teardown_s,
+    }
+}

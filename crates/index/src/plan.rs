@@ -250,6 +250,32 @@ impl PlanCache {
         self.plans.clear();
         self.len = 0;
     }
+
+    /// Drops only the cached **unsatisfiable** plans (`None` entries).
+    ///
+    /// A `None` plan records "some body constant is absent from the
+    /// source" — a fact that stays true under deletions (symbols are
+    /// never un-interned) but can be *falsified* by an insertion that
+    /// interns the missing constant. Mutating owners call this whenever
+    /// an insert grew the symbol pool; satisfiable plans embed stable
+    /// symbols and survive untouched.
+    pub fn drop_unsatisfiable(&mut self) {
+        if self.capacity == Some(0) {
+            // Degenerate bound: only the uncounted scratch bucket can
+            // exist (`len` stays 0 on this path), and every lookup
+            // recompiles anyway — clear it rather than underflow `len`.
+            self.plans.clear();
+            return;
+        }
+        let mut dropped = 0usize;
+        for bucket in self.plans.values_mut() {
+            let before = bucket.len();
+            bucket.retain(|c| c.plan.is_some());
+            dropped += before - bucket.len();
+        }
+        self.plans.retain(|_, bucket| !bucket.is_empty());
+        self.len -= dropped;
+    }
 }
 
 #[cfg(test)]
@@ -421,6 +447,37 @@ mod tests {
     }
 
     #[test]
+    fn drop_unsatisfiable_keeps_satisfiable_plans() {
+        let p = parse_program(
+            "relation R(a, b).
+             Q(x) :- R(x, y).
+             Qc(x) :- R(x, 99).",
+        )
+        .unwrap();
+        let mut src = toy();
+        let mut cache = PlanCache::new();
+        assert!(cache.get_or_compile(&p.queries[0], &src).is_some());
+        assert!(cache.get_or_compile(&p.queries[1], &src).is_none());
+        assert_eq!(cache.len(), 2);
+        // The source learns constant 99 — the cached `None` must go.
+        let rel = RelId(0);
+        let syms = vec![
+            src.pool.intern(&Constant::int(99)),
+            src.pool.intern(&Constant::int(99)),
+        ];
+        src.cols.insert_row(rel, 1, &syms);
+        src.rows[0].push(syms);
+        cache.drop_unsatisfiable();
+        assert_eq!(cache.len(), 1);
+        // Recompiled against the grown source: now satisfiable.
+        assert!(cache.get_or_compile(&p.queries[1], &src).is_some());
+        // The satisfiable plan survived as a hit.
+        let hits = cache.hits();
+        assert!(cache.get_or_compile(&p.queries[0], &src).is_some());
+        assert_eq!(cache.hits(), hits + 1);
+    }
+
+    #[test]
     fn zero_capacity_never_caches() {
         let p = parse_program("relation R(a, b). Q(x) :- R(x, y).").unwrap();
         let src = toy();
@@ -431,5 +488,19 @@ mod tests {
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 3);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_drop_unsatisfiable_does_not_underflow() {
+        // Regression: the capacity-0 scratch entry is not counted in
+        // `len`, so dropping it must not decrement `len` below zero.
+        let p = parse_program("relation R(a, b). Qc(x) :- R(x, 99).").unwrap();
+        let src = toy();
+        let mut cache = PlanCache::with_capacity(0);
+        assert!(cache.get_or_compile(&p.queries[0], &src).is_none());
+        cache.drop_unsatisfiable();
+        assert!(cache.is_empty());
+        // Still usable afterwards.
+        assert!(cache.get_or_compile(&p.queries[0], &src).is_none());
     }
 }

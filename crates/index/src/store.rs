@@ -60,6 +60,16 @@ impl ColumnIndex {
         }
     }
 
+    /// Drops every posting list of `rel` (the owner is renumbering its
+    /// rows wholesale — amortized compaction after deletions — and will
+    /// re-register the survivors with [`ColumnIndex::insert_row`]).
+    /// Column maps are retained empty, so arities stay stable.
+    pub fn clear_rel(&mut self, rel: RelId) {
+        for m in &mut self.rels[rel.index()] {
+            m.clear();
+        }
+    }
+
     /// Moves `row` from `from`'s posting list to `to`'s in column `col`
     /// of `rel` (the FD substitution primitive).
     pub fn replace_in_col(&mut self, rel: RelId, col: usize, row: u32, from: Sym, to: Sym) {
@@ -157,9 +167,17 @@ impl ColumnIndex {
 }
 
 /// Hash-based whole-row duplicate detection: `(relation, symbols) → row`.
+///
+/// Sharded per relation (like [`ColumnIndex`]) so that per-relation
+/// wholesale operations — [`DedupIndex::clear_rel`], the amortized
+/// compaction primitive — cost O(that relation's keys), not O(every
+/// key in the database). Shards grow on demand, so no arity/relation
+/// count is needed at construction.
 #[derive(Debug, Clone, Default)]
 pub struct DedupIndex {
-    map: FxHashMap<(RelId, Vec<Sym>), u32>,
+    /// One map per relation, indexed by `RelId`.
+    rels: Vec<FxHashMap<Vec<Sym>, u32>>,
+    len: usize,
 }
 
 impl DedupIndex {
@@ -168,15 +186,26 @@ impl DedupIndex {
         DedupIndex::default()
     }
 
+    fn shard_mut(&mut self, rel: RelId) -> &mut FxHashMap<Vec<Sym>, u32> {
+        if self.rels.len() <= rel.index() {
+            self.rels.resize_with(rel.index() + 1, FxHashMap::default);
+        }
+        &mut self.rels[rel.index()]
+    }
+
     /// The row already holding `(rel, syms)`, if any.
     pub fn get(&self, rel: RelId, syms: &[Sym]) -> Option<u32> {
-        self.map.get(&(rel, syms.to_vec())).copied()
+        self.rels.get(rel.index())?.get(syms).copied()
     }
 
     /// Registers `(rel, syms) → row`; returns the previous holder if the
     /// key was taken (the caller decides who survives).
     pub fn insert(&mut self, rel: RelId, syms: &[Sym], row: u32) -> Option<u32> {
-        self.map.insert((rel, syms.to_vec()), row)
+        let prev = self.shard_mut(rel).insert(syms.to_vec(), row);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
     }
 
     /// Registers `(rel, syms) → row` only when the key is free; returns
@@ -185,32 +214,95 @@ impl DedupIndex {
     /// hot path's primitive.
     pub fn try_insert(&mut self, rel: RelId, syms: &[Sym], row: u32) -> Option<u32> {
         use std::collections::hash_map::Entry;
-        match self.map.entry((rel, syms.to_vec())) {
+        match self.shard_mut(rel).entry(syms.to_vec()) {
             Entry::Occupied(e) => Some(*e.get()),
             Entry::Vacant(e) => {
                 e.insert(row);
+                self.len += 1;
                 None
             }
+        }
+    }
+
+    /// Drops every key of `rel` (the compaction counterpart of
+    /// [`ColumnIndex::clear_rel`]; survivors are re-registered under
+    /// their new row ids). Costs only the cleared relation's keys.
+    pub fn clear_rel(&mut self, rel: RelId) {
+        if let Some(shard) = self.rels.get_mut(rel.index()) {
+            self.len -= shard.len();
+            shard.clear();
         }
     }
 
     /// Removes the entry for `(rel, syms)` when it points at `row`.
     pub fn remove(&mut self, rel: RelId, syms: &[Sym], row: u32) {
         use std::collections::hash_map::Entry;
-        if let Entry::Occupied(e) = self.map.entry((rel, syms.to_vec())) {
+        let Some(shard) = self.rels.get_mut(rel.index()) else {
+            return;
+        };
+        if let Entry::Occupied(e) = shard.entry(syms.to_vec()) {
             if *e.get() == row {
                 e.remove();
+                self.len -= 1;
             }
         }
     }
 
     /// Number of distinct keys.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether no keys are registered.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(i: u32) -> RelId {
+        RelId(i)
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut idx = ColumnIndex::new([2usize]);
+        let (a, b, c) = (Sym(0), Sym(1), Sym(2));
+        idx.insert_row(rel(0), 0, &[a, b]);
+        idx.insert_row(rel(0), 1, &[a, c]);
+        assert_eq!(idx.posting(rel(0), 0, a), &[0, 1]);
+        idx.remove_row(rel(0), 0, &[a, b]);
+        assert_eq!(idx.posting(rel(0), 0, a), &[1]);
+        assert!(idx.posting(rel(0), 1, b).is_empty());
+    }
+
+    #[test]
+    fn clear_rel_drops_only_that_relation() {
+        let mut idx = ColumnIndex::new([2usize, 1]);
+        let (a, b) = (Sym(0), Sym(1));
+        idx.insert_row(rel(0), 0, &[a, b]);
+        idx.insert_row(rel(1), 0, &[a]);
+        idx.clear_rel(rel(0));
+        assert!(idx.posting(rel(0), 0, a).is_empty());
+        assert!(idx.posting(rel(0), 1, b).is_empty());
+        assert_eq!(idx.posting(rel(1), 0, a), &[0]);
+        // Arities survive: re-registering rows works.
+        idx.insert_row(rel(0), 7, &[b, a]);
+        assert_eq!(idx.posting(rel(0), 0, b), &[7]);
+    }
+
+    #[test]
+    fn dedup_clear_rel_drops_only_that_relation() {
+        let mut d = DedupIndex::new();
+        let syms = [Sym(0), Sym(1)];
+        d.insert(rel(0), &syms, 0);
+        d.insert(rel(1), &syms, 4);
+        d.clear_rel(rel(0));
+        assert_eq!(d.get(rel(0), &syms), None);
+        assert_eq!(d.get(rel(1), &syms), Some(4));
+        assert_eq!(d.len(), 1);
     }
 }

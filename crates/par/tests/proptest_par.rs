@@ -10,8 +10,8 @@ use cqchase_core::{
 };
 use cqchase_ir::builder::TermSpec;
 use cqchase_ir::{Catalog, ConjunctiveQuery, DependencySet, Fd, Ind, QueryBuilder};
-use cqchase_par::{check_batch, evaluate_batch, BatchOptions};
-use cqchase_storage::{evaluate_batch as evaluate_batch_seq, Database};
+use cqchase_par::{check_batch, evaluate_batch, evaluate_batch_indexed, BatchOptions};
+use cqchase_storage::{evaluate_batch as evaluate_batch_seq, Database, DbIndex, Value};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 
@@ -154,6 +154,42 @@ proptest! {
         for threads in THREAD_COUNTS {
             let par = evaluate_batch(&qs, &db, BatchOptions::with_threads(threads));
             prop_assert_eq!(&par, &seq, "{} threads", threads);
+        }
+    }
+
+    /// A **mutated** shared index (inserts + deletes + tombstones +
+    /// possible compactions applied incrementally) evaluates across
+    /// worker threads bit-identically to a from-scratch index on the
+    /// same final facts — the live-session update path runs exactly
+    /// this shape: mutate under a write lock, then fan out reads.
+    #[test]
+    fn parallel_eval_agrees_on_mutated_index(
+        qs in proptest::collection::vec(small_query(), 1..6),
+        db in instances(),
+        deltas in proptest::collection::vec(
+            (any::<bool>(), any::<bool>(), 0i64..4, 0i64..4), 1..24),
+    ) {
+        let cat = catalog();
+        let r = cat.resolve("R").unwrap();
+        let s = cat.resolve("S").unwrap();
+        let mut db = db;
+        let mut idx = DbIndex::build(&db);
+        for (is_delete, use_s, a, b) in deltas {
+            let rel = if use_s { s } else { r };
+            let t = vec![Value::int(a), Value::int(b)];
+            if is_delete {
+                if db.remove(rel, &t).unwrap() {
+                    prop_assert!(idx.note_remove(rel, &t));
+                }
+            } else if db.insert(rel, t.clone()).unwrap() {
+                idx.note_insert(rel, &t);
+            }
+        }
+        let fresh = DbIndex::build(&db);
+        let seq = evaluate_batch_indexed(&qs, &fresh, BatchOptions::with_threads(1));
+        for threads in THREAD_COUNTS {
+            let par = evaluate_batch_indexed(&qs, &idx, BatchOptions::with_threads(threads));
+            prop_assert_eq!(&par, &seq, "{} threads over the mutated index", threads);
         }
     }
 }

@@ -58,6 +58,21 @@ pub enum Work {
         /// Query index.
         q: usize,
     },
+    /// Apply fact deltas to `session`'s live facts.
+    ///
+    /// Updates are **epoch barriers** in the queue: within one drained
+    /// batch, everything submitted before the update runs (and answers)
+    /// against the old facts, then the update applies under the facts
+    /// write lock, then the remainder runs against the new facts. An
+    /// update never executes concurrently with batch compute.
+    Update {
+        /// The session whose facts change.
+        session: Arc<Session>,
+        /// Facts to insert.
+        insert: Vec<crate::proto::FactSpec>,
+        /// Facts to delete (applied before the inserts).
+        delete: Vec<crate::proto::FactSpec>,
+    },
 }
 
 /// The answer to one unit of work.
@@ -76,9 +91,13 @@ pub enum Outcome {
     Eval {
         /// The result tuples.
         rows: Vec<Tuple>,
+        /// Served from the session's epoch-tagged result cache.
+        cached: bool,
         /// Answered by riding an identical in-flight request.
         coalesced: bool,
     },
+    /// What an update did (or the validation error message).
+    Update(Result<crate::session::UpdateSummary, String>),
 }
 
 struct Pending {
@@ -245,8 +264,10 @@ impl Batcher {
         guard.armed = false;
     }
 
-    /// Runs one drained batch: group per session, coalesce identical
-    /// items, run the batch engines, fan answers out.
+    /// Runs one drained batch, honoring update barriers: items are
+    /// processed in arrival order as maximal update-free **segments**;
+    /// each update flushes the segment before it, applies under the
+    /// facts write lock, and everything after it sees the new epoch.
     fn run_batch(&self, batch: Vec<Pending>) {
         use std::sync::atomic::Ordering;
         self.metrics.batches.fetch_add(1, Ordering::Relaxed);
@@ -254,6 +275,30 @@ impl Batcher {
             .batched_items
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
 
+        let mut segment: Vec<Pending> = Vec::new();
+        for p in batch {
+            if let Work::Update {
+                session,
+                insert,
+                delete,
+            } = p.work
+            {
+                self.run_segment(std::mem::take(&mut segment));
+                let result = session.apply_update(&insert, &delete);
+                let _ = p.tx.send(Outcome::Update(result));
+            } else {
+                segment.push(p);
+            }
+        }
+        self.run_segment(segment);
+    }
+
+    /// Runs one update-free segment: group per session, coalesce
+    /// identical items, run the batch engines, fan answers out.
+    fn run_segment(&self, batch: Vec<Pending>) {
+        if batch.is_empty() {
+            return;
+        }
         // Group by (session identity, kind), preserving arrival order.
         struct Group {
             session: Arc<Session>,
@@ -264,6 +309,7 @@ impl Batcher {
         for p in batch {
             let session = match &p.work {
                 Work::Check { session, .. } | Work::Eval { session, .. } => Arc::clone(session),
+                Work::Update { .. } => unreachable!("updates are barriers, not segment items"),
             };
             let slot = match groups
                 .iter_mut()
@@ -282,6 +328,7 @@ impl Batcher {
             match p.work {
                 Work::Check { q, q_prime, .. } => slot.checks.push((q, q_prime, p.tx)),
                 Work::Eval { q, .. } => slot.evals.push((q, p.tx)),
+                Work::Update { .. } => unreachable!("updates are barriers, not segment items"),
             }
         }
 
@@ -371,11 +418,12 @@ impl Batcher {
             entry.push(tx);
         }
         for q in unique {
-            let rows = session.eval(q);
+            let (rows, cached) = session.eval_cached(q);
             let txs = waiters.remove(&q).expect("every unique query has waiters");
             for (i, tx) in txs.into_iter().enumerate() {
                 let _ = tx.send(Outcome::Eval {
                     rows: rows.clone(),
+                    cached,
                     coalesced: i > 0,
                 });
             }
@@ -501,13 +549,77 @@ mod tests {
                 q: 0,
             })
             .unwrap();
-        let Outcome::Eval { rows, coalesced } = out else {
+        let Outcome::Eval {
+            rows, coalesced, ..
+        } = out
+        else {
             panic!("expected eval outcome");
         };
         assert!(!coalesced);
-        assert_eq!(rows, cqchase_storage::evaluate(s.query(0), &s.db));
+        let direct = {
+            let facts = s.facts.read().unwrap();
+            cqchase_storage::evaluate(s.query(0), &facts.db)
+        };
+        assert_eq!(rows, direct);
         let rendered = rows_to_value(&rows);
         assert_eq!(rendered[0][0], "1");
+    }
+
+    #[test]
+    fn update_is_an_epoch_barrier_and_invalidates_eval_rows() {
+        use cqchase_ir::Constant;
+        let s = test_session();
+        let batcher = Batcher::new(1, Arc::new(Metrics::new()));
+        let eval = |batcher: &Batcher| match batcher
+            .submit(Work::Eval {
+                session: Arc::clone(&s),
+                q: 0,
+            })
+            .unwrap()
+        {
+            Outcome::Eval { rows, cached, .. } => (rows.len(), cached),
+            other => panic!("unexpected outcome {other:?}"),
+        };
+        assert_eq!(eval(&batcher), (2, false));
+        assert_eq!(eval(&batcher), (2, true), "second eval rides the row cache");
+        let out = batcher
+            .submit(Work::Update {
+                session: Arc::clone(&s),
+                insert: vec![("R".into(), vec![Constant::Int(8), Constant::Int(9)])],
+                delete: vec![("R".into(), vec![Constant::Int(1), Constant::Int(2)])],
+            })
+            .unwrap();
+        let Outcome::Update(Ok(sum)) = out else {
+            panic!("expected update outcome, got {out:?}");
+        };
+        assert_eq!((sum.inserted, sum.deleted, sum.epoch), (1, 1, 1));
+        // Post-barrier eval sees the new facts, uncached.
+        assert_eq!(eval(&batcher), (2, false));
+        let rows = match batcher
+            .submit(Work::Eval {
+                session: Arc::clone(&s),
+                q: 0,
+            })
+            .unwrap()
+        {
+            Outcome::Eval { rows, .. } => rows,
+            other => panic!("unexpected outcome {other:?}"),
+        };
+        let direct = {
+            let facts = s.facts.read().unwrap();
+            cqchase_storage::evaluate(s.query(0), &facts.db)
+        };
+        assert_eq!(rows, direct);
+        // A bad update reports its error without wedging the queue.
+        let out = batcher
+            .submit(Work::Update {
+                session: Arc::clone(&s),
+                insert: vec![("NOPE".into(), vec![Constant::Int(1)])],
+                delete: vec![],
+            })
+            .unwrap();
+        assert!(matches!(out, Outcome::Update(Err(_))));
+        assert_eq!(eval(&batcher), (2, true));
     }
 
     #[test]

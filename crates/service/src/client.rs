@@ -8,7 +8,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 use serde_json::Value;
 
-use crate::proto::Request;
+use crate::proto::{FactSpec, Request};
 
 /// Ways a client call can fail.
 #[derive(Debug)]
@@ -111,11 +111,28 @@ impl Client {
         Self::expect_ok(v)
     }
 
-    /// Registers (or replaces) a session from program text.
+    /// Registers a session from program text. Session names are unique:
+    /// registering a taken name is a server error (use
+    /// [`Client::update`] to mutate a live session's facts).
     pub fn register(&mut self, session: &str, program: &str) -> Result<Value, ClientError> {
         self.checked(&Request::Register {
             session: session.into(),
             program: program.into(),
+        })
+    }
+
+    /// Applies fact deltas to a registered session (deletes run before
+    /// inserts; both are idempotent).
+    pub fn update(
+        &mut self,
+        session: &str,
+        insert: &[FactSpec],
+        delete: &[FactSpec],
+    ) -> Result<Value, ClientError> {
+        self.checked(&Request::Update {
+            session: session.into(),
+            insert: insert.to_vec(),
+            delete: delete.to_vec(),
         })
     }
 

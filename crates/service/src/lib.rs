@@ -9,14 +9,18 @@
 //! classification) is a hom-search against state the server keeps hot.
 //!
 //! * [`proto`] — the wire protocol: one JSON object per line
-//!   (`register`, `check`, `eval`, `classify`, `stats`, `shutdown`),
-//!   on the offline `serde_json` shim;
-//! * [`session`] — named sessions: catalog + Σ + facts registered once,
-//!   then queried many times over warm `DbIndex` / bounded `PlanCache`
-//!   state;
+//!   (`register`, `update`, `check`, `eval`, `classify`, `stats`,
+//!   `shutdown`), on the offline `serde_json` shim;
+//! * [`session`] — named sessions: catalog + Σ + queries registered
+//!   once and served over warm `DbIndex` / bounded `PlanCache` state;
+//!   the **facts are live** — `update` deltas flow through incremental
+//!   index maintenance under a facts epoch that invalidates exactly the
+//!   eval-dependent caches (containment answers and satisfiable plans
+//!   survive);
 //! * [`batch`] — the admission/batching queue: concurrent requests
 //!   coalesce into `cqchase-par` batch runs (chase sharing, identical
-//!   in-flight requests answered once);
+//!   in-flight requests answered once); updates are epoch barriers that
+//!   serialize against in-flight batch compute;
 //! * [`cache`] — the semantic cache: containment answers keyed by the
 //!   *isomorphism class* of `(Q, Q′, Σ)` via [`cqchase_core::iso_key`],
 //!   verified by [`cqchase_core::is_isomorphic`], bounded LRU;
@@ -49,6 +53,6 @@ pub use batch::{Batcher, Outcome, Work};
 pub use cache::{CacheStats, SemanticCache};
 pub use client::{Client, ClientError};
 pub use metrics::Metrics;
-pub use proto::{CheckSummary, Op, Request};
+pub use proto::{CheckSummary, FactSpec, Op, Request};
 pub use server::{ServeOptions, Server};
-pub use session::Session;
+pub use session::{Session, SessionRegistry, UpdateSummary};

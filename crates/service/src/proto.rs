@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! {"op":"register","session":"s","program":"relation R(a,b). …"}
+//! {"op":"update","session":"s","insert":[["R",[1,2]]],"delete":[["R",[7,8]]]}
 //! {"op":"check","session":"s","q":"Q1","q_prime":"Q2"}
 //! {"op":"eval","session":"s","query":"Q1"}
 //! {"op":"classify","session":"s"}
@@ -17,14 +18,22 @@
 //! Responses always carry `"ok"` (`true`/`false`) and echo `"op"`;
 //! failures carry `"error"` with a message. See the README "Service"
 //! section for the full field inventory and an example transcript.
+//!
+//! `update` facts are `[relation, [value, …]]` pairs; integer JSON
+//! numbers become integer constants, strings become string constants.
 
+use cqchase_ir::Constant;
 use serde_json::{Map, Value};
 
 /// The protocol operations, in stats-table order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
-    /// Create/replace a named session from a program text.
+    /// Create a named session from a program text. Names are unique:
+    /// registering an existing name is an error (mutate the live
+    /// session with [`Op::Update`] instead of re-registering).
     Register,
+    /// Apply fact deltas (inserts/deletes) to a session's live facts.
+    Update,
     /// Containment test between two registered queries.
     Check,
     /// Evaluate a registered query over the session's facts.
@@ -38,8 +47,9 @@ pub enum Op {
 }
 
 /// All operations, indexable by `op as usize`.
-pub const ALL_OPS: [Op; 6] = [
+pub const ALL_OPS: [Op; 7] = [
     Op::Register,
+    Op::Update,
     Op::Check,
     Op::Eval,
     Op::Classify,
@@ -52,6 +62,7 @@ impl Op {
     pub fn as_str(self) -> &'static str {
         match self {
             Op::Register => "register",
+            Op::Update => "update",
             Op::Check => "check",
             Op::Eval => "eval",
             Op::Classify => "classify",
@@ -71,13 +82,26 @@ impl Op {
 pub enum Request {
     /// `{"op":"register","session":S,"program":P}` — parse `P` (surface
     /// language: relations, dependencies, queries, ground facts) and
-    /// build warm session state under the name `S`, replacing any
-    /// previous session of that name.
+    /// build warm session state under the name `S`. Registering a name
+    /// that already exists is an `ok:false` error — mutate the existing
+    /// session with [`Request::Update`] instead.
     Register {
         /// Session name.
         session: String,
         /// Program text in the surface language.
         program: String,
+    },
+    /// `{"op":"update","session":S,"insert":[[R,[v,…]],…],"delete":[…]}`
+    /// — apply fact deltas to the session's live facts. Deletes run
+    /// before inserts; both are idempotent (deleting an absent tuple or
+    /// inserting a present one is a counted no-op).
+    Update {
+        /// Session name.
+        session: String,
+        /// Facts to insert, as `(relation, constants)` pairs.
+        insert: Vec<FactSpec>,
+        /// Facts to delete, as `(relation, constants)` pairs.
+        delete: Vec<FactSpec>,
     },
     /// `{"op":"check","session":S,"q":Q,"q_prime":QP}` — test
     /// `Σ ⊨ Q ⊆∞ QP` for two queries registered in `S`.
@@ -108,6 +132,9 @@ pub enum Request {
     Shutdown,
 }
 
+/// One ground fact on the wire: relation name plus constant values.
+pub type FactSpec = (String, Vec<Constant>);
+
 fn str_field(obj: &Map<String, Value>, key: &str) -> Result<String, String> {
     obj.get(key)
         .and_then(Value::as_str)
@@ -115,11 +142,70 @@ fn str_field(obj: &Map<String, Value>, key: &str) -> Result<String, String> {
         .ok_or_else(|| format!("missing or non-string field `{key}`"))
 }
 
+/// Decodes one `[relation, [value, …]]` fact. Integer JSON numbers map
+/// to integer constants, strings to string constants; anything else
+/// (floats, booleans, nulls, nesting) is rejected.
+fn fact_from_value(v: &Value) -> Result<FactSpec, String> {
+    let pair = v
+        .as_array()
+        .filter(|a| a.len() == 2)
+        .ok_or("each fact must be a [relation, [values]] pair")?;
+    let rel = pair[0]
+        .as_str()
+        .ok_or("fact relation must be a string")?
+        .to_owned();
+    let vals = pair[1].as_array().ok_or("fact values must be an array")?;
+    let mut tuple = Vec::with_capacity(vals.len());
+    for v in vals {
+        if let Some(i) = v.as_i64() {
+            tuple.push(Constant::Int(i));
+        } else if let Some(s) = v.as_str() {
+            tuple.push(Constant::str(s));
+        } else {
+            return Err(format!("fact value {v} is neither an integer nor a string"));
+        }
+    }
+    Ok((rel, tuple))
+}
+
+/// Decodes an optional array-of-facts field (absent reads as empty).
+fn facts_field(obj: &Map<String, Value>, key: &str) -> Result<Vec<FactSpec>, String> {
+    match obj.get(key) {
+        None => Ok(Vec::new()),
+        Some(v) => v
+            .as_array()
+            .ok_or_else(|| format!("field `{key}` must be an array of facts"))?
+            .iter()
+            .map(fact_from_value)
+            .collect(),
+    }
+}
+
+/// Encodes facts as `[[relation, [value, …]], …]`.
+fn facts_to_value(facts: &[FactSpec]) -> Value {
+    Value::Array(
+        facts
+            .iter()
+            .map(|(rel, tuple)| {
+                let vals: Vec<Value> = tuple
+                    .iter()
+                    .map(|c| match c {
+                        Constant::Int(i) => Value::from(*i),
+                        Constant::Str(s) => Value::from(s.as_ref()),
+                    })
+                    .collect();
+                Value::Array(vec![Value::from(rel.as_str()), Value::Array(vals)])
+            })
+            .collect(),
+    )
+}
+
 impl Request {
     /// The request's operation.
     pub fn op(&self) -> Op {
         match self {
             Request::Register { .. } => Op::Register,
+            Request::Update { .. } => Op::Update,
             Request::Check { .. } => Op::Check,
             Request::Eval { .. } => Op::Eval,
             Request::Classify { .. } => Op::Classify,
@@ -137,6 +223,18 @@ impl Request {
                 session: str_field(obj, "session")?,
                 program: str_field(obj, "program")?,
             }),
+            "update" => {
+                let insert = facts_field(obj, "insert")?;
+                let delete = facts_field(obj, "delete")?;
+                if insert.is_empty() && delete.is_empty() {
+                    return Err("update carries no `insert` or `delete` facts".into());
+                }
+                Ok(Request::Update {
+                    session: str_field(obj, "session")?,
+                    insert,
+                    delete,
+                })
+            }
             "check" => Ok(Request::Check {
                 session: str_field(obj, "session")?,
                 q: str_field(obj, "q")?,
@@ -152,7 +250,7 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op `{other}` (expected register/check/eval/classify/stats/shutdown)"
+                "unknown op `{other}` (expected register/update/check/eval/classify/stats/shutdown)"
             )),
         }
     }
@@ -171,6 +269,15 @@ impl Request {
             Request::Register { session, program } => {
                 m.insert("session".into(), Value::from(session.as_str()));
                 m.insert("program".into(), Value::from(program.as_str()));
+            }
+            Request::Update {
+                session,
+                insert,
+                delete,
+            } => {
+                m.insert("session".into(), Value::from(session.as_str()));
+                m.insert("insert".into(), facts_to_value(insert));
+                m.insert("delete".into(), facts_to_value(delete));
             }
             Request::Check {
                 session,
@@ -260,6 +367,14 @@ mod tests {
                 session: "s".into(),
                 program: "relation R(a).\nQ(x) :- R(x).".into(),
             },
+            Request::Update {
+                session: "s".into(),
+                insert: vec![
+                    ("R".into(), vec![Constant::Int(1), Constant::Int(-2)]),
+                    ("S".into(), vec![Constant::str("x")]),
+                ],
+                delete: vec![("R".into(), vec![Constant::Int(7), Constant::Int(8)])],
+            },
             Request::Check {
                 session: "s".into(),
                 q: "Q1".into(),
@@ -289,6 +404,31 @@ mod tests {
         assert!(Request::from_line(r#"{"op":"frobnicate"}"#).is_err());
         assert!(Request::from_line(r#"{"op":"check","session":"s"}"#).is_err());
         assert!(Request::from_line(r#"{"op":"check","session":3,"q":"a","q_prime":"b"}"#).is_err());
+    }
+
+    #[test]
+    fn update_requests_validate_facts() {
+        // Missing both delta fields.
+        assert!(Request::from_line(r#"{"op":"update","session":"s"}"#).is_err());
+        // Malformed fact shapes.
+        assert!(Request::from_line(r#"{"op":"update","session":"s","insert":["R"]}"#).is_err());
+        assert!(
+            Request::from_line(r#"{"op":"update","session":"s","insert":[["R",[1.5]]]}"#).is_err()
+        );
+        assert!(
+            Request::from_line(r#"{"op":"update","session":"s","insert":[["R",[true]]]}"#).is_err()
+        );
+        // Absent `delete` reads as empty.
+        let r = Request::from_line(r#"{"op":"update","session":"s","insert":[["R",[1,"a"]]]}"#)
+            .unwrap();
+        assert_eq!(
+            r,
+            Request::Update {
+                session: "s".into(),
+                insert: vec![("R".into(), vec![Constant::Int(1), Constant::str("a")])],
+                delete: vec![],
+            }
+        );
     }
 
     #[test]

@@ -14,11 +14,10 @@
 //! timeout, at most ~200 ms) and joins every worker — and `run`
 //! returns.
 
-use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cqchase_par::ThreadPool;
@@ -27,7 +26,7 @@ use serde_json::{Map, Value};
 use crate::batch::{rows_to_value, Batcher, Outcome, Work};
 use crate::metrics::Metrics;
 use crate::proto::{error_response, ok_response, Op, Request};
-use crate::session::Session;
+use crate::session::{Session, SessionRegistry};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -58,7 +57,7 @@ impl Default for ServeOptions {
 
 /// State shared by every connection handler.
 struct Shared {
-    sessions: RwLock<HashMap<String, Arc<Session>>>,
+    sessions: SessionRegistry,
     batcher: Batcher,
     metrics: Arc<Metrics>,
     shutdown: AtomicBool,
@@ -93,7 +92,7 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let metrics = Arc::new(Metrics::new());
         let shared = Arc::new(Shared {
-            sessions: RwLock::new(HashMap::new()),
+            sessions: SessionRegistry::new(),
             batcher: Batcher::new(opts.batch_threads, Arc::clone(&metrics)),
             metrics,
             shutdown: AtomicBool::new(false),
@@ -194,6 +193,11 @@ const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
 struct LineReader {
     buf: Vec<u8>,
     start: usize,
+    /// Index up to which `buf` is known newline-free (≥ `start`).
+    /// Without it, every arriving chunk would re-scan the whole
+    /// buffered line — quadratic in the line length, which a peer
+    /// streaming an almost-cap-sized line turns into seconds of CPU.
+    scanned: usize,
 }
 
 impl LineReader {
@@ -201,31 +205,41 @@ impl LineReader {
         LineReader {
             buf: Vec::with_capacity(4096),
             start: 0,
+            scanned: 0,
         }
     }
 
-    /// The next `\n`-terminated line (without the terminator), `None`
-    /// on peer close or shutdown.
+    /// The next `\n`-terminated line as raw bytes (without the
+    /// terminator), `None` on peer close or shutdown. UTF-8 validation
+    /// is the caller's: a bad line is fully consumed through its
+    /// newline, so the caller can answer an error and keep the stream.
     fn next_line(
         &mut self,
         stream: &mut TcpStream,
         shutdown: &AtomicBool,
-    ) -> io::Result<Option<String>> {
+    ) -> io::Result<Option<Vec<u8>>> {
         loop {
-            if let Some(pos) = self.buf[self.start..].iter().position(|&b| b == b'\n') {
-                let end = self.start + pos;
-                let line = String::from_utf8_lossy(&self.buf[self.start..end]).into_owned();
+            if let Some(pos) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let end = self.scanned + pos;
+                let line = self.buf[self.start..end].to_vec();
                 self.start = end + 1;
+                // Bytes past the newline are unscanned territory.
+                self.scanned = self.start;
                 if self.start == self.buf.len() {
                     self.buf.clear();
                     self.start = 0;
+                    self.scanned = 0;
                 }
                 return Ok(Some(line));
             }
+            self.scanned = self.buf.len();
             if shutdown.load(Ordering::Acquire) {
                 return Ok(None);
             }
             if self.buf.len() - self.start > MAX_LINE_BYTES {
+                // No newline within the cap: the stream is mid-line and
+                // unrecoverably desynchronized — the caller must answer
+                // one refusal and close, never read on.
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "request line exceeds the maximum length",
@@ -238,6 +252,7 @@ impl LineReader {
                     // Drop consumed bytes before growing.
                     if self.start > 0 {
                         self.buf.drain(..self.start);
+                        self.scanned -= self.start;
                         self.start = 0;
                     }
                     self.buf.extend_from_slice(&chunk[..n]);
@@ -258,15 +273,86 @@ impl LineReader {
     }
 }
 
+/// How long a refused connection's lingering close discards input
+/// before giving up on a clean shutdown.
+const LINGER_MAX: Duration = Duration::from_secs(2);
+
+/// Reads and discards input until the peer closes (or a short deadline
+/// or server shutdown) — the lingering half of refuse-then-close, so a
+/// refusal written just before is reliably delivered instead of being
+/// wiped out by the reset a close-with-unread-bytes provokes.
+fn drain_briefly(stream: &mut TcpStream, shutdown: &AtomicBool) {
+    let deadline = Instant::now() + LINGER_MAX;
+    let mut scratch = [0u8; 4096];
+    while Instant::now() < deadline && !shutdown.load(Ordering::Acquire) {
+        match stream.read(&mut scratch) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Writes one response line, reporting whether the peer is still there.
+fn write_line(stream: &mut TcpStream, response: &Value) -> bool {
+    let mut line = response.to_string();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).is_ok() && stream.flush().is_ok()
+}
+
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let _ = stream.set_nodelay(true);
     let mut reader = LineReader::new();
     loop {
-        let line = match reader.next_line(&mut stream, &shared.shutdown) {
-            Ok(Some(line)) => line,
+        let raw = match reader.next_line(&mut stream, &shared.shutdown) {
+            Ok(Some(raw)) => raw,
             Ok(None) => break,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized line: the reader is mid-stream with no way
+                // to find the next frame boundary. Send one refusal and
+                // close — never reuse a desynchronized stream. The
+                // close lingers briefly (discarding input) so the
+                // refusal is not clobbered by a TCP reset triggered by
+                // closing with unread bytes queued.
+                let sent = write_line(
+                    &mut stream,
+                    &error_response(
+                        None,
+                        &format!(
+                            "request line exceeds the maximum length \
+                             ({MAX_LINE_BYTES} bytes); closing connection"
+                        ),
+                    ),
+                );
+                if sent {
+                    drain_briefly(&mut stream, &shared.shutdown);
+                }
+                break;
+            }
             Err(_) => break,
+        };
+        let line = match String::from_utf8(raw) {
+            Ok(line) => line,
+            Err(_) => {
+                // The frame was consumed through its newline, so the
+                // stream stays synchronized: answer and read on.
+                let resp = error_response(None, "bad utf-8: request line is not valid UTF-8");
+                if !write_line(&mut stream, &resp) {
+                    break;
+                }
+                continue;
+            }
         };
         if line.trim().is_empty() {
             continue;
@@ -283,9 +369,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         if let Some(op) = op {
             shared.metrics.record(op, started.elapsed(), ok);
         }
-        let mut line_out = response.to_string();
-        line_out.push('\n');
-        if stream.write_all(line_out.as_bytes()).is_err() || stream.flush().is_err() {
+        if !write_line(&mut stream, &response) {
             break;
         }
         if op == Some(Op::Shutdown) && ok {
@@ -302,25 +386,32 @@ fn trigger_shutdown(shared: &Shared) {
 }
 
 fn get_session(shared: &Shared, name: &str) -> Result<Arc<Session>, String> {
-    shared
-        .sessions
-        .read()
-        .expect("session registry lock")
-        .get(name)
-        .cloned()
-        .ok_or_else(|| format!("no session named `{name}` (register it first)"))
+    shared.sessions.get(name)
 }
 
 fn dispatch(shared: &Shared, req: Request) -> Value {
     let op = req.op();
     match req {
         Request::Register { session, program } => {
-            match Session::new(
-                &session,
-                &program,
-                shared.opts.sem_cache_capacity,
-                shared.opts.plan_cache_capacity,
-            ) {
+            // Refuse taken names before the expensive build (a retried
+            // register must not re-parse an 8 MiB program just to be
+            // told no), then build, then claim the name atomically —
+            // `insert_new` arbitrates racing duplicates, which lose
+            // with the same explicit error instead of silently
+            // replacing warm state.
+            let built = shared
+                .sessions
+                .check_free(&session)
+                .and_then(|()| {
+                    Session::new(
+                        &session,
+                        &program,
+                        shared.opts.sem_cache_capacity,
+                        shared.opts.plan_cache_capacity,
+                    )
+                })
+                .and_then(|s| shared.sessions.insert_new(s));
+            match built {
                 Ok(s) => {
                     let mut m = ok_response(op);
                     m.insert("session".into(), Value::from(session.as_str()));
@@ -338,14 +429,36 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
                     m.insert("dependencies".into(), Value::from(s.program.deps.len()));
                     m.insert("facts".into(), Value::from(s.program.facts.len()));
                     m.insert("class".into(), Value::from(s.class_name.as_str()));
-                    shared
-                        .sessions
-                        .write()
-                        .expect("session registry lock")
-                        .insert(session, Arc::new(s));
                     Value::Object(m)
                 }
                 Err(msg) => error_response(Some(op), &msg),
+            }
+        }
+        Request::Update {
+            session,
+            insert,
+            delete,
+        } => {
+            let s = match get_session(shared, &session) {
+                Ok(s) => s,
+                Err(msg) => return error_response(Some(op), &msg),
+            };
+            match shared.batcher.submit(Work::Update {
+                session: s,
+                insert,
+                delete,
+            }) {
+                Ok(Outcome::Update(Ok(sum))) => {
+                    let mut m = ok_response(op);
+                    m.insert("session".into(), Value::from(session.as_str()));
+                    m.insert("inserted".into(), Value::from(sum.inserted));
+                    m.insert("deleted".into(), Value::from(sum.deleted));
+                    m.insert("facts".into(), Value::from(sum.facts));
+                    m.insert("epoch".into(), Value::from(sum.epoch));
+                    Value::Object(m)
+                }
+                Ok(Outcome::Update(Err(msg))) | Err(msg) => error_response(Some(op), &msg),
+                Ok(other) => unreachable!("update work yields update outcomes, got {other:?}"),
             }
         }
         Request::Check {
@@ -384,7 +497,7 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
                     summary: Err(msg), ..
                 })
                 | Err(msg) => error_response(Some(op), &msg),
-                Ok(Outcome::Eval { .. }) => unreachable!("check work yields check outcomes"),
+                Ok(other) => unreachable!("check work yields check outcomes, got {other:?}"),
             }
         }
         Request::Eval { session, query } => {
@@ -395,16 +508,21 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
                 Err(msg) => return error_response(Some(op), &msg),
             };
             match shared.batcher.submit(Work::Eval { session: s, q: qi }) {
-                Ok(Outcome::Eval { rows, coalesced }) => {
+                Ok(Outcome::Eval {
+                    rows,
+                    cached,
+                    coalesced,
+                }) => {
                     let mut m = ok_response(op);
                     m.insert("query".into(), Value::from(query.as_str()));
                     m.insert("count".into(), Value::from(rows.len()));
                     m.insert("rows".into(), rows_to_value(&rows));
+                    m.insert("cached".into(), Value::from(cached));
                     m.insert("coalesced".into(), Value::from(coalesced));
                     Value::Object(m)
                 }
                 Err(msg) => error_response(Some(op), &msg),
-                Ok(Outcome::Check { .. }) => unreachable!("eval work yields eval outcomes"),
+                Ok(other) => unreachable!("eval work yields eval outcomes, got {other:?}"),
             }
         }
         Request::Classify { session } => match get_session(shared, &session) {
@@ -415,6 +533,9 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
                 m.insert("relations".into(), Value::from(s.program.catalog.len()));
                 m.insert("fds".into(), Value::from(s.program.deps.num_fds()));
                 m.insert("inds".into(), Value::from(s.program.deps.num_inds()));
+                let (facts, epoch) = s.facts_snapshot();
+                m.insert("facts".into(), Value::from(facts));
+                m.insert("facts_epoch".into(), Value::from(epoch));
                 Value::Object(m)
             }
             Err(msg) => error_response(Some(op), &msg),
@@ -424,9 +545,7 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
             for (k, v) in shared.metrics.snapshot().iter() {
                 m.insert(k.clone(), v.clone());
             }
-            let sessions = shared.sessions.read().expect("session registry lock");
-            let mut names: Vec<&String> = sessions.keys().collect();
-            names.sort();
+            let names = shared.sessions.names();
             m.insert(
                 "sessions".into(),
                 Value::Array(names.iter().map(|n| Value::from(n.as_str())).collect()),
@@ -434,7 +553,8 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
             // Aggregate cache counters across sessions.
             let (mut hits, mut misses, mut evictions, mut entries) = (0u64, 0u64, 0u64, 0usize);
             let (mut plan_hits, mut plan_misses, mut plan_evictions) = (0u64, 0u64, 0u64);
-            for s in sessions.values() {
+            let mut eval_row_hits = 0u64;
+            for s in shared.sessions.snapshot() {
                 let c = s.sem_cache.lock().expect("semantic cache lock").stats();
                 hits += c.hits;
                 misses += c.misses;
@@ -444,6 +564,7 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
                 plan_hits += e.plans.hits() as u64;
                 plan_misses += e.plans.misses() as u64;
                 plan_evictions += e.plans.evictions() as u64;
+                eval_row_hits += e.result_hits;
             }
             let mut sem = Map::new();
             sem.insert("hits".into(), Value::from(hits));
@@ -460,6 +581,7 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
             plans.insert("misses".into(), Value::from(plan_misses));
             plans.insert("evictions".into(), Value::from(plan_evictions));
             m.insert("plan_cache".into(), Value::Object(plans));
+            m.insert("eval_row_hits".into(), Value::from(eval_row_hits));
             Value::Object(m)
         }
         Request::Shutdown => Value::Object(ok_response(op)),

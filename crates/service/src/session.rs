@@ -1,32 +1,81 @@
 //! A session: the warm, resident state one `register` request builds
-//! and many `check`/`eval` requests reuse.
+//! and many `update`/`check`/`eval` requests reuse.
 //!
 //! This is the whole point of running a server instead of linking the
 //! library: the catalog, Σ, its classification and fingerprint, the
 //! ground facts' [`DbIndex`] (interned symbols + column posting lists),
 //! a bounded [`PlanCache`] of compiled evaluation plans, and the
 //! semantic containment cache are all built once at registration and
-//! then served hot. A session is immutable after construction except
-//! for its two mutexed caches, so any number of connection threads can
-//! share it (`Arc<Session>`) without coordination on the read paths.
+//! then served hot. The catalog, Σ, and queries are immutable for the
+//! session's lifetime; the **facts** are live — [`Session::apply_update`]
+//! applies insert/delete deltas through the incremental index
+//! maintenance of [`DbIndex`] under a facts [`RwLock`], bumping a
+//! *facts epoch* that invalidates exactly the eval-dependent state:
+//!
+//! * cached eval rows (epoch-tagged) are dropped;
+//! * cached "unsatisfiable" plans are dropped when an insert interns a
+//!   brand-new constant (satisfiable plans embed stable symbols and
+//!   survive — the pool is append-only, even across compaction);
+//! * containment answers (the semantic cache) and compiled plans are
+//!   facts-independent and survive untouched.
+//!
+//! Any number of connection threads share a session (`Arc<Session>`);
+//! readers take the facts lock shared, updates take it exclusively.
+//! Lock order is `facts` before `eval_state` everywhere.
 
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
 
 use cqchase_core::{classify, ContainmentOptions, SigmaClass};
-use cqchase_index::{JoinScratch, PlanCache};
+use cqchase_index::{FxHashMap, JoinScratch, PlanCache};
 use cqchase_ir::{parse_program, ConjunctiveQuery, Program};
-use cqchase_storage::{evaluate_indexed_with, Database, DbIndex, Tuple};
+use cqchase_storage::{evaluate_indexed_with, Database, DbIndex, Tuple, Value};
 
 use crate::cache::{sigma_fingerprint, SemanticCache};
+use crate::proto::FactSpec;
 
-/// Warm per-session evaluation state: compiled plans and join scratch,
-/// both dedicated to the session's index.
+/// Warm per-session evaluation state: compiled plans, join scratch, and
+/// epoch-tagged result rows, all dedicated to the session's index.
 #[derive(Debug)]
 pub struct EvalState {
     /// Bounded plan cache (dedicated to this session's [`DbIndex`]).
     pub plans: PlanCache,
     /// Reusable join working memory.
     pub scratch: JoinScratch,
+    /// Cached result rows per query index, tagged with the facts epoch
+    /// they were computed at. Stale entries are never served (epoch
+    /// mismatch) and are freed wholesale on every effective update, so
+    /// residency is bounded by the registered query pool's
+    /// current-epoch answers.
+    results: FxHashMap<usize, (u64, Vec<Tuple>)>,
+    /// Eval answers served from `results` (observability).
+    pub result_hits: u64,
+}
+
+/// The session's live facts: database, derived index, and the epoch
+/// counter that brands eval-dependent caches.
+#[derive(Debug)]
+pub struct FactsState {
+    /// The ground facts as a database.
+    pub db: Database,
+    /// Warm column indexes over `db`, maintained incrementally.
+    pub index: DbIndex,
+    /// Bumped by every effective update; epoch-tagged caches compare
+    /// against it before serving.
+    pub epoch: u64,
+}
+
+/// What one [`Session::apply_update`] did, as reported on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateSummary {
+    /// Tuples actually inserted (present ones are counted no-ops).
+    pub inserted: usize,
+    /// Tuples actually deleted (absent ones are counted no-ops).
+    pub deleted: usize,
+    /// Live fact count after the update.
+    pub facts: usize,
+    /// The facts epoch after the update.
+    pub epoch: u64,
 }
 
 /// One registered session. See the module docs.
@@ -34,7 +83,8 @@ pub struct EvalState {
 pub struct Session {
     /// The session name (registry key).
     pub name: String,
-    /// The parsed program: catalog, Σ, queries, ground facts.
+    /// The parsed program: catalog, Σ, queries, and the *registered*
+    /// ground facts (updates mutate [`Session::facts`], not this).
     pub program: Program,
     /// Σ's classification (selects the decision procedure).
     pub class: SigmaClass,
@@ -42,14 +92,12 @@ pub struct Session {
     pub class_name: String,
     /// Fingerprint of Σ for semantic-cache keys.
     pub sigma_fp: u64,
-    /// The ground facts as a database.
-    pub db: Database,
-    /// Warm column indexes over `db`.
-    pub index: DbIndex,
+    /// The live facts (database + index + epoch).
+    pub facts: RwLock<FactsState>,
     /// Containment options every check in this session runs under
     /// (fixed at registration, so cached answers are deterministic).
     pub opts: ContainmentOptions,
-    /// Warm evaluation state (plan cache + scratch).
+    /// Warm evaluation state (plan cache + scratch + result rows).
     pub eval_state: Mutex<EvalState>,
     /// The semantic containment cache.
     pub sem_cache: Mutex<SemanticCache>,
@@ -97,12 +145,17 @@ impl Session {
             class_name: class_name(&class),
             sigma_fp: sigma_fingerprint(&program.deps, &program.catalog),
             class,
-            db,
-            index,
+            facts: RwLock::new(FactsState {
+                db,
+                index,
+                epoch: 0,
+            }),
             opts: ContainmentOptions::default(),
             eval_state: Mutex::new(EvalState {
                 plans: PlanCache::with_capacity(plan_cache_capacity),
                 scratch: JoinScratch::new(),
+                results: FxHashMap::default(),
+                result_hits: 0,
             }),
             sem_cache: Mutex::new(SemanticCache::new(sem_cache_capacity)),
             program,
@@ -134,20 +187,219 @@ impl Session {
         &self.program.queries[idx]
     }
 
-    /// Evaluates the query at `idx` over the session's facts with the
-    /// warm plan cache and scratch. Result rows are sorted (the
+    /// The current facts epoch (0 until the first effective update).
+    pub fn facts_epoch(&self) -> u64 {
+        self.facts.read().expect("facts lock").epoch
+    }
+
+    /// Total live facts.
+    pub fn facts_len(&self) -> usize {
+        self.facts.read().expect("facts lock").db.total_tuples()
+    }
+
+    /// `(live facts, facts epoch)` read under one lock acquisition —
+    /// use this when reporting the pair (separate reads can be torn by
+    /// a concurrent update, pairing a count with the wrong epoch).
+    pub fn facts_snapshot(&self) -> (usize, u64) {
+        let facts = self.facts.read().expect("facts lock");
+        (facts.db.total_tuples(), facts.epoch)
+    }
+
+    /// Evaluates the query at `idx` over the session's live facts with
+    /// the warm plan cache and scratch. Result rows are sorted (the
     /// evaluator's deterministic order).
     pub fn eval(&self, idx: usize) -> Vec<Tuple> {
+        self.eval_cached(idx).0
+    }
+
+    /// [`Session::eval`], also reporting whether the rows were served
+    /// from the epoch-tagged result cache without recomputation.
+    pub fn eval_cached(&self, idx: usize) -> (Vec<Tuple>, bool) {
         let q = &self.program.queries[idx];
+        // Lock order: facts before eval_state. Holding the facts lock
+        // shared for the whole call pins the epoch the rows belong to.
+        let facts = self.facts.read().expect("facts lock");
         let mut state = self.eval_state.lock().expect("eval state lock");
-        let EvalState { plans, scratch } = &mut *state;
-        evaluate_indexed_with(q, &self.index, plans, scratch)
+        if let Some((epoch, rows)) = state.results.get(&idx) {
+            if *epoch == facts.epoch {
+                let rows = rows.clone();
+                state.result_hits += 1;
+                return (rows, true);
+            }
+        }
+        let EvalState { plans, scratch, .. } = &mut *state;
+        let rows = evaluate_indexed_with(q, &facts.index, plans, scratch);
+        state.results.insert(idx, (facts.epoch, rows.clone()));
+        (rows, false)
+    }
+
+    /// Applies fact deltas to the live facts: deletes first, then
+    /// inserts (so a delete+insert of the same tuple leaves it present).
+    /// Absent deletes and present inserts are counted no-ops. On any
+    /// effective change the facts epoch is bumped, cached eval rows are
+    /// invalidated wholesale (epoch tags), and cached unsatisfiable
+    /// plans are dropped when a brand-new constant was interned.
+    ///
+    /// Rejects (without applying anything) when any fact names an
+    /// unknown relation or has the wrong arity — deltas are validated
+    /// up front, so an update is all-or-nothing.
+    pub fn apply_update(
+        &self,
+        insert: &[FactSpec],
+        delete: &[FactSpec],
+    ) -> Result<UpdateSummary, String> {
+        // Validate before touching anything.
+        let catalog = &self.program.catalog;
+        let resolve = |(rel, tuple): &FactSpec| -> Result<(cqchase_ir::RelId, Tuple), String> {
+            let id = catalog
+                .resolve(rel)
+                .ok_or_else(|| format!("unknown relation `{rel}` in session `{}`", self.name))?;
+            let arity = catalog.arity(id);
+            if tuple.len() != arity {
+                return Err(format!(
+                    "relation `{rel}` has arity {arity}, fact carries {} values",
+                    tuple.len()
+                ));
+            }
+            Ok((id, tuple.iter().cloned().map(Value::Const).collect()))
+        };
+        let deletes: Vec<_> = delete.iter().map(resolve).collect::<Result<_, _>>()?;
+        let inserts: Vec<_> = insert.iter().map(resolve).collect::<Result<_, _>>()?;
+
+        let mut facts = self.facts.write().expect("facts lock");
+        let syms_before = facts.index.num_syms();
+        let (mut deleted, mut inserted) = (0usize, 0usize);
+        for (rel, tuple) in &deletes {
+            if facts.db.remove(*rel, tuple).expect("arity validated") {
+                let removed = facts.index.note_remove(*rel, tuple);
+                debug_assert!(removed, "index and database agree on membership");
+                deleted += 1;
+            }
+        }
+        for (rel, tuple) in &inserts {
+            if facts
+                .db
+                .insert(*rel, tuple.clone())
+                .expect("arity validated")
+            {
+                facts.index.note_insert(*rel, tuple);
+                inserted += 1;
+            }
+        }
+        if deleted + inserted > 0 {
+            facts.epoch += 1;
+            // Lock order facts → eval_state, same as eval.
+            let mut state = self.eval_state.lock().expect("eval state lock");
+            // The epoch tags already make stale rows unservable; free
+            // them eagerly too — a resident session must not pin dead
+            // result sets until their query happens to be re-asked.
+            state.results.clear();
+            if facts.index.num_syms() > syms_before {
+                // A brand-new constant falsifies cached `None` plans.
+                state.plans.drop_unsatisfiable();
+            }
+        }
+        Ok(UpdateSummary {
+            inserted,
+            deleted,
+            facts: facts.db.total_tuples(),
+            epoch: facts.epoch,
+        })
+    }
+}
+
+/// The server's named-session table. Registration is **first wins**:
+/// inserting an existing name fails, atomically, so two clients racing
+/// to register one name get exactly one success — the loser is told to
+/// pick another name or mutate the existing session with `update`.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    sessions: RwLock<HashMap<String, Arc<Session>>>,
+}
+
+fn duplicate_name_error(name: &str) -> String {
+    format!(
+        "session `{name}` already registered (names are unique; use op `update` to \
+         mutate its facts, or register under a new name)"
+    )
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> SessionRegistry {
+        SessionRegistry::default()
+    }
+
+    /// Fails with the duplicate-name error when `name` is taken. A
+    /// cheap pre-check for the register path, so a retried `register`
+    /// is refused before the expensive session build — `insert_new`
+    /// remains the atomic arbiter for races.
+    pub fn check_free(&self, name: &str) -> Result<(), String> {
+        if self
+            .sessions
+            .read()
+            .expect("session registry lock")
+            .contains_key(name)
+        {
+            Err(duplicate_name_error(name))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Registers `session` under its name; fails (leaving the existing
+    /// session untouched) when the name is taken.
+    pub fn insert_new(&self, session: Session) -> Result<Arc<Session>, String> {
+        use std::collections::hash_map::Entry;
+        let mut map = self.sessions.write().expect("session registry lock");
+        match map.entry(session.name.clone()) {
+            Entry::Occupied(_) => Err(duplicate_name_error(&session.name)),
+            Entry::Vacant(e) => {
+                let arc = Arc::new(session);
+                e.insert(Arc::clone(&arc));
+                Ok(arc)
+            }
+        }
+    }
+
+    /// The session registered under `name`.
+    pub fn get(&self, name: &str) -> Result<Arc<Session>, String> {
+        self.sessions
+            .read()
+            .expect("session registry lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("no session named `{name}` (register it first)"))
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .sessions
+            .read()
+            .expect("session registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Snapshot of every registered session.
+    pub fn snapshot(&self) -> Vec<Arc<Session>> {
+        self.sessions
+            .read()
+            .expect("session registry lock")
+            .values()
+            .cloned()
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cqchase_ir::Constant;
 
     #[test]
     fn register_builds_warm_state() {
@@ -165,14 +417,17 @@ mod tests {
         assert_eq!(s.class_name, "IndsOnly(width=1)");
         assert_eq!(s.query_index("Q2").unwrap(), 1);
         assert!(s.query_index("Nope").is_err());
-        // Evaluation answers match the one-shot evaluator and the plan
-        // cache warms across calls.
-        let direct = cqchase_storage::evaluate(s.query(1), &s.db);
-        assert_eq!(s.eval(1), direct);
-        assert_eq!(s.eval(1), direct);
+        // Evaluation answers match the one-shot evaluator and both the
+        // plan cache and the result cache warm across calls.
+        let direct = {
+            let facts = s.facts.read().unwrap();
+            cqchase_storage::evaluate(s.query(1), &facts.db)
+        };
+        assert_eq!(s.eval_cached(1), (direct.clone(), false));
+        assert_eq!(s.eval_cached(1), (direct, true));
         let st = s.eval_state.lock().unwrap();
-        assert_eq!(st.plans.hits(), 1);
         assert_eq!(st.plans.misses(), 1);
+        assert_eq!(st.result_hits, 1);
     }
 
     #[test]
@@ -201,5 +456,119 @@ mod tests {
             let s = Session::new("s", src, 8, 8).unwrap();
             assert_eq!(s.class_name, want, "{src}");
         }
+    }
+
+    fn fact(rel: &str, vals: &[i64]) -> FactSpec {
+        (rel.into(), vals.iter().map(|&i| Constant::Int(i)).collect())
+    }
+
+    #[test]
+    fn apply_update_mutates_and_invalidates_eval_rows() {
+        let s = Session::new(
+            "mut",
+            "relation R(a, b). Q(x) :- R(x, y). R(1, 2). R(2, 3).",
+            8,
+            8,
+        )
+        .unwrap();
+        assert_eq!(s.eval(0).len(), 2);
+        let sum = s
+            .apply_update(&[fact("R", &[5, 6])], &[fact("R", &[1, 2])])
+            .unwrap();
+        assert_eq!(
+            sum,
+            UpdateSummary {
+                inserted: 1,
+                deleted: 1,
+                facts: 2,
+                epoch: 1
+            }
+        );
+        // The eval-row cache was epoch-invalidated: fresh rows.
+        let (rows, cached) = s.eval_cached(0);
+        assert!(!cached);
+        let got: Vec<String> = rows.iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(got, ["2", "5"]);
+        // Idempotence: replaying the same deltas changes nothing.
+        let sum = s
+            .apply_update(&[fact("R", &[5, 6])], &[fact("R", &[1, 2])])
+            .unwrap();
+        assert_eq!((sum.inserted, sum.deleted, sum.epoch), (0, 0, 1));
+        assert!(s.eval_cached(0).1, "no-op update keeps the cache");
+    }
+
+    #[test]
+    fn apply_update_is_all_or_nothing_on_bad_facts() {
+        let s = Session::new("v", "relation R(a, b). Q(x) :- R(x, y). R(1, 2).", 8, 8).unwrap();
+        // Unknown relation: nothing applied.
+        assert!(s
+            .apply_update(&[fact("R", &[9, 9]), fact("NOPE", &[1])], &[])
+            .is_err());
+        // Wrong arity: nothing applied.
+        assert!(s.apply_update(&[fact("R", &[9])], &[]).is_err());
+        assert_eq!(s.facts_epoch(), 0);
+        assert_eq!(s.facts_len(), 1);
+    }
+
+    #[test]
+    fn insert_of_new_constant_revives_unsatisfiable_plan() {
+        let s = Session::new("c", "relation R(a, b). Qc(x) :- R(x, 99). R(1, 2).", 8, 8).unwrap();
+        assert!(s.eval(0).is_empty(), "99 not present: unsatisfiable");
+        // Interning 99 must drop the cached `None` plan.
+        s.apply_update(&[fact("R", &[7, 99])], &[]).unwrap();
+        let rows = s.eval(0);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0].to_string(), "7");
+        // And deleting it again empties the answer (plan stays valid).
+        s.apply_update(&[], &[fact("R", &[7, 99])]).unwrap();
+        assert!(s.eval(0).is_empty());
+    }
+
+    #[test]
+    fn zero_plan_cache_session_survives_new_constant_update() {
+        // Regression: with `--plan-cache-capacity 0`, an update that
+        // interns a brand-new constant used to underflow the plan
+        // cache's length while holding both session locks, bricking
+        // the session.
+        let s = Session::new("z", "relation R(a, b). Qc(x) :- R(x, 99). R(1, 2).", 8, 0).unwrap();
+        assert!(s.eval(0).is_empty());
+        s.apply_update(&[fact("R", &[7, 99])], &[]).unwrap();
+        assert_eq!(s.eval(0).len(), 1);
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_atomically() {
+        let reg = Arc::new(SessionRegistry::new());
+        let src = "relation R(a). Q(x) :- R(x).";
+        // Concurrent double-register of one name: exactly one winner,
+        // every loser gets the explicit duplicate error.
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                reg.insert_new(Session::new("dup", src, 8, 8).unwrap())
+            }));
+        }
+        let results: Vec<Result<Arc<Session>, String>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let wins = results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(wins, 1, "exactly one register wins the race");
+        for r in &results {
+            if let Err(msg) = r {
+                assert!(msg.contains("already registered"), "{msg}");
+            }
+        }
+        // The winner's session is the one served.
+        assert!(reg.get("dup").is_ok());
+        assert_eq!(reg.names(), ["dup"]);
+        // The cheap pre-check agrees with the atomic insert.
+        assert!(reg.check_free("dup").is_err());
+        assert!(reg.check_free("other").is_ok());
+        // A different name still registers.
+        assert!(reg
+            .insert_new(Session::new("other", src, 8, 8).unwrap())
+            .is_ok());
+        assert_eq!(reg.names(), ["dup", "other"]);
+        assert!(reg.get("missing").is_err());
     }
 }

@@ -1,0 +1,188 @@
+//! The live-mutation correctness contract, as a property test: after
+//! **any** interleaving of updates, evaluations, and containment checks
+//! against one resident session — semantic cache enabled, requests
+//! routed through the admission queue exactly like server traffic —
+//! every answer is bit-identical to what a session registered *from
+//! scratch* on the current facts would return.
+//!
+//! This is the strongest statement the service can make about
+//! mutability: updates are invisible except through the facts they
+//! change. Containment answers (facts-independent) must survive
+//! updates unchanged; evaluation answers must track the facts exactly,
+//! through tombstones, reinserts, compactions, and epoch bumps.
+
+use std::sync::Arc;
+
+use cqchase_core::{contained, ContainmentOptions};
+use cqchase_ir::Constant;
+use cqchase_service::{Batcher, Metrics, Outcome, Session, Work};
+use cqchase_storage::evaluate;
+use proptest::prelude::*;
+
+/// The session's fixed schema, Σ, and query pool. Q0 ⊆ Q1 under the
+/// cyclic IND; Q2/Q3 exercise joins and reversed roles.
+const BASE: &str = "relation R(a, b).
+    ind R[2] <= R[1].
+    Q0(x) :- R(x, y).
+    Q1(x) :- R(x, y), R(y, z).
+    Q2(x) :- R(y, x).
+    Q3(x, z) :- R(x, y), R(y, z).";
+
+const NUM_QUERIES: usize = 4;
+
+/// One scripted step against the live session.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Apply a delta: tuples to insert and delete (possibly no-ops).
+    Update(Vec<(i64, i64)>, Vec<(i64, i64)>),
+    /// Evaluate query `q` and compare to a from-scratch session.
+    Eval(usize),
+    /// Check `q ⊆ q_prime` and compare to the direct library call.
+    Check(usize, usize),
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    let tuples = || proptest::collection::vec((0i64..5, 0i64..5), 0..4);
+    let step = (
+        0u8..6,
+        tuples(),
+        tuples(),
+        0usize..NUM_QUERIES,
+        0usize..NUM_QUERIES,
+    )
+        .prop_map(|(kind, ins, del, q, qp)| match kind {
+            0 | 1 => Step::Update(ins, del),
+            2 | 3 => Step::Eval(q),
+            _ => Step::Check(q, qp),
+        });
+    proptest::collection::vec(step, 1..20)
+}
+
+fn fact(a: i64, b: i64) -> (String, Vec<Constant>) {
+    ("R".into(), vec![Constant::Int(a), Constant::Int(b)])
+}
+
+/// Renders the base program plus explicit facts — the from-scratch
+/// registration text for the current mirror state.
+fn program_with_facts(facts: &std::collections::BTreeSet<(i64, i64)>) -> String {
+    let mut src = BASE.to_string();
+    for (a, b) in facts {
+        src.push_str(&format!("\nR({a}, {b})."));
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn updated_session_is_indistinguishable_from_fresh(script in steps()) {
+        let opts = ContainmentOptions::default();
+        // Semantic cache ON (capacity 64) — the point of the property.
+        let live = Arc::new(Session::new("live", BASE, 64, 64).unwrap());
+        let batcher = Batcher::new(1, Arc::new(Metrics::new()));
+        let mut mirror: std::collections::BTreeSet<(i64, i64)> =
+            std::collections::BTreeSet::new();
+        for (i, step) in script.iter().enumerate() {
+            match step {
+                Step::Update(ins, del) => {
+                    let inserts: Vec<_> = ins.iter().map(|&(a, b)| fact(a, b)).collect();
+                    let deletes: Vec<_> = del.iter().map(|&(a, b)| fact(a, b)).collect();
+                    let out = batcher
+                        .submit(Work::Update {
+                            session: Arc::clone(&live),
+                            insert: inserts,
+                            delete: deletes,
+                        })
+                        .unwrap();
+                    let Outcome::Update(Ok(sum)) = out else {
+                        panic!("step {i}: update failed: {out:?}");
+                    };
+                    // Deletes before inserts, mirrored.
+                    let mut deleted = 0;
+                    for t in del {
+                        if mirror.remove(t) {
+                            deleted += 1;
+                        }
+                    }
+                    let mut inserted = 0;
+                    for t in ins {
+                        if mirror.insert(*t) {
+                            inserted += 1;
+                        }
+                    }
+                    prop_assert_eq!(sum.inserted, inserted, "step {}: inserted", i);
+                    prop_assert_eq!(sum.deleted, deleted, "step {}: deleted", i);
+                    prop_assert_eq!(sum.facts, mirror.len(), "step {}: facts", i);
+                }
+                Step::Eval(q) => {
+                    let out = batcher
+                        .submit(Work::Eval {
+                            session: Arc::clone(&live),
+                            q: *q,
+                        })
+                        .unwrap();
+                    let Outcome::Eval { rows, .. } = out else {
+                        panic!("step {i}: expected eval outcome");
+                    };
+                    // From-scratch reference: a brand-new session parsed
+                    // from the rendered program on the mirror facts.
+                    let fresh =
+                        Session::new("fresh", &program_with_facts(&mirror), 64, 64).unwrap();
+                    let fresh_rows = {
+                        let facts = fresh.facts.read().unwrap();
+                        evaluate(fresh.query(*q), &facts.db)
+                    };
+                    prop_assert_eq!(&rows, &fresh_rows, "step {}: eval Q{}", i, q);
+                }
+                Step::Check(q, qp) => {
+                    let out = batcher
+                        .submit(Work::Check {
+                            session: Arc::clone(&live),
+                            q: *q,
+                            q_prime: *qp,
+                        })
+                        .unwrap();
+                    let Outcome::Check { summary, .. } = out else {
+                        panic!("step {i}: expected check outcome");
+                    };
+                    let direct = contained(
+                        live.query(*q),
+                        live.query(*qp),
+                        &live.program.deps,
+                        &live.program.catalog,
+                        &opts,
+                    );
+                    match (summary, direct) {
+                        (Ok(sum), Ok(direct)) => {
+                            prop_assert_eq!(
+                                sum.contained, direct.contained,
+                                "step {}: contained", i
+                            );
+                            prop_assert_eq!(sum.exact, direct.exact, "step {}: exact", i);
+                            prop_assert_eq!(sum.bound, direct.bound, "step {}: bound", i);
+                        }
+                        // Pairs the engine rejects (e.g. output-arity
+                        // mismatch Q3 vs the unary pool) must be
+                        // rejected by both sides alike.
+                        (Err(_), Err(_)) => {}
+                        (live_r, direct_r) => prop_assert!(
+                            false,
+                            "step {}: Ok/Err disagreement: live {:?} vs direct {:?}",
+                            i, live_r, direct_r
+                        ),
+                    }
+                }
+            }
+        }
+        // Final sweep: every query's rows match a fresh session's.
+        let fresh = Session::new("fresh", &program_with_facts(&mirror), 64, 64).unwrap();
+        for q in 0..NUM_QUERIES {
+            let fresh_rows = {
+                let facts = fresh.facts.read().unwrap();
+                evaluate(fresh.query(q), &facts.db)
+            };
+            prop_assert_eq!(live.eval(q), fresh_rows, "final eval Q{}", q);
+        }
+    }
+}

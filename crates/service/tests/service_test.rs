@@ -251,15 +251,175 @@ fn overloaded_server_refuses_politely() {
 }
 
 #[test]
-fn register_replaces_session() {
+fn duplicate_register_is_rejected_and_update_mutates() {
     let (addr, handle) = spawn_server(64);
     let mut c = Client::connect(addr).unwrap();
     c.register("s", "relation R(a, b). Q(x) :- R(x, y). R(1, 2).")
         .unwrap();
     assert_eq!(c.eval("s", "Q").unwrap()["count"], 1);
-    c.register("s", "relation R(a, b). Q(x) :- R(x, y). R(1, 2). R(3, 4).")
-        .unwrap();
+    // Names are unique: a second register of `s` is an explicit error
+    // (the live session is untouched), not a silent replace.
+    match c.register("s", "relation R(a, b). Q(x) :- R(x, y). R(9, 9).") {
+        Err(cqchase_service::ClientError::Server(msg)) => {
+            assert!(msg.contains("already registered"), "{msg}")
+        }
+        other => panic!("duplicate register must fail, got {other:?}"),
+    }
+    // Growing the session goes through `update` instead.
+    let fact = |a: i64, b: i64| -> cqchase_service::FactSpec {
+        (
+            "R".into(),
+            vec![cqchase_ir::Constant::Int(a), cqchase_ir::Constant::Int(b)],
+        )
+    };
+    let u = c.update("s", &[fact(3, 4)], &[]).unwrap();
+    assert_eq!(u["inserted"], 1);
+    assert_eq!(u["facts"], 2);
+    assert_eq!(u["epoch"], 1u64);
     assert_eq!(c.eval("s", "Q").unwrap()["count"], 2);
+    // Delete + reinsert of an identical tuple in one request: present.
+    let u = c.update("s", &[fact(1, 2)], &[fact(1, 2)]).unwrap();
+    assert_eq!(u["deleted"], 1);
+    assert_eq!(u["inserted"], 1);
+    assert_eq!(c.eval("s", "Q").unwrap()["count"], 2);
+    // Deleting the original registered fact shrinks the answer.
+    let u = c.update("s", &[], &[fact(1, 2)]).unwrap();
+    assert_eq!(u["facts"], 1);
+    let e = c.eval("s", "Q").unwrap();
+    assert_eq!(e["count"], 1);
+    assert_eq!(e["rows"][0][0], "3");
+    // Unknown relation / wrong arity are per-request errors.
+    assert!(c.update("s", &[("NOPE".into(), vec![])], &[]).is_err());
+    assert!(c
+        .update(
+            "s",
+            &[("R".into(), vec![cqchase_ir::Constant::Int(1)])],
+            &[]
+        )
+        .is_err());
+    // Updating an unregistered session errors politely.
+    assert!(c.update("ghost", &[fact(1, 2)], &[]).is_err());
+    c.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn updated_session_answers_match_fresh_registration() {
+    // The differential contract over TCP: after a mutation script, an
+    // updated session answers every eval bit-identically to a session
+    // registered from scratch on the mutated facts.
+    let (addr, handle) = spawn_server(256);
+    let mut c = Client::connect(addr).unwrap();
+    let queries = "A(x) :- R(x, y). B(x) :- R(x, y), R(y, z). C(x, z) :- R(x, y), R(y, z).";
+    let src = format!(
+        "relation R(a, b). ind R[2] <= R[1]. {queries} {}",
+        (0..20)
+            .map(|i| format!("R({i}, {}).", (i + 1) % 20))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    c.register("live", &src).unwrap();
+    let fact = |a: i64, b: i64| -> cqchase_service::FactSpec {
+        (
+            "R".into(),
+            vec![cqchase_ir::Constant::Int(a), cqchase_ir::Constant::Int(b)],
+        )
+    };
+    // Mutate: break the cycle in two places, add a chord and a loop.
+    c.update(
+        "live",
+        &[fact(3, 17), fact(8, 8)],
+        &[fact(5, 6), fact(12, 13)],
+    )
+    .unwrap();
+    c.update("live", &[fact(5, 6)], &[fact(8, 8)]).unwrap();
+    // Fresh session on the same final facts.
+    let mut final_facts: Vec<(i64, i64)> = (0..20)
+        .map(|i| (i, (i + 1) % 20))
+        .filter(|&(a, b)| (a, b) != (12, 13))
+        .collect();
+    final_facts.push((3, 17));
+    let fresh_src = format!(
+        "relation R(a, b). ind R[2] <= R[1]. {queries} {}",
+        final_facts
+            .iter()
+            .map(|(a, b)| format!("R({a}, {b})."))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    c.register("fresh", &fresh_src).unwrap();
+    for q in ["A", "B", "C"] {
+        let live = c.eval("live", q).unwrap();
+        let fresh = c.eval("fresh", q).unwrap();
+        assert_eq!(live["rows"], fresh["rows"], "query {q}");
+        assert_eq!(live["count"], fresh["count"], "query {q}");
+    }
+    // Containment answers survive updates (they are facts-independent)
+    // and still match a fresh session's.
+    let live_ab = c.check("live", "A", "B").unwrap();
+    let fresh_ab = c.check("fresh", "A", "B").unwrap();
+    assert_eq!(live_ab["contained"], fresh_ab["contained"]);
+    c.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn oversized_request_line_is_refused_and_closed() {
+    use std::io::{Read, Write};
+    let (addr, handle) = spawn_server(64);
+    let mut c = Client::connect(addr).unwrap();
+    c.register("s", "relation R(a). Q(x) :- R(x). R(1).")
+        .unwrap();
+    // Stream > 8 MiB without a newline: the server must answer one
+    // refusal line and close — never hang, never reuse the stream.
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    let chunk = vec![b'x'; 64 << 10];
+    // 8 MiB + 128 KiB, no newline anywhere.
+    for _ in 0..130 {
+        if raw.write_all(&chunk).is_err() {
+            break; // server closed early — the refusal is already queued
+        }
+    }
+    let mut refused = String::new();
+    Read::read_to_string(&mut raw, &mut refused).unwrap();
+    assert!(
+        refused.contains("\"ok\":false") && refused.contains("maximum length"),
+        "expected an oversized-line refusal, got {refused:?}"
+    );
+    assert!(
+        !refused.trim_end().contains('\n'),
+        "exactly one refusal line, got {refused:?}"
+    );
+    // The server survives and serves other connections.
+    assert_eq!(c.eval("s", "Q").unwrap()["count"], 1);
+    c.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn invalid_utf8_line_is_rejected_explicitly() {
+    use std::io::{BufRead, BufReader, Write};
+    let (addr, handle) = spawn_server(64);
+    let mut raw = std::net::TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    // 0xFF is never valid UTF-8.
+    raw.write_all(b"{\"op\":\"stats\xff\"}\n").unwrap();
+    let mut reader = BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("\"ok\":false") && line.contains("bad utf-8"),
+        "expected an explicit bad-utf-8 error, got {line:?}"
+    );
+    // The frame boundary was preserved: the connection still serves.
+    raw.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"ok\":true"), "got {line:?}");
+    let mut c = Client::connect(addr).unwrap();
     c.shutdown().unwrap();
     handle.join().unwrap().unwrap();
 }

@@ -29,6 +29,22 @@ impl RelationInstance {
         true
     }
 
+    /// Removes a tuple; returns `true` if it was present. Insertion
+    /// order of the survivors is preserved (the position scan is O(n),
+    /// which live-mutation callers amortize over batched deltas).
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        if !self.index.remove(t) {
+            return false;
+        }
+        let pos = self
+            .tuples
+            .iter()
+            .position(|u| u == t)
+            .expect("the dedup set and the tuple list agree");
+        self.tuples.remove(pos);
+        true
+    }
+
     /// Whether the tuple is present.
     pub fn contains(&self, t: &Tuple) -> bool {
         self.index.contains(t)
@@ -112,6 +128,20 @@ impl Database {
             }
         }
         Ok(self.relations[rel.index()].insert(tuple))
+    }
+
+    /// Removes a tuple from `rel`, checking arity. Returns whether the
+    /// tuple was present.
+    pub fn remove(&mut self, rel: RelId, tuple: &Tuple) -> IrResult<bool> {
+        let arity = self.catalog.arity(rel);
+        if tuple.len() != arity {
+            return Err(IrError::ArityMismatch {
+                relation: self.catalog.name(rel).to_owned(),
+                expected: arity,
+                found: tuple.len(),
+            });
+        }
+        Ok(self.relations[rel.index()].remove(tuple))
     }
 
     /// Inserts by relation name; values convert via `Into<Value>`.
@@ -222,6 +252,34 @@ mod tests {
         assert_eq!(db.total_tuples(), 2);
         let r = c.resolve("R").unwrap();
         assert!(db.relation(r).contains(&vec![Value::int(1), Value::int(2)]));
+    }
+
+    #[test]
+    fn remove_preserves_order_and_dedup() {
+        let c = cat();
+        let mut db = Database::new(&c);
+        db.insert_named("R", [1i64, 2]).unwrap();
+        db.insert_named("R", [3i64, 4]).unwrap();
+        db.insert_named("R", [5i64, 6]).unwrap();
+        let r = c.resolve("R").unwrap();
+        let t = vec![Value::int(3), Value::int(4)];
+        assert!(db.remove(r, &t).unwrap());
+        assert!(!db.remove(r, &t).unwrap(), "second removal is a no-op");
+        assert_eq!(db.total_tuples(), 2);
+        assert!(!db.relation(r).contains(&t));
+        // Survivors keep insertion order.
+        assert_eq!(
+            db.relation(r).tuples(),
+            &[
+                vec![Value::int(1), Value::int(2)],
+                vec![Value::int(5), Value::int(6)],
+            ]
+        );
+        // Removed tuples can be reinserted (they are new again).
+        assert!(db.insert(r, t.clone()).unwrap());
+        assert_eq!(db.relation(r).tuples().last(), Some(&t));
+        // Arity is checked.
+        assert!(db.remove(r, &vec![Value::int(1)]).is_err());
     }
 
     #[test]

@@ -93,7 +93,7 @@ fn unify(db: &mut Database, a: &Value, b: &Value) -> Result<(), ()> {
 fn find_fd_violation(idx: &DbIndex, fds: &[&Fd]) -> Option<(Value, Value)> {
     for fd in fds {
         let mut seen: FxHashMap<Vec<Sym>, Sym> = FxHashMap::default();
-        for row in 0..idx.num_rows(fd.relation) as u32 {
+        for row in idx.live_rows(fd.relation) {
             let syms = cqchase_index::FactSource::row_syms(idx, fd.relation, row);
             let key: Vec<Sym> = fd.lhs.iter().map(|&c| syms[c]).collect();
             let rhs = syms[fd.rhs];
@@ -112,35 +112,42 @@ fn find_fd_violation(idx: &DbIndex, fds: &[&Fd]) -> Option<(Value, Value)> {
     None
 }
 
-/// One pass: fix the first IND violation found, probing for witnesses
+/// One pass: find the first IND violation, probing for witnesses
 /// through the column index instead of materializing projection sets.
-/// Returns whether a tuple was inserted.
-fn ind_step(db: &mut Database, idx: &mut DbIndex, inds: &[&Ind]) -> bool {
-    for ind in inds {
-        let missing: Option<Vec<Sym>> = (0..idx.num_rows(ind.lhs_rel) as u32)
+/// Returns the violated IND's index and the witness-less projection, or
+/// `None` when every IND is satisfied.
+fn find_ind_violation(idx: &DbIndex, inds: &[&Ind]) -> Option<(usize, Vec<Sym>)> {
+    for (i, ind) in inds.iter().enumerate() {
+        let missing: Option<Vec<Sym>> = idx
+            .live_rows(ind.lhs_rel)
             .map(|row| {
                 let syms = cqchase_index::FactSource::row_syms(idx, ind.lhs_rel, row);
                 ind.lhs_cols.iter().map(|&c| syms[c]).collect::<Vec<Sym>>()
             })
             .find(|proj| !idx.has_row_with(ind.rhs_rel, &ind.rhs_cols, proj));
         if let Some(proj) = missing {
-            let arity = db.catalog().arity(ind.rhs_rel);
-            let mut new_tuple: Tuple = Vec::with_capacity(arity);
-            for col in 0..arity {
-                match ind.rhs_cols.iter().position(|&c| c == col) {
-                    Some(k) => new_tuple.push(idx.value_of(proj[k]).clone()),
-                    None => new_tuple.push(db.fresh_null()),
-                }
-            }
-            let inserted = db
-                .insert(ind.rhs_rel, new_tuple.clone())
-                .expect("arity is correct by construction");
-            debug_assert!(inserted, "a missing witness cannot already exist");
-            idx.note_insert(ind.rhs_rel, &new_tuple);
-            return true;
+            return Some((i, proj));
         }
     }
-    false
+    None
+}
+
+/// Repairs one found IND violation: inserts the missing witness tuple
+/// (projection values in the right-hand columns, fresh nulls elsewhere).
+fn apply_ind_step(db: &mut Database, idx: &mut DbIndex, ind: &Ind, proj: &[Sym]) {
+    let arity = db.catalog().arity(ind.rhs_rel);
+    let mut new_tuple: Tuple = Vec::with_capacity(arity);
+    for col in 0..arity {
+        match ind.rhs_cols.iter().position(|&c| c == col) {
+            Some(k) => new_tuple.push(idx.value_of(proj[k]).clone()),
+            None => new_tuple.push(db.fresh_null()),
+        }
+    }
+    let inserted = db
+        .insert(ind.rhs_rel, new_tuple.clone())
+        .expect("arity is correct by construction");
+    debug_assert!(inserted, "a missing witness cannot already exist");
+    idx.note_insert(ind.rhs_rel, &new_tuple);
 }
 
 /// Chases `db` with respect to `deps` under `budget`.
@@ -174,12 +181,22 @@ pub fn chase_instance(
                 return DataChaseOutcome::BudgetExhausted(db);
             }
         }
-        // One IND repair, then re-check FDs.
-        if !ind_step(&mut db, &mut idx, &inds) {
+        // One IND repair, then re-check FDs. The tuple budget is
+        // enforced *before* inserting: a repair at the boundary must not
+        // push the database past `max_tuples` (the old post-check let
+        // the final step overshoot the budget — by one tuple normally,
+        // and without bound relative to an already-over-budget input).
+        // An instance that needs no repair is `Satisfied` regardless of
+        // its size.
+        let Some((i, proj)) = find_ind_violation(&idx, &inds) else {
             return DataChaseOutcome::Satisfied(db);
+        };
+        if db.total_tuples() >= budget.max_tuples {
+            return DataChaseOutcome::BudgetExhausted(db);
         }
+        apply_ind_step(&mut db, &mut idx, inds[i], &proj);
         steps += 1;
-        if steps >= budget.max_steps || db.total_tuples() >= budget.max_tuples {
+        if steps >= budget.max_steps {
             return DataChaseOutcome::BudgetExhausted(db);
         }
     }
@@ -275,6 +292,86 @@ mod tests {
             },
         );
         assert!(matches!(out, DataChaseOutcome::BudgetExhausted(_)));
+    }
+
+    #[test]
+    fn tuple_budget_never_overshoots() {
+        // Pure IND cycle: the chase on R(0, 1) is infinite. Whatever
+        // budget we set, the returned database must respect it exactly —
+        // the regression was a final IND step landing past `max_tuples`.
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        let deps = DependencySetBuilder::new(&c)
+            .ind("R", ["b"], "R", ["a"])
+            .unwrap()
+            .build();
+        let mut db = Database::new(&c);
+        db.insert_named("R", [0i64, 1]).unwrap();
+        for max_tuples in 1..6usize {
+            let out = chase_instance(
+                &db,
+                &deps,
+                DataChaseBudget {
+                    max_steps: 1000,
+                    max_tuples,
+                },
+            );
+            let DataChaseOutcome::BudgetExhausted(result) = out else {
+                panic!("infinite chase must exhaust the budget");
+            };
+            assert!(
+                result.total_tuples() <= max_tuples,
+                "budget {max_tuples} overshot: {} tuples",
+                result.total_tuples()
+            );
+        }
+    }
+
+    #[test]
+    fn over_budget_input_is_not_grown() {
+        // An input already past the tuple budget gains no tuples at all
+        // (previously one more IND step ran before the check).
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        let deps = DependencySetBuilder::new(&c)
+            .ind("R", ["b"], "R", ["a"])
+            .unwrap()
+            .build();
+        let mut db = Database::new(&c);
+        for i in 0..4i64 {
+            db.insert_named("R", [10 * i, 10 * i + 1]).unwrap();
+        }
+        let out = chase_instance(
+            &db,
+            &deps,
+            DataChaseBudget {
+                max_steps: 1000,
+                max_tuples: 2,
+            },
+        );
+        let DataChaseOutcome::BudgetExhausted(result) = out else {
+            panic!("violating over-budget input must report exhaustion");
+        };
+        assert_eq!(result.total_tuples(), db.total_tuples());
+    }
+
+    #[test]
+    fn satisfied_over_budget_input_is_satisfied() {
+        // Budget pressure must not misreport an instance that needs no
+        // repair: satisfaction wins over size.
+        let (c, deps) = emp_dep();
+        let mut db = Database::new(&c);
+        db.insert_named("EMP", [1i64, 100, 10]).unwrap();
+        db.insert_named("DEP", [10i64, 0]).unwrap();
+        let out = chase_instance(
+            &db,
+            &deps,
+            DataChaseBudget {
+                max_steps: 1000,
+                max_tuples: 1,
+            },
+        );
+        assert_eq!(out, DataChaseOutcome::Satisfied(db));
     }
 
     #[test]

@@ -10,27 +10,55 @@
 //! engine, three consumers.
 //!
 //! The index is derived data: build it from a database, and keep it in
-//! sync with [`DbIndex::note_insert`] when appending tuples (the data
-//! chase does). Wholesale value rewrites ([`Database::map_values`])
-//! invalidate it; rebuild afterwards.
+//! sync tuple by tuple — [`DbIndex::note_insert`] after appending (the
+//! data chase and the service's live-update path do) and
+//! [`DbIndex::note_remove`] after deleting. Deletion **tombstones** the
+//! row: its slot keeps its symbols but drops out of every posting list,
+//! the dedup map, and live-row enumeration, so in-flight plans never see
+//! it. Tombstones are reclaimed by amortized per-relation compaction
+//! (triggered when dead slots outnumber live ones), which renumbers rows
+//! and rebuilds that relation's postings — but **never** the symbol
+//! pool: interned symbols are stable for the index's whole lifetime, so
+//! compiled plans (which embed resolved constant symbols) survive every
+//! mutation. The one plan invalidation mutation can cause is an insert
+//! interning a *new* constant, which falsifies cached "unsatisfiable"
+//! plans — watch [`DbIndex::num_syms`] and call
+//! [`PlanCache::drop_unsatisfiable`](cqchase_index::PlanCache::drop_unsatisfiable)
+//! when it grows. Wholesale value rewrites ([`Database::map_values`])
+//! still invalidate everything; rebuild afterwards.
 
-use cqchase_index::{ColumnIndex, FactSource, Sym, SymPool};
+use cqchase_index::{ColumnIndex, DedupIndex, FactSource, Sym, SymPool};
 use cqchase_ir::{Constant, RelId};
 
 use crate::database::{Database, Tuple};
 use crate::value::Value;
 
-/// Posting lists and interned rows for one [`Database`] snapshot.
+/// Minimum dead-slot count before compaction is considered (tiny
+/// relations are not worth renumbering).
+const COMPACT_MIN_DEAD: usize = 32;
+
+/// Posting lists, dedup map, and interned rows for one [`Database`],
+/// maintained incrementally under insertion and deletion.
 #[derive(Debug, Clone)]
 pub struct DbIndex {
     pool: SymPool<Value>,
     cols: ColumnIndex,
-    /// Interned tuples, flattened per relation (arity-strided).
+    /// Whole-row lookup `(rel, syms) → live slot` (the deletion path's
+    /// row finder; doubles as a duplicate probe).
+    dedup: DedupIndex,
+    /// Interned tuples, flattened per relation (arity-strided). Slots
+    /// of removed rows keep their symbols until compaction.
     sym_rows: Vec<Vec<Sym>>,
-    /// Row count per relation (not derivable from `sym_rows` for
-    /// zero-arity relations).
-    counts: Vec<usize>,
+    /// Liveness per slot (`false` = tombstone). The slot count itself
+    /// (`live[rel].len()`) is not derivable from `sym_rows` for
+    /// zero-arity relations.
+    live: Vec<Vec<bool>>,
+    /// Live rows per relation.
+    live_counts: Vec<usize>,
+    /// Tombstoned slots per relation (compaction trigger).
+    dead: Vec<usize>,
     arities: Vec<usize>,
+    compactions: u64,
 }
 
 impl DbIndex {
@@ -41,9 +69,13 @@ impl DbIndex {
         let mut idx = DbIndex {
             pool: SymPool::new(),
             cols: ColumnIndex::new(arities.iter().copied()),
+            dedup: DedupIndex::new(),
             sym_rows: vec![Vec::new(); catalog.len()],
-            counts: vec![0; catalog.len()],
+            live: vec![Vec::new(); catalog.len()],
+            live_counts: vec![0; catalog.len()],
+            dead: vec![0; catalog.len()],
             arities,
+            compactions: 0,
         };
         for (rel, inst) in db.iter() {
             for t in inst.tuples() {
@@ -53,23 +85,110 @@ impl DbIndex {
         idx
     }
 
-    /// Registers a tuple just appended to `rel` (must be called in
-    /// insertion order, once per *new* tuple).
+    /// Registers a tuple just appended to `rel` (must be called once per
+    /// *new* tuple — the owner's [`Database`] deduplicates).
     pub fn note_insert(&mut self, rel: RelId, tuple: &Tuple) {
-        let row = self.counts[rel.index()] as u32;
-        self.counts[rel.index()] += 1;
+        let slot = self.live[rel.index()].len() as u32;
+        self.live[rel.index()].push(true);
+        self.live_counts[rel.index()] += 1;
         let start = self.sym_rows[rel.index()].len();
         for v in tuple {
             let sym = self.pool.intern(v);
             self.sym_rows[rel.index()].push(sym);
         }
         let syms = &self.sym_rows[rel.index()][start..];
-        self.cols.insert_row(rel, row, syms);
+        self.cols.insert_row(rel, slot, syms);
+        self.dedup.insert(rel, syms, slot);
     }
 
-    /// Number of indexed rows of `rel`.
+    /// Unregisters a tuple just removed from `rel`: tombstones its slot,
+    /// drops it from every posting list and the dedup map, and compacts
+    /// the relation when tombstones outnumber live rows. Returns whether
+    /// the tuple was indexed (mirrors [`Database::remove`]'s answer).
+    pub fn note_remove(&mut self, rel: RelId, tuple: &Tuple) -> bool {
+        let mut syms = Vec::with_capacity(tuple.len());
+        for v in tuple {
+            // A value the pool never saw cannot be in any row.
+            let Some(sym) = self.pool.get(v) else {
+                return false;
+            };
+            syms.push(sym);
+        }
+        let Some(slot) = self.dedup.get(rel, &syms) else {
+            return false;
+        };
+        debug_assert!(
+            self.live[rel.index()][slot as usize],
+            "dedup maps live slots"
+        );
+        self.live[rel.index()][slot as usize] = false;
+        self.live_counts[rel.index()] -= 1;
+        self.dead[rel.index()] += 1;
+        self.cols.remove_row(rel, slot, &syms);
+        self.dedup.remove(rel, &syms, slot);
+        if self.dead[rel.index()] >= COMPACT_MIN_DEAD
+            && self.dead[rel.index()] > self.live_counts[rel.index()]
+        {
+            self.compact(rel);
+        }
+        true
+    }
+
+    /// Reclaims `rel`'s tombstones: renumbers the live rows densely and
+    /// rebuilds that relation's postings and dedup entries. The symbol
+    /// pool is untouched (symbols are stable for the index's lifetime).
+    fn compact(&mut self, rel: RelId) {
+        let a = self.arities[rel.index()];
+        let old_rows = std::mem::take(&mut self.sym_rows[rel.index()]);
+        let old_live = std::mem::take(&mut self.live[rel.index()]);
+        self.cols.clear_rel(rel);
+        self.dedup.clear_rel(rel);
+        let keep = self.live_counts[rel.index()];
+        let mut rows = Vec::with_capacity(keep * a);
+        for (slot, alive) in old_live.iter().enumerate() {
+            if !alive {
+                continue;
+            }
+            // Zero-arity relations hold at most one (empty) row, whose
+            // new slot is 0 — which `rows.len() / 1` also yields.
+            let new_slot = (rows.len() / a.max(1)) as u32;
+            let start = rows.len();
+            rows.extend_from_slice(&old_rows[slot * a..slot * a + a]);
+            let syms = &rows[start..];
+            self.cols.insert_row(rel, new_slot, syms);
+            self.dedup.insert(rel, syms, new_slot);
+        }
+        self.sym_rows[rel.index()] = rows;
+        self.live[rel.index()] = vec![true; keep];
+        self.dead[rel.index()] = 0;
+        self.compactions += 1;
+    }
+
+    /// Number of live (indexed, not tombstoned) rows of `rel`.
     pub fn num_rows(&self, rel: RelId) -> usize {
-        self.counts[rel.index()]
+        self.live_counts[rel.index()]
+    }
+
+    /// The live row ids of `rel`, ascending (slot ids; tombstones are
+    /// skipped). Consumers scanning whole relations must use this, not
+    /// `0..num_rows`, once deletions are in play.
+    pub fn live_rows(&self, rel: RelId) -> impl Iterator<Item = u32> + '_ {
+        self.live[rel.index()]
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, &alive)| alive.then_some(slot as u32))
+    }
+
+    /// Number of distinct symbols interned so far. Grows monotonically;
+    /// a growth after inserts means a brand-new constant appeared, which
+    /// falsifies any cached "unsatisfiable" plan.
+    pub fn num_syms(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Number of compaction passes run so far (observability).
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// The interned symbol of a value, if it occurs in the instance.
@@ -82,8 +201,8 @@ impl DbIndex {
         self.pool.resolve(sym)
     }
 
-    /// Whether some row of `rel` carries exactly `syms` at `cols` — the
-    /// IND-witness probe of the data chase, via posting intersection.
+    /// Whether some live row of `rel` carries exactly `syms` at `cols` —
+    /// the IND-witness probe of the data chase, via posting intersection.
     pub fn has_row_with(&self, rel: RelId, cols: &[usize], syms: &[Sym]) -> bool {
         debug_assert_eq!(cols.len(), syms.len());
         let bound: Vec<(usize, Sym)> = cols.iter().copied().zip(syms.iter().copied()).collect();
@@ -119,7 +238,7 @@ impl FactSource for DbIndex {
 
     fn candidates(&self, rel: RelId, bound: &[(usize, Sym)], out: &mut Vec<u32>) {
         if bound.is_empty() {
-            out.extend(0..self.num_rows(rel) as u32);
+            out.extend(self.live_rows(rel));
         } else {
             self.cols
                 .candidates(rel, bound, |row| self.row(rel, row), out);
@@ -174,5 +293,119 @@ mod tests {
         assert_eq!(idx.num_rows(s), 2);
         let nine = idx.sym_of_value(&Value::int(9)).unwrap();
         assert!(idx.has_row_with(s, &[0], &[nine]));
+    }
+
+    #[test]
+    fn note_remove_tombstones_the_row() {
+        let (c, mut db) = db();
+        let mut idx = DbIndex::build(&db);
+        let r = c.resolve("R").unwrap();
+        let t: Tuple = vec![Value::int(1), Value::int(2)];
+        assert!(db.remove(r, &t).unwrap());
+        assert!(idx.note_remove(r, &t));
+        assert_eq!(idx.num_rows(r), 1);
+        let one = idx.sym_of_value(&Value::int(1)).unwrap();
+        let two = idx.sym_of_value(&Value::int(2)).unwrap();
+        assert_eq!(idx.posting_len(r, 0, one), 0);
+        assert_eq!(idx.posting_len(r, 1, two), 1);
+        assert!(!idx.has_row_with(r, &[0], &[one]));
+        assert_eq!(idx.live_rows(r).collect::<Vec<_>>(), vec![1]);
+        // Removing it again (or a never-seen tuple) is a no-op.
+        assert!(!idx.note_remove(r, &t));
+        assert!(!idx.note_remove(r, &vec![Value::int(7), Value::int(7)]));
+    }
+
+    #[test]
+    fn delete_then_reinsert_identical_tuple() {
+        let (c, mut db) = db();
+        let mut idx = DbIndex::build(&db);
+        let r = c.resolve("R").unwrap();
+        let t: Tuple = vec![Value::int(1), Value::int(2)];
+        assert!(db.remove(r, &t).unwrap());
+        assert!(idx.note_remove(r, &t));
+        assert!(db.insert(r, t.clone()).unwrap());
+        idx.note_insert(r, &t);
+        assert_eq!(idx.num_rows(r), 2);
+        let one = idx.sym_of_value(&Value::int(1)).unwrap();
+        assert_eq!(idx.posting_len(r, 0, one), 1);
+        assert!(idx.has_row_with(
+            r,
+            &[0, 1],
+            &[one, idx.sym_of_value(&Value::int(2)).unwrap()]
+        ));
+        // The reinserted tuple is removable again through the fresh
+        // dedup entry (tombstone of the old slot does not shadow it).
+        assert!(idx.note_remove(r, &t));
+        assert_eq!(idx.num_rows(r), 1);
+    }
+
+    #[test]
+    fn compaction_reclaims_tombstones_and_preserves_answers() {
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        let r = c.resolve("R").unwrap();
+        let mut db = Database::new(&c);
+        let n = 3 * COMPACT_MIN_DEAD as i64;
+        for i in 0..n {
+            db.insert(r, vec![Value::int(i), Value::int(i + 1)])
+                .unwrap();
+        }
+        let mut idx = DbIndex::build(&db);
+        // Delete two of every three tuples: dead outnumbers live well
+        // past the minimum threshold, so compaction must trigger.
+        for i in 0..n {
+            if i % 3 == 0 {
+                continue;
+            }
+            let t = vec![Value::int(i), Value::int(i + 1)];
+            assert!(db.remove(r, &t).unwrap());
+            assert!(idx.note_remove(r, &t));
+        }
+        assert!(idx.compactions() > 0, "compaction must have triggered");
+        assert_eq!(idx.num_rows(r), n as usize / 3);
+        // Renumbered rows still answer probes and enumerate densely.
+        let fresh = DbIndex::build(&db);
+        for i in 0..n {
+            let sym_live = idx
+                .sym_of_value(&Value::int(i))
+                .map(|s| idx.posting_len(r, 0, s))
+                .unwrap_or(0);
+            let sym_fresh = fresh
+                .sym_of_value(&Value::int(i))
+                .map(|s| fresh.posting_len(r, 0, s))
+                .unwrap_or(0);
+            assert_eq!(sym_live, sym_fresh, "posting lengths for key {i}");
+        }
+        let live: Vec<u32> = idx.live_rows(r).collect();
+        assert_eq!(live.len(), idx.num_rows(r));
+        // Amortized reclamation bound: tombstones never outnumber live
+        // rows by more than the compaction minimum.
+        let max_slot = *live.last().unwrap() as usize + 1;
+        assert!(
+            max_slot - live.len() <= live.len() + COMPACT_MIN_DEAD,
+            "tombstones unreclaimed: {} slots for {} live rows",
+            max_slot,
+            live.len()
+        );
+        // Symbols survived compaction (plans stay valid).
+        assert!(idx.sym_of_value(&Value::int(0)).is_some());
+    }
+
+    #[test]
+    fn num_syms_grows_only_on_new_constants() {
+        let (c, mut db) = db();
+        let mut idx = DbIndex::build(&db);
+        let s = c.resolve("S").unwrap();
+        let before = idx.num_syms();
+        let t: Tuple = vec![Value::int(2)]; // already interned
+        db.remove(s, &t).unwrap();
+        idx.note_remove(s, &t);
+        db.insert(s, t.clone()).unwrap();
+        idx.note_insert(s, &t);
+        assert_eq!(idx.num_syms(), before);
+        let t9: Tuple = vec![Value::int(9)];
+        db.insert(s, t9.clone()).unwrap();
+        idx.note_insert(s, &t9);
+        assert_eq!(idx.num_syms(), before + 1);
     }
 }

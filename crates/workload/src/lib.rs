@@ -15,18 +15,23 @@
 //! * [`families`] — the named workloads the experiments reference
 //!   (the Figure 1 Σ, the Section 4 Σ, the intro's EMP/DEP schema);
 //! * [`batches`] — batch workloads (query pools + containment pairs)
-//!   for the batch/parallel engines and their benchmarks.
+//!   for the batch/parallel engines and their benchmarks;
+//! * [`deltas`] — seeded fact-delta scripts (insert/delete/reinsert
+//!   interleavings) for the live-mutation subsystem's benchmarks and
+//!   differential tests.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batches;
 pub mod databases;
+pub mod deltas;
 pub mod dependencies;
 pub mod families;
 pub mod queries;
 
 pub use batches::{chain_eval_batch, successor_containment_batch, ContainmentBatch};
 pub use databases::DatabaseGen;
+pub use deltas::{split_deltas, Delta, DeltaScriptGen};
 pub use dependencies::{FdSetGen, IndSetGen, KeyBasedGen};
 pub use queries::{chain_query, cycle_query, star_query, QueryGen};

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Service smoke test: start `cqchase serve` on a loopback port, drive it
-# with `cqchase request` (register → check → eval → stats → shutdown),
-# and assert the answers are identical to direct CLI (library) calls on
-# the same inputs. CI runs this after the release build; run it locally
-# with `bash scripts/service_smoke.sh`.
+# with `cqchase request` (register → check → eval → update → eval →
+# stats → shutdown), and assert the answers are identical to direct CLI
+# (library) calls on the same inputs — including evaluation over the
+# *mutated* facts after a live update. CI runs this after the release
+# build; run it locally with `bash scripts/service_smoke.sh`.
 set -euo pipefail
 
 BIN=${CQCHASE_BIN:-target/release/cqchase}
@@ -26,7 +27,11 @@ printf '%s\n' "$PROG" > "$TMP/prog.cq"
 
 # --- Direct library answers via the non-server CLI -------------------
 direct_contained() { # args: Q QP -> "true"/"false"
-    "$BIN" contain "$TMP/prog.cq" "$1" "$2" | head -1 | grep -oE 'true|false' | head -1
+    # Capture first, parse second: piping the live process into `head`
+    # races an EPIPE panic when head exits before the CLI finishes.
+    local out
+    out=$("$BIN" contain "$TMP/prog.cq" "$1" "$2")
+    printf '%s\n' "$out" | head -1 | grep -oE 'true|false' | head -1
 }
 DIRECT_AB=$(direct_contained A B)
 DIRECT_AC=$(direct_contained A C)
@@ -74,6 +79,38 @@ tail -n +2 "$TMP/direct_eval.txt" | tr -d '() ' | while read -r row; do
     [ -z "$row" ] && continue
     echo "$E" | grep -q "\"$row\"" || fail "direct eval row ($row) missing from service answer"
 done
+
+# --- update: mutate the live session, diff against direct CLI --------
+# Duplicate registration must be an explicit error, not a replace.
+DUP=$(req "{\"op\":\"register\",\"session\":\"smoke\",\"program\":\"$PROG\"}" || true)
+echo "$DUP"
+echo "$DUP" | grep -q '"ok":false' || fail "duplicate register must be refused"
+echo "$DUP" | grep -q 'already registered' || fail "duplicate register error should say so"
+
+# Insert R(3,4) and delete R(1,2) in one update.
+U=$(req '{"op":"update","session":"smoke","insert":[["R",[3,4]]],"delete":[["R",[1,2]]]}')
+echo "$U"
+echo "$U" | grep -q '"ok":true' || fail "update not ok"
+echo "$U" | grep -q '"inserted":1' || fail "update should insert 1"
+echo "$U" | grep -q '"deleted":1' || fail "update should delete 1"
+
+# Direct CLI on the mutated facts: same program, facts R(2,3), R(3,4).
+MUTPROG='relation R(a, b). ind R[2] <= R[1]. A(x) :- R(x, y). B(x) :- R(x, y), R(y, z). C(x) :- R(y, x). R(2, 3). R(3, 4).'
+printf '%s\n' "$MUTPROG" > "$TMP/mutprog.cq"
+"$BIN" eval "$TMP/mutprog.cq" B > "$TMP/direct_eval_mut.txt"
+MUT_EVAL_COUNT=$(head -1 "$TMP/direct_eval_mut.txt" | grep -oE '^[0-9]+')
+EM=$(req '{"op":"eval","session":"smoke","query":"B"}')
+echo "$EM"
+echo "$EM" | grep -q "\"count\":$MUT_EVAL_COUNT" \
+    || fail "post-update eval count disagrees with direct call on mutated facts ($MUT_EVAL_COUNT)"
+tail -n +2 "$TMP/direct_eval_mut.txt" | tr -d '() ' | while read -r row; do
+    [ -z "$row" ] && continue
+    echo "$EM" | grep -q "\"$row\"" || fail "direct mutated-eval row ($row) missing from service answer"
+done
+# Containment answers are facts-independent: the cached check replays.
+C4=$(req '{"op":"check","session":"smoke","q":"A","q_prime":"B"}')
+echo "$C4" | grep -q "\"contained\":$DIRECT_AB" || fail "post-update check answer changed"
+echo "$C4" | grep -q '"cached":true' || fail "post-update check should still be cache-served"
 
 # --- stats -----------------------------------------------------------
 S=$(req '{"op":"stats"}')

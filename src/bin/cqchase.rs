@@ -8,14 +8,17 @@
 //! cqchase minimize FILE Q               minimal equivalent subquery
 //! cqchase eval FILE Q                   evaluate Q over the file's facts
 //! cqchase serve [--addr A] [--threads N] [--conn-workers N]
-//!               [--cache-capacity N]    run the containment/eval server
+//!               [--cache-capacity N] [--plan-cache-capacity N]
+//!                                       run the containment/eval server
 //! cqchase request [--addr A] JSON…|-    send protocol lines, print replies
 //! ```
 //!
 //! `FILE` is a program in the surface language (`relation …`, `fd …`,
 //! `ind …`, queries, and optional ground facts). `serve`/`request`
 //! speak the newline-delimited JSON protocol documented in the README's
-//! "Service" section.
+//! "Service" section — including the `update` op for live fact deltas,
+//! e.g. `cqchase request
+//! '{"op":"update","session":"s","insert":[["R",[1,2]]]}'`.
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -186,6 +189,11 @@ fn cmd_serve(opts: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--cache-capacity needs an integer".to_string())?
             }
+            "--plan-cache-capacity" => {
+                serve.plan_cache_capacity = next("--plan-cache-capacity")?
+                    .parse()
+                    .map_err(|_| "--plan-cache-capacity needs an integer".to_string())?
+            }
             other => return Err(format!("unknown serve option {other}")),
         }
     }
@@ -252,7 +260,7 @@ fn serde_json_reply_ok(line: &str) -> Option<bool> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cqchase check FILE\n  cqchase chase FILE Q [--levels N] [--mode r|o] [--dot]\n  cqchase contain FILE Q QP\n  cqchase equiv FILE Q QP\n  cqchase minimize FILE Q\n  cqchase eval FILE Q\n  cqchase serve [--addr HOST:PORT] [--threads N] [--conn-workers N] [--cache-capacity N]\n  cqchase request [--addr HOST:PORT] JSON...|-"
+        "usage:\n  cqchase check FILE\n  cqchase chase FILE Q [--levels N] [--mode r|o] [--dot]\n  cqchase contain FILE Q QP\n  cqchase equiv FILE Q QP\n  cqchase minimize FILE Q\n  cqchase eval FILE Q\n  cqchase serve [--addr HOST:PORT] [--threads N] [--conn-workers N] [--cache-capacity N] [--plan-cache-capacity N]\n  cqchase request [--addr HOST:PORT] JSON...|-"
     );
     ExitCode::from(2)
 }
