@@ -1,0 +1,95 @@
+//! Two-session churn: per-session update barriers vs the pre-relaxation
+//! global barriers, and O(1) delete scaling — see
+//! `cqchase_bench::churn_workload` for the workload's anatomy.
+//!
+//! Besides the criterion group, the run records a JSON baseline at
+//! `crates/bench/baselines/bench_churn.json`:
+//!
+//! * `two_session_barrier_speedup` — wall-clock ratio global /
+//!   per-session on the identical interleaved script (dimensionless —
+//!   the gated metric; recording asserts ≥ 1.3x);
+//! * `delete_flatness_10k_to_100k` — per-tuple delete cost at 10k
+//!   divided by the cost at 100k tuples (≈1 when deletion is O(1);
+//!   gated — recording asserts ≥ 0.5, i.e. flat within 2x);
+//! * `delete_cost_per_tuple_{10k,100k}_ns` — absolute costs
+//!   (document the recording machine, informational);
+//!
+//! plus correctness assertions (inside `measure_barrier_speedup`) that
+//! both barrier modes answer the script identically.
+
+use cqchase_bench::churn_workload::{
+    churn_workload, delete_cost_per_tuple, measure_barrier_speedup, measure_churn,
+    measure_delete_flatness, B_LEFT_CHAIN, B_RIGHTS, CHECKS_PER_ROUND, CHURN_CHUNK, CHURN_ROUNDS,
+    CHURN_WINDOW,
+};
+use cqchase_par::default_threads;
+use cqchase_service::BarrierMode;
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde_json::json;
+
+fn bench_churn_paths(c: &mut Criterion) {
+    let w = churn_workload();
+    let mut group = c.benchmark_group("churn");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("per_session_barriers", |b| {
+        b.iter(|| criterion::black_box(measure_churn(&w, BarrierMode::PerSession).0))
+    });
+    group.bench_function("global_barriers", |b| {
+        b.iter(|| criterion::black_box(measure_churn(&w, BarrierMode::Global).0))
+    });
+    group.bench_function("delete_10k_tuples", |b| {
+        b.iter(|| criterion::black_box(delete_cost_per_tuple(10_000)))
+    });
+    group.finish();
+}
+
+/// Records the committed JSON baseline (see the module docs).
+fn record_baseline(_c: &mut Criterion) {
+    let w = churn_workload();
+    // Median of several measurements: the ratios are stable, a single
+    // run on a noisy box is not.
+    let mut runs: Vec<f64> = (0..5).map(|_| measure_barrier_speedup(&w)).collect();
+    runs.sort_by(f64::total_cmp);
+    let barrier_speedup = runs[runs.len() / 2];
+    let (small, large, flatness) = measure_delete_flatness();
+
+    println!(
+        "\nchurn baseline: per-session barriers beat global {barrier_speedup:.2}x; \
+         delete cost/tuple {:.0} ns @10k vs {:.0} ns @100k (flatness {flatness:.2})",
+        small * 1e9,
+        large * 1e9,
+    );
+    assert!(
+        barrier_speedup >= 1.3,
+        "per-session barriers must beat global barriers by >= 1.3x at recording time \
+         (got {barrier_speedup:.2}x)"
+    );
+    assert!(
+        flatness >= 0.5,
+        "per-tuple delete cost must stay flat within 2x from 10k to 100k tuples \
+         (got {flatness:.2})"
+    );
+    let doc = json!({
+        "workload": format!(
+            "churn: session A {CHURN_WINDOW}-tuple sliding window ({CHURN_ROUNDS} updates \
+             of {CHURN_CHUNK} deltas + periodic evals) interleaved with \
+             {CHECKS_PER_ROUND} session-B checks per round (chain-{B_LEFT_CHAIN} left \
+             vs {B_RIGHTS} rights, semantic cache off); delete scaling: front-half \
+             deletes at 10k and 100k tuples"
+        ),
+        "cores": default_threads(),
+        "two_session_barrier_speedup": (barrier_speedup * 100.0).round() / 100.0,
+        "delete_flatness_10k_to_100k": (flatness * 100.0).round() / 100.0,
+        "delete_cost_per_tuple_10k_ns": (small * 1e9).round(),
+        "delete_cost_per_tuple_100k_ns": (large * 1e9).round(),
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/bench_churn.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap())
+        .expect("write bench_churn baseline");
+    println!("baseline written to {path}");
+}
+
+criterion_group!(benches, bench_churn_paths, record_baseline);
+criterion_main!(benches);

@@ -21,6 +21,9 @@
 //! executor overhead, not scaling, and hard-gating a never-measured
 //! target would make CI nondeterministic on shared runners.
 
+use cqchase_bench::churn_workload::{
+    churn_workload, measure_barrier_speedup, measure_delete_flatness,
+};
 use cqchase_bench::service_workload::service_workload;
 use cqchase_bench::update_workload::{measure_update, update_workload, ROUNDS};
 use cqchase_bench::util::time_median;
@@ -272,6 +275,39 @@ fn measure_update_metrics(doc: &Value, out: &mut Vec<Metric>) {
     }
 }
 
+/// Re-measures the `bench_churn` ratios by replaying the canonical
+/// two-session script under both barrier modes (answers asserted
+/// identical inside `measure_barrier_speedup`) and re-timing the
+/// delete-scaling sweep.
+///
+/// Both are dimensionless same-process ratios, so they survive moving
+/// between machines and are gated: the barrier speedup is the
+/// multi-session win of per-session barriers, the delete flatness is
+/// the O(1)-deletion guarantee (per-tuple cost at 10k vs 100k tuples —
+/// a reintroduced O(n) scan would crater it to ~0.1).
+fn measure_churn_metrics(doc: &Value, out: &mut Vec<Metric>) {
+    let w = churn_workload();
+    let mut runs: Vec<f64> = (0..3).map(|_| measure_barrier_speedup(&w)).collect();
+    runs.sort_by(f64::total_cmp);
+    if let Some(b) = doc["two_session_barrier_speedup"].as_f64() {
+        out.push(Metric {
+            name: "churn.two_session_barrier_speedup",
+            baseline: b,
+            current: runs[runs.len() / 2],
+            gated: true,
+        });
+    }
+    let (_, _, flatness) = measure_delete_flatness();
+    if let Some(b) = doc["delete_flatness_10k_to_100k"].as_f64() {
+        out.push(Metric {
+            name: "churn.delete_flatness_10k_to_100k",
+            baseline: b,
+            current: flatness,
+            gated: true,
+        });
+    }
+}
+
 fn run(check: bool) -> i32 {
     let mut metrics = Vec::new();
     match load_baseline("bench_index.json") {
@@ -281,6 +317,10 @@ fn run(check: bool) -> i32 {
     match load_baseline("bench_update.json") {
         Some(doc) => measure_update_metrics(&doc, &mut metrics),
         None => println!("warning: baselines/bench_update.json missing or unparsable"),
+    }
+    match load_baseline("bench_churn.json") {
+        Some(doc) => measure_churn_metrics(&doc, &mut metrics),
+        None => println!("warning: baselines/bench_churn.json missing or unparsable"),
     }
     match load_baseline("bench_parallel.json") {
         Some(doc) => measure_parallel_metrics(&doc, &mut metrics),

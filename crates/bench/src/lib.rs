@@ -7,6 +7,7 @@
 //! records the outputs. Criterion microbenchmarks live under
 //! `benches/`.
 
+pub mod churn_workload;
 pub mod exp;
 pub mod service_workload;
 pub mod table;

@@ -70,6 +70,30 @@ impl ColumnIndex {
         }
     }
 
+    /// Releases excess capacity held by `rel`'s column maps and posting
+    /// lists: any map or list whose occupancy fell below a quarter of
+    /// its capacity is shrunk to fit. Owners call this after compacting
+    /// a relation that shrank a lot — a long-lived session must not
+    /// hold peak-size allocations forever. Returns the approximate
+    /// number of capacity entries released (map slots + posting-list
+    /// row ids), for the owner's bytes-reclaimed accounting.
+    pub fn shrink_rel(&mut self, rel: RelId) -> usize {
+        let mut freed = 0usize;
+        for m in &mut self.rels[rel.index()] {
+            for list in m.values_mut() {
+                if list.len() < list.capacity() / 4 {
+                    freed += list.capacity() - list.len();
+                    list.shrink_to_fit();
+                }
+            }
+            if m.len() < m.capacity() / 4 {
+                freed += m.capacity() - m.len();
+                m.shrink_to_fit();
+            }
+        }
+        freed
+    }
+
     /// Moves `row` from `from`'s posting list to `to`'s in column `col`
     /// of `rel` (the FD substitution primitive).
     pub fn replace_in_col(&mut self, rel: RelId, col: usize, row: u32, from: Sym, to: Sym) {
@@ -234,6 +258,23 @@ impl DedupIndex {
         }
     }
 
+    /// Releases excess capacity held by `rel`'s shard when its
+    /// occupancy fell below a quarter of capacity (the compaction
+    /// counterpart of [`ColumnIndex::shrink_rel`]). Returns the
+    /// approximate number of capacity entries released.
+    pub fn shrink_rel(&mut self, rel: RelId) -> usize {
+        let Some(shard) = self.rels.get_mut(rel.index()) else {
+            return 0;
+        };
+        if shard.len() < shard.capacity() / 4 {
+            let freed = shard.capacity() - shard.len();
+            shard.shrink_to_fit();
+            freed
+        } else {
+            0
+        }
+    }
+
     /// Removes the entry for `(rel, syms)` when it points at `row`.
     pub fn remove(&mut self, rel: RelId, syms: &[Sym], row: u32) {
         use std::collections::hash_map::Entry;
@@ -292,6 +333,35 @@ mod tests {
         // Arities survive: re-registering rows works.
         idx.insert_row(rel(0), 7, &[b, a]);
         assert_eq!(idx.posting(rel(0), 0, b), &[7]);
+    }
+
+    #[test]
+    fn shrink_rel_releases_capacity_after_mass_removal() {
+        let mut idx = ColumnIndex::new([1usize]);
+        // One symbol with a long posting list, then nearly empty it.
+        for row in 0..4096u32 {
+            idx.insert_row(rel(0), row, &[Sym(0)]);
+        }
+        for row in 8..4096u32 {
+            idx.remove_row(rel(0), row, &[Sym(0)]);
+        }
+        assert_eq!(idx.posting_len(rel(0), 0, Sym(0)), 8);
+        let freed = idx.shrink_rel(rel(0));
+        assert!(freed > 0, "a 4096-capacity list holding 8 rows must shrink");
+        assert_eq!(idx.posting(rel(0), 0, Sym(0)), &[0, 1, 2, 3, 4, 5, 6, 7]);
+
+        let mut d = DedupIndex::new();
+        for row in 0..4096u32 {
+            d.insert(rel(0), &[Sym(row)], row);
+        }
+        for row in 8..4096u32 {
+            d.remove(rel(0), &[Sym(row)], row);
+        }
+        assert!(d.shrink_rel(rel(0)) > 0);
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.get(rel(0), &[Sym(3)]), Some(3));
+        // A relation the dedup index never saw shrinks to nothing.
+        assert_eq!(d.shrink_rel(rel(9)), 0);
     }
 
     #[test]

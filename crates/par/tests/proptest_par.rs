@@ -158,14 +158,16 @@ proptest! {
     }
 
     /// A **mutated** shared index (inserts + deletes + tombstones +
-    /// possible compactions applied incrementally) evaluates across
-    /// worker threads bit-identically to a from-scratch index on the
-    /// same final facts — the live-session update path runs exactly
-    /// this shape: mutate under a write lock, then fan out reads.
+    /// guaranteed compactions + capacity shrinking applied
+    /// incrementally) evaluates across worker threads bit-identically
+    /// to a from-scratch index on the same final facts — the
+    /// live-session update path runs exactly this shape: mutate under
+    /// a write lock, then fan out reads.
     #[test]
     fn parallel_eval_agrees_on_mutated_index(
         qs in proptest::collection::vec(small_query(), 1..6),
         db in instances(),
+        preamble_keep in 0i64..8,
         deltas in proptest::collection::vec(
             (any::<bool>(), any::<bool>(), 0i64..4, 0i64..4), 1..24),
     ) {
@@ -174,6 +176,24 @@ proptest! {
         let s = cat.resolve("S").unwrap();
         let mut db = db;
         let mut idx = DbIndex::build(&db);
+        // Preamble: bulk-insert a disjoint key range, then delete all
+        // but `preamble_keep` of it — the tombstone count crosses the
+        // adaptive compaction threshold deterministically, so every
+        // case exercises renumbering (and shrinking) before the random
+        // deltas land on the renumbered rows.
+        for i in 0..96i64 {
+            let t = vec![Value::int(100 + i), Value::int(100 + i)];
+            if db.insert(r, t.clone()).unwrap() {
+                idx.note_insert(r, &t);
+            }
+        }
+        for i in preamble_keep..96i64 {
+            let t = vec![Value::int(100 + i), Value::int(100 + i)];
+            if db.remove(r, &t).unwrap() {
+                prop_assert!(idx.note_remove(r, &t));
+            }
+        }
+        prop_assert!(idx.compactions() > 0, "preamble must force a compaction");
         for (is_delete, use_s, a, b) in deltas {
             let rel = if use_s { s } else { r };
             let t = vec![Value::int(a), Value::int(b)];

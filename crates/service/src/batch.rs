@@ -25,6 +25,12 @@
 //! touches the queue) and filled by the leader after computing, so
 //! every isomorphism class is computed at most once per cache
 //! residency.
+//!
+//! Updates are **per-session barriers** ([`BarrierMode::PerSession`]):
+//! a drained batch is partitioned into per-session lanes, an update
+//! only fences work on its own session, and adjacent same-session
+//! updates coalesce into one write-lock acquisition — see
+//! [`Work::Update`].
 
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
@@ -60,11 +66,19 @@ pub enum Work {
     },
     /// Apply fact deltas to `session`'s live facts.
     ///
-    /// Updates are **epoch barriers** in the queue: within one drained
-    /// batch, everything submitted before the update runs (and answers)
-    /// against the old facts, then the update applies under the facts
-    /// write lock, then the remainder runs against the new facts. An
-    /// update never executes concurrently with batch compute.
+    /// Updates are **per-session epoch barriers** in the queue: within
+    /// one drained batch, same-session work submitted before the update
+    /// runs (and answers) against the old facts, then the update
+    /// applies under the facts write lock, then the same-session
+    /// remainder runs against the new facts. Work on *other* sessions
+    /// (distinct `Arc<Session>` identities) is unaffected — cross-
+    /// session ordering is unobservable, so an update to session A
+    /// never splits session B's segment. Adjacent same-session updates
+    /// in one drained batch **coalesce** into a single write-lock
+    /// acquisition and one epoch bump
+    /// ([`Session::apply_updates`]), each waiter still receiving its
+    /// own per-delta summary. An update never executes concurrently
+    /// with batch compute.
     Update {
         /// The session whose facts change.
         session: Arc<Session>,
@@ -151,28 +165,59 @@ impl Drop for LeaderGuard<'_> {
     }
 }
 
+/// How update barriers scope within one drained batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BarrierMode {
+    /// Updates are barriers only for work on the **same session**
+    /// (`Arc::ptr_eq` identity); other sessions' work batches through
+    /// unsplit, and adjacent same-session updates coalesce into one
+    /// write-lock acquisition and one epoch bump. The production mode.
+    #[default]
+    PerSession,
+    /// Updates are barriers for **everything** in flight, applied one
+    /// at a time (the pre-relaxation semantics). Kept as the reference
+    /// side of the differential proptests and the churn benchmark —
+    /// observably equivalent to [`BarrierMode::PerSession`] except for
+    /// raw epoch counters, just slower.
+    Global,
+}
+
 /// The admission queue. One per server; see the module docs.
 pub struct Batcher {
     state: Mutex<QueueState>,
     threads: usize,
     metrics: Arc<Metrics>,
+    barrier_mode: BarrierMode,
 }
 
 impl std::fmt::Debug for Batcher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Batcher")
             .field("threads", &self.threads)
+            .field("barrier_mode", &self.barrier_mode)
             .finish()
     }
 }
 
 impl Batcher {
-    /// A queue whose batches run on `threads` worker threads.
+    /// A queue whose batches run on `threads` worker threads, with
+    /// per-session update barriers.
     pub fn new(threads: usize, metrics: Arc<Metrics>) -> Batcher {
+        Batcher::with_barrier_mode(threads, metrics, BarrierMode::PerSession)
+    }
+
+    /// A queue with an explicit [`BarrierMode`] (differential tests and
+    /// the churn benchmark compare the two modes).
+    pub fn with_barrier_mode(
+        threads: usize,
+        metrics: Arc<Metrics>,
+        barrier_mode: BarrierMode,
+    ) -> Batcher {
         Batcher {
             state: Mutex::new(QueueState::default()),
             threads: threads.max(1),
             metrics,
+            barrier_mode,
         }
     }
 
@@ -190,30 +235,23 @@ impl Batcher {
     /// invariants were violated); the queue itself recovers — see
     /// [`LeaderGuard`].
     pub fn submit(&self, work: Work) -> Result<Outcome, String> {
-        if let Work::Check {
-            session,
-            q,
-            q_prime,
-        } = &work
-        {
-            let hit = {
-                let mut cache = session.sem_cache.lock().expect("semantic cache lock");
-                cache.lookup(session.sigma_fp, session.query(*q), session.query(*q_prime))
-            };
-            if let Some(summary) = hit {
-                return Ok(Outcome::Check {
-                    summary: Ok(summary),
-                    cached: true,
-                    coalesced: false,
-                });
-            }
+        // The per-request hot path: same protocol as `submit_many`
+        // (probe, enqueue, await) without its per-script vectors.
+        if let Some(outcome) = Batcher::try_cache_hit(&work) {
+            return Ok(outcome);
         }
-
         let (tx, rx) = channel();
         {
             let mut state = self.state.lock().expect("queue lock");
             state.pending.push(Pending { work, tx });
         }
+        self.await_outcome(&rx)
+    }
+
+    /// Blocks until `rx` delivers, alternating with leadership: whenever
+    /// no leader is running and work is pending, the caller takes
+    /// leadership and drains. The wait half of `submit`/`submit_many`.
+    fn await_outcome(&self, rx: &std::sync::mpsc::Receiver<Outcome>) -> Result<Outcome, String> {
         loop {
             let lead = {
                 let mut state = self.state.lock().expect("queue lock");
@@ -241,6 +279,81 @@ impl Batcher {
         }
     }
 
+    /// The pre-enqueue semantic-cache probe shared by [`Batcher::submit`]
+    /// and [`Batcher::submit_many`]: a check whose isomorphism class is
+    /// cached is answered without ever touching the queue.
+    fn try_cache_hit(work: &Work) -> Option<Outcome> {
+        let Work::Check {
+            session,
+            q,
+            q_prime,
+        } = work
+        else {
+            return None;
+        };
+        let hit = {
+            let mut cache = session.sem_cache.lock().expect("semantic cache lock");
+            cache.lookup(session.sigma_fp, session.query(*q), session.query(*q_prime))
+        };
+        hit.map(|summary| Outcome::Check {
+            summary: Ok(summary),
+            cached: true,
+            coalesced: false,
+        })
+    }
+
+    /// Submits a whole script of work as **one enqueued batch** and
+    /// blocks until every outcome is ready, returned in submission
+    /// order.
+    ///
+    /// All items land in the queue under a single lock acquisition, so
+    /// a quiescent queue drains them as one batch — the deterministic
+    /// way to exercise segment splitting, update-run coalescing, and
+    /// in-batch coalescing that concurrent `submit` calls only produce
+    /// probabilistically. Semantic-cache hits short-circuit exactly as
+    /// in [`Batcher::submit`]. Used by the differential proptests and
+    /// the churn benchmark; servers use `submit`.
+    pub fn submit_many(&self, works: Vec<Work>) -> Vec<Result<Outcome, String>> {
+        enum Slot {
+            Ready(Outcome),
+            Wait(std::sync::mpsc::Receiver<Outcome>),
+        }
+        // Cache probes run BEFORE the queue lock (they take per-session
+        // mutexes and do isomorphism lookups — too slow for the global
+        // critical section, which must stay at plain Vec pushes).
+        type Unanswered = (Work, Sender<Outcome>, std::sync::mpsc::Receiver<Outcome>);
+        let probed: Vec<Result<Outcome, Unanswered>> = works
+            .into_iter()
+            .map(|work| match Batcher::try_cache_hit(&work) {
+                Some(outcome) => Ok(outcome),
+                None => {
+                    let (tx, rx) = channel();
+                    Err((work, tx, rx))
+                }
+            })
+            .collect();
+        let mut slots = Vec::with_capacity(probed.len());
+        {
+            let mut state = self.state.lock().expect("queue lock");
+            for p in probed {
+                match p {
+                    Ok(outcome) => slots.push(Slot::Ready(outcome)),
+                    Err((work, tx, rx)) => {
+                        state.pending.push(Pending { work, tx });
+                        slots.push(Slot::Wait(rx));
+                    }
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Ready(outcome) => Ok(outcome),
+                Slot::Wait(rx) => self.await_outcome(&rx),
+            })
+            .collect()
+    }
+
     /// Leads for up to [`MAX_LEADER_ROUNDS`] drain rounds, then
     /// releases leadership (leftover work is picked up by a waiting
     /// submitter's next poll tick or the next fresh submit).
@@ -264,10 +377,20 @@ impl Batcher {
         guard.armed = false;
     }
 
-    /// Runs one drained batch, honoring update barriers: items are
-    /// processed in arrival order as maximal update-free **segments**;
-    /// each update flushes the segment before it, applies under the
-    /// facts write lock, and everything after it sees the new epoch.
+    /// Runs one drained batch, honoring update barriers at the scope
+    /// the [`BarrierMode`] sets.
+    ///
+    /// **Per-session** (default): the batch is partitioned into
+    /// per-session lanes (`Arc::ptr_eq` identity, arrival order
+    /// preserved within each lane); inside a lane, updates are barriers
+    /// — same-session work before the update answers against the old
+    /// facts — and *adjacent* updates coalesce into one
+    /// [`Session::apply_updates`] call (one write-lock acquisition, one
+    /// epoch bump, per-delta summaries). Lanes never split each other.
+    ///
+    /// **Global**: the pre-relaxation semantics — items run in arrival
+    /// order as maximal update-free segments; every update flushes the
+    /// whole segment before it and applies alone.
     fn run_batch(&self, batch: Vec<Pending>) {
         use std::sync::atomic::Ordering;
         self.metrics.batches.fetch_add(1, Ordering::Relaxed);
@@ -275,21 +398,91 @@ impl Batcher {
             .batched_items
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
 
-        let mut segment: Vec<Pending> = Vec::new();
-        for p in batch {
-            if let Work::Update {
-                session,
-                insert,
-                delete,
-            } = p.work
-            {
-                self.run_segment(std::mem::take(&mut segment));
-                let result = session.apply_update(&insert, &delete);
-                let _ = p.tx.send(Outcome::Update(result));
-            } else {
-                segment.push(p);
+        match self.barrier_mode {
+            BarrierMode::Global => {
+                let mut segment: Vec<Pending> = Vec::new();
+                for p in batch {
+                    if let Work::Update {
+                        session,
+                        insert,
+                        delete,
+                    } = p.work
+                    {
+                        if !segment.is_empty() {
+                            self.metrics.barrier_flushes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.run_segment(std::mem::take(&mut segment));
+                        let result = session.apply_update(&insert, &delete);
+                        let _ = p.tx.send(Outcome::Update(result));
+                    } else {
+                        segment.push(p);
+                    }
+                }
+                self.run_segment(segment);
+            }
+            BarrierMode::PerSession => {
+                let mut lanes: Vec<(Arc<Session>, Vec<Pending>)> = Vec::new();
+                for p in batch {
+                    let session = match &p.work {
+                        Work::Check { session, .. }
+                        | Work::Eval { session, .. }
+                        | Work::Update { session, .. } => Arc::clone(session),
+                    };
+                    match lanes.iter_mut().find(|(s, _)| Arc::ptr_eq(s, &session)) {
+                        Some((_, lane)) => lane.push(p),
+                        None => lanes.push((session, vec![p])),
+                    }
+                }
+                for (session, lane) in lanes {
+                    self.run_lane(&session, lane);
+                }
             }
         }
+    }
+
+    /// Runs one session's lane of a drained batch: maximal update-free
+    /// segments alternate with **runs of adjacent updates**; each run
+    /// applies through one [`Session::apply_updates`] call.
+    fn run_lane(&self, session: &Arc<Session>, lane: Vec<Pending>) {
+        use std::sync::atomic::Ordering;
+        let mut segment: Vec<Pending> = Vec::new();
+        let mut updates: Vec<(Vec<crate::proto::FactSpec>, Vec<crate::proto::FactSpec>)> =
+            Vec::new();
+        let mut update_txs: Vec<Sender<Outcome>> = Vec::new();
+        let flush_updates =
+            |updates: &mut Vec<(Vec<crate::proto::FactSpec>, Vec<crate::proto::FactSpec>)>,
+             update_txs: &mut Vec<Sender<Outcome>>| {
+                if updates.is_empty() {
+                    return;
+                }
+                if updates.len() > 1 {
+                    self.metrics
+                        .updates_coalesced
+                        .fetch_add(updates.len() as u64 - 1, Ordering::Relaxed);
+                }
+                let results = session.apply_updates(updates);
+                for (result, tx) in results.into_iter().zip(update_txs.drain(..)) {
+                    let _ = tx.send(Outcome::Update(result));
+                }
+                updates.clear();
+            };
+        for p in lane {
+            match p.work {
+                Work::Update { insert, delete, .. } => {
+                    if !segment.is_empty() {
+                        self.metrics.barrier_flushes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.run_segment(std::mem::take(&mut segment));
+                    updates.push((insert, delete));
+                    update_txs.push(p.tx);
+                }
+                _ => {
+                    flush_updates(&mut updates, &mut update_txs);
+                    segment.push(p);
+                }
+            }
+        }
+        flush_updates(&mut updates, &mut update_txs);
         self.run_segment(segment);
     }
 
@@ -620,6 +813,139 @@ mod tests {
             .unwrap();
         assert!(matches!(out, Outcome::Update(Err(_))));
         assert_eq!(eval(&batcher), (2, true));
+    }
+
+    #[test]
+    fn per_session_barrier_never_splits_other_sessions() {
+        use cqchase_ir::Constant;
+        use std::sync::atomic::Ordering;
+        let a = test_session();
+        let b = test_session();
+        let upd = |s: &Arc<Session>, k: i64| Work::Update {
+            session: Arc::clone(s),
+            insert: vec![("R".into(), vec![Constant::Int(100 + k), Constant::Int(k)])],
+            delete: vec![],
+        };
+        let eval_b = || Work::Eval {
+            session: Arc::clone(&b),
+            q: 0,
+        };
+        // One batch interleaving B-evals with two adjacent A-updates.
+        let script = |s: &Arc<Session>| vec![eval_b(), upd(s, 1), upd(s, 2), eval_b(), eval_b()];
+
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::new(1, Arc::clone(&metrics));
+        let outs: Vec<Outcome> = batcher
+            .submit_many(script(&a))
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        // All three B evals ran in ONE segment: the identical repeats
+        // coalesced instead of being split apart by A's barrier.
+        let coalesced: Vec<bool> = outs
+            .iter()
+            .filter_map(|o| match o {
+                Outcome::Eval { coalesced, .. } => Some(*coalesced),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(coalesced, [false, true, true]);
+        // A's barrier flushed no B segment (B work all ran together),
+        // and the adjacent A updates merged: one run of 2 counts 1.
+        assert_eq!(metrics.barrier_flushes.load(Ordering::Relaxed), 0);
+        assert_eq!(metrics.updates_coalesced.load(Ordering::Relaxed), 1);
+        // Merged updates: per-delta summaries, one shared epoch bump.
+        let sums: Vec<_> = outs
+            .iter()
+            .filter_map(|o| match o {
+                Outcome::Update(Ok(s)) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!((sums[0].inserted, sums[1].inserted), (1, 1));
+        assert_eq!((sums[0].epoch, sums[1].epoch), (1, 1));
+        assert_eq!(a.facts_epoch(), 1, "two merged updates, one epoch");
+
+        // The same script under global barriers: B's repeats land in
+        // separate segments (no coalescing across the A barrier) and
+        // each A update mints its own epoch.
+        let a2 = test_session();
+        let b2 = test_session();
+        let metrics2 = Arc::new(Metrics::new());
+        let global = Batcher::with_barrier_mode(1, Arc::clone(&metrics2), BarrierMode::Global);
+        let script2 = vec![
+            Work::Eval {
+                session: Arc::clone(&b2),
+                q: 0,
+            },
+            upd(&a2, 1),
+            upd(&a2, 2),
+            Work::Eval {
+                session: Arc::clone(&b2),
+                q: 0,
+            },
+            Work::Eval {
+                session: Arc::clone(&b2),
+                q: 0,
+            },
+        ];
+        let outs2: Vec<Outcome> = global
+            .submit_many(script2)
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(metrics2.barrier_flushes.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics2.updates_coalesced.load(Ordering::Relaxed), 0);
+        assert_eq!(a2.facts_epoch(), 2, "global barriers bump per update");
+        // The observable answers agree between the modes.
+        for (x, y) in outs.iter().zip(outs2.iter()) {
+            match (x, y) {
+                (Outcome::Eval { rows: r1, .. }, Outcome::Eval { rows: r2, .. }) => {
+                    assert_eq!(r1, r2)
+                }
+                (Outcome::Update(Ok(s1)), Outcome::Update(Ok(s2))) => {
+                    assert_eq!(
+                        (s1.inserted, s1.deleted, s1.facts),
+                        (s2.inserted, s2.deleted, s2.facts)
+                    )
+                }
+                other => panic!("outcome kinds diverged: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn submit_many_drains_one_batch_in_order() {
+        use std::sync::atomic::Ordering;
+        let s = test_session();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::new(1, Arc::clone(&metrics));
+        let outs = batcher.submit_many(vec![
+            Work::Eval {
+                session: Arc::clone(&s),
+                q: 0,
+            },
+            Work::Check {
+                session: Arc::clone(&s),
+                q: 0,
+                q_prime: 1,
+            },
+        ]);
+        assert_eq!(outs.len(), 2);
+        assert!(matches!(outs[0], Ok(Outcome::Eval { .. })));
+        assert!(matches!(outs[1], Ok(Outcome::Check { .. })));
+        assert_eq!(metrics.batches.load(Ordering::Relaxed), 1);
+        // A semantic-cache hit short-circuits without enqueueing.
+        let outs = batcher.submit_many(vec![Work::Check {
+            session: Arc::clone(&s),
+            q: 0,
+            q_prime: 1,
+        }]);
+        assert!(
+            matches!(&outs[0], Ok(Outcome::Check { cached: true, .. })),
+            "{outs:?}"
+        );
+        assert_eq!(metrics.batches.load(Ordering::Relaxed), 1);
     }
 
     #[test]

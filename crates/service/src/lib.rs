@@ -49,7 +49,7 @@ pub mod proto;
 pub mod server;
 pub mod session;
 
-pub use batch::{Batcher, Outcome, Work};
+pub use batch::{BarrierMode, Batcher, Outcome, Work};
 pub use cache::{CacheStats, SemanticCache};
 pub use client::{Client, ClientError};
 pub use metrics::Metrics;

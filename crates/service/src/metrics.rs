@@ -104,6 +104,13 @@ pub struct Metrics {
     /// Items answered by riding an identical in-flight item
     /// (admission-queue coalescing).
     pub coalesced_items: AtomicU64,
+    /// Updates that merged into a preceding adjacent same-session
+    /// update's write-lock acquisition (a run of *n* counts *n − 1*).
+    pub updates_coalesced: AtomicU64,
+    /// Update-free segments flushed early because an update barrier
+    /// followed them in the batch (the cost per-session barriers
+    /// avoid paying for *other* sessions' work).
+    pub barrier_flushes: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
 }
@@ -116,6 +123,8 @@ impl Default for Metrics {
             batches: AtomicU64::new(0),
             batched_items: AtomicU64::new(0),
             coalesced_items: AtomicU64::new(0),
+            updates_coalesced: AtomicU64::new(0),
+            barrier_flushes: AtomicU64::new(0),
             connections: AtomicU64::new(0),
         }
     }
@@ -157,6 +166,14 @@ impl Metrics {
         batching.insert(
             "coalesced_items".into(),
             Value::from(self.coalesced_items.load(Ordering::Relaxed)),
+        );
+        batching.insert(
+            "updates_coalesced".into(),
+            Value::from(self.updates_coalesced.load(Ordering::Relaxed)),
+        );
+        batching.insert(
+            "barrier_flushes".into(),
+            Value::from(self.barrier_flushes.load(Ordering::Relaxed)),
         );
         let mut m = Map::new();
         m.insert(

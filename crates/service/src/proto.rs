@@ -40,7 +40,9 @@ pub enum Op {
     Eval,
     /// Report the session's Σ classification.
     Classify,
-    /// Server counters, latency histograms, cache metrics.
+    /// Server counters, latency histograms, cache metrics, and the
+    /// mutation fast path's `mutation` block (compactions,
+    /// slots/bytes reclaimed, updates coalesced, barrier flushes).
     Stats,
     /// Graceful shutdown: stop accepting, drain, exit.
     Shutdown,

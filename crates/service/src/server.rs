@@ -554,17 +554,31 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
             let (mut hits, mut misses, mut evictions, mut entries) = (0u64, 0u64, 0u64, 0usize);
             let (mut plan_hits, mut plan_misses, mut plan_evictions) = (0u64, 0u64, 0u64);
             let mut eval_row_hits = 0u64;
+            let (mut compactions, mut slots_reclaimed, mut bytes_reclaimed) = (0u64, 0u64, 0u64);
             for s in shared.sessions.snapshot() {
                 let c = s.sem_cache.lock().expect("semantic cache lock").stats();
                 hits += c.hits;
                 misses += c.misses;
                 evictions += c.evictions;
                 entries += c.entries;
-                let e = s.eval_state.lock().expect("eval state lock");
-                plan_hits += e.plans.hits() as u64;
-                plan_misses += e.plans.misses() as u64;
-                plan_evictions += e.plans.evictions() as u64;
-                eval_row_hits += e.result_hits;
+                {
+                    // Scoped: the eval_state guard must be released
+                    // before touching the facts lock — lock order is
+                    // `facts` before `eval_state` everywhere else
+                    // (apply_updates holds facts.write while taking
+                    // eval_state), so holding eval_state across
+                    // facts.read() would be an ABBA deadlock against a
+                    // concurrent update.
+                    let e = s.eval_state.lock().expect("eval state lock");
+                    plan_hits += e.plans.hits() as u64;
+                    plan_misses += e.plans.misses() as u64;
+                    plan_evictions += e.plans.evictions() as u64;
+                    eval_row_hits += e.result_hits;
+                }
+                let facts = s.facts.read().expect("facts lock");
+                compactions += facts.index.compactions();
+                slots_reclaimed += facts.index.slots_reclaimed();
+                bytes_reclaimed += facts.index.bytes_reclaimed();
             }
             let mut sem = Map::new();
             sem.insert("hits".into(), Value::from(hits));
@@ -582,6 +596,22 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
             plans.insert("evictions".into(), Value::from(plan_evictions));
             m.insert("plan_cache".into(), Value::Object(plans));
             m.insert("eval_row_hits".into(), Value::from(eval_row_hits));
+            // The mutation fast path's counters: index compaction work
+            // across sessions, plus the admission queue's update
+            // coalescing and barrier accounting (also under `batching`).
+            let mut mutation = Map::new();
+            mutation.insert("compactions".into(), Value::from(compactions));
+            mutation.insert("slots_reclaimed".into(), Value::from(slots_reclaimed));
+            mutation.insert("bytes_reclaimed".into(), Value::from(bytes_reclaimed));
+            mutation.insert(
+                "updates_coalesced".into(),
+                Value::from(shared.metrics.updates_coalesced.load(Ordering::Relaxed)),
+            );
+            mutation.insert(
+                "barrier_flushes".into(),
+                Value::from(shared.metrics.barrier_flushes.load(Ordering::Relaxed)),
+            );
+            m.insert("mutation".into(), Value::Object(mutation));
             Value::Object(m)
         }
         Request::Shutdown => Value::Object(ok_response(op)),

@@ -20,8 +20,11 @@
 //!   facts-independent and survive untouched.
 //!
 //! Any number of connection threads share a session (`Arc<Session>`);
-//! readers take the facts lock shared, updates take it exclusively.
-//! Lock order is `facts` before `eval_state` everywhere.
+//! readers take the facts lock shared, updates take it exclusively —
+//! and a run of adjacent updates drained from the admission queue
+//! applies through one [`Session::apply_updates`] call: one write-lock
+//! acquisition, one epoch bump, per-delta summaries. Lock order is
+//! `facts` before `eval_state` everywhere.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
@@ -248,7 +251,29 @@ impl Session {
         insert: &[FactSpec],
         delete: &[FactSpec],
     ) -> Result<UpdateSummary, String> {
-        // Validate before touching anything.
+        let delta = (insert.to_vec(), delete.to_vec());
+        self.apply_updates(std::slice::from_ref(&delta))
+            .pop()
+            .expect("one delta in, one summary out")
+    }
+
+    /// Applies a **run of updates** under a single facts write-lock
+    /// acquisition with one epoch bump and one cache invalidation —
+    /// the admission queue's coalescing path for adjacent same-session
+    /// updates in a drained batch.
+    ///
+    /// Each `(insert, delete)` delta keeps its individual semantics:
+    /// validated independently (an invalid delta yields its own `Err`
+    /// and applies nothing, while the rest of the run still applies),
+    /// applied in run order with deletes before inserts, and summarized
+    /// per delta — `inserted`/`deleted`/`facts` are exactly what a
+    /// one-at-a-time application would report. Only the `epoch` field
+    /// shows the merge: every effective delta of the run lands in the
+    /// same (single) new epoch instead of minting one each.
+    pub fn apply_updates(
+        &self,
+        deltas: &[(Vec<FactSpec>, Vec<FactSpec>)],
+    ) -> Vec<Result<UpdateSummary, String>> {
         let catalog = &self.program.catalog;
         let resolve = |(rel, tuple): &FactSpec| -> Result<(cqchase_ir::RelId, Tuple), String> {
             let id = catalog
@@ -263,30 +288,69 @@ impl Session {
             }
             Ok((id, tuple.iter().cloned().map(Value::Const).collect()))
         };
-        let deletes: Vec<_> = delete.iter().map(resolve).collect::<Result<_, _>>()?;
-        let inserts: Vec<_> = insert.iter().map(resolve).collect::<Result<_, _>>()?;
+        // Validate every delta before taking the write lock; each delta
+        // is all-or-nothing on its own, independent of its neighbors.
+        type Resolved = (
+            Vec<(cqchase_ir::RelId, Tuple)>,
+            Vec<(cqchase_ir::RelId, Tuple)>,
+        );
+        let resolved: Vec<Result<Resolved, String>> = deltas
+            .iter()
+            .map(|(insert, delete)| {
+                let deletes = delete.iter().map(resolve).collect::<Result<_, _>>()?;
+                let inserts = insert.iter().map(resolve).collect::<Result<_, _>>()?;
+                Ok((inserts, deletes))
+            })
+            .collect();
+        if resolved.iter().all(Result::is_err) {
+            // Nothing will apply: report the validation errors without
+            // taking the exclusive facts lock — malformed requests must
+            // not serialize concurrent readers.
+            return resolved
+                .into_iter()
+                .map(|r| r.map(|_| unreachable!("all deltas are errors")))
+                .collect();
+        }
 
         let mut facts = self.facts.write().expect("facts lock");
         let syms_before = facts.index.num_syms();
-        let (mut deleted, mut inserted) = (0usize, 0usize);
-        for (rel, tuple) in &deletes {
-            if facts.db.remove(*rel, tuple).expect("arity validated") {
-                let removed = facts.index.note_remove(*rel, tuple);
-                debug_assert!(removed, "index and database agree on membership");
-                deleted += 1;
+        let mut effective = 0usize;
+        let mut out = Vec::with_capacity(deltas.len());
+        let mut summaries: Vec<usize> = Vec::new();
+        for r in resolved {
+            match r {
+                Err(e) => out.push(Err(e)),
+                Ok((inserts, deletes)) => {
+                    let (mut deleted, mut inserted) = (0usize, 0usize);
+                    for (rel, tuple) in &deletes {
+                        if facts.db.remove(*rel, tuple).expect("arity validated") {
+                            let removed = facts.index.note_remove(*rel, tuple);
+                            debug_assert!(removed, "index and database agree on membership");
+                            deleted += 1;
+                        }
+                    }
+                    for (rel, tuple) in &inserts {
+                        if facts
+                            .db
+                            .insert(*rel, tuple.clone())
+                            .expect("arity validated")
+                        {
+                            facts.index.note_insert(*rel, tuple);
+                            inserted += 1;
+                        }
+                    }
+                    effective += deleted + inserted;
+                    summaries.push(out.len());
+                    out.push(Ok(UpdateSummary {
+                        inserted,
+                        deleted,
+                        facts: facts.db.total_tuples(),
+                        epoch: 0, // patched below, once the run's epoch is known
+                    }));
+                }
             }
         }
-        for (rel, tuple) in &inserts {
-            if facts
-                .db
-                .insert(*rel, tuple.clone())
-                .expect("arity validated")
-            {
-                facts.index.note_insert(*rel, tuple);
-                inserted += 1;
-            }
-        }
-        if deleted + inserted > 0 {
+        if effective > 0 {
             facts.epoch += 1;
             // Lock order facts → eval_state, same as eval.
             let mut state = self.eval_state.lock().expect("eval state lock");
@@ -299,12 +363,12 @@ impl Session {
                 state.plans.drop_unsatisfiable();
             }
         }
-        Ok(UpdateSummary {
-            inserted,
-            deleted,
-            facts: facts.db.total_tuples(),
-            epoch: facts.epoch,
-        })
+        for i in summaries {
+            if let Ok(sum) = &mut out[i] {
+                sum.epoch = facts.epoch;
+            }
+        }
+        out
     }
 }
 

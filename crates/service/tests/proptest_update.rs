@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use cqchase_core::{contained, ContainmentOptions};
 use cqchase_ir::Constant;
-use cqchase_service::{Batcher, Metrics, Outcome, Session, Work};
+use cqchase_service::{BarrierMode, Batcher, Metrics, Outcome, Session, Work};
 use cqchase_storage::evaluate;
 use proptest::prelude::*;
 
@@ -183,6 +183,156 @@ proptest! {
                 evaluate(fresh.query(q), &facts.db)
             };
             prop_assert_eq!(live.eval(q), fresh_rows, "final eval Q{}", q);
+        }
+    }
+}
+
+/// One scripted step against a **pair** of sessions (the barrier-
+/// relaxation property): `which` selects session A or B.
+#[derive(Debug, Clone)]
+enum TwoSessionStep {
+    Update(bool, Vec<(i64, i64)>, Vec<(i64, i64)>),
+    Eval(bool, usize),
+    Check(bool, usize, usize),
+}
+
+fn two_session_steps() -> impl Strategy<Value = Vec<TwoSessionStep>> {
+    let tuples = || proptest::collection::vec((0i64..5, 0i64..5), 0..4);
+    let step = (
+        0u8..6,
+        any::<bool>(),
+        tuples(),
+        tuples(),
+        0usize..NUM_QUERIES,
+        0usize..NUM_QUERIES,
+    )
+        .prop_map(|(kind, which, ins, del, q, qp)| match kind {
+            // Updates weighted up: adjacent same-session runs are the
+            // coalescing path under test.
+            0..=2 => TwoSessionStep::Update(which, ins, del),
+            3 | 4 => TwoSessionStep::Eval(which, q),
+            _ => TwoSessionStep::Check(which, q, qp),
+        });
+    proptest::collection::vec(step, 1..24)
+}
+
+/// Renders a two-session script as `Work` against the given pair.
+fn script_to_work(script: &[TwoSessionStep], a: &Arc<Session>, b: &Arc<Session>) -> Vec<Work> {
+    script
+        .iter()
+        .map(|step| {
+            let pick = |which: bool| Arc::clone(if which { b } else { a });
+            match step {
+                TwoSessionStep::Update(w, ins, del) => Work::Update {
+                    session: pick(*w),
+                    insert: ins.iter().map(|&(x, y)| fact(x, y)).collect(),
+                    delete: del.iter().map(|&(x, y)| fact(x, y)).collect(),
+                },
+                TwoSessionStep::Eval(w, q) => Work::Eval {
+                    session: pick(*w),
+                    q: *q,
+                },
+                TwoSessionStep::Check(w, q, qp) => Work::Check {
+                    session: pick(*w),
+                    q: *q,
+                    q_prime: *qp,
+                },
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The barrier-relaxation contract: ANY interleaving of session-A
+    /// updates with session-B (and A) checks/evals, drained as one
+    /// batch through the per-session-barrier `Batcher`, is observably
+    /// identical to the same script under the pre-relaxation **global**
+    /// barriers, and both match sessions registered from scratch on the
+    /// final facts. "Observably" means every per-step answer — update
+    /// summaries' `inserted`/`deleted`/`facts`, eval rows, check
+    /// decision fields — bit for bit; only raw epoch counters may
+    /// differ (coalesced update runs share one bump).
+    #[test]
+    fn per_session_barriers_indistinguishable_from_global(script in two_session_steps()) {
+        // Two independent session pairs, one per barrier mode. B gets a
+        // different fact seed than A so cross-session mixups would show.
+        let b_base = format!("{BASE}\nR(0, 1).");
+        let a1 = Arc::new(Session::new("a", BASE, 64, 64).unwrap());
+        let b1 = Arc::new(Session::new("b", &b_base, 64, 64).unwrap());
+        let a2 = Arc::new(Session::new("a", BASE, 64, 64).unwrap());
+        let b2 = Arc::new(Session::new("b", &b_base, 64, 64).unwrap());
+        let relaxed = Batcher::new(1, Arc::new(Metrics::new()));
+        let global = Batcher::with_barrier_mode(
+            1,
+            Arc::new(Metrics::new()),
+            BarrierMode::Global,
+        );
+        let relaxed_outs = relaxed.submit_many(script_to_work(&script, &a1, &b1));
+        let global_outs = global.submit_many(script_to_work(&script, &a2, &b2));
+        prop_assert_eq!(relaxed_outs.len(), global_outs.len());
+        for (i, (r, g)) in relaxed_outs.iter().zip(global_outs.iter()).enumerate() {
+            match (r, g) {
+                (Ok(Outcome::Update(r)), Ok(Outcome::Update(g))) => match (r, g) {
+                    (Ok(r), Ok(g)) => {
+                        prop_assert_eq!(r.inserted, g.inserted, "step {}: inserted", i);
+                        prop_assert_eq!(r.deleted, g.deleted, "step {}: deleted", i);
+                        prop_assert_eq!(r.facts, g.facts, "step {}: facts", i);
+                    }
+                    (Err(_), Err(_)) => {}
+                    other => prop_assert!(false, "step {}: update Ok/Err: {:?}", i, other),
+                },
+                (Ok(Outcome::Eval { rows: r, .. }), Ok(Outcome::Eval { rows: g, .. })) => {
+                    prop_assert_eq!(r, g, "step {}: eval rows", i);
+                }
+                (
+                    Ok(Outcome::Check { summary: r, .. }),
+                    Ok(Outcome::Check { summary: g, .. }),
+                ) => match (r, g) {
+                    (Ok(r), Ok(g)) => prop_assert_eq!(r, g, "step {}: check summary", i),
+                    (Err(_), Err(_)) => {}
+                    other => prop_assert!(false, "step {}: check Ok/Err: {:?}", i, other),
+                },
+                other => prop_assert!(false, "step {}: outcome kinds diverged: {:?}", i, other),
+            }
+        }
+        // Both modes' final states match from-scratch sessions on the
+        // mirror facts, for every query of both sessions.
+        let mut mirror_a: std::collections::BTreeSet<(i64, i64)> =
+            std::collections::BTreeSet::new();
+        let mut mirror_b: std::collections::BTreeSet<(i64, i64)> =
+            [(0, 1)].into_iter().collect();
+        for step in &script {
+            if let TwoSessionStep::Update(which, ins, del) = step {
+                let m = if *which { &mut mirror_b } else { &mut mirror_a };
+                for t in del {
+                    m.remove(t);
+                }
+                for t in ins {
+                    m.insert(*t);
+                }
+            }
+        }
+        for (live_pair, mirror, name) in [
+            ((&a1, &a2), &mirror_a, "A"),
+            ((&b1, &b2), &mirror_b, "B"),
+        ] {
+            let fresh = Session::new("fresh", &program_with_facts(mirror), 64, 64).unwrap();
+            for q in 0..NUM_QUERIES {
+                let fresh_rows = {
+                    let facts = fresh.facts.read().unwrap();
+                    evaluate(fresh.query(q), &facts.db)
+                };
+                prop_assert_eq!(
+                    live_pair.0.eval(q), fresh_rows.clone(),
+                    "final relaxed {} Q{}", name, q
+                );
+                prop_assert_eq!(
+                    live_pair.1.eval(q), fresh_rows,
+                    "final global {} Q{}", name, q
+                );
+            }
         }
     }
 }

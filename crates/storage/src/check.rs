@@ -57,7 +57,7 @@ fn project(t: &Tuple, cols: &[usize]) -> Vec<Value> {
 pub fn fd_violations(db: &Database, fd: &Fd) -> Vec<Violation> {
     let mut out = Vec::new();
     let mut seen: HashMap<Vec<Value>, (usize, &Value)> = HashMap::new();
-    for (i, t) in db.relation(fd.relation).tuples().iter().enumerate() {
+    for (i, t) in db.relation(fd.relation).tuples().enumerate() {
         let key = project(t, &fd.lhs);
         let rhs = &t[fd.rhs];
         match seen.get(&key) {
@@ -85,10 +85,9 @@ pub fn ind_violations(db: &Database, ind: &Ind) -> Vec<Violation> {
     let rhs: std::collections::HashSet<Vec<Value>> = db
         .relation(ind.rhs_rel)
         .tuples()
-        .iter()
         .map(|t| project(t, &ind.rhs_cols))
         .collect();
-    for (i, t) in db.relation(ind.lhs_rel).tuples().iter().enumerate() {
+    for (i, t) in db.relation(ind.lhs_rel).tuples().enumerate() {
         if !rhs.contains(&project(t, &ind.lhs_cols)) {
             out.push(Violation::Ind {
                 ind: ind.clone(),

@@ -1,8 +1,8 @@
 //! Databases: finite sets of relation instances over a catalog.
 
-use std::collections::HashSet;
 use std::fmt;
 
+use cqchase_index::FxHashMap;
 use cqchase_ir::{Catalog, IrError, IrResult, RelId};
 
 use crate::value::{NullId, Value};
@@ -10,72 +10,173 @@ use crate::value::{NullId, Value};
 /// A row of a relation instance.
 pub type Tuple = Vec<Value>;
 
+/// Minimum tombstone count before a relation instance considers
+/// compacting its slot vector (tiny relations are not worth the pass).
+/// Shared with [`DbIndex`](crate::indexed::DbIndex) so database and
+/// index reclaim in lockstep.
+pub(crate) const COMPACT_MIN_DEAD: usize = 32;
+
+/// The adaptive compaction trigger shared by [`RelationInstance`] and
+/// [`DbIndex`](crate::indexed::DbIndex): compact when the dead-slot
+/// count crosses a **size-tiered fraction of the live count** — small
+/// relations wait until tombstones outnumber live rows (a pass there is
+/// cheap but pointless earlier), large ones compact at dead > live/2,
+/// and very large ones at dead > live/4. A compaction pass costs
+/// O(live + dead) slot copies, so the tiered trigger bounds the
+/// amortized cost per reclaimed slot at ~2, ~3, and ~5 copies
+/// respectively while capping the memory a churn-heavy session wastes
+/// on tombstones at 25% for relations where that waste is measured in
+/// megabytes.
+pub(crate) fn compaction_due(live: usize, dead: usize) -> bool {
+    if dead < COMPACT_MIN_DEAD {
+        return false;
+    }
+    let required = if live < 4_096 {
+        live
+    } else if live < 262_144 {
+        live / 2
+    } else {
+        live / 4
+    };
+    dead > required
+}
+
 /// One relation's extent: a duplicate-free multiset of tuples in insertion
 /// order (order is preserved so experiments print deterministically).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Removal is **O(1)**: a tuple→slot map finds the victim and the slot
+/// is tombstoned rather than shifted out (mirroring
+/// [`DbIndex`](crate::indexed::DbIndex)); tombstones are reclaimed by
+/// the shared adaptive compaction policy ([`compaction_due`]), which
+/// preserves the live tuples' relative order. Enumeration goes through
+/// the live-slot view [`RelationInstance::tuples`], so every consumer
+/// (the naive engines included) sees exactly the live tuples in
+/// insertion order, never a tombstone.
+#[derive(Debug, Clone, Default)]
 pub struct RelationInstance {
-    tuples: Vec<Tuple>,
-    index: HashSet<Tuple>,
+    /// Slots in insertion order; tombstoned slots keep their tuple
+    /// until compaction (the memory is reclaimed wholesale there).
+    slots: Vec<Tuple>,
+    /// Liveness per slot (`false` = tombstone).
+    live: Vec<bool>,
+    /// `tuple → slot` for the live tuples (the O(1) removal path;
+    /// doubles as the duplicate probe).
+    pos: FxHashMap<Tuple, u32>,
+    /// Tombstoned slot count (compaction trigger).
+    dead: usize,
 }
 
 impl RelationInstance {
     /// Inserts a tuple; returns `true` if it was new.
     pub fn insert(&mut self, t: Tuple) -> bool {
-        if self.index.contains(&t) {
+        if self.pos.contains_key(&t) {
             return false;
         }
-        self.index.insert(t.clone());
-        self.tuples.push(t);
+        let slot = self.slots.len() as u32;
+        self.pos.insert(t.clone(), slot);
+        self.slots.push(t);
+        self.live.push(true);
         true
     }
 
-    /// Removes a tuple; returns `true` if it was present. Insertion
-    /// order of the survivors is preserved (the position scan is O(n),
-    /// which live-mutation callers amortize over batched deltas).
+    /// Removes a tuple; returns `true` if it was present. O(1): the
+    /// slot is found through the position map and tombstoned; insertion
+    /// order of the survivors is preserved across the amortized
+    /// compaction that eventually reclaims it.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        if !self.index.remove(t) {
+        let Some(slot) = self.pos.remove(t) else {
             return false;
+        };
+        debug_assert!(self.live[slot as usize], "the position map maps live slots");
+        self.live[slot as usize] = false;
+        self.dead += 1;
+        if compaction_due(self.pos.len(), self.dead) {
+            self.compact();
         }
-        let pos = self
-            .tuples
-            .iter()
-            .position(|u| u == t)
-            .expect("the dedup set and the tuple list agree");
-        self.tuples.remove(pos);
         true
+    }
+
+    /// Reclaims tombstones: drops dead slots, renumbers the survivors
+    /// densely (relative order preserved), and shrinks slot and map
+    /// capacity when occupancy fell below a quarter — a long-lived
+    /// session must not hold peak-size allocations forever.
+    fn compact(&mut self) {
+        let mut keep = 0usize;
+        for slot in 0..self.slots.len() {
+            if !self.live[slot] {
+                continue;
+            }
+            if keep != slot {
+                self.slots.swap(keep, slot);
+            }
+            keep += 1;
+        }
+        self.slots.truncate(keep);
+        self.live.clear();
+        self.live.resize(keep, true);
+        self.dead = 0;
+        for (slot, t) in self.slots.iter().enumerate() {
+            *self.pos.get_mut(t).expect("live tuples stay mapped") = slot as u32;
+        }
+        if self.slots.len() < self.slots.capacity() / 4 {
+            self.slots.shrink_to_fit();
+            self.live.shrink_to_fit();
+            self.pos.shrink_to_fit();
+        }
     }
 
     /// Whether the tuple is present.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.index.contains(t)
+        self.pos.contains_key(t)
     }
 
-    /// Number of tuples.
+    /// Number of live tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.pos.len()
     }
 
     /// Whether the relation is empty.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.pos.is_empty()
     }
 
-    /// The tuples, in insertion order.
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+    /// The live tuples, in insertion order (the live-slot view —
+    /// tombstones awaiting compaction are skipped).
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.slots
+            .iter()
+            .zip(&self.live)
+            .filter_map(|(t, &alive)| alive.then_some(t))
     }
 
     /// Rebuilds the instance applying `f` to every value (used by the data
-    /// chase when unifying nulls). Collapses tuples that become equal.
+    /// chase when unifying nulls). Collapses tuples that become equal and
+    /// drops any accumulated tombstones.
     pub fn map_values(&mut self, f: impl Fn(&Value) -> Value) {
-        let old = std::mem::take(&mut self.tuples);
-        self.index.clear();
-        for t in old {
+        let old = std::mem::take(&mut self.slots);
+        let old_live = std::mem::take(&mut self.live);
+        self.pos.clear();
+        self.dead = 0;
+        for (t, alive) in old.into_iter().zip(old_live) {
+            if !alive {
+                continue;
+            }
             let t: Tuple = t.iter().map(&f).collect();
             self.insert(t);
         }
     }
 }
+
+/// Equality is extensional over the **live** tuples in insertion order:
+/// two instances with different tombstone histories (slot layouts) but
+/// identical live contents are equal.
+impl PartialEq for RelationInstance {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.tuples().eq(other.tuples())
+    }
+}
+
+impl Eq for RelationInstance {}
 
 /// A database instance: one [`RelationInstance`] per catalog relation,
 /// plus a counter for minting fresh labelled nulls.
@@ -267,10 +368,10 @@ mod tests {
         assert!(!db.remove(r, &t).unwrap(), "second removal is a no-op");
         assert_eq!(db.total_tuples(), 2);
         assert!(!db.relation(r).contains(&t));
-        // Survivors keep insertion order.
+        // Survivors keep insertion order (through the live-slot view).
         assert_eq!(
-            db.relation(r).tuples(),
-            &[
+            db.relation(r).tuples().cloned().collect::<Vec<_>>(),
+            vec![
                 vec![Value::int(1), Value::int(2)],
                 vec![Value::int(5), Value::int(6)],
             ]
@@ -280,6 +381,55 @@ mod tests {
         assert_eq!(db.relation(r).tuples().last(), Some(&t));
         // Arity is checked.
         assert!(db.remove(r, &vec![Value::int(1)]).is_err());
+    }
+
+    #[test]
+    fn equality_ignores_tombstone_history() {
+        let c = cat();
+        let mut a = Database::new(&c);
+        a.insert_named("R", [1i64, 2]).unwrap();
+        a.insert_named("R", [3i64, 4]).unwrap();
+        let mut b = a.clone();
+        let r = c.resolve("R").unwrap();
+        // b takes a detour: insert + delete leaves a tombstone behind.
+        b.insert(r, vec![Value::int(9), Value::int(9)]).unwrap();
+        b.remove(r, &vec![Value::int(9), Value::int(9)]).unwrap();
+        assert_eq!(a, b, "live contents equal ⇒ databases equal");
+        b.remove(r, &vec![Value::int(1), Value::int(2)]).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn churn_compacts_and_preserves_live_view() {
+        let c = cat();
+        let r = c.resolve("R").unwrap();
+        let mut db = Database::new(&c);
+        // Sliding window: keep ~64 live while deleting thousands — the
+        // tombstone count repeatedly crosses the compaction trigger.
+        let window = 64i64;
+        for i in 0..4096i64 {
+            db.insert(r, vec![Value::int(i), Value::int(i + 1)])
+                .unwrap();
+            if i >= window {
+                let old = vec![Value::int(i - window), Value::int(i - window + 1)];
+                assert!(db.remove(r, &old).unwrap());
+            }
+        }
+        assert_eq!(db.relation(r).len(), window as usize);
+        let live: Vec<Tuple> = db.relation(r).tuples().cloned().collect();
+        assert_eq!(live.len(), window as usize);
+        // Insertion order survives compaction.
+        for (k, t) in live.iter().enumerate() {
+            assert_eq!(t[0], Value::int(4096 - window + k as i64));
+        }
+        // The slot store was actually reclaimed, not grown without
+        // bound: at most live + the compaction threshold slack remains.
+        assert!(
+            db.relation(r).slots.len() <= window as usize * 2 + COMPACT_MIN_DEAD,
+            "tombstones unreclaimed: {} slots for {} live",
+            db.relation(r).slots.len(),
+            window
+        );
     }
 
     #[test]

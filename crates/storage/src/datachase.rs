@@ -232,7 +232,7 @@ mod tests {
         let dep = c.resolve("DEP").unwrap();
         assert_eq!(repaired.relation(dep).len(), 1);
         // The new DEP tuple carries the department key and a null location.
-        let t = &repaired.relation(dep).tuples()[0];
+        let t = repaired.relation(dep).tuples().next().unwrap();
         assert_eq!(t[0], Value::int(10));
         assert!(t[1].is_null());
     }

@@ -16,7 +16,9 @@
 //! row: its slot keeps its symbols but drops out of every posting list,
 //! the dedup map, and live-row enumeration, so in-flight plans never see
 //! it. Tombstones are reclaimed by amortized per-relation compaction
-//! (triggered when dead slots outnumber live ones), which renumbers rows
+//! (the size-tiered adaptive trigger shared with
+//! [`RelationInstance`](crate::database::RelationInstance): the dead
+//! fraction required decays as the relation grows), which renumbers rows
 //! and rebuilds that relation's postings — but **never** the symbol
 //! pool: interned symbols are stable for the index's whole lifetime, so
 //! compiled plans (which embed resolved constant symbols) survive every
@@ -30,12 +32,11 @@
 use cqchase_index::{ColumnIndex, DedupIndex, FactSource, Sym, SymPool};
 use cqchase_ir::{Constant, RelId};
 
-use crate::database::{Database, Tuple};
+use crate::database::{compaction_due, Database, Tuple};
 use crate::value::Value;
 
-/// Minimum dead-slot count before compaction is considered (tiny
-/// relations are not worth renumbering).
-const COMPACT_MIN_DEAD: usize = 32;
+#[cfg(test)]
+use crate::database::COMPACT_MIN_DEAD;
 
 /// Posting lists, dedup map, and interned rows for one [`Database`],
 /// maintained incrementally under insertion and deletion.
@@ -59,6 +60,11 @@ pub struct DbIndex {
     dead: Vec<usize>,
     arities: Vec<usize>,
     compactions: u64,
+    /// Tombstoned slots reclaimed by compaction so far.
+    slots_reclaimed: u64,
+    /// Approximate bytes released by compaction and capacity shrinking
+    /// (reclaimed row symbols + shrunk posting/dedup capacity).
+    bytes_reclaimed: u64,
 }
 
 impl DbIndex {
@@ -76,6 +82,8 @@ impl DbIndex {
             dead: vec![0; catalog.len()],
             arities,
             compactions: 0,
+            slots_reclaimed: 0,
+            bytes_reclaimed: 0,
         };
         for (rel, inst) in db.iter() {
             for t in inst.tuples() {
@@ -126,17 +134,18 @@ impl DbIndex {
         self.dead[rel.index()] += 1;
         self.cols.remove_row(rel, slot, &syms);
         self.dedup.remove(rel, &syms, slot);
-        if self.dead[rel.index()] >= COMPACT_MIN_DEAD
-            && self.dead[rel.index()] > self.live_counts[rel.index()]
-        {
+        if compaction_due(self.live_counts[rel.index()], self.dead[rel.index()]) {
             self.compact(rel);
         }
         true
     }
 
-    /// Reclaims `rel`'s tombstones: renumbers the live rows densely and
-    /// rebuilds that relation's postings and dedup entries. The symbol
-    /// pool is untouched (symbols are stable for the index's lifetime).
+    /// Reclaims `rel`'s tombstones: renumbers the live rows densely,
+    /// rebuilds that relation's postings and dedup entries, and shrinks
+    /// posting-list and dedup-shard capacity when occupancy fell below
+    /// a quarter (very wide relations must not pin peak-size
+    /// allocations for a long-lived session). The symbol pool is
+    /// untouched (symbols are stable for the index's lifetime).
     fn compact(&mut self, rel: RelId) {
         let a = self.arities[rel.index()];
         let old_rows = std::mem::take(&mut self.sym_rows[rel.index()]);
@@ -160,8 +169,11 @@ impl DbIndex {
         }
         self.sym_rows[rel.index()] = rows;
         self.live[rel.index()] = vec![true; keep];
-        self.dead[rel.index()] = 0;
+        let reclaimed = std::mem::take(&mut self.dead[rel.index()]);
         self.compactions += 1;
+        self.slots_reclaimed += reclaimed as u64;
+        let shrunk = self.cols.shrink_rel(rel) + self.dedup.shrink_rel(rel);
+        self.bytes_reclaimed += ((reclaimed * a + shrunk) * std::mem::size_of::<Sym>()) as u64;
     }
 
     /// Number of live (indexed, not tombstoned) rows of `rel`.
@@ -189,6 +201,21 @@ impl DbIndex {
     /// Number of compaction passes run so far (observability).
     pub fn compactions(&self) -> u64 {
         self.compactions
+    }
+
+    /// Tombstoned slots reclaimed by compaction so far (observability).
+    pub fn slots_reclaimed(&self) -> u64 {
+        self.slots_reclaimed
+    }
+
+    /// Approximate **bytes** released by compaction and capacity
+    /// shrinking so far: reclaimed row symbols plus shrunk
+    /// posting-list/dedup-shard capacity entries, each costed at
+    /// `size_of::<Sym>()` (observability; an estimate, not an
+    /// allocator measurement — map entries are larger than one `Sym`,
+    /// so shrink reclamation is undercounted).
+    pub fn bytes_reclaimed(&self) -> u64 {
+        self.bytes_reclaimed
     }
 
     /// The interned symbol of a value, if it occurs in the instance.
@@ -389,6 +416,36 @@ mod tests {
         );
         // Symbols survived compaction (plans stay valid).
         assert!(idx.sym_of_value(&Value::int(0)).is_some());
+    }
+
+    #[test]
+    fn adaptive_compaction_fires_earlier_on_large_relations() {
+        let mut c = Catalog::new();
+        c.declare("R", ["a", "b"]).unwrap();
+        let r = c.resolve("R").unwrap();
+        let mut db = Database::new(&c);
+        let n = 10_000i64;
+        for i in 0..n {
+            db.insert(r, vec![Value::int(i), Value::int(i + 1)])
+                .unwrap();
+        }
+        let mut idx = DbIndex::build(&db);
+        // Delete 4000 of 10000: dead crosses live/2 (the mid size
+        // tier's trigger) on the way, while never reaching the small
+        // tier's dead > live — the adaptive policy must compact where
+        // the fixed policy would not have.
+        for i in 0..4_000 {
+            let t = vec![Value::int(i), Value::int(i + 1)];
+            assert!(db.remove(r, &t).unwrap());
+            assert!(idx.note_remove(r, &t));
+        }
+        assert!(idx.compactions() > 0, "mid-tier trigger must have fired");
+        assert!(idx.slots_reclaimed() > 0);
+        assert!(idx.bytes_reclaimed() > 0);
+        assert_eq!(idx.num_rows(r), 6_000);
+        // The live view and a fresh rebuild agree.
+        let fresh = DbIndex::build(&db);
+        assert_eq!(idx.live_rows(r).count(), fresh.live_rows(r).count(),);
     }
 
     #[test]

@@ -112,6 +112,46 @@ impl DeltaScriptGen {
 /// A list of `(relation, tuple)` facts.
 pub type FactList = Vec<(RelId, Tuple)>;
 
+/// Deterministic **sliding-window** churn: a fixed-size window of
+/// successor tuples `(k, k+1)` slides up the integer line, each step
+/// inserting one chunk of fresh keys at the top and deleting the same
+/// chunk of the oldest keys at the bottom. Every delete targets a live
+/// tuple and every insert is new, so the script is pure effective
+/// churn — the shape a long-running session's recent-facts window
+/// produces, and the worst case for tombstone accumulation (the
+/// relation's live size never grows, but slots die constantly).
+#[derive(Debug, Clone, Copy)]
+pub struct SlidingWindow {
+    /// Live tuples at any moment.
+    pub window: usize,
+    /// Tuples inserted (and deleted) per step.
+    pub chunk: usize,
+}
+
+impl SlidingWindow {
+    fn tuple(k: usize) -> Tuple {
+        vec![Value::int(k as i64), Value::int(k as i64 + 1)]
+    }
+
+    /// The initial window: tuples `(k, k+1)` for `k < window`.
+    pub fn initial(&self, rel: RelId) -> FactList {
+        (0..self.window).map(|k| (rel, Self::tuple(k))).collect()
+    }
+
+    /// Step `step`'s deltas as `(inserts, deletes)`: inserts the chunk
+    /// starting at `window + step·chunk`, deletes the one starting at
+    /// `step·chunk`.
+    pub fn step(&self, rel: RelId, step: usize) -> (FactList, FactList) {
+        let inserts = (0..self.chunk)
+            .map(|i| (rel, Self::tuple(self.window + step * self.chunk + i)))
+            .collect();
+        let deletes = (0..self.chunk)
+            .map(|i| (rel, Self::tuple(step * self.chunk + i)))
+            .collect();
+        (inserts, deletes)
+    }
+}
+
 /// Splits a script into `(inserts, deletes)` fact lists in script
 /// order — the shape one `update` protocol request carries. Callers
 /// that need strict interleaving semantics apply deltas one by one;
@@ -207,6 +247,31 @@ mod tests {
         let fresh = DbIndex::build(&db);
         for rel in c.rel_ids() {
             assert_eq!(idx.num_rows(rel), fresh.num_rows(rel));
+        }
+    }
+
+    #[test]
+    fn sliding_window_is_pure_effective_churn() {
+        let c = cat();
+        let r = c.resolve("R").unwrap();
+        let w = SlidingWindow {
+            window: 16,
+            chunk: 4,
+        };
+        let mut db = Database::new(&c);
+        for (rel, t) in w.initial(r) {
+            assert!(db.insert(rel, t).unwrap());
+        }
+        assert_eq!(db.total_tuples(), 16);
+        for step in 0..40 {
+            let (ins, del) = w.step(r, step);
+            for (rel, t) in &del {
+                assert!(db.remove(*rel, t).unwrap(), "step {step}: stale delete");
+            }
+            for (rel, t) in ins {
+                assert!(db.insert(rel, t).unwrap(), "step {step}: dup insert");
+            }
+            assert_eq!(db.total_tuples(), 16, "window size is invariant");
         }
     }
 

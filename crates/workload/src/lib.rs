@@ -32,6 +32,6 @@ pub mod queries;
 
 pub use batches::{chain_eval_batch, successor_containment_batch, ContainmentBatch};
 pub use databases::DatabaseGen;
-pub use deltas::{split_deltas, Delta, DeltaScriptGen};
+pub use deltas::{split_deltas, Delta, DeltaScriptGen, SlidingWindow};
 pub use dependencies::{FdSetGen, IndSetGen, KeyBasedGen};
 pub use queries::{chain_query, cycle_query, star_query, QueryGen};

@@ -112,11 +112,44 @@ C4=$(req '{"op":"check","session":"smoke","q":"A","q_prime":"B"}')
 echo "$C4" | grep -q "\"contained\":$DIRECT_AB" || fail "post-update check answer changed"
 echo "$C4" | grep -q '"cached":true' || fail "post-update check should still be cache-served"
 
+# --- two sessions: interleaved updates must not cross-talk -----------
+# Session 2a takes a stream of updates while session 2b serves evals
+# and checks in between (the per-session barrier path: 2a's barriers
+# must not affect 2b's answers). Both are diffed against the direct CLI.
+req "{\"op\":\"register\",\"session\":\"s2a\",\"program\":\"$PROG\"}" | grep -q '"ok":true' || fail "register s2a"
+req "{\"op\":\"register\",\"session\":\"s2b\",\"program\":\"$PROG\"}" | grep -q '"ok":true' || fail "register s2b"
+req '{"op":"update","session":"s2a","insert":[["R",[3,4]]],"delete":[["R",[1,2]]]}' \
+    | grep -q '"ok":true' || fail "s2a update 1"
+EB1=$(req '{"op":"eval","session":"s2b","query":"B"}')
+echo "$EB1" | grep -q "\"count\":$DIRECT_EVAL_COUNT" \
+    || fail "s2b eval between s2a updates diverged from direct call ($DIRECT_EVAL_COUNT)"
+req '{"op":"update","session":"s2a","insert":[["R",[4,5]]]}' \
+    | grep -q '"inserted":1' || fail "s2a update 2"
+CB1=$(req '{"op":"check","session":"s2b","q":"A","q_prime":"B"}')
+echo "$CB1" | grep -q "\"contained\":$DIRECT_AB" \
+    || fail "s2b check between s2a updates disagrees with direct call ($DIRECT_AB)"
+# s2a's final facts: R(2,3), R(3,4), R(4,5) — diff eval B vs direct CLI.
+MUT2PROG='relation R(a, b). ind R[2] <= R[1]. A(x) :- R(x, y). B(x) :- R(x, y), R(y, z). C(x) :- R(y, x). R(2, 3). R(3, 4). R(4, 5).'
+printf '%s\n' "$MUT2PROG" > "$TMP/mut2prog.cq"
+"$BIN" eval "$TMP/mut2prog.cq" B > "$TMP/direct_eval_mut2.txt"
+MUT2_COUNT=$(head -1 "$TMP/direct_eval_mut2.txt" | grep -oE '^[0-9]+')
+EA2=$(req '{"op":"eval","session":"s2a","query":"B"}')
+echo "$EA2" | grep -q "\"count\":$MUT2_COUNT" \
+    || fail "s2a post-update eval count disagrees with direct call on mutated facts ($MUT2_COUNT)"
+tail -n +2 "$TMP/direct_eval_mut2.txt" | tr -d '() ' | while read -r row; do
+    [ -z "$row" ] && continue
+    echo "$EA2" | grep -q "\"$row\"" || fail "direct s2a eval row ($row) missing from service answer"
+done
+# And 2b's facts never moved.
+req '{"op":"classify","session":"s2b"}' | grep -q '"facts_epoch":0' \
+    || fail "s2b must be untouched by s2a's updates"
+
 # --- stats -----------------------------------------------------------
 S=$(req '{"op":"stats"}')
 echo "$S" | grep -q '"ok":true' || fail "stats not ok"
 echo "$S" | grep -q '"semantic_cache"' || fail "stats missing semantic_cache"
-echo "$S" | grep -q '"sessions":\["smoke"\]' || fail "stats missing session"
+echo "$S" | grep -q '"sessions":\["s2a","s2b","smoke"\]' || fail "stats missing sessions"
+echo "$S" | grep -q '"mutation"' || fail "stats missing mutation counters"
 
 # --- shutdown: server must exit cleanly ------------------------------
 req '{"op":"shutdown"}' | grep -q '"ok":true' || fail "shutdown not ok"
