@@ -1,7 +1,14 @@
 //! Naive vs indexed join core, on the workloads that matter most:
 //! homomorphism search into deep `successor_cycle` chases (the
 //! containment engine's inner loop) and `Q(B)` evaluation over random
-//! instances.
+//! instances — chains (cost-based ordering), wide stars and snowflakes
+//! (the Yannakakis acyclic fast path's home turf).
+//!
+//! Hom search is measured through [`HomFinder`] — compile once, probe
+//! many — because that is the production path: the containment engine's
+//! `ChaseHomFinder` caches its plan the same way, so a per-probe
+//! recompile would charge the indexed side a cost it never pays in
+//! production.
 //!
 //! Besides the criterion groups, the run records a JSON baseline at
 //! `crates/bench/baselines/bench_index.json` (naive/indexed medians and
@@ -11,11 +18,11 @@
 use std::time::{Duration, Instant};
 
 use cqchase_core::chase::{Chase, ChaseBudget, ChaseMode};
-use cqchase_core::hom::{find_hom, naive, HomTarget};
+use cqchase_core::hom::{naive, HomFinder, HomTarget};
 use cqchase_storage::eval;
 use cqchase_storage::Database;
 use cqchase_workload::families::successor_cycle;
-use cqchase_workload::{chain_query, cycle_query, DatabaseGen};
+use cqchase_workload::{chain_query, cycle_query, snowflake_query, star_query, DatabaseGen};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use serde_json::{json, Map, Value};
 
@@ -50,9 +57,10 @@ fn bench_hom_naive_vs_indexed(c: &mut Criterion) {
         // Negative case: no cycle embeds into a path — the search must
         // certify exhaustion, the containment engine's dominant cost.
         let cycle = cycle_query("Qc", &program.catalog, "R", 3).unwrap();
+        let mut chain_finder = HomFinder::new(&chain, &target);
         group.bench_with_input(BenchmarkId::new("indexed_chain", depth), &depth, |b, _| {
             b.iter(|| {
-                let h = find_hom(&chain, &target);
+                let h = chain_finder.find();
                 assert!(h.is_some());
                 std::hint::black_box(h.map(|h| h.max_level))
             });
@@ -64,8 +72,9 @@ fn bench_hom_naive_vs_indexed(c: &mut Criterion) {
                 std::hint::black_box(h.map(|h| h.max_level))
             });
         });
+        let mut cycle_finder = HomFinder::new(&cycle, &target);
         group.bench_with_input(BenchmarkId::new("indexed_cycle", depth), &depth, |b, _| {
-            b.iter(|| std::hint::black_box(find_hom(&cycle, &target).is_some()));
+            b.iter(|| std::hint::black_box(cycle_finder.find().is_some()));
         });
         group.bench_with_input(BenchmarkId::new("naive_cycle", depth), &depth, |b, _| {
             b.iter(|| std::hint::black_box(naive::find_hom(&cycle, &target).is_some()));
@@ -87,6 +96,21 @@ fn bench_eval_naive_vs_indexed(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(eval::evaluate(q, &db).len()));
         });
         group.bench_with_input(BenchmarkId::new("naive", tuples), &tuples, |b, _| {
+            b.iter(|| std::hint::black_box(eval::naive::evaluate(q, &db).len()));
+        });
+    }
+    // The acyclic fast path's home turf: wide stars and snowflakes,
+    // where full enumeration is product-sized but the distinct head
+    // image is tiny. Naive cost explodes with the instance, so these
+    // run on the 100-tuple instance.
+    let db = eval_db(100);
+    let star = star_query("Star8", &program.catalog, "R", 8).unwrap();
+    let snow = snowflake_query("Snow4x2", &program.catalog, "R", 4, 2).unwrap();
+    for (name, q) in [("star8", &star), ("snowflake4x2", &snow)] {
+        group.bench_with_input(BenchmarkId::new("indexed", name), &name, |b, _| {
+            b.iter(|| std::hint::black_box(eval::evaluate(q, &db).len()));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), &name, |b, _| {
             b.iter(|| std::hint::black_box(eval::naive::evaluate(q, &db).len()));
         });
     }
@@ -126,8 +150,9 @@ fn record_baseline(_c: &mut Criterion) {
             let naive_t = median_time(9, || {
                 assert_eq!(naive::find_hom(&q, &target).is_some(), expect);
             });
+            let mut finder = HomFinder::new(&q, &target);
             let indexed_t = median_time(9, || {
-                assert_eq!(find_hom(&q, &target).is_some(), expect);
+                assert_eq!(finder.find().is_some(), expect);
             });
             let speedup = naive_t.as_secs_f64() / indexed_t.as_secs_f64().max(1e-12);
             if depth == 1024 && !expect {
@@ -161,6 +186,33 @@ fn record_baseline(_c: &mut Criterion) {
         let mut e = Map::new();
         e.insert("bench".into(), Value::from("eval_chain3"));
         e.insert("tuples".into(), Value::from(tuples));
+        e.insert("naive_ns".into(), Value::from(naive_t.as_nanos() as u64));
+        e.insert(
+            "indexed_ns".into(),
+            Value::from(indexed_t.as_nanos() as u64),
+        );
+        e.insert(
+            "speedup".into(),
+            Value::from((speedup * 100.0).round() / 100.0),
+        );
+        entries.push(Value::Object(e));
+    }
+    // Acyclic fast-path families (100-tuple instance: naive cost on
+    // these shapes is product-sized and explodes with the instance).
+    let db = eval_db(100);
+    let star = star_query("Star8", &program.catalog, "R", 8).unwrap();
+    let snow = snowflake_query("Snow4x2", &program.catalog, "R", 4, 2).unwrap();
+    for (name, q) in [("eval_star8", &star), ("eval_snowflake4x2", &snow)] {
+        let naive_t = median_time(9, || {
+            std::hint::black_box(eval::naive::evaluate(q, &db).len());
+        });
+        let indexed_t = median_time(9, || {
+            std::hint::black_box(eval::evaluate(q, &db).len());
+        });
+        let speedup = naive_t.as_secs_f64() / indexed_t.as_secs_f64().max(1e-12);
+        let mut e = Map::new();
+        e.insert("bench".into(), Value::from(name));
+        e.insert("tuples".into(), Value::from(100usize));
         e.insert("naive_ns".into(), Value::from(naive_t.as_nanos() as u64));
         e.insert(
             "indexed_ns".into(),

@@ -787,6 +787,11 @@ impl FactSource for ChaseHomSource<'_> {
     fn sym_of_const(&self, c: &Constant) -> Option<Sym> {
         self.state.index.consts.get(c).map(|s| Sym(s.0 << 1))
     }
+
+    fn distinct_count(&self, rel: RelId, col: usize) -> usize {
+        // Upper bound (level filtering not applied) — cost heuristic.
+        self.state.index.cols.distinct_count(rel, col)
+    }
 }
 
 #[cfg(test)]

@@ -199,6 +199,10 @@ impl FactSource for HomTarget {
     fn sym_of_const(&self, c: &Constant) -> Option<Sym> {
         self.pool.get(&TSym::Const(c.clone()))
     }
+
+    fn distinct_count(&self, rel: RelId, col: usize) -> usize {
+        self.cols.distinct_count(rel, col)
+    }
 }
 
 /// A witness homomorphism from a source query into a target.
@@ -262,12 +266,23 @@ pub fn find_hom_with(
     target: &HomTarget,
     scratch: &mut JoinScratch,
 ) -> Option<Homomorphism> {
+    let cq = compile(source, target)?;
+    probe(source, target, &cq, scratch)
+}
+
+/// One summary-preserving probe with an already-compiled plan: the
+/// shared tail of [`find_hom_with`] and [`HomFinder::find`].
+fn probe(
+    source: &ConjunctiveQuery,
+    target: &HomTarget,
+    cq: &CompiledQuery,
+    scratch: &mut JoinScratch,
+) -> Option<Homomorphism> {
     let pre = bind_summary(&source.head, target.summary(), source.vars.len(), |s| {
         target.pool.get(s)
     })?;
-    let cq = compile(source, target)?;
     let mut found: Option<Homomorphism> = None;
-    let outcome = join_with(target, &cq, &pre, scratch, |bind, rows| {
+    let outcome = join_with(target, cq, &pre, scratch, |bind, rows| {
         let mut max_level = 0;
         let atom_images: Vec<u32> = rows
             .iter()
@@ -290,6 +305,45 @@ pub fn find_hom_with(
     });
     debug_assert_eq!(outcome == JoinOutcome::Stopped, found.is_some());
     found
+}
+
+/// A reusable homomorphism probe `source → target` over a **fixed**
+/// [`HomTarget`]: the source query is compiled once (cost-based order,
+/// acyclicity certificate and all) and the join scratch is reused, so
+/// repeated probes pay only the search itself. This is the production
+/// shape of every hot containment loop — per-call [`find_hom`] spends a
+/// measurable fraction of short probes recompiling the plan.
+///
+/// The target is frozen at construction, so the plan can never go stale
+/// (no drift check needed — contrast [`ChaseHomFinder`]).
+#[derive(Debug)]
+pub struct HomFinder<'q, 't> {
+    source: &'q ConjunctiveQuery,
+    target: &'t HomTarget,
+    /// Compile result, computed eagerly; `None` means some source
+    /// constant is absent from the target — no homomorphism can exist.
+    plan: Option<CompiledQuery>,
+    scratch: JoinScratch,
+}
+
+impl<'q, 't> HomFinder<'q, 't> {
+    /// Compiles `source` against `target` once.
+    pub fn new(source: &'q ConjunctiveQuery, target: &'t HomTarget) -> HomFinder<'q, 't> {
+        HomFinder {
+            source,
+            target,
+            plan: compile(source, target),
+            scratch: JoinScratch::new(),
+        }
+    }
+
+    /// Searches for a summary-preserving homomorphism, reusing the
+    /// compiled plan and scratch. Same answer as
+    /// [`find_hom`]`(source, target)`.
+    pub fn find(&mut self) -> Option<Homomorphism> {
+        let cq = self.plan.as_ref()?;
+        probe(self.source, self.target, cq, &mut self.scratch)
+    }
 }
 
 /// Chandra–Merlin containment primitive: a homomorphism `q_to → q_from`
@@ -347,7 +401,10 @@ impl<'q> ChaseHomFinder<'q> {
     }
 
     /// Searches for a homomorphism into `state` truncated at
-    /// `max_level`, compiling the source query on the first call only.
+    /// `max_level`, compiling the source query on the first call and
+    /// recompiling when the chase has grown ≥2x past the plan's stats
+    /// snapshot (the chase doubles per level, so a stale ordering would
+    /// otherwise persist across the whole containment loop).
     pub fn find(&mut self, state: &ChaseState, max_level: u32) -> Option<Homomorphism> {
         let view = state.hom_source(max_level);
         let pre = bind_summary(
@@ -356,6 +413,14 @@ impl<'q> ChaseHomFinder<'q> {
             self.source.vars.len(),
             |s| view.sym_of_tsym(s),
         )?;
+        if let Some(Some(cq)) = &self.plan {
+            if cq.stats_drifted(&view) {
+                // Constants only ever get interned (IND steps mint fresh
+                // variables, FD steps reuse terms), so a recompile of a
+                // previously satisfiable plan stays satisfiable.
+                self.plan = None;
+            }
+        }
         let plan = self.plan.get_or_insert_with(|| compile(self.source, &view));
         let cq = plan.as_ref()?;
         let mut found: Option<Homomorphism> = None;

@@ -1,0 +1,560 @@
+//! The Yannakakis fast path for acyclic conjunctive queries.
+//!
+//! At compile time a GYO ear reduction tests the query body's hypergraph
+//! (vertices = variables, hyperedges = atom variable sets) for
+//! α-acyclicity. When the reduction succeeds, the witness edges form a
+//! join forest with the running-intersection property, recorded as an
+//! [`AcyclicPlan`].
+//!
+//! Execution is then provably linear in input + output instead of
+//! backtracking:
+//!
+//! 1. **Candidates** — per atom, the rows matching its constant slots and
+//!    intra-atom repeated variables, straight off the posting lists.
+//! 2. **Bottom-up semijoin reduction** — leaves first, each atom's
+//!    candidate list is sorted by its projection onto the variables
+//!    shared with its parent, and parent rows with no matching child row
+//!    are dropped. After this pass every surviving row extends to a full
+//!    solution of its subtree.
+//! 3. **Enumeration** — a pre-order walk over the forest. Each atom's
+//!    matching rows are a contiguous run of its sorted candidate list
+//!    (found by binary search on the parent-bound key), so enumeration
+//!    never backtracks: every row tried completes to a solution.
+//!
+//! The running-intersection property guarantees that at enumeration time
+//! the *only* already-bound variables of an atom are exactly the ones
+//! shared with its parent — the binary-searched key — which is what makes
+//! step 3 backtrack-free.
+//!
+//! In *distinct* mode (the evaluator's entry point, where only distinct
+//! head-variable bindings matter), a subtree whose head variables are all
+//! bound is collapsed to a single representative row: its choices cannot
+//! change the head image, and the reduction pass already proved a
+//! completion exists. Boolean queries collapse everything — evaluation
+//! becomes a pure existence check.
+
+use std::cmp::Ordering;
+
+use cqchase_ir::RelId;
+
+use crate::engine::{
+    CompiledAtom, CompiledQuery, EmitFn, FactSource, JoinOutcome, JoinScratch, Slot,
+};
+use crate::sym::Sym;
+
+/// Sentinel parent index for forest roots.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// A join forest over the atoms of an acyclic query, produced by GYO ear
+/// reduction at compile time. All vectors are indexed by the *original*
+/// atom index.
+#[derive(Debug, Clone)]
+pub struct AcyclicPlan {
+    /// Pre-order walk of the forest (every parent precedes its subtree;
+    /// roots and siblings in ascending atom order).
+    pub order: Vec<u32>,
+    /// Parent atom per atom, [`NO_PARENT`] for roots.
+    pub parent: Vec<u32>,
+    /// Per atom: the variables shared with its parent, ascending. Empty
+    /// for roots. By the running-intersection property these are exactly
+    /// the atom's variables that are bound when enumeration reaches it.
+    pub key_vars: Vec<Vec<u32>>,
+    /// Per atom: this atom's column carrying each key variable (aligned
+    /// with `key_vars`; first occurrence).
+    pub key_cols: Vec<Vec<u32>>,
+    /// Per atom: the *parent's* column carrying each key variable
+    /// (aligned with `key_vars`).
+    pub parent_cols: Vec<Vec<u32>>,
+    /// Per atom: the head variables occurring anywhere in its subtree
+    /// (itself included), ascending. Drives distinct-mode collapsing.
+    pub subtree_heads: Vec<Vec<u32>>,
+    /// Per atom: column pairs `(i, j)` that carry the same variable and
+    /// must therefore hold equal symbols (intra-atom repeated-variable
+    /// filter applied during candidate generation).
+    pub eq_pairs: Vec<Vec<(u32, u32)>>,
+}
+
+/// Runs the GYO ear reduction over `atoms`. Returns the join-forest plan
+/// when the body is α-acyclic, `None` when it is cyclic (the caller then
+/// keeps the backtracking engine).
+pub(crate) fn build(atoms: &[CompiledAtom], head_vars: &[u32]) -> Option<AcyclicPlan> {
+    let n = atoms.len();
+    if n == 0 {
+        return None;
+    }
+    // Variable sets per atom, sorted + deduplicated.
+    let vars: Vec<Vec<u32>> = atoms
+        .iter()
+        .map(|a| {
+            let mut vs: Vec<u32> = a
+                .slots
+                .iter()
+                .filter_map(|s| match s {
+                    Slot::Var(v) => Some(*v),
+                    Slot::Const(_) => None,
+                })
+                .collect();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        })
+        .collect();
+
+    let mut active = vec![true; n];
+    let mut parent = vec![NO_PARENT; n];
+    let mut shared: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut remaining = n;
+    while remaining > 1 {
+        let mut removed = false;
+        for e in 0..n {
+            if !active[e] {
+                continue;
+            }
+            // Non-exclusive variables of `e`: those occurring in some
+            // other still-active edge.
+            let nonexcl: Vec<u32> = vars[e]
+                .iter()
+                .copied()
+                .filter(|v| (0..n).any(|f| f != e && active[f] && vars[f].binary_search(v).is_ok()))
+                .collect();
+            if nonexcl.is_empty() {
+                // Isolated edge: root of its own component.
+                active[e] = false;
+                remaining -= 1;
+                removed = true;
+                continue;
+            }
+            // `e` is an ear if one other active edge covers all its
+            // non-exclusive variables; that edge becomes its parent.
+            let witness = (0..n).find(|&f| {
+                f != e && active[f] && nonexcl.iter().all(|v| vars[f].binary_search(v).is_ok())
+            });
+            if let Some(f) = witness {
+                parent[e] = f as u32;
+                shared[e] = nonexcl;
+                active[e] = false;
+                remaining -= 1;
+                removed = true;
+            }
+        }
+        if !removed {
+            return None; // no ear left with >1 edge standing: cyclic
+        }
+    }
+
+    // Forest structure: children lists and a deterministic pre-order.
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for e in 0..n {
+        if parent[e] != NO_PARENT {
+            children[parent[e] as usize].push(e as u32);
+        }
+    }
+    for c in &mut children {
+        c.sort_unstable();
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<u32> = (0..n as u32)
+        .rev()
+        .filter(|&e| parent[e as usize] == NO_PARENT)
+        .collect();
+    while let Some(a) = stack.pop() {
+        order.push(a);
+        stack.extend(children[a as usize].iter().rev());
+    }
+    debug_assert_eq!(order.len(), n, "the forest spans every atom");
+
+    // Key columns: for each non-root, where the shared variables sit in
+    // the atom itself and in its parent (first occurrence each).
+    let col_of = |atom: &CompiledAtom, v: u32| -> u32 {
+        atom.slots
+            .iter()
+            .position(|s| *s == Slot::Var(v))
+            .expect("a shared variable occurs in both atoms") as u32
+    };
+    let mut key_cols = vec![Vec::new(); n];
+    let mut parent_cols = vec![Vec::new(); n];
+    for e in 0..n {
+        if parent[e] == NO_PARENT {
+            continue;
+        }
+        let f = parent[e] as usize;
+        key_cols[e] = shared[e].iter().map(|&v| col_of(&atoms[e], v)).collect();
+        parent_cols[e] = shared[e].iter().map(|&v| col_of(&atoms[f], v)).collect();
+    }
+
+    // Head variables per subtree: accumulate children into parents by
+    // walking the pre-order backwards (children sit after their parent).
+    let mut subtree_heads: Vec<Vec<u32>> = (0..n)
+        .map(|e| {
+            vars[e]
+                .iter()
+                .copied()
+                .filter(|v| head_vars.contains(v))
+                .collect()
+        })
+        .collect();
+    for &a in order.iter().rev() {
+        let a = a as usize;
+        if parent[a] != NO_PARENT {
+            let f = parent[a] as usize;
+            let merged: Vec<u32> = subtree_heads[a].clone();
+            let dst = &mut subtree_heads[f];
+            dst.extend(merged);
+            dst.sort_unstable();
+            dst.dedup();
+        }
+    }
+
+    // Intra-atom repeated-variable column pairs.
+    let eq_pairs: Vec<Vec<(u32, u32)>> = atoms
+        .iter()
+        .map(|a| {
+            let mut pairs = Vec::new();
+            for j in 1..a.slots.len() {
+                if let Slot::Var(v) = a.slots[j] {
+                    if let Some(i) = a.slots[..j].iter().position(|s| *s == Slot::Var(v)) {
+                        pairs.push((i as u32, j as u32));
+                    }
+                }
+            }
+            pairs
+        })
+        .collect();
+
+    Some(AcyclicPlan {
+        order,
+        parent,
+        key_vars: shared,
+        key_cols,
+        parent_cols,
+        subtree_heads,
+        eq_pairs,
+    })
+}
+
+/// Compares two rows of `rel` by their projection onto `cols`, breaking
+/// ties by row id (total order ⇒ deterministic sorted candidate lists).
+fn cmp_proj<S: FactSource>(src: &S, rel: RelId, cols: &[u32], r1: u32, r2: u32) -> Ordering {
+    for &c in cols {
+        let o = src.row_syms(rel, r1)[c as usize].cmp(&src.row_syms(rel, r2)[c as usize]);
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    r1.cmp(&r2)
+}
+
+/// Compares a child row's key projection against a parent row's.
+fn cmp_child_parent<S: FactSource>(
+    src: &S,
+    rel_c: RelId,
+    key_cols: &[u32],
+    cr: u32,
+    rel_p: RelId,
+    parent_cols: &[u32],
+    pr: u32,
+) -> Ordering {
+    for (kc, pc) in key_cols.iter().zip(parent_cols) {
+        let o = src.row_syms(rel_c, cr)[*kc as usize].cmp(&src.row_syms(rel_p, pr)[*pc as usize]);
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Executes an acyclic plan: candidate generation, bottom-up semijoin
+/// reduction, backtrack-free pre-order enumeration. Entered only with an
+/// all-unbound binding table (pre-bound searches keep the backtracking
+/// engine, whose cost-based order exploits the bindings directly).
+pub(crate) fn run<S: FactSource>(
+    src: &S,
+    cq: &CompiledQuery,
+    plan: &AcyclicPlan,
+    scratch: &mut JoinScratch,
+    distinct: bool,
+    emit: &mut EmitFn<'_>,
+) -> JoinOutcome {
+    let mut bufs = std::mem::take(&mut scratch.bufs);
+
+    // 1. Per-atom candidates: constant slots + repeated-variable filter.
+    for (i, a) in cq.atoms.iter().enumerate() {
+        scratch.bound.clear();
+        for (col, slot) in a.slots.iter().enumerate() {
+            if let Slot::Const(s) = slot {
+                scratch.bound.push((col, *s));
+            }
+        }
+        let buf = &mut bufs[i];
+        buf.clear();
+        src.candidates(a.rel, &scratch.bound, buf);
+        let eqp = &plan.eq_pairs[i];
+        if !eqp.is_empty() {
+            buf.retain(|&r| {
+                let syms = src.row_syms(a.rel, r);
+                eqp.iter()
+                    .all(|&(x, y)| syms[x as usize] == syms[y as usize])
+            });
+        }
+        if buf.is_empty() {
+            scratch.bufs = bufs;
+            return JoinOutcome::Exhausted;
+        }
+    }
+
+    // 2. Bottom-up semijoin reduction, leaves first (reverse pre-order):
+    // sort each non-root's candidates by its key projection, then drop
+    // parent rows with no matching child row. Because children are
+    // processed before their parent, every list is fully reduced below
+    // before it filters upward.
+    for &a in plan.order.iter().rev() {
+        let a = a as usize;
+        if plan.parent[a] == NO_PARENT {
+            continue;
+        }
+        let f = plan.parent[a] as usize;
+        let (kc, pc) = (&plan.key_cols[a], &plan.parent_cols[a]);
+        let (rel_c, rel_p) = (cq.atoms[a].rel, cq.atoms[f].rel);
+        bufs[a].sort_unstable_by(|&r1, &r2| cmp_proj(src, rel_c, kc, r1, r2));
+        let child = std::mem::take(&mut bufs[a]);
+        bufs[f].retain(|&pr| {
+            child
+                .binary_search_by(|&cr| cmp_child_parent(src, rel_c, kc, cr, rel_p, pc, pr))
+                .is_ok()
+        });
+        bufs[a] = child;
+        if bufs[f].is_empty() {
+            scratch.bufs = bufs;
+            return JoinOutcome::Exhausted;
+        }
+    }
+
+    // 3. Enumeration.
+    let JoinScratch {
+        bind, rows, newly, ..
+    } = scratch;
+    let mut walk = Enumerate {
+        src,
+        cq,
+        plan,
+        bufs: &bufs,
+        distinct,
+        bind,
+        rows,
+        newly,
+    };
+    let stopped = walk.solve(0, emit);
+    scratch.bufs = bufs;
+    if stopped {
+        JoinOutcome::Stopped
+    } else {
+        JoinOutcome::Exhausted
+    }
+}
+
+struct Enumerate<'a, S: FactSource> {
+    src: &'a S,
+    cq: &'a CompiledQuery,
+    plan: &'a AcyclicPlan,
+    bufs: &'a [Vec<u32>],
+    distinct: bool,
+    bind: &'a mut Vec<Option<Sym>>,
+    rows: &'a mut Vec<u32>,
+    newly: &'a mut Vec<Vec<u32>>,
+}
+
+impl<S: FactSource> Enumerate<'_, S> {
+    /// The contiguous run of `bufs[a]` matching the (parent-bound) key
+    /// variables of atom `a`.
+    fn equal_range(&self, a: usize) -> (usize, usize) {
+        let list = &self.bufs[a];
+        let kv = &self.plan.key_vars[a];
+        let kc = &self.plan.key_cols[a];
+        let rel = self.cq.atoms[a].rel;
+        let cmp = |r: u32| -> Ordering {
+            for k in 0..kv.len() {
+                let have = self.src.row_syms(rel, r)[kc[k] as usize];
+                let want = self.bind[kv[k] as usize]
+                    .expect("running intersection: key vars are parent-bound");
+                match have.cmp(&want) {
+                    Ordering::Equal => {}
+                    o => return o,
+                }
+            }
+            Ordering::Equal
+        };
+        let lo = list.partition_point(|&r| cmp(r) == Ordering::Less);
+        let hi = lo + list[lo..].partition_point(|&r| cmp(r) == Ordering::Equal);
+        (lo, hi)
+    }
+
+    fn solve(&mut self, d: usize, emit: &mut EmitFn<'_>) -> bool {
+        if d == self.plan.order.len() {
+            return emit(self.bind, self.rows);
+        }
+        let a = self.plan.order[d] as usize;
+        let rel = self.cq.atoms[a].rel;
+        // Distinct mode: when every head variable of this subtree is
+        // already bound, its row choices cannot change the head image —
+        // one representative suffices (reduction proved it completes).
+        let take_one = self.distinct
+            && self.plan.subtree_heads[a]
+                .iter()
+                .all(|&v| self.bind[v as usize].is_some());
+        let (lo, hi) = if self.plan.parent[a] == NO_PARENT {
+            (0, self.bufs[a].len())
+        } else {
+            self.equal_range(a)
+        };
+        let mut newly = std::mem::take(&mut self.newly[d]);
+        let mut stopped = false;
+        'rows: for idx in lo..hi {
+            let row = self.bufs[a][idx];
+            newly.clear();
+            for (col, slot) in self.cq.atoms[a].slots.iter().enumerate() {
+                if let Slot::Var(v) = slot {
+                    let sym = self.src.row_syms(rel, row)[col];
+                    match self.bind[*v as usize] {
+                        Some(b) if b == sym => {}
+                        Some(_) => {
+                            for &u in &newly {
+                                self.bind[u as usize] = None;
+                            }
+                            continue 'rows;
+                        }
+                        None => {
+                            self.bind[*v as usize] = Some(sym);
+                            newly.push(*v);
+                        }
+                    }
+                }
+            }
+            self.rows[a] = row;
+            if self.solve(d + 1, emit) {
+                stopped = true;
+                break;
+            }
+            for &u in &newly {
+                self.bind[u as usize] = None;
+            }
+            if take_one {
+                break;
+            }
+        }
+        self.newly[d] = newly;
+        stopped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqchase_ir::{parse_program, ConjunctiveQuery};
+
+    fn plan_of(text: &str) -> (ConjunctiveQuery, Option<AcyclicPlan>) {
+        let p = parse_program(text).unwrap();
+        let q = p.queries[0].clone();
+        let atoms: Vec<CompiledAtom> = q
+            .atoms
+            .iter()
+            .map(|a| CompiledAtom {
+                rel: a.relation,
+                slots: a
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        cqchase_ir::Term::Var(v) => Slot::Var(v.0),
+                        cqchase_ir::Term::Const(_) => Slot::Const(Sym(0)),
+                    })
+                    .collect(),
+            })
+            .collect();
+        let head: Vec<u32> = q
+            .head
+            .iter()
+            .filter_map(|t| match t {
+                cqchase_ir::Term::Var(v) => Some(v.0),
+                _ => None,
+            })
+            .collect();
+        let plan = build(&atoms, &head);
+        (q, plan)
+    }
+
+    #[test]
+    fn chains_and_stars_are_acyclic() {
+        for text in [
+            "relation R(a, b). Q(x) :- R(x, y), R(y, z), R(z, w).",
+            "relation R(a, b). Q(c) :- R(c, x), R(c, y), R(c, z).",
+            "relation R(a, b). relation S(b, c). Q(x) :- R(x, y), S(y, z).",
+            "relation R(a, b). Q(x) :- R(x, x).",
+        ] {
+            let (_, plan) = plan_of(text);
+            let plan = plan.expect("acyclic");
+            assert_eq!(
+                plan.parent.iter().filter(|&&p| p == NO_PARENT).count(),
+                1,
+                "connected bodies form a single tree"
+            );
+        }
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        for text in [
+            "relation R(a, b). Q(x) :- R(x, y), R(y, z), R(z, x).",
+            "relation R(a, b). Q(x) :- R(x, y), R(y, z), R(z, w), R(w, x).",
+        ] {
+            let (_, plan) = plan_of(text);
+            assert!(plan.is_none(), "cycle must fall back to backtracking");
+        }
+    }
+
+    #[test]
+    fn triangle_with_covering_atom_is_acyclic() {
+        // α-acyclicity: a ternary atom covering the triangle makes the
+        // body acyclic (every binary atom is an ear into T).
+        let (_, plan) = plan_of(
+            "relation R(a, b). relation T(a, b, c).
+             Q(x) :- R(x, y), R(y, z), R(z, x), T(x, y, z).",
+        );
+        assert!(plan.is_some());
+    }
+
+    #[test]
+    fn disconnected_bodies_form_a_forest() {
+        let (_, plan) = plan_of("relation R(a, b). relation S(c, d). Q(x, u) :- R(x, y), S(u, v).");
+        let plan = plan.unwrap();
+        assert_eq!(plan.parent, vec![NO_PARENT, NO_PARENT]);
+        assert_eq!(plan.order, vec![0, 1]);
+    }
+
+    #[test]
+    fn key_columns_align_with_shared_vars() {
+        // R(x,y), S(y,z): S… whichever becomes the child, the shared var
+        // is y, sitting at col 1 of R and col 0 of S.
+        let (_, plan) = plan_of("relation R(a, b). relation S(b, c). Q(x) :- R(x, y), S(y, z).");
+        let plan = plan.unwrap();
+        let child = (0..2).find(|&e| plan.parent[e] != NO_PARENT).unwrap();
+        assert_eq!(plan.key_vars[child].len(), 1);
+        let (kc, pc) = (plan.key_cols[child][0], plan.parent_cols[child][0]);
+        if child == 0 {
+            assert_eq!((kc, pc), (1, 0)); // y in R at 1, in S at 0
+        } else {
+            assert_eq!((kc, pc), (0, 1));
+        }
+    }
+
+    #[test]
+    fn subtree_heads_cover_descendants() {
+        let (_, plan) = plan_of("relation R(a, b). Q(w) :- R(x, y), R(y, z), R(z, w).");
+        let plan = plan.unwrap();
+        // The root's subtree is the whole body, so it must list the head
+        // variable; leaves not containing it must not.
+        let root = (0..3).find(|&e| plan.parent[e] == NO_PARENT).unwrap();
+        assert!(
+            !plan.subtree_heads[root].is_empty(),
+            "the root's subtree contains the whole body, hence the head var"
+        );
+    }
+}

@@ -1,11 +1,21 @@
-//! The shared backtracking-join engine.
+//! The shared join engine: cost-based static orders + acyclic fast path.
 //!
 //! A conjunctive query is compiled against a [`FactSource`] into atoms
-//! of [`Slot`]s (interned constants and dense variable slots). The
-//! search then repeatedly picks the *most constrained* remaining atom —
-//! the one whose already-bound slots admit the fewest candidate rows,
-//! estimated from posting-list lengths — asks the source for the
-//! matching rows (an index intersection, not a scan), and recurses.
+//! of [`Slot`]s (interned constants and dense variable slots). At
+//! compile time the engine derives:
+//!
+//! * two **cost-based atom orders** (one for unbound searches, one for
+//!   head-prebound searches) from per-relation live-row counts and
+//!   per-column distinct-value counts — each greedy step picks the atom
+//!   with the lowest estimated candidate count given the variables the
+//!   already-ordered atoms bind;
+//! * an **acyclicity certificate**: a GYO ear reduction over the body's
+//!   hypergraph. Acyclic bodies get an [`AcyclicPlan`] executed as
+//!   Yannakakis semijoin reduction + backtrack-free enumeration (see
+//!   [`crate::acyclic`]); cyclic bodies keep the backtracking search;
+//! * a **statistics snapshot** of the relation sizes the orders were
+//!   derived from, so plan owners can detect cardinality drift
+//!   ([`CompiledQuery::stats_drifted`]) and recompile.
 //!
 //! One engine serves all three homomorphism consumers of the paper:
 //! query-to-query homomorphisms (Chandra–Merlin), query-to-chase
@@ -13,6 +23,7 @@
 
 use cqchase_ir::{ConjunctiveQuery, Constant, RelId, Term};
 
+use crate::acyclic::{self, AcyclicPlan};
 use crate::sym::Sym;
 
 /// A finite store of rows of interned symbols, queryable by column.
@@ -38,6 +49,17 @@ pub trait FactSource {
     /// Resolves a query constant into this source's symbol space, or
     /// `None` when the constant occurs nowhere in the source.
     fn sym_of_const(&self, c: &Constant) -> Option<Sym>;
+
+    /// Number of distinct symbols in column `col` of `rel` (selectivity
+    /// estimation: a bound variable in that column keeps roughly a
+    /// `1/distinct` fraction of the rows). Exactness is not required;
+    /// the default assumes all-distinct columns, which reduces the cost
+    /// model to "any bound atom is cheap" — sources backed by a
+    /// [`ColumnIndex`](crate::store::ColumnIndex) should override with
+    /// the exact per-column count.
+    fn distinct_count(&self, rel: RelId, _col: usize) -> usize {
+        self.rel_size(rel).max(1)
+    }
 }
 
 /// One compiled atom position.
@@ -58,20 +80,121 @@ pub struct CompiledAtom {
     pub slots: Vec<Slot>,
 }
 
-/// A query compiled against one source's symbol space.
+/// A query compiled against one source's symbol space, carrying its
+/// cost-based orders, acyclicity certificate, and stats snapshot.
 #[derive(Debug, Clone)]
 pub struct CompiledQuery {
-    /// Atoms in the original query's order (the engine reorders
-    /// dynamically during search; result rows stay indexed by this
-    /// order).
+    /// Atoms in the original query's order (the search follows a
+    /// compile-time cost-based order; result rows stay indexed by this
+    /// original order).
     pub atoms: Vec<CompiledAtom>,
     /// Size of the variable table (bindings are indexed by `VarId`).
     pub num_vars: usize,
+    /// The query's head variables (deduplicated, in head order) — the
+    /// variables whose distinct bindings evaluation cares about.
+    pub head_vars: Vec<u32>,
+    /// Cost-based atom order for searches starting with nothing bound.
+    pub order: Vec<u32>,
+    /// Cost-based atom order assuming the head variables are pre-bound
+    /// (the containment probes' shape: `bind_summary` seeds exactly the
+    /// head variables).
+    pub order_prebound: Vec<u32>,
+    /// The Yannakakis join forest when the body is α-acyclic; `None`
+    /// keeps the backtracking engine.
+    pub acyclic: Option<AcyclicPlan>,
+    /// Per-relation live-row counts observed at compile time (one entry
+    /// per distinct body relation) — the drift detector's reference.
+    pub stats: Vec<(RelId, usize)>,
 }
 
-/// Compiles `q`'s body against `src`. Returns `None` when some body
-/// constant does not occur in the source at all — no atom can then match,
-/// so the query is unsatisfiable over this source.
+/// Sizes below this floor never count as drift: orderings over a handful
+/// of rows are all equally cheap, and tiny relations fluctuate wildly in
+/// relative terms.
+const DRIFT_FLOOR: usize = 8;
+
+impl CompiledQuery {
+    /// Whether the source's relation cardinalities have drifted ≥2x (in
+    /// either direction) from the snapshot this plan was costed against.
+    /// Plan owners recompile on drift so a stale ordering is never
+    /// served forever; changes entirely below [`DRIFT_FLOOR`] rows are
+    /// ignored.
+    pub fn stats_drifted(&self, src: &impl FactSource) -> bool {
+        self.stats.iter().any(|&(rel, then)| {
+            let now = src.rel_size(rel);
+            let lo = then.min(now).max(DRIFT_FLOOR);
+            let hi = then.max(now).max(DRIFT_FLOOR);
+            hi >= 2 * lo
+        })
+    }
+}
+
+/// Greedy cost-based atom ordering: repeatedly pick the atom with the
+/// smallest estimated candidate count, where `est = rel_size × Π` over
+/// bound slots of the slot's selectivity — exact posting fractions for
+/// constants, `1/distinct_count` for bound variables. Ties break toward
+/// more bound slots, then the smaller atom index (determinism). Each
+/// pick binds the atom's variables for the remaining steps.
+fn cost_order<S: FactSource>(
+    atoms: &[CompiledAtom],
+    num_vars: usize,
+    src: &S,
+    prebound: &[u32],
+) -> Vec<u32> {
+    let n = atoms.len();
+    let mut bound = vec![false; num_vars];
+    for &v in prebound {
+        bound[v as usize] = true;
+    }
+    let mut done = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<(f64, usize, usize)> = None; // (est, bound_ct, atom)
+        for (i, a) in atoms.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            let size = src.rel_size(a.rel);
+            let mut est = size as f64;
+            let mut bound_ct = 0usize;
+            for (col, slot) in a.slots.iter().enumerate() {
+                match slot {
+                    Slot::Const(s) => {
+                        bound_ct += 1;
+                        let frac = src.posting_len(a.rel, col, *s) as f64 / size.max(1) as f64;
+                        est *= frac.min(1.0);
+                    }
+                    Slot::Var(v) => {
+                        if bound[*v as usize] {
+                            bound_ct += 1;
+                            est *= 1.0 / src.distinct_count(a.rel, col).max(1) as f64;
+                        }
+                    }
+                }
+            }
+            let better = match &best {
+                None => true,
+                Some((e, b, _)) => est < *e || (est == *e && bound_ct > *b),
+            };
+            if better {
+                best = Some((est, bound_ct, i));
+            }
+        }
+        let (_, _, pick) = best.expect("an unordered atom remains");
+        done[pick] = true;
+        order.push(pick as u32);
+        for slot in &atoms[pick].slots {
+            if let Slot::Var(v) = slot {
+                bound[*v as usize] = true;
+            }
+        }
+    }
+    order
+}
+
+/// Compiles `q`'s body against `src`: slot resolution, cost-based
+/// ordering, GYO acyclicity test, and a stats snapshot. Returns `None`
+/// when some body constant does not occur in the source at all — no atom
+/// can then match, so the query is unsatisfiable over this source.
 pub fn compile(q: &ConjunctiveQuery, src: &impl FactSource) -> Option<CompiledQuery> {
     let mut atoms = Vec::with_capacity(q.atoms.len());
     for a in &q.atoms {
@@ -87,9 +210,32 @@ pub fn compile(q: &ConjunctiveQuery, src: &impl FactSource) -> Option<CompiledQu
             slots,
         });
     }
+    let num_vars = q.vars.len();
+    let mut head_vars: Vec<u32> = Vec::with_capacity(q.head.len());
+    for t in &q.head {
+        if let Term::Var(v) = t {
+            if !head_vars.contains(&v.0) {
+                head_vars.push(v.0);
+            }
+        }
+    }
+    let order = cost_order(&atoms, num_vars, src, &[]);
+    let order_prebound = cost_order(&atoms, num_vars, src, &head_vars);
+    let acyclic = acyclic::build(&atoms, &head_vars);
+    let mut stats: Vec<(RelId, usize)> = Vec::new();
+    for a in &atoms {
+        if !stats.iter().any(|&(r, _)| r == a.rel) {
+            stats.push((a.rel, src.rel_size(a.rel)));
+        }
+    }
     Some(CompiledQuery {
         atoms,
-        num_vars: q.vars.len(),
+        num_vars,
+        head_vars,
+        order,
+        order_prebound,
+        acyclic,
+        stats,
     })
 }
 
@@ -105,7 +251,7 @@ pub enum JoinOutcome {
 
 /// Solution callback: `(bindings, chosen row per original atom)`;
 /// returning `true` stops the search.
-type EmitFn<'e> = dyn FnMut(&[Option<Sym>], &[u32]) -> bool + 'e;
+pub(crate) type EmitFn<'e> = dyn FnMut(&[Option<Sym>], &[u32]) -> bool + 'e;
 
 /// Reusable working memory for [`join_with`].
 ///
@@ -118,15 +264,15 @@ type EmitFn<'e> = dyn FnMut(&[Option<Sym>], &[u32]) -> bool + 'e;
 /// high-water marks.
 #[derive(Debug, Default)]
 pub struct JoinScratch {
-    bind: Vec<Option<Sym>>,
-    rows: Vec<u32>,
-    done: Vec<bool>,
-    /// Candidate buffers, one per depth.
-    bufs: Vec<Vec<u32>>,
+    pub(crate) bind: Vec<Option<Sym>>,
+    pub(crate) rows: Vec<u32>,
+    /// Candidate buffers — one per depth for backtracking, one per atom
+    /// for the acyclic executor (the code paths are disjoint).
+    pub(crate) bufs: Vec<Vec<u32>>,
     /// Newly-bound-variable buffers, one per depth.
-    newly: Vec<Vec<u32>>,
+    pub(crate) newly: Vec<Vec<u32>>,
     /// Bound-constraint buffer.
-    bound: Vec<(usize, Sym)>,
+    pub(crate) bound: Vec<(usize, Sym)>,
 }
 
 impl JoinScratch {
@@ -148,8 +294,6 @@ impl JoinScratch {
         let n = cq.atoms.len();
         self.rows.clear();
         self.rows.resize(n, 0);
-        self.done.clear();
-        self.done.resize(n, false);
         if self.bufs.len() < n {
             self.bufs.resize_with(n, Vec::new);
         }
@@ -163,48 +307,17 @@ impl JoinScratch {
 struct Search<'a, S: FactSource> {
     src: &'a S,
     cq: &'a CompiledQuery,
+    /// The compile-time cost-based atom order the search follows.
+    order: &'a [u32],
     scratch: &'a mut JoinScratch,
 }
 
 impl<S: FactSource> Search<'_, S> {
-    /// Picks the unresolved atom with the fewest estimated candidates:
-    /// the minimum posting length over its bound slots, or the full
-    /// relation size when nothing is bound yet. Ties break toward more
-    /// bound slots, then the smaller atom index (determinism).
-    fn most_constrained(&self) -> usize {
-        let mut best: Option<(usize, usize, usize)> = None; // (atom, est, bound_ct)
-        for (i, atom) in self.cq.atoms.iter().enumerate() {
-            if self.scratch.done[i] {
-                continue;
-            }
-            let mut est = self.src.rel_size(atom.rel);
-            let mut bound_ct = 0usize;
-            for (col, slot) in atom.slots.iter().enumerate() {
-                let sym = match slot {
-                    Slot::Const(s) => Some(*s),
-                    Slot::Var(v) => self.scratch.bind[*v as usize],
-                };
-                if let Some(s) = sym {
-                    bound_ct += 1;
-                    est = est.min(self.src.posting_len(atom.rel, col, s));
-                }
-            }
-            let better = match best {
-                None => true,
-                Some((_, e, b)) => est < e || (est == e && bound_ct > b),
-            };
-            if better {
-                best = Some((i, est, bound_ct));
-            }
-        }
-        best.expect("an unresolved atom exists").0
-    }
-
     fn solve(&mut self, depth: usize, emit: &mut EmitFn<'_>) -> bool {
         if depth == self.cq.atoms.len() {
             return emit(&self.scratch.bind, &self.scratch.rows);
         }
-        let atom_idx = self.most_constrained();
+        let atom_idx = self.order[depth] as usize;
         let (rel, nslots) = {
             let a = &self.cq.atoms[atom_idx];
             (a.rel, a.slots.len())
@@ -225,7 +338,6 @@ impl<S: FactSource> Search<'_, S> {
         buf.clear();
         self.src.candidates(rel, &self.scratch.bound, &mut buf);
 
-        self.scratch.done[atom_idx] = true;
         let mut stopped = false;
         let mut newly = std::mem::take(&mut self.scratch.newly[depth]);
         'rows: for &row in &buf {
@@ -259,11 +371,8 @@ impl<S: FactSource> Search<'_, S> {
                 self.scratch.bind[u as usize] = None;
             }
         }
-        if stopped {
-            // Keep bindings intact for the caller (witness extraction).
-        } else {
-            self.scratch.done[atom_idx] = false;
-        }
+        // On a stop, bindings stay intact for the caller (witness
+        // extraction); otherwise the row loop above unbound everything.
         self.scratch.newly[depth] = newly;
         self.scratch.bufs[depth] = buf;
         stopped
@@ -300,7 +409,51 @@ pub fn join_unbound<S: FactSource>(
     scratch.bind.clear();
     scratch.bind.resize(cq.num_vars, None);
     scratch.reset_rest(cq);
-    let mut search = Search { src, cq, scratch };
+    if let Some(plan) = &cq.acyclic {
+        return acyclic::run(src, cq, plan, scratch, false, &mut emit);
+    }
+    let mut search = Search {
+        src,
+        cq,
+        order: &cq.order,
+        scratch,
+    };
+    if search.solve(0, &mut emit) {
+        JoinOutcome::Stopped
+    } else {
+        JoinOutcome::Exhausted
+    }
+}
+
+/// [`join_unbound`] in *distinct-witness* mode: the evaluator's entry
+/// point, for callers that only care about the distinct bindings of the
+/// query's **head** variables (and deduplicate emissions themselves).
+///
+/// For acyclic plans, subtrees whose head variables are all bound are
+/// collapsed to one representative row, so e.g. a Boolean query costs a
+/// semijoin reduction instead of a full cross-product enumeration. Every
+/// emission is still a genuine solution (bindings + witness rows), and
+/// every distinct head binding is emitted at least once — but solutions
+/// differing only outside the head may be skipped. Cyclic plans fall
+/// back to full enumeration.
+pub fn join_unbound_distinct<S: FactSource>(
+    src: &S,
+    cq: &CompiledQuery,
+    scratch: &mut JoinScratch,
+    mut emit: impl FnMut(&[Option<Sym>], &[u32]) -> bool,
+) -> JoinOutcome {
+    scratch.bind.clear();
+    scratch.bind.resize(cq.num_vars, None);
+    scratch.reset_rest(cq);
+    if let Some(plan) = &cq.acyclic {
+        return acyclic::run(src, cq, plan, scratch, true, &mut emit);
+    }
+    let mut search = Search {
+        src,
+        cq,
+        order: &cq.order,
+        scratch,
+    };
     if search.solve(0, &mut emit) {
         JoinOutcome::Stopped
     } else {
@@ -321,7 +474,23 @@ pub fn join_with<S: FactSource>(
 ) -> JoinOutcome {
     assert_eq!(pre.len(), cq.num_vars, "pre-binding length mismatch");
     scratch.reset(cq, pre);
-    let mut search = Search { src, cq, scratch };
+    let prebound = pre.iter().any(Option::is_some);
+    if !prebound {
+        if let Some(plan) = &cq.acyclic {
+            return acyclic::run(src, cq, plan, scratch, false, &mut emit);
+        }
+    }
+    let order = if prebound {
+        &cq.order_prebound
+    } else {
+        &cq.order
+    };
+    let mut search = Search {
+        src,
+        cq,
+        order,
+        scratch,
+    };
     if search.solve(0, &mut emit) {
         JoinOutcome::Stopped
     } else {

@@ -17,9 +17,11 @@
 //!   insertion, deletion, and symbol substitution;
 //! * [`DedupIndex`] — hash-based duplicate detection of whole rows (the
 //!   chase's "sets of conjuncts don't duplicate" rule as an O(1) lookup);
-//! * [`FactSource`] + [`join`] — the backtracking-join engine with
-//!   most-constrained-atom-first dynamic ordering and index-intersection
-//!   candidate generation.
+//! * [`FactSource`] + [`join`] — the join engine: compile-time
+//!   cost-based atom ordering (selectivities from live-row and
+//!   per-column distinct counts), a Yannakakis semijoin fast path for
+//!   α-acyclic bodies ([`acyclic`]), backtracking with
+//!   index-intersection candidate generation for cyclic ones.
 //!
 //! Consumers implement [`FactSource`] over their own storage
 //! (`HomTarget`, `ChaseState`, `Database`) and share one search.
@@ -39,15 +41,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod acyclic;
 pub mod engine;
 pub mod fx;
 pub mod plan;
 pub mod store;
 pub mod sym;
 
+pub use acyclic::AcyclicPlan;
 pub use engine::{
-    compile, join, join_unbound, join_with, CompiledAtom, CompiledQuery, FactSource, JoinOutcome,
-    JoinScratch, Slot,
+    compile, join, join_unbound, join_unbound_distinct, join_with, CompiledAtom, CompiledQuery,
+    FactSource, JoinOutcome, JoinScratch, Slot,
 };
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use plan::{query_key, PlanCache, QueryKey};

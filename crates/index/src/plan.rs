@@ -103,6 +103,8 @@ pub struct PlanCache {
     hits: usize,
     misses: usize,
     evictions: usize,
+    replans: usize,
+    acyclic_served: usize,
 }
 
 impl PlanCache {
@@ -134,11 +136,15 @@ impl PlanCache {
             // one-slot scratch bucket so the borrow can be returned.
             self.misses += 1;
             self.plans.clear();
+            let plan = compile(q, src);
+            if plan.as_ref().is_some_and(|p| p.acyclic.is_some()) {
+                self.acyclic_served += 1;
+            }
             let bucket = self.plans.entry(query_key(q)).or_default();
             bucket.push(CachedPlan {
                 atoms: Vec::new(),
                 head: Vec::new(),
-                plan: compile(q, src),
+                plan,
                 last_used: 0,
             });
             return bucket.last().expect("just pushed").plan.as_ref();
@@ -154,6 +160,17 @@ impl PlanCache {
             {
                 Some(i) => {
                     bucket[i].last_used = tick;
+                    // Drift check: a plan costed against cardinalities
+                    // that have since shifted ≥2x gets recompiled rather
+                    // than served stale forever.
+                    if bucket[i]
+                        .plan
+                        .as_ref()
+                        .is_some_and(|p| p.stats_drifted(src))
+                    {
+                        bucket[i].plan = compile(q, src);
+                        self.replans += 1;
+                    }
                     true
                 }
                 None => false,
@@ -177,14 +194,19 @@ impl PlanCache {
                 }
             }
         }
-        self.plans
+        let plan = self
+            .plans
             .get(&key)
             .expect("the bucket queried or inserted into still exists")
             .iter()
             .find(|c| c.atoms == q.atoms && c.head == q.head)
             .expect("the just-touched entry is never the LRU victim")
             .plan
-            .as_ref()
+            .as_ref();
+        if plan.is_some_and(|p| p.acyclic.is_some()) {
+            self.acyclic_served += 1;
+        }
+        plan
     }
 
     /// Evicts the least-recently-used plan. `keep` names the bucket of
@@ -225,6 +247,18 @@ impl PlanCache {
     /// Number of plans evicted by the capacity bound so far.
     pub fn evictions(&self) -> usize {
         self.evictions
+    }
+
+    /// Number of recompilations triggered by cardinality drift (a cached
+    /// plan's stats snapshot diverged ≥2x from the live source).
+    pub fn replans(&self) -> usize {
+        self.replans
+    }
+
+    /// Number of lookups that returned a plan carrying an acyclic
+    /// (Yannakakis) fast-path certificate.
+    pub fn acyclic_served(&self) -> usize {
+        self.acyclic_served
     }
 
     /// The capacity bound, if any.
@@ -475,6 +509,34 @@ mod tests {
         let hits = cache.hits();
         assert!(cache.get_or_compile(&p.queries[0], &src).is_some());
         assert_eq!(cache.hits(), hits + 1);
+    }
+
+    #[test]
+    fn cardinality_drift_triggers_replan() {
+        let p = parse_program("relation R(a, b). Q(x) :- R(x, y).").unwrap();
+        let mut src = toy(); // 1 row in R
+        let mut cache = PlanCache::new();
+        assert!(cache.get_or_compile(&p.queries[0], &src).is_some());
+        assert_eq!(cache.replans(), 0);
+        // Grow R from 1 to 20 rows — well past 2x beyond the drift floor.
+        for i in 0..19 {
+            let syms = vec![
+                src.pool.intern(&Constant::int(100 + i)),
+                src.pool.intern(&Constant::int(200 + i)),
+            ];
+            let row = src.rows[0].len() as u32;
+            src.cols.insert_row(RelId(0), row, &syms);
+            src.rows[0].push(syms);
+        }
+        let plan = cache.get_or_compile(&p.queries[0], &src).unwrap();
+        assert_eq!(plan.stats, vec![(RelId(0), 20)], "snapshot refreshed");
+        assert_eq!(cache.replans(), 1);
+        assert_eq!(cache.hits(), 1, "a drift replan still counts as a hit");
+        // The refreshed snapshot doesn't re-trigger.
+        assert!(cache.get_or_compile(&p.queries[0], &src).is_some());
+        assert_eq!(cache.replans(), 1);
+        // The single-atom query is acyclic: every serve was counted.
+        assert_eq!(cache.acyclic_served(), 3);
     }
 
     #[test]

@@ -128,6 +128,18 @@ impl ColumnIndex {
         self.posting(rel, col, sym).len()
     }
 
+    /// Number of distinct symbols currently indexed in column `col` of
+    /// `rel` — the posting map's key count, which [`insert_row`] and
+    /// [`remove_row`] keep exact incrementally (a symbol's entry is
+    /// dropped the moment its posting list empties). This is the
+    /// selectivity statistic the cost-based planner feeds on.
+    ///
+    /// [`insert_row`]: ColumnIndex::insert_row
+    /// [`remove_row`]: ColumnIndex::remove_row
+    pub fn distinct_count(&self, rel: RelId, col: usize) -> usize {
+        self.rels[rel.index()].get(col).map_or(0, FxHashMap::len)
+    }
+
     /// Intersects the posting lists for the given `(col, sym)`
     /// constraints: probes the shortest list and verifies the remaining
     /// constraints via `syms_of`, pushing surviving row ids (ascending)

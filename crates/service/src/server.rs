@@ -553,6 +553,7 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
             // Aggregate cache counters across sessions.
             let (mut hits, mut misses, mut evictions, mut entries) = (0u64, 0u64, 0u64, 0usize);
             let (mut plan_hits, mut plan_misses, mut plan_evictions) = (0u64, 0u64, 0u64);
+            let (mut plan_replans, mut plan_acyclic) = (0u64, 0u64);
             let mut eval_row_hits = 0u64;
             let (mut compactions, mut slots_reclaimed, mut bytes_reclaimed) = (0u64, 0u64, 0u64);
             for s in shared.sessions.snapshot() {
@@ -573,6 +574,8 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
                     plan_hits += e.plans.hits() as u64;
                     plan_misses += e.plans.misses() as u64;
                     plan_evictions += e.plans.evictions() as u64;
+                    plan_replans += e.plans.replans() as u64;
+                    plan_acyclic += e.plans.acyclic_served() as u64;
                     eval_row_hits += e.result_hits;
                 }
                 let facts = s.facts.read().expect("facts lock");
@@ -595,6 +598,15 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
             plans.insert("misses".into(), Value::from(plan_misses));
             plans.insert("evictions".into(), Value::from(plan_evictions));
             m.insert("plan_cache".into(), Value::Object(plans));
+            // The cost-based planner's counters: how many plans were
+            // compiled, how many times a served plan carried the
+            // Yannakakis acyclic fast path, and how many recompiles were
+            // forced by cardinality drift in the planner statistics.
+            let mut planner = Map::new();
+            planner.insert("compiled".into(), Value::from(plan_misses));
+            planner.insert("acyclic_hits".into(), Value::from(plan_acyclic));
+            planner.insert("replans".into(), Value::from(plan_replans));
+            m.insert("planner".into(), Value::Object(planner));
             m.insert("eval_row_hits".into(), Value::from(eval_row_hits));
             // The mutation fast path's counters: index compaction work
             // across sessions, plus the admission queue's update

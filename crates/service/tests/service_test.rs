@@ -175,6 +175,17 @@ fn concurrent_clients_bit_identical_to_library() {
         "second pass must be all cache hits (got {hits})"
     );
     assert!(stats["batching"]["batches"].as_u64().unwrap() >= 1);
+    // The planner block: eval queries were compiled (plan-cache misses),
+    // and the chain/star shapes in the pool are acyclic, so the fast
+    // path must have served at least once. Nothing mutated, so no
+    // drift-triggered replans.
+    let planner = &stats["planner"];
+    assert!(planner["compiled"].as_u64().unwrap() >= 1, "plans compiled");
+    assert!(
+        planner["acyclic_hits"].as_u64().unwrap() >= 1,
+        "acyclic fast path served"
+    );
+    assert_eq!(planner["replans"], 0, "no stat drift without mutation");
 
     admin.shutdown().unwrap();
     handle.join().unwrap().unwrap();
@@ -417,6 +428,47 @@ fn stats_exposes_mutation_counters() {
     assert_eq!(
         stats["batching"]["barrier_flushes"],
         mutation["barrier_flushes"]
+    );
+    c.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn stats_exposes_planner_counters() {
+    // The cost-based planner's observability: compile a plan over a
+    // tiny instance, grow the relation far past the 2x drift threshold,
+    // re-evaluate, and check that `stats` reports the compile, the
+    // acyclic fast-path serves, and the drift-triggered replan.
+    let (addr, handle) = spawn_server(64);
+    let mut c = Client::connect(addr).unwrap();
+    c.register(
+        "grow",
+        "relation R(a, b). Q(x) :- R(x, y), R(y, z). R(0, 1). R(1, 2).",
+    )
+    .unwrap();
+    assert_eq!(c.eval("grow", "Q").unwrap()["count"], 1);
+    let fact = |a: i64, b: i64| -> cqchase_service::FactSpec {
+        (
+            "R".into(),
+            vec![cqchase_ir::Constant::Int(a), cqchase_ir::Constant::Int(b)],
+        )
+    };
+    let inserts: Vec<_> = (2..64).map(|i| fact(i, i + 1)).collect();
+    c.update("grow", &inserts, &[]).unwrap();
+    assert_eq!(c.eval("grow", "Q").unwrap()["count"], 63);
+    let stats = c.stats().unwrap();
+    let planner = &stats["planner"];
+    assert!(
+        planner["compiled"].as_u64().unwrap() >= 1,
+        "eval must compile a plan: {planner:?}"
+    );
+    assert!(
+        planner["acyclic_hits"].as_u64().unwrap() >= 2,
+        "the chain query is acyclic, both evals take the fast path: {planner:?}"
+    );
+    assert!(
+        planner["replans"].as_u64().unwrap() >= 1,
+        "32x growth must trigger a drift replan: {planner:?}"
     );
     c.shutdown().unwrap();
     handle.join().unwrap().unwrap();

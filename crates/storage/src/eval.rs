@@ -14,7 +14,7 @@
 
 use std::collections::BTreeSet;
 
-use cqchase_index::{compile, join, join_unbound, JoinScratch, PlanCache, Sym};
+use cqchase_index::{compile, join, join_unbound_distinct, JoinScratch, PlanCache, Sym};
 use cqchase_ir::{ConjunctiveQuery, Term};
 
 use crate::database::{Database, Tuple};
@@ -43,7 +43,10 @@ pub fn evaluate_indexed(q: &ConjunctiveQuery, idx: &DbIndex) -> Vec<Tuple> {
         return Vec::new();
     };
     let mut out: BTreeSet<Tuple> = BTreeSet::new();
-    join(idx, &cq, vec![None; cq.num_vars], |bind, _| {
+    // Distinct-witness mode: only the head image matters here, so
+    // acyclic plans may collapse head-irrelevant subtrees instead of
+    // enumerating their cross product.
+    join_unbound_distinct(idx, &cq, &mut JoinScratch::new(), |bind, _| {
         out.insert(summary_image(q, idx, bind));
         false
     });
@@ -92,7 +95,7 @@ pub fn evaluate_indexed_with(
         return Vec::new();
     };
     let mut out: BTreeSet<Tuple> = BTreeSet::new();
-    join_unbound(idx, cq, scratch, |bind, _| {
+    join_unbound_distinct(idx, cq, scratch, |bind, _| {
         out.insert(summary_image(q, idx, bind));
         false
     });
@@ -106,7 +109,10 @@ pub fn evaluate_boolean_indexed(q: &ConjunctiveQuery, idx: &DbIndex) -> bool {
     let Some(cq) = compile(q, idx) else {
         return false;
     };
-    join(idx, &cq, vec![None; cq.num_vars], |_, _| true) == cqchase_index::JoinOutcome::Stopped
+    // Distinct mode turns an acyclic existence check into pure semijoin
+    // reduction: with no head variables, every subtree collapses.
+    join_unbound_distinct(idx, &cq, &mut JoinScratch::new(), |_, _| true)
+        == cqchase_index::JoinOutcome::Stopped
 }
 
 /// Evaluates a Boolean query (or any query) for mere satisfiability of

@@ -228,6 +228,15 @@ impl DbIndex {
         self.pool.resolve(sym)
     }
 
+    /// Number of distinct symbols in column `col` of `rel` among live
+    /// rows — the planner's selectivity statistic, maintained
+    /// incrementally by the posting maps through insert, delete, and
+    /// compaction (deletes remove a symbol's entry the moment its
+    /// posting list empties, so tombstones never inflate the count).
+    pub fn distinct_count(&self, rel: RelId, col: usize) -> usize {
+        self.cols.distinct_count(rel, col)
+    }
+
     /// Whether some live row of `rel` carries exactly `syms` at `cols` —
     /// the IND-witness probe of the data chase, via posting intersection.
     pub fn has_row_with(&self, rel: RelId, cols: &[usize], syms: &[Sym]) -> bool {
@@ -274,6 +283,10 @@ impl FactSource for DbIndex {
 
     fn sym_of_const(&self, c: &Constant) -> Option<Sym> {
         self.pool.get(&Value::Const(c.clone()))
+    }
+
+    fn distinct_count(&self, rel: RelId, col: usize) -> usize {
+        self.cols.distinct_count(rel, col)
     }
 }
 

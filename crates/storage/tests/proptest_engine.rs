@@ -2,13 +2,17 @@
 //! retained naive scan-based evaluator must return identical `Q(B)`
 //! result sets (not just cardinalities) on random queries and instances.
 
+use cqchase_index::{
+    compile, join_unbound, join_unbound_distinct, CompiledQuery, JoinScratch, Sym,
+};
 use cqchase_ir::builder::TermSpec;
 use cqchase_ir::{Catalog, ConjunctiveQuery, QueryBuilder};
 use cqchase_storage::eval::naive;
 use cqchase_storage::{
-    contains_tuple, evaluate, evaluate_batch, evaluate_boolean, Database, Value,
+    contains_tuple, evaluate, evaluate_batch, evaluate_boolean, Database, DbIndex, Value,
 };
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 fn catalog() -> Catalog {
     let mut c = Catalog::new();
@@ -60,6 +64,27 @@ fn queries() -> impl Strategy<Value = ConjunctiveQuery> {
     })
 }
 
+/// Every full-enumeration solution (complete variable assignment) the
+/// engine emits, sorted. Tuples are deduplicated per relation, so a
+/// full binding determines the witness rows — the bindings alone are a
+/// faithful multiset fingerprint of the enumeration.
+fn all_solutions(idx: &DbIndex, cq: &CompiledQuery) -> Vec<Vec<Option<Sym>>> {
+    let mut out = Vec::new();
+    join_unbound(idx, cq, &mut JoinScratch::new(), |bind, _| {
+        out.push(bind.to_vec());
+        false
+    });
+    out.sort();
+    out
+}
+
+fn head_image(cq: &CompiledQuery, solutions: &[Vec<Option<Sym>>]) -> BTreeSet<Vec<Option<Sym>>> {
+    solutions
+        .iter()
+        .map(|bind| cq.head_vars.iter().map(|&v| bind[v as usize]).collect())
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -88,6 +113,40 @@ proptest! {
         for (q, got) in qs.iter().zip(batch.iter()) {
             prop_assert_eq!(got, &naive::evaluate(q, &db), "query {}", q.name);
         }
+    }
+
+    /// The acyclic fast path (when the planner takes it) enumerates
+    /// exactly the same solution multiset as pure backtracking: strip
+    /// the Yannakakis plan off a clone of the compiled query so the
+    /// engine is forced down the backtracking search, and compare
+    /// solution-for-solution.
+    #[test]
+    fn acyclic_agrees_with_forced_backtracking(q in queries(), db in instances()) {
+        let idx = DbIndex::build(&db);
+        let Some(cq) = compile(&q, &idx) else { return Ok(()); };
+        let mut forced = cq.clone();
+        forced.acyclic = None;
+        prop_assert_eq!(all_solutions(&idx, &cq), all_solutions(&idx, &forced));
+    }
+
+    /// Distinct-witness mode may skip solutions that differ only outside
+    /// the head, but its head-variable image must equal full
+    /// enumeration's, and every emission must be a genuine solution.
+    #[test]
+    fn distinct_mode_preserves_head_image(q in queries(), db in instances()) {
+        let idx = DbIndex::build(&db);
+        let Some(cq) = compile(&q, &idx) else { return Ok(()); };
+        let full = all_solutions(&idx, &cq);
+        let full_set: BTreeSet<_> = full.iter().cloned().collect();
+        let mut dist = Vec::new();
+        join_unbound_distinct(&idx, &cq, &mut JoinScratch::new(), |bind, _| {
+            dist.push(bind.to_vec());
+            false
+        });
+        for bind in &dist {
+            prop_assert!(full_set.contains(bind), "distinct emitted a non-solution");
+        }
+        prop_assert_eq!(head_image(&cq, &dist), head_image(&cq, &full));
     }
 
     /// Membership probes agree on every domain value.

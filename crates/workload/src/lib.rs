@@ -34,4 +34,4 @@ pub use batches::{chain_eval_batch, successor_containment_batch, ContainmentBatc
 pub use databases::DatabaseGen;
 pub use deltas::{split_deltas, Delta, DeltaScriptGen, SlidingWindow};
 pub use dependencies::{FdSetGen, IndSetGen, KeyBasedGen};
-pub use queries::{chain_query, cycle_query, star_query, QueryGen};
+pub use queries::{chain_query, cycle_query, snowflake_query, star_query, QueryGen};

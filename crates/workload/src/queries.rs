@@ -52,6 +52,29 @@ pub fn star_query(
     b.build()
 }
 
+/// A snowflake query: a star whose rays extend into chains.
+/// `Q(c) :- R(c, y_i_0), R(y_i_0, y_i_1), …` for each of `rays` arms of
+/// `depth` atoms — the canonical acyclic shape one step up from stars.
+pub fn snowflake_query(
+    name: &str,
+    catalog: &Catalog,
+    rel: &str,
+    rays: usize,
+    depth: usize,
+) -> IrResult<ConjunctiveQuery> {
+    assert!(rays >= 1 && depth >= 1);
+    let mut b = QueryBuilder::new(name, catalog).head_vars(["c"]);
+    for i in 0..rays {
+        let mut prev = "c".to_string();
+        for j in 0..depth {
+            let next = format!("y{i}_{j}");
+            b = b.atom(rel, [prev, next.clone()])?;
+            prev = next;
+        }
+    }
+    b.build()
+}
+
 /// Configuration for random query generation.
 #[derive(Debug, Clone)]
 pub struct QueryGen {
@@ -190,6 +213,19 @@ mod tests {
         for q in [&ch, &st, &cy] {
             validate_query(q, &c).unwrap();
         }
+    }
+
+    #[test]
+    fn snowflake_shape() {
+        let c = cat();
+        let sf = snowflake_query("F", &c, "R", 3, 2).unwrap();
+        assert_eq!(sf.num_atoms(), 6);
+        assert_eq!(sf.vars.len(), 7); // c + 3 arms × 2 fresh vars
+        validate_query(&sf, &c).unwrap();
+        // depth 1 degenerates to a star
+        let st = snowflake_query("F1", &c, "R", 4, 1).unwrap();
+        assert_eq!(st.num_atoms(), 4);
+        assert_eq!(st.vars.len(), 5);
     }
 
     #[test]

@@ -150,6 +150,11 @@ echo "$S" | grep -q '"ok":true' || fail "stats not ok"
 echo "$S" | grep -q '"semantic_cache"' || fail "stats missing semantic_cache"
 echo "$S" | grep -q '"sessions":\["s2a","s2b","smoke"\]' || fail "stats missing sessions"
 echo "$S" | grep -q '"mutation"' || fail "stats missing mutation counters"
+echo "$S" | grep -q '"planner"' || fail "stats missing planner counters"
+# Evals above compiled plans; B is an acyclic chain, so the fast path
+# must have served at least once.
+echo "$S" | grep -qE '"compiled":[1-9]' || fail "planner should report compiled plans"
+echo "$S" | grep -qE '"acyclic_hits":[1-9]' || fail "planner should report acyclic fast-path hits"
 
 # --- shutdown: server must exit cleanly ------------------------------
 req '{"op":"shutdown"}' | grep -q '"ok":true' || fail "shutdown not ok"
