@@ -1,0 +1,94 @@
+//! Crash-recovery performance: booting a 10k-tuple mutated session from
+//! its snapshot + WAL versus re-registering and re-applying the raw
+//! update script, and the WAL-append overhead the durable update path
+//! adds to `bench_update`'s incremental update+eval rounds. Both run
+//! over in-memory storage, so they measure the durability machinery
+//! (framing, CRC, recovery protocol), not the host's disk.
+//!
+//! Besides the criterion group, the run records a JSON baseline at
+//! `crates/bench/baselines/bench_recovery.json`:
+//!
+//! * `restore_vs_replay_speedup` — how many times snapshot restore
+//!   beats raw-script replay (dimensionless, gated, floor 1.5x);
+//! * `wal_append_efficiency` — `plain / durable` round time
+//!   (dimensionless, gated, floor 0.77 ≈ "within 1.3x");
+//! * absolute times document the recording machine (informational).
+
+use cqchase_bench::recovery_workload::{
+    measure_restore, measure_wal_overhead, recovery_workload, DELTA_OPS, ROUNDS, SEED, TUPLES,
+};
+use cqchase_par::default_threads;
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde_json::json;
+
+fn bench_recovery_paths(c: &mut Criterion) {
+    let w = recovery_workload();
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("restore_vs_replay", |b| {
+        b.iter(|| criterion::black_box(measure_restore(&w)))
+    });
+    group.bench_function("wal_append_overhead", |b| {
+        b.iter(|| criterion::black_box(measure_wal_overhead(&w)))
+    });
+    group.finish();
+}
+
+/// Records the committed JSON baseline (see the module docs).
+fn record_baseline(_c: &mut Criterion) {
+    let w = recovery_workload();
+    // Median of several measurements: the ratios are stable, but a
+    // single run on a noisy box is not.
+    let mut runs: Vec<_> = (0..5).map(|_| measure_restore(&w)).collect();
+    runs.sort_by(|a, b| a.speedup().total_cmp(&b.speedup()));
+    let r = runs[runs.len() / 2];
+    let mut oruns: Vec<_> = (0..5).map(|_| measure_wal_overhead(&w)).collect();
+    oruns.sort_by(|a, b| a.efficiency().total_cmp(&b.efficiency()));
+    let o = oruns[oruns.len() / 2];
+
+    println!(
+        "\nrecovery baseline: restore beats replay {:.2}x ({:.1} ms vs {:.1} ms); \
+         WAL append efficiency {:.2} ({:.0} µs vs {:.0} µs per round)",
+        r.speedup(),
+        r.restore_s * 1e3,
+        r.replay_s * 1e3,
+        o.efficiency(),
+        o.plain_s / ROUNDS as f64 * 1e6,
+        o.durable_s / ROUNDS as f64 * 1e6,
+    );
+    assert!(
+        r.speedup() >= 1.5,
+        "snapshot restore must beat raw-script replay by >= 1.5x at recording time \
+         (got {:.2}x)",
+        r.speedup()
+    );
+    assert!(
+        o.efficiency() >= 1.0 / 1.3,
+        "durable updates must stay within 1.3x of the plain path at recording time \
+         (efficiency {:.2})",
+        o.efficiency()
+    );
+    let doc = json!({
+        "workload": format!(
+            "recovery: {TUPLES}-tuple session seeded then {ROUNDS} rounds of {DELTA_OPS} \
+             seed-{SEED} deltas; snapshot restore vs re-register+re-apply, and WAL append \
+             overhead on the update+eval rounds (MemIo)"
+        ),
+        "cores": default_threads(),
+        "restore_vs_replay_speedup": (r.speedup() * 100.0).round() / 100.0,
+        "restore_ms": (r.restore_s * 1e4).round() / 10.0,
+        "replay_ms": (r.replay_s * 1e4).round() / 10.0,
+        "wal_append_efficiency": (o.efficiency() * 100.0).round() / 100.0,
+        "plain_round_us": (o.plain_s / ROUNDS as f64 * 1e6).round(),
+        "durable_round_us": (o.durable_s / ROUNDS as f64 * 1e6).round(),
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/bench_recovery.json");
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap())
+        .expect("write bench_recovery baseline");
+    println!("baseline written to {path}");
+}
+
+criterion_group!(benches, bench_recovery_paths, record_baseline);
+criterion_main!(benches);

@@ -34,6 +34,7 @@
 use cqchase_bench::churn_workload::{
     churn_workload, measure_barrier_speedup, measure_delete_flatness,
 };
+use cqchase_bench::recovery_workload::{measure_restore, measure_wal_overhead, recovery_workload};
 use cqchase_bench::service_workload::service_workload;
 use cqchase_bench::update_workload::{measure_update, update_workload, ROUNDS};
 use cqchase_bench::util::time_median;
@@ -390,6 +391,48 @@ fn measure_churn_metrics(doc: &Value, out: &mut Vec<Metric>) {
     }
 }
 
+/// Re-measures the `bench_recovery` ratios by replaying the canonical
+/// script (same seed, same batches as the baseline recorder) through
+/// the durable and the plain path over in-memory storage.
+///
+/// Both are dimensionless same-process ratios and gated: snapshot
+/// restore must beat re-register+re-apply from the raw script by the
+/// headline 1.5x no matter what the baseline says, and the durable
+/// update path must stay within 1.3x of the no-durability one
+/// (efficiency floor 0.77). Answers are asserted identical inside the
+/// measurement functions.
+fn measure_recovery_metrics(doc: &Value, out: &mut Vec<Metric>) {
+    let w = recovery_workload();
+    let mut runs: Vec<f64> = (0..3).map(|_| measure_restore(&w).speedup()).collect();
+    runs.sort_by(f64::total_cmp);
+    if let Some(b) = doc["restore_vs_replay_speedup"].as_f64() {
+        out.push(Metric {
+            name: "recovery.restore_vs_replay_speedup",
+            baseline: b,
+            current: runs[runs.len() / 2],
+            gated: true,
+            // The headline durability win: restore must stay decisively
+            // cheaper than rebuilding from the raw script.
+            min_floor: 1.5,
+        });
+    }
+    let mut runs: Vec<f64> = (0..3)
+        .map(|_| measure_wal_overhead(&w).efficiency())
+        .collect();
+    runs.sort_by(f64::total_cmp);
+    if let Some(b) = doc["wal_append_efficiency"].as_f64() {
+        out.push(Metric {
+            name: "recovery.wal_append_efficiency",
+            baseline: b,
+            current: runs[runs.len() / 2],
+            gated: true,
+            // 0.77 ≈ 1/1.3: durability may cost at most 1.3x the plain
+            // incremental path.
+            min_floor: 0.77,
+        });
+    }
+}
+
 fn run(check: bool) -> i32 {
     let mut metrics = Vec::new();
     match load_baseline("bench_index.json") {
@@ -411,6 +454,10 @@ fn run(check: bool) -> i32 {
     match load_baseline("bench_service.json") {
         Some(doc) => measure_service_metrics(&doc, &mut metrics),
         None => println!("warning: baselines/bench_service.json missing or unparsable"),
+    }
+    match load_baseline("bench_recovery.json") {
+        Some(doc) => measure_recovery_metrics(&doc, &mut metrics),
+        None => println!("warning: baselines/bench_recovery.json missing or unparsable"),
     }
 
     let mut failures = 0;

@@ -1,0 +1,282 @@
+//! The deterministic crash-recovery benchmark workload, shared by the
+//! `bench_recovery` baseline recorder and the `bench_gate` re-measurer
+//! so both sides of a gate comparison replay the identical script.
+//!
+//! Two questions, both answered as dimensionless same-process ratios
+//! (the only kind that survives moving between machines):
+//!
+//! * **restore vs replay** — booting a 10k-tuple mutated session from
+//!   its snapshot (+ WAL tail) must beat the durability-free
+//!   alternative: re-executing the **raw request script**, the JSON
+//!   `register`/`update` lines a client (or a request log) would
+//!   resubmit on restart, each parsed by `Request::from_line` and
+//!   dispatched. The snapshot carries the facts in binary and
+//!   consolidates every delta, so restore must win by over the gated
+//!   1.5x.
+//! * **WAL append overhead** — the durable update path (validate +
+//!   encode + CRC + append + fsync before apply) must stay within 1.3x
+//!   of the plain in-memory path on `bench_update`'s incremental
+//!   update+eval rounds; the gate carries it as the inverted
+//!   `plain/durable` *efficiency* ratio with a 0.77 floor.
+//!
+//! Both measurements run over [`MemIo`], so they time the durability
+//! machinery itself (framing, CRC, recovery protocol) deterministically
+//! rather than the host's disk.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cqchase_ir::{parse_program, Constant, RelId};
+use cqchase_service::durable::{MemIo, StorageIo};
+use cqchase_service::{Durability, Request, Session, SessionRegistry};
+use cqchase_storage::{Tuple, Value};
+use cqchase_workload::{split_deltas, DeltaScriptGen};
+
+/// Live tuples at registration.
+pub const TUPLES: usize = 10_000;
+/// Deltas per update round.
+pub const DELTA_OPS: usize = 64;
+/// Update rounds after registration.
+pub const ROUNDS: usize = 8;
+/// Script seed.
+pub const SEED: u64 = 13;
+
+/// The schema + query pool; the registered program appends the
+/// [`TUPLES`] successor-cycle facts as surface text, exactly as a
+/// client's `register` request carries them.
+const SCHEMA: &str = "relation R(a, b).
+    A(x) :- R(x, y).
+    B(x) :- R(x, y), R(y, z).";
+
+/// The 2-chain query B — the per-round evaluation.
+const EVAL_Q: usize = 1;
+
+/// The wire-shaped fact lists updates take.
+pub type FactSpecs = Vec<(String, Vec<Constant>)>;
+/// One update batch: `(inserts, deletes)`.
+pub type Batch = (FactSpecs, FactSpecs);
+
+/// The raw request script: the registration program and every update.
+pub struct RecoveryWorkload {
+    /// Registration program text — schema, queries, and the seed facts
+    /// as fact lines (what travels in a `register` request).
+    pub program: String,
+    /// The [`ROUNDS`] seeded delta rounds, one update batch each.
+    pub rounds: Vec<Batch>,
+    /// The same script as raw protocol lines (`register`, then one
+    /// `update` per round) — what a durability-free restart replays.
+    pub script: Vec<String>,
+}
+
+/// Builds the canonical workload (see the module docs).
+pub fn recovery_workload() -> RecoveryWorkload {
+    let catalog = parse_program(SCHEMA).expect("static schema parses").catalog;
+    let r = catalog.resolve("R").unwrap();
+    let mut program = SCHEMA.to_owned();
+    let mut initial: Vec<(RelId, Tuple)> = Vec::with_capacity(TUPLES);
+    for i in 0..TUPLES as i64 {
+        let j = (i + 1) % TUPLES as i64;
+        let _ = write!(program, "\nR({i}, {j}).");
+        initial.push((
+            r,
+            vec![
+                Value::Const(Constant::Int(i)),
+                Value::Const(Constant::Int(j)),
+            ],
+        ));
+    }
+    // One generator across all rounds (later rounds can delete earlier
+    // inserts), split per round — as in `update_workload`.
+    let gen = DeltaScriptGen {
+        seed: SEED,
+        ops: DELTA_OPS * ROUNDS,
+        domain: 2 * TUPLES as i64,
+        delete_fraction: 0.5,
+    };
+    let script = gen.generate(&catalog, &initial);
+    let spec = |(rel, t): (RelId, Tuple)| -> (String, Vec<Constant>) {
+        (
+            catalog.name(rel).to_owned(),
+            t.iter()
+                .map(|v| v.as_const().expect("delta values are constants").clone())
+                .collect(),
+        )
+    };
+    let rounds: Vec<Batch> = script
+        .chunks(DELTA_OPS)
+        .map(|chunk| {
+            let (ins, del) = split_deltas(chunk);
+            (
+                ins.into_iter().map(spec).collect(),
+                del.into_iter().map(spec).collect(),
+            )
+        })
+        .collect();
+    let mut lines = vec![Request::Register {
+        session: "live".into(),
+        program: program.clone(),
+    }
+    .to_value()
+    .to_string()];
+    for (insert, delete) in &rounds {
+        lines.push(
+            Request::Update {
+                session: "live".into(),
+                insert: insert.clone(),
+                delete: delete.clone(),
+            }
+            .to_value()
+            .to_string(),
+        );
+    }
+    RecoveryWorkload {
+        program,
+        rounds,
+        script: lines,
+    }
+}
+
+fn open_durability(io: &Arc<MemIo>, dir: &Path) -> (Arc<Durability>, Arc<SessionRegistry>) {
+    let registry = Arc::new(SessionRegistry::new());
+    let (d, _) = Durability::open(
+        Arc::clone(io) as Arc<dyn StorageIo>,
+        dir,
+        None,
+        Arc::clone(&registry),
+        64,
+        64,
+    )
+    .expect("open durability over MemIo");
+    (Arc::new(d), registry)
+}
+
+/// One restore-vs-replay measurement (answers asserted identical).
+#[derive(Debug, Clone, Copy)]
+pub struct RestoreMeasurement {
+    /// Seconds to boot the session from its snapshot + WAL.
+    pub restore_s: f64,
+    /// Seconds to re-register the program text and re-apply the script.
+    pub replay_s: f64,
+}
+
+impl RestoreMeasurement {
+    /// How many times snapshot restore beat raw-script replay.
+    pub fn speedup(&self) -> f64 {
+        self.replay_s / self.restore_s.max(1e-12)
+    }
+}
+
+/// Builds the durable state once (register + update rounds + snapshot),
+/// then times booting from the snapshot against rebuilding from the raw
+/// request script, asserting both end states answer identically.
+pub fn measure_restore(w: &RecoveryWorkload) -> RestoreMeasurement {
+    let dir = Path::new("/bench");
+    let io = Arc::new(MemIo::new());
+    let (d, _registry) = open_durability(&io, dir);
+    let live = d.register("live", &w.program).expect("register");
+    for batch in &w.rounds {
+        for r in d.apply_updates(&live, std::slice::from_ref(batch)) {
+            r.expect("workload batches are valid");
+        }
+    }
+    let (seq, _) = d.persist().expect("persist");
+    let snap_path = dir.join(format!("snap-{seq}"));
+    let wal_path = dir.join(format!("wal-{seq}"));
+    let snap = io.dump(&snap_path).expect("snapshot bytes");
+    let wal = io.dump(&wal_path).expect("wal bytes");
+    let expect_rows = live.eval(EVAL_Q);
+
+    // Restore path: recovery boot over the captured files.
+    let t0 = Instant::now();
+    let io2 = Arc::new(MemIo::new());
+    io2.set_file(&snap_path, snap);
+    io2.set_file(&wal_path, wal);
+    let (_d2, reg2) = open_durability(&io2, dir);
+    let restored = reg2.get("live").expect("restored session");
+    let restore_s = t0.elapsed().as_secs_f64();
+
+    // Replay path: the state rebuilt the only way a durability-free
+    // server could — re-execute the raw request script, line by line.
+    let t0 = Instant::now();
+    let mut fresh: Option<Session> = None;
+    for line in &w.script {
+        match Request::from_line(line).expect("script lines are valid requests") {
+            Request::Register { session, program } => {
+                fresh = Some(Session::new(&session, &program, 64, 64).expect("register fresh"));
+            }
+            Request::Update { insert, delete, .. } => {
+                let s = fresh.as_ref().expect("register precedes updates");
+                for r in s.apply_updates(&[(insert, delete)]) {
+                    r.expect("workload batches are valid");
+                }
+            }
+            _ => unreachable!("the raw script holds register/update lines only"),
+        }
+    }
+    let fresh = fresh.expect("script registers the session");
+    let replay_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(restored.eval(EVAL_Q), expect_rows, "restore diverged");
+    assert_eq!(fresh.eval(EVAL_Q), expect_rows, "replay diverged");
+    RestoreMeasurement {
+        restore_s,
+        replay_s,
+    }
+}
+
+/// One WAL-overhead measurement (answers asserted identical).
+#[derive(Debug, Clone, Copy)]
+pub struct OverheadMeasurement {
+    /// Seconds for the plain in-memory update+eval rounds.
+    pub plain_s: f64,
+    /// Seconds for the same rounds through the durable path.
+    pub durable_s: f64,
+}
+
+impl OverheadMeasurement {
+    /// `plain / durable`: 1.0 means free durability, the 0.77 gate
+    /// floor means "within 1.3x of no-durability".
+    pub fn efficiency(&self) -> f64 {
+        self.plain_s / self.durable_s.max(1e-12)
+    }
+}
+
+/// Replays the delta rounds through a plain session and a durable one
+/// (identical update+eval per round), timing each path.
+pub fn measure_wal_overhead(w: &RecoveryWorkload) -> OverheadMeasurement {
+    let plain = Session::new("plain", &w.program, 64, 64).expect("register plain");
+    let dir = Path::new("/bench");
+    let io = Arc::new(MemIo::new());
+    let (d, _registry) = open_durability(&io, dir);
+    let durable = d.register("durable", &w.program).expect("register durable");
+
+    let t0 = Instant::now();
+    let mut plain_counts = Vec::with_capacity(w.rounds.len());
+    for batch in &w.rounds {
+        for r in plain.apply_updates(std::slice::from_ref(batch)) {
+            r.expect("workload batches are valid");
+        }
+        plain_counts.push(plain.eval(EVAL_Q).len());
+    }
+    let plain_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let mut durable_counts = Vec::with_capacity(w.rounds.len());
+    for batch in &w.rounds {
+        for r in d.apply_updates(&durable, std::slice::from_ref(batch)) {
+            r.expect("workload batches are valid");
+        }
+        durable_counts.push(durable.eval(EVAL_Q).len());
+    }
+    let durable_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(plain_counts, durable_counts, "per-round answers diverged");
+    assert_eq!(
+        plain.eval(EVAL_Q),
+        durable.eval(EVAL_Q),
+        "final answers diverged"
+    );
+    OverheadMeasurement { plain_s, durable_s }
+}

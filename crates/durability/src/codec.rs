@@ -1,0 +1,222 @@
+//! Primitive binary encoding for record payloads: little-endian
+//! integers, length-prefixed UTF-8 strings, and tagged constants.
+//!
+//! Decoding is defensive — every read checks bounds and reports a
+//! reason string rather than panicking, because decode runs over bytes
+//! that CRC-passed but could still be a hostile or buggy file (the CRC
+//! only proves the frame matches what was written, not that what was
+//! written was well-formed).
+
+use std::sync::Arc;
+
+use cqchase_ir::Constant;
+
+/// A decode failure: byte offset within the payload plus a reason.
+pub type DecodeError = (usize, String);
+
+/// Cursor over a payload being decoded.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts decoding at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Errors unless the payload was fully consumed — trailing garbage
+    /// means the writer and reader disagree about the format.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err((
+                self.pos,
+                format!("{} trailing bytes", self.buf.len() - self.pos),
+            ))
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err((
+                self.pos,
+                format!(
+                    "{what}: need {n} bytes, {} remain",
+                    self.buf.len() - self.pos
+                ),
+            ));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a u32 LE.
+    pub fn u32(&mut self, what: &str) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a u64 LE.
+    pub fn u64(&mut self, what: &str) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an i64 LE.
+    pub fn i64(&mut self, what: &str) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self, what: &str) -> Result<String, DecodeError> {
+        let len = self.u32(what)? as usize;
+        let start = self.pos;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| (start, format!("{what}: invalid utf-8: {e}")))
+    }
+
+    /// Reads a tagged [`Constant`] (0 = Int i64 LE, 1 = Str).
+    pub fn constant(&mut self) -> Result<Constant, DecodeError> {
+        let at = self.pos;
+        match self.u8("constant tag")? {
+            0 => Ok(Constant::Int(self.i64("int constant")?)),
+            1 => Ok(Constant::Str(Arc::from(self.string("str constant")?))),
+            tag => Err((at, format!("unknown constant tag {tag}"))),
+        }
+    }
+
+    /// Reads a length-prefixed vector via `item`.
+    pub fn vec<T>(
+        &mut self,
+        what: &str,
+        mut item: impl FnMut(&mut Reader<'a>) -> Result<T, DecodeError>,
+    ) -> Result<Vec<T>, DecodeError> {
+        let len = self.u32(what)? as usize;
+        // A corrupted length must not drive a huge reservation: every
+        // element needs at least one byte, so cap by remaining bytes.
+        let mut out = Vec::with_capacity(len.min(self.buf.len() - self.pos));
+        for _ in 0..len {
+            out.push(item(self)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Appends a u32 LE.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a u64 LE.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a tagged [`Constant`].
+pub fn put_constant(out: &mut Vec<u8>, c: &Constant) {
+    match c {
+        Constant::Int(i) => {
+            out.push(0);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Constant::Str(s) => {
+            out.push(1);
+            put_string(out, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 7);
+        put_string(&mut buf, "héllo");
+        put_constant(&mut buf, &Constant::int(-42));
+        put_constant(&mut buf, &Constant::str("s"));
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32("a").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("b").unwrap(), u64::MAX - 7);
+        assert_eq!(r.string("c").unwrap(), "héllo");
+        assert_eq!(r.constant().unwrap(), Constant::int(-42));
+        assert_eq!(r.constant().unwrap(), Constant::str("s"));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn decode_errors_carry_offset_and_reason() {
+        // Truncated string.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 100);
+        buf.extend_from_slice(b"short");
+        let (off, reason) = Reader::new(&buf).string("name").unwrap_err();
+        assert_eq!(off, 4);
+        assert!(reason.contains("name"), "{reason}");
+
+        // Unknown constant tag.
+        let (off, reason) = Reader::new(&[7]).constant().unwrap_err();
+        assert_eq!(off, 0);
+        assert!(reason.contains("tag 7"), "{reason}");
+
+        // Trailing bytes rejected.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1);
+        buf.push(0xFF);
+        let mut r = Reader::new(&buf);
+        r.u32("x").unwrap();
+        assert!(r.finish().is_err());
+
+        // Invalid utf-8.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let (_, reason) = Reader::new(&buf).string("s").unwrap_err();
+        assert!(reason.contains("utf-8"), "{reason}");
+    }
+
+    #[test]
+    fn huge_vec_length_does_not_overallocate() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        let err = Reader::new(&buf)
+            .vec("items", |r| r.u8("item"))
+            .unwrap_err();
+        assert!(err.1.contains("item"), "{err:?}");
+    }
+}

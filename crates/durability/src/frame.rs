@@ -1,0 +1,255 @@
+//! File headers and CRC-framed records.
+//!
+//! Both file kinds start with a 12-byte header — an 8-byte magic plus a
+//! u32 LE format version — followed by zero or more frames. A frame is
+//! an 8-byte record header (u32 LE payload length, u32 LE CRC32 of the
+//! payload) followed by the payload bytes. The CRC covers only the
+//! payload; a length field corrupted into nonsense is caught either by
+//! the CRC of whatever bytes it selects or by running off the end of
+//! the file — both classified as a torn tail when at the end, and as
+//! hard corruption by callers that require a complete file (snapshots).
+
+use crate::crc::crc32;
+
+/// Magic prefix of snapshot files.
+pub const SNAP_MAGIC: &[u8; 8] = b"CQSNAP01";
+/// Magic prefix of WAL files.
+pub const WAL_MAGIC: &[u8; 8] = b"CQWAL001";
+/// Current format version, shared by both file kinds.
+pub const FORMAT_VERSION: u32 = 1;
+/// Bytes in a file header: magic + version.
+pub const FILE_HEADER_LEN: usize = 12;
+/// Bytes in a record header: payload length + payload CRC.
+pub const RECORD_HEADER_LEN: usize = 8;
+
+/// Sanity cap on a single frame's payload (64 MiB). A length beyond
+/// this is treated as corruption rather than a gigantic allocation.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// The 12-byte header for a file of the given kind.
+pub fn file_header(magic: &[u8; 8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FILE_HEADER_LEN);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out
+}
+
+/// Validates a file's 12-byte header. Returns the offset where records
+/// start, or a human-readable reason with the offending byte offset.
+pub fn check_header(buf: &[u8], magic: &[u8; 8]) -> Result<usize, (u64, String)> {
+    if buf.len() < FILE_HEADER_LEN {
+        return Err((
+            buf.len() as u64,
+            format!(
+                "file header truncated ({} of {FILE_HEADER_LEN} bytes)",
+                buf.len()
+            ),
+        ));
+    }
+    if &buf[..8] != magic {
+        return Err((
+            0,
+            format!(
+                "bad magic {:?} (expected {:?})",
+                String::from_utf8_lossy(&buf[..8]),
+                String::from_utf8_lossy(magic)
+            ),
+        ));
+    }
+    let version = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err((
+            8,
+            format!("unsupported format version {version} (expected {FORMAT_VERSION})"),
+        ));
+    }
+    Ok(FILE_HEADER_LEN)
+}
+
+/// Wraps a payload in a frame: length + CRC header, then the payload.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Outcome of reading one frame at an offset.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame<'a> {
+    /// A valid record: its payload, and the offset of the next frame.
+    Record {
+        /// The verified payload bytes.
+        payload: &'a [u8],
+        /// Offset just past this frame.
+        next: usize,
+    },
+    /// Clean end of file: `offset` was exactly the buffer length.
+    End,
+    /// An invalid record — truncated header, truncated payload, absurd
+    /// length, or CRC mismatch. At the physical end of a WAL this is a
+    /// torn tail; anywhere a complete file is required it is corruption.
+    Torn {
+        /// Byte offset of the bad frame (truncate the file here).
+        offset: u64,
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
+}
+
+/// Reads the frame starting at `offset` in `buf`.
+pub fn read_frame(buf: &[u8], offset: usize) -> Frame<'_> {
+    if offset == buf.len() {
+        return Frame::End;
+    }
+    if offset + RECORD_HEADER_LEN > buf.len() {
+        return Frame::Torn {
+            offset: offset as u64,
+            reason: format!(
+                "record header truncated ({} of {RECORD_HEADER_LEN} bytes)",
+                buf.len() - offset
+            ),
+        };
+    }
+    let len = u32::from_le_bytes(buf[offset..offset + 4].try_into().expect("4 bytes"));
+    let expect_crc = u32::from_le_bytes(buf[offset + 4..offset + 8].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Frame::Torn {
+            offset: offset as u64,
+            reason: format!("record length {len} exceeds cap {MAX_PAYLOAD}"),
+        };
+    }
+    let start = offset + RECORD_HEADER_LEN;
+    let end = start + len as usize;
+    if end > buf.len() {
+        return Frame::Torn {
+            offset: offset as u64,
+            reason: format!(
+                "record payload truncated ({} of {len} bytes)",
+                buf.len() - start
+            ),
+        };
+    }
+    let payload = &buf[start..end];
+    let actual = crc32(payload);
+    if actual != expect_crc {
+        return Frame::Torn {
+            offset: offset as u64,
+            reason: format!(
+                "record crc mismatch (stored {expect_crc:#010x}, computed {actual:#010x})"
+            ),
+        };
+    }
+    Frame::Record { payload, next: end }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip_and_rejections() {
+        let h = file_header(WAL_MAGIC);
+        assert_eq!(h.len(), FILE_HEADER_LEN);
+        assert_eq!(check_header(&h, WAL_MAGIC), Ok(FILE_HEADER_LEN));
+
+        // Wrong magic.
+        let (off, reason) = check_header(&h, SNAP_MAGIC).unwrap_err();
+        assert_eq!(off, 0);
+        assert!(reason.contains("bad magic"), "{reason}");
+
+        // Truncated header.
+        let (off, reason) = check_header(&h[..5], WAL_MAGIC).unwrap_err();
+        assert_eq!(off, 5);
+        assert!(reason.contains("truncated"), "{reason}");
+
+        // Future version.
+        let mut future = h.clone();
+        future[8] = 9;
+        let (off, reason) = check_header(&future, WAL_MAGIC).unwrap_err();
+        assert_eq!(off, 8);
+        assert!(reason.contains("version 9"), "{reason}");
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = file_header(WAL_MAGIC);
+        buf.extend_from_slice(&frame(b"first"));
+        buf.extend_from_slice(&frame(b""));
+        buf.extend_from_slice(&frame(b"third record"));
+
+        let mut off = FILE_HEADER_LEN;
+        let mut payloads = Vec::new();
+        loop {
+            match read_frame(&buf, off) {
+                Frame::Record { payload, next } => {
+                    payloads.push(payload.to_vec());
+                    off = next;
+                }
+                Frame::End => break,
+                Frame::Torn { offset, reason } => panic!("torn at {offset}: {reason}"),
+            }
+        }
+        assert_eq!(
+            payloads,
+            vec![b"first".to_vec(), b"".to_vec(), b"third record".to_vec()]
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_clean_end_or_torn_at_frame_start() {
+        let mut buf = file_header(WAL_MAGIC);
+        buf.extend_from_slice(&frame(b"alpha"));
+        let second_start = buf.len();
+        buf.extend_from_slice(&frame(b"beta-record"));
+
+        // Truncate at every byte inside the second frame: the first
+        // frame must survive, and the tear must point at the second
+        // frame's start so truncation lands on a frame boundary.
+        for cut in second_start..buf.len() {
+            let cut_buf = &buf[..cut];
+            let first = read_frame(cut_buf, FILE_HEADER_LEN);
+            let next = match first {
+                Frame::Record { payload, next } => {
+                    assert_eq!(payload, b"alpha");
+                    next
+                }
+                other => panic!("first frame lost at cut {cut}: {other:?}"),
+            };
+            match read_frame(cut_buf, next) {
+                Frame::End => assert_eq!(cut, second_start),
+                Frame::Torn { offset, .. } => assert_eq!(offset, second_start as u64),
+                Frame::Record { .. } => panic!("truncated frame read as record at cut {cut}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bitflips_in_payload_are_torn() {
+        let mut buf = file_header(WAL_MAGIC);
+        buf.extend_from_slice(&frame(b"payload under test"));
+        for byte in FILE_HEADER_LEN + RECORD_HEADER_LEN..buf.len() {
+            let mut bad = buf.clone();
+            bad[byte] ^= 0x10;
+            match read_frame(&bad, FILE_HEADER_LEN) {
+                Frame::Torn { offset, reason } => {
+                    assert_eq!(offset, FILE_HEADER_LEN as u64);
+                    assert!(reason.contains("crc mismatch"), "{reason}");
+                }
+                other => panic!("flip at {byte} undetected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_length_is_torn_not_alloc() {
+        let mut buf = file_header(WAL_MAGIC);
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        match read_frame(&buf, FILE_HEADER_LEN) {
+            Frame::Torn { reason, .. } => assert!(reason.contains("exceeds cap"), "{reason}"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

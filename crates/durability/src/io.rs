@@ -1,0 +1,323 @@
+//! The injectable storage layer: every byte the [`Store`](crate::Store)
+//! reads or writes goes through [`StorageIo`], so tests can inject
+//! short writes, fsync failures, and kill-at-every-byte truncations
+//! without touching a disk — and the production [`StdIo`] stays a thin,
+//! obviously-correct wrapper over `std::fs`.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// File operations the durability store needs. Implementations must be
+/// shareable across threads (the store is reached from connection
+/// handlers and the batch leader).
+pub trait StorageIo: Send + Sync + std::fmt::Debug {
+    /// Reads a whole file. `ErrorKind::NotFound` when absent.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Writes a whole file **atomically**: the file either keeps its
+    /// old content or holds exactly `data`, never a prefix — the
+    /// temp-write + fsync + rename protocol on real filesystems.
+    fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Appends bytes to a file, creating it when absent. A failure may
+    /// leave a *prefix* of `data` appended (the torn-write reality the
+    /// caller must roll back from).
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Truncates a file to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Flushes a file's content to stable storage.
+    fn fsync(&self, path: &Path) -> io::Result<()>;
+    /// The file's current length in bytes.
+    fn len(&self, path: &Path) -> io::Result<u64>;
+    /// File names (not full paths) directly inside `dir`.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Removes a file (absent is not an error).
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Creates a directory and its parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production implementation over `std::fs`.
+#[derive(Debug, Default)]
+pub struct StdIo;
+
+impl StorageIo for StdIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        // Make the rename itself durable: fsync the parent directory.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(data)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        fs::OpenOptions::new().write(true).open(path)?.sync_all()
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        Ok(names)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+}
+
+/// In-memory fault-injection implementation: a path→bytes map plus
+/// knobs that make the *next* operations fail the way real storage
+/// fails — appends that land only a prefix, fsyncs that error after
+/// the bytes are already in the page cache.
+///
+/// Tests drive crash simulation through [`MemIo::dump`] /
+/// [`MemIo::set_file`]: capture the WAL bytes, truncate them at any
+/// byte offset, seed a fresh `MemIo`, and recover.
+#[derive(Debug, Default)]
+pub struct MemIo {
+    files: Mutex<HashMap<PathBuf, Vec<u8>>>,
+    /// When `true`, every `fsync` fails (the bytes stay appended — the
+    /// page-cache reality a crash would lose).
+    fail_fsync: AtomicBool,
+    /// When `true`, every `truncate` fails (models a WAL whose rollback
+    /// path is also broken).
+    fail_truncate: AtomicBool,
+    /// When set, the next `append` writes only this many bytes of its
+    /// data and returns an error (a torn write), then the knob resets.
+    short_append: Mutex<Option<usize>>,
+    /// Successful fsync calls (observability for tests).
+    fsyncs: AtomicU64,
+}
+
+impl MemIo {
+    /// An empty in-memory filesystem.
+    pub fn new() -> MemIo {
+        MemIo::default()
+    }
+
+    /// Makes every subsequent `fsync` fail (until reset).
+    pub fn set_fail_fsync(&self, fail: bool) {
+        self.fail_fsync.store(fail, Ordering::SeqCst);
+    }
+
+    /// Makes every subsequent `truncate` fail (until reset).
+    pub fn set_fail_truncate(&self, fail: bool) {
+        self.fail_truncate.store(fail, Ordering::SeqCst);
+    }
+
+    /// Arms a one-shot torn append: the next `append` persists only the
+    /// first `keep` bytes of its data and returns an error.
+    pub fn arm_short_append(&self, keep: usize) {
+        *self.short_append.lock().expect("memio lock") = Some(keep);
+    }
+
+    /// A copy of a file's bytes (`None` when absent).
+    pub fn dump(&self, path: &Path) -> Option<Vec<u8>> {
+        self.files.lock().expect("memio lock").get(path).cloned()
+    }
+
+    /// Sets a file's bytes verbatim (the corruption/truncation hook).
+    pub fn set_file(&self, path: &Path, bytes: Vec<u8>) {
+        self.files
+            .lock()
+            .expect("memio lock")
+            .insert(path.to_path_buf(), bytes);
+    }
+
+    /// Successful fsync calls so far.
+    pub fn fsync_count(&self) -> u64 {
+        self.fsyncs.load(Ordering::SeqCst)
+    }
+
+    fn not_found(path: &Path) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{}: no such file", path.display()),
+        )
+    }
+}
+
+impl StorageIo for MemIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.files
+            .lock()
+            .expect("memio lock")
+            .get(path)
+            .cloned()
+            .ok_or_else(|| MemIo::not_found(path))
+    }
+
+    fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .expect("memio lock")
+            .insert(path.to_path_buf(), data.to_vec());
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let short = self.short_append.lock().expect("memio lock").take();
+        let mut files = self.files.lock().expect("memio lock");
+        let file = files.entry(path.to_path_buf()).or_default();
+        match short {
+            Some(keep) => {
+                file.extend_from_slice(&data[..keep.min(data.len())]);
+                Err(io::Error::other("injected short write"))
+            }
+            None => {
+                file.extend_from_slice(data);
+                Ok(())
+            }
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        if self.fail_truncate.load(Ordering::SeqCst) {
+            return Err(io::Error::other("injected truncate failure"));
+        }
+        let mut files = self.files.lock().expect("memio lock");
+        let file = files.get_mut(path).ok_or_else(|| MemIo::not_found(path))?;
+        file.truncate(len as usize);
+        Ok(())
+    }
+
+    fn fsync(&self, path: &Path) -> io::Result<()> {
+        if self.fail_fsync.load(Ordering::SeqCst) {
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        if !self.files.lock().expect("memio lock").contains_key(path) {
+            return Err(MemIo::not_found(path));
+        }
+        self.fsyncs.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        self.files
+            .lock()
+            .expect("memio lock")
+            .get(path)
+            .map(|f| f.len() as u64)
+            .ok_or_else(|| MemIo::not_found(path))
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        Ok(self
+            .files
+            .lock()
+            .expect("memio lock")
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+            .collect())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.files.lock().expect("memio lock").remove(path);
+        Ok(())
+    }
+
+    fn create_dir_all(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memio_roundtrip_and_faults() {
+        let io = MemIo::new();
+        let p = Path::new("/d/wal-0");
+        assert!(io.read(p).is_err());
+        io.append(p, b"abc").unwrap();
+        io.append(p, b"def").unwrap();
+        assert_eq!(io.read(p).unwrap(), b"abcdef");
+        assert_eq!(io.len(p).unwrap(), 6);
+
+        // Torn append: only a prefix lands, and the call errors.
+        io.arm_short_append(2);
+        assert!(io.append(p, b"XYZ").is_err());
+        assert_eq!(io.read(p).unwrap(), b"abcdefXY");
+        // The knob is one-shot.
+        io.append(p, b"!").unwrap();
+
+        io.truncate(p, 6).unwrap();
+        assert_eq!(io.read(p).unwrap(), b"abcdef");
+
+        io.fsync(p).unwrap();
+        assert_eq!(io.fsync_count(), 1);
+        io.set_fail_fsync(true);
+        assert!(io.fsync(p).is_err());
+        io.set_fail_fsync(false);
+        io.fsync(p).unwrap();
+        assert_eq!(io.fsync_count(), 2);
+
+        assert_eq!(io.list(Path::new("/d")).unwrap(), ["wal-0"]);
+        io.remove(p).unwrap();
+        assert!(io.read(p).is_err());
+    }
+
+    #[test]
+    fn stdio_roundtrip_in_temp_dir() {
+        let dir =
+            std::env::temp_dir().join(format!("cqchase-durability-io-test-{}", std::process::id()));
+        let io = StdIo;
+        io.create_dir_all(&dir).unwrap();
+        let p = dir.join("wal-0");
+        io.write_atomic(&p, b"header").unwrap();
+        io.append(&p, b"+rec").unwrap();
+        io.fsync(&p).unwrap();
+        assert_eq!(io.read(&p).unwrap(), b"header+rec");
+        assert_eq!(io.len(&p).unwrap(), 10);
+        io.truncate(&p, 6).unwrap();
+        assert_eq!(io.read(&p).unwrap(), b"header");
+        let names = io.list(&dir).unwrap();
+        assert!(names.contains(&"wal-0".to_string()), "{names:?}");
+        io.remove(&p).unwrap();
+        io.remove(&p).unwrap(); // absent is not an error
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

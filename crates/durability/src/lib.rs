@@ -1,0 +1,49 @@
+//! # cqchase-durability — crash-safe session persistence
+//!
+//! Sessions registered and mutated at runtime must survive a process
+//! restart: this crate owns the on-disk formats and the recovery
+//! protocol, while staying independent of the service layer — it deals
+//! in plain *records* ([`SessionRecord`], [`WalRecord`]) that the
+//! service converts live sessions to and from.
+//!
+//! Two file kinds live in a data directory, as a `snap-N` / `wal-N`
+//! pair sharing a sequence number:
+//!
+//! * **snapshot** (`snap-N`) — the full registry at one moment: per
+//!   session the canonical schema text (catalog + Σ + queries, which
+//!   round-trips through the parser), the live facts in a compact
+//!   binary encoding, and the facts epoch. Written atomically
+//!   (temp + rename), versioned, each session record CRC32-framed.
+//! * **WAL** (`wal-N`) — an append-only log of everything since that
+//!   snapshot: one CRC-framed record per registration or per
+//!   `apply_updates` batch, fsync'd before the operation is
+//!   acknowledged. When the WAL outgrows a threshold it is *rotated*:
+//!   a fresh `snap-(N+1)` absorbs it and a fresh empty `wal-(N+1)`
+//!   starts.
+//!
+//! **Recovery** ([`Store::open`]) loads the highest-sequence snapshot,
+//! then replays its WAL record by record. A *torn tail* — a record with
+//! a bad CRC or a truncated frame, the signature of a crash mid-append
+//! — ends replay cleanly at the last durable record and is truncated
+//! away, so the next append lands on a valid frame boundary. Anything
+//! wrong *before* the tail (bad magic, bad version, a corrupt snapshot)
+//! is a hard [`StoreError::Corrupt`] naming the file and byte offset:
+//! boot must fail loudly rather than serve a silently emptier registry.
+//!
+//! All file I/O goes through the injectable [`StorageIo`] trait;
+//! [`MemIo`] lets tests inject short writes, fsync failures, and
+//! kill-at-every-byte-offset truncations without touching a disk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+pub mod frame;
+pub mod io;
+pub mod record;
+pub mod store;
+
+pub use io::{MemIo, StdIo, StorageIo};
+pub use record::{Fact, SessionRecord, UpdateDelta, WalRecord};
+pub use store::{Recovered, Store, StoreError, StoreStats, DEFAULT_ROTATE_BYTES};

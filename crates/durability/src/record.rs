@@ -1,0 +1,233 @@
+//! The logical records stored in snapshots and the WAL.
+//!
+//! The service layer converts live sessions to and from these plain
+//! data types; this crate never touches `Session` itself. Schema text
+//! travels as the canonical rendering that round-trips through the
+//! parser, while facts travel in the compact binary constant encoding —
+//! restoring a snapshot therefore never re-parses fact lines, which is
+//! what makes restore cheaper than re-registering.
+
+use cqchase_ir::Constant;
+
+use crate::codec::{put_constant, put_string, put_u32, put_u64, DecodeError, Reader};
+
+/// A ground fact: relation name plus one constant per column.
+pub type Fact = (String, Vec<Constant>);
+
+/// One delta of an update batch: facts to insert, facts to delete.
+pub type UpdateDelta = (Vec<Fact>, Vec<Fact>);
+
+/// A session as frozen into a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRecord {
+    /// Registry name.
+    pub name: String,
+    /// Canonical schema text: catalog + Σ + queries, no fact lines.
+    pub schema: String,
+    /// Facts epoch at snapshot time (restore must reproduce it so
+    /// cached eval results stay coherent).
+    pub epoch: u64,
+    /// Live facts grouped by relation name.
+    pub relations: Vec<(String, Vec<Vec<Constant>>)>,
+}
+
+/// One WAL entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A session registration: the raw registration source, verbatim.
+    Register {
+        /// Registry name.
+        name: String,
+        /// The registration program text as submitted.
+        program: String,
+    },
+    /// One acknowledged `apply_updates` batch.
+    Update {
+        /// Registry name of the session the batch applied to.
+        session: String,
+        /// The batch's deltas, valid subset only, in order.
+        deltas: Vec<UpdateDelta>,
+    },
+}
+
+const TAG_REGISTER: u8 = 1;
+const TAG_UPDATE: u8 = 2;
+
+fn put_fact(out: &mut Vec<u8>, (rel, row): &Fact) {
+    put_string(out, rel);
+    put_u32(out, row.len() as u32);
+    for c in row {
+        put_constant(out, c);
+    }
+}
+
+fn read_fact(r: &mut Reader<'_>) -> Result<Fact, DecodeError> {
+    let rel = r.string("fact relation")?;
+    let row = r.vec("fact values", |r| r.constant())?;
+    Ok((rel, row))
+}
+
+impl SessionRecord {
+    /// Serializes to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_string(&mut out, &self.name);
+        put_string(&mut out, &self.schema);
+        put_u64(&mut out, self.epoch);
+        put_u32(&mut out, self.relations.len() as u32);
+        for (rel, rows) in &self.relations {
+            put_string(&mut out, rel);
+            put_u32(&mut out, rows.len() as u32);
+            for row in rows {
+                put_u32(&mut out, row.len() as u32);
+                for c in row {
+                    put_constant(&mut out, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<SessionRecord, DecodeError> {
+        let mut r = Reader::new(payload);
+        let name = r.string("session name")?;
+        let schema = r.string("session schema")?;
+        let epoch = r.u64("facts epoch")?;
+        let relations = r.vec("relations", |r| {
+            let rel = r.string("relation name")?;
+            let rows = r.vec("tuples", |r| r.vec("tuple values", |r| r.constant()))?;
+            Ok((rel, rows))
+        })?;
+        r.finish()?;
+        Ok(SessionRecord {
+            name,
+            schema,
+            epoch,
+            relations,
+        })
+    }
+}
+
+impl WalRecord {
+    /// Serializes to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::Register { name, program } => {
+                out.push(TAG_REGISTER);
+                put_string(&mut out, name);
+                put_string(&mut out, program);
+            }
+            WalRecord::Update { session, deltas } => {
+                out.push(TAG_UPDATE);
+                put_string(&mut out, session);
+                put_u32(&mut out, deltas.len() as u32);
+                for (insert, delete) in deltas {
+                    put_u32(&mut out, insert.len() as u32);
+                    for f in insert {
+                        put_fact(&mut out, f);
+                    }
+                    put_u32(&mut out, delete.len() as u32);
+                    for f in delete {
+                        put_fact(&mut out, f);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, DecodeError> {
+        let mut r = Reader::new(payload);
+        let rec = match r.u8("wal record tag")? {
+            TAG_REGISTER => WalRecord::Register {
+                name: r.string("session name")?,
+                program: r.string("program text")?,
+            },
+            TAG_UPDATE => {
+                let session = r.string("session name")?;
+                let deltas = r.vec("deltas", |r| {
+                    let insert = r.vec("inserts", read_fact)?;
+                    let delete = r.vec("deletes", read_fact)?;
+                    Ok((insert, delete))
+                })?;
+                WalRecord::Update { session, deltas }
+            }
+            tag => return Err((0, format!("unknown wal record tag {tag}"))),
+        };
+        r.finish()?;
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_session() -> SessionRecord {
+        SessionRecord {
+            name: "orders".into(),
+            schema: "relation R(a, b).\nfd R: a -> b.\nQ(x) :- R(x, y).\n".into(),
+            epoch: 42,
+            relations: vec![
+                (
+                    "R".into(),
+                    vec![
+                        vec![Constant::int(1), Constant::str("x")],
+                        vec![Constant::int(2), Constant::str("y\"quoted")],
+                    ],
+                ),
+                ("S".into(), vec![]),
+            ],
+        }
+    }
+
+    #[test]
+    fn session_record_roundtrip() {
+        let rec = sample_session();
+        let decoded = SessionRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(decoded, rec);
+    }
+
+    #[test]
+    fn wal_record_roundtrip() {
+        let reg = WalRecord::Register {
+            name: "s1".into(),
+            program: "relation R(a).".into(),
+        };
+        assert_eq!(WalRecord::decode(&reg.encode()).unwrap(), reg);
+
+        let upd = WalRecord::Update {
+            session: "s1".into(),
+            deltas: vec![
+                (
+                    vec![("R".into(), vec![Constant::int(7)])],
+                    vec![("R".into(), vec![Constant::int(3)])],
+                ),
+                (vec![], vec![]),
+            ],
+        };
+        assert_eq!(WalRecord::decode(&upd.encode()).unwrap(), upd);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        // Unknown tag.
+        assert!(WalRecord::decode(&[9]).is_err());
+        // Empty payload.
+        assert!(WalRecord::decode(&[]).is_err());
+        // Trailing garbage after a valid record.
+        let mut bytes = WalRecord::Register {
+            name: "a".into(),
+            program: "p".into(),
+        }
+        .encode();
+        bytes.push(0);
+        assert!(WalRecord::decode(&bytes).is_err());
+        // Truncated session record.
+        let enc = sample_session().encode();
+        assert!(SessionRecord::decode(&enc[..enc.len() - 1]).is_err());
+    }
+}

@@ -41,6 +41,7 @@ use cqchase_par::BatchOptions;
 use cqchase_storage::Tuple;
 use serde_json::Value;
 
+use crate::durable::Durability;
 use crate::metrics::Metrics;
 use crate::proto::CheckSummary;
 use crate::session::Session;
@@ -188,6 +189,10 @@ pub struct Batcher {
     threads: usize,
     metrics: Arc<Metrics>,
     barrier_mode: BarrierMode,
+    /// When set, update batches route through the durability layer —
+    /// logged and fsync'd before applying, so no summary is reported
+    /// for a change a restart would forget.
+    durability: Option<Arc<Durability>>,
 }
 
 impl std::fmt::Debug for Batcher {
@@ -195,6 +200,7 @@ impl std::fmt::Debug for Batcher {
         f.debug_struct("Batcher")
             .field("threads", &self.threads)
             .field("barrier_mode", &self.barrier_mode)
+            .field("durable", &self.durability.is_some())
             .finish()
     }
 }
@@ -218,6 +224,28 @@ impl Batcher {
             threads: threads.max(1),
             metrics,
             barrier_mode,
+            durability: None,
+        }
+    }
+
+    /// Routes update batches through `durability` (write-ahead logged
+    /// and fsync'd before applying). Builder-style, used at server boot.
+    pub fn with_durability(mut self, durability: Arc<Durability>) -> Batcher {
+        self.durability = Some(durability);
+        self
+    }
+
+    /// The single mutation choke point for both barrier modes: a run of
+    /// update deltas applies through the durability layer when one is
+    /// configured (log + fsync, *then* apply) and directly otherwise.
+    fn apply_deltas(
+        &self,
+        session: &Session,
+        deltas: &[(Vec<crate::proto::FactSpec>, Vec<crate::proto::FactSpec>)],
+    ) -> Vec<Result<crate::session::UpdateSummary, String>> {
+        match &self.durability {
+            Some(d) => d.apply_updates(session, deltas),
+            None => session.apply_updates(deltas),
         }
     }
 
@@ -412,7 +440,10 @@ impl Batcher {
                             self.metrics.barrier_flushes.fetch_add(1, Ordering::Relaxed);
                         }
                         self.run_segment(std::mem::take(&mut segment));
-                        let result = session.apply_update(&insert, &delete);
+                        let result = self
+                            .apply_deltas(&session, &[(insert, delete)])
+                            .pop()
+                            .expect("one delta in, one summary out");
                         let _ = p.tx.send(Outcome::Update(result));
                     } else {
                         segment.push(p);
@@ -460,7 +491,7 @@ impl Batcher {
                         .updates_coalesced
                         .fetch_add(updates.len() as u64 - 1, Ordering::Relaxed);
                 }
-                let results = session.apply_updates(updates);
+                let results = self.apply_deltas(session, updates);
                 for (result, tx) in results.into_iter().zip(update_txs.drain(..)) {
                     let _ = tx.send(Outcome::Update(result));
                 }

@@ -165,6 +165,12 @@ impl Client {
         self.checked(&Request::Stats)
     }
 
+    /// Forces a snapshot of every session to the server's data
+    /// directory (errors when the server runs without one).
+    pub fn persist(&mut self) -> Result<Value, ClientError> {
+        self.checked(&Request::Persist)
+    }
+
     /// Asks the server to shut down gracefully.
     pub fn shutdown(&mut self) -> Result<Value, ClientError> {
         self.checked(&Request::Shutdown)

@@ -1,0 +1,403 @@
+//! The service-side durability layer: converts live [`Session`]s to and
+//! from the plain records of `cqchase-durability`, and owns the
+//! acknowledgement protocol — **nothing is reported done until its WAL
+//! record is fsync'd**.
+//!
+//! Ordering guarantees, all enforced under one `gate` lock:
+//!
+//! * *register-before-update*: a session's `Register` record is durable
+//!   before any of its `Update` records can be logged, so replay never
+//!   meets an update for an unknown session;
+//! * *register acknowledgement*: a registration whose record cannot be
+//!   made durable is rolled back out of the registry and reported as an
+//!   error — the client must not believe in a session a restart forgets;
+//! * *update acknowledgement*: an update batch's valid deltas are
+//!   logged (and fsync'd) first, then applied; a log failure reports
+//!   every valid delta as an error and applies nothing;
+//! * *snapshot consistency*: a snapshot is rendered and installed with
+//!   no log/apply in flight, so rotation can delete the old WAL without
+//!   losing an acknowledged update that missed the snapshot.
+//!
+//! The gate serializes mutation *durability*, not reads: `check`/`eval`
+//! traffic never touches it, and the per-session coalescing of the
+//! admission queue still batches adjacent updates into one WAL record.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use cqchase_durability::{
+    Recovered, SessionRecord, Store, StoreError, UpdateDelta, WalRecord, DEFAULT_ROTATE_BYTES,
+};
+use cqchase_ir::{display, parse_program};
+use serde_json::{Map, Value};
+
+use crate::proto::FactSpec;
+use crate::session::{Session, SessionRegistry, UpdateSummary};
+
+pub use cqchase_durability::{MemIo, StdIo, StorageIo};
+
+/// What recovery found and rebuilt, reported once at boot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sessions restored from the snapshot.
+    pub snapshot_sessions: usize,
+    /// WAL records replayed on top of the snapshot.
+    pub wal_records_replayed: usize,
+    /// Description of a torn WAL tail that was truncated away, if any.
+    pub torn_tail: Option<String>,
+    /// True when the data directory held no prior state.
+    pub fresh: bool,
+}
+
+/// Durable session persistence wired over a [`SessionRegistry`].
+#[derive(Debug)]
+pub struct Durability {
+    store: Store,
+    registry: Arc<SessionRegistry>,
+    sem_cache_capacity: usize,
+    plan_cache_capacity: usize,
+    /// Names whose registration is durable (in the snapshot or a logged
+    /// `Register` record). `log_update` refuses anything else, which is
+    /// what makes replay order register-before-update airtight.
+    logged: Mutex<HashSet<String>>,
+    /// Serializes registration, durable updates, and snapshotting (see
+    /// the module docs for why all three must exclude each other).
+    gate: Mutex<()>,
+}
+
+/// Renders the session's immutable schema — catalog, Σ, queries, **no**
+/// fact lines — as canonical surface text that round-trips through the
+/// parser. Facts travel separately in binary, which is what makes
+/// restore cheaper than re-registering the original program text.
+fn schema_text(session: &Session) -> String {
+    let cat = &session.program.catalog;
+    let mut out = String::new();
+    let catalog = display::catalog(cat).to_string();
+    if !catalog.is_empty() {
+        out.push_str(&catalog);
+        out.push('\n');
+    }
+    let deps = display::deps(&session.program.deps, cat).to_string();
+    if !deps.is_empty() {
+        out.push_str(&deps);
+        out.push('\n');
+    }
+    for q in &session.program.queries {
+        let _ = writeln!(out, "{}", display::query(q, cat));
+    }
+    out
+}
+
+/// Freezes a live session into a snapshot record. The facts lock is
+/// held shared for the whole render, so the facts and their epoch are
+/// one consistent cut.
+fn render_session(session: &Session) -> SessionRecord {
+    let cat = &session.program.catalog;
+    let facts = session.facts.read().expect("facts lock");
+    let mut relations = Vec::new();
+    for (rel, inst) in facts.db.iter() {
+        let rows: Vec<Vec<cqchase_ir::Constant>> = inst
+            .tuples()
+            .map(|t| {
+                t.iter()
+                    .map(|v| v.as_const().expect("session facts are ground").clone())
+                    .collect()
+            })
+            .collect();
+        if !rows.is_empty() {
+            relations.push((cat.name(rel).to_owned(), rows));
+        }
+    }
+    SessionRecord {
+        name: session.name.clone(),
+        schema: schema_text(session),
+        epoch: facts.epoch,
+        relations,
+    }
+}
+
+/// Rebuilds a session from a snapshot record: parse the schema text,
+/// attach the binary facts, rebuild warm state, restore the epoch.
+fn restore_session(
+    rec: &SessionRecord,
+    sem_cache_capacity: usize,
+    plan_cache_capacity: usize,
+) -> Result<Session, String> {
+    let mut program = parse_program(&rec.schema).map_err(|e| e.to_string())?;
+    let mut facts = Vec::new();
+    for (rel, rows) in &rec.relations {
+        let id = program
+            .catalog
+            .resolve(rel)
+            .ok_or_else(|| format!("snapshot facts name unknown relation `{rel}`"))?;
+        for row in rows {
+            facts.push((id, row.clone()));
+        }
+    }
+    program.facts = facts;
+    let session =
+        Session::from_program(&rec.name, program, sem_cache_capacity, plan_cache_capacity)?;
+    // Answers must be bit-identical to the pre-crash session, and the
+    // epoch is part of observable state (update summaries, stats).
+    session.facts.write().expect("facts lock").epoch = rec.epoch;
+    Ok(session)
+}
+
+impl Durability {
+    /// Opens a data directory, replays its state into `registry`, and
+    /// returns the durability layer plus a boot report. Corruption
+    /// anywhere but a torn WAL tail fails the boot.
+    pub fn open(
+        io: Arc<dyn StorageIo>,
+        dir: &Path,
+        wal_rotate_bytes: Option<u64>,
+        registry: Arc<SessionRegistry>,
+        sem_cache_capacity: usize,
+        plan_cache_capacity: usize,
+    ) -> Result<(Durability, RecoveryReport), StoreError> {
+        let rotate = wal_rotate_bytes.unwrap_or(DEFAULT_ROTATE_BYTES);
+        let (store, recovered) = Store::open(io, dir, rotate)?;
+        let corrupt = |file: &str, reason: String| StoreError::Corrupt {
+            file: dir.join(file),
+            offset: 0,
+            reason,
+        };
+        let Recovered {
+            sessions,
+            wal,
+            seq,
+            torn_tail,
+        } = recovered;
+        let fresh = sessions.is_empty() && wal.is_empty() && seq == 0;
+
+        let snapshot_sessions = sessions.len();
+        let mut logged = HashSet::new();
+        for rec in &sessions {
+            let session =
+                restore_session(rec, sem_cache_capacity, plan_cache_capacity).map_err(|e| {
+                    corrupt(
+                        &format!("snap-{seq}"),
+                        format!("session `{}`: {e}", rec.name),
+                    )
+                })?;
+            registry
+                .insert_new(session)
+                .map_err(|e| corrupt(&format!("snap-{seq}"), e))?;
+            logged.insert(rec.name.clone());
+        }
+
+        let wal_file = format!("wal-{seq}");
+        let wal_records_replayed = wal.len();
+        for rec in wal {
+            match rec {
+                WalRecord::Register { name, program } => {
+                    // A duplicate Register (snapshot already has the
+                    // session) is the benign race of a registration
+                    // logged just after a snapshot rendered it.
+                    if registry.check_free(&name).is_ok() {
+                        let session =
+                            Session::new(&name, &program, sem_cache_capacity, plan_cache_capacity)
+                                .map_err(|e| {
+                                    corrupt(&wal_file, format!("replaying register `{name}`: {e}"))
+                                })?;
+                        registry
+                            .insert_new(session)
+                            .map_err(|e| corrupt(&wal_file, e))?;
+                    }
+                    logged.insert(name);
+                }
+                WalRecord::Update { session, deltas } => {
+                    let s = registry.get(&session).map_err(|e| {
+                        corrupt(
+                            &wal_file,
+                            format!("replaying update: {e} (wal out of order)"),
+                        )
+                    })?;
+                    for result in s.apply_updates(&deltas) {
+                        result.map_err(|e| {
+                            corrupt(&wal_file, format!("replaying update for `{session}`: {e}"))
+                        })?;
+                    }
+                }
+            }
+        }
+
+        let durability = Durability {
+            store,
+            registry,
+            sem_cache_capacity,
+            plan_cache_capacity,
+            logged: Mutex::new(logged),
+            gate: Mutex::new(()),
+        };
+        let report = RecoveryReport {
+            snapshot_sessions,
+            wal_records_replayed,
+            torn_tail,
+            fresh,
+        };
+        Ok((durability, report))
+    }
+
+    /// Registers a session durably: builds it, inserts it, and logs the
+    /// `Register` record — rolling the insertion back if the record
+    /// cannot be fsync'd, so a successful reply survives a restart and
+    /// a failed one leaves no session behind.
+    pub fn register(&self, name: &str, program: &str) -> Result<Arc<Session>, String> {
+        // Fail fast and build outside the gate: parsing and index
+        // construction are the expensive part, and `insert_new` stays
+        // the atomic arbiter for name races.
+        self.registry.check_free(name)?;
+        let session = Session::new(
+            name,
+            program,
+            self.sem_cache_capacity,
+            self.plan_cache_capacity,
+        )?;
+        let _gate = self.gate.lock().expect("durability gate");
+        let arc = self.registry.insert_new(session)?;
+        let record = WalRecord::Register {
+            name: name.to_owned(),
+            program: program.to_owned(),
+        };
+        if let Err(e) = self.store.log(&record) {
+            self.registry.remove(name);
+            return Err(format!("registration not persisted: {e}"));
+        }
+        self.logged
+            .lock()
+            .expect("durability logged set")
+            .insert(name.to_owned());
+        drop(_gate);
+        self.maybe_rotate();
+        Ok(arc)
+    }
+
+    /// Applies an update batch durably: validates each delta as
+    /// [`Session::apply_updates`] will, logs the valid subset as one
+    /// WAL record, fsyncs, and only then applies — so every summary
+    /// handed back describes a change a restart will reproduce. When
+    /// the record cannot be made durable, every valid delta reports the
+    /// log error and **nothing** is applied.
+    pub fn apply_updates(
+        &self,
+        session: &Session,
+        deltas: &[(Vec<FactSpec>, Vec<FactSpec>)],
+    ) -> Vec<Result<UpdateSummary, String>> {
+        let gate = self.gate.lock().expect("durability gate");
+        if !self
+            .logged
+            .lock()
+            .expect("durability logged set")
+            .contains(&session.name)
+        {
+            // Unreachable through the server (every registered session
+            // was logged), but the invariant is what keeps the WAL
+            // replayable — refuse rather than corrupt.
+            let err = format!("session `{}` is not durably registered", session.name);
+            return deltas.iter().map(|_| Err(err.clone())).collect();
+        }
+        let valid: Vec<bool> = deltas
+            .iter()
+            .map(|(insert, delete)| session.validate_update(insert, delete).is_ok())
+            .collect();
+        let durable_deltas: Vec<UpdateDelta> = deltas
+            .iter()
+            .zip(&valid)
+            .filter(|(_, ok)| **ok)
+            .map(|((insert, delete), _)| (insert.clone(), delete.clone()))
+            .collect();
+        if !durable_deltas.is_empty() {
+            let record = WalRecord::Update {
+                session: session.name.clone(),
+                deltas: durable_deltas,
+            };
+            if let Err(e) = self.store.log(&record) {
+                // Nothing applies: report the log failure on every
+                // delta that would have applied, and plain validation
+                // errors on the rest.
+                let log_err = format!("update not persisted: {e}");
+                return deltas
+                    .iter()
+                    .zip(&valid)
+                    .map(|((insert, delete), ok)| {
+                        if *ok {
+                            Err(log_err.clone())
+                        } else {
+                            Err(session
+                                .validate_update(insert, delete)
+                                .expect_err("delta failed validation above"))
+                        }
+                    })
+                    .collect();
+            }
+        }
+        let out = session.apply_updates(deltas);
+        drop(gate);
+        self.maybe_rotate();
+        out
+    }
+
+    /// Forces a snapshot of every registered session, rotating the WAL.
+    /// Returns `(sequence number, sessions snapshotted)`.
+    pub fn persist(&self) -> Result<(u64, usize), String> {
+        let _gate = self.gate.lock().expect("durability gate");
+        self.persist_locked()
+    }
+
+    fn persist_locked(&self) -> Result<(u64, usize), String> {
+        let sessions = self.registry.snapshot();
+        let records: Vec<SessionRecord> = sessions.iter().map(|s| render_session(s)).collect();
+        self.store
+            .install_snapshot(&records)
+            .map_err(|e| format!("snapshot not persisted: {e}"))?;
+        // Post-rotation, the snapshot itself is every session's
+        // durable registration.
+        *self.logged.lock().expect("durability logged set") =
+            records.iter().map(|r| r.name.clone()).collect();
+        Ok((self.store.seq(), records.len()))
+    }
+
+    /// Rotates the WAL into a fresh snapshot once it outgrows the
+    /// threshold (or was poisoned by a failed rollback). Best-effort:
+    /// the next mutation retries on failure.
+    fn maybe_rotate(&self) {
+        if self.store.should_rotate() {
+            let _gate = self.gate.lock().expect("durability gate");
+            if self.store.should_rotate() {
+                let _ = self.persist_locked();
+            }
+        }
+    }
+
+    /// The `durability` block of the `stats` response.
+    pub fn stats_block(&self) -> Value {
+        let stats = self.store.stats();
+        let mut m = Map::new();
+        m.insert("enabled".into(), Value::from(true));
+        m.insert("seq".into(), Value::from(self.store.seq()));
+        m.insert(
+            "snapshots_written".into(),
+            Value::from(stats.snapshots_written()),
+        );
+        m.insert("wal_records".into(), Value::from(stats.wal_records()));
+        m.insert("wal_bytes".into(), Value::from(stats.wal_bytes()));
+        m.insert("wal_len".into(), Value::from(self.store.wal_len()));
+        m.insert("fsyncs".into(), Value::from(stats.fsyncs()));
+        m.insert("recoveries".into(), Value::from(stats.recoveries()));
+        m.insert(
+            "torn_tails_discarded".into(),
+            Value::from(stats.torn_tails_discarded()),
+        );
+        Value::Object(m)
+    }
+
+    /// The stats placeholder when the server runs without a data dir.
+    pub fn disabled_stats_block() -> Value {
+        let mut m = Map::new();
+        m.insert("enabled".into(), Value::from(false));
+        Value::Object(m)
+    }
+}

@@ -24,6 +24,11 @@
 //! * [`cache`] — the semantic cache: containment answers keyed by the
 //!   *isomorphism class* of `(Q, Q′, Σ)` via [`cqchase_core::iso_key`],
 //!   verified by [`cqchase_core::is_isomorphic`], bounded LRU;
+//! * [`durable`] — crash-safe persistence over `cqchase-durability`:
+//!   with a data directory configured, registrations and update batches
+//!   are write-ahead logged (fsync **before** acknowledgement), the
+//!   registry snapshots/restores across restarts, and a torn WAL tail
+//!   from a crash mid-append is recovered cleanly;
 //! * [`metrics`] — lock-free per-endpoint counters and latency
 //!   histograms behind the `stats` endpoint;
 //! * [`server`] — the `std::net` TCP server (bounded handler pool,
@@ -44,6 +49,7 @@
 pub mod batch;
 pub mod cache;
 pub mod client;
+pub mod durable;
 pub mod metrics;
 pub mod proto;
 pub mod server;
@@ -52,6 +58,7 @@ pub mod session;
 pub use batch::{BarrierMode, Batcher, Outcome, Work};
 pub use cache::{CacheStats, SemanticCache};
 pub use client::{Client, ClientError};
+pub use durable::{Durability, RecoveryReport};
 pub use metrics::Metrics;
 pub use proto::{CheckSummary, FactSpec, Op, Request};
 pub use server::{ServeOptions, Server};

@@ -12,6 +12,7 @@
 //! {"op":"eval","session":"s","query":"Q1"}
 //! {"op":"classify","session":"s"}
 //! {"op":"stats"}
+//! {"op":"persist"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -40,22 +41,27 @@ pub enum Op {
     Eval,
     /// Report the session's Σ classification.
     Classify,
-    /// Server counters, latency histograms, cache metrics, and the
+    /// Server counters, latency histograms, cache metrics, the
     /// mutation fast path's `mutation` block (compactions,
-    /// slots/bytes reclaimed, updates coalesced, barrier flushes).
+    /// slots/bytes reclaimed, updates coalesced, barrier flushes), and
+    /// the `durability` block when a data directory is configured.
     Stats,
+    /// Force a snapshot of every registered session to the data
+    /// directory (an error when the server runs without one).
+    Persist,
     /// Graceful shutdown: stop accepting, drain, exit.
     Shutdown,
 }
 
 /// All operations, indexable by `op as usize`.
-pub const ALL_OPS: [Op; 7] = [
+pub const ALL_OPS: [Op; 8] = [
     Op::Register,
     Op::Update,
     Op::Check,
     Op::Eval,
     Op::Classify,
     Op::Stats,
+    Op::Persist,
     Op::Shutdown,
 ];
 
@@ -69,6 +75,7 @@ impl Op {
             Op::Eval => "eval",
             Op::Classify => "classify",
             Op::Stats => "stats",
+            Op::Persist => "persist",
             Op::Shutdown => "shutdown",
         }
     }
@@ -130,6 +137,9 @@ pub enum Request {
     },
     /// `{"op":"stats"}` — server metrics snapshot.
     Stats,
+    /// `{"op":"persist"}` — force a snapshot of every session to the
+    /// data directory (requires the server to run with one).
+    Persist,
     /// `{"op":"shutdown"}` — graceful shutdown.
     Shutdown,
 }
@@ -212,6 +222,7 @@ impl Request {
             Request::Eval { .. } => Op::Eval,
             Request::Classify { .. } => Op::Classify,
             Request::Stats => Op::Stats,
+            Request::Persist => Op::Persist,
             Request::Shutdown => Op::Shutdown,
         }
     }
@@ -250,9 +261,11 @@ impl Request {
                 session: str_field(obj, "session")?,
             }),
             "stats" => Ok(Request::Stats),
+            "persist" => Ok(Request::Persist),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op `{other}` (expected register/update/check/eval/classify/stats/shutdown)"
+                "unknown op `{other}` (expected \
+                 register/update/check/eval/classify/stats/persist/shutdown)"
             )),
         }
     }
@@ -297,7 +310,7 @@ impl Request {
             Request::Classify { session } => {
                 m.insert("session".into(), Value::from(session.as_str()));
             }
-            Request::Stats | Request::Shutdown => {}
+            Request::Stats | Request::Persist | Request::Shutdown => {}
         }
         Value::Object(m)
     }
@@ -390,6 +403,7 @@ mod tests {
                 session: "s".into(),
             },
             Request::Stats,
+            Request::Persist,
             Request::Shutdown,
         ];
         for r in reqs {

@@ -16,6 +16,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -24,6 +25,7 @@ use cqchase_par::ThreadPool;
 use serde_json::{Map, Value};
 
 use crate::batch::{rows_to_value, Batcher, Outcome, Work};
+use crate::durable::{Durability, RecoveryReport, StdIo};
 use crate::metrics::Metrics;
 use crate::proto::{error_response, ok_response, Op, Request};
 use crate::session::{Session, SessionRegistry};
@@ -41,6 +43,14 @@ pub struct ServeOptions {
     pub sem_cache_capacity: usize,
     /// Evaluation plan-cache capacity per session.
     pub plan_cache_capacity: usize,
+    /// Data directory for crash-safe session persistence. When set,
+    /// registrations and updates are write-ahead logged (fsync before
+    /// acknowledgement) and the whole registry survives a restart;
+    /// when `None` the server is purely in-memory (the prior behavior).
+    pub data_dir: Option<PathBuf>,
+    /// WAL size past which a snapshot rotation triggers (`None` uses
+    /// [`cqchase_durability::DEFAULT_ROTATE_BYTES`]).
+    pub wal_rotate_bytes: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -51,14 +61,17 @@ impl Default for ServeOptions {
             conn_workers: 8,
             sem_cache_capacity: 1024,
             plan_cache_capacity: 256,
+            data_dir: None,
+            wal_rotate_bytes: None,
         }
     }
 }
 
 /// State shared by every connection handler.
 struct Shared {
-    sessions: SessionRegistry,
+    sessions: Arc<SessionRegistry>,
     batcher: Batcher,
+    durability: Option<Arc<Durability>>,
     metrics: Arc<Metrics>,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
@@ -82,30 +95,64 @@ impl Drop for ConnGuard {
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl Server {
-    /// Binds the listener and builds the shared state. The server does
-    /// not accept connections until [`run`](Server::run).
+    /// Binds the listener and builds the shared state. When a data
+    /// directory is configured, recovery runs here — a corrupt snapshot
+    /// or WAL fails the bind with `InvalidData` naming the file and
+    /// offset, never a silently emptier registry. The server does not
+    /// accept connections until [`run`](Server::run).
     pub fn bind(opts: ServeOptions) -> io::Result<Server> {
         let listener = TcpListener::bind(&opts.addr)?;
         let local_addr = listener.local_addr()?;
         let metrics = Arc::new(Metrics::new());
+        let sessions = Arc::new(SessionRegistry::new());
+        let (durability, recovery) = match &opts.data_dir {
+            None => (None, None),
+            Some(dir) => {
+                let (d, report) = Durability::open(
+                    Arc::new(StdIo),
+                    dir,
+                    opts.wal_rotate_bytes,
+                    Arc::clone(&sessions),
+                    opts.sem_cache_capacity,
+                    opts.plan_cache_capacity,
+                )
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                (Some(Arc::new(d)), Some(report))
+            }
+        };
+        let mut batcher = Batcher::new(opts.batch_threads, Arc::clone(&metrics));
+        if let Some(d) = &durability {
+            batcher = batcher.with_durability(Arc::clone(d));
+        }
         let shared = Arc::new(Shared {
-            sessions: SessionRegistry::new(),
-            batcher: Batcher::new(opts.batch_threads, Arc::clone(&metrics)),
+            sessions,
+            batcher,
+            durability,
             metrics,
             shutdown: AtomicBool::new(false),
             local_addr,
             opts,
             active_conns: std::sync::atomic::AtomicUsize::new(0),
         });
-        Ok(Server { listener, shared })
+        Ok(Server {
+            listener,
+            shared,
+            recovery,
+        })
     }
 
     /// The address the listener actually bound (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.shared.local_addr
+    }
+
+    /// What recovery restored at bind time (`None` without a data dir).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     /// Accepts and serves connections until a `shutdown` request
@@ -398,19 +445,25 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
             // told no), then build, then claim the name atomically —
             // `insert_new` arbitrates racing duplicates, which lose
             // with the same explicit error instead of silently
-            // replacing warm state.
-            let built = shared
-                .sessions
-                .check_free(&session)
-                .and_then(|()| {
-                    Session::new(
-                        &session,
-                        &program,
-                        shared.opts.sem_cache_capacity,
-                        shared.opts.plan_cache_capacity,
-                    )
-                })
-                .and_then(|s| shared.sessions.insert_new(s));
+            // replacing warm state. With a data dir, the durable path
+            // additionally fsyncs a `Register` WAL record before the
+            // acknowledgement (and rolls the insertion back if it
+            // cannot): an `ok:true` register survives a restart.
+            let built = match &shared.durability {
+                Some(d) => d.register(&session, &program),
+                None => shared
+                    .sessions
+                    .check_free(&session)
+                    .and_then(|()| {
+                        Session::new(
+                            &session,
+                            &program,
+                            shared.opts.sem_cache_capacity,
+                            shared.opts.plan_cache_capacity,
+                        )
+                    })
+                    .and_then(|s| shared.sessions.insert_new(s)),
+            };
             match built {
                 Ok(s) => {
                     let mut m = ok_response(op);
@@ -624,8 +677,30 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
                 Value::from(shared.metrics.barrier_flushes.load(Ordering::Relaxed)),
             );
             m.insert("mutation".into(), Value::Object(mutation));
+            m.insert(
+                "durability".into(),
+                match &shared.durability {
+                    Some(d) => d.stats_block(),
+                    None => Durability::disabled_stats_block(),
+                },
+            );
             Value::Object(m)
         }
+        Request::Persist => match &shared.durability {
+            Some(d) => match d.persist() {
+                Ok((seq, sessions)) => {
+                    let mut m = ok_response(op);
+                    m.insert("seq".into(), Value::from(seq));
+                    m.insert("sessions".into(), Value::from(sessions));
+                    Value::Object(m)
+                }
+                Err(msg) => error_response(Some(op), &msg),
+            },
+            None => error_response(
+                Some(op),
+                "persist requires a data directory (start the server with --data-dir)",
+            ),
+        },
         Request::Shutdown => Value::Object(ok_response(op)),
     }
 }

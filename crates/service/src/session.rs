@@ -236,6 +236,31 @@ impl Session {
         (rows, false)
     }
 
+    /// Checks one delta exactly as [`Session::apply_updates`] will —
+    /// every fact must name a known relation with the right arity,
+    /// deletes checked before inserts — without touching the facts.
+    ///
+    /// The durability layer uses this to decide, *before* logging,
+    /// which deltas of a batch will apply: the WAL records only the
+    /// valid subset, so replay never re-litigates validation and the
+    /// log stays in deterministic agreement with the in-memory state.
+    pub fn validate_update(&self, insert: &[FactSpec], delete: &[FactSpec]) -> Result<(), String> {
+        let catalog = &self.program.catalog;
+        for (rel, tuple) in delete.iter().chain(insert) {
+            let id = catalog
+                .resolve(rel)
+                .ok_or_else(|| format!("unknown relation `{rel}` in session `{}`", self.name))?;
+            let arity = catalog.arity(id);
+            if tuple.len() != arity {
+                return Err(format!(
+                    "relation `{rel}` has arity {arity}, fact carries {} values",
+                    tuple.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Applies fact deltas to the live facts: deletes first, then
     /// inserts (so a delete+insert of the same tuple leaves it present).
     /// Absent deletes and present inserts are counted no-ops. On any
@@ -434,6 +459,17 @@ impl SessionRegistry {
             .get(name)
             .cloned()
             .ok_or_else(|| format!("no session named `{name}` (register it first)"))
+    }
+
+    /// Unregisters `name`, returning whether it was present. Used only
+    /// to roll back a registration whose durability record could not be
+    /// made durable — there is no client-facing unregister op.
+    pub fn remove(&self, name: &str) -> bool {
+        self.sessions
+            .write()
+            .expect("session registry lock")
+            .remove(name)
+            .is_some()
     }
 
     /// Registered names, sorted.

@@ -1,0 +1,232 @@
+//! The crash-recovery contract, as a property test: for a random
+//! register/update script driven through the durability layer, killing
+//! the process at **every byte boundary of the WAL** and recovering
+//! yields exactly the state of some *prefix of the logged records* —
+//! never a half-applied batch, never a lost acknowledged batch earlier
+//! than the cut, never a boot failure.
+//!
+//! This extends the live-mutation differential of `proptest_update.rs`
+//! across a crash: the reference is a from-scratch replica built by
+//! replaying the surviving event prefix through plain [`Session`]
+//! calls, and "equal" means every query's rows, the fact count, and the
+//! facts epoch — the full observable state at every observation point.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use cqchase_durability::frame::FILE_HEADER_LEN;
+use cqchase_ir::Constant;
+use cqchase_service::durable::{MemIo, StorageIo};
+use cqchase_service::{Durability, FactSpec, Session, SessionRegistry};
+use cqchase_storage::Tuple;
+use proptest::prelude::*;
+
+/// Small schemas keep the Register WAL records (and so the number of
+/// byte cuts) proportionate to debug-build test time.
+const BASE: &str = "relation R(a, b).
+    ind R[2] <= R[1].
+    Q0(x) :- R(x, y).
+    Q1(x, z) :- R(x, y), R(y, z).";
+
+/// The second session's program seeds a fact, so Register replay also
+/// covers program-embedded facts.
+const SECOND: &str = "relation R(a, b).
+    Q0(x) :- R(x, y).
+    Q1(x, z) :- R(x, y), R(y, z).
+    R(3, 3).";
+
+const NUM_QUERIES: usize = 2;
+
+/// `(inserts, deletes, tag)`; tag 0 poisons the delta with a
+/// wrong-arity fact, so it must fail validation and stay out of the WAL.
+type RawDelta = (Vec<(i64, i64)>, Vec<(i64, i64)>, u8);
+
+#[derive(Debug, Clone)]
+enum Step {
+    /// Register the second session (idempotently skipped when taken).
+    RegisterSecond,
+    /// Apply a batch of deltas to session s1 (`true`, when it exists)
+    /// or s0.
+    Update(bool, Vec<RawDelta>),
+}
+
+/// One durable WAL record, as the script meant it: the reference
+/// replica replays exactly these.
+#[derive(Debug, Clone)]
+enum Event {
+    Register(String, String),
+    Update(String, Vec<(Vec<FactSpec>, Vec<FactSpec>)>),
+}
+
+fn scripts() -> impl Strategy<Value = Vec<Step>> {
+    let tuples = || proptest::collection::vec((0i64..4, 0i64..4), 0..3);
+    let delta = (tuples(), tuples(), 0u8..8);
+    let step = (
+        0u8..6,
+        any::<bool>(),
+        proptest::collection::vec(delta, 1..3),
+    )
+        .prop_map(|(kind, which, deltas)| match kind {
+            0 => Step::RegisterSecond,
+            _ => Step::Update(which, deltas),
+        });
+    proptest::collection::vec(step, 1..6)
+}
+
+fn fact(a: i64, b: i64) -> FactSpec {
+    ("R".into(), vec![Constant::Int(a), Constant::Int(b)])
+}
+
+fn to_delta((ins, del, tag): &RawDelta) -> (Vec<FactSpec>, Vec<FactSpec>) {
+    let mut insert: Vec<FactSpec> = ins.iter().map(|&(a, b)| fact(a, b)).collect();
+    if *tag == 0 {
+        insert.push(("R".into(), vec![Constant::Int(9)]));
+    }
+    (insert, del.iter().map(|&(a, b)| fact(a, b)).collect())
+}
+
+/// The full observable state of one session.
+type Observed = (Vec<Vec<Tuple>>, usize, u64);
+
+fn observe(session: &Session) -> Observed {
+    let rows: Vec<_> = (0..NUM_QUERIES).map(|q| session.eval(q)).collect();
+    let (facts, epoch) = session.facts_snapshot();
+    (rows, facts, epoch)
+}
+
+fn observe_all(sessions: &HashMap<String, Session>) -> HashMap<String, Observed> {
+    sessions
+        .iter()
+        .map(|(name, s)| (name.clone(), observe(s)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_wal_byte_cut_restores_a_batch_prefix(script in scripts()) {
+        let io = Arc::new(MemIo::new());
+        let dir = Path::new("/data");
+        let registry = Arc::new(SessionRegistry::new());
+        let (d, _) = Durability::open(
+            Arc::clone(&io) as Arc<dyn StorageIo>,
+            dir,
+            None,
+            Arc::clone(&registry),
+            16,
+            16,
+        )
+        .expect("fresh open");
+
+        // Drive the script through the durability layer, mirroring the
+        // record it logs for each step (the valid subset of each batch).
+        let mut events: Vec<Event> = Vec::new();
+        d.register("s0", BASE).expect("register s0");
+        events.push(Event::Register("s0".into(), BASE.into()));
+        let mut second = false;
+        for step in &script {
+            match step {
+                Step::RegisterSecond => {
+                    if !second {
+                        d.register("s1", SECOND).expect("register s1");
+                        events.push(Event::Register("s1".into(), SECOND.into()));
+                        second = true;
+                    }
+                }
+                Step::Update(which, raw) => {
+                    let name = if *which && second { "s1" } else { "s0" };
+                    let session = registry.get(name).expect("session registered");
+                    let deltas: Vec<_> = raw.iter().map(to_delta).collect();
+                    let valid: Vec<_> = deltas
+                        .iter()
+                        .filter(|(ins, del)| session.validate_update(ins, del).is_ok())
+                        .cloned()
+                        .collect();
+                    d.apply_updates(&session, &deltas);
+                    if !valid.is_empty() {
+                        events.push(Event::Update(name.to_string(), valid));
+                    }
+                }
+            }
+        }
+
+        // Reference states: `expected[k]` is the observable state after
+        // replaying the first k events from scratch, exactly as
+        // recovery replays a surviving WAL prefix.
+        let mut expected: Vec<HashMap<String, Observed>> = Vec::new();
+        {
+            let mut sessions: HashMap<String, Session> = HashMap::new();
+            expected.push(observe_all(&sessions));
+            for ev in &events {
+                match ev {
+                    Event::Register(name, program) => {
+                        sessions.insert(
+                            name.clone(),
+                            Session::new(name, program, 16, 16).expect("reference register"),
+                        );
+                    }
+                    Event::Update(name, deltas) => {
+                        for r in sessions[name.as_str()].apply_updates(deltas) {
+                            r.expect("reference deltas are valid");
+                        }
+                    }
+                }
+                expected.push(observe_all(&sessions));
+            }
+        }
+
+        // The live registry must already match the full prefix.
+        for (name, exp) in &expected[events.len()] {
+            let live = registry.get(name).expect("live session");
+            prop_assert_eq!(&observe(&live), exp, "live state vs full prefix: {}", name);
+        }
+
+        // Kill at every byte boundary of the WAL. The file header is
+        // written atomically at creation, so a crash can only ever cut
+        // inside the appended records.
+        let wal = io.dump(&dir.join("wal-0")).expect("wal exists");
+        let snap = io.dump(&dir.join("snap-0")).expect("snapshot exists");
+        let mut prev_k = 0usize;
+        for cut in FILE_HEADER_LEN..=wal.len() {
+            let io2 = Arc::new(MemIo::new());
+            io2.set_file(&dir.join("snap-0"), snap.clone());
+            io2.set_file(&dir.join("wal-0"), wal[..cut].to_vec());
+            let reg2 = Arc::new(SessionRegistry::new());
+            let (_d2, report) = Durability::open(
+                Arc::clone(&io2) as Arc<dyn StorageIo>,
+                dir,
+                None,
+                Arc::clone(&reg2),
+                16,
+                16,
+            )
+            .unwrap_or_else(|e| panic!("cut {cut}: recovery must not fail: {e}"));
+            let k = report.wal_records_replayed;
+            prop_assert!(
+                k <= events.len(),
+                "cut {}: {} records replayed but only {} logged",
+                cut, k, events.len()
+            );
+            prop_assert!(k >= prev_k, "cut {}: surviving prefix shrank", cut);
+            prev_k = k;
+            let exp = &expected[k];
+            let mut names = reg2.names();
+            names.sort();
+            let mut exp_names: Vec<_> = exp.keys().cloned().collect();
+            exp_names.sort();
+            prop_assert_eq!(&names, &exp_names, "cut {}: restored session set", cut);
+            for name in &names {
+                let restored = reg2.get(name).expect("restored session");
+                prop_assert_eq!(
+                    &observe(&restored),
+                    exp.get(name).expect("expected session"),
+                    "cut {}: restored state of {} (prefix {})",
+                    cut, name, k
+                );
+            }
+        }
+        prop_assert_eq!(prev_k, events.len(), "the full WAL replays every record");
+    }
+}

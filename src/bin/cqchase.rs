@@ -9,6 +9,7 @@
 //! cqchase eval FILE Q                   evaluate Q over the file's facts
 //! cqchase serve [--addr A] [--threads N] [--conn-workers N]
 //!               [--cache-capacity N] [--plan-cache-capacity N]
+//!               [--data-dir DIR] [--wal-rotate-bytes N]
 //!                                       run the containment/eval server
 //! cqchase request [--addr A] JSON…|-    send protocol lines, print replies
 //! ```
@@ -19,6 +20,11 @@
 //! "Service" section — including the `update` op for live fact deltas,
 //! e.g. `cqchase request
 //! '{"op":"update","session":"s","insert":[["R",[1,2]]]}'`.
+//!
+//! With `--data-dir`, the server is crash-safe: sessions and updates
+//! are write-ahead logged (fsync before acknowledgement), snapshots
+//! rotate the WAL, and a restart restores the whole registry — see the
+//! README "Durability" section.
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -194,6 +200,14 @@ fn cmd_serve(opts: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--plan-cache-capacity needs an integer".to_string())?
             }
+            "--data-dir" => serve.data_dir = Some(next("--data-dir")?.into()),
+            "--wal-rotate-bytes" => {
+                serve.wal_rotate_bytes = Some(
+                    next("--wal-rotate-bytes")?
+                        .parse()
+                        .map_err(|_| "--wal-rotate-bytes needs an integer".to_string())?,
+                )
+            }
             other => return Err(format!("unknown serve option {other}")),
         }
     }
@@ -203,6 +217,22 @@ fn cmd_serve(opts: &[String]) -> Result<(), String> {
         "  batch threads: {}   connection workers: {}   semantic cache: {} entries/session",
         serve.batch_threads, serve.conn_workers, serve.sem_cache_capacity
     );
+    if let Some(report) = server.recovery_report() {
+        let dir = serve.data_dir.as_deref().unwrap_or_else(|| "?".as_ref());
+        if report.fresh {
+            println!("  durability: fresh data dir {}", dir.display());
+        } else {
+            println!(
+                "  durability: restored {} session(s) + {} WAL record(s) from {}",
+                report.snapshot_sessions,
+                report.wal_records_replayed,
+                dir.display()
+            );
+        }
+        if let Some(tail) = &report.torn_tail {
+            println!("  durability: {tail}");
+        }
+    }
     server.run().map_err(|e| format!("server error: {e}"))
 }
 
@@ -260,7 +290,7 @@ fn serde_json_reply_ok(line: &str) -> Option<bool> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cqchase check FILE\n  cqchase chase FILE Q [--levels N] [--mode r|o] [--dot]\n  cqchase contain FILE Q QP\n  cqchase equiv FILE Q QP\n  cqchase minimize FILE Q\n  cqchase eval FILE Q\n  cqchase serve [--addr HOST:PORT] [--threads N] [--conn-workers N] [--cache-capacity N] [--plan-cache-capacity N]\n  cqchase request [--addr HOST:PORT] JSON...|-"
+        "usage:\n  cqchase check FILE\n  cqchase chase FILE Q [--levels N] [--mode r|o] [--dot]\n  cqchase contain FILE Q QP\n  cqchase equiv FILE Q QP\n  cqchase minimize FILE Q\n  cqchase eval FILE Q\n  cqchase serve [--addr HOST:PORT] [--threads N] [--conn-workers N] [--cache-capacity N] [--plan-cache-capacity N] [--data-dir DIR] [--wal-rotate-bytes N]\n  cqchase request [--addr HOST:PORT] JSON...|-"
     );
     ExitCode::from(2)
 }
