@@ -4,10 +4,16 @@
 //! u32 LE format version — followed by zero or more frames. A frame is
 //! an 8-byte record header (u32 LE payload length, u32 LE CRC32 of the
 //! payload) followed by the payload bytes. The CRC covers only the
-//! payload; a length field corrupted into nonsense is caught either by
-//! the CRC of whatever bytes it selects or by running off the end of
-//! the file — both classified as a torn tail when at the end, and as
-//! hard corruption by callers that require a complete file (snapshots).
+//! payload.
+//!
+//! [`read_frame`] distinguishes two kinds of invalid frame. A crash
+//! mid-append can only leave a *prefix* of one valid frame at the
+//! physical end of the file, so damage consistent with that — a
+//! truncated header, a truncated payload, or a bad-CRC frame that is
+//! the file's last — is [`Frame::Torn`]. Any invalid frame *followed by
+//! more bytes* (a complete frame whose CRC fails, or a length field no
+//! writer produces) cannot be a torn append and is [`Frame::Corrupt`]:
+//! bit rot, not a crash.
 
 use crate::crc::crc32;
 
@@ -22,8 +28,12 @@ pub const FILE_HEADER_LEN: usize = 12;
 /// Bytes in a record header: payload length + payload CRC.
 pub const RECORD_HEADER_LEN: usize = 8;
 
-/// Sanity cap on a single frame's payload (64 MiB). A length beyond
-/// this is treated as corruption rather than a gigantic allocation.
+/// Cap on a single frame's payload (64 MiB), enforced on **both**
+/// sides: writers refuse to frame a larger payload (see
+/// [`Store::log`](crate::Store::log) /
+/// [`Store::install_snapshot`](crate::Store::install_snapshot)), so a
+/// stored length beyond it can only be corruption — the reader rejects
+/// it rather than attempting a gigantic allocation.
 pub const MAX_PAYLOAD: u32 = 64 << 20;
 
 /// The 12-byte header for a file of the given kind.
@@ -67,7 +77,18 @@ pub fn check_header(buf: &[u8], magic: &[u8; 8]) -> Result<usize, (u64, String)>
 }
 
 /// Wraps a payload in a frame: length + CRC header, then the payload.
+///
+/// Panics when the payload exceeds [`MAX_PAYLOAD`] — callers must
+/// reject oversized payloads with a proper error *before* framing (the
+/// store does), since a frame the reader refuses would make the file
+/// permanently unbootable.
 pub fn frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD as usize,
+        "frame payload of {} bytes exceeds MAX_PAYLOAD ({MAX_PAYLOAD}); \
+         callers must reject oversized payloads before framing",
+        payload.len()
+    );
     let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -87,11 +108,24 @@ pub enum Frame<'a> {
     },
     /// Clean end of file: `offset` was exactly the buffer length.
     End,
-    /// An invalid record — truncated header, truncated payload, absurd
-    /// length, or CRC mismatch. At the physical end of a WAL this is a
-    /// torn tail; anywhere a complete file is required it is corruption.
+    /// An invalid frame consistent with a crash mid-append: a truncated
+    /// header, a truncated payload, or a bad-CRC frame that reaches the
+    /// physical end of the buffer. WAL recovery truncates it away;
+    /// callers that require a complete file (snapshots) treat it as
+    /// corruption.
     Torn {
         /// Byte offset of the bad frame (truncate the file here).
+        offset: u64,
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
+    /// An invalid frame that *cannot* be a torn append — a complete
+    /// frame whose CRC fails with more bytes after it, or a length no
+    /// writer produces. Always hard corruption, even in a WAL: the
+    /// records after it may be acknowledged, so truncating here would
+    /// silently lose durable data.
+    Corrupt {
+        /// Byte offset of the bad frame.
         offset: u64,
         /// Human-readable description of what was wrong.
         reason: String,
@@ -115,7 +149,10 @@ pub fn read_frame(buf: &[u8], offset: usize) -> Frame<'_> {
     let len = u32::from_le_bytes(buf[offset..offset + 4].try_into().expect("4 bytes"));
     let expect_crc = u32::from_le_bytes(buf[offset + 4..offset + 8].try_into().expect("4 bytes"));
     if len > MAX_PAYLOAD {
-        return Frame::Torn {
+        // The header's length bytes are fully present, and no writer
+        // frames a payload past the cap — a torn append leaves a prefix
+        // of a *valid* frame, so this length is corrupt, full stop.
+        return Frame::Corrupt {
             offset: offset as u64,
             reason: format!("record length {len} exceeds cap {MAX_PAYLOAD}"),
         };
@@ -134,11 +171,22 @@ pub fn read_frame(buf: &[u8], offset: usize) -> Frame<'_> {
     let payload = &buf[start..end];
     let actual = crc32(payload);
     if actual != expect_crc {
-        return Frame::Torn {
-            offset: offset as u64,
-            reason: format!(
-                "record crc mismatch (stored {expect_crc:#010x}, computed {actual:#010x})"
-            ),
+        let reason = format!(
+            "record crc mismatch (stored {expect_crc:#010x}, computed {actual:#010x})"
+        );
+        // A bad CRC on the file's last frame is the torn-append
+        // signature (the payload bytes never all hit the disk); a bad
+        // CRC with frames after it is mid-file bit rot.
+        return if end == buf.len() {
+            Frame::Torn {
+                offset: offset as u64,
+                reason,
+            }
+        } else {
+            Frame::Corrupt {
+                offset: offset as u64,
+                reason,
+            }
         };
     }
     Frame::Record { payload, next: end }
@@ -188,7 +236,9 @@ mod tests {
                     off = next;
                 }
                 Frame::End => break,
-                Frame::Torn { offset, reason } => panic!("torn at {offset}: {reason}"),
+                Frame::Torn { offset, reason } | Frame::Corrupt { offset, reason } => {
+                    panic!("bad frame at {offset}: {reason}")
+                }
             }
         }
         assert_eq!(
@@ -221,12 +271,15 @@ mod tests {
                 Frame::End => assert_eq!(cut, second_start),
                 Frame::Torn { offset, .. } => assert_eq!(offset, second_start as u64),
                 Frame::Record { .. } => panic!("truncated frame read as record at cut {cut}"),
+                Frame::Corrupt { reason, .. } => {
+                    panic!("truncation misread as mid-file corruption at cut {cut}: {reason}")
+                }
             }
         }
     }
 
     #[test]
-    fn bitflips_in_payload_are_torn() {
+    fn bitflips_in_last_frame_payload_are_torn() {
         let mut buf = file_header(WAL_MAGIC);
         buf.extend_from_slice(&frame(b"payload under test"));
         for byte in FILE_HEADER_LEN + RECORD_HEADER_LEN..buf.len() {
@@ -243,13 +296,43 @@ mod tests {
     }
 
     #[test]
-    fn absurd_length_is_torn_not_alloc() {
+    fn bitflips_before_the_last_frame_are_corrupt_not_torn() {
+        // A complete bad-CRC frame with bytes after it cannot be a torn
+        // append: classifying it torn would truncate away the durable
+        // record behind it.
+        let mut buf = file_header(WAL_MAGIC);
+        buf.extend_from_slice(&frame(b"first payload"));
+        buf.extend_from_slice(&frame(b"second payload"));
+        let second_start = buf.len() - (RECORD_HEADER_LEN + b"second payload".len());
+        for byte in FILE_HEADER_LEN + RECORD_HEADER_LEN..second_start {
+            let mut bad = buf.clone();
+            bad[byte] ^= 0x10;
+            match read_frame(&bad, FILE_HEADER_LEN) {
+                Frame::Corrupt { offset, reason } => {
+                    assert_eq!(offset, FILE_HEADER_LEN as u64);
+                    assert!(reason.contains("crc mismatch"), "{reason}");
+                }
+                other => panic!("flip at {byte} misclassified: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_length_is_corrupt_not_alloc() {
+        // No writer frames past MAX_PAYLOAD, so a stored length beyond
+        // it is bit rot even at the tail — and never an allocation.
         let mut buf = file_header(WAL_MAGIC);
         buf.extend_from_slice(&(u32::MAX).to_le_bytes());
         buf.extend_from_slice(&0u32.to_le_bytes());
         match read_frame(&buf, FILE_HEADER_LEN) {
-            Frame::Torn { reason, .. } => assert!(reason.contains("exceeds cap"), "{reason}"),
+            Frame::Corrupt { reason, .. } => assert!(reason.contains("exceeds cap"), "{reason}"),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_PAYLOAD")]
+    fn framing_an_oversized_payload_panics() {
+        let _ = frame(&vec![0u8; MAX_PAYLOAD as usize + 1]);
     }
 }

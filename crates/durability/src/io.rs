@@ -126,6 +126,10 @@ pub struct MemIo {
     /// When set, the next `append` writes only this many bytes of its
     /// data and returns an error (a torn write), then the knob resets.
     short_append: Mutex<Option<usize>>,
+    /// When set, this many further `write_atomic` calls succeed and the
+    /// one after fails without writing (then the knob resets) — models
+    /// ENOSPC/crash at a chosen point in a multi-file protocol.
+    write_atomic_failure: Mutex<Option<u64>>,
     /// Successful fsync calls (observability for tests).
     fsyncs: AtomicU64,
 }
@@ -150,6 +154,12 @@ impl MemIo {
     /// first `keep` bytes of its data and returns an error.
     pub fn arm_short_append(&self, keep: usize) {
         *self.short_append.lock().expect("memio lock") = Some(keep);
+    }
+
+    /// Arms a one-shot `write_atomic` failure: the next `after` calls
+    /// succeed, the one after that fails leaving its target untouched.
+    pub fn arm_write_atomic_failure(&self, after: u64) {
+        *self.write_atomic_failure.lock().expect("memio lock") = Some(after);
     }
 
     /// A copy of a file's bytes (`None` when absent).
@@ -189,6 +199,18 @@ impl StorageIo for MemIo {
     }
 
     fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut armed = self.write_atomic_failure.lock().expect("memio lock");
+        match armed.take() {
+            Some(0) => {
+                return Err(io::Error::other(format!(
+                    "injected write_atomic failure ({})",
+                    path.display()
+                )))
+            }
+            Some(n) => *armed = Some(n - 1),
+            None => {}
+        }
+        drop(armed);
         self.files
             .lock()
             .expect("memio lock")

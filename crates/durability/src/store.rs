@@ -9,16 +9,25 @@
 //!   frame boundary; if even the rollback fails the WAL is *poisoned*
 //!   (every further `log` errors) until a snapshot rotation replaces it
 //!   with a fresh file.
-//! * Snapshots are written atomically (temp + rename via
-//!   [`StorageIo::write_atomic`]): a crash mid-snapshot leaves the
-//!   previous `snap-N`/`wal-N` pair authoritative.
+//! * Rotation commits on the snapshot rename. The fresh `wal-(N+1)` is
+//!   created *first*; only then is `snap-(N+1)` renamed into place
+//!   (atomically, temp + rename via [`StorageIo::write_atomic`]). A
+//!   crash or error between the two leaves a stray `wal-(N+1)` that
+//!   recovery never looks at — the old pair stays authoritative and
+//!   keeps accepting appends, so no acknowledged record is ever
+//!   stranded in a WAL the next boot ignores. Conversely, once
+//!   `snap-N` exists its `wal-N` must too: a missing WAL for the
+//!   highest snapshot is hard corruption, not a fresh start.
+//! * No write ever produces a file recovery refuses: a record or
+//!   snapshot session whose payload exceeds the frame cap is rejected
+//!   up front with [`StoreError::TooLarge`] instead of being framed.
 //! * Recovery tolerates exactly one kind of damage — a torn tail at the
 //!   physical end of the WAL, the signature of a crash mid-append. It
 //!   is truncated away and counted. Everything else (bad magic, bad
-//!   version, a CRC-valid record that fails to decode, any damage to
-//!   the snapshot) is a hard [`StoreError::Corrupt`] naming the file
-//!   and byte offset: boot fails loudly instead of serving a silently
-//!   emptier registry.
+//!   version, a CRC-valid record that fails to decode, a bad frame
+//!   *before* the physical tail, any damage to the snapshot) is a hard
+//!   [`StoreError::Corrupt`] naming the file and byte offset: boot
+//!   fails loudly instead of serving a silently emptier registry.
 
 use std::fmt;
 use std::io;
@@ -27,7 +36,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::frame::{
-    check_header, file_header, frame, read_frame, Frame, FILE_HEADER_LEN, SNAP_MAGIC, WAL_MAGIC,
+    check_header, file_header, frame, read_frame, Frame, FILE_HEADER_LEN, MAX_PAYLOAD, SNAP_MAGIC,
+    WAL_MAGIC,
 };
 use crate::io::StorageIo;
 use crate::record::{SessionRecord, WalRecord};
@@ -53,6 +63,15 @@ pub enum StoreError {
     /// The WAL is poisoned: a previous append failed *and* the rollback
     /// truncate failed, so the tail is unknown. Cleared by rotation.
     Poisoned(String),
+    /// A record (or snapshot session) payload exceeds the frame size
+    /// cap. Refused at write time: framing it would produce a file
+    /// recovery permanently refuses to read.
+    TooLarge {
+        /// The payload's encoded size in bytes.
+        len: usize,
+        /// The cap ([`crate::frame::MAX_PAYLOAD`]).
+        cap: u32,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -70,6 +89,12 @@ impl fmt::Display for StoreError {
                 write!(
                     f,
                     "wal poisoned (rollback failed: {reason}); snapshot rotation required"
+                )
+            }
+            StoreError::TooLarge { len, cap } => {
+                write!(
+                    f,
+                    "record payload of {len} bytes exceeds the {cap}-byte frame cap"
                 )
             }
         }
@@ -258,20 +283,31 @@ impl Store {
     }
 
     fn write_empty_pair(&self, seq: u64) -> Result<(), StoreError> {
-        self.io
-            .write_atomic(&self.snap_path(seq), &Store::encode_snapshot(&[]))?;
+        // WAL before snapshot, same as rotation: a snapshot must never
+        // exist without its WAL (recovery treats that as corruption).
         self.io
             .write_atomic(&self.wal_path(seq), &file_header(WAL_MAGIC))?;
+        self.io.write_atomic(
+            &self.snap_path(seq),
+            &Store::encode_snapshot(&[]).expect("empty snapshot is under the cap"),
+        )?;
         Ok(())
     }
 
-    fn encode_snapshot(sessions: &[SessionRecord]) -> Vec<u8> {
+    fn encode_snapshot(sessions: &[SessionRecord]) -> Result<Vec<u8>, StoreError> {
         let mut out = file_header(SNAP_MAGIC);
         out.extend_from_slice(&(sessions.len() as u32).to_le_bytes());
         for s in sessions {
-            out.extend_from_slice(&frame(&s.encode()));
+            let payload = s.encode();
+            if payload.len() > MAX_PAYLOAD as usize {
+                return Err(StoreError::TooLarge {
+                    len: payload.len(),
+                    cap: MAX_PAYLOAD,
+                });
+            }
+            out.extend_from_slice(&frame(&payload));
         }
-        out
+        Ok(out)
     }
 
     fn corrupt(&self, path: &Path, offset: u64, reason: String) -> StoreError {
@@ -308,7 +344,7 @@ impl Store {
                         format!("snapshot ends after {i} of {count} session records"),
                     ));
                 }
-                Frame::Torn { offset, reason } => {
+                Frame::Torn { offset, reason } | Frame::Corrupt { offset, reason } => {
                     return Err(self.corrupt(&path, offset, reason));
                 }
             }
@@ -332,11 +368,19 @@ impl Store {
         let path = self.wal_path(seq);
         let buf = match self.io.read(&path) {
             Ok(buf) => buf,
-            // A crash between snapshot rename and WAL creation leaves
-            // the pair incomplete: the snapshot alone is authoritative.
+            // The writer creates `wal-N` strictly before the `snap-N`
+            // rename that commits the pair, so a snapshot without its
+            // WAL can only mean external damage — and the missing WAL
+            // may have held acknowledged records. Fail loudly.
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                self.io.write_atomic(&path, &file_header(WAL_MAGIC))?;
-                return Ok((Vec::new(), None));
+                return Err(self.corrupt(
+                    &path,
+                    0,
+                    format!(
+                        "wal missing for snapshot {} (acknowledged records may be lost)",
+                        self.snap_path(seq).display()
+                    ),
+                ));
             }
             Err(e) => return Err(e.into()),
         };
@@ -356,6 +400,12 @@ impl Store {
                     off = next;
                 }
                 Frame::End => return Ok((records, None)),
+                // A bad frame *before* the physical tail (mid-file bit
+                // rot) may shadow acknowledged records behind it —
+                // truncating would silently lose them, so boot fails.
+                Frame::Corrupt { offset, reason } => {
+                    return Err(self.corrupt(&path, offset, reason));
+                }
                 Frame::Torn { offset, reason } => {
                     self.io.truncate(&path, offset)?;
                     self.io.fsync(&path)?;
@@ -376,7 +426,16 @@ impl Store {
     /// durable length (or poisoned if rollback fails) and the record is
     /// NOT durable — the caller must not acknowledge the operation.
     pub fn log(&self, rec: &WalRecord) -> Result<(), StoreError> {
-        let framed = frame(&rec.encode());
+        let payload = rec.encode();
+        if payload.len() > MAX_PAYLOAD as usize {
+            // Refused up front: an oversized frame on disk would be
+            // unreadable (and `len as u32` would wrap past 4 GiB).
+            return Err(StoreError::TooLarge {
+                len: payload.len(),
+                cap: MAX_PAYLOAD,
+            });
+        }
+        let framed = frame(&payload);
         let mut state = self.state.lock().expect("store lock");
         if let Some(reason) = &state.poisoned {
             return Err(StoreError::Poisoned(reason.clone()));
@@ -417,17 +476,31 @@ impl Store {
     /// Writes a fresh snapshot holding `sessions` and starts an empty
     /// WAL under the next sequence number. On success the previous pair
     /// is removed (best-effort) and a previously poisoned WAL is healed.
+    /// On failure nothing changed: the old pair stays authoritative and
+    /// keeps accepting appends, so no acknowledged record is at risk.
     ///
     /// The caller must guarantee `sessions` reflects every record it
     /// has logged (no update may be durable in the old WAL yet missing
     /// from `sessions`, or it would be lost with the old pair).
     pub fn install_snapshot(&self, sessions: &[SessionRecord]) -> Result<(), StoreError> {
-        let bytes = Store::encode_snapshot(sessions);
+        let bytes = Store::encode_snapshot(sessions)?;
         let mut state = self.state.lock().expect("store lock");
         let next = state.seq + 1;
-        self.io.write_atomic(&self.snap_path(next), &bytes)?;
+        // Write order is the crash-safety story: the fresh WAL is
+        // created FIRST and the snapshot rename is the commit point.
+        // Recovery only ever looks at the WAL matching the highest
+        // snapshot, so a crash (or error) between the two writes leaves
+        // a stray `wal-(next)` it ignores — while `snap-(next)` first
+        // would make a boot adopt the new snapshot with an empty WAL
+        // and silently drop everything acknowledged into `wal-(old)`
+        // after the failed rotation.
         self.io
             .write_atomic(&self.wal_path(next), &file_header(WAL_MAGIC))?;
+        if let Err(e) = self.io.write_atomic(&self.snap_path(next), &bytes) {
+            // Best-effort: a stray WAL is harmless but untidy.
+            let _ = self.io.remove(&self.wal_path(next));
+            return Err(e.into());
+        }
         let old = state.seq;
         state.seq = next;
         state.durable_len = FILE_HEADER_LEN as u64;
@@ -666,15 +739,165 @@ mod tests {
     }
 
     #[test]
-    fn missing_wal_for_snapshot_seq_is_treated_as_fresh() {
-        // Crash between snap-(N+1) rename and wal-(N+1) creation.
+    fn missing_wal_for_snapshot_seq_is_corrupt() {
+        // The WAL is created before the snapshot rename commits the
+        // pair, so a snapshot without its WAL is external damage that
+        // may have taken acknowledged records with it: boot must fail.
         let io = Arc::new(MemIo::new());
         let (store, _) = Store::open(io.clone(), &dir(), DEFAULT_ROTATE_BYTES).unwrap();
         store.install_snapshot(&[sess("s1", 2)]).unwrap();
         io.remove(&dir().join("wal-1")).unwrap();
-        let (store2, rec) = Store::open(io, &dir(), DEFAULT_ROTATE_BYTES).unwrap();
-        assert_eq!(rec.sessions, vec![sess("s1", 2)]);
-        assert!(rec.wal.is_empty());
-        store2.log(&upd("s1", 1)).unwrap();
+        match Store::open(io, &dir(), DEFAULT_ROTATE_BYTES) {
+            Err(StoreError::Corrupt { file, reason, .. }) => {
+                assert_eq!(file, dir().join("wal-1"));
+                assert!(reason.contains("wal missing"), "{reason}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_rotation_keeps_old_pair_authoritative_at_every_step() {
+        // Fail rotation at each of its two write_atomic calls in turn:
+        // either way the store must stay on the old pair, keep
+        // accepting appends, and a reboot must see every acknowledged
+        // record — the exact scenario where snapshot-first ordering
+        // silently lost the tail of the old WAL.
+        for fail_after in 0..2u64 {
+            let io = Arc::new(MemIo::new());
+            let (store, _) = Store::open(io.clone(), &dir(), DEFAULT_ROTATE_BYTES).unwrap();
+            store.log(&reg("s1")).unwrap();
+            store.log(&upd("s1", 1)).unwrap();
+
+            io.arm_write_atomic_failure(fail_after);
+            assert!(
+                store.install_snapshot(&[sess("s1", 2)]).is_err(),
+                "fail_after {fail_after}"
+            );
+            assert_eq!(store.seq(), 0, "fail_after {fail_after}");
+            assert!(
+                io.dump(&dir().join("snap-1")).is_none(),
+                "fail_after {fail_after}: no new snapshot may exist"
+            );
+
+            // Acknowledged after the failed rotation, into the old WAL.
+            store.log(&upd("s1", 2)).unwrap();
+
+            let (store2, rec) = Store::open(io.clone(), &dir(), DEFAULT_ROTATE_BYTES).unwrap();
+            assert_eq!(rec.seq, 0, "fail_after {fail_after}");
+            assert_eq!(
+                rec.wal,
+                vec![reg("s1"), upd("s1", 1), upd("s1", 2)],
+                "fail_after {fail_after}: every acknowledged record survives"
+            );
+
+            // The rotation retry succeeds and carries the full state.
+            store2.install_snapshot(&[sess("s1", 3)]).unwrap();
+            let (_, rec) = Store::open(io, &dir(), DEFAULT_ROTATE_BYTES).unwrap();
+            assert_eq!(rec.seq, 1);
+            assert_eq!(rec.sessions, vec![sess("s1", 3)]);
+        }
+    }
+
+    #[test]
+    fn stray_wal_from_interrupted_rotation_is_ignored_and_overwritten() {
+        // Crash after wal-(next) creation but before the snap-(next)
+        // rename: the stray WAL must not confuse recovery, and the
+        // rotation retry must overwrite it.
+        let io = Arc::new(MemIo::new());
+        let (store, _) = Store::open(io.clone(), &dir(), DEFAULT_ROTATE_BYTES).unwrap();
+        store.log(&reg("s1")).unwrap();
+        io.set_file(&dir().join("wal-1"), file_header(WAL_MAGIC));
+
+        let (store2, rec) = Store::open(io.clone(), &dir(), DEFAULT_ROTATE_BYTES).unwrap();
+        assert_eq!(rec.seq, 0);
+        assert_eq!(rec.wal, vec![reg("s1")]);
+        store2.install_snapshot(&[sess("s1", 1)]).unwrap();
+        assert_eq!(store2.seq(), 1);
+        store2.log(&upd("s1", 4)).unwrap();
+        let (_, rec) = Store::open(io, &dir(), DEFAULT_ROTATE_BYTES).unwrap();
+        assert_eq!(rec.seq, 1);
+        assert_eq!(rec.wal, vec![upd("s1", 4)]);
+    }
+
+    #[test]
+    fn mid_wal_corruption_is_a_hard_error_not_a_torn_tail() {
+        let io = Arc::new(MemIo::new());
+        let (store, _) = Store::open(io.clone(), &dir(), DEFAULT_ROTATE_BYTES).unwrap();
+        store.log(&reg("s1")).unwrap();
+        store.log(&upd("s1", 1)).unwrap();
+        store.log(&upd("s1", 2)).unwrap();
+        let path = dir().join("wal-0");
+        let good = io.dump(&path).unwrap();
+
+        // Flip a payload byte in the FIRST record: two acknowledged
+        // records sit after it, so truncating there would lose them —
+        // this must be a hard Corrupt, not a "benign" torn tail.
+        let mut bad = good.clone();
+        bad[FILE_HEADER_LEN + crate::frame::RECORD_HEADER_LEN] ^= 0x01;
+        io.set_file(&path, bad);
+        match Store::open(io.clone(), &dir(), DEFAULT_ROTATE_BYTES) {
+            Err(StoreError::Corrupt {
+                file,
+                offset,
+                reason,
+            }) => {
+                assert_eq!(file, path);
+                assert_eq!(offset, FILE_HEADER_LEN as u64);
+                assert!(reason.contains("crc mismatch"), "{reason}");
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // The same flip in the LAST record is the torn-append
+        // signature: recovery truncates it and keeps the prefix.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        io.set_file(&path, bad);
+        let (_, rec) = Store::open(io, &dir(), DEFAULT_ROTATE_BYTES).unwrap();
+        assert_eq!(rec.wal, vec![reg("s1"), upd("s1", 1)]);
+        assert!(rec.torn_tail.is_some());
+    }
+
+    #[test]
+    fn oversized_payloads_are_refused_at_write_time() {
+        let io = Arc::new(MemIo::new());
+        let (store, _) = Store::open(io.clone(), &dir(), DEFAULT_ROTATE_BYTES).unwrap();
+        store.log(&reg("s1")).unwrap();
+        let durable = store.wal_len();
+
+        // A WAL record past the frame cap: refused, nothing written.
+        let huge = WalRecord::Register {
+            name: "big".into(),
+            program: "x".repeat(MAX_PAYLOAD as usize + 1),
+        };
+        match store.log(&huge) {
+            Err(StoreError::TooLarge { len, cap }) => {
+                assert!(len > cap as usize);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(store.wal_len(), durable);
+
+        // A snapshot session past the cap: refused, old pair intact.
+        let big_sess = SessionRecord {
+            name: "big".into(),
+            schema: "x".repeat(MAX_PAYLOAD as usize + 1),
+            epoch: 0,
+            relations: vec![],
+        };
+        match store.install_snapshot(&[big_sess]) {
+            Err(StoreError::TooLarge { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(store.seq(), 0);
+        assert!(io.dump(&dir().join("snap-1")).is_none());
+        assert!(io.dump(&dir().join("wal-1")).is_none());
+
+        // The store stays healthy: logging and reboot still work.
+        store.log(&upd("s1", 1)).unwrap();
+        let (_, rec) = Store::open(io, &dir(), DEFAULT_ROTATE_BYTES).unwrap();
+        assert_eq!(rec.wal, vec![reg("s1"), upd("s1", 1)]);
     }
 }

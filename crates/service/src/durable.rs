@@ -3,7 +3,7 @@
 //! acknowledgement protocol — **nothing is reported done until its WAL
 //! record is fsync'd**.
 //!
-//! Ordering guarantees, all enforced under one `gate` lock:
+//! Ordering guarantees, all enforced under one `gate` RwLock:
 //!
 //! * *register-before-update*: a session's `Register` record is durable
 //!   before any of its `Update` records can be logged, so replay never
@@ -18,6 +18,16 @@
 //!   no log/apply in flight, so rotation can delete the old WAL without
 //!   losing an acknowledged update that missed the snapshot.
 //!
+//! Registrations and updates hold the gate **shared** — independent
+//! sessions' mutations overlap (their WAL appends still serialize on
+//! the store's internal lock, but validation and the in-memory apply
+//! run concurrently); only snapshot rotation takes it exclusively, as
+//! the one operation that must see no log/apply in flight. Correctness
+//! of shared-mode updates rests on a caller contract: updates to the
+//! *same* session must be submitted serially (the admission queue's
+//! single batch leader guarantees this), so WAL order and apply order
+//! agree per session — records of different sessions commute on replay.
+//!
 //! The gate serializes mutation *durability*, not reads: `check`/`eval`
 //! traffic never touches it, and the per-session coalescing of the
 //! admission queue still batches adjacent updates into one WAL record.
@@ -25,7 +35,7 @@
 use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use cqchase_durability::{
     Recovered, SessionRecord, Store, StoreError, UpdateDelta, WalRecord, DEFAULT_ROTATE_BYTES,
@@ -62,9 +72,10 @@ pub struct Durability {
     /// `Register` record). `log_update` refuses anything else, which is
     /// what makes replay order register-before-update airtight.
     logged: Mutex<HashSet<String>>,
-    /// Serializes registration, durable updates, and snapshotting (see
-    /// the module docs for why all three must exclude each other).
-    gate: Mutex<()>,
+    /// Excludes snapshotting (exclusive) from in-flight registrations
+    /// and durable updates (shared) — see the module docs for the
+    /// ordering story and the per-session serialization contract.
+    gate: RwLock<()>,
 }
 
 /// Renders the session's immutable schema — catalog, Σ, queries, **no**
@@ -230,7 +241,7 @@ impl Durability {
             sem_cache_capacity,
             plan_cache_capacity,
             logged: Mutex::new(logged),
-            gate: Mutex::new(()),
+            gate: RwLock::new(()),
         };
         let report = RecoveryReport {
             snapshot_sessions,
@@ -256,7 +267,7 @@ impl Durability {
             self.sem_cache_capacity,
             self.plan_cache_capacity,
         )?;
-        let _gate = self.gate.lock().expect("durability gate");
+        let _gate = self.gate.read().expect("durability gate");
         let arc = self.registry.insert_new(session)?;
         let record = WalRecord::Register {
             name: name.to_owned(),
@@ -281,12 +292,18 @@ impl Durability {
     /// handed back describes a change a restart will reproduce. When
     /// the record cannot be made durable, every valid delta reports the
     /// log error and **nothing** is applied.
+    ///
+    /// Callers must not invoke this concurrently for the **same**
+    /// session (the admission queue's single batch leader guarantees
+    /// this): concurrent same-session batches could log in one order
+    /// and apply in another, making replay diverge from the live
+    /// session. Different sessions may update concurrently.
     pub fn apply_updates(
         &self,
         session: &Session,
         deltas: &[(Vec<FactSpec>, Vec<FactSpec>)],
     ) -> Vec<Result<UpdateSummary, String>> {
-        let gate = self.gate.lock().expect("durability gate");
+        let gate = self.gate.read().expect("durability gate");
         if !self
             .logged
             .lock()
@@ -343,7 +360,7 @@ impl Durability {
     /// Forces a snapshot of every registered session, rotating the WAL.
     /// Returns `(sequence number, sessions snapshotted)`.
     pub fn persist(&self) -> Result<(u64, usize), String> {
-        let _gate = self.gate.lock().expect("durability gate");
+        let _gate = self.gate.write().expect("durability gate");
         self.persist_locked()
     }
 
@@ -365,7 +382,7 @@ impl Durability {
     /// the next mutation retries on failure.
     fn maybe_rotate(&self) {
         if self.store.should_rotate() {
-            let _gate = self.gate.lock().expect("durability gate");
+            let _gate = self.gate.write().expect("durability gate");
             if self.store.should_rotate() {
                 let _ = self.persist_locked();
             }
