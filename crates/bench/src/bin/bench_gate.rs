@@ -34,6 +34,7 @@
 use cqchase_bench::churn_workload::{
     churn_workload, measure_barrier_speedup, measure_delete_flatness,
 };
+use cqchase_bench::obs_workload::measure_obs_median;
 use cqchase_bench::recovery_workload::{measure_restore, measure_wal_overhead, recovery_workload};
 use cqchase_bench::service_workload::service_workload;
 use cqchase_bench::update_workload::{measure_update, update_workload, ROUNDS};
@@ -328,6 +329,47 @@ fn measure_service_metrics(doc: &Value, out: &mut Vec<Metric>) {
     }
 }
 
+/// Re-measures the `bench_obs` tracing-cost ratio by replaying the
+/// canonical service sequence against a tracing-off and a tracing-on
+/// server (see `obs_workload`).
+///
+/// The **efficiency** (on/off throughput) is the gated metric: a
+/// same-process dimensionless ratio. Its floor is just under the
+/// recorder's strict 1/1.25 budget — the recorder (median of 3)
+/// enforces the budget where the baseline is minted, the gate's single
+/// re-measurement keeps a little jitter headroom. The off-side
+/// throughput relative to the committed `bench_service` number is
+/// absolute (describes the recording machine) and stays informational.
+fn measure_obs_metrics(doc: &Value, out: &mut Vec<Metric>) {
+    let m = measure_obs_median(1);
+    if let Some(b) = doc["tracing_on_efficiency"].as_f64() {
+        out.push(Metric {
+            name: "obs.tracing_on_efficiency",
+            baseline: b,
+            current: m.efficiency(),
+            gated: true,
+            // 0.75 ≈ the 1/1.25 tracing budget with ~6% jitter headroom
+            // for a single CI measurement.
+            min_floor: 0.75,
+        });
+    }
+    if let Some(pr7) =
+        load_baseline("bench_service.json").and_then(|s| s["requests_per_sec_1c"].as_f64())
+    {
+        if let Some(b) = doc["tracing_off_vs_service"].as_f64() {
+            out.push(Metric {
+                name: "obs.tracing_off_vs_service",
+                baseline: b,
+                current: m.off_rps / pr7.max(1e-9),
+                // Absolute throughput ratio against the recording
+                // machine's service baseline: informational.
+                gated: false,
+                min_floor: 0.0,
+            });
+        }
+    }
+}
+
 /// Re-measures the `bench_update` ratio by replaying the canonical
 /// delta script (same seed, same rounds as the baseline recorder)
 /// through both the incremental and the teardown/re-register path.
@@ -458,6 +500,10 @@ fn run(check: bool) -> i32 {
     match load_baseline("bench_recovery.json") {
         Some(doc) => measure_recovery_metrics(&doc, &mut metrics),
         None => println!("warning: baselines/bench_recovery.json missing or unparsable"),
+    }
+    match load_baseline("bench_obs.json") {
+        Some(doc) => measure_obs_metrics(&doc, &mut metrics),
+        None => println!("warning: baselines/bench_obs.json missing or unparsable"),
     }
 
     let mut failures = 0;

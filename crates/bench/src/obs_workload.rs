@@ -1,0 +1,88 @@
+//! The observability-overhead workload: the canonical `bench_service`
+//! request sequence replayed against two server configurations —
+//! tracing **off** (the default; the span recorder is allocated but
+//! disabled, so the hot path pays only an atomic flag load) and tracing
+//! **on** with an unreachable slow-query threshold (every request gets
+//! a trace id, admission-wait / cache / compile / join / fsync spans,
+//! and a slow-log threshold comparison, but nothing is emitted).
+//!
+//! The ratio `on/off` is the dimensionless cost of full tracing; the
+//! absolute off-side throughput is comparable to `bench_service`'s
+//! `requests_per_sec_1c` (same seed, same two-pass check sequence, same
+//! machine at recording time), which is how the "tracing off must be
+//! free" budget is asserted.
+
+use cqchase_service::{Client, ServeOptions, Server};
+
+use crate::service_workload::{service_workload, ServiceWorkload};
+
+/// One measured pair of throughputs over the canonical sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsMeasurement {
+    /// Requests/sec with tracing disabled (the default server).
+    pub off_rps: f64,
+    /// Requests/sec with tracing enabled on every request.
+    pub on_rps: f64,
+}
+
+impl ObsMeasurement {
+    /// `on/off`: the fraction of untraced throughput kept with tracing
+    /// on (1.0 = free; the gate floors this, and the recorder asserts
+    /// the 1.25x budget, i.e. ≥ 0.8).
+    pub fn efficiency(&self) -> f64 {
+        self.on_rps / self.off_rps.max(1e-9)
+    }
+}
+
+fn serve_opts(traced: bool) -> ServeOptions {
+    ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        sem_cache_capacity: 4096,
+        // An unreachable threshold: the slow-query comparison runs per
+        // request, the emission never does — the steady traced state.
+        slow_query_us: if traced { Some(u64::MAX) } else { None },
+        trace: traced,
+        ..Default::default()
+    }
+}
+
+/// Replays the canonical two-pass check sequence (cold then warm, same
+/// seed and order as `bench_service`) against a fresh server and
+/// returns its single-client throughput.
+fn run_sequence(w: &ServiceWorkload, traced: bool) -> f64 {
+    let (addr, handle) = Server::spawn(serve_opts(traced)).expect("spawn service");
+    let mut client = Client::connect(addr).expect("connect");
+    client.register("bench", &w.program_src).expect("register");
+    let t0 = std::time::Instant::now();
+    let mut sent = 0usize;
+    for _pass in 0..2 {
+        for &(q, qp) in &w.batch.pairs {
+            client
+                .check("bench", &w.names[q], &w.names[qp])
+                .expect("check");
+            sent += 1;
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("server run");
+    sent as f64 / elapsed.max(1e-9)
+}
+
+/// Measures both configurations back-to-back on one workload build.
+pub fn measure_obs(w: &ServiceWorkload) -> ObsMeasurement {
+    ObsMeasurement {
+        off_rps: run_sequence(w, false),
+        on_rps: run_sequence(w, true),
+    }
+}
+
+/// Builds the workload and returns the median of `runs` measurements
+/// (each an off/on pair), keyed by efficiency — medianing the ratio,
+/// not the sides, so one noisy run cannot split the pair.
+pub fn measure_obs_median(runs: usize) -> ObsMeasurement {
+    let w = service_workload();
+    let mut all: Vec<ObsMeasurement> = (0..runs.max(1)).map(|_| measure_obs(&w)).collect();
+    all.sort_by(|a, b| a.efficiency().total_cmp(&b.efficiency()));
+    all[all.len() / 2]
+}

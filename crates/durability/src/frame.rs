@@ -171,9 +171,8 @@ pub fn read_frame(buf: &[u8], offset: usize) -> Frame<'_> {
     let payload = &buf[start..end];
     let actual = crc32(payload);
     if actual != expect_crc {
-        let reason = format!(
-            "record crc mismatch (stored {expect_crc:#010x}, computed {actual:#010x})"
-        );
+        let reason =
+            format!("record crc mismatch (stored {expect_crc:#010x}, computed {actual:#010x})");
         // A bad CRC on the file's last frame is the torn-append
         // signature (the payload bytes never all hit the disk); a bad
         // CRC with frames after it is mid-file bit rot.

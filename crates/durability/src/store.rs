@@ -109,6 +109,17 @@ impl From<io::Error> for StoreError {
     }
 }
 
+/// Buckets in the fsync latency histogram: power-of-two microseconds,
+/// same convention as the service latency histograms (bucket 0 holds
+/// only 0 µs, bucket *i* ≥ 1 covers `[2^(i-1), 2^i)` µs, the last
+/// bucket absorbs everything slower).
+pub const FSYNC_HIST_BUCKETS: usize = 20;
+
+/// The histogram bucket holding a `us` fsync sample.
+fn fsync_bucket(us: u64) -> usize {
+    ((u64::BITS - us.leading_zeros()) as usize).min(FSYNC_HIST_BUCKETS - 1)
+}
+
 /// Monotonic counters exposed through the service `stats` op.
 #[derive(Debug, Default)]
 pub struct StoreStats {
@@ -116,6 +127,8 @@ pub struct StoreStats {
     wal_records: AtomicU64,
     wal_bytes: AtomicU64,
     fsyncs: AtomicU64,
+    fsync_total_us: AtomicU64,
+    fsync_hist: [AtomicU64; FSYNC_HIST_BUCKETS],
     recoveries: AtomicU64,
     torn_tails_discarded: AtomicU64,
 }
@@ -136,6 +149,26 @@ impl StoreStats {
     /// Successful fsync calls issued by the store.
     pub fn fsyncs(&self) -> u64 {
         self.fsyncs.load(Ordering::Relaxed)
+    }
+    /// Cumulative wall time spent in successful fsync calls, µs.
+    pub fn fsync_total_us(&self) -> u64 {
+        self.fsync_total_us.load(Ordering::Relaxed)
+    }
+    /// Power-of-two fsync latency histogram (see [`FSYNC_HIST_BUCKETS`]).
+    pub fn fsync_histogram(&self) -> [u64; FSYNC_HIST_BUCKETS] {
+        let mut out = [0u64; FSYNC_HIST_BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.fsync_hist.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+    /// Records one successful fsync: bumps the call counter and lands
+    /// the latency in the histogram.
+    fn record_fsync(&self, elapsed: std::time::Duration) {
+        let us = elapsed.as_micros() as u64;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.fsync_total_us.fetch_add(us, Ordering::Relaxed);
+        self.fsync_hist[fsync_bucket(us)].fetch_add(1, Ordering::Relaxed);
     }
     /// Boots that restored existing on-disk state.
     pub fn recoveries(&self) -> u64 {
@@ -408,8 +441,9 @@ impl Store {
                 }
                 Frame::Torn { offset, reason } => {
                     self.io.truncate(&path, offset)?;
+                    let t0 = std::time::Instant::now();
                     self.io.fsync(&path)?;
-                    self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    self.stats.record_fsync(t0.elapsed());
                     let tail = format!(
                         "torn wal tail at byte {offset} of {}: {reason} ({} bytes discarded)",
                         path.display(),
@@ -441,10 +475,13 @@ impl Store {
             return Err(StoreError::Poisoned(reason.clone()));
         }
         let path = self.wal_path(state.seq);
-        let result = self
-            .io
-            .append(&path, &framed)
-            .and_then(|()| self.io.fsync(&path));
+        let mut fsync_elapsed = std::time::Duration::ZERO;
+        let result = self.io.append(&path, &framed).and_then(|()| {
+            let t0 = std::time::Instant::now();
+            let r = self.io.fsync(&path);
+            fsync_elapsed = t0.elapsed();
+            r
+        });
         match result {
             Ok(()) => {
                 state.durable_len += framed.len() as u64;
@@ -452,7 +489,7 @@ impl Store {
                 self.stats
                     .wal_bytes
                     .fetch_add(framed.len() as u64, Ordering::Relaxed);
-                self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_fsync(fsync_elapsed);
                 Ok(())
             }
             Err(e) => {
@@ -602,6 +639,29 @@ mod tests {
             let (_, rec3) = Store::open(io2, &dir(), DEFAULT_ROTATE_BYTES).unwrap();
             assert_eq!(rec3.wal.last(), Some(&upd("s1", 99)), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn fsync_histogram_counts_every_successful_fsync() {
+        let io = Arc::new(MemIo::new());
+        let (store, _) = Store::open(io.clone(), &dir(), DEFAULT_ROTATE_BYTES).unwrap();
+        store.log(&reg("s1")).unwrap();
+        store.log(&upd("s1", 1)).unwrap();
+        io.set_fail_fsync(true);
+        assert!(store.log(&upd("s1", 2)).is_err());
+        io.set_fail_fsync(false);
+        store.log(&upd("s1", 3)).unwrap();
+
+        let hist = store.stats().fsync_histogram();
+        let total: u64 = hist.iter().sum();
+        // Only the three successful appends land in the histogram.
+        assert_eq!(total, 3);
+        assert_eq!(total, store.stats().fsyncs());
+        // Bucket arithmetic matches the shared pow-2 convention.
+        assert_eq!(fsync_bucket(0), 0);
+        assert_eq!(fsync_bucket(1), 1);
+        assert_eq!(fsync_bucket(1024), 11);
+        assert_eq!(fsync_bucket(u64::MAX), FSYNC_HIST_BUCKETS - 1);
     }
 
     #[test]

@@ -296,6 +296,8 @@ pub(crate) fn run<S: FactSource>(
                     .all(|&(x, y)| syms[x as usize] == syms[y as usize])
             });
         }
+        scratch.exec.candidates_scanned += buf.len() as u64;
+        scratch.exec.atom_actual[i] += buf.len() as u64;
         if buf.is_empty() {
             scratch.bufs = bufs;
             return JoinOutcome::Exhausted;
@@ -317,6 +319,7 @@ pub(crate) fn run<S: FactSource>(
         let (rel_c, rel_p) = (cq.atoms[a].rel, cq.atoms[f].rel);
         bufs[a].sort_unstable_by(|&r1, &r2| cmp_proj(src, rel_c, kc, r1, r2));
         let child = std::mem::take(&mut bufs[a]);
+        scratch.exec.semijoin_retain_passes += 1;
         bufs[f].retain(|&pr| {
             child
                 .binary_search_by(|&cr| cmp_child_parent(src, rel_c, kc, cr, rel_p, pc, pr))
@@ -331,7 +334,11 @@ pub(crate) fn run<S: FactSource>(
 
     // 3. Enumeration.
     let JoinScratch {
-        bind, rows, newly, ..
+        bind,
+        rows,
+        newly,
+        exec,
+        ..
     } = scratch;
     let mut walk = Enumerate {
         src,
@@ -342,6 +349,7 @@ pub(crate) fn run<S: FactSource>(
         bind,
         rows,
         newly,
+        exec,
     };
     let stopped = walk.solve(0, emit);
     scratch.bufs = bufs;
@@ -361,6 +369,7 @@ struct Enumerate<'a, S: FactSource> {
     bind: &'a mut Vec<Option<Sym>>,
     rows: &'a mut Vec<u32>,
     newly: &'a mut Vec<Vec<u32>>,
+    exec: &'a mut crate::engine::ExecStats,
 }
 
 impl<S: FactSource> Enumerate<'_, S> {
@@ -390,6 +399,7 @@ impl<S: FactSource> Enumerate<'_, S> {
 
     fn solve(&mut self, d: usize, emit: &mut EmitFn<'_>) -> bool {
         if d == self.plan.order.len() {
+            self.exec.rows_emitted += 1;
             return emit(self.bind, self.rows);
         }
         let a = self.plan.order[d] as usize;
@@ -420,6 +430,7 @@ impl<S: FactSource> Enumerate<'_, S> {
                             for &u in &newly {
                                 self.bind[u as usize] = None;
                             }
+                            self.exec.backtracks += 1;
                             continue 'rows;
                         }
                         None => {

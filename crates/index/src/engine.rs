@@ -105,6 +105,42 @@ pub struct CompiledQuery {
     /// Per-relation live-row counts observed at compile time (one entry
     /// per distinct body relation) — the drift detector's reference.
     pub stats: Vec<(RelId, usize)>,
+    /// Estimated candidate count per atom (original atom index), as
+    /// computed when the unbound cost order picked it. The "estimated"
+    /// side of est-vs-actual diagnostics ([`ExecStats::atom_actual`]).
+    pub atom_est: Vec<f64>,
+}
+
+/// Execution counters the join engines maintain as they run — the
+/// "actuals" side of est-vs-actual planner diagnostics.
+///
+/// The scalar counters are **monotone**: they accumulate across every
+/// join run with the same [`JoinScratch`], so owners meter a single
+/// request by snapshotting before and differencing after (cloning is
+/// cheap). `atom_actual` instead describes the **latest** join only —
+/// it is re-zeroed at every entry, because its length and meaning are
+/// per-plan.
+///
+/// Maintenance costs a few plain integer adds per candidate list — no
+/// atomics, no allocation beyond the per-plan `atom_actual` reserve —
+/// so the counters are always on.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Candidate rows produced by index probes, summed over all atoms
+    /// (every one of these is at least inspected by the engine).
+    pub candidates_scanned: u64,
+    /// Candidate rows rejected or exhausted after binding — each one
+    /// undid its bindings and moved to the next candidate.
+    pub backtracks: u64,
+    /// Semijoin `retain` passes executed by the acyclic fast path (one
+    /// per non-root atom per run).
+    pub semijoin_retain_passes: u64,
+    /// Complete solutions handed to the emit callback.
+    pub rows_emitted: u64,
+    /// Candidate rows scanned per atom of the **latest** join, indexed
+    /// by original atom index — compare against
+    /// [`CompiledQuery::atom_est`] to see planner drift per atom.
+    pub atom_actual: Vec<u64>,
 }
 
 /// Sizes below this floor never count as drift: orderings over a handful
@@ -133,13 +169,16 @@ impl CompiledQuery {
 /// bound slots of the slot's selectivity — exact posting fractions for
 /// constants, `1/distinct_count` for bound variables. Ties break toward
 /// more bound slots, then the smaller atom index (determinism). Each
-/// pick binds the atom's variables for the remaining steps.
+/// pick binds the atom's variables for the remaining steps. Returns
+/// each picked atom paired with the estimate it was picked at (the
+/// per-atom estimated cardinality exposed as
+/// [`CompiledQuery::atom_est`]).
 fn cost_order<S: FactSource>(
     atoms: &[CompiledAtom],
     num_vars: usize,
     src: &S,
     prebound: &[u32],
-) -> Vec<u32> {
+) -> Vec<(u32, f64)> {
     let n = atoms.len();
     let mut bound = vec![false; num_vars];
     for &v in prebound {
@@ -179,9 +218,9 @@ fn cost_order<S: FactSource>(
                 best = Some((est, bound_ct, i));
             }
         }
-        let (_, _, pick) = best.expect("an unordered atom remains");
+        let (est, _, pick) = best.expect("an unordered atom remains");
         done[pick] = true;
-        order.push(pick as u32);
+        order.push((pick as u32, est));
         for slot in &atoms[pick].slots {
             if let Slot::Var(v) = slot {
                 bound[*v as usize] = true;
@@ -219,8 +258,16 @@ pub fn compile(q: &ConjunctiveQuery, src: &impl FactSource) -> Option<CompiledQu
             }
         }
     }
-    let order = cost_order(&atoms, num_vars, src, &[]);
-    let order_prebound = cost_order(&atoms, num_vars, src, &head_vars);
+    let ordered = cost_order(&atoms, num_vars, src, &[]);
+    let mut atom_est = vec![0.0; atoms.len()];
+    for &(pick, est) in &ordered {
+        atom_est[pick as usize] = est;
+    }
+    let order: Vec<u32> = ordered.into_iter().map(|(a, _)| a).collect();
+    let order_prebound: Vec<u32> = cost_order(&atoms, num_vars, src, &head_vars)
+        .into_iter()
+        .map(|(a, _)| a)
+        .collect();
     let acyclic = acyclic::build(&atoms, &head_vars);
     let mut stats: Vec<(RelId, usize)> = Vec::new();
     for a in &atoms {
@@ -236,6 +283,7 @@ pub fn compile(q: &ConjunctiveQuery, src: &impl FactSource) -> Option<CompiledQu
         order_prebound,
         acyclic,
         stats,
+        atom_est,
     })
 }
 
@@ -273,12 +321,21 @@ pub struct JoinScratch {
     pub(crate) newly: Vec<Vec<u32>>,
     /// Bound-constraint buffer.
     pub(crate) bound: Vec<(usize, Sym)>,
+    /// Execution counters (see [`ExecStats`] for reset semantics).
+    pub(crate) exec: ExecStats,
 }
 
 impl JoinScratch {
     /// Fresh (empty) scratch space.
     pub fn new() -> JoinScratch {
         JoinScratch::default()
+    }
+
+    /// The execution counters accumulated by joins run with this
+    /// scratch. Snapshot (clone) before a run and difference after to
+    /// meter a single request.
+    pub fn exec(&self) -> &ExecStats {
+        &self.exec
     }
 
     /// Sizes the buffers for `cq` and seeds the binding table from
@@ -301,6 +358,8 @@ impl JoinScratch {
             self.newly.resize_with(n, Vec::new);
         }
         self.bound.clear();
+        self.exec.atom_actual.clear();
+        self.exec.atom_actual.resize(n, 0);
     }
 }
 
@@ -315,6 +374,7 @@ struct Search<'a, S: FactSource> {
 impl<S: FactSource> Search<'_, S> {
     fn solve(&mut self, depth: usize, emit: &mut EmitFn<'_>) -> bool {
         if depth == self.cq.atoms.len() {
+            self.scratch.exec.rows_emitted += 1;
             return emit(&self.scratch.bind, &self.scratch.rows);
         }
         let atom_idx = self.order[depth] as usize;
@@ -337,6 +397,8 @@ impl<S: FactSource> Search<'_, S> {
         let mut buf = std::mem::take(&mut self.scratch.bufs[depth]);
         buf.clear();
         self.src.candidates(rel, &self.scratch.bound, &mut buf);
+        self.scratch.exec.candidates_scanned += buf.len() as u64;
+        self.scratch.exec.atom_actual[atom_idx] += buf.len() as u64;
 
         let mut stopped = false;
         let mut newly = std::mem::take(&mut self.scratch.newly[depth]);
@@ -353,6 +415,7 @@ impl<S: FactSource> Search<'_, S> {
                             for &u in &newly {
                                 self.scratch.bind[u as usize] = None;
                             }
+                            self.scratch.exec.backtracks += 1;
                             continue 'rows;
                         }
                         None => {
@@ -370,6 +433,7 @@ impl<S: FactSource> Search<'_, S> {
             for &u in &newly {
                 self.scratch.bind[u as usize] = None;
             }
+            self.scratch.exec.backtracks += 1;
         }
         // On a stop, bindings stay intact for the caller (witness
         // extraction); otherwise the row loop above unbound everything.
@@ -639,6 +703,58 @@ mod tests {
             false
         });
         assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn exec_counters_meter_the_search() {
+        // Cyclic body → backtracking engine (the acyclic path is
+        // metered via its own module's callers).
+        let p = parse_program("relation R(a, b). Q(x) :- R(x, y), R(y, z), R(z, x).").unwrap();
+        let facts: Vec<(&str, Vec<i64>)> =
+            vec![("R", vec![0, 1]), ("R", vec![1, 2]), ("R", vec![2, 0])];
+        let borrowed: Vec<(&str, &[i64])> = facts.iter().map(|(n, v)| (*n, v.as_slice())).collect();
+        let src = Toy::new(&p.catalog, &borrowed);
+        let cq = compile(&p.queries[0], &src).unwrap();
+        assert!(cq.acyclic.is_none(), "triangle is cyclic");
+        assert_eq!(cq.atom_est.len(), 3);
+        assert!(cq.atom_est.iter().all(|&e| e > 0.0));
+        let mut scratch = JoinScratch::new();
+        let outcome = join_unbound(&src, &cq, &mut scratch, |_, _| false);
+        assert_eq!(outcome, JoinOutcome::Exhausted);
+        let exec = scratch.exec().clone();
+        // 3 triangle rotations found; every candidate row was scanned.
+        assert_eq!(exec.rows_emitted, 3);
+        assert!(exec.candidates_scanned >= 3);
+        assert_eq!(exec.atom_actual.len(), 3);
+        assert_eq!(
+            exec.atom_actual.iter().sum::<u64>(),
+            exec.candidates_scanned,
+            "per-atom actuals partition the scan total"
+        );
+        // Scalars accumulate across runs; per-atom actuals reset.
+        join_unbound(&src, &cq, &mut scratch, |_, _| false);
+        assert_eq!(scratch.exec().rows_emitted, 6);
+        assert_eq!(
+            scratch.exec().candidates_scanned,
+            2 * exec.candidates_scanned
+        );
+        assert_eq!(scratch.exec().atom_actual, exec.atom_actual);
+    }
+
+    #[test]
+    fn exec_counters_meter_the_acyclic_path() {
+        let p = parse_program("relation R(a, b). Q(x, z) :- R(x, y), R(y, z).").unwrap();
+        let facts: Vec<(&str, Vec<i64>)> = (0..4).map(|i| ("R", vec![i, i + 1])).collect();
+        let borrowed: Vec<(&str, &[i64])> = facts.iter().map(|(n, v)| (*n, v.as_slice())).collect();
+        let src = Toy::new(&p.catalog, &borrowed);
+        let cq = compile(&p.queries[0], &src).unwrap();
+        assert!(cq.acyclic.is_some(), "chain2 is acyclic");
+        let mut scratch = JoinScratch::new();
+        join_unbound_distinct(&src, &cq, &mut scratch, |_, _| false);
+        let exec = scratch.exec();
+        assert_eq!(exec.rows_emitted, 3, "three 2-step paths");
+        assert_eq!(exec.semijoin_retain_passes, 1, "one non-root atom");
+        assert_eq!(exec.atom_actual, vec![4, 4], "full scans pre-reduction");
     }
 
     #[test]

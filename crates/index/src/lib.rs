@@ -51,7 +51,7 @@ pub mod sym;
 pub use acyclic::AcyclicPlan;
 pub use engine::{
     compile, join, join_unbound, join_unbound_distinct, join_with, CompiledAtom, CompiledQuery,
-    FactSource, JoinOutcome, JoinScratch, Slot,
+    ExecStats, FactSource, JoinOutcome, JoinScratch, Slot,
 };
 pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use plan::{query_key, PlanCache, QueryKey};

@@ -1,0 +1,114 @@
+//! Round-trip property for the Prometheus exposition: for any
+//! stats-shaped JSON tree, the rendered text parses back to exactly the
+//! canonical numeric flattening of the tree. The service's `metrics`
+//! verb renders its live `stats` snapshot through the same pure
+//! functions, so this property is what "the text exposes the same
+//! values as the JSON stats" rests on.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use serde_json::{Map, Value};
+
+use cqchase_obs::prom::{flatten_numeric, parse_prometheus, render_prometheus, session_gauges};
+
+/// A random stats-shaped tree: nested objects of numeric leaves,
+/// `histogram_us_pow2` bucket arrays, plain numeric arrays, skipped
+/// string/null leaves, and an occasional `sessions_detail` block with
+/// label-hostile session names.
+fn gen_stats(rng: &mut TestRng, depth: usize) -> Value {
+    let len = 1 + rng.below(4) as usize;
+    let mut map = Map::new();
+    for i in 0..len {
+        let key = format!("{}{i}", gen_key(rng));
+        map.insert(key, gen_entry(rng, depth));
+    }
+    if depth > 0 && rng.below(3) == 0 {
+        let mut sessions = Map::new();
+        for i in 0..1 + rng.below(3) {
+            sessions.insert(format!("{}#{i}", gen_session_name(rng)), gen_stats(rng, 0));
+        }
+        map.insert("sessions_detail".to_string(), Value::Object(sessions));
+    }
+    Value::Object(map)
+}
+
+fn gen_entry(rng: &mut TestRng, depth: usize) -> Value {
+    match rng.below(if depth == 0 { 6 } else { 8 }) {
+        0 => gen_number(rng),
+        1 => Value::Bool(rng.next_u64() & 1 == 1),
+        2 => Value::String("skipped".to_string()),
+        3 => Value::Null,
+        4 => {
+            // A pow2 histogram bucket array (the realistic 20 buckets).
+            let buckets: Vec<Value> = (0..20).map(|_| Value::from(rng.below(1000))).collect();
+            let mut inner = Map::new();
+            inner.insert("histogram_us_pow2".to_string(), Value::Array(buckets));
+            inner.insert("count".to_string(), Value::from(rng.below(1000)));
+            Value::Object(inner)
+        }
+        5 => {
+            let len = rng.below(5) as usize;
+            Value::Array((0..len).map(|_| gen_number(rng)).collect())
+        }
+        _ => gen_stats(rng, depth - 1),
+    }
+}
+
+fn gen_number(rng: &mut TestRng) -> Value {
+    match rng.below(3) {
+        0 => Value::from(rng.next_u64()), // u64 counters, incl. > 2^53
+        1 => Value::from(rng.next_u64() as i64),
+        _ => {
+            let mantissa = rng.next_u64() as i32;
+            let exp = rng.below(13) as i32 - 6;
+            Value::from(f64::from(mantissa) * 10f64.powi(exp))
+        }
+    }
+}
+
+fn gen_key(rng: &mut TestRng) -> String {
+    let len = 1 + rng.below(8) as usize;
+    (0..len)
+        .map(|_| match rng.below(8) {
+            0 => ' ',
+            1 => '.',
+            2 => '-',
+            _ => char::from(b'a' + rng.below(26) as u8),
+        })
+        .collect()
+}
+
+/// Session names get quoted into label values, so exercise the escape
+/// path: quotes, backslashes (including trailing), newlines, braces.
+fn gen_session_name(rng: &mut TestRng) -> String {
+    let len = rng.below(8) as usize;
+    (0..len)
+        .map(|_| match rng.below(10) {
+            0 => '"',
+            1 => '\\',
+            2 => '\n',
+            3 => '{',
+            4 => '}',
+            5 => ',',
+            _ => char::from(b'a' + rng.below(26) as u8),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn prometheus_text_parses_back_to_the_flattened_snapshot(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let stats = gen_stats(&mut rng, 3);
+        let flat = flatten_numeric(&stats);
+        let text = render_prometheus(&stats);
+        let parsed = parse_prometheus(&text);
+        prop_assert_eq!(&parsed, &flat, "text was:\n{}", text);
+        // Session gauges decode without loss: one (session, metric)
+        // entry per labeled sample.
+        let n_labeled = flat.keys().filter(|k| k.starts_with("cqchase_session_")).count();
+        prop_assert_eq!(session_gauges(&flat).len(), n_labeled);
+    }
+}

@@ -34,9 +34,11 @@
 
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use cqchase_core::ContainmentPair;
 use cqchase_index::FxHashMap;
+use cqchase_obs::{SpanKind, Tracer};
 use cqchase_par::BatchOptions;
 use cqchase_storage::Tuple;
 use serde_json::Value;
@@ -45,6 +47,12 @@ use crate::durable::Durability;
 use crate::metrics::Metrics;
 use crate::proto::CheckSummary;
 use crate::session::Session;
+
+/// Per-request join annotations parked by the batch layer for the
+/// slow-query logger, keyed by trace id. The connection handler removes
+/// its request's entry after every traced request (slow or not), so
+/// residency is bounded by in-flight traced requests.
+pub type TraceAnnotations = Mutex<FxHashMap<u64, Value>>;
 
 /// One unit of submitted work.
 #[derive(Debug, Clone)]
@@ -118,6 +126,12 @@ pub enum Outcome {
 struct Pending {
     work: Work,
     tx: Sender<Outcome>,
+    /// The submitting request's trace id (0 = untraced).
+    trace_id: u64,
+    /// Enqueue instant, for the always-on queue-wait metric.
+    enqueued: Instant,
+    /// Enqueue time on the tracer's clock (0 when untraced).
+    enqueued_us: u64,
 }
 
 #[derive(Default)]
@@ -193,6 +207,11 @@ pub struct Batcher {
     /// logged and fsync'd before applying, so no summary is reported
     /// for a change a restart would forget.
     durability: Option<Arc<Durability>>,
+    /// The span recorder; disabled by default (a private one-slot
+    /// tracer), replaced by the server's via [`Batcher::with_tracing`].
+    tracer: Arc<Tracer>,
+    /// Join annotations parked for the slow-query logger.
+    annotations: Arc<TraceAnnotations>,
 }
 
 impl std::fmt::Debug for Batcher {
@@ -225,6 +244,8 @@ impl Batcher {
             metrics,
             barrier_mode,
             durability: None,
+            tracer: Arc::new(Tracer::new(1)),
+            annotations: Arc::new(Mutex::new(FxHashMap::default())),
         }
     }
 
@@ -235,16 +256,43 @@ impl Batcher {
         self
     }
 
+    /// Shares the server's tracer and annotation map with the queue, so
+    /// traced requests get admission-wait / batch-drain / cache / join /
+    /// fsync spans and join annotations. Builder-style, used at boot.
+    pub fn with_tracing(
+        mut self,
+        tracer: Arc<Tracer>,
+        annotations: Arc<TraceAnnotations>,
+    ) -> Batcher {
+        self.tracer = tracer;
+        self.annotations = annotations;
+        self
+    }
+
+    /// `Some((tracer, ids))` when tracing is on and at least one id in
+    /// `ids` is a real trace — the shape the observed downstream calls
+    /// take.
+    fn trace_ctx<'a>(&'a self, ids: &'a [u64]) -> Option<(&'a Tracer, &'a [u64])> {
+        if self.tracer.is_enabled() && ids.iter().any(|&id| id != 0) {
+            Some((&self.tracer, ids))
+        } else {
+            None
+        }
+    }
+
     /// The single mutation choke point for both barrier modes: a run of
     /// update deltas applies through the durability layer when one is
     /// configured (log + fsync, *then* apply) and directly otherwise.
+    /// `trace_ids` carries the waiters' trace ids (aligned with
+    /// `deltas`) so the WAL fsync is recorded as a span on each.
     fn apply_deltas(
         &self,
         session: &Session,
         deltas: &[(Vec<crate::proto::FactSpec>, Vec<crate::proto::FactSpec>)],
+        trace_ids: &[u64],
     ) -> Vec<Result<crate::session::UpdateSummary, String>> {
         match &self.durability {
-            Some(d) => d.apply_updates(session, deltas),
+            Some(d) => d.apply_updates_traced(session, deltas, self.trace_ctx(trace_ids)),
             None => session.apply_updates(deltas),
         }
     }
@@ -263,15 +311,41 @@ impl Batcher {
     /// invariants were violated); the queue itself recovers — see
     /// [`LeaderGuard`].
     pub fn submit(&self, work: Work) -> Result<Outcome, String> {
+        self.submit_traced(work, 0)
+    }
+
+    /// [`Batcher::submit`] carrying the request's trace id, so the
+    /// semantic-cache probe, admission wait, batch drain, and downstream
+    /// eval/fsync sections are recorded as spans when tracing is on.
+    pub fn submit_traced(&self, work: Work, trace_id: u64) -> Result<Outcome, String> {
         // The per-request hot path: same protocol as `submit_many`
         // (probe, enqueue, await) without its per-script vectors.
-        if let Some(outcome) = Batcher::try_cache_hit(&work) {
+        let tracing = trace_id != 0 && self.tracer.is_enabled();
+        let probe_start =
+            (tracing && matches!(work, Work::Check { .. })).then(|| self.tracer.now_us());
+        let hit = Batcher::try_cache_hit(&work);
+        if let Some(start) = probe_start {
+            self.tracer.record(
+                trace_id,
+                SpanKind::SemCacheLookup,
+                start,
+                self.tracer.now_us(),
+            );
+        }
+        if let Some(outcome) = hit {
             return Ok(outcome);
         }
         let (tx, rx) = channel();
+        let enqueued_us = if tracing { self.tracer.now_us() } else { 0 };
         {
             let mut state = self.state.lock().expect("queue lock");
-            state.pending.push(Pending { work, tx });
+            state.pending.push(Pending {
+                work,
+                tx,
+                trace_id,
+                enqueued: Instant::now(),
+                enqueued_us,
+            });
         }
         self.await_outcome(&rx)
     }
@@ -367,7 +441,13 @@ impl Batcher {
                 match p {
                     Ok(outcome) => slots.push(Slot::Ready(outcome)),
                     Err((work, tx, rx)) => {
-                        state.pending.push(Pending { work, tx });
+                        state.pending.push(Pending {
+                            work,
+                            tx,
+                            trace_id: 0,
+                            enqueued: Instant::now(),
+                            enqueued_us: 0,
+                        });
                         slots.push(Slot::Wait(rx));
                     }
                 }
@@ -398,7 +478,36 @@ impl Batcher {
                 }
                 std::mem::take(&mut state.pending)
             };
+            // Queue-wait accounting happens at leader pickup: the
+            // always-on metric uses the wall clock carried by each item;
+            // traced items additionally get an admission-wait span and,
+            // after the batch runs, a batch-drain span.
+            let pickup_us = if self.tracer.is_enabled() {
+                self.tracer.now_us()
+            } else {
+                0
+            };
+            let mut traced: Vec<u64> = Vec::new();
+            for p in &batch {
+                self.metrics.record_queue_wait(p.enqueued.elapsed());
+                if p.trace_id != 0 && p.enqueued_us != 0 {
+                    self.tracer.record(
+                        p.trace_id,
+                        SpanKind::AdmissionWait,
+                        p.enqueued_us,
+                        pickup_us,
+                    );
+                    traced.push(p.trace_id);
+                }
+            }
             self.run_batch(batch);
+            if !traced.is_empty() {
+                let end_us = self.tracer.now_us();
+                for id in traced {
+                    self.tracer
+                        .record(id, SpanKind::BatchDrain, pickup_us, end_us);
+                }
+            }
         }
         let mut state = self.state.lock().expect("queue lock");
         state.leader_running = false;
@@ -430,6 +539,7 @@ impl Batcher {
             BarrierMode::Global => {
                 let mut segment: Vec<Pending> = Vec::new();
                 for p in batch {
+                    let trace_id = p.trace_id;
                     if let Work::Update {
                         session,
                         insert,
@@ -441,7 +551,7 @@ impl Batcher {
                         }
                         self.run_segment(std::mem::take(&mut segment));
                         let result = self
-                            .apply_deltas(&session, &[(insert, delete)])
+                            .apply_deltas(&session, &[(insert, delete)], &[trace_id])
                             .pop()
                             .expect("one delta in, one summary out");
                         let _ = p.tx.send(Outcome::Update(result));
@@ -480,9 +590,11 @@ impl Batcher {
         let mut updates: Vec<(Vec<crate::proto::FactSpec>, Vec<crate::proto::FactSpec>)> =
             Vec::new();
         let mut update_txs: Vec<Sender<Outcome>> = Vec::new();
+        let mut update_ids: Vec<u64> = Vec::new();
         let flush_updates =
             |updates: &mut Vec<(Vec<crate::proto::FactSpec>, Vec<crate::proto::FactSpec>)>,
-             update_txs: &mut Vec<Sender<Outcome>>| {
+             update_txs: &mut Vec<Sender<Outcome>>,
+             update_ids: &mut Vec<u64>| {
                 if updates.is_empty() {
                     return;
                 }
@@ -491,11 +603,12 @@ impl Batcher {
                         .updates_coalesced
                         .fetch_add(updates.len() as u64 - 1, Ordering::Relaxed);
                 }
-                let results = self.apply_deltas(session, updates);
+                let results = self.apply_deltas(session, updates, update_ids);
                 for (result, tx) in results.into_iter().zip(update_txs.drain(..)) {
                     let _ = tx.send(Outcome::Update(result));
                 }
                 updates.clear();
+                update_ids.clear();
             };
         for p in lane {
             match p.work {
@@ -506,14 +619,15 @@ impl Batcher {
                     self.run_segment(std::mem::take(&mut segment));
                     updates.push((insert, delete));
                     update_txs.push(p.tx);
+                    update_ids.push(p.trace_id);
                 }
                 _ => {
-                    flush_updates(&mut updates, &mut update_txs);
+                    flush_updates(&mut updates, &mut update_txs, &mut update_ids);
                     segment.push(p);
                 }
             }
         }
-        flush_updates(&mut updates, &mut update_txs);
+        flush_updates(&mut updates, &mut update_txs, &mut update_ids);
         self.run_segment(segment);
     }
 
@@ -527,7 +641,7 @@ impl Batcher {
         struct Group {
             session: Arc<Session>,
             checks: Vec<(usize, usize, Sender<Outcome>)>,
-            evals: Vec<(usize, Sender<Outcome>)>,
+            evals: Vec<(usize, u64, Sender<Outcome>)>,
         }
         let mut groups: Vec<Group> = Vec::new();
         for p in batch {
@@ -551,7 +665,7 @@ impl Batcher {
             };
             match p.work {
                 Work::Check { q, q_prime, .. } => slot.checks.push((q, q_prime, p.tx)),
-                Work::Eval { q, .. } => slot.evals.push((q, p.tx)),
+                Work::Eval { q, .. } => slot.evals.push((q, p.trace_id, p.tx)),
                 Work::Update { .. } => unreachable!("updates are barriers, not segment items"),
             }
         }
@@ -625,26 +739,38 @@ impl Batcher {
         }
     }
 
-    fn run_evals(&self, session: &Session, evals: Vec<(usize, Sender<Outcome>)>) {
+    fn run_evals(&self, session: &Session, evals: Vec<(usize, u64, Sender<Outcome>)>) {
         use std::sync::atomic::Ordering;
         if evals.is_empty() {
             return;
         }
-        let mut waiters: FxHashMap<usize, Vec<Sender<Outcome>>> = FxHashMap::default();
+        let mut waiters: FxHashMap<usize, Vec<(u64, Sender<Outcome>)>> = FxHashMap::default();
         let mut unique: Vec<usize> = Vec::new();
-        for (q, tx) in evals {
+        for (q, trace_id, tx) in evals {
             let entry = waiters.entry(q).or_default();
             if entry.is_empty() {
                 unique.push(q);
             } else {
                 self.metrics.coalesced_items.fetch_add(1, Ordering::Relaxed);
             }
-            entry.push(tx);
+            entry.push((trace_id, tx));
         }
         for q in unique {
-            let (rows, cached) = session.eval_cached(q);
+            let ids: Vec<u64> = waiters
+                .get(&q)
+                .expect("every unique query has waiters")
+                .iter()
+                .map(|(id, _)| *id)
+                .collect();
+            let (rows, cached, annotation) = session.eval_observed(q, self.trace_ctx(&ids));
+            if let Some(ann) = annotation {
+                let mut map = self.annotations.lock().expect("annotations lock");
+                for &id in ids.iter().filter(|id| **id != 0) {
+                    map.insert(id, ann.clone());
+                }
+            }
             let txs = waiters.remove(&q).expect("every unique query has waiters");
-            for (i, tx) in txs.into_iter().enumerate() {
+            for (i, (_, tx)) in txs.into_iter().enumerate() {
                 let _ = tx.send(Outcome::Eval {
                     rows: rows.clone(),
                     cached,

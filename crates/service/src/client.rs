@@ -165,6 +165,18 @@ impl Client {
         self.checked(&Request::Stats)
     }
 
+    /// The Prometheus-style metrics exposition (the full response; the
+    /// text body is under `"text"` — see [`Client::metrics_text`]).
+    pub fn metrics(&mut self) -> Result<Value, ClientError> {
+        self.checked(&Request::Metrics)
+    }
+
+    /// The Prometheus-style metrics exposition as plain text.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let v = self.metrics()?;
+        Ok(v["text"].as_str().unwrap_or_default().to_string())
+    }
+
     /// Forces a snapshot of every session to the server's data
     /// directory (errors when the server runs without one).
     pub fn persist(&mut self) -> Result<Value, ClientError> {

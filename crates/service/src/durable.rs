@@ -41,6 +41,7 @@ use cqchase_durability::{
     Recovered, SessionRecord, Store, StoreError, UpdateDelta, WalRecord, DEFAULT_ROTATE_BYTES,
 };
 use cqchase_ir::{display, parse_program};
+use cqchase_obs::{SpanKind, Tracer};
 use serde_json::{Map, Value};
 
 use crate::proto::FactSpec;
@@ -59,6 +60,32 @@ pub struct RecoveryReport {
     pub torn_tail: Option<String>,
     /// True when the data directory held no prior state.
     pub fresh: bool,
+}
+
+impl RecoveryReport {
+    /// The report as one structured JSON object — logged as a single
+    /// line at boot so recovery outcomes are machine-grepable.
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("event".into(), Value::from("recovery"));
+        m.insert(
+            "snapshot_sessions".into(),
+            Value::from(self.snapshot_sessions),
+        );
+        m.insert(
+            "wal_records_replayed".into(),
+            Value::from(self.wal_records_replayed),
+        );
+        m.insert("fresh".into(), Value::from(self.fresh));
+        m.insert(
+            "torn_tail".into(),
+            match &self.torn_tail {
+                Some(t) => Value::from(t.as_str()),
+                None => Value::Null,
+            },
+        );
+        Value::Object(m)
+    }
 }
 
 /// Durable session persistence wired over a [`SessionRegistry`].
@@ -252,11 +279,40 @@ impl Durability {
         Ok((durability, report))
     }
 
+    /// Records the WAL append + fsync of `record` as a [`SpanKind::Fsync`]
+    /// span on every trace id, when tracing is active.
+    fn log_spanned(
+        &self,
+        record: &WalRecord,
+        trace: Option<(&Tracer, &[u64])>,
+    ) -> Result<(), StoreError> {
+        let start = trace.map(|(t, _)| t.now_us());
+        let result = self.store.log(record);
+        if let (Some((tracer, ids)), Some(start)) = (trace, start) {
+            let end = tracer.now_us();
+            for &id in ids {
+                tracer.record(id, SpanKind::Fsync, start, end);
+            }
+        }
+        result
+    }
+
     /// Registers a session durably: builds it, inserts it, and logs the
     /// `Register` record — rolling the insertion back if the record
     /// cannot be fsync'd, so a successful reply survives a restart and
     /// a failed one leaves no session behind.
     pub fn register(&self, name: &str, program: &str) -> Result<Arc<Session>, String> {
+        self.register_traced(name, program, None)
+    }
+
+    /// [`Durability::register`] with the WAL fsync recorded as a span on
+    /// the request's trace id when tracing is active.
+    pub fn register_traced(
+        &self,
+        name: &str,
+        program: &str,
+        trace: Option<(&Tracer, u64)>,
+    ) -> Result<Arc<Session>, String> {
         // Fail fast and build outside the gate: parsing and index
         // construction are the expensive part, and `insert_new` stays
         // the atomic arbiter for name races.
@@ -273,7 +329,12 @@ impl Durability {
             name: name.to_owned(),
             program: program.to_owned(),
         };
-        if let Err(e) = self.store.log(&record) {
+        let ids = trace.map(|(_, id)| [id]);
+        let span = match (&trace, &ids) {
+            (Some((t, _)), Some(ids)) => Some((*t, &ids[..])),
+            _ => None,
+        };
+        if let Err(e) = self.log_spanned(&record, span) {
             self.registry.remove(name);
             return Err(format!("registration not persisted: {e}"));
         }
@@ -303,6 +364,18 @@ impl Durability {
         session: &Session,
         deltas: &[(Vec<FactSpec>, Vec<FactSpec>)],
     ) -> Vec<Result<UpdateSummary, String>> {
+        self.apply_updates_traced(session, deltas, None)
+    }
+
+    /// [`Durability::apply_updates`] with the WAL fsync recorded as a
+    /// [`SpanKind::Fsync`] span on every waiter's trace id (a coalesced
+    /// update run logs once; every rider shares the wait).
+    pub fn apply_updates_traced(
+        &self,
+        session: &Session,
+        deltas: &[(Vec<FactSpec>, Vec<FactSpec>)],
+        trace: Option<(&Tracer, &[u64])>,
+    ) -> Vec<Result<UpdateSummary, String>> {
         let gate = self.gate.read().expect("durability gate");
         if !self
             .logged
@@ -331,7 +404,7 @@ impl Durability {
                 session: session.name.clone(),
                 deltas: durable_deltas,
             };
-            if let Err(e) = self.store.log(&record) {
+            if let Err(e) = self.log_spanned(&record, trace) {
                 // Nothing applies: report the log failure on every
                 // delta that would have applied, and plain validation
                 // errors on the rest.
@@ -403,6 +476,17 @@ impl Durability {
         m.insert("wal_bytes".into(), Value::from(stats.wal_bytes()));
         m.insert("wal_len".into(), Value::from(self.store.wal_len()));
         m.insert("fsyncs".into(), Value::from(stats.fsyncs()));
+        m.insert("fsync_total_us".into(), Value::from(stats.fsync_total_us()));
+        m.insert(
+            "fsync_histogram_us_pow2".into(),
+            Value::Array(
+                stats
+                    .fsync_histogram()
+                    .iter()
+                    .map(|&c| Value::from(c))
+                    .collect(),
+            ),
+        );
         m.insert("recoveries".into(), Value::from(stats.recoveries()));
         m.insert(
             "torn_tails_discarded".into(),

@@ -30,7 +30,10 @@
 //!   registry snapshots/restores across restarts, and a torn WAL tail
 //!   from a crash mid-append is recovered cleanly;
 //! * [`metrics`] — lock-free per-endpoint counters and latency
-//!   histograms behind the `stats` endpoint;
+//!   histograms behind the `stats` endpoint, with a Prometheus-style
+//!   text exposition of the same payload behind `metrics`
+//!   (`cqchase-obs`), per-request span tracing, and a slow-query log
+//!   (`--slow-query-us`);
 //! * [`server`] — the `std::net` TCP server (bounded handler pool,
 //!   graceful shutdown);
 //! * [`client`] — the blocking client library the CLI (`cqchase serve`
@@ -55,7 +58,7 @@ pub mod proto;
 pub mod server;
 pub mod session;
 
-pub use batch::{BarrierMode, Batcher, Outcome, Work};
+pub use batch::{BarrierMode, Batcher, Outcome, TraceAnnotations, Work};
 pub use cache::{CacheStats, SemanticCache};
 pub use client::{Client, ClientError};
 pub use durable::{Durability, RecoveryReport};

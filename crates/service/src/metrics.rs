@@ -3,11 +3,12 @@
 //! endpoint reports.
 //!
 //! All counters are atomics, so the request hot path takes no lock to
-//! record a sample. Latencies land in power-of-two microsecond buckets
-//! (bucket *i* covers `[2^i, 2^(i+1))` µs), from which the snapshot
-//! derives approximate p50/p99 — histogram-derived percentiles are
-//! upper bounds at bucket granularity, the standard trade for lock-free
-//! recording.
+//! record a sample. Latencies land in power-of-two microsecond buckets:
+//! bucket 0 holds only `0` µs and bucket *i* (for `i ≥ 1`) covers
+//! `[2^(i-1), 2^i)` µs, the final bucket absorbing everything slower.
+//! The snapshot derives approximate p50/p99 from the buckets —
+//! histogram-derived percentiles are upper bounds at bucket
+//! granularity, the standard trade for lock-free recording.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -29,8 +30,22 @@ pub struct EndpointStats {
     hist: [AtomicU64; BUCKETS],
 }
 
+/// The bucket holding a `us` sample: 0 for `us = 0`, otherwise
+/// `⌊log2(us)⌋ + 1` capped at the overflow bucket — so bucket `i ≥ 1`
+/// covers `[2^(i-1), 2^i)` µs.
 fn bucket_of(us: u64) -> usize {
     ((u64::BITS - us.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The largest `us` value bucket `i` can hold (its inclusive upper
+/// edge): 0 for bucket 0, else `2^i − 1`. The overflow bucket is
+/// unbounded; its nominal edge saturates the reported quantile.
+fn bucket_edge_us(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i) - 1
+    }
 }
 
 impl EndpointStats {
@@ -44,8 +59,11 @@ impl EndpointStats {
         self.hist[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The upper edge (µs) of the bucket containing the `q`-quantile
-    /// sample, or 0 with no samples.
+    /// The inclusive upper edge (µs) of the bucket containing the
+    /// `q`-quantile sample ([`bucket_edge_us`]), or 0 with no samples —
+    /// so the reported quantile is the tightest value with "the
+    /// q-fraction of samples took at most this long" at bucket
+    /// granularity.
     fn quantile_us(&self, q: f64) -> u64 {
         let counts: Vec<u64> = self
             .hist
@@ -61,10 +79,10 @@ impl EndpointStats {
         for (i, c) in counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return 1u64 << i;
+                return bucket_edge_us(i);
             }
         }
-        1u64 << (BUCKETS - 1)
+        bucket_edge_us(BUCKETS - 1)
     }
 
     fn snapshot(&self) -> Value {
@@ -97,6 +115,9 @@ impl EndpointStats {
 pub struct Metrics {
     start: Instant,
     endpoints: [EndpointStats; ALL_OPS.len()],
+    /// Admission-queue wait per batched work item (enqueue → leader
+    /// pickup); the `errors` column is unused.
+    queue_wait: EndpointStats,
     /// Batches executed by the admission queue's leader.
     pub batches: AtomicU64,
     /// Work items that went through a batch.
@@ -120,6 +141,7 @@ impl Default for Metrics {
         Metrics {
             start: Instant::now(),
             endpoints: Default::default(),
+            queue_wait: EndpointStats::default(),
             batches: AtomicU64::new(0),
             batched_items: AtomicU64::new(0),
             coalesced_items: AtomicU64::new(0),
@@ -144,6 +166,17 @@ impl Metrics {
     /// Total requests recorded for `op`.
     pub fn count(&self, op: Op) -> u64 {
         self.endpoints[op.index()].count.load(Ordering::Relaxed)
+    }
+
+    /// Records one work item's admission-queue wait (enqueue → leader
+    /// pickup).
+    pub fn record_queue_wait(&self, wait: Duration) {
+        self.queue_wait.record(wait, true);
+    }
+
+    /// Time since the metrics (and server) started.
+    pub fn uptime(&self) -> Duration {
+        self.start.elapsed()
     }
 
     /// The `stats` response body (endpoint table + batching counters +
@@ -186,6 +219,7 @@ impl Metrics {
         );
         m.insert("endpoints".into(), Value::Object(endpoints));
         m.insert("batching".into(), Value::Object(batching));
+        m.insert("queue_wait".into(), self.queue_wait.snapshot());
         m
     }
 }
@@ -202,6 +236,47 @@ mod tests {
         assert_eq!(bucket_of(3), 2);
         assert_eq!(bucket_of(1024), 11);
         assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        // Bucket 0 holds only 0 µs; bucket i ≥ 1 covers [2^(i-1), 2^i).
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        for k in 1..18u32 {
+            let p = 1u64 << k;
+            assert_eq!(bucket_of(p - 1), k as usize, "2^{k} - 1 stays below");
+            assert_eq!(bucket_of(p), k as usize + 1, "2^{k} opens bucket {}", k + 1);
+        }
+        // The overflow bucket starts at 2^(BUCKETS-2) and is unbounded.
+        let overflow_lo = 1u64 << (BUCKETS - 2);
+        assert_eq!(bucket_of(overflow_lo - 1), BUCKETS - 2);
+        assert_eq!(bucket_of(overflow_lo), BUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // Edges are the largest value each bucket holds.
+        assert_eq!(bucket_edge_us(0), 0);
+        assert_eq!(bucket_edge_us(1), 1);
+        assert_eq!(bucket_edge_us(2), 3);
+        for k in 1..BUCKETS - 1 {
+            assert_eq!(bucket_edge_us(k), (1u64 << k) - 1);
+            assert_eq!(bucket_of(bucket_edge_us(k)), k, "edge stays in bucket");
+            assert_eq!(bucket_of(bucket_edge_us(k) + 1), k + 1, "edge + 1 leaves");
+        }
+    }
+
+    #[test]
+    fn quantiles_report_inclusive_bucket_edges() {
+        for (us, edge) in [(0u64, 0u64), (1, 1), (2, 3), (1024, 2047), (4096, 8191)] {
+            let e = EndpointStats::default();
+            e.record(Duration::from_micros(us), true);
+            assert_eq!(e.quantile_us(0.5), edge, "single sample at {us} µs");
+            assert!(e.quantile_us(0.5) >= us, "edge never under-reports");
+        }
+        // Overflow bucket saturates at its nominal edge.
+        let e = EndpointStats::default();
+        e.record(Duration::from_micros(1 << 30), true);
+        assert_eq!(e.quantile_us(0.99), (1u64 << (BUCKETS - 1)) - 1);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! {"op":"eval","session":"s","query":"Q1"}
 //! {"op":"classify","session":"s"}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"persist"}
 //! {"op":"shutdown"}
 //! ```
@@ -46,6 +47,10 @@ pub enum Op {
     /// slots/bytes reclaimed, updates coalesced, barrier flushes), and
     /// the `durability` block when a data directory is configured.
     Stats,
+    /// The same numbers as [`Op::Stats`], rendered as Prometheus-style
+    /// exposition text (carried in the response's `"text"` field so
+    /// the one-line JSON framing is preserved).
+    Metrics,
     /// Force a snapshot of every registered session to the data
     /// directory (an error when the server runs without one).
     Persist,
@@ -54,13 +59,14 @@ pub enum Op {
 }
 
 /// All operations, indexable by `op as usize`.
-pub const ALL_OPS: [Op; 8] = [
+pub const ALL_OPS: [Op; 9] = [
     Op::Register,
     Op::Update,
     Op::Check,
     Op::Eval,
     Op::Classify,
     Op::Stats,
+    Op::Metrics,
     Op::Persist,
     Op::Shutdown,
 ];
@@ -75,6 +81,7 @@ impl Op {
             Op::Eval => "eval",
             Op::Classify => "classify",
             Op::Stats => "stats",
+            Op::Metrics => "metrics",
             Op::Persist => "persist",
             Op::Shutdown => "shutdown",
         }
@@ -137,6 +144,9 @@ pub enum Request {
     },
     /// `{"op":"stats"}` — server metrics snapshot.
     Stats,
+    /// `{"op":"metrics"}` — the stats snapshot as Prometheus-style
+    /// text in the response's `"text"` field.
+    Metrics,
     /// `{"op":"persist"}` — force a snapshot of every session to the
     /// data directory (requires the server to run with one).
     Persist,
@@ -222,6 +232,7 @@ impl Request {
             Request::Eval { .. } => Op::Eval,
             Request::Classify { .. } => Op::Classify,
             Request::Stats => Op::Stats,
+            Request::Metrics => Op::Metrics,
             Request::Persist => Op::Persist,
             Request::Shutdown => Op::Shutdown,
         }
@@ -261,11 +272,12 @@ impl Request {
                 session: str_field(obj, "session")?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "persist" => Ok(Request::Persist),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
                 "unknown op `{other}` (expected \
-                 register/update/check/eval/classify/stats/persist/shutdown)"
+                 register/update/check/eval/classify/stats/metrics/persist/shutdown)"
             )),
         }
     }
@@ -310,7 +322,7 @@ impl Request {
             Request::Classify { session } => {
                 m.insert("session".into(), Value::from(session.as_str()));
             }
-            Request::Stats | Request::Persist | Request::Shutdown => {}
+            Request::Stats | Request::Metrics | Request::Persist | Request::Shutdown => {}
         }
         Value::Object(m)
     }
@@ -403,6 +415,7 @@ mod tests {
                 session: "s".into(),
             },
             Request::Stats,
+            Request::Metrics,
             Request::Persist,
             Request::Shutdown,
         ];

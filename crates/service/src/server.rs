@@ -21,14 +21,21 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cqchase_index::FxHashMap;
+use cqchase_obs::{SpanKind, Tracer};
 use cqchase_par::ThreadPool;
 use serde_json::{Map, Value};
 
-use crate::batch::{rows_to_value, Batcher, Outcome, Work};
+use crate::batch::{rows_to_value, Batcher, Outcome, TraceAnnotations, Work};
 use crate::durable::{Durability, RecoveryReport, StdIo};
 use crate::metrics::Metrics;
 use crate::proto::{error_response, ok_response, Op, Request};
 use crate::session::{Session, SessionRegistry};
+
+/// Span-recorder ring capacity: spans from the last ~hundreds of traced
+/// requests stay readable for the slow-query logger before being
+/// overwritten.
+const TRACE_CAPACITY: usize = 4096;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -51,6 +58,16 @@ pub struct ServeOptions {
     /// WAL size past which a snapshot rotation triggers (`None` uses
     /// [`cqchase_durability::DEFAULT_ROTATE_BYTES`]).
     pub wal_rotate_bytes: Option<u64>,
+    /// Slow-query threshold in microseconds: a request whose total
+    /// latency reaches it is logged as one structured JSON line with its
+    /// full span trace (to `--data-dir/slowlog` when a data directory is
+    /// configured, stderr otherwise). Setting it turns tracing on.
+    /// `None` disables the slow-query log.
+    pub slow_query_us: Option<u64>,
+    /// Force request tracing on even without a slow-query threshold
+    /// (spans are recorded but nothing is emitted — useful for the
+    /// tracing-overhead benchmark and tests reading the recorder).
+    pub trace: bool,
 }
 
 impl Default for ServeOptions {
@@ -63,6 +80,8 @@ impl Default for ServeOptions {
             plan_cache_capacity: 256,
             data_dir: None,
             wal_rotate_bytes: None,
+            slow_query_us: None,
+            trace: false,
         }
     }
 }
@@ -79,6 +98,14 @@ struct Shared {
     /// Connections accepted and not yet finished (serving or queued
     /// for a handler). Bounds admission — see [`Server::run`].
     active_conns: std::sync::atomic::AtomicUsize,
+    /// The span recorder (shared with the batcher); enabled iff
+    /// `opts.trace` or a slow-query threshold is set.
+    tracer: Arc<Tracer>,
+    /// Join annotations parked by the batch layer, keyed by trace id.
+    annotations: Arc<TraceAnnotations>,
+    /// The slow-query log sink: `--data-dir/slowlog` when a data
+    /// directory is configured, `None` falls back to stderr.
+    slowlog: Option<std::sync::Mutex<std::fs::File>>,
 }
 
 /// Decrements the active-connection count when a handler finishes —
@@ -124,10 +151,29 @@ impl Server {
                 (Some(Arc::new(d)), Some(report))
             }
         };
-        let mut batcher = Batcher::new(opts.batch_threads, Arc::clone(&metrics));
+        if let Some(report) = &recovery {
+            // One structured line so process supervisors can scrape what
+            // a restart actually restored.
+            eprintln!("{}", report.to_json());
+        }
+        let tracer = Arc::new(Tracer::new(TRACE_CAPACITY));
+        tracer.set_enabled(opts.trace || opts.slow_query_us.is_some());
+        let annotations: Arc<TraceAnnotations> =
+            Arc::new(std::sync::Mutex::new(FxHashMap::default()));
+        let mut batcher = Batcher::new(opts.batch_threads, Arc::clone(&metrics))
+            .with_tracing(Arc::clone(&tracer), Arc::clone(&annotations));
         if let Some(d) = &durability {
             batcher = batcher.with_durability(Arc::clone(d));
         }
+        let slowlog = match (&opts.data_dir, opts.slow_query_us) {
+            (Some(dir), Some(_)) => std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dir.join("slowlog"))
+                .ok()
+                .map(std::sync::Mutex::new),
+            _ => None,
+        };
         let shared = Arc::new(Shared {
             sessions,
             batcher,
@@ -137,6 +183,9 @@ impl Server {
             local_addr,
             opts,
             active_conns: std::sync::atomic::AtomicUsize::new(0),
+            tracer,
+            annotations,
+            slowlog,
         });
         Ok(Server {
             listener,
@@ -405,16 +454,30 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             continue;
         }
         let started = Instant::now();
+        let (trace_id, start_us) = if shared.tracer.is_enabled() {
+            (shared.tracer.next_trace_id(), shared.tracer.now_us())
+        } else {
+            (0, 0)
+        };
         let (response, op) = match Request::from_line(&line) {
             Ok(req) => {
                 let op = req.op();
-                (dispatch(&shared, req), Some(op))
+                (dispatch(&shared, req, trace_id), Some(op))
             }
             Err(msg) => (error_response(None, &msg), None),
         };
         let ok = response["ok"] == true;
         if let Some(op) = op {
             shared.metrics.record(op, started.elapsed(), ok);
+        }
+        if trace_id != 0 {
+            shared.tracer.record(
+                trace_id,
+                SpanKind::Request,
+                start_us,
+                shared.tracer.now_us(),
+            );
+            finish_trace(&shared, trace_id, op, started.elapsed(), ok);
         }
         if !write_line(&mut stream, &response) {
             break;
@@ -423,6 +486,66 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             trigger_shutdown(&shared);
             break;
         }
+    }
+}
+
+/// Closes out one traced request: reclaims its parked join annotation
+/// and, when the latency reaches the slow-query threshold, emits one
+/// structured JSON line — op, latency, every recorded span, and (for
+/// evals) the join plan with per-atom estimated-vs-actual cardinality —
+/// to the slowlog file or stderr.
+fn finish_trace(shared: &Shared, trace_id: u64, op: Option<Op>, latency: Duration, ok: bool) {
+    // Always reclaim the annotation — residency in the parking map must
+    // be bounded by in-flight traced requests, not by slow ones.
+    let annotation = shared
+        .annotations
+        .lock()
+        .expect("annotations lock")
+        .remove(&trace_id);
+    let threshold = match shared.opts.slow_query_us {
+        Some(t) => t,
+        None => return,
+    };
+    let latency_us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+    if latency_us < threshold {
+        return;
+    }
+    let spans: Vec<Value> = shared
+        .tracer
+        .spans_for(trace_id)
+        .into_iter()
+        .map(|s| {
+            let mut m = Map::new();
+            m.insert("kind".into(), Value::from(s.kind.as_str()));
+            m.insert("start_us".into(), Value::from(s.start_us));
+            m.insert("dur_us".into(), Value::from(s.dur_us()));
+            Value::Object(m)
+        })
+        .collect();
+    let mut line = Map::new();
+    line.insert("event".into(), Value::from("slow_query"));
+    line.insert(
+        "op".into(),
+        match op {
+            Some(op) => Value::from(op.as_str()),
+            None => Value::Null,
+        },
+    );
+    line.insert("trace_id".into(), Value::from(trace_id));
+    line.insert("latency_us".into(), Value::from(latency_us));
+    line.insert("threshold_us".into(), Value::from(threshold));
+    line.insert("ok".into(), Value::from(ok));
+    line.insert("spans".into(), Value::Array(spans));
+    if let Some(ann) = annotation {
+        line.insert("join".into(), ann);
+    }
+    let text = Value::Object(line).to_string();
+    match &shared.slowlog {
+        Some(file) => {
+            let mut file = file.lock().expect("slowlog lock");
+            let _ = writeln!(file, "{text}");
+        }
+        None => eprintln!("{text}"),
     }
 }
 
@@ -436,8 +559,9 @@ fn get_session(shared: &Shared, name: &str) -> Result<Arc<Session>, String> {
     shared.sessions.get(name)
 }
 
-fn dispatch(shared: &Shared, req: Request) -> Value {
+fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
     let op = req.op();
+    let trace = (trace_id != 0).then(|| (shared.tracer.as_ref(), trace_id));
     match req {
         Request::Register { session, program } => {
             // Refuse taken names before the expensive build (a retried
@@ -450,7 +574,7 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
             // acknowledgement (and rolls the insertion back if it
             // cannot): an `ok:true` register survives a restart.
             let built = match &shared.durability {
-                Some(d) => d.register(&session, &program),
+                Some(d) => d.register_traced(&session, &program, trace),
                 None => shared
                     .sessions
                     .check_free(&session)
@@ -496,11 +620,14 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
                 Ok(s) => s,
                 Err(msg) => return error_response(Some(op), &msg),
             };
-            match shared.batcher.submit(Work::Update {
-                session: s,
-                insert,
-                delete,
-            }) {
+            match shared.batcher.submit_traced(
+                Work::Update {
+                    session: s,
+                    insert,
+                    delete,
+                },
+                trace_id,
+            ) {
                 Ok(Outcome::Update(Ok(sum))) => {
                     let mut m = ok_response(op);
                     m.insert("session".into(), Value::from(session.as_str()));
@@ -528,11 +655,14 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
                 Ok(x) => x,
                 Err(msg) => return error_response(Some(op), &msg),
             };
-            match shared.batcher.submit(Work::Check {
-                session: s,
-                q: qi,
-                q_prime: qpi,
-            }) {
+            match shared.batcher.submit_traced(
+                Work::Check {
+                    session: s,
+                    q: qi,
+                    q_prime: qpi,
+                },
+                trace_id,
+            ) {
                 Ok(Outcome::Check {
                     summary: Ok(sum),
                     cached,
@@ -560,7 +690,10 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
                 Ok(x) => x,
                 Err(msg) => return error_response(Some(op), &msg),
             };
-            match shared.batcher.submit(Work::Eval { session: s, q: qi }) {
+            match shared
+                .batcher
+                .submit_traced(Work::Eval { session: s, q: qi }, trace_id)
+            {
                 Ok(Outcome::Eval {
                     rows,
                     cached,
@@ -595,95 +728,15 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
         },
         Request::Stats => {
             let mut m = ok_response(op);
-            for (k, v) in shared.metrics.snapshot().iter() {
+            for (k, v) in stats_value(shared).iter() {
                 m.insert(k.clone(), v.clone());
             }
-            let names = shared.sessions.names();
-            m.insert(
-                "sessions".into(),
-                Value::Array(names.iter().map(|n| Value::from(n.as_str())).collect()),
-            );
-            // Aggregate cache counters across sessions.
-            let (mut hits, mut misses, mut evictions, mut entries) = (0u64, 0u64, 0u64, 0usize);
-            let (mut plan_hits, mut plan_misses, mut plan_evictions) = (0u64, 0u64, 0u64);
-            let (mut plan_replans, mut plan_acyclic) = (0u64, 0u64);
-            let mut eval_row_hits = 0u64;
-            let (mut compactions, mut slots_reclaimed, mut bytes_reclaimed) = (0u64, 0u64, 0u64);
-            for s in shared.sessions.snapshot() {
-                let c = s.sem_cache.lock().expect("semantic cache lock").stats();
-                hits += c.hits;
-                misses += c.misses;
-                evictions += c.evictions;
-                entries += c.entries;
-                {
-                    // Scoped: the eval_state guard must be released
-                    // before touching the facts lock — lock order is
-                    // `facts` before `eval_state` everywhere else
-                    // (apply_updates holds facts.write while taking
-                    // eval_state), so holding eval_state across
-                    // facts.read() would be an ABBA deadlock against a
-                    // concurrent update.
-                    let e = s.eval_state.lock().expect("eval state lock");
-                    plan_hits += e.plans.hits() as u64;
-                    plan_misses += e.plans.misses() as u64;
-                    plan_evictions += e.plans.evictions() as u64;
-                    plan_replans += e.plans.replans() as u64;
-                    plan_acyclic += e.plans.acyclic_served() as u64;
-                    eval_row_hits += e.result_hits;
-                }
-                let facts = s.facts.read().expect("facts lock");
-                compactions += facts.index.compactions();
-                slots_reclaimed += facts.index.slots_reclaimed();
-                bytes_reclaimed += facts.index.bytes_reclaimed();
-            }
-            let mut sem = Map::new();
-            sem.insert("hits".into(), Value::from(hits));
-            sem.insert("misses".into(), Value::from(misses));
-            sem.insert("evictions".into(), Value::from(evictions));
-            sem.insert("entries".into(), Value::from(entries));
-            sem.insert(
-                "capacity_per_session".into(),
-                Value::from(shared.opts.sem_cache_capacity),
-            );
-            m.insert("semantic_cache".into(), Value::Object(sem));
-            let mut plans = Map::new();
-            plans.insert("hits".into(), Value::from(plan_hits));
-            plans.insert("misses".into(), Value::from(plan_misses));
-            plans.insert("evictions".into(), Value::from(plan_evictions));
-            m.insert("plan_cache".into(), Value::Object(plans));
-            // The cost-based planner's counters: how many plans were
-            // compiled, how many times a served plan carried the
-            // Yannakakis acyclic fast path, and how many recompiles were
-            // forced by cardinality drift in the planner statistics.
-            let mut planner = Map::new();
-            planner.insert("compiled".into(), Value::from(plan_misses));
-            planner.insert("acyclic_hits".into(), Value::from(plan_acyclic));
-            planner.insert("replans".into(), Value::from(plan_replans));
-            m.insert("planner".into(), Value::Object(planner));
-            m.insert("eval_row_hits".into(), Value::from(eval_row_hits));
-            // The mutation fast path's counters: index compaction work
-            // across sessions, plus the admission queue's update
-            // coalescing and barrier accounting (also under `batching`).
-            let mut mutation = Map::new();
-            mutation.insert("compactions".into(), Value::from(compactions));
-            mutation.insert("slots_reclaimed".into(), Value::from(slots_reclaimed));
-            mutation.insert("bytes_reclaimed".into(), Value::from(bytes_reclaimed));
-            mutation.insert(
-                "updates_coalesced".into(),
-                Value::from(shared.metrics.updates_coalesced.load(Ordering::Relaxed)),
-            );
-            mutation.insert(
-                "barrier_flushes".into(),
-                Value::from(shared.metrics.barrier_flushes.load(Ordering::Relaxed)),
-            );
-            m.insert("mutation".into(), Value::Object(mutation));
-            m.insert(
-                "durability".into(),
-                match &shared.durability {
-                    Some(d) => d.stats_block(),
-                    None => Durability::disabled_stats_block(),
-                },
-            );
+            Value::Object(m)
+        }
+        Request::Metrics => {
+            let mut m = ok_response(op);
+            let text = cqchase_obs::prom::render_prometheus(&Value::Object(stats_value(shared)));
+            m.insert("text".into(), Value::String(text));
             Value::Object(m)
         }
         Request::Persist => match &shared.durability {
@@ -703,6 +756,165 @@ fn dispatch(shared: &Shared, req: Request) -> Value {
         },
         Request::Shutdown => Value::Object(ok_response(op)),
     }
+}
+
+/// The full stats payload (everything but the `ok`/`op` envelope) —
+/// shared by the `stats` (JSON) and `metrics` (Prometheus text) verbs so
+/// the two expositions can never drift apart.
+fn stats_value(shared: &Shared) -> Map<String, Value> {
+    let mut m = Map::new();
+    for (k, v) in shared.metrics.snapshot().iter() {
+        m.insert(k.clone(), v.clone());
+    }
+    let names = shared.sessions.names();
+    m.insert(
+        "sessions".into(),
+        Value::Array(names.iter().map(|n| Value::from(n.as_str())).collect()),
+    );
+    // The server identity/config echo block.
+    let mut server = Map::new();
+    server.insert(
+        "uptime_s".into(),
+        Value::from(shared.metrics.uptime().as_secs_f64()),
+    );
+    server.insert("version".into(), Value::from(env!("CARGO_PKG_VERSION")));
+    server.insert(
+        "batch_threads".into(),
+        Value::from(shared.opts.batch_threads),
+    );
+    server.insert("conn_workers".into(), Value::from(shared.opts.conn_workers));
+    server.insert(
+        "sem_cache_capacity".into(),
+        Value::from(shared.opts.sem_cache_capacity),
+    );
+    server.insert(
+        "plan_cache_capacity".into(),
+        Value::from(shared.opts.plan_cache_capacity),
+    );
+    server.insert(
+        "wal_rotate_bytes".into(),
+        Value::from(
+            shared
+                .opts
+                .wal_rotate_bytes
+                .unwrap_or(cqchase_durability::DEFAULT_ROTATE_BYTES),
+        ),
+    );
+    if let Some(t) = shared.opts.slow_query_us {
+        server.insert("slow_query_us".into(), Value::from(t));
+    }
+    server.insert("trace".into(), Value::from(shared.tracer.is_enabled()));
+    m.insert("server".into(), Value::Object(server));
+    // Aggregate cache counters across sessions, and collect per-session
+    // gauges (rendered as `{session="…"}`-labelled Prometheus series).
+    let (mut hits, mut misses, mut evictions, mut entries) = (0u64, 0u64, 0u64, 0usize);
+    let (mut plan_hits, mut plan_misses, mut plan_evictions) = (0u64, 0u64, 0u64);
+    let (mut plan_replans, mut plan_acyclic) = (0u64, 0u64);
+    let mut eval_row_hits = 0u64;
+    let (mut compactions, mut slots_reclaimed, mut bytes_reclaimed) = (0u64, 0u64, 0u64);
+    let mut detail = Map::new();
+    for s in shared.sessions.snapshot() {
+        let c = s.sem_cache.lock().expect("semantic cache lock").stats();
+        hits += c.hits;
+        misses += c.misses;
+        evictions += c.evictions;
+        entries += c.entries;
+        let (session_result_hits, session_plan_hits, session_plan_misses) = {
+            // Scoped: the eval_state guard must be released
+            // before touching the facts lock — lock order is
+            // `facts` before `eval_state` everywhere else
+            // (apply_updates holds facts.write while taking
+            // eval_state), so holding eval_state across
+            // facts.read() would be an ABBA deadlock against a
+            // concurrent update.
+            let e = s.eval_state.lock().expect("eval state lock");
+            plan_hits += e.plans.hits() as u64;
+            plan_misses += e.plans.misses() as u64;
+            plan_evictions += e.plans.evictions() as u64;
+            plan_replans += e.plans.replans() as u64;
+            plan_acyclic += e.plans.acyclic_served() as u64;
+            eval_row_hits += e.result_hits;
+            (
+                e.result_hits,
+                e.plans.hits() as u64,
+                e.plans.misses() as u64,
+            )
+        };
+        let (session_facts, session_epoch) = s.facts_snapshot();
+        let facts = s.facts.read().expect("facts lock");
+        compactions += facts.index.compactions();
+        slots_reclaimed += facts.index.slots_reclaimed();
+        bytes_reclaimed += facts.index.bytes_reclaimed();
+        drop(facts);
+        let mut sd = Map::new();
+        sd.insert("facts".into(), Value::from(session_facts));
+        sd.insert("epoch".into(), Value::from(session_epoch));
+        sd.insert("eval_result_hits".into(), Value::from(session_result_hits));
+        sd.insert("sem_cache_hits".into(), Value::from(c.hits));
+        sd.insert("sem_cache_misses".into(), Value::from(c.misses));
+        let probes = c.hits + c.misses;
+        sd.insert(
+            "sem_cache_hit_rate".into(),
+            Value::from(if probes == 0 {
+                0.0
+            } else {
+                c.hits as f64 / probes as f64
+            }),
+        );
+        sd.insert("plan_cache_hits".into(), Value::from(session_plan_hits));
+        sd.insert("plan_cache_misses".into(), Value::from(session_plan_misses));
+        detail.insert(s.name.clone(), Value::Object(sd));
+    }
+    m.insert("sessions_detail".into(), Value::Object(detail));
+    let mut sem = Map::new();
+    sem.insert("hits".into(), Value::from(hits));
+    sem.insert("misses".into(), Value::from(misses));
+    sem.insert("evictions".into(), Value::from(evictions));
+    sem.insert("entries".into(), Value::from(entries));
+    sem.insert(
+        "capacity_per_session".into(),
+        Value::from(shared.opts.sem_cache_capacity),
+    );
+    m.insert("semantic_cache".into(), Value::Object(sem));
+    let mut plans = Map::new();
+    plans.insert("hits".into(), Value::from(plan_hits));
+    plans.insert("misses".into(), Value::from(plan_misses));
+    plans.insert("evictions".into(), Value::from(plan_evictions));
+    m.insert("plan_cache".into(), Value::Object(plans));
+    // The cost-based planner's counters: how many plans were
+    // compiled, how many times a served plan carried the
+    // Yannakakis acyclic fast path, and how many recompiles were
+    // forced by cardinality drift in the planner statistics.
+    let mut planner = Map::new();
+    planner.insert("compiled".into(), Value::from(plan_misses));
+    planner.insert("acyclic_hits".into(), Value::from(plan_acyclic));
+    planner.insert("replans".into(), Value::from(plan_replans));
+    m.insert("planner".into(), Value::Object(planner));
+    m.insert("eval_row_hits".into(), Value::from(eval_row_hits));
+    // The mutation fast path's counters: index compaction work
+    // across sessions, plus the admission queue's update
+    // coalescing and barrier accounting (also under `batching`).
+    let mut mutation = Map::new();
+    mutation.insert("compactions".into(), Value::from(compactions));
+    mutation.insert("slots_reclaimed".into(), Value::from(slots_reclaimed));
+    mutation.insert("bytes_reclaimed".into(), Value::from(bytes_reclaimed));
+    mutation.insert(
+        "updates_coalesced".into(),
+        Value::from(shared.metrics.updates_coalesced.load(Ordering::Relaxed)),
+    );
+    mutation.insert(
+        "barrier_flushes".into(),
+        Value::from(shared.metrics.barrier_flushes.load(Ordering::Relaxed)),
+    );
+    m.insert("mutation".into(), Value::Object(mutation));
+    m.insert(
+        "durability".into(),
+        match &shared.durability {
+            Some(d) => d.stats_block(),
+            None => Durability::disabled_stats_block(),
+        },
+    );
+    m
 }
 
 #[cfg(test)]

@@ -30,9 +30,11 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
 use cqchase_core::{classify, ContainmentOptions, SigmaClass};
-use cqchase_index::{FxHashMap, JoinScratch, PlanCache};
+use cqchase_index::{ExecStats, FxHashMap, JoinScratch, PlanCache};
 use cqchase_ir::{parse_program, ConjunctiveQuery, Program};
+use cqchase_obs::{SpanKind, Tracer};
 use cqchase_storage::{evaluate_indexed_with, Database, DbIndex, Tuple, Value};
+use serde_json::{Map as JsonMap, Value as Json};
 
 use crate::cache::{sigma_fingerprint, SemanticCache};
 use crate::proto::FactSpec;
@@ -218,22 +220,166 @@ impl Session {
     /// [`Session::eval`], also reporting whether the rows were served
     /// from the epoch-tagged result cache without recomputation.
     pub fn eval_cached(&self, idx: usize) -> (Vec<Tuple>, bool) {
+        let (rows, cached, _) = self.eval_observed(idx, None);
+        (rows, cached)
+    }
+
+    /// [`Session::eval_cached`] with observability: when `obs` carries
+    /// the tracer and the waiting requests' trace ids, the result-cache
+    /// probe, plan compile (or cache hit), and join execution are
+    /// recorded as timed spans, and a join annotation — plan
+    /// provenance, join order, per-atom estimated vs actual candidate
+    /// rows, engine counters — is returned for the slow-query log.
+    pub fn eval_observed(
+        &self,
+        idx: usize,
+        obs: Option<(&Tracer, &[u64])>,
+    ) -> (Vec<Tuple>, bool, Option<Json>) {
         let q = &self.program.queries[idx];
         // Lock order: facts before eval_state. Holding the facts lock
         // shared for the whole call pins the epoch the rows belong to.
         let facts = self.facts.read().expect("facts lock");
         let mut state = self.eval_state.lock().expect("eval state lock");
-        if let Some((epoch, rows)) = state.results.get(&idx) {
-            if *epoch == facts.epoch {
-                let rows = rows.clone();
-                state.result_hits += 1;
-                return (rows, true);
+        let probe_start = obs.map(|(t, _)| t.now_us());
+        let cache_hit =
+            matches!(state.results.get(&idx), Some((epoch, _)) if *epoch == facts.epoch);
+        if let Some((tracer, ids)) = obs {
+            let end = tracer.now_us();
+            for &id in ids {
+                tracer.record(
+                    id,
+                    SpanKind::EvalCacheLookup,
+                    probe_start.unwrap_or(end),
+                    end,
+                );
             }
         }
+        if cache_hit {
+            let rows = state
+                .results
+                .get(&idx)
+                .expect("hit checked above")
+                .1
+                .clone();
+            state.result_hits += 1;
+            let annotation = obs.map(|_| {
+                let mut m = JsonMap::new();
+                m.insert("query".into(), Json::from(q.name.as_str()));
+                m.insert("result_cache_hit".into(), Json::from(true));
+                Json::Object(m)
+            });
+            return (rows, true, annotation);
+        }
         let EvalState { plans, scratch, .. } = &mut *state;
-        let rows = evaluate_indexed_with(q, &facts.index, plans, scratch);
+        let mut annotation = None;
+        let rows = match obs {
+            None => evaluate_indexed_with(q, &facts.index, plans, scratch),
+            Some((tracer, ids)) => {
+                // Warm the plan first so compile time is its own span;
+                // the engine call below re-looks it up as a cheap cache
+                // hit (capacity-0 caches recompile, still correct).
+                let (misses0, replans0) = (plans.misses(), plans.replans());
+                let compile_start = tracer.now_us();
+                let shape = plans
+                    .get_or_compile(q, &facts.index)
+                    .map(|p| (p.order.clone(), p.atom_est.clone(), p.acyclic.is_some()));
+                let compile_end = tracer.now_us();
+                let compiled = plans.misses() > misses0;
+                let replanned = plans.replans() > replans0;
+                let kind = if compiled || replanned {
+                    SpanKind::PlanCompile
+                } else {
+                    SpanKind::PlanCacheHit
+                };
+                for &id in ids {
+                    tracer.record(id, kind, compile_start, compile_end);
+                }
+                let exec_before = scratch.exec().clone();
+                let join_start = tracer.now_us();
+                let rows = evaluate_indexed_with(q, &facts.index, plans, scratch);
+                let join_end = tracer.now_us();
+                for &id in ids {
+                    tracer.record(id, SpanKind::JoinExec, join_start, join_end);
+                }
+                let plan_desc = if replanned {
+                    "replan"
+                } else if compiled {
+                    "compiled"
+                } else {
+                    "cache_hit"
+                };
+                annotation = Some(Session::join_annotation(
+                    &q.name,
+                    plan_desc,
+                    shape,
+                    &exec_before,
+                    scratch.exec(),
+                ));
+                rows
+            }
+        };
         state.results.insert(idx, (facts.epoch, rows.clone()));
-        (rows, false)
+        (rows, false, annotation)
+    }
+
+    /// Builds the slow-query log's join annotation. The engine counters
+    /// are monotone across a scratch's lifetime, so this reports the
+    /// `after − before` delta — exactly what this execution did.
+    fn join_annotation(
+        query: &str,
+        plan: &str,
+        shape: Option<(Vec<u32>, Vec<f64>, bool)>,
+        before: &ExecStats,
+        after: &ExecStats,
+    ) -> Json {
+        let mut m = JsonMap::new();
+        m.insert("query".into(), Json::from(query));
+        m.insert("result_cache_hit".into(), Json::from(false));
+        match shape {
+            None => {
+                m.insert("plan".into(), Json::from("unsatisfiable"));
+            }
+            Some((order, est, acyclic)) => {
+                m.insert("plan".into(), Json::from(plan));
+                m.insert("acyclic".into(), Json::from(acyclic));
+                m.insert(
+                    "join_order".into(),
+                    Json::Array(order.iter().map(|&a| Json::from(a as u64)).collect()),
+                );
+                let atoms: Vec<Json> = est
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &e)| {
+                        let mut a = JsonMap::new();
+                        a.insert("atom".into(), Json::from(i));
+                        a.insert("est".into(), Json::from(e));
+                        a.insert(
+                            "actual".into(),
+                            Json::from(after.atom_actual.get(i).copied().unwrap_or(0)),
+                        );
+                        Json::Object(a)
+                    })
+                    .collect();
+                m.insert("atoms".into(), Json::Array(atoms));
+            }
+        }
+        m.insert(
+            "candidates_scanned".into(),
+            Json::from(after.candidates_scanned - before.candidates_scanned),
+        );
+        m.insert(
+            "backtracks".into(),
+            Json::from(after.backtracks - before.backtracks),
+        );
+        m.insert(
+            "semijoin_retain_passes".into(),
+            Json::from(after.semijoin_retain_passes - before.semijoin_retain_passes),
+        );
+        m.insert(
+            "rows_emitted".into(),
+            Json::from(after.rows_emitted - before.rows_emitted),
+        );
+        Json::Object(m)
     }
 
     /// Checks one delta exactly as [`Session::apply_updates`] will —

@@ -156,6 +156,38 @@ echo "$S" | grep -q '"planner"' || fail "stats missing planner counters"
 echo "$S" | grep -qE '"compiled":[1-9]' || fail "planner should report compiled plans"
 echo "$S" | grep -qE '"acyclic_hits":[1-9]' || fail "planner should report acyclic fast-path hits"
 
+# --- metrics: Prometheus exposition must carry every family ----------
+# The text body is a JSON string, so `\n` separates samples; unescape
+# before grepping line-shaped patterns.
+M=$(req '{"op":"metrics"}')
+echo "$M" | grep -q '"ok":true' || fail "metrics not ok"
+MT=$(printf '%s' "$M" | sed 's/\\n/\n/g; s/\\"/"/g')
+for family in \
+    cqchase_endpoints_eval_count \
+    cqchase_endpoints_check_count \
+    cqchase_endpoints_update_count \
+    cqchase_queue_wait_count \
+    cqchase_semantic_cache_hits \
+    cqchase_planner_compiled \
+    cqchase_eval_row_hits \
+    cqchase_server_uptime_s \
+    cqchase_server_batch_threads \
+    cqchase_server_wal_rotate_bytes \
+    cqchase_session_facts \
+    cqchase_session_epoch; do
+    echo "$MT" | grep -q "^$family" || fail "metrics missing family $family"
+done
+# Histograms expose cumulative buckets ending at +Inf.
+echo "$MT" | grep -q '_histogram_us_pow2_bucket{le="+Inf"}' \
+    || fail "metrics missing +Inf histogram bucket"
+# Per-session gauges are labelled with the session name.
+echo "$MT" | grep -q 'cqchase_session_facts{session="smoke"}' \
+    || fail "metrics missing per-session facts gauge for smoke"
+# The exposition and the JSON stats must agree on a concrete counter.
+EVALS_JSON=$(echo "$S" | grep -oE '"eval":\{"count":[0-9]+' | grep -oE '[0-9]+')
+echo "$MT" | grep -q "^cqchase_endpoints_eval_count $EVALS_JSON\$" \
+    || fail "metrics eval count disagrees with stats JSON ($EVALS_JSON)"
+
 # --- shutdown: server must exit cleanly ------------------------------
 req '{"op":"shutdown"}' | grep -q '"ok":true' || fail "shutdown not ok"
 for _ in $(seq 50); do

@@ -10,6 +10,7 @@
 //! cqchase serve [--addr A] [--threads N] [--conn-workers N]
 //!               [--cache-capacity N] [--plan-cache-capacity N]
 //!               [--data-dir DIR] [--wal-rotate-bytes N]
+//!               [--slow-query-us N] [--trace]
 //!                                       run the containment/eval server
 //! cqchase request [--addr A] JSON…|-    send protocol lines, print replies
 //! ```
@@ -208,6 +209,14 @@ fn cmd_serve(opts: &[String]) -> Result<(), String> {
                         .map_err(|_| "--wal-rotate-bytes needs an integer".to_string())?,
                 )
             }
+            "--slow-query-us" => {
+                serve.slow_query_us = Some(
+                    next("--slow-query-us")?
+                        .parse()
+                        .map_err(|_| "--slow-query-us needs an integer".to_string())?,
+                )
+            }
+            "--trace" => serve.trace = true,
             other => return Err(format!("unknown serve option {other}")),
         }
     }
@@ -290,7 +299,7 @@ fn serde_json_reply_ok(line: &str) -> Option<bool> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cqchase check FILE\n  cqchase chase FILE Q [--levels N] [--mode r|o] [--dot]\n  cqchase contain FILE Q QP\n  cqchase equiv FILE Q QP\n  cqchase minimize FILE Q\n  cqchase eval FILE Q\n  cqchase serve [--addr HOST:PORT] [--threads N] [--conn-workers N] [--cache-capacity N] [--plan-cache-capacity N] [--data-dir DIR] [--wal-rotate-bytes N]\n  cqchase request [--addr HOST:PORT] JSON...|-"
+        "usage:\n  cqchase check FILE\n  cqchase chase FILE Q [--levels N] [--mode r|o] [--dot]\n  cqchase contain FILE Q QP\n  cqchase equiv FILE Q QP\n  cqchase minimize FILE Q\n  cqchase eval FILE Q\n  cqchase serve [--addr HOST:PORT] [--threads N] [--conn-workers N] [--cache-capacity N] [--plan-cache-capacity N] [--data-dir DIR] [--wal-rotate-bytes N] [--slow-query-us N] [--trace]\n  cqchase request [--addr HOST:PORT] JSON...|-"
     );
     ExitCode::from(2)
 }
