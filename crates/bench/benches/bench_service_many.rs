@@ -1,0 +1,96 @@
+//! Many-tenant scale: 1000 sessions on one shared catalog, zipf eval
+//! traffic through the sharded lane queues.
+//!
+//! Besides the criterion group, the run records a JSON baseline at
+//! `crates/bench/baselines/bench_service_many.json`:
+//!
+//! * `lanes_speedup_4v1` — sustained throughput with 4 lanes over 1
+//!   lane (same total compute threads, same script; gated by the bench
+//!   gate only when both the recording and the checking machine
+//!   expose 4+ cores — on fewer the ratio is queue overhead, not
+//!   scaling);
+//! * `memory_dedup_factor` — duplicate-path resident fact bytes over
+//!   shared-path bytes for the same tenant population (dimensionless,
+//!   machine-independent, hard-gated at >= 2x: the shared path must
+//!   keep each tenant at most half the rebuild-per-tenant cost);
+//!
+//! plus a determinism assertion: both lane configurations answer the
+//! whole script with the identical result-row checksum.
+
+use cqchase_bench::many_workload::{
+    many_workload, measure_lane_throughput, measure_memory_dedup, ManyWorkload, OPS, PROMOTE_EVERY,
+    SESSIONS,
+};
+use cqchase_par::default_threads;
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde_json::json;
+
+/// Median lanes-throughput of 3 runs; asserts every run's checksum
+/// matches `expect` (0 = adopt the first run's checksum).
+fn median_throughput(w: &ManyWorkload, lanes: usize, expect: &mut u64) -> f64 {
+    let mut rates: Vec<f64> = (0..3)
+        .map(|_| {
+            let r = measure_lane_throughput(w, lanes);
+            if *expect == 0 {
+                *expect = r.checksum;
+            }
+            assert_eq!(r.checksum, *expect, "lanes={lanes} answer checksum");
+            r.ops_per_sec
+        })
+        .collect();
+    rates.sort_by(f64::total_cmp);
+    rates[1]
+}
+
+fn bench_many_tenants(c: &mut Criterion) {
+    let w = many_workload();
+    let mut group = c.benchmark_group("service_many");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.bench_function("zipf_script_4_lanes", |b| {
+        b.iter(|| criterion::black_box(measure_lane_throughput(&w, 4).checksum));
+    });
+    group.finish();
+}
+
+/// Records the committed JSON baseline (see the module docs).
+fn record_baseline(_c: &mut Criterion) {
+    let w = many_workload();
+    let mut checksum = 0u64;
+    let rate_1 = median_throughput(&w, 1, &mut checksum);
+    let rate_4 = median_throughput(&w, 4, &mut checksum);
+    let mem = measure_memory_dedup(&w);
+
+    let doc = json!({
+        "workload": format!(
+            "service_many: {SESSIONS} tenants on one shared catalog (every \
+             {PROMOTE_EVERY}th promoted), {OPS} zipf-skewed evals via 4 submitters"
+        ),
+        "cores": default_threads(),
+        "ops_per_sec_lanes1": rate_1.round(),
+        "ops_per_sec_lanes4": rate_4.round(),
+        "lanes_speedup_4v1": (rate_4 / rate_1.max(1e-9) * 100.0).round() / 100.0,
+        "shared_bytes_per_session": mem.shared_per_session().round(),
+        "duplicate_bytes_per_session": mem.duplicate_per_session().round(),
+        "memory_dedup_factor": (mem.factor() * 100.0).round() / 100.0,
+        "answer_checksum": checksum,
+    });
+    println!(
+        "\nservice_many baseline: {rate_1:.0} ops/s (1 lane), {rate_4:.0} ops/s (4 lanes), \
+         {:.1}x memory dedup ({:.0}B vs {:.0}B per tenant)",
+        mem.factor(),
+        mem.shared_per_session(),
+        mem.duplicate_per_session(),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/baselines/bench_service_many.json"
+    );
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap())
+        .expect("write bench_service_many baseline");
+    println!("baseline written to {path}");
+}
+
+criterion_group!(benches, bench_many_tenants, record_baseline);
+criterion_main!(benches);

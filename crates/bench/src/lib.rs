@@ -9,6 +9,7 @@
 
 pub mod churn_workload;
 pub mod exp;
+pub mod many_workload;
 pub mod obs_workload;
 pub mod recovery_workload;
 pub mod service_workload;

@@ -69,7 +69,7 @@ pub fn query_key(q: &ConjunctiveQuery) -> QueryKey {
 /// (the collision guard — a [`QueryKey`] hash match alone is not
 /// proof of structural equality) and its last-use tick for LRU
 /// eviction.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CachedPlan {
     atoms: Vec<Atom>,
     head: Vec<Term>,
@@ -277,6 +277,22 @@ impl PlanCache {
     /// Whether the cache holds no plans.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// A copy of this cache carrying the memoized plans but **fresh
+    /// counters** — for handing warm plans to a new owner whose source
+    /// is a clone of this cache's source (same symbol pool, so the
+    /// embedded symbols stay valid). The copy keeps `capacity` and the
+    /// LRU ticks; hits/misses/evictions/replans start at zero because
+    /// they describe the original owner's history, not the new one's.
+    pub fn clone_warm(&self) -> PlanCache {
+        PlanCache {
+            plans: self.plans.clone(),
+            capacity: self.capacity,
+            tick: self.tick,
+            len: self.len,
+            ..PlanCache::default()
+        }
     }
 
     /// Drops every cached plan (for when the source is rebuilt).

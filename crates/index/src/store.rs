@@ -140,6 +140,25 @@ impl ColumnIndex {
         self.rels[rel.index()].get(col).map_or(0, FxHashMap::len)
     }
 
+    /// Approximate resident bytes of the posting maps: map capacity
+    /// costed per entry plus posting-list capacity in row ids. An
+    /// estimate for capacity planning (the many-session bench's
+    /// shared-vs-duplicate catalog gate), not an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<Sym>() + std::mem::size_of::<Vec<u32>>() + 8;
+        let mut bytes = 0usize;
+        for cols in &self.rels {
+            for m in cols {
+                bytes += m.capacity() * entry;
+                bytes += m
+                    .values()
+                    .map(|list| list.capacity() * std::mem::size_of::<u32>())
+                    .sum::<usize>();
+            }
+        }
+        bytes
+    }
+
     /// Intersects the posting lists for the given `(col, sym)`
     /// constraints: probes the shortest list and verifies the remaining
     /// constraints via `syms_of`, pushing surviving row ids (ascending)
@@ -299,6 +318,23 @@ impl DedupIndex {
                 self.len -= 1;
             }
         }
+    }
+
+    /// Approximate resident bytes of the dedup shards: shard capacity
+    /// costed per entry plus each key row's symbol storage. An estimate
+    /// (companion of [`ColumnIndex::approx_bytes`]).
+    pub fn approx_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<Vec<Sym>>() + std::mem::size_of::<u32>() + 8;
+        self.rels
+            .iter()
+            .map(|shard| {
+                shard.capacity() * entry
+                    + shard
+                        .keys()
+                        .map(|k| k.capacity() * std::mem::size_of::<Sym>())
+                        .sum::<usize>()
+            })
+            .sum()
     }
 
     /// Number of distinct keys.

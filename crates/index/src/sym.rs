@@ -80,6 +80,15 @@ impl<T: Eq + Hash + Clone> SymPool<T> {
         self.items.is_empty()
     }
 
+    /// Approximate resident bytes: interned items (shallow) plus the
+    /// id map's capacity, costed per entry. An estimate for capacity
+    /// planning, not an allocator measurement — heap data behind `T`
+    /// (e.g. string contents) is not chased.
+    pub fn approx_bytes(&self) -> usize {
+        let item = std::mem::size_of::<T>();
+        self.items.capacity() * item + self.ids.capacity() * (item + std::mem::size_of::<Sym>() + 8)
+    }
+
     /// Consumes the pool into an immutable snapshot.
     ///
     /// Freezing is free (no copies) and marks, in the type system, the

@@ -157,6 +157,8 @@ const MAX_LEADER_ROUNDS: usize = 8;
 /// usable for every subsequent request.
 struct LeaderGuard<'a> {
     state: &'a Mutex<QueueState>,
+    metrics: &'a Metrics,
+    lane: usize,
     armed: bool,
 }
 
@@ -175,7 +177,13 @@ impl Drop for LeaderGuard<'_> {
             state.leader_running = false;
             std::mem::take(&mut state.pending)
         };
-        // Dropping the senders disconnects the waiters' channels.
+        // The orphans leave the queue without a leader pickup: keep the
+        // lane's depth gauge honest before dropping their senders
+        // (which disconnects the waiters' channels).
+        self.metrics
+            .lane(self.lane)
+            .queue_depth
+            .fetch_sub(orphans.len() as u64, std::sync::atomic::Ordering::Relaxed);
         drop(orphans);
     }
 }
@@ -197,11 +205,16 @@ pub enum BarrierMode {
     Global,
 }
 
-/// The admission queue. One per server; see the module docs.
+/// The admission queue. One per lane (a single-lane server has exactly
+/// one); see the module docs and [`crate::lanes`].
 pub struct Batcher {
     state: Mutex<QueueState>,
     threads: usize,
     metrics: Arc<Metrics>,
+    /// Which metrics lane shard this queue feeds (0 for a standalone
+    /// queue). Batching counters are recorded twice: once in the
+    /// global aggregates, once in this lane's shard.
+    lane: usize,
     barrier_mode: BarrierMode,
     /// When set, update batches route through the durability layer —
     /// logged and fsync'd before applying, so no summary is reported
@@ -218,6 +231,7 @@ impl std::fmt::Debug for Batcher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Batcher")
             .field("threads", &self.threads)
+            .field("lane", &self.lane)
             .field("barrier_mode", &self.barrier_mode)
             .field("durable", &self.durability.is_some())
             .finish()
@@ -242,11 +256,19 @@ impl Batcher {
             state: Mutex::new(QueueState::default()),
             threads: threads.max(1),
             metrics,
+            lane: 0,
             barrier_mode,
             durability: None,
             tracer: Arc::new(Tracer::new(1)),
             annotations: Arc::new(Mutex::new(FxHashMap::default())),
         }
+    }
+
+    /// Assigns this queue to metrics lane shard `lane` (lane-sharded
+    /// servers build one `Batcher` per lane). Builder-style.
+    pub fn with_lane(mut self, lane: usize) -> Batcher {
+        self.lane = lane;
+        self
     }
 
     /// Routes update batches through `durability` (write-ahead logged
@@ -347,6 +369,10 @@ impl Batcher {
                 enqueued_us,
             });
         }
+        self.metrics
+            .lane(self.lane)
+            .queue_depth
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.await_outcome(&rx)
     }
 
@@ -395,7 +421,11 @@ impl Batcher {
         };
         let hit = {
             let mut cache = session.sem_cache.lock().expect("semantic cache lock");
-            cache.lookup(session.sigma_fp, session.query(*q), session.query(*q_prime))
+            cache.lookup(
+                session.sigma_fp(),
+                session.query(*q),
+                session.query(*q_prime),
+            )
         };
         hit.map(|summary| Outcome::Check {
             summary: Ok(summary),
@@ -435,6 +465,7 @@ impl Batcher {
             })
             .collect();
         let mut slots = Vec::with_capacity(probed.len());
+        let mut enqueued = 0u64;
         {
             let mut state = self.state.lock().expect("queue lock");
             for p in probed {
@@ -449,10 +480,15 @@ impl Batcher {
                             enqueued_us: 0,
                         });
                         slots.push(Slot::Wait(rx));
+                        enqueued += 1;
                     }
                 }
             }
         }
+        self.metrics
+            .lane(self.lane)
+            .queue_depth
+            .fetch_add(enqueued, std::sync::atomic::Ordering::Relaxed);
         slots
             .into_iter()
             .map(|slot| match slot {
@@ -468,6 +504,8 @@ impl Batcher {
     fn drain(&self) {
         let mut guard = LeaderGuard {
             state: &self.state,
+            metrics: &self.metrics,
+            lane: self.lane,
             armed: true,
         };
         for _ in 0..MAX_LEADER_ROUNDS {
@@ -487,9 +525,14 @@ impl Batcher {
             } else {
                 0
             };
+            self.metrics
+                .lane(self.lane)
+                .queue_depth
+                .fetch_sub(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
             let mut traced: Vec<u64> = Vec::new();
             for p in &batch {
-                self.metrics.record_queue_wait(p.enqueued.elapsed());
+                self.metrics
+                    .record_lane_queue_wait(self.lane, p.enqueued.elapsed());
                 if p.trace_id != 0 && p.enqueued_us != 0 {
                     self.tracer.record(
                         p.trace_id,
@@ -530,8 +573,13 @@ impl Batcher {
     /// whole segment before it and applies alone.
     fn run_batch(&self, batch: Vec<Pending>) {
         use std::sync::atomic::Ordering;
+        let shard = self.metrics.lane(self.lane);
         self.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        shard.batches.fetch_add(1, Ordering::Relaxed);
         self.metrics
+            .batched_items
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        shard
             .batched_items
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
 
@@ -548,6 +596,7 @@ impl Batcher {
                     {
                         if !segment.is_empty() {
                             self.metrics.barrier_flushes.fetch_add(1, Ordering::Relaxed);
+                            shard.barrier_flushes.fetch_add(1, Ordering::Relaxed);
                         }
                         self.run_segment(std::mem::take(&mut segment));
                         let result = self
@@ -586,6 +635,7 @@ impl Batcher {
     /// applies through one [`Session::apply_updates`] call.
     fn run_lane(&self, session: &Arc<Session>, lane: Vec<Pending>) {
         use std::sync::atomic::Ordering;
+        let shard = self.metrics.lane(self.lane);
         let mut segment: Vec<Pending> = Vec::new();
         let mut updates: Vec<(Vec<crate::proto::FactSpec>, Vec<crate::proto::FactSpec>)> =
             Vec::new();
@@ -602,6 +652,9 @@ impl Batcher {
                     self.metrics
                         .updates_coalesced
                         .fetch_add(updates.len() as u64 - 1, Ordering::Relaxed);
+                    shard
+                        .updates_coalesced
+                        .fetch_add(updates.len() as u64 - 1, Ordering::Relaxed);
                 }
                 let results = self.apply_deltas(session, updates, update_ids);
                 for (result, tx) in results.into_iter().zip(update_txs.drain(..)) {
@@ -615,6 +668,7 @@ impl Batcher {
                 Work::Update { insert, delete, .. } => {
                     if !segment.is_empty() {
                         self.metrics.barrier_flushes.fetch_add(1, Ordering::Relaxed);
+                        shard.barrier_flushes.fetch_add(1, Ordering::Relaxed);
                     }
                     self.run_segment(std::mem::take(&mut segment));
                     updates.push((insert, delete));
@@ -690,15 +744,20 @@ impl Batcher {
                 unique.push(ContainmentPair { q, q_prime });
             } else {
                 self.metrics.coalesced_items.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .lane(self.lane)
+                    .coalesced_items
+                    .fetch_add(1, Ordering::Relaxed);
             }
             entry.push(tx);
         }
 
+        let program = session.program();
         let answers = cqchase_par::check_batch(
-            &session.program.queries,
+            &program.queries,
             &unique,
-            &session.program.deps,
-            &session.program.catalog,
+            &program.deps,
+            &program.catalog,
             &session.opts,
             BatchOptions::with_threads(self.threads),
         );
@@ -710,12 +769,12 @@ impl Batcher {
                         contained: a.contained,
                         exact: a.exact,
                         empty_chase: a.empty_chase,
-                        class: session.class_name.clone(),
+                        class: session.class_name().to_owned(),
                         bound: a.bound,
                     };
                     let mut cache = session.sem_cache.lock().expect("semantic cache lock");
                     cache.insert(
-                        session.sigma_fp,
+                        session.sigma_fp(),
                         session.query(pair.q),
                         session.query(pair.q_prime),
                         s.clone(),
@@ -752,6 +811,10 @@ impl Batcher {
                 unique.push(q);
             } else {
                 self.metrics.coalesced_items.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .lane(self.lane)
+                    .coalesced_items
+                    .fetch_add(1, Ordering::Relaxed);
             }
             entry.push((trace_id, tx));
         }
@@ -828,8 +891,8 @@ mod tests {
         let direct = cqchase_core::contained(
             s.query(0),
             s.query(1),
-            &s.program.deps,
-            &s.program.catalog,
+            &s.program().deps,
+            &s.program().catalog,
             &s.opts,
         )
         .unwrap();
@@ -908,7 +971,7 @@ mod tests {
         assert!(!coalesced);
         let direct = {
             let facts = s.facts.read().unwrap();
-            cqchase_storage::evaluate(s.query(0), &facts.db)
+            cqchase_storage::evaluate(s.query(0), facts.db())
         };
         assert_eq!(rows, direct);
         let rendered = rows_to_value(&rows);
@@ -957,7 +1020,7 @@ mod tests {
         };
         let direct = {
             let facts = s.facts.read().unwrap();
-            cqchase_storage::evaluate(s.query(0), &facts.db)
+            cqchase_storage::evaluate(s.query(0), facts.db())
         };
         assert_eq!(rows, direct);
         // A bad update reports its error without wedging the queue.

@@ -24,26 +24,38 @@
 //! run concurrently); only snapshot rotation takes it exclusively, as
 //! the one operation that must see no log/apply in flight. Correctness
 //! of shared-mode updates rests on a caller contract: updates to the
-//! *same* session must be submitted serially (the admission queue's
-//! single batch leader guarantees this), so WAL order and apply order
-//! agree per session — records of different sessions commute on replay.
+//! *same* session must be submitted serially, so WAL order and apply
+//! order agree per session — records of different sessions commute on
+//! replay. The admission queue guarantees this even with N sharded
+//! lanes: a session's name hashes it onto exactly one lane
+//! ([`crate::lanes::lane_of`]), so all its updates flow through that
+//! lane's single batch leader; the N leaders only ever interleave
+//! *different* sessions' records.
+//!
+//! Sessions rebuilt here attach to shared catalogs: WAL `Register`
+//! replay goes through the [`CatalogRegistry`], and snapshot restore
+//! groups records by catalog identity so sessions that snapshotted
+//! identical programs re-share one base after recovery exactly as they
+//! did before the crash (a session whose facts had diverged gets a
+//! private build — sharing a base no other tenant wants would just
+//! double its memory).
 //!
 //! The gate serializes mutation *durability*, not reads: `check`/`eval`
 //! traffic never touches it, and the per-session coalescing of the
 //! admission queue still batches adjacent updates into one WAL record.
 
-use std::collections::HashSet;
-use std::fmt::Write as _;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::{Arc, Mutex, RwLock};
 
 use cqchase_durability::{
     Recovered, SessionRecord, Store, StoreError, UpdateDelta, WalRecord, DEFAULT_ROTATE_BYTES,
 };
-use cqchase_ir::{display, parse_program};
+use cqchase_ir::{parse_program, Program};
 use cqchase_obs::{SpanKind, Tracer};
 use serde_json::{Map, Value};
 
+use crate::catalog::{catalog_key, program_schema_text, CatalogRegistry};
 use crate::proto::FactSpec;
 use crate::session::{Session, SessionRegistry, UpdateSummary};
 
@@ -95,6 +107,10 @@ pub struct Durability {
     registry: Arc<SessionRegistry>,
     sem_cache_capacity: usize,
     plan_cache_capacity: usize,
+    /// The catalog table sessions attach to — both live registrations
+    /// and recovery replays route through it, so sessions over the same
+    /// program share one frozen catalog across restarts too.
+    catalogs: Arc<CatalogRegistry>,
     /// Names whose registration is durable (in the snapshot or a logged
     /// `Register` record). `log_update` refuses anything else, which is
     /// what makes replay order register-before-update airtight.
@@ -105,37 +121,16 @@ pub struct Durability {
     gate: RwLock<()>,
 }
 
-/// Renders the session's immutable schema — catalog, Σ, queries, **no**
-/// fact lines — as canonical surface text that round-trips through the
-/// parser. Facts travel separately in binary, which is what makes
-/// restore cheaper than re-registering the original program text.
-fn schema_text(session: &Session) -> String {
-    let cat = &session.program.catalog;
-    let mut out = String::new();
-    let catalog = display::catalog(cat).to_string();
-    if !catalog.is_empty() {
-        out.push_str(&catalog);
-        out.push('\n');
-    }
-    let deps = display::deps(&session.program.deps, cat).to_string();
-    if !deps.is_empty() {
-        out.push_str(&deps);
-        out.push('\n');
-    }
-    for q in &session.program.queries {
-        let _ = writeln!(out, "{}", display::query(q, cat));
-    }
-    out
-}
-
 /// Freezes a live session into a snapshot record. The facts lock is
 /// held shared for the whole render, so the facts and their epoch are
-/// one consistent cut.
+/// one consistent cut. The schema text comes from the same canonical
+/// renderer catalog identity uses ([`program_schema_text`]), so a
+/// restored session re-keys onto the catalog it shared before.
 fn render_session(session: &Session) -> SessionRecord {
-    let cat = &session.program.catalog;
+    let cat = &session.program().catalog;
     let facts = session.facts.read().expect("facts lock");
     let mut relations = Vec::new();
-    for (rel, inst) in facts.db.iter() {
+    for (rel, inst) in facts.db().iter() {
         let rows: Vec<Vec<cqchase_ir::Constant>> = inst
             .tuples()
             .map(|t| {
@@ -150,19 +145,15 @@ fn render_session(session: &Session) -> SessionRecord {
     }
     SessionRecord {
         name: session.name.clone(),
-        schema: schema_text(session),
+        schema: program_schema_text(session.program()),
         epoch: facts.epoch,
         relations,
     }
 }
 
-/// Rebuilds a session from a snapshot record: parse the schema text,
-/// attach the binary facts, rebuild warm state, restore the epoch.
-fn restore_session(
-    rec: &SessionRecord,
-    sem_cache_capacity: usize,
-    plan_cache_capacity: usize,
-) -> Result<Session, String> {
+/// Re-parses a snapshot record into a program: schema text through the
+/// parser, binary facts attached.
+fn restore_program(rec: &SessionRecord) -> Result<Program, String> {
     let mut program = parse_program(&rec.schema).map_err(|e| e.to_string())?;
     let mut facts = Vec::new();
     for (rel, rows) in &rec.relations {
@@ -175,12 +166,7 @@ fn restore_session(
         }
     }
     program.facts = facts;
-    let session =
-        Session::from_program(&rec.name, program, sem_cache_capacity, plan_cache_capacity)?;
-    // Answers must be bit-identical to the pre-crash session, and the
-    // epoch is part of observable state (update summaries, stats).
-    session.facts.write().expect("facts lock").epoch = rec.epoch;
-    Ok(session)
+    Ok(program)
 }
 
 impl Durability {
@@ -210,16 +196,49 @@ impl Durability {
         } = recovered;
         let fresh = sessions.is_empty() && wal.is_empty() && seq == 0;
 
+        let catalogs = Arc::new(CatalogRegistry::new(plan_cache_capacity));
         let snapshot_sessions = sessions.len();
         let mut logged = HashSet::new();
+        // Restore in two passes: parse every record, group by catalog
+        // identity, then share one frozen catalog among the groups of
+        // two or more. A session whose facts diverged from everyone
+        // else's gets a plain private build — parking its base in the
+        // registry would hold a second copy resident after its next
+        // update promotes it.
+        let mut programs = Vec::with_capacity(sessions.len());
+        let mut key_counts: HashMap<String, usize> = HashMap::new();
         for rec in &sessions {
-            let session =
-                restore_session(rec, sem_cache_capacity, plan_cache_capacity).map_err(|e| {
-                    corrupt(
-                        &format!("snap-{seq}"),
-                        format!("session `{}`: {e}", rec.name),
-                    )
-                })?;
+            let program = restore_program(rec).map_err(|e| {
+                corrupt(
+                    &format!("snap-{seq}"),
+                    format!("session `{}`: {e}", rec.name),
+                )
+            })?;
+            *key_counts.entry(catalog_key(&program)).or_insert(0) += 1;
+            programs.push(program);
+        }
+        for (rec, program) in sessions.iter().zip(programs) {
+            let shared = key_counts[&catalog_key(&program)] > 1;
+            let session = if shared {
+                catalogs.session_from_program(
+                    &rec.name,
+                    program,
+                    sem_cache_capacity,
+                    plan_cache_capacity,
+                )
+            } else {
+                Session::from_program(&rec.name, program, sem_cache_capacity, plan_cache_capacity)
+            }
+            .map_err(|e| {
+                corrupt(
+                    &format!("snap-{seq}"),
+                    format!("session `{}`: {e}", rec.name),
+                )
+            })?;
+            // Answers must be bit-identical to the pre-crash session,
+            // and the epoch is part of observable state (update
+            // summaries, stats).
+            session.facts.write().expect("facts lock").epoch = rec.epoch;
             registry
                 .insert_new(session)
                 .map_err(|e| corrupt(&format!("snap-{seq}"), e))?;
@@ -235,11 +254,16 @@ impl Durability {
                     // session) is the benign race of a registration
                     // logged just after a snapshot rendered it.
                     if registry.check_free(&name).is_ok() {
-                        let session =
-                            Session::new(&name, &program, sem_cache_capacity, plan_cache_capacity)
-                                .map_err(|e| {
-                                    corrupt(&wal_file, format!("replaying register `{name}`: {e}"))
-                                })?;
+                        let session = catalogs
+                            .session_from_source(
+                                &name,
+                                &program,
+                                sem_cache_capacity,
+                                plan_cache_capacity,
+                            )
+                            .map_err(|e| {
+                                corrupt(&wal_file, format!("replaying register `{name}`: {e}"))
+                            })?;
                         registry
                             .insert_new(session)
                             .map_err(|e| corrupt(&wal_file, e))?;
@@ -267,6 +291,7 @@ impl Durability {
             registry,
             sem_cache_capacity,
             plan_cache_capacity,
+            catalogs,
             logged: Mutex::new(logged),
             gate: RwLock::new(()),
         };
@@ -314,10 +339,11 @@ impl Durability {
         trace: Option<(&Tracer, u64)>,
     ) -> Result<Arc<Session>, String> {
         // Fail fast and build outside the gate: parsing and index
-        // construction are the expensive part, and `insert_new` stays
-        // the atomic arbiter for name races.
+        // construction are the expensive part (or an instant catalog
+        // attach), and `insert_new` stays the atomic arbiter for name
+        // races.
         self.registry.check_free(name)?;
-        let session = Session::new(
+        let session = self.catalogs.session_from_source(
             name,
             program,
             self.sem_cache_capacity,
@@ -428,6 +454,13 @@ impl Durability {
         drop(gate);
         self.maybe_rotate();
         out
+    }
+
+    /// The catalog table this durability layer attaches sessions to —
+    /// the server shares it so the durable and non-durable register
+    /// paths agree on catalog identity.
+    pub fn catalogs(&self) -> &Arc<CatalogRegistry> {
+        &self.catalogs
     }
 
     /// Forces a snapshot of every registered session, rotating the WAL.

@@ -1,0 +1,129 @@
+//! Sharded session lanes: N independent admission queues, session
+//! names hashed onto them deterministically.
+//!
+//! A single admission queue serializes every tenant behind one mutex
+//! and one batch leader. A [`LaneSet`] splits the server into `N`
+//! [`Batcher`] lanes — each with its own queue, its own self-promoting
+//! leader, its own slice of the compute thread pool, and its own
+//! [`crate::metrics::LaneShard`] — so a hot tenant's churn contends
+//! only with its lane-mates.
+//!
+//! Routing is [`lane_of`]: a deterministic hash of the session *name*.
+//! Determinism is load-bearing twice over:
+//!
+//! * a session always lands in the same lane, so all its updates flow
+//!   through one lane's single leader — the per-session serial-update
+//!   contract the durability layer's WAL ordering rests on survives
+//!   sharding unchanged;
+//! * recovery needs no lane state: after a restart with the same
+//!   `--lanes N`, every restored session hashes back into the lane it
+//!   lived in.
+//!
+//! With `N = 1` the set degenerates to exactly today's single queue —
+//! same `Batcher`, same counters — which is what keeps the lanes=1
+//! differential tests bit-identical.
+
+use cqchase_index::FxHasher;
+use std::hash::Hasher;
+
+use crate::batch::Batcher;
+
+/// The lane a session named `name` belongs to, out of `lanes`:
+/// a deterministic (FxHash) hash of the name's bytes, stable across
+/// processes and restarts. `lanes = 0` is treated as 1.
+pub fn lane_of(name: &str, lanes: usize) -> usize {
+    if lanes <= 1 {
+        return 0;
+    }
+    let mut h = FxHasher::default();
+    h.write(name.as_bytes());
+    (h.finish() % lanes as u64) as usize
+}
+
+/// N admission lanes. See the module docs.
+#[derive(Debug)]
+pub struct LaneSet {
+    lanes: Vec<Batcher>,
+}
+
+impl LaneSet {
+    /// Builds `count` lanes (at least 1), each from `make(lane_index)` —
+    /// the closure wires per-lane thread budgets, metrics shard
+    /// assignment ([`Batcher::with_lane`]), durability, and tracing.
+    pub fn new(count: usize, make: impl FnMut(usize) -> Batcher) -> LaneSet {
+        LaneSet {
+            lanes: (0..count.max(1)).map(make).collect(),
+        }
+    }
+
+    /// The lane serving session `name`.
+    pub fn for_session(&self, name: &str) -> &Batcher {
+        &self.lanes[lane_of(name, self.lanes.len())]
+    }
+
+    /// The lane at index `i`.
+    pub fn get(&self, i: usize) -> &Batcher {
+        &self.lanes[i]
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the set is empty (never: `new` builds at least 1 lane).
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use std::sync::Arc;
+
+    #[test]
+    fn lane_of_is_deterministic_and_in_range() {
+        for lanes in [1usize, 2, 3, 4, 8] {
+            for i in 0..64 {
+                let name = format!("session-{i}");
+                let lane = lane_of(&name, lanes);
+                assert!(lane < lanes);
+                assert_eq!(lane, lane_of(&name, lanes), "stable on re-hash");
+            }
+        }
+        assert_eq!(lane_of("anything", 1), 0);
+        assert_eq!(lane_of("anything", 0), 0, "lanes=0 folds to one lane");
+    }
+
+    #[test]
+    fn lane_of_spreads_names() {
+        // Not a hash-quality test — just: many names must not all pile
+        // into one lane.
+        let lanes = 4;
+        let mut counts = [0usize; 4];
+        for i in 0..256 {
+            counts[lane_of(&format!("tenant-{i}"), lanes)] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "every lane gets traffic: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn lane_set_routes_by_name_hash() {
+        let metrics = Arc::new(Metrics::with_lanes(4));
+        let set = LaneSet::new(4, |i| Batcher::new(1, Arc::clone(&metrics)).with_lane(i));
+        assert_eq!(set.len(), 4);
+        assert!(!set.is_empty());
+        for name in ["a", "b", "c", "zebra"] {
+            let want = lane_of(name, 4);
+            assert!(std::ptr::eq(set.for_session(name), set.get(want)));
+        }
+        // Zero lanes folds to one.
+        let one = LaneSet::new(0, |i| Batcher::new(1, Arc::clone(&metrics)).with_lane(i));
+        assert_eq!(one.len(), 1);
+    }
+}

@@ -17,10 +17,19 @@
 //!   index maintenance under a facts epoch that invalidates exactly the
 //!   eval-dependent caches (containment answers and satisfiable plans
 //!   survive);
+//! * [`catalog`] — the shared immutable catalog layer: sessions
+//!   registering the same program attach to one refcounted
+//!   `FrozenCatalog` (parsed program, Σ class, base facts + index, one
+//!   shared plan cache) and promote to private facts copy-on-write at
+//!   their first effective update;
 //! * [`batch`] — the admission/batching queue: concurrent requests
 //!   coalesce into `cqchase-par` batch runs (chase sharing, identical
 //!   in-flight requests answered once); updates are epoch barriers that
 //!   serialize against in-flight batch compute;
+//! * [`lanes`] — sharded session lanes: session names hash onto N
+//!   independent admission queues, each with its own batch leader,
+//!   thread-pool slice, and metrics shard, so many-tenant traffic stops
+//!   contending on one queue mutex;
 //! * [`cache`] — the semantic cache: containment answers keyed by the
 //!   *isomorphism class* of `(Q, Q′, Σ)` via [`cqchase_core::iso_key`],
 //!   verified by [`cqchase_core::is_isomorphic`], bounded LRU;
@@ -51,8 +60,10 @@
 
 pub mod batch;
 pub mod cache;
+pub mod catalog;
 pub mod client;
 pub mod durable;
+pub mod lanes;
 pub mod metrics;
 pub mod proto;
 pub mod server;
@@ -60,8 +71,10 @@ pub mod session;
 
 pub use batch::{BarrierMode, Batcher, Outcome, TraceAnnotations, Work};
 pub use cache::{CacheStats, SemanticCache};
+pub use catalog::{BaseFacts, CatalogRegistry, FrozenCatalog};
 pub use client::{Client, ClientError};
 pub use durable::{Durability, RecoveryReport};
+pub use lanes::{lane_of, LaneSet};
 pub use metrics::Metrics;
 pub use proto::{CheckSummary, FactSpec, Op, Request};
 pub use server::{ServeOptions, Server};

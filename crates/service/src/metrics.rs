@@ -49,7 +49,8 @@ fn bucket_edge_us(i: usize) -> u64 {
 }
 
 impl EndpointStats {
-    fn record(&self, latency: Duration, ok: bool) {
+    /// Records one sample (latency + outcome).
+    pub fn record(&self, latency: Duration, ok: bool) {
         let us = latency.as_micros() as u64;
         self.count.fetch_add(1, Ordering::Relaxed);
         if !ok {
@@ -110,15 +111,76 @@ impl EndpointStats {
     }
 }
 
+/// One lane's slice of the batching metrics: every counter the global
+/// aggregates keep, sharded by admission lane, plus a live queue-depth
+/// gauge — the per-lane families the `stats`/`metrics` endpoints expose
+/// so a hot tenant's lane is distinguishable from its neighbors.
+#[derive(Debug, Default)]
+pub struct LaneShard {
+    /// Batches executed by this lane's leader.
+    pub batches: AtomicU64,
+    /// Work items that went through this lane's batches.
+    pub batched_items: AtomicU64,
+    /// Items answered by riding an identical in-flight item.
+    pub coalesced_items: AtomicU64,
+    /// Updates merged into a preceding same-session update's
+    /// write-lock acquisition.
+    pub updates_coalesced: AtomicU64,
+    /// Update-free segments flushed early ahead of an update barrier.
+    pub barrier_flushes: AtomicU64,
+    /// Work items currently enqueued in this lane (gauge: incremented
+    /// at admission, decremented at leader pickup).
+    pub queue_depth: AtomicU64,
+    /// Admission wait per batched work item in this lane (enqueue →
+    /// leader pickup); the `errors` column is unused.
+    pub queue_wait: EndpointStats,
+}
+
+impl LaneShard {
+    fn snapshot(&self) -> Value {
+        let mut m = Map::new();
+        m.insert(
+            "batches".into(),
+            Value::from(self.batches.load(Ordering::Relaxed)),
+        );
+        m.insert(
+            "batched_items".into(),
+            Value::from(self.batched_items.load(Ordering::Relaxed)),
+        );
+        m.insert(
+            "coalesced_items".into(),
+            Value::from(self.coalesced_items.load(Ordering::Relaxed)),
+        );
+        m.insert(
+            "updates_coalesced".into(),
+            Value::from(self.updates_coalesced.load(Ordering::Relaxed)),
+        );
+        m.insert(
+            "barrier_flushes".into(),
+            Value::from(self.barrier_flushes.load(Ordering::Relaxed)),
+        );
+        m.insert(
+            "queue_depth".into(),
+            Value::from(self.queue_depth.load(Ordering::Relaxed)),
+        );
+        m.insert("queue_wait".into(), self.queue_wait.snapshot());
+        Value::Object(m)
+    }
+}
+
 /// All server metrics. One instance lives in the server's shared state.
 #[derive(Debug)]
 pub struct Metrics {
     start: Instant,
     endpoints: [EndpointStats; ALL_OPS.len()],
     /// Admission-queue wait per batched work item (enqueue → leader
-    /// pickup); the `errors` column is unused.
+    /// pickup), across all lanes; the `errors` column is unused.
     queue_wait: EndpointStats,
-    /// Batches executed by the admission queue's leader.
+    /// Per-lane shards of the batching counters. The global aggregates
+    /// below stay authoritative (and backward compatible); each shard
+    /// holds its lane's slice.
+    lanes: Vec<LaneShard>,
+    /// Batches executed by the admission queue's leader(s).
     pub batches: AtomicU64,
     /// Work items that went through a batch.
     pub batched_items: AtomicU64,
@@ -134,28 +196,51 @@ pub struct Metrics {
     pub barrier_flushes: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
+    /// Connections refused at the accept loop because the server was
+    /// at its connection cap. One counter shared by every lane —
+    /// refusal happens before lane routing.
+    pub overload_refusals: AtomicU64,
 }
 
 impl Default for Metrics {
     fn default() -> Self {
+        Metrics::with_lanes(1)
+    }
+}
+
+impl Metrics {
+    /// Fresh single-lane metrics with the uptime clock starting now.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Fresh metrics sharded over `lanes` admission lanes (at least 1).
+    pub fn with_lanes(lanes: usize) -> Metrics {
         Metrics {
             start: Instant::now(),
             endpoints: Default::default(),
             queue_wait: EndpointStats::default(),
+            lanes: (0..lanes.max(1)).map(|_| LaneShard::default()).collect(),
             batches: AtomicU64::new(0),
             batched_items: AtomicU64::new(0),
             coalesced_items: AtomicU64::new(0),
             updates_coalesced: AtomicU64::new(0),
             barrier_flushes: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            overload_refusals: AtomicU64::new(0),
         }
     }
-}
 
-impl Metrics {
-    /// Fresh metrics with the uptime clock starting now.
-    pub fn new() -> Metrics {
-        Metrics::default()
+    /// The shard for lane `i`. Out-of-range lanes (a standalone
+    /// `Batcher` built against single-lane metrics) fold onto lane 0
+    /// rather than panic.
+    pub fn lane(&self, i: usize) -> &LaneShard {
+        self.lanes.get(i).unwrap_or(&self.lanes[0])
+    }
+
+    /// Number of lane shards.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
     }
 
     /// Records one request's latency and outcome.
@@ -169,9 +254,16 @@ impl Metrics {
     }
 
     /// Records one work item's admission-queue wait (enqueue → leader
-    /// pickup).
+    /// pickup) against the global histogram only.
     pub fn record_queue_wait(&self, wait: Duration) {
         self.queue_wait.record(wait, true);
+    }
+
+    /// Records one work item's admission-queue wait against both the
+    /// global histogram and lane `lane`'s shard.
+    pub fn record_lane_queue_wait(&self, lane: usize, wait: Duration) {
+        self.queue_wait.record(wait, true);
+        self.lane(lane).queue_wait.record(wait, true);
     }
 
     /// Time since the metrics (and server) started.
@@ -208,6 +300,13 @@ impl Metrics {
             "barrier_flushes".into(),
             Value::from(self.barrier_flushes.load(Ordering::Relaxed)),
         );
+        let mut lane_detail = Map::new();
+        for (i, shard) in self.lanes.iter().enumerate() {
+            lane_detail.insert(i.to_string(), shard.snapshot());
+        }
+        let mut lanes = Map::new();
+        lanes.insert("count".into(), Value::from(self.lanes.len()));
+        lanes.insert("detail".into(), Value::Object(lane_detail));
         let mut m = Map::new();
         m.insert(
             "uptime_us".into(),
@@ -217,9 +316,14 @@ impl Metrics {
             "connections".into(),
             Value::from(self.connections.load(Ordering::Relaxed)),
         );
+        m.insert(
+            "overload_refusals".into(),
+            Value::from(self.overload_refusals.load(Ordering::Relaxed)),
+        );
         m.insert("endpoints".into(), Value::Object(endpoints));
         m.insert("batching".into(), Value::Object(batching));
         m.insert("queue_wait".into(), self.queue_wait.snapshot());
+        m.insert("lanes".into(), Value::Object(lanes));
         m
     }
 }
@@ -295,6 +399,26 @@ mod tests {
         assert!(snap["endpoints"]["check"]["p50_us"].as_u64().unwrap() >= 4);
         assert!(snap["endpoints"]["check"]["p99_us"].as_u64().unwrap() >= 8192);
         assert_eq!(snap["endpoints"]["stats"]["count"], 0u64);
+    }
+
+    #[test]
+    fn lane_shards_appear_in_snapshot() {
+        let m = Metrics::with_lanes(2);
+        m.lane(1).batches.fetch_add(3, Ordering::Relaxed);
+        m.record_lane_queue_wait(1, Duration::from_micros(5));
+        m.overload_refusals.fetch_add(1, Ordering::Relaxed);
+        let snap = Value::Object(m.snapshot());
+        assert_eq!(snap["lanes"]["count"], 2u64);
+        assert_eq!(snap["lanes"]["detail"]["1"]["batches"], 3u64);
+        assert_eq!(snap["lanes"]["detail"]["1"]["queue_wait"]["count"], 1u64);
+        assert_eq!(snap["lanes"]["detail"]["0"]["batches"], 0u64);
+        assert_eq!(snap["overload_refusals"], 1u64);
+        assert_eq!(
+            snap["queue_wait"]["count"], 1u64,
+            "lane waits feed the global histogram too"
+        );
+        // Out-of-range lane indexes fold onto lane 0 instead of panicking.
+        assert_eq!(Metrics::new().lane(7).batches.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -27,7 +27,9 @@ use cqchase_par::ThreadPool;
 use serde_json::{Map, Value};
 
 use crate::batch::{rows_to_value, Batcher, Outcome, TraceAnnotations, Work};
+use crate::catalog::CatalogRegistry;
 use crate::durable::{Durability, RecoveryReport, StdIo};
+use crate::lanes::{lane_of, LaneSet};
 use crate::metrics::Metrics;
 use crate::proto::{error_response, ok_response, Op, Request};
 use crate::session::{Session, SessionRegistry};
@@ -37,13 +39,36 @@ use crate::session::{Session, SessionRegistry};
 /// overwritten.
 const TRACE_CAPACITY: usize = 4096;
 
+/// Cap on the `sessions_detail` block in `stats`/`metrics` responses:
+/// with thousands of resident sessions, per-session gauges for every
+/// one would dominate the payload (and the Prometheus exposition), so
+/// only the top entries by lifetime request traffic are itemized and
+/// `sessions_detail_omitted` counts the rest. Aggregates always cover
+/// every session.
+const SESSIONS_DETAIL_CAP: usize = 64;
+
+/// Default lane count for [`ServeOptions::lanes`]: one admission lane
+/// per core up to 8 — past that, leader self-promotion churn outweighs
+/// the contention relief on any workload we measure.
+pub fn default_lanes() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Bind address (`host:port`; port 0 picks a free port).
     pub addr: String,
-    /// Worker threads for containment/evaluation batches.
+    /// Worker threads for containment/evaluation batches (split across
+    /// lanes: each lane's batcher gets `max(1, batch_threads / lanes)`).
     pub batch_threads: usize,
+    /// Session lanes: independent admission queues session names hash
+    /// onto, each with its own batch leader, compute-pool slice, and
+    /// metrics shard. `1` reproduces the single-queue server exactly.
+    pub lanes: usize,
     /// Connection-handler threads (bounds concurrent connections).
     pub conn_workers: usize,
     /// Semantic-cache capacity per session (0 disables caching).
@@ -75,6 +100,7 @@ impl Default for ServeOptions {
         ServeOptions {
             addr: "127.0.0.1:7878".into(),
             batch_threads: cqchase_par::default_threads(),
+            lanes: default_lanes(),
             conn_workers: 8,
             sem_cache_capacity: 1024,
             plan_cache_capacity: 256,
@@ -89,7 +115,13 @@ impl Default for ServeOptions {
 /// State shared by every connection handler.
 struct Shared {
     sessions: Arc<SessionRegistry>,
-    batcher: Batcher,
+    /// N admission lanes; requests route by `lane_of(session name)`.
+    lanes: LaneSet,
+    /// The shared-catalog registry: sessions registering an identical
+    /// program attach to one frozen catalog instead of rebuilding it.
+    /// Shared with the durability layer when one is configured, so
+    /// recovery and live registration dedupe against the same pool.
+    catalogs: Arc<CatalogRegistry>,
     durability: Option<Arc<Durability>>,
     metrics: Arc<Metrics>,
     shutdown: AtomicBool,
@@ -134,7 +166,8 @@ impl Server {
     pub fn bind(opts: ServeOptions) -> io::Result<Server> {
         let listener = TcpListener::bind(&opts.addr)?;
         let local_addr = listener.local_addr()?;
-        let metrics = Arc::new(Metrics::new());
+        let lane_count = opts.lanes.max(1);
+        let metrics = Arc::new(Metrics::with_lanes(lane_count));
         let sessions = Arc::new(SessionRegistry::new());
         let (durability, recovery) = match &opts.data_dir {
             None => (None, None),
@@ -156,15 +189,30 @@ impl Server {
             // a restart actually restored.
             eprintln!("{}", report.to_json());
         }
+        // One catalog pool for the whole process: the durable path
+        // already owns one (recovery attaches restored sessions to it),
+        // the in-memory server builds its own.
+        let catalogs = match &durability {
+            Some(d) => Arc::clone(d.catalogs()),
+            None => Arc::new(CatalogRegistry::new(opts.plan_cache_capacity)),
+        };
         let tracer = Arc::new(Tracer::new(TRACE_CAPACITY));
         tracer.set_enabled(opts.trace || opts.slow_query_us.is_some());
         let annotations: Arc<TraceAnnotations> =
             Arc::new(std::sync::Mutex::new(FxHashMap::default()));
-        let mut batcher = Batcher::new(opts.batch_threads, Arc::clone(&metrics))
-            .with_tracing(Arc::clone(&tracer), Arc::clone(&annotations));
-        if let Some(d) = &durability {
-            batcher = batcher.with_durability(Arc::clone(d));
-        }
+        // Each lane gets its own batcher over its own slice of the
+        // compute budget; with one lane this is exactly the old single
+        // batcher (same thread count, same counters).
+        let threads_per_lane = (opts.batch_threads / lane_count).max(1);
+        let lanes = LaneSet::new(lane_count, |i| {
+            let mut b = Batcher::new(threads_per_lane, Arc::clone(&metrics))
+                .with_lane(i)
+                .with_tracing(Arc::clone(&tracer), Arc::clone(&annotations));
+            if let Some(d) = &durability {
+                b = b.with_durability(Arc::clone(d));
+            }
+            b
+        });
         let slowlog = match (&opts.data_dir, opts.slow_query_us) {
             (Some(dir), Some(_)) => std::fs::OpenOptions::new()
                 .create(true)
@@ -176,7 +224,8 @@ impl Server {
         };
         let shared = Arc::new(Shared {
             sessions,
-            batcher,
+            lanes,
+            catalogs,
             durability,
             metrics,
             shutdown: AtomicBool::new(false),
@@ -233,6 +282,12 @@ impl Server {
                 break;
             }
             if self.shared.active_conns.load(Ordering::Relaxed) >= max_conns {
+                // One process-wide counter regardless of lane count:
+                // refusals happen at accept, before any lane routing.
+                self.shared
+                    .metrics
+                    .overload_refusals
+                    .fetch_add(1, Ordering::Relaxed);
                 let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
                 let mut line = error_response(
                     None,
@@ -556,7 +611,10 @@ fn trigger_shutdown(shared: &Shared) {
 }
 
 fn get_session(shared: &Shared, name: &str) -> Result<Arc<Session>, String> {
-    shared.sessions.get(name)
+    let s = shared.sessions.get(name)?;
+    // Lifetime traffic drives the top-K `sessions_detail` selection.
+    s.traffic.fetch_add(1, Ordering::Relaxed);
+    Ok(s)
 }
 
 fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
@@ -579,7 +637,7 @@ fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
                     .sessions
                     .check_free(&session)
                     .and_then(|()| {
-                        Session::new(
+                        shared.catalogs.session_from_source(
                             &session,
                             &program,
                             shared.opts.sem_cache_capacity,
@@ -590,22 +648,29 @@ fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
             };
             match built {
                 Ok(s) => {
+                    s.traffic.fetch_add(1, Ordering::Relaxed);
+                    let program = s.program();
                     let mut m = ok_response(op);
                     m.insert("session".into(), Value::from(session.as_str()));
                     m.insert(
                         "queries".into(),
                         Value::Array(
-                            s.program
+                            program
                                 .queries
                                 .iter()
                                 .map(|q| Value::from(q.name.as_str()))
                                 .collect(),
                         ),
                     );
-                    m.insert("relations".into(), Value::from(s.program.catalog.len()));
-                    m.insert("dependencies".into(), Value::from(s.program.deps.len()));
-                    m.insert("facts".into(), Value::from(s.program.facts.len()));
-                    m.insert("class".into(), Value::from(s.class_name.as_str()));
+                    m.insert("relations".into(), Value::from(program.catalog.len()));
+                    m.insert("dependencies".into(), Value::from(program.deps.len()));
+                    m.insert("facts".into(), Value::from(program.facts.len()));
+                    m.insert("class".into(), Value::from(s.class_name()));
+                    m.insert("shared".into(), Value::from(s.facts_shared()));
+                    m.insert(
+                        "lane".into(),
+                        Value::from(lane_of(&session, shared.lanes.len())),
+                    );
                     Value::Object(m)
                 }
                 Err(msg) => error_response(Some(op), &msg),
@@ -620,7 +685,7 @@ fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
                 Ok(s) => s,
                 Err(msg) => return error_response(Some(op), &msg),
             };
-            match shared.batcher.submit_traced(
+            match shared.lanes.for_session(&session).submit_traced(
                 Work::Update {
                     session: s,
                     insert,
@@ -655,7 +720,7 @@ fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
                 Ok(x) => x,
                 Err(msg) => return error_response(Some(op), &msg),
             };
-            match shared.batcher.submit_traced(
+            match shared.lanes.for_session(&session).submit_traced(
                 Work::Check {
                     session: s,
                     q: qi,
@@ -691,7 +756,8 @@ fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
                 Err(msg) => return error_response(Some(op), &msg),
             };
             match shared
-                .batcher
+                .lanes
+                .for_session(&session)
                 .submit_traced(Work::Eval { session: s, q: qi }, trace_id)
             {
                 Ok(Outcome::Eval {
@@ -715,10 +781,10 @@ fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
             Ok(s) => {
                 let mut m = ok_response(op);
                 m.insert("session".into(), Value::from(session.as_str()));
-                m.insert("class".into(), Value::from(s.class_name.as_str()));
-                m.insert("relations".into(), Value::from(s.program.catalog.len()));
-                m.insert("fds".into(), Value::from(s.program.deps.num_fds()));
-                m.insert("inds".into(), Value::from(s.program.deps.num_inds()));
+                m.insert("class".into(), Value::from(s.class_name()));
+                m.insert("relations".into(), Value::from(s.program().catalog.len()));
+                m.insert("fds".into(), Value::from(s.program().deps.num_fds()));
+                m.insert("inds".into(), Value::from(s.program().deps.num_inds()));
                 let (facts, epoch) = s.facts_snapshot();
                 m.insert("facts".into(), Value::from(facts));
                 m.insert("facts_epoch".into(), Value::from(epoch));
@@ -782,6 +848,7 @@ fn stats_value(shared: &Shared) -> Map<String, Value> {
         "batch_threads".into(),
         Value::from(shared.opts.batch_threads),
     );
+    server.insert("lanes".into(), Value::from(shared.lanes.len()));
     server.insert("conn_workers".into(), Value::from(shared.opts.conn_workers));
     server.insert(
         "sem_cache_capacity".into(),
@@ -807,13 +874,34 @@ fn stats_value(shared: &Shared) -> Map<String, Value> {
     m.insert("server".into(), Value::Object(server));
     // Aggregate cache counters across sessions, and collect per-session
     // gauges (rendered as `{session="…"}`-labelled Prometheus series).
+    //
+    // Plan-cache activity aggregates from each session's mirror
+    // counters (`EvalState::plan_hits` etc.), which attribute work done
+    // against a *shared* catalog plan cache to the session that ran it;
+    // summing the private `PlanCache` counters instead would miss every
+    // shared-cache run. Evictions have no mirror, so they sum from the
+    // private caches plus each distinct shared catalog counted once
+    // below.
     let (mut hits, mut misses, mut evictions, mut entries) = (0u64, 0u64, 0u64, 0usize);
     let (mut plan_hits, mut plan_misses, mut plan_evictions) = (0u64, 0u64, 0u64);
     let (mut plan_replans, mut plan_acyclic) = (0u64, 0u64);
     let mut eval_row_hits = 0u64;
     let (mut compactions, mut slots_reclaimed, mut bytes_reclaimed) = (0u64, 0u64, 0u64);
-    let mut detail = Map::new();
-    for s in shared.sessions.snapshot() {
+    let all = shared.sessions.snapshot();
+    struct SessionGauges {
+        name: String,
+        traffic: u64,
+        facts: usize,
+        epoch: u64,
+        result_hits: u64,
+        plan_hits: u64,
+        plan_misses: u64,
+        sem_hits: u64,
+        sem_misses: u64,
+        shared_facts: bool,
+    }
+    let mut gauges: Vec<SessionGauges> = Vec::with_capacity(all.len());
+    for s in &all {
         let c = s.sem_cache.lock().expect("semantic cache lock").stats();
         hits += c.hits;
         misses += c.misses;
@@ -828,44 +916,110 @@ fn stats_value(shared: &Shared) -> Map<String, Value> {
             // facts.read() would be an ABBA deadlock against a
             // concurrent update.
             let e = s.eval_state.lock().expect("eval state lock");
-            plan_hits += e.plans.hits() as u64;
-            plan_misses += e.plans.misses() as u64;
+            plan_hits += e.plan_hits;
+            plan_misses += e.plan_misses;
             plan_evictions += e.plans.evictions() as u64;
-            plan_replans += e.plans.replans() as u64;
-            plan_acyclic += e.plans.acyclic_served() as u64;
+            plan_replans += e.plan_replans;
+            plan_acyclic += e.plan_acyclic_served;
             eval_row_hits += e.result_hits;
-            (
-                e.result_hits,
-                e.plans.hits() as u64,
-                e.plans.misses() as u64,
-            )
+            (e.result_hits, e.plan_hits, e.plan_misses)
         };
         let (session_facts, session_epoch) = s.facts_snapshot();
         let facts = s.facts.read().expect("facts lock");
-        compactions += facts.index.compactions();
-        slots_reclaimed += facts.index.slots_reclaimed();
-        bytes_reclaimed += facts.index.bytes_reclaimed();
+        let shared_facts = facts.is_shared();
+        if !shared_facts {
+            // A shared base index never mutates (updates promote to a
+            // private copy first), so only owned indexes carry
+            // compaction work — and counting a base once per attached
+            // session would overstate it anyway.
+            compactions += facts.index().compactions();
+            slots_reclaimed += facts.index().slots_reclaimed();
+            bytes_reclaimed += facts.index().bytes_reclaimed();
+        }
         drop(facts);
+        gauges.push(SessionGauges {
+            name: s.name.clone(),
+            traffic: s.traffic.load(Ordering::Relaxed),
+            facts: session_facts,
+            epoch: session_epoch,
+            result_hits: session_result_hits,
+            plan_hits: session_plan_hits,
+            plan_misses: session_plan_misses,
+            sem_hits: c.hits,
+            sem_misses: c.misses,
+            shared_facts,
+        });
+    }
+    // Itemize only the top sessions by lifetime traffic (aggregates
+    // above already cover everyone); ties break by name so the
+    // selection is deterministic.
+    let omitted = gauges.len().saturating_sub(SESSIONS_DETAIL_CAP);
+    if omitted > 0 {
+        gauges.sort_by(|a, b| b.traffic.cmp(&a.traffic).then_with(|| a.name.cmp(&b.name)));
+        gauges.truncate(SESSIONS_DETAIL_CAP);
+    }
+    let mut detail = Map::new();
+    for g in &gauges {
         let mut sd = Map::new();
-        sd.insert("facts".into(), Value::from(session_facts));
-        sd.insert("epoch".into(), Value::from(session_epoch));
-        sd.insert("eval_result_hits".into(), Value::from(session_result_hits));
-        sd.insert("sem_cache_hits".into(), Value::from(c.hits));
-        sd.insert("sem_cache_misses".into(), Value::from(c.misses));
-        let probes = c.hits + c.misses;
+        sd.insert("facts".into(), Value::from(g.facts));
+        sd.insert("epoch".into(), Value::from(g.epoch));
+        sd.insert(
+            "lane".into(),
+            Value::from(lane_of(&g.name, shared.lanes.len())),
+        );
+        sd.insert("traffic".into(), Value::from(g.traffic));
+        sd.insert("shared_catalog".into(), Value::from(g.shared_facts));
+        sd.insert("eval_result_hits".into(), Value::from(g.result_hits));
+        sd.insert("sem_cache_hits".into(), Value::from(g.sem_hits));
+        sd.insert("sem_cache_misses".into(), Value::from(g.sem_misses));
+        let probes = g.sem_hits + g.sem_misses;
         sd.insert(
             "sem_cache_hit_rate".into(),
             Value::from(if probes == 0 {
                 0.0
             } else {
-                c.hits as f64 / probes as f64
+                g.sem_hits as f64 / probes as f64
             }),
         );
-        sd.insert("plan_cache_hits".into(), Value::from(session_plan_hits));
-        sd.insert("plan_cache_misses".into(), Value::from(session_plan_misses));
-        detail.insert(s.name.clone(), Value::Object(sd));
+        sd.insert("plan_cache_hits".into(), Value::from(g.plan_hits));
+        sd.insert("plan_cache_misses".into(), Value::from(g.plan_misses));
+        detail.insert(g.name.clone(), Value::Object(sd));
     }
     m.insert("sessions_detail".into(), Value::Object(detail));
+    m.insert("sessions_detail_omitted".into(), Value::from(omitted));
+    // The shared-catalog pool: distinct frozen catalogs, how many
+    // registrations built vs attached, copy-on-write promotions, and
+    // the resident bytes deduplicated across attached sessions. Shared
+    // plan-cache evictions fold into the plan_cache block here, counted
+    // once per catalog (hits/misses/replans are already attributed to
+    // sessions via the mirrors above).
+    let mut catalog_promotions = 0u64;
+    let mut catalog_attached = 0u64;
+    let mut shared_resident_bytes = 0usize;
+    for c in shared.catalogs.snapshot() {
+        let (_, _, ev, _, _) = c.shared_plan_counters();
+        plan_evictions += ev;
+        catalog_promotions += c.promotions.load(Ordering::Relaxed);
+        catalog_attached += c.attached.load(Ordering::Relaxed);
+        shared_resident_bytes += c.resident_bytes();
+    }
+    let mut catalogs = Map::new();
+    catalogs.insert("distinct".into(), Value::from(shared.catalogs.len()));
+    catalogs.insert(
+        "builds".into(),
+        Value::from(shared.catalogs.builds.load(Ordering::Relaxed)),
+    );
+    catalogs.insert(
+        "attaches".into(),
+        Value::from(shared.catalogs.attaches.load(Ordering::Relaxed)),
+    );
+    catalogs.insert("attached_sessions".into(), Value::from(catalog_attached));
+    catalogs.insert("promotions".into(), Value::from(catalog_promotions));
+    catalogs.insert(
+        "shared_resident_bytes".into(),
+        Value::from(shared_resident_bytes),
+    );
+    m.insert("catalogs".into(), Value::Object(catalogs));
     let mut sem = Map::new();
     sem.insert("hits".into(), Value::from(hits));
     sem.insert("misses".into(), Value::from(misses));

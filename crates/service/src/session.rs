@@ -6,11 +6,15 @@
 //! ground facts' [`DbIndex`] (interned symbols + column posting lists),
 //! a bounded [`PlanCache`] of compiled evaluation plans, and the
 //! semantic containment cache are all built once at registration and
-//! then served hot. The catalog, Σ, and queries are immutable for the
-//! session's lifetime; the **facts** are live — [`Session::apply_update`]
-//! applies insert/delete deltas through the incremental index
-//! maintenance of [`DbIndex`] under a facts [`RwLock`], bumping a
-//! *facts epoch* that invalidates exactly the eval-dependent state:
+//! then served hot. The immutable part — program, Σ, classification,
+//! fingerprint — lives in a refcounted [`FrozenCatalog`]; sessions
+//! registering the same program **attach** to one shared catalog
+//! (shared base facts, shared plan cache) instead of rebuilding, and a
+//! library/test session gets a private catalog of its own. The
+//! **facts** are live — [`Session::apply_update`] applies insert/delete
+//! deltas through the incremental index maintenance of [`DbIndex`]
+//! under a facts [`RwLock`], bumping a *facts epoch* that invalidates
+//! exactly the eval-dependent state:
 //!
 //! * cached eval rows (epoch-tagged) are dropped;
 //! * cached "unsatisfiable" plans are dropped when an insert interns a
@@ -19,31 +23,44 @@
 //! * containment answers (the semantic cache) and compiled plans are
 //!   facts-independent and survive untouched.
 //!
+//! A session attached to a shared catalog starts with
+//! [`FactsRep::Shared`] facts — a pointer into the catalog's base, zero
+//! marginal bytes — and **promotes copy-on-write** on its first
+//! *effective* update: the base database + index are cloned into
+//! [`FactsRep::Owned`] private state and mutated there, invisibly to
+//! the catalog's other tenants. No-op updates (deltas the base already
+//! satisfies) report zero-effect summaries without promoting.
+//!
 //! Any number of connection threads share a session (`Arc<Session>`);
 //! readers take the facts lock shared, updates take it exclusively —
 //! and a run of adjacent updates drained from the admission queue
 //! applies through one [`Session::apply_updates`] call: one write-lock
 //! acquisition, one epoch bump, per-delta summaries. Lock order is
-//! `facts` before `eval_state` everywhere.
+//! `facts` before `eval_state` before the shared plan cache, everywhere.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use cqchase_core::{classify, ContainmentOptions, SigmaClass};
+use cqchase_core::{ContainmentOptions, SigmaClass};
 use cqchase_index::{ExecStats, FxHashMap, JoinScratch, PlanCache};
 use cqchase_ir::{parse_program, ConjunctiveQuery, Program};
 use cqchase_obs::{SpanKind, Tracer};
 use cqchase_storage::{evaluate_indexed_with, Database, DbIndex, Tuple, Value};
 use serde_json::{Map as JsonMap, Value as Json};
 
-use crate::cache::{sigma_fingerprint, SemanticCache};
+use crate::cache::SemanticCache;
+use crate::catalog::{BaseFacts, FrozenCatalog};
 use crate::proto::FactSpec;
 
 /// Warm per-session evaluation state: compiled plans, join scratch, and
 /// epoch-tagged result rows, all dedicated to the session's index.
 #[derive(Debug)]
 pub struct EvalState {
-    /// Bounded plan cache (dedicated to this session's [`DbIndex`]).
+    /// Bounded **private** plan cache. Used from the moment the
+    /// session's facts are owned; while the facts are still the shared
+    /// catalog base, evals run against the catalog's shared cache
+    /// instead and this one stays empty.
     pub plans: PlanCache,
     /// Reusable join working memory.
     pub scratch: JoinScratch,
@@ -55,19 +72,81 @@ pub struct EvalState {
     results: FxHashMap<usize, (u64, Vec<Tuple>)>,
     /// Eval answers served from `results` (observability).
     pub result_hits: u64,
+    /// This session's plan-cache hits, counted across whichever cache
+    /// (shared or private) served them — the shared cache's own
+    /// counters aggregate all tenants, these mirrors attribute the
+    /// session's slice.
+    pub plan_hits: u64,
+    /// Session-attributed plan compiles (cache misses).
+    pub plan_misses: u64,
+    /// Session-attributed replans.
+    pub plan_replans: u64,
+    /// Session-attributed acyclic fast-path servings.
+    pub plan_acyclic_served: u64,
 }
 
-/// The session's live facts: database, derived index, and the epoch
-/// counter that brands eval-dependent caches.
+/// Where a session's facts physically live.
+///
+/// Exactly one per session, behind the facts RwLock — never stored in
+/// bulk, so the Shared/Owned size spread costs nothing and boxing the
+/// owned half would only tax every post-promotion access.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum FactsRep {
+    /// The catalog's shared base — read-only, zero marginal bytes.
+    Shared(Arc<BaseFacts>),
+    /// Private copy, mutated in place by updates.
+    Owned {
+        /// The ground facts as a database.
+        db: Database,
+        /// Warm column indexes over `db`, maintained incrementally.
+        index: DbIndex,
+    },
+}
+
+/// The session's live facts: database + index (shared or owned) and
+/// the epoch counter that brands eval-dependent caches.
 #[derive(Debug)]
 pub struct FactsState {
-    /// The ground facts as a database.
-    pub db: Database,
-    /// Warm column indexes over `db`, maintained incrementally.
-    pub index: DbIndex,
+    rep: FactsRep,
     /// Bumped by every effective update; epoch-tagged caches compare
     /// against it before serving.
     pub epoch: u64,
+}
+
+impl FactsState {
+    /// The facts as a database (shared base or private copy).
+    pub fn db(&self) -> &Database {
+        match &self.rep {
+            FactsRep::Shared(base) => &base.db,
+            FactsRep::Owned { db, .. } => db,
+        }
+    }
+
+    /// The warm index over [`FactsState::db`].
+    pub fn index(&self) -> &DbIndex {
+        match &self.rep {
+            FactsRep::Shared(base) => &base.index,
+            FactsRep::Owned { index, .. } => index,
+        }
+    }
+
+    /// Whether the facts are still the catalog's shared base.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.rep, FactsRep::Shared(_))
+    }
+
+    /// Copy-on-write promotion: clones the shared base into private
+    /// state (counted on the catalog). No-op when already owned.
+    fn promote(&mut self, catalog: &FrozenCatalog) {
+        if let FactsRep::Shared(base) = &self.rep {
+            catalog.promotions.fetch_add(1, Ordering::Relaxed);
+            self.rep = FactsRep::Owned {
+                db: base.db.clone(),
+                index: base.index.clone(),
+            };
+        }
+    }
 }
 
 /// What one [`Session::apply_update`] did, as reported on the wire.
@@ -88,15 +167,9 @@ pub struct UpdateSummary {
 pub struct Session {
     /// The session name (registry key).
     pub name: String,
-    /// The parsed program: catalog, Σ, queries, and the *registered*
-    /// ground facts (updates mutate [`Session::facts`], not this).
-    pub program: Program,
-    /// Σ's classification (selects the decision procedure).
-    pub class: SigmaClass,
-    /// Stable rendering of `class` for the wire.
-    pub class_name: String,
-    /// Fingerprint of Σ for semantic-cache keys.
-    pub sigma_fp: u64,
+    /// The immutable catalog this session runs over — possibly shared
+    /// with other sessions registered from the same program.
+    pub catalog: Arc<FrozenCatalog>,
     /// The live facts (database + index + epoch).
     pub facts: RwLock<FactsState>,
     /// Containment options every check in this session runs under
@@ -106,6 +179,9 @@ pub struct Session {
     pub eval_state: Mutex<EvalState>,
     /// The semantic containment cache.
     pub sem_cache: Mutex<SemanticCache>,
+    /// Requests routed to this session (any op), for the stats view's
+    /// top-K selection of `sessions_detail`.
+    pub traffic: AtomicU64,
 }
 
 /// Stable one-line rendering of a Σ class (the `Debug` form of
@@ -122,7 +198,8 @@ pub fn class_name(class: &SigmaClass) -> String {
 }
 
 impl Session {
-    /// Builds a session from program text (the `register` path).
+    /// Builds a session from program text (the standalone path: a
+    /// private catalog, owned facts).
     pub fn new(
         name: &str,
         program_src: &str,
@@ -141,55 +218,124 @@ impl Session {
         sem_cache_capacity: usize,
         plan_cache_capacity: usize,
     ) -> Result<Session, String> {
-        let db =
-            Database::from_facts(&program.catalog, &program.facts).map_err(|e| e.to_string())?;
-        let index = DbIndex::build(&db);
-        let class = classify(&program.deps, &program.catalog);
-        Ok(Session {
+        let (catalog, db, index) = FrozenCatalog::private(program)?;
+        Ok(Session::assemble(
+            name,
+            catalog,
+            FactsRep::Owned { db, index },
+            sem_cache_capacity,
+            plan_cache_capacity,
+        ))
+    }
+
+    /// Attaches a session to a **shared** catalog: the facts point at
+    /// the catalog's base (zero marginal bytes) until the session's
+    /// first effective update promotes them copy-on-write.
+    pub fn attach(
+        name: &str,
+        catalog: Arc<FrozenCatalog>,
+        sem_cache_capacity: usize,
+        plan_cache_capacity: usize,
+    ) -> Session {
+        let base = Arc::clone(
+            catalog
+                .base()
+                .expect("attach requires a shared catalog with base facts"),
+        );
+        Session::assemble(
+            name,
+            catalog,
+            FactsRep::Shared(base),
+            sem_cache_capacity,
+            plan_cache_capacity,
+        )
+    }
+
+    fn assemble(
+        name: &str,
+        catalog: Arc<FrozenCatalog>,
+        rep: FactsRep,
+        sem_cache_capacity: usize,
+        plan_cache_capacity: usize,
+    ) -> Session {
+        catalog.attached.fetch_add(1, Ordering::Relaxed);
+        Session {
             name: name.to_owned(),
-            class_name: class_name(&class),
-            sigma_fp: sigma_fingerprint(&program.deps, &program.catalog),
-            class,
-            facts: RwLock::new(FactsState {
-                db,
-                index,
-                epoch: 0,
-            }),
+            catalog,
+            facts: RwLock::new(FactsState { rep, epoch: 0 }),
             opts: ContainmentOptions::default(),
             eval_state: Mutex::new(EvalState {
                 plans: PlanCache::with_capacity(plan_cache_capacity),
                 scratch: JoinScratch::new(),
                 results: FxHashMap::default(),
                 result_hits: 0,
+                plan_hits: 0,
+                plan_misses: 0,
+                plan_replans: 0,
+                plan_acyclic_served: 0,
             }),
             sem_cache: Mutex::new(SemanticCache::new(sem_cache_capacity)),
-            program,
-        })
+            traffic: AtomicU64::new(0),
+        }
+    }
+
+    /// The parsed program (catalog, Σ, queries, registered facts).
+    pub fn program(&self) -> &Program {
+        &self.catalog.program
+    }
+
+    /// Σ's classification.
+    pub fn class(&self) -> &SigmaClass {
+        &self.catalog.class
+    }
+
+    /// Stable rendering of the Σ class for the wire.
+    pub fn class_name(&self) -> &str {
+        &self.catalog.class_name
+    }
+
+    /// Fingerprint of Σ for semantic-cache keys.
+    pub fn sigma_fp(&self) -> u64 {
+        self.catalog.sigma_fp
+    }
+
+    /// Whether the facts are still the catalog's shared base (no
+    /// effective update yet).
+    pub fn facts_shared(&self) -> bool {
+        self.facts.read().expect("facts lock").is_shared()
+    }
+
+    /// Approximate resident bytes of this session's **private** facts:
+    /// zero while attached to the shared base, database + index bytes
+    /// once promoted. The shared base itself is reported once per
+    /// catalog by [`FrozenCatalog::resident_bytes`].
+    pub fn resident_bytes(&self) -> usize {
+        let facts = self.facts.read().expect("facts lock");
+        match &facts.rep {
+            FactsRep::Shared(_) => 0,
+            FactsRep::Owned { db, index } => db.approx_bytes() + index.approx_bytes(),
+        }
     }
 
     /// Index of a query by name, for the batch engines.
     pub fn query_index(&self, name: &str) -> Result<usize, String> {
-        self.program
-            .queries
-            .iter()
-            .position(|q| q.name == name)
-            .ok_or_else(|| {
-                format!(
-                    "no query named `{name}` in session `{}` (declared: {})",
-                    self.name,
-                    self.program
-                        .queries
-                        .iter()
-                        .map(|q| q.name.as_str())
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                )
-            })
+        let queries = &self.catalog.program.queries;
+        queries.iter().position(|q| q.name == name).ok_or_else(|| {
+            format!(
+                "no query named `{name}` in session `{}` (declared: {})",
+                self.name,
+                queries
+                    .iter()
+                    .map(|q| q.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
     }
 
     /// The query at `idx`.
     pub fn query(&self, idx: usize) -> &ConjunctiveQuery {
-        &self.program.queries[idx]
+        &self.catalog.program.queries[idx]
     }
 
     /// The current facts epoch (0 until the first effective update).
@@ -199,7 +345,7 @@ impl Session {
 
     /// Total live facts.
     pub fn facts_len(&self) -> usize {
-        self.facts.read().expect("facts lock").db.total_tuples()
+        self.facts.read().expect("facts lock").db().total_tuples()
     }
 
     /// `(live facts, facts epoch)` read under one lock acquisition —
@@ -207,7 +353,7 @@ impl Session {
     /// a concurrent update, pairing a count with the wrong epoch).
     pub fn facts_snapshot(&self) -> (usize, u64) {
         let facts = self.facts.read().expect("facts lock");
-        (facts.db.total_tuples(), facts.epoch)
+        (facts.db().total_tuples(), facts.epoch)
     }
 
     /// Evaluates the query at `idx` over the session's live facts with
@@ -230,14 +376,21 @@ impl Session {
     /// recorded as timed spans, and a join annotation — plan
     /// provenance, join order, per-atom estimated vs actual candidate
     /// rows, engine counters — is returned for the slow-query log.
+    ///
+    /// While the facts are the shared catalog base, the plan runs
+    /// against the catalog's shared plan cache (one compile serves
+    /// every attached tenant); once promoted, against the private one.
+    /// Either way the per-session mirror counters attribute this call's
+    /// plan-cache activity to this session.
     pub fn eval_observed(
         &self,
         idx: usize,
         obs: Option<(&Tracer, &[u64])>,
     ) -> (Vec<Tuple>, bool, Option<Json>) {
-        let q = &self.program.queries[idx];
-        // Lock order: facts before eval_state. Holding the facts lock
-        // shared for the whole call pins the epoch the rows belong to.
+        let q = &self.catalog.program.queries[idx];
+        // Lock order: facts before eval_state (before the shared plan
+        // cache). Holding the facts lock shared for the whole call pins
+        // the epoch the rows belong to.
         let facts = self.facts.read().expect("facts lock");
         let mut state = self.eval_state.lock().expect("eval state lock");
         let probe_start = obs.map(|(t, _)| t.now_us());
@@ -270,53 +423,86 @@ impl Session {
             });
             return (rows, true, annotation);
         }
-        let EvalState { plans, scratch, .. } = &mut *state;
-        let mut annotation = None;
-        let rows = match obs {
-            None => evaluate_indexed_with(q, &facts.index, plans, scratch),
-            Some((tracer, ids)) => {
-                // Warm the plan first so compile time is its own span;
-                // the engine call below re-looks it up as a cheap cache
-                // hit (capacity-0 caches recompile, still correct).
-                let (misses0, replans0) = (plans.misses(), plans.replans());
-                let compile_start = tracer.now_us();
-                let shape = plans
-                    .get_or_compile(q, &facts.index)
-                    .map(|p| (p.order.clone(), p.atom_est.clone(), p.acyclic.is_some()));
-                let compile_end = tracer.now_us();
-                let compiled = plans.misses() > misses0;
-                let replanned = plans.replans() > replans0;
-                let kind = if compiled || replanned {
-                    SpanKind::PlanCompile
-                } else {
-                    SpanKind::PlanCacheHit
-                };
-                for &id in ids {
-                    tracer.record(id, kind, compile_start, compile_end);
+        let index = facts.index();
+        let shared_plans = if facts.is_shared() {
+            self.catalog.shared_plans()
+        } else {
+            None
+        };
+        let EvalState {
+            plans,
+            scratch,
+            plan_hits,
+            plan_misses,
+            plan_replans,
+            plan_acyclic_served,
+            ..
+        } = &mut *state;
+        let mut run = |plans: &mut PlanCache| -> (Vec<Tuple>, Option<Json>) {
+            let (h0, m0, r0, a0) = (
+                plans.hits(),
+                plans.misses(),
+                plans.replans(),
+                plans.acyclic_served(),
+            );
+            let mut annotation = None;
+            let rows = match obs {
+                None => evaluate_indexed_with(q, index, plans, scratch),
+                Some((tracer, ids)) => {
+                    // Warm the plan first so compile time is its own span;
+                    // the engine call below re-looks it up as a cheap cache
+                    // hit (capacity-0 caches recompile, still correct).
+                    let (misses0, replans0) = (plans.misses(), plans.replans());
+                    let compile_start = tracer.now_us();
+                    let shape = plans
+                        .get_or_compile(q, index)
+                        .map(|p| (p.order.clone(), p.atom_est.clone(), p.acyclic.is_some()));
+                    let compile_end = tracer.now_us();
+                    let compiled = plans.misses() > misses0;
+                    let replanned = plans.replans() > replans0;
+                    let kind = if compiled || replanned {
+                        SpanKind::PlanCompile
+                    } else {
+                        SpanKind::PlanCacheHit
+                    };
+                    for &id in ids {
+                        tracer.record(id, kind, compile_start, compile_end);
+                    }
+                    let exec_before = scratch.exec().clone();
+                    let join_start = tracer.now_us();
+                    let rows = evaluate_indexed_with(q, index, plans, scratch);
+                    let join_end = tracer.now_us();
+                    for &id in ids {
+                        tracer.record(id, SpanKind::JoinExec, join_start, join_end);
+                    }
+                    let plan_desc = if replanned {
+                        "replan"
+                    } else if compiled {
+                        "compiled"
+                    } else {
+                        "cache_hit"
+                    };
+                    annotation = Some(Session::join_annotation(
+                        &q.name,
+                        plan_desc,
+                        shape,
+                        &exec_before,
+                        scratch.exec(),
+                    ));
+                    rows
                 }
-                let exec_before = scratch.exec().clone();
-                let join_start = tracer.now_us();
-                let rows = evaluate_indexed_with(q, &facts.index, plans, scratch);
-                let join_end = tracer.now_us();
-                for &id in ids {
-                    tracer.record(id, SpanKind::JoinExec, join_start, join_end);
-                }
-                let plan_desc = if replanned {
-                    "replan"
-                } else if compiled {
-                    "compiled"
-                } else {
-                    "cache_hit"
-                };
-                annotation = Some(Session::join_annotation(
-                    &q.name,
-                    plan_desc,
-                    shape,
-                    &exec_before,
-                    scratch.exec(),
-                ));
-                rows
-            }
+            };
+            *plan_hits += (plans.hits() - h0) as u64;
+            *plan_misses += (plans.misses() - m0) as u64;
+            *plan_replans += (plans.replans() - r0) as u64;
+            *plan_acyclic_served += (plans.acyclic_served() - a0) as u64;
+            (rows, annotation)
+        };
+        let (rows, annotation) = match shared_plans {
+            // The shared cache's mutex is held for exactly this run, so
+            // the counter deltas measured inside are this call's alone.
+            Some(m) => run(&mut m.lock().expect("shared plan cache lock")),
+            None => run(plans),
         };
         state.results.insert(idx, (facts.epoch, rows.clone()));
         (rows, false, annotation)
@@ -391,7 +577,7 @@ impl Session {
     /// valid subset, so replay never re-litigates validation and the
     /// log stays in deterministic agreement with the in-memory state.
     pub fn validate_update(&self, insert: &[FactSpec], delete: &[FactSpec]) -> Result<(), String> {
-        let catalog = &self.program.catalog;
+        let catalog = &self.catalog.program.catalog;
         for (rel, tuple) in delete.iter().chain(insert) {
             let id = catalog
                 .resolve(rel)
@@ -441,11 +627,17 @@ impl Session {
     /// one-at-a-time application would report. Only the `epoch` field
     /// shows the merge: every effective delta of the run lands in the
     /// same (single) new epoch instead of minting one each.
+    ///
+    /// On a session whose facts are still the shared catalog base, the
+    /// run first probes whether any delta is effective (a present
+    /// delete or an absent insert). All no-ops: zero-effect summaries,
+    /// no promotion, the base is untouched. Otherwise the session
+    /// promotes copy-on-write and the run applies to the private copy.
     pub fn apply_updates(
         &self,
         deltas: &[(Vec<FactSpec>, Vec<FactSpec>)],
     ) -> Vec<Result<UpdateSummary, String>> {
-        let catalog = &self.program.catalog;
+        let catalog = &self.catalog.program.catalog;
         let resolve = |(rel, tuple): &FactSpec| -> Result<(cqchase_ir::RelId, Tuple), String> {
             let id = catalog
                 .resolve(rel)
@@ -484,7 +676,56 @@ impl Session {
         }
 
         let mut facts = self.facts.write().expect("facts lock");
-        let syms_before = facts.index.num_syms();
+        if facts.is_shared() {
+            let would_change =
+                resolved
+                    .iter()
+                    .filter_map(|r| r.as_ref().ok())
+                    .any(|(inserts, deletes)| {
+                        deletes
+                            .iter()
+                            .any(|(rel, t)| facts.db().relation(*rel).contains(t))
+                            || inserts
+                                .iter()
+                                .any(|(rel, t)| !facts.db().relation(*rel).contains(t))
+                    });
+            if !would_change {
+                // Every valid delta is a no-op against the shared base:
+                // report zero-effect summaries without promoting (and
+                // without any `&mut` path that would force a copy).
+                let total = facts.db().total_tuples();
+                let epoch = facts.epoch;
+                return resolved
+                    .into_iter()
+                    .map(|r| {
+                        r.map(|_| UpdateSummary {
+                            inserted: 0,
+                            deleted: 0,
+                            facts: total,
+                            epoch,
+                        })
+                    })
+                    .collect();
+            }
+            facts.promote(&self.catalog);
+            // Carry the shared cache's warm plans into the private one:
+            // the promoted copy clones the base's symbol pool, so the
+            // compiled plans (and their drift snapshots) stay valid —
+            // without this, the session's first post-promotion eval
+            // would recompile from scratch instead of serving the plan
+            // it had been using all along. Counters start fresh; the
+            // per-session mirrors already carry the history. Lock order
+            // holds: facts (held) → eval_state → shared plan cache.
+            if let Some(shared) = self.catalog.shared_plans() {
+                let mut state = self.eval_state.lock().expect("eval state lock");
+                state.plans = shared.lock().expect("shared plan cache lock").clone_warm();
+            }
+        }
+        let FactsState { rep, epoch } = &mut *facts;
+        let FactsRep::Owned { db, index } = rep else {
+            unreachable!("promoted above")
+        };
+        let syms_before = index.num_syms();
         let mut effective = 0usize;
         let mut out = Vec::with_capacity(deltas.len());
         let mut summaries: Vec<usize> = Vec::new();
@@ -494,19 +735,15 @@ impl Session {
                 Ok((inserts, deletes)) => {
                     let (mut deleted, mut inserted) = (0usize, 0usize);
                     for (rel, tuple) in &deletes {
-                        if facts.db.remove(*rel, tuple).expect("arity validated") {
-                            let removed = facts.index.note_remove(*rel, tuple);
+                        if db.remove(*rel, tuple).expect("arity validated") {
+                            let removed = index.note_remove(*rel, tuple);
                             debug_assert!(removed, "index and database agree on membership");
                             deleted += 1;
                         }
                     }
                     for (rel, tuple) in &inserts {
-                        if facts
-                            .db
-                            .insert(*rel, tuple.clone())
-                            .expect("arity validated")
-                        {
-                            facts.index.note_insert(*rel, tuple);
+                        if db.insert(*rel, tuple.clone()).expect("arity validated") {
+                            index.note_insert(*rel, tuple);
                             inserted += 1;
                         }
                     }
@@ -515,28 +752,31 @@ impl Session {
                     out.push(Ok(UpdateSummary {
                         inserted,
                         deleted,
-                        facts: facts.db.total_tuples(),
+                        facts: db.total_tuples(),
                         epoch: 0, // patched below, once the run's epoch is known
                     }));
                 }
             }
         }
         if effective > 0 {
-            facts.epoch += 1;
+            *epoch += 1;
             // Lock order facts → eval_state, same as eval.
             let mut state = self.eval_state.lock().expect("eval state lock");
             // The epoch tags already make stale rows unservable; free
             // them eagerly too — a resident session must not pin dead
             // result sets until their query happens to be re-asked.
             state.results.clear();
-            if facts.index.num_syms() > syms_before {
-                // A brand-new constant falsifies cached `None` plans.
+            if index.num_syms() > syms_before {
+                // A brand-new constant falsifies cached `None` plans
+                // (in the private cache — the session left the shared
+                // one behind when it promoted).
                 state.plans.drop_unsatisfiable();
             }
         }
+        let epoch = *epoch;
         for i in summaries {
             if let Ok(sum) = &mut out[i] {
-                sum.epoch = facts.epoch;
+                sum.epoch = epoch;
             }
         }
         out
@@ -631,6 +871,16 @@ impl SessionRegistry {
         names
     }
 
+    /// Number of registered sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.read().expect("session registry lock").len()
+    }
+
+    /// Whether no session is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Snapshot of every registered session.
     pub fn snapshot(&self) -> Vec<Arc<Session>> {
         self.sessions
@@ -660,19 +910,20 @@ mod tests {
             64,
         )
         .unwrap();
-        assert_eq!(s.class_name, "IndsOnly(width=1)");
+        assert_eq!(s.class_name(), "IndsOnly(width=1)");
         assert_eq!(s.query_index("Q2").unwrap(), 1);
         assert!(s.query_index("Nope").is_err());
         // Evaluation answers match the one-shot evaluator and both the
         // plan cache and the result cache warm across calls.
         let direct = {
             let facts = s.facts.read().unwrap();
-            cqchase_storage::evaluate(s.query(1), &facts.db)
+            cqchase_storage::evaluate(s.query(1), facts.db())
         };
         assert_eq!(s.eval_cached(1), (direct.clone(), false));
         assert_eq!(s.eval_cached(1), (direct, true));
         let st = s.eval_state.lock().unwrap();
         assert_eq!(st.plans.misses(), 1);
+        assert_eq!(st.plan_misses, 1, "mirror counters track the private cache");
         assert_eq!(st.result_hits, 1);
     }
 
@@ -700,7 +951,7 @@ mod tests {
         ];
         for (src, want) in cases {
             let s = Session::new("s", src, 8, 8).unwrap();
-            assert_eq!(s.class_name, want, "{src}");
+            assert_eq!(s.class_name(), want, "{src}");
         }
     }
 

@@ -313,3 +313,102 @@ fn persist_without_data_dir_is_an_error_and_stats_say_disabled() {
     c.shutdown().unwrap();
     handle.join().unwrap().unwrap();
 }
+
+#[test]
+fn restart_with_lanes_restores_lane_placement_and_reattaches_catalogs() {
+    use cqchase_service::lane_of;
+    let dir = temp_data_dir("lanes-restart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let spawn4 = |dir: &Path| {
+        let server = Server::bind(ServeOptions {
+            addr: "127.0.0.1:0".into(),
+            lanes: 4,
+            batch_threads: 4,
+            data_dir: Some(dir.to_path_buf()),
+            ..Default::default()
+        })
+        .expect("bind with data dir");
+        let report = server.recovery_report().cloned();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        (addr, report, handle)
+    };
+
+    // Server 1: three tenants share the BASE catalog, one diverges by
+    // updating (copy-on-write), one has its own facts. Snapshot, then
+    // keep going so the WAL tail has a register and an update to
+    // replay on top of the snapshot.
+    let (addr, _, handle) = spawn4(&dir);
+    let mut c = Client::connect(addr).unwrap();
+    let solo_base = format!("{BASE}\nR(5, 5).");
+    for name in ["shr-a", "shr-b", "shr-c", "mut"] {
+        c.register(name, BASE).unwrap();
+    }
+    c.register("solo", &solo_base).unwrap();
+    c.update("mut", &[fact(0, 1), fact(1, 2)], &[]).unwrap();
+    c.persist().unwrap();
+    c.register("late", BASE).unwrap();
+    c.update("mut", &[fact(2, 0)], &[]).unwrap();
+    let names = ["shr-a", "shr-b", "shr-c", "mut", "solo", "late"];
+    let before: Vec<_> = names
+        .iter()
+        .map(|n| {
+            (
+                c.eval(n, "Q1").unwrap()["rows"].clone(),
+                c.classify(n).unwrap()["facts_epoch"].clone(),
+            )
+        })
+        .collect();
+    assert_eq!(c.stats().unwrap()["catalogs"]["distinct"], 2);
+    c.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+
+    // Server 2, same --lanes 4: every session hashes back into its
+    // lane (routing is a pure function of the name), the three
+    // undiverged BASE tenants plus the late register re-attach to ONE
+    // rebuilt catalog, and the diverged/singleton sessions come back
+    // private — same answers, same epochs, no shared-base copies
+    // pinned for sessions that no longer match it.
+    let (addr, report, handle) = spawn4(&dir);
+    let report = report.expect("durability enabled");
+    assert!(!report.fresh);
+    assert_eq!(report.snapshot_sessions, 5);
+    assert_eq!(report.wal_records_replayed, 2);
+    let mut c = Client::connect(addr).unwrap();
+    for (n, (rows, epoch)) in names.iter().zip(&before) {
+        assert_eq!(&c.eval(n, "Q1").unwrap()["rows"], rows, "{n} rows");
+        assert_eq!(&c.classify(n).unwrap()["facts_epoch"], epoch, "{n} epoch");
+    }
+    let stats = c.stats().unwrap();
+    let cat = &stats["catalogs"];
+    assert_eq!(
+        cat["distinct"], 1,
+        "only the shared group re-registers: {cat:?}"
+    );
+    assert_eq!(cat["builds"], 1, "one rebuild serves the group: {cat:?}");
+    assert_eq!(
+        cat["attaches"], 3,
+        "two snapshot siblings + the late register attach: {cat:?}"
+    );
+    let detail = &stats["sessions_detail"];
+    for n in names {
+        assert_eq!(
+            detail[n]["lane"].as_u64().unwrap() as usize,
+            lane_of(n, 4),
+            "{n} restored into its deterministic lane"
+        );
+    }
+    for n in ["shr-a", "shr-b", "shr-c", "late"] {
+        assert_eq!(detail[n]["shared_catalog"], true, "{n} re-attached");
+    }
+    for n in ["mut", "solo"] {
+        assert_eq!(detail[n]["shared_catalog"], false, "{n} restored private");
+    }
+    // The restored registry still serves updates in every lane.
+    for n in names {
+        assert_eq!(c.update(n, &[fact(8, 9)], &[]).unwrap()["inserted"], 1);
+    }
+    c.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -303,3 +303,67 @@ fn zero_threshold_slow_query_log_captures_span_vocabulary() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn overload_refusals_are_counted_once_globally() {
+    use std::io::{BufRead, BufReader, Write};
+    // One handler worker → the admission bound is 2 live connections;
+    // the third gets one `ok:false` overload line, a closed stream, and
+    // exactly one tick of the single process-wide refusal counter
+    // (shared by every lane — refusal happens at accept, before lane
+    // routing).
+    let (addr, handle) = Server::spawn(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        batch_threads: 1,
+        lanes: 2,
+        conn_workers: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    // Occupy the worker with a served connection…
+    let mut held = Client::connect(addr).unwrap();
+    held.register("obs", PROGRAM).unwrap();
+    // …and the admission slack with an idle accepted-but-queued one.
+    let parked = std::net::TcpStream::connect(addr).unwrap();
+    // Give the accept loop a beat to count the parked connection.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    // The third connection is refused with a readable error line.
+    let extra = std::net::TcpStream::connect(addr).unwrap();
+    extra
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    {
+        let mut w = extra.try_clone().unwrap();
+        let _ = w.write_all(b"{\"op\":\"stats\"}\n");
+    }
+    let mut line = String::new();
+    BufReader::new(&extra).read_line(&mut line).unwrap();
+    assert!(
+        line.contains("\"ok\":false") && line.contains("overloaded"),
+        "expected the overload refusal, got {line:?}"
+    );
+    drop(extra);
+    drop(parked);
+    // The held (still-served) connection reads the counter back: the
+    // refusal was recorded exactly where the stats and Prometheus
+    // expositions surface it.
+    let stats = held.stats().unwrap();
+    assert_eq!(
+        stats["overload_refusals"].as_u64().unwrap(),
+        1,
+        "one refusal counted: {:?}",
+        stats["overload_refusals"]
+    );
+    let text = held.metrics_text().unwrap();
+    assert!(
+        text.contains("cqchase_overload_refusals 1"),
+        "refusal counter missing from the exposition"
+    );
+    // Per-lane shard families are in the exposition too (the smoke
+    // test greps the same names over the CLI).
+    assert!(text.contains("cqchase_lanes_count 2"));
+    assert!(text.contains("cqchase_lanes_detail_0_batched_items"));
+    assert!(text.contains("cqchase_lanes_detail_1_batched_items"));
+    held.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}

@@ -131,7 +131,7 @@ proptest! {
                         Session::new("fresh", &program_with_facts(&mirror), 64, 64).unwrap();
                     let fresh_rows = {
                         let facts = fresh.facts.read().unwrap();
-                        evaluate(fresh.query(*q), &facts.db)
+                        evaluate(fresh.query(*q), facts.db())
                     };
                     prop_assert_eq!(&rows, &fresh_rows, "step {}: eval Q{}", i, q);
                 }
@@ -149,8 +149,8 @@ proptest! {
                     let direct = contained(
                         live.query(*q),
                         live.query(*qp),
-                        &live.program.deps,
-                        &live.program.catalog,
+                        &live.program().deps,
+                        &live.program().catalog,
                         &opts,
                     );
                     match (summary, direct) {
@@ -180,7 +180,7 @@ proptest! {
         for q in 0..NUM_QUERIES {
             let fresh_rows = {
                 let facts = fresh.facts.read().unwrap();
-                evaluate(fresh.query(q), &facts.db)
+                evaluate(fresh.query(q), facts.db())
             };
             prop_assert_eq!(live.eval(q), fresh_rows, "final eval Q{}", q);
         }
@@ -322,7 +322,7 @@ proptest! {
             for q in 0..NUM_QUERIES {
                 let fresh_rows = {
                     let facts = fresh.facts.read().unwrap();
-                    evaluate(fresh.query(q), &facts.db)
+                    evaluate(fresh.query(q), facts.db())
                 };
                 prop_assert_eq!(
                     live_pair.0.eval(q), fresh_rows.clone(),

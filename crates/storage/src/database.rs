@@ -149,6 +149,23 @@ impl RelationInstance {
             .filter_map(|(t, &alive)| alive.then_some(t))
     }
 
+    /// Approximate resident bytes: slot tuples (including tombstones
+    /// awaiting compaction), the liveness bitmap, and the position map
+    /// whose keys clone every live tuple. An estimate for capacity
+    /// planning, not an allocator measurement — string heap data inside
+    /// values is not chased.
+    pub fn approx_bytes(&self) -> usize {
+        let val = std::mem::size_of::<Value>();
+        let tup = std::mem::size_of::<Tuple>();
+        let slot_payload: usize = self.slots.iter().map(|t| t.capacity() * val).sum();
+        let key_payload: usize = self.pos.keys().map(|t| t.capacity() * val).sum();
+        self.slots.capacity() * tup
+            + slot_payload
+            + self.live.capacity()
+            + self.pos.capacity() * (tup + std::mem::size_of::<u32>() + 8)
+            + key_payload
+    }
+
     /// Rebuilds the instance applying `f` to every value (used by the data
     /// chase when unifying nulls). Collapses tuples that become equal and
     /// drops any accumulated tombstones.
@@ -278,6 +295,16 @@ impl Database {
     /// Total number of tuples across all relations.
     pub fn total_tuples(&self) -> usize {
         self.relations.iter().map(RelationInstance::len).sum()
+    }
+
+    /// Approximate resident bytes across all relation instances
+    /// ([`RelationInstance::approx_bytes`]); the catalog itself is not
+    /// counted (it is shared, small, and identical across sessions).
+    pub fn approx_bytes(&self) -> usize {
+        self.relations
+            .iter()
+            .map(RelationInstance::approx_bytes)
+            .sum()
     }
 
     /// Whether any value anywhere is a labelled null.

@@ -218,6 +218,21 @@ impl DbIndex {
         self.bytes_reclaimed
     }
 
+    /// Approximate resident bytes of the whole index: symbol pool,
+    /// posting lists, dedup map, and the interned row storage. An
+    /// estimate for capacity planning (the shared-catalog memory gate),
+    /// not an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let sym = std::mem::size_of::<Sym>();
+        let rows: usize = self.sym_rows.iter().map(|r| r.capacity() * sym).sum();
+        let live: usize = self.live.iter().map(Vec::capacity).sum();
+        self.pool.approx_bytes()
+            + self.cols.approx_bytes()
+            + self.dedup.approx_bytes()
+            + rows
+            + live
+    }
+
     /// The interned symbol of a value, if it occurs in the instance.
     pub fn sym_of_value(&self, v: &Value) -> Option<Sym> {
         self.pool.get(v)

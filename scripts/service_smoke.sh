@@ -259,4 +259,115 @@ for _ in $(seq 50); do
 done
 [ -z "$SERVER_PID" ] || fail "durable server still running after shutdown"
 
+# --- lanes: 4-lane sharded serving, 8 tenants, crash recovery --------
+# Serve with `--lanes 4` and a data directory, register 8 tenants on
+# one program text (1 catalog build, 7 attaches), interleave updates on
+# the even tenants with evals on the odd ones (answers diffed against
+# the direct CLI — lane routing must be invisible), snapshot halfway so
+# recovery exercises snapshot *and* WAL replay, hard-kill, restart with
+# the same `--lanes 4 --data-dir`, and diff every tenant again.
+LDATA="$TMP/lanedata"
+start_lanes() {
+    "$BIN" serve --addr "$ADDR" --lanes 4 --data-dir "$LDATA" &
+    SERVER_PID=$!
+    for _ in $(seq 100); do
+        if "$BIN" request --addr "$ADDR" '{"op":"stats"}' >/dev/null 2>&1; then
+            return
+        fi
+        kill -0 "$SERVER_PID" 2>/dev/null || fail "lanes server exited before accepting connections"
+        sleep 0.1
+    done
+    fail "lanes server never accepted connections"
+}
+start_lanes
+for i in 0 1 2 3 4 5 6 7; do
+    req "{\"op\":\"register\",\"session\":\"lane$i\",\"program\":\"$PROG\"}" \
+        | grep -q '"ok":true' || fail "register lane$i"
+done
+# Interleaved: even tenants mutate, odd tenants answer in between and
+# must keep seeing the untouched shared base.
+req '{"op":"update","session":"lane0","insert":[["R",[3,4]]],"delete":[["R",[1,2]]]}' \
+    | grep -q '"ok":true' || fail "lane0 update"
+req '{"op":"eval","session":"lane1","query":"B"}' \
+    | grep -q "\"count\":$DIRECT_EVAL_COUNT" || fail "lane1 eval during lane0 churn ($DIRECT_EVAL_COUNT)"
+req '{"op":"update","session":"lane2","insert":[["R",[3,4]]],"delete":[["R",[1,2]]]}' \
+    | grep -q '"ok":true' || fail "lane2 update"
+req '{"op":"eval","session":"lane3","query":"B"}' \
+    | grep -q "\"count\":$DIRECT_EVAL_COUNT" || fail "lane3 eval during lane2 churn ($DIRECT_EVAL_COUNT)"
+PL=$(req '{"op":"persist"}')
+echo "$PL" | grep -q '"ok":true' || fail "lanes persist not ok"
+echo "$PL" | grep -q '"sessions":8' || fail "lanes persist should snapshot 8 sessions"
+req '{"op":"update","session":"lane4","insert":[["R",[3,4]]],"delete":[["R",[1,2]]]}' \
+    | grep -q '"ok":true' || fail "lane4 update"
+req '{"op":"eval","session":"lane5","query":"B"}' \
+    | grep -q "\"count\":$DIRECT_EVAL_COUNT" || fail "lane5 eval during lane4 churn ($DIRECT_EVAL_COUNT)"
+req '{"op":"update","session":"lane6","insert":[["R",[3,4]]],"delete":[["R",[1,2]]]}' \
+    | grep -q '"ok":true' || fail "lane6 update"
+req '{"op":"eval","session":"lane7","query":"B"}' \
+    | grep -q "\"count\":$DIRECT_EVAL_COUNT" || fail "lane7 eval during lane6 churn ($DIRECT_EVAL_COUNT)"
+# Mutated tenants answer exactly what the direct CLI answers on the
+# mutated facts.
+EL0=$(req '{"op":"eval","session":"lane0","query":"B"}')
+echo "$EL0" | grep -q "\"count\":$MUT_EVAL_COUNT" \
+    || fail "lane0 post-update eval disagrees with direct call ($MUT_EVAL_COUNT)"
+# Sharing and sharding are visible: one catalog built, seven attaches,
+# four copy-on-write promotions, four lane shards decomposing the load.
+SL=$(req '{"op":"stats"}')
+echo "$SL" | grep -q '"distinct":1' || fail "stats should show 1 distinct catalog"
+echo "$SL" | grep -q '"builds":1' || fail "stats should show 1 catalog build"
+echo "$SL" | grep -q '"attaches":7' || fail "stats should show 7 catalog attaches"
+echo "$SL" | grep -q '"promotions":4' || fail "stats should show 4 promotions"
+ML=$(req '{"op":"metrics"}')
+MLT=$(printf '%s' "$ML" | sed 's/\\n/\n/g; s/\\"/"/g')
+echo "$MLT" | grep -q '^cqchase_lanes_count 4$' || fail "metrics missing cqchase_lanes_count 4"
+for lane in 0 1 2 3; do
+    echo "$MLT" | grep -q "^cqchase_lanes_detail_${lane}_batched_items" \
+        || fail "metrics missing lane $lane shard family"
+done
+echo "$MLT" | grep -q '^cqchase_lanes_detail_0_queue_wait_count' \
+    || fail "metrics missing per-lane queue-wait family"
+echo "$MLT" | grep -q '^cqchase_overload_refusals 0$' || fail "metrics missing overload_refusals"
+for family in cqchase_catalogs_distinct cqchase_catalogs_builds \
+    cqchase_catalogs_attaches cqchase_catalogs_promotions; do
+    echo "$MLT" | grep -q "^$family" || fail "metrics missing family $family"
+done
+# The crash: mid-churn SIGKILL, then restart with the same lane count.
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+start_lanes
+# Recovery regrouped identical fact-states onto shared catalogs: the
+# snapshot held 6 base-facts tenants and 2 mutated ones (two groups,
+# two builds, six attaches), then the WAL replay re-promoted lane4 and
+# lane6 off the restored shared base.
+SR=$(req '{"op":"stats"}')
+echo "$SR" | grep -q '"distinct":2' || fail "recovery should restore 2 distinct catalogs"
+echo "$SR" | grep -q '"builds":2' || fail "recovery should build each group once"
+echo "$SR" | grep -q '"attaches":6' || fail "recovery should re-attach 6 tenants"
+echo "$SR" | grep -q '"promotions":2' || fail "WAL replay should re-promote lane4 and lane6"
+# Every tenant answers exactly what it answered before the crash.
+for i in 0 2 4 6; do
+    ER=$(req "{\"op\":\"eval\",\"session\":\"lane$i\",\"query\":\"B\"}")
+    echo "$ER" | grep -q "\"count\":$MUT_EVAL_COUNT" \
+        || fail "lane$i post-crash eval disagrees with direct call ($MUT_EVAL_COUNT)"
+    tail -n +2 "$TMP/direct_eval_mut.txt" | tr -d '() ' | while read -r row; do
+        [ -z "$row" ] && continue
+        echo "$ER" | grep -q "\"$row\"" || fail "direct eval row ($row) missing from lane$i after crash"
+    done
+done
+for i in 1 3 5 7; do
+    req "{\"op\":\"eval\",\"session\":\"lane$i\",\"query\":\"B\"}" \
+        | grep -q "\"count\":$DIRECT_EVAL_COUNT" \
+        || fail "lane$i post-crash eval disagrees with direct call ($DIRECT_EVAL_COUNT)"
+done
+# Restored tenants keep serving updates.
+req '{"op":"update","session":"lane1","insert":[["R",[7,8]]]}' \
+    | grep -q '"inserted":1' || fail "post-crash lanes update not ok"
+req '{"op":"shutdown"}' | grep -q '"ok":true' || fail "lanes shutdown not ok"
+for _ in $(seq 50); do
+    kill -0 "$SERVER_PID" 2>/dev/null || { SERVER_PID=; break; }
+    sleep 0.1
+done
+[ -z "$SERVER_PID" ] || fail "lanes server still running after shutdown"
+
 echo "service smoke: OK"

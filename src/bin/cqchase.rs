@@ -7,7 +7,7 @@
 //! cqchase equiv FILE Q QP               test Σ ⊨ Q ≡∞ QP
 //! cqchase minimize FILE Q               minimal equivalent subquery
 //! cqchase eval FILE Q                   evaluate Q over the file's facts
-//! cqchase serve [--addr A] [--threads N] [--conn-workers N]
+//! cqchase serve [--addr A] [--threads N] [--lanes N] [--conn-workers N]
 //!               [--cache-capacity N] [--plan-cache-capacity N]
 //!               [--data-dir DIR] [--wal-rotate-bytes N]
 //!               [--slow-query-us N] [--trace]
@@ -186,6 +186,13 @@ fn cmd_serve(opts: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--threads needs a positive integer".to_string())?
             }
+            "--lanes" => {
+                serve.lanes = next("--lanes")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "--lanes needs a positive integer".to_string())?
+            }
             "--conn-workers" => {
                 serve.conn_workers = next("--conn-workers")?
                     .parse()
@@ -223,8 +230,8 @@ fn cmd_serve(opts: &[String]) -> Result<(), String> {
     let server = Server::bind(serve.clone()).map_err(|e| format!("bind {}: {e}", serve.addr))?;
     println!("cqchase-service listening on {}", server.local_addr());
     println!(
-        "  batch threads: {}   connection workers: {}   semantic cache: {} entries/session",
-        serve.batch_threads, serve.conn_workers, serve.sem_cache_capacity
+        "  batch threads: {}   lanes: {}   connection workers: {}   semantic cache: {} entries/session",
+        serve.batch_threads, serve.lanes, serve.conn_workers, serve.sem_cache_capacity
     );
     if let Some(report) = server.recovery_report() {
         let dir = serve.data_dir.as_deref().unwrap_or_else(|| "?".as_ref());
@@ -299,7 +306,7 @@ fn serde_json_reply_ok(line: &str) -> Option<bool> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cqchase check FILE\n  cqchase chase FILE Q [--levels N] [--mode r|o] [--dot]\n  cqchase contain FILE Q QP\n  cqchase equiv FILE Q QP\n  cqchase minimize FILE Q\n  cqchase eval FILE Q\n  cqchase serve [--addr HOST:PORT] [--threads N] [--conn-workers N] [--cache-capacity N] [--plan-cache-capacity N] [--data-dir DIR] [--wal-rotate-bytes N] [--slow-query-us N] [--trace]\n  cqchase request [--addr HOST:PORT] JSON...|-"
+        "usage:\n  cqchase check FILE\n  cqchase chase FILE Q [--levels N] [--mode r|o] [--dot]\n  cqchase contain FILE Q QP\n  cqchase equiv FILE Q QP\n  cqchase minimize FILE Q\n  cqchase eval FILE Q\n  cqchase serve [--addr HOST:PORT] [--threads N] [--lanes N] [--conn-workers N] [--cache-capacity N] [--plan-cache-capacity N] [--data-dir DIR] [--wal-rotate-bytes N] [--slow-query-us N] [--trace]\n  cqchase request [--addr HOST:PORT] JSON...|-"
     );
     ExitCode::from(2)
 }
