@@ -1,0 +1,98 @@
+//! Request-lifecycle resilience: the cost of cooperative cancellation
+//! when it never fires, and its promptness when it does (see
+//! `cqchase_bench::resilience_workload` for both measurements).
+//!
+//! Besides the criterion group, the run records a JSON baseline at
+//! `crates/bench/baselines/bench_resilience.json`:
+//!
+//! * `cancel_check_efficiency` — tokened/token-free throughput on the
+//!   canonical `bench_service` containment batch (dimensionless, the
+//!   gated metric; the recorder asserts the ≥ 0.90 lifecycle budget);
+//! * `deadline_overrun_headroom` — `2·interval / p99 overrun`
+//!   (dimensionless, gated; the recorder asserts ≥ 1.0: a deadline may
+//!   overrun by at most two coalesced check intervals);
+//! * `checks_per_sec_tokenfree` / `checks_per_sec_tokened`,
+//!   `check_interval_us`, `deadline_overrun_p99_us` — absolute,
+//!   document the recording machine.
+
+use cqchase_bench::resilience_workload::{
+    deadline_workload, measure_cancel_overhead, measure_cancel_overhead_median,
+    measure_deadline_median, DEADLINE_MS, DENSE_N, OVERRUN_SAMPLES,
+};
+use cqchase_bench::service_workload::{service_workload, PAIRS, POOL, SEED};
+use cqchase_par::default_threads;
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde_json::json;
+
+fn bench_cancel_overhead(c: &mut Criterion) {
+    let w = service_workload();
+    let mut group = c.benchmark_group("resilience");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    group.measurement_time(std::time::Duration::from_millis(500));
+    group.bench_function("tokenfree_vs_tokened_checks", |b| {
+        b.iter(|| criterion::black_box(measure_cancel_overhead(&w).efficiency()))
+    });
+    group.finish();
+}
+
+/// Records the committed JSON baseline (see the module docs) and
+/// asserts the lifecycle budgets on the recording machine.
+fn record_baseline(_c: &mut Criterion) {
+    let w = service_workload();
+    let m = measure_cancel_overhead_median(&w, 3);
+    let efficiency = m.efficiency();
+
+    // Threading cancellation through the join loops may cost at most
+    // 10% of token-free throughput.
+    assert!(
+        efficiency >= 0.90,
+        "tokened throughput {:.0} checks/s is below 0.90 of token-free {:.0} checks/s \
+         (efficiency {efficiency:.3})",
+        m.tokened_cps,
+        m.tokenfree_cps,
+    );
+
+    let dw = deadline_workload();
+    let d = measure_deadline_median(&dw, 3);
+    let headroom = d.headroom();
+    // A deadline may overrun by at most twice the coalesced check
+    // interval (measured in wall time on this machine).
+    assert!(
+        headroom >= 1.0,
+        "p99 deadline overrun {:.0}us exceeds 2x the measured check interval {:.0}us \
+         (headroom {headroom:.3})",
+        d.overrun_p99_us,
+        d.interval_us,
+    );
+
+    let doc = json!({
+        "workload": format!(
+            "resilience: seed-{SEED} successor batch, {POOL}-query pool, {PAIRS} checks \
+             token-free vs deadline-armed tokens; {DENSE_N}x{DENSE_N} complete-digraph \
+             chain-3 eval under {DEADLINE_MS}ms deadlines ({OVERRUN_SAMPLES} samples)"
+        ),
+        "cores": default_threads(),
+        "cancel_check_efficiency": (efficiency * 1000.0).round() / 1000.0,
+        "checks_per_sec_tokenfree": m.tokenfree_cps.round(),
+        "checks_per_sec_tokened": m.tokened_cps.round(),
+        "deadline_overrun_headroom": (headroom * 1000.0).round() / 1000.0,
+        "check_interval_us": d.interval_us.round(),
+        "deadline_overrun_p99_us": d.overrun_p99_us.round(),
+    });
+    println!(
+        "\nresilience baseline: {:.0} checks/s token-free, {:.0} tokened \
+         (efficiency {:.3}); p99 overrun {:.0}us vs interval {:.0}us (headroom {:.2})",
+        m.tokenfree_cps, m.tokened_cps, efficiency, d.overrun_p99_us, d.interval_us, headroom
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/baselines/bench_resilience.json"
+    );
+    std::fs::write(path, serde_json::to_string_pretty(&doc).unwrap())
+        .expect("write bench_resilience baseline");
+    println!("baseline written to {path}");
+}
+
+criterion_group!(benches, bench_cancel_overhead, record_baseline);
+criterion_main!(benches);

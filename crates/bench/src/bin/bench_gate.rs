@@ -37,6 +37,9 @@ use cqchase_bench::churn_workload::{
 use cqchase_bench::many_workload::{many_workload, measure_lane_throughput, measure_memory_dedup};
 use cqchase_bench::obs_workload::measure_obs_median;
 use cqchase_bench::recovery_workload::{measure_restore, measure_wal_overhead, recovery_workload};
+use cqchase_bench::resilience_workload::{
+    deadline_workload, measure_cancel_overhead_median, measure_deadline_median,
+};
 use cqchase_bench::service_workload::service_workload;
 use cqchase_bench::update_workload::{measure_update, update_workload, ROUNDS};
 use cqchase_bench::util::time_median;
@@ -543,6 +546,45 @@ fn measure_recovery_metrics(doc: &Value, out: &mut Vec<Metric>) {
     }
 }
 
+/// Re-measures the `bench_resilience` ratios: cancellation-check
+/// overhead on the canonical service containment batch (token-free vs
+/// deadline-armed tokens, answers asserted identical inside the
+/// measurement) and deadline promptness on the dense chain-3 eval.
+///
+/// Both are dimensionless same-process ratios and gated: threading
+/// cancellation through the join loops may cost at most 10% (the
+/// lifecycle budget, floor 0.90 no matter the baseline), and the p99
+/// overrun past a deadline must fit inside two coalesced check
+/// intervals (headroom floor 1.0) — a join loop that lost its token
+/// check overruns by many intervals and craters the headroom.
+fn measure_resilience_metrics(doc: &Value, out: &mut Vec<Metric>) {
+    let w = service_workload();
+    let m = measure_cancel_overhead_median(&w, 3);
+    if let Some(b) = doc["cancel_check_efficiency"].as_f64() {
+        out.push(Metric {
+            name: "resilience.cancel_check_efficiency",
+            baseline: b,
+            current: m.efficiency(),
+            gated: true,
+            // The lifecycle budget: live tokens may never cost more
+            // than 10% of token-free throughput.
+            min_floor: 0.90,
+        });
+    }
+    let dw = deadline_workload();
+    let d = measure_deadline_median(&dw, 3);
+    if let Some(b) = doc["deadline_overrun_headroom"].as_f64() {
+        out.push(Metric {
+            name: "resilience.deadline_overrun_headroom",
+            baseline: b,
+            current: d.headroom(),
+            gated: true,
+            // p99 overrun must fit in two check intervals outright.
+            min_floor: 1.0,
+        });
+    }
+}
+
 fn run(check: bool) -> i32 {
     let mut metrics = Vec::new();
     match load_baseline("bench_index.json") {
@@ -576,6 +618,10 @@ fn run(check: bool) -> i32 {
     match load_baseline("bench_obs.json") {
         Some(doc) => measure_obs_metrics(&doc, &mut metrics),
         None => println!("warning: baselines/bench_obs.json missing or unparsable"),
+    }
+    match load_baseline("bench_resilience.json") {
+        Some(doc) => measure_resilience_metrics(&doc, &mut metrics),
+        None => println!("warning: baselines/bench_resilience.json missing or unparsable"),
     }
 
     let mut failures = 0;

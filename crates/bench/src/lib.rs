@@ -12,6 +12,7 @@ pub mod exp;
 pub mod many_workload;
 pub mod obs_workload;
 pub mod recovery_workload;
+pub mod resilience_workload;
 pub mod service_workload;
 pub mod table;
 pub mod update_workload;

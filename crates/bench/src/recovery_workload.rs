@@ -126,6 +126,7 @@ pub fn recovery_workload() -> RecoveryWorkload {
                 session: "live".into(),
                 insert: insert.clone(),
                 delete: delete.clone(),
+                deadline_ms: None,
             }
             .to_value()
             .to_string(),

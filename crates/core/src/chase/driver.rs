@@ -20,7 +20,7 @@
 
 use std::collections::BTreeSet;
 
-use cqchase_index::{FxHashMap, FxHashSet};
+use cqchase_index::{CancelToken, FxHashMap, FxHashSet};
 use cqchase_ir::{Catalog, ConjunctiveQuery, DependencySet, Fd, Ind};
 
 use super::fd::fd_phase;
@@ -93,6 +93,10 @@ pub enum ChaseStatus {
     LevelReached,
     /// The budget ran out before the target condition was met.
     BudgetExhausted,
+    /// The installed [`CancelToken`] fired (deadline or explicit
+    /// cancellation). Like [`ChaseStatus::BudgetExhausted`], the state
+    /// holds a consistent partial chase and expansion can resume.
+    Cancelled,
 }
 
 /// A chase in progress (or finished). Construct with [`Chase::new`], grow
@@ -114,6 +118,8 @@ pub struct Chase {
     processed: FxHashSet<(ConjId, usize)>,
     steps: usize,
     fd_steps: usize,
+    /// Cooperative stop signal, consulted once per scheduling step.
+    cancel: Option<CancelToken>,
 }
 
 impl Chase {
@@ -142,6 +148,7 @@ impl Chase {
             processed: FxHashSet::default(),
             steps: 0,
             fd_steps,
+            cancel: None,
         };
         if !chase.state.failed {
             let ids: Vec<ConjId> = chase.state.alive_conjuncts().map(|(id, _)| id).collect();
@@ -155,6 +162,20 @@ impl Chase {
     /// The chase mode.
     pub fn mode(&self) -> ChaseMode {
         self.mode
+    }
+
+    /// Installs (or replaces) a [`CancelToken`] consulted once per
+    /// scheduling step — a fired token makes the driver return
+    /// [`ChaseStatus::Cancelled`] between steps, never mid-step, so the
+    /// partial chase stays consistent and expansion can resume after
+    /// re-arming.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Whether the installed token (if any) has fired.
+    fn cancel_fired(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::should_stop)
     }
 
     /// Read access to the current (partial) chase.
@@ -316,6 +337,9 @@ impl Chase {
             {
                 return ChaseStatus::BudgetExhausted;
             }
+            if self.cancel_fired() {
+                return ChaseStatus::Cancelled;
+            }
             self.step_once();
         }
     }
@@ -337,6 +361,9 @@ impl Chase {
                 || self.state.all_conjuncts().len() >= budget.max_conjuncts
             {
                 return ChaseStatus::BudgetExhausted;
+            }
+            if self.cancel_fired() {
+                return ChaseStatus::Cancelled;
             }
             self.step_once();
         }
@@ -517,6 +544,28 @@ mod tests {
         let status = ch.run_to_completion(ChaseBudget::default());
         assert_eq!(status, ChaseStatus::Complete);
         assert_eq!(ch.state().num_alive(), 2);
+    }
+
+    #[test]
+    fn cancelled_chase_is_resumable() {
+        let mut ch = chase_of(
+            "relation R(a, b).
+             ind R[2] <= R[1].
+             Q(x) :- R(x, y).",
+            ChaseMode::Required,
+        );
+        let token = CancelToken::unlimited();
+        token.cancel();
+        ch.set_cancel(token);
+        assert_eq!(
+            ch.run_to_completion(ChaseBudget::default()),
+            ChaseStatus::Cancelled
+        );
+        // Re-arming with a live token resumes exactly where it stopped.
+        ch.set_cancel(CancelToken::unlimited());
+        let status = ch.expand_to_level(3, ChaseBudget::default());
+        assert_eq!(status, ChaseStatus::LevelReached);
+        assert_eq!(ch.frontier_level(), Some(3));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! is a sound *semi-decision*: positive answers are exact, negative
 //! answers within a finite budget are flagged `exact = false`.
 
-use cqchase_index::FxHashMap;
+use cqchase_index::{CancelToken, FxHashMap};
 use cqchase_ir::{validate, Catalog, ConjunctiveQuery, DependencySet, IrError};
 
 use crate::chase::{theorem2_bound, Chase, ChaseBudget, ChaseMode, ChaseStatus};
@@ -107,6 +107,18 @@ pub enum ContainmentEngineError {
         /// Chase size when the budget ran out.
         chase_conjuncts: usize,
     },
+    /// The request's [`CancelToken`] fired (deadline exceeded or
+    /// explicit cancellation) before an answer was reached. Carries
+    /// partial-progress counters; no partial answer is produced and no
+    /// shared state is corrupted.
+    Cancelled {
+        /// Highest chase level materialized before the stop.
+        levels_explored: u32,
+        /// Chase size at the stop.
+        chase_conjuncts: usize,
+        /// IND scheduling steps taken before the stop.
+        chase_steps: usize,
+    },
 }
 
 impl std::fmt::Display for ContainmentEngineError {
@@ -120,6 +132,14 @@ impl std::fmt::Display for ContainmentEngineError {
             } => write!(
                 f,
                 "chase budget exhausted at level {levels_explored} of {bound} ({chase_conjuncts} conjuncts)"
+            ),
+            ContainmentEngineError::Cancelled {
+                levels_explored,
+                chase_conjuncts,
+                chase_steps,
+            } => write!(
+                f,
+                "cancelled at level {levels_explored} ({chase_conjuncts} conjuncts, {chase_steps} steps)"
             ),
         }
     }
@@ -184,11 +204,28 @@ pub fn contained(
     catalog: &Catalog,
     opts: &ContainmentOptions,
 ) -> Result<ContainmentAnswer, ContainmentEngineError> {
+    contained_with_cancel(q, q_prime, sigma, catalog, opts, &CancelToken::unlimited())
+}
+
+/// [`contained`] under a [`CancelToken`]: the chase driver checks the
+/// token between scheduling steps and the homomorphism searches at
+/// coalesced candidate intervals, so a fired token surfaces as
+/// [`ContainmentEngineError::Cancelled`] (with partial-progress
+/// counters) in bounded time. A cancelled probe never certifies a
+/// negative; positives found before the stop are still returned.
+pub fn contained_with_cancel(
+    q: &ConjunctiveQuery,
+    q_prime: &ConjunctiveQuery,
+    sigma: &DependencySet,
+    catalog: &Catalog,
+    opts: &ContainmentOptions,
+    cancel: &CancelToken,
+) -> Result<ContainmentAnswer, ContainmentEngineError> {
     validate::validate_comparable(q, q_prime)?;
     let class = classify(sigma, catalog);
     let mode = opts.mode.unwrap_or_else(|| class.preferred_mode());
     let mut chase = Chase::new(q, sigma, catalog, mode);
-    contained_against(&mut chase, q_prime, sigma, class, opts)
+    contained_against(&mut chase, q_prime, sigma, class, opts, cancel)
 }
 
 /// The containment loop against an already-initialized (possibly
@@ -200,6 +237,7 @@ fn contained_against(
     sigma: &DependencySet,
     class: SigmaClass,
     opts: &ContainmentOptions,
+    cancel: &CancelToken,
 ) -> Result<ContainmentAnswer, ContainmentEngineError> {
     let budget = opts.budget.0;
     let certified = class.bound_is_certified();
@@ -224,6 +262,17 @@ fn contained_against(
     // per-level recheck allocates nothing beyond the witness itself.
     let mut finder = ChaseHomFinder::new(q_prime);
 
+    // Thread the stop signal into both halves of the loop. On a shared
+    // chase (batch mode) this replaces the previous pair's token, so a
+    // cancelled pair never poisons its successors.
+    chase.set_cancel(cancel.clone());
+    finder.set_cancel(cancel.clone());
+    let cancelled = |chase: &Chase| ContainmentEngineError::Cancelled {
+        levels_explored: chase.state().max_level().unwrap_or(0),
+        chase_conjuncts: chase.state().num_alive(),
+        chase_steps: chase.steps(),
+    };
+
     // Iterative deepening over levels 0, 1, …, bound. Early levels are
     // checked one by one (cheap, returns positives as soon as possible);
     // past level 32 the homomorphism search runs every 8 levels — each
@@ -239,14 +288,23 @@ fn contained_against(
             ChaseStatus::Complete => {
                 // Finite chase: Theorem 1 decides outright.
                 let h = finder.find(chase.state(), u32::MAX);
+                if h.is_none() && finder.cancelled() {
+                    return Err(cancelled(chase));
+                }
                 let found = h.is_some();
                 return Ok(answer(found, true, h, false, class, bound, chase));
             }
             ChaseStatus::LevelReached => {
                 let check = level <= 32 || level.is_multiple_of(8) || level >= bound;
                 if check {
-                    if let Some(h) = finder.find(chase.state(), level) {
-                        return Ok(answer(true, true, Some(h), false, class, bound, chase));
+                    match finder.find(chase.state(), level) {
+                        Some(h) => {
+                            return Ok(answer(true, true, Some(h), false, class, bound, chase));
+                        }
+                        // A cut-short probe must not count as "no hom
+                        // at this level".
+                        None if finder.cancelled() => return Err(cancelled(chase)),
+                        None => {}
                     }
                 }
                 if level >= bound {
@@ -260,6 +318,9 @@ fn contained_against(
                 if let Some(h) = finder.find(chase.state(), u32::MAX) {
                     return Ok(answer(true, true, Some(h), false, class, bound, chase));
                 }
+                if finder.cancelled() {
+                    return Err(cancelled(chase));
+                }
                 if certified {
                     return Err(ContainmentEngineError::BudgetExhausted {
                         bound,
@@ -270,6 +331,7 @@ fn contained_against(
                 // Mixed semi-decision: inconclusive negative.
                 return Ok(answer(false, false, None, false, class, bound, chase));
             }
+            ChaseStatus::Cancelled => return Err(cancelled(chase)),
         }
     }
 }
@@ -318,23 +380,48 @@ pub fn check_batch(
     catalog: &Catalog,
     opts: &ContainmentOptions,
 ) -> Vec<Result<ContainmentAnswer, ContainmentEngineError>> {
+    check_batch_cancellable(queries, pairs, sigma, catalog, opts, None)
+}
+
+/// [`check_batch`] with an optional per-pair [`CancelToken`] slice
+/// (aligned with `pairs`; `None` runs every pair to completion).
+///
+/// A fired token turns that pair's answer into
+/// [`ContainmentEngineError::Cancelled`] without disturbing the rest of
+/// the batch: on a shared chase the stop lands between scheduling
+/// steps, leaving a consistent partial chase that the next pair's token
+/// re-arms and resumes.
+pub fn check_batch_cancellable(
+    queries: &[ConjunctiveQuery],
+    pairs: &[ContainmentPair],
+    sigma: &DependencySet,
+    catalog: &Catalog,
+    opts: &ContainmentOptions,
+    cancels: Option<&[CancelToken]>,
+) -> Vec<Result<ContainmentAnswer, ContainmentEngineError>> {
+    if let Some(c) = cancels {
+        assert_eq!(c.len(), pairs.len(), "one cancel token per pair");
+    }
     let class = classify(sigma, catalog);
     let mode = opts.mode.unwrap_or_else(|| class.preferred_mode());
     let share_chases = sigma.fds().next().is_none() || sigma.inds().next().is_none();
     let mut chases: FxHashMap<usize, Chase> = FxHashMap::default();
+    let unlimited = CancelToken::unlimited();
     pairs
         .iter()
-        .map(|&ContainmentPair { q: qi, q_prime }| {
+        .enumerate()
+        .map(|(i, &ContainmentPair { q: qi, q_prime })| {
+            let cancel = cancels.map_or(&unlimited, |c| &c[i]);
             let (q, qp) = (&queries[qi], &queries[q_prime]);
             validate::validate_comparable(q, qp)?;
             if share_chases {
                 let chase = chases
                     .entry(qi)
                     .or_insert_with(|| Chase::new(q, sigma, catalog, mode));
-                contained_against(chase, qp, sigma, class.clone(), opts)
+                contained_against(chase, qp, sigma, class.clone(), opts, cancel)
             } else {
                 let mut chase = Chase::new(q, sigma, catalog, mode);
-                contained_against(&mut chase, qp, sigma, class.clone(), opts)
+                contained_against(&mut chase, qp, sigma, class.clone(), opts, cancel)
             }
         })
         .collect()
@@ -646,6 +733,67 @@ mod tests {
             r,
             Err(ContainmentEngineError::BudgetExhausted { .. })
         ));
+    }
+
+    #[test]
+    fn cancelled_check_is_error_not_negative() {
+        let p = parse_program(
+            "relation R(a, b).
+             ind R[2] <= R[1].
+             Q(x) :- R(x, y).
+             Qp(x) :- R(y, x).",
+        )
+        .unwrap();
+        let token = CancelToken::unlimited();
+        token.cancel();
+        let r = contained_with_cancel(
+            p.query("Q").unwrap(),
+            p.query("Qp").unwrap(),
+            &p.deps,
+            &p.catalog,
+            &ContainmentOptions::default(),
+            &token,
+        );
+        assert!(matches!(r, Err(ContainmentEngineError::Cancelled { .. })));
+    }
+
+    #[test]
+    fn cancelled_pair_does_not_poison_shared_chase() {
+        let p = parse_program(
+            "relation R(a, b).
+             ind R[2] <= R[1].
+             Q(x) :- R(x, y).
+             Qp(x) :- R(x, y), R(y, z).",
+        )
+        .unwrap();
+        let pairs = vec![
+            ContainmentPair { q: 0, q_prime: 1 },
+            ContainmentPair { q: 0, q_prime: 1 },
+        ];
+        let fired = CancelToken::unlimited();
+        fired.cancel();
+        let cancels = vec![fired, CancelToken::unlimited()];
+        let opts = ContainmentOptions::default();
+        let out = check_batch_cancellable(
+            &p.queries,
+            &pairs,
+            &p.deps,
+            &p.catalog,
+            &opts,
+            Some(&cancels),
+        );
+        assert!(matches!(
+            out[0],
+            Err(ContainmentEngineError::Cancelled { .. })
+        ));
+        // The second pair resumes the shared chase and gets the same
+        // decision as a standalone run.
+        let standalone =
+            contained(&p.queries[0], &p.queries[1], &p.deps, &p.catalog, &opts).unwrap();
+        let b = out[1].as_ref().unwrap();
+        assert_eq!(b.contained, standalone.contained);
+        assert_eq!(b.exact, standalone.exact);
+        assert!(b.contained);
     }
 
     #[test]

@@ -144,7 +144,11 @@ pub fn build_qstar(
     let status = chase.expand_to_level(cutoff, budget);
     match status {
         ChaseStatus::Failed => return Err(QStarError::EmptyChase),
-        ChaseStatus::BudgetExhausted => return Err(QStarError::PrefixBudget),
+        // No cancel token is installed here, but a cut-short prefix is
+        // a budget problem either way.
+        ChaseStatus::BudgetExhausted | ChaseStatus::Cancelled => {
+            return Err(QStarError::PrefixBudget)
+        }
         ChaseStatus::Complete | ChaseStatus::LevelReached => {}
     }
     let state = chase.state();

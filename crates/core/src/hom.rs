@@ -14,8 +14,8 @@
 //! retained in [`naive`] as a differential-testing reference.
 
 use cqchase_index::{
-    compile, join_with, ColumnIndex, CompiledQuery, FactSource, FrozenSymPool, JoinOutcome,
-    JoinScratch, Sym, SymPool,
+    compile, join_with, CancelToken, ColumnIndex, CompiledQuery, FactSource, FrozenSymPool,
+    JoinOutcome, JoinScratch, Sym, SymPool,
 };
 use cqchase_ir::{Catalog, ConjunctiveQuery, Constant, RelId, Term, VarId};
 
@@ -303,7 +303,9 @@ fn probe(
         });
         true
     });
-    debug_assert_eq!(outcome == JoinOutcome::Stopped, found.is_some());
+    // A cancelled search also reports `Stopped`, but without a final
+    // emission — callers consult their token to tell the cases apart.
+    debug_assert!((outcome == JoinOutcome::Stopped) == found.is_some() || scratch.cancelled());
     found
 }
 
@@ -398,6 +400,19 @@ impl<'q> ChaseHomFinder<'q> {
             plan: None,
             scratch: JoinScratch::new(),
         }
+    }
+
+    /// Installs a [`CancelToken`] on the finder's join scratch: probes
+    /// stop at coalesced intervals once it fires. A cancelled probe
+    /// returns `None` **without** certifying absence — check
+    /// [`ChaseHomFinder::cancelled`] before trusting a negative.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.scratch.set_cancel(token);
+    }
+
+    /// Whether the latest probe was cut short by the cancel token.
+    pub fn cancelled(&self) -> bool {
+        self.scratch.cancelled()
     }
 
     /// Searches for a homomorphism into `state` truncated at

@@ -302,6 +302,10 @@ pub(crate) fn run<S: FactSource>(
             scratch.bufs = bufs;
             return JoinOutcome::Exhausted;
         }
+        if scratch.cancel.charge(buf.len() as u64) {
+            scratch.bufs = bufs;
+            return JoinOutcome::Stopped;
+        }
     }
 
     // 2. Bottom-up semijoin reduction, leaves first (reverse pre-order):
@@ -330,6 +334,10 @@ pub(crate) fn run<S: FactSource>(
             scratch.bufs = bufs;
             return JoinOutcome::Exhausted;
         }
+        if scratch.cancel.charge(bufs[a].len() as u64) {
+            scratch.bufs = bufs;
+            return JoinOutcome::Stopped;
+        }
     }
 
     // 3. Enumeration.
@@ -338,6 +346,7 @@ pub(crate) fn run<S: FactSource>(
         rows,
         newly,
         exec,
+        cancel,
         ..
     } = scratch;
     let mut walk = Enumerate {
@@ -350,6 +359,7 @@ pub(crate) fn run<S: FactSource>(
         rows,
         newly,
         exec,
+        cancel,
     };
     let stopped = walk.solve(0, emit);
     scratch.bufs = bufs;
@@ -370,6 +380,7 @@ struct Enumerate<'a, S: FactSource> {
     rows: &'a mut Vec<u32>,
     newly: &'a mut Vec<Vec<u32>>,
     exec: &'a mut crate::engine::ExecStats,
+    cancel: &'a mut crate::engine::CancelState,
 }
 
 impl<S: FactSource> Enumerate<'_, S> {
@@ -398,6 +409,10 @@ impl<S: FactSource> Enumerate<'_, S> {
     }
 
     fn solve(&mut self, d: usize, emit: &mut EmitFn<'_>) -> bool {
+        // A fired token unwinds like an emit stop (see `Search::solve`).
+        if self.cancel.charge(1) {
+            return true;
+        }
         if d == self.plan.order.len() {
             self.exec.rows_emitted += 1;
             return emit(self.bind, self.rows);

@@ -1,0 +1,209 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! The containment and evaluation problems this workspace decides are
+//! NP-hard in the query size, so any serving layer must assume some
+//! requests are pathologically expensive. A [`CancelToken`] is the
+//! shared stop signal: a deadline (absolute, monotonic) plus an
+//! explicit cancelled flag, both readable with relaxed atomic loads, so
+//! one token can be cloned across the request path — connection
+//! handler, admission queue, batch workers, join engines — and fire
+//! everywhere at once.
+//!
+//! Checking time on every candidate row would dominate short probes, so
+//! the engines *coalesce* checks: a counter in [`JoinScratch`] charges
+//! one unit per candidate row (and per solution emitted) and consults
+//! the token only every [`CANCEL_CHECK_INTERVAL`] units. The flag load
+//! itself is one relaxed atomic read; the clock is read only when a
+//! deadline is armed. A fired token makes the engine unwind exactly
+//! like an emit-requested stop, leaving all data structures in the same
+//! state a completed search would — cancellation never corrupts
+//! scratch, plans, or caches.
+//!
+//! [`JoinScratch`]: crate::JoinScratch
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many work units (candidate rows scanned, solutions emitted) an
+/// engine may process between token checks. Bounds both the per-check
+/// overhead (amortized to ~one atomic load per thousand rows) and the
+/// overrun past a deadline (at most the time those rows take).
+pub const CANCEL_CHECK_INTERVAL: u64 = 1024;
+
+/// Sentinel for "no deadline armed".
+const NO_DEADLINE: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct Inner {
+    /// Explicit cancellation (peer disconnect, shutdown).
+    cancelled: AtomicBool,
+    /// Deadline in microseconds since `epoch`; [`NO_DEADLINE`] = none.
+    deadline_us: AtomicU64,
+    /// The token's private monotonic origin.
+    epoch: Instant,
+}
+
+/// A cloneable stop signal: explicit cancellation plus an optional
+/// monotonic deadline. Clones share state — firing one fires all.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::unlimited()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline that nobody has cancelled — the engines'
+    /// behavior under it is identical to having no token at all.
+    pub fn unlimited() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline_us: AtomicU64::new(NO_DEADLINE),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// A token whose deadline is `ms` milliseconds from now.
+    pub fn with_deadline_ms(ms: u64) -> CancelToken {
+        let t = CancelToken::unlimited();
+        t.arm_ms(ms);
+        t
+    }
+
+    /// Arms (or re-arms) the deadline to `ms` milliseconds from now.
+    pub fn arm_ms(&self, ms: u64) {
+        let d = self
+            .now_us()
+            .saturating_add(ms.saturating_mul(1000))
+            .min(NO_DEADLINE - 1);
+        self.inner.deadline_us.store(d, Ordering::Relaxed);
+    }
+
+    /// Microseconds elapsed since this token was created.
+    pub fn now_us(&self) -> u64 {
+        self.inner
+            .epoch
+            .elapsed()
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Requests cancellation (e.g. the peer disconnected). Irrevocable.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] was called — distinguishes an
+    /// explicit cancellation from a deadline expiry for attribution.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Whether a deadline is armed at all.
+    pub fn has_deadline(&self) -> bool {
+        self.inner.deadline_us.load(Ordering::Relaxed) != NO_DEADLINE
+    }
+
+    /// Whether the armed deadline (if any) has passed.
+    pub fn expired(&self) -> bool {
+        let d = self.inner.deadline_us.load(Ordering::Relaxed);
+        d != NO_DEADLINE && self.now_us() >= d
+    }
+
+    /// The single check the engines make: cancelled or past deadline.
+    /// One relaxed load when no deadline is armed; one clock read
+    /// otherwise.
+    #[inline]
+    pub fn should_stop(&self) -> bool {
+        self.is_cancelled() || self.expired()
+    }
+
+    /// Microseconds left until the deadline: `None` when no deadline is
+    /// armed, `Some(0)` once it has passed.
+    pub fn remaining_us(&self) -> Option<u64> {
+        let d = self.inner.deadline_us.load(Ordering::Relaxed);
+        if d == NO_DEADLINE {
+            None
+        } else {
+            Some(d.saturating_sub(self.now_us()))
+        }
+    }
+
+    /// Microseconds the token has run *past* its deadline (0 when no
+    /// deadline is armed or it has not passed) — the "deadline honored"
+    /// benchmark metric.
+    pub fn overrun_us(&self) -> u64 {
+        let d = self.inner.deadline_us.load(Ordering::Relaxed);
+        if d == NO_DEADLINE {
+            0
+        } else {
+            self.now_us().saturating_sub(d)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_never_stops() {
+        let t = CancelToken::unlimited();
+        assert!(!t.should_stop());
+        assert!(!t.expired());
+        assert!(!t.has_deadline());
+        assert_eq!(t.remaining_us(), None);
+        assert_eq!(t.overrun_us(), 0);
+    }
+
+    #[test]
+    fn cancel_fires_all_clones() {
+        let t = CancelToken::unlimited();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.should_stop());
+        assert!(t.is_cancelled());
+        assert!(!t.expired());
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let t = CancelToken::with_deadline_ms(0);
+        assert!(t.expired());
+        assert!(t.should_stop());
+        assert!(!t.is_cancelled());
+        assert_eq!(t.remaining_us(), Some(0));
+    }
+
+    #[test]
+    fn future_deadline_counts_down() {
+        let t = CancelToken::with_deadline_ms(60_000);
+        assert!(!t.should_stop());
+        let rem = t.remaining_us().unwrap();
+        assert!(rem > 30_000_000, "{rem}");
+        assert_eq!(t.overrun_us(), 0);
+    }
+
+    #[test]
+    fn overrun_grows_past_deadline() {
+        let t = CancelToken::with_deadline_ms(0);
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(t.overrun_us() >= 1_000);
+    }
+
+    #[test]
+    fn rearm_extends() {
+        let t = CancelToken::with_deadline_ms(0);
+        assert!(t.expired());
+        t.arm_ms(60_000);
+        assert!(!t.expired());
+    }
+}

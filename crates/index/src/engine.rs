@@ -24,6 +24,7 @@
 use cqchase_ir::{ConjunctiveQuery, Constant, RelId, Term};
 
 use crate::acyclic::{self, AcyclicPlan};
+use crate::cancel::{CancelToken, CANCEL_CHECK_INTERVAL};
 use crate::sym::Sym;
 
 /// A finite store of rows of interned symbols, queryable by column.
@@ -301,6 +302,53 @@ pub enum JoinOutcome {
 /// returning `true` stops the search.
 pub(crate) type EmitFn<'e> = dyn FnMut(&[Option<Sym>], &[u32]) -> bool + 'e;
 
+/// The scratch-resident half of cooperative cancellation: an optional
+/// [`CancelToken`] plus the coalescing counter, so the engines consult
+/// the token only every [`CANCEL_CHECK_INTERVAL`] work units.
+#[derive(Debug, Default)]
+pub(crate) struct CancelState {
+    token: Option<CancelToken>,
+    /// Work units charged since the token was last consulted.
+    pending: u64,
+    /// Latched once the token reported stop during the current run.
+    fired: bool,
+}
+
+impl CancelState {
+    /// Called at every join entry: resets the per-run latch and refuses
+    /// immediately when the token has already fired.
+    #[inline]
+    fn begin_run(&mut self) {
+        self.pending = 0;
+        self.fired = match &self.token {
+            Some(t) => t.should_stop(),
+            None => false,
+        };
+    }
+
+    /// Charges `n` work units; returns `true` when the search must stop.
+    /// Consults the token at most once per [`CANCEL_CHECK_INTERVAL`]
+    /// units — two predictable branches and an add otherwise.
+    #[inline]
+    pub(crate) fn charge(&mut self, n: u64) -> bool {
+        if self.fired {
+            return true;
+        }
+        let Some(token) = &self.token else {
+            return false;
+        };
+        self.pending += n;
+        if self.pending < CANCEL_CHECK_INTERVAL {
+            return false;
+        }
+        self.pending = 0;
+        if token.should_stop() {
+            self.fired = true;
+        }
+        self.fired
+    }
+}
+
 /// Reusable working memory for [`join_with`].
 ///
 /// A join needs a binding table, per-depth candidate and
@@ -323,6 +371,8 @@ pub struct JoinScratch {
     pub(crate) bound: Vec<(usize, Sym)>,
     /// Execution counters (see [`ExecStats`] for reset semantics).
     pub(crate) exec: ExecStats,
+    /// Cooperative cancellation state (token + coalescing counter).
+    pub(crate) cancel: CancelState,
 }
 
 impl JoinScratch {
@@ -336,6 +386,31 @@ impl JoinScratch {
     /// meter a single request.
     pub fn exec(&self) -> &ExecStats {
         &self.exec
+    }
+
+    /// Installs a [`CancelToken`] checked (at coalesced intervals) by
+    /// every subsequent join run with this scratch. Replaces any
+    /// previous token.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = CancelState {
+            token: Some(token),
+            pending: 0,
+            fired: false,
+        };
+    }
+
+    /// Removes the installed token, if any.
+    pub fn clear_cancel(&mut self) {
+        self.cancel = CancelState::default();
+    }
+
+    /// Whether the **latest** join run with this scratch was stopped by
+    /// its cancel token. A cancelled run reports
+    /// [`JoinOutcome::Stopped`] without a final emission, so its results
+    /// are partial — callers must consult this before trusting a
+    /// negative (no-solution) or aggregate answer.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.fired
     }
 
     /// Sizes the buffers for `cq` and seeds the binding table from
@@ -360,6 +435,7 @@ impl JoinScratch {
         self.bound.clear();
         self.exec.atom_actual.clear();
         self.exec.atom_actual.resize(n, 0);
+        self.cancel.begin_run();
     }
 }
 
@@ -373,6 +449,11 @@ struct Search<'a, S: FactSource> {
 
 impl<S: FactSource> Search<'_, S> {
     fn solve(&mut self, depth: usize, emit: &mut EmitFn<'_>) -> bool {
+        // A fired token unwinds the search exactly like an emit stop
+        // (charging one unit per call also covers emit-heavy leaves).
+        if self.scratch.cancel.charge(1) {
+            return true;
+        }
         if depth == self.cq.atoms.len() {
             self.scratch.exec.rows_emitted += 1;
             return emit(&self.scratch.bind, &self.scratch.rows);
@@ -399,6 +480,10 @@ impl<S: FactSource> Search<'_, S> {
         self.src.candidates(rel, &self.scratch.bound, &mut buf);
         self.scratch.exec.candidates_scanned += buf.len() as u64;
         self.scratch.exec.atom_actual[atom_idx] += buf.len() as u64;
+        if self.scratch.cancel.charge(buf.len() as u64) {
+            self.scratch.bufs[depth] = buf;
+            return true;
+        }
 
         let mut stopped = false;
         let mut newly = std::mem::take(&mut self.scratch.newly[depth]);

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod acyclic;
+pub mod cancel;
 pub mod engine;
 pub mod fx;
 pub mod plan;
@@ -49,6 +50,7 @@ pub mod store;
 pub mod sym;
 
 pub use acyclic::AcyclicPlan;
+pub use cancel::{CancelToken, CANCEL_CHECK_INTERVAL};
 pub use engine::{
     compile, join, join_unbound, join_unbound_distinct, join_with, CompiledAtom, CompiledQuery,
     ExecStats, FactSource, JoinOutcome, JoinScratch, Slot,

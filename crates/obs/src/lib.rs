@@ -51,10 +51,14 @@ pub enum SpanKind {
     JoinExec = 7,
     /// Durability WAL append + fsync before acknowledgement.
     Fsync = 8,
+    /// The interval between a request's cancellation firing (deadline
+    /// expiry or client disconnect) and its structured error being
+    /// written — how long the cooperative unwind actually took.
+    Cancelled = 9,
 }
 
 /// Every [`SpanKind`], in wire order (for exposition and docs).
-pub const ALL_SPAN_KINDS: [SpanKind; 9] = [
+pub const ALL_SPAN_KINDS: [SpanKind; 10] = [
     SpanKind::Request,
     SpanKind::AdmissionWait,
     SpanKind::BatchDrain,
@@ -64,6 +68,7 @@ pub const ALL_SPAN_KINDS: [SpanKind; 9] = [
     SpanKind::PlanCacheHit,
     SpanKind::JoinExec,
     SpanKind::Fsync,
+    SpanKind::Cancelled,
 ];
 
 impl SpanKind {
@@ -79,6 +84,7 @@ impl SpanKind {
             SpanKind::PlanCacheHit => "plan_cache_hit",
             SpanKind::JoinExec => "join_exec",
             SpanKind::Fsync => "fsync",
+            SpanKind::Cancelled => "cancelled",
         }
     }
 

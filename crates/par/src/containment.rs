@@ -9,10 +9,10 @@
 //! [`cqchase_core::check_batch`] regardless of thread count.
 
 use cqchase_core::{
-    check_batch as check_batch_seq, ContainmentAnswer, ContainmentEngineError, ContainmentOptions,
-    ContainmentPair,
+    check_batch_cancellable as check_batch_seq_cancellable, ContainmentAnswer,
+    ContainmentEngineError, ContainmentOptions, ContainmentPair,
 };
-use cqchase_index::FxHashMap;
+use cqchase_index::{CancelToken, FxHashMap};
 use cqchase_ir::{Catalog, ConjunctiveQuery, DependencySet};
 
 use crate::pool::{map_with, BatchOptions};
@@ -31,8 +31,26 @@ pub fn check_batch(
     opts: &ContainmentOptions,
     batch: BatchOptions,
 ) -> Vec<Result<ContainmentAnswer, ContainmentEngineError>> {
+    check_batch_cancellable(queries, pairs, sigma, catalog, opts, batch, None)
+}
+
+/// [`check_batch`] with an optional per-pair [`CancelToken`] slice
+/// (aligned with `pairs`) — the serving layer's entry point. Fired
+/// tokens turn their pairs into
+/// [`ContainmentEngineError::Cancelled`](cqchase_core::ContainmentEngineError)
+/// without disturbing the rest of the batch; tokens follow their pairs
+/// to whichever worker runs the chase group.
+pub fn check_batch_cancellable(
+    queries: &[ConjunctiveQuery],
+    pairs: &[ContainmentPair],
+    sigma: &DependencySet,
+    catalog: &Catalog,
+    opts: &ContainmentOptions,
+    batch: BatchOptions,
+    cancels: Option<&[CancelToken]>,
+) -> Vec<Result<ContainmentAnswer, ContainmentEngineError>> {
     if batch.threads <= 1 {
-        return check_batch_seq(queries, pairs, sigma, catalog, opts);
+        return check_batch_seq_cancellable(queries, pairs, sigma, catalog, opts, cancels);
     }
 
     // Group pair positions by left query, preserving in-group order so
@@ -57,11 +75,18 @@ pub fn check_batch(
     let group_results = map_with(
         grouped.len(),
         task_opts,
-        Vec::new, // per-worker reusable pair buffer
-        |pair_buf: &mut Vec<ContainmentPair>, g| {
+        // Per-worker reusable pair and token buffers.
+        || (Vec::new(), Vec::new()),
+        |bufs: &mut (Vec<ContainmentPair>, Vec<CancelToken>), g| {
+            let (pair_buf, cancel_buf) = bufs;
             pair_buf.clear();
             pair_buf.extend(grouped[g].iter().map(|&pos| pairs[pos]));
-            check_batch_seq(queries, pair_buf, sigma, catalog, opts)
+            let group_cancels = cancels.map(|cs| {
+                cancel_buf.clear();
+                cancel_buf.extend(grouped[g].iter().map(|&pos| cs[pos].clone()));
+                &cancel_buf[..]
+            });
+            check_batch_seq_cancellable(queries, pair_buf, sigma, catalog, opts, group_cancels)
         },
     );
 
@@ -102,7 +127,7 @@ mod tests {
             }
         }
         let opts = ContainmentOptions::default();
-        let seq = check_batch_seq(&p.queries, &pairs, &p.deps, &p.catalog, &opts);
+        let seq = cqchase_core::check_batch(&p.queries, &pairs, &p.deps, &p.catalog, &opts);
         for threads in [1usize, 2, 4] {
             let par = check_batch(
                 &p.queries,
@@ -119,6 +144,46 @@ mod tests {
                 assert_eq!(a.exact, b.exact, "pair {i}");
                 assert_eq!(a.witness, b.witness, "pair {i}");
                 assert_eq!(a.bound, b.bound, "pair {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fired_token_cancels_only_its_pair() {
+        let p = parse_program(
+            "relation R(a, b).
+             A(x) :- R(x, y).
+             B(x) :- R(x, y), R(y, z).",
+        )
+        .unwrap();
+        let pairs = vec![
+            ContainmentPair { q: 0, q_prime: 1 },
+            ContainmentPair { q: 1, q_prime: 0 },
+            ContainmentPair { q: 0, q_prime: 0 },
+        ];
+        let fired = CancelToken::unlimited();
+        fired.cancel();
+        let cancels = vec![CancelToken::unlimited(), fired, CancelToken::unlimited()];
+        let opts = ContainmentOptions::default();
+        for threads in [1usize, 4] {
+            let out = check_batch_cancellable(
+                &p.queries,
+                &pairs,
+                &p.deps,
+                &p.catalog,
+                &opts,
+                BatchOptions::with_threads(threads),
+                Some(&cancels),
+            );
+            assert!(
+                matches!(out[1], Err(ContainmentEngineError::Cancelled { .. })),
+                "fired pair must cancel @ {threads} threads"
+            );
+            let seq = cqchase_core::check_batch(&p.queries, &pairs, &p.deps, &p.catalog, &opts);
+            for i in [0usize, 2] {
+                let (a, b) = (out[i].as_ref().unwrap(), seq[i].as_ref().unwrap());
+                assert_eq!(a.contained, b.contained, "pair {i} @ {threads} threads");
+                assert_eq!(a.exact, b.exact, "pair {i}");
             }
         }
     }

@@ -36,8 +36,8 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use cqchase_core::ContainmentPair;
-use cqchase_index::FxHashMap;
+use cqchase_core::{ContainmentEngineError, ContainmentPair};
+use cqchase_index::{CancelToken, FxHashMap};
 use cqchase_obs::{SpanKind, Tracer};
 use cqchase_par::BatchOptions;
 use cqchase_storage::Tuple;
@@ -121,6 +121,20 @@ pub enum Outcome {
     },
     /// What an update did (or the validation error message).
     Update(Result<crate::session::UpdateSummary, String>),
+    /// The work was cancelled instead of answered: refused already
+    /// expired at leader pickup, cancelled mid-run by deadline expiry,
+    /// or abandoned because its client disconnected. Updates are only
+    /// ever cancelled *before* their commit point (validation +
+    /// WAL fsync), so a cancelled update left the session bit-identical
+    /// to never having submitted it.
+    Cancelled {
+        /// `true` when the client disconnected; `false` for deadline
+        /// expiry.
+        disconnect: bool,
+        /// Human-readable partial-progress detail (e.g. the chase level
+        /// a cancelled check had explored).
+        detail: String,
+    },
 }
 
 struct Pending {
@@ -132,6 +146,12 @@ struct Pending {
     enqueued: Instant,
     /// Enqueue time on the tracer's clock (0 when untraced).
     enqueued_us: u64,
+    /// The request's cancellation token (unlimited when the request
+    /// carried no deadline and no disconnect watcher). Armed *before*
+    /// admission, so queue wait counts against the deadline; a token
+    /// found fired at leader pickup refuses the work without running
+    /// it.
+    cancel: CancelToken,
 }
 
 #[derive(Default)]
@@ -333,15 +353,53 @@ impl Batcher {
     /// invariants were violated); the queue itself recovers — see
     /// [`LeaderGuard`].
     pub fn submit(&self, work: Work) -> Result<Outcome, String> {
-        self.submit_traced(work, 0)
+        self.submit_cancellable(work, 0, CancelToken::unlimited())
     }
 
     /// [`Batcher::submit`] carrying the request's trace id, so the
     /// semantic-cache probe, admission wait, batch drain, and downstream
     /// eval/fsync sections are recorded as spans when tracing is on.
     pub fn submit_traced(&self, work: Work, trace_id: u64) -> Result<Outcome, String> {
+        self.submit_cancellable(work, trace_id, CancelToken::unlimited())
+    }
+
+    /// Turns a fired token into the [`Outcome::Cancelled`] it is
+    /// answered with, counting it on the resilience metrics (disconnect
+    /// vs deadline attribution comes from the token itself).
+    fn cancelled_outcome(&self, cancel: &CancelToken, detail: &str) -> Outcome {
+        use std::sync::atomic::Ordering;
+        let disconnect = cancel.is_cancelled();
+        if disconnect {
+            self.metrics
+                .cancelled_disconnect
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.metrics
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Outcome::Cancelled {
+            disconnect,
+            detail: detail.into(),
+        }
+    }
+
+    /// [`Batcher::submit_traced`] under a [`CancelToken`]: the token is
+    /// consulted at admission (a fired token is refused before the
+    /// cache probe or the queue), at leader pickup (expired work is
+    /// never executed), and — for checks and evals — at coalesced
+    /// intervals inside the engines. The full request lifecycle path.
+    pub fn submit_cancellable(
+        &self,
+        work: Work,
+        trace_id: u64,
+        cancel: CancelToken,
+    ) -> Result<Outcome, String> {
         // The per-request hot path: same protocol as `submit_many`
         // (probe, enqueue, await) without its per-script vectors.
+        if cancel.should_stop() {
+            return Ok(self.cancelled_outcome(&cancel, "refused at admission"));
+        }
         let tracing = trace_id != 0 && self.tracer.is_enabled();
         let probe_start =
             (tracing && matches!(work, Work::Check { .. })).then(|| self.tracer.now_us());
@@ -367,6 +425,7 @@ impl Batcher {
                 trace_id,
                 enqueued: Instant::now(),
                 enqueued_us,
+                cancel,
             });
         }
         self.metrics
@@ -446,6 +505,23 @@ impl Batcher {
     /// in [`Batcher::submit`]. Used by the differential proptests and
     /// the churn benchmark; servers use `submit`.
     pub fn submit_many(&self, works: Vec<Work>) -> Vec<Result<Outcome, String>> {
+        let works = works
+            .into_iter()
+            .map(|w| (w, CancelToken::unlimited()))
+            .collect();
+        self.submit_many_cancellable(works)
+    }
+
+    /// [`Batcher::submit_many`] with one [`CancelToken`] per item — the
+    /// differential cancellation proptest's entry point. An item whose
+    /// token is already fired at submission is answered
+    /// [`Outcome::Cancelled`] without probing the cache or touching the
+    /// queue; the rest land in the queue as one batch exactly as in
+    /// `submit_many`.
+    pub fn submit_many_cancellable(
+        &self,
+        works: Vec<(Work, CancelToken)>,
+    ) -> Vec<Result<Outcome, String>> {
         enum Slot {
             Ready(Outcome),
             Wait(std::sync::mpsc::Receiver<Outcome>),
@@ -453,14 +529,24 @@ impl Batcher {
         // Cache probes run BEFORE the queue lock (they take per-session
         // mutexes and do isomorphism lookups — too slow for the global
         // critical section, which must stay at plain Vec pushes).
-        type Unanswered = (Work, Sender<Outcome>, std::sync::mpsc::Receiver<Outcome>);
+        type Unanswered = (
+            Work,
+            CancelToken,
+            Sender<Outcome>,
+            std::sync::mpsc::Receiver<Outcome>,
+        );
         let probed: Vec<Result<Outcome, Unanswered>> = works
             .into_iter()
-            .map(|work| match Batcher::try_cache_hit(&work) {
-                Some(outcome) => Ok(outcome),
-                None => {
-                    let (tx, rx) = channel();
-                    Err((work, tx, rx))
+            .map(|(work, cancel)| {
+                if cancel.should_stop() {
+                    return Ok(self.cancelled_outcome(&cancel, "refused at admission"));
+                }
+                match Batcher::try_cache_hit(&work) {
+                    Some(outcome) => Ok(outcome),
+                    None => {
+                        let (tx, rx) = channel();
+                        Err((work, cancel, tx, rx))
+                    }
                 }
             })
             .collect();
@@ -471,13 +557,14 @@ impl Batcher {
             for p in probed {
                 match p {
                     Ok(outcome) => slots.push(Slot::Ready(outcome)),
-                    Err((work, tx, rx)) => {
+                    Err((work, cancel, tx, rx)) => {
                         state.pending.push(Pending {
                             work,
                             tx,
                             trace_id: 0,
                             enqueued: Instant::now(),
                             enqueued_us: 0,
+                            cancel,
                         });
                         slots.push(Slot::Wait(rx));
                         enqueued += 1;
@@ -543,6 +630,23 @@ impl Batcher {
                     traced.push(p.trace_id);
                 }
             }
+            // Work whose token fired while it queued (deadline expired,
+            // or its client disconnected) is refused here — never
+            // executed. Queue wait counts against the deadline by
+            // construction: the token was armed before admission.
+            let batch: Vec<Pending> = batch
+                .into_iter()
+                .filter_map(|p| {
+                    if p.cancel.should_stop() {
+                        let outcome =
+                            self.cancelled_outcome(&p.cancel, "expired in the admission queue");
+                        let _ = p.tx.send(outcome);
+                        None
+                    } else {
+                        Some(p)
+                    }
+                })
+                .collect();
             self.run_batch(batch);
             if !traced.is_empty() {
                 let end_us = self.tracer.now_us();
@@ -599,6 +703,14 @@ impl Batcher {
                             shard.barrier_flushes.fetch_add(1, Ordering::Relaxed);
                         }
                         self.run_segment(std::mem::take(&mut segment));
+                        if p.cancel.should_stop() {
+                            let outcome = self.cancelled_outcome(
+                                &p.cancel,
+                                "update refused before its commit point",
+                            );
+                            let _ = p.tx.send(outcome);
+                            continue;
+                        }
                         let result = self
                             .apply_deltas(&session, &[(insert, delete)], &[trace_id])
                             .pop()
@@ -641,28 +753,55 @@ impl Batcher {
             Vec::new();
         let mut update_txs: Vec<Sender<Outcome>> = Vec::new();
         let mut update_ids: Vec<u64> = Vec::new();
-        let flush_updates =
-            |updates: &mut Vec<(Vec<crate::proto::FactSpec>, Vec<crate::proto::FactSpec>)>,
-             update_txs: &mut Vec<Sender<Outcome>>,
-             update_ids: &mut Vec<u64>| {
-                if updates.is_empty() {
-                    return;
+        let mut update_cancels: Vec<CancelToken> = Vec::new();
+        type Deltas = Vec<(Vec<crate::proto::FactSpec>, Vec<crate::proto::FactSpec>)>;
+        let flush_updates = |updates: &mut Deltas,
+                             update_txs: &mut Vec<Sender<Outcome>>,
+                             update_ids: &mut Vec<u64>,
+                             update_cancels: &mut Vec<CancelToken>| {
+            if updates.is_empty() {
+                return;
+            }
+            // Last pre-commit token check: a delta whose token fired
+            // between pickup and here is excluded before anything is
+            // WAL-logged or applied, so a cancelled update is
+            // indistinguishable from one never submitted. Past this
+            // point the run is committed — cancellation never bisects
+            // an update.
+            let mut deltas: Deltas = Vec::with_capacity(updates.len());
+            let mut txs: Vec<Sender<Outcome>> = Vec::with_capacity(update_txs.len());
+            let mut ids: Vec<u64> = Vec::with_capacity(update_ids.len());
+            for ((delta, tx), (id, cancel)) in updates
+                .drain(..)
+                .zip(update_txs.drain(..))
+                .zip(update_ids.drain(..).zip(update_cancels.drain(..)))
+            {
+                if cancel.should_stop() {
+                    let outcome =
+                        self.cancelled_outcome(&cancel, "update refused before its commit point");
+                    let _ = tx.send(outcome);
+                } else {
+                    deltas.push(delta);
+                    txs.push(tx);
+                    ids.push(id);
                 }
-                if updates.len() > 1 {
-                    self.metrics
-                        .updates_coalesced
-                        .fetch_add(updates.len() as u64 - 1, Ordering::Relaxed);
-                    shard
-                        .updates_coalesced
-                        .fetch_add(updates.len() as u64 - 1, Ordering::Relaxed);
-                }
-                let results = self.apply_deltas(session, updates, update_ids);
-                for (result, tx) in results.into_iter().zip(update_txs.drain(..)) {
-                    let _ = tx.send(Outcome::Update(result));
-                }
-                updates.clear();
-                update_ids.clear();
-            };
+            }
+            if deltas.is_empty() {
+                return;
+            }
+            if deltas.len() > 1 {
+                self.metrics
+                    .updates_coalesced
+                    .fetch_add(deltas.len() as u64 - 1, Ordering::Relaxed);
+                shard
+                    .updates_coalesced
+                    .fetch_add(deltas.len() as u64 - 1, Ordering::Relaxed);
+            }
+            let results = self.apply_deltas(session, &deltas, &ids);
+            for (result, tx) in results.into_iter().zip(txs) {
+                let _ = tx.send(Outcome::Update(result));
+            }
+        };
         for p in lane {
             match p.work {
                 Work::Update { insert, delete, .. } => {
@@ -674,14 +813,25 @@ impl Batcher {
                     updates.push((insert, delete));
                     update_txs.push(p.tx);
                     update_ids.push(p.trace_id);
+                    update_cancels.push(p.cancel);
                 }
                 _ => {
-                    flush_updates(&mut updates, &mut update_txs, &mut update_ids);
+                    flush_updates(
+                        &mut updates,
+                        &mut update_txs,
+                        &mut update_ids,
+                        &mut update_cancels,
+                    );
                     segment.push(p);
                 }
             }
         }
-        flush_updates(&mut updates, &mut update_txs, &mut update_ids);
+        flush_updates(
+            &mut updates,
+            &mut update_txs,
+            &mut update_ids,
+            &mut update_cancels,
+        );
         self.run_segment(segment);
     }
 
@@ -694,8 +844,8 @@ impl Batcher {
         // Group by (session identity, kind), preserving arrival order.
         struct Group {
             session: Arc<Session>,
-            checks: Vec<(usize, usize, Sender<Outcome>)>,
-            evals: Vec<(usize, u64, Sender<Outcome>)>,
+            checks: Vec<(usize, usize, Sender<Outcome>, CancelToken)>,
+            evals: Vec<(usize, u64, Sender<Outcome>, CancelToken)>,
         }
         let mut groups: Vec<Group> = Vec::new();
         for p in batch {
@@ -718,8 +868,8 @@ impl Batcher {
                 }
             };
             match p.work {
-                Work::Check { q, q_prime, .. } => slot.checks.push((q, q_prime, p.tx)),
-                Work::Eval { q, .. } => slot.evals.push((q, p.trace_id, p.tx)),
+                Work::Check { q, q_prime, .. } => slot.checks.push((q, q_prime, p.tx, p.cancel)),
+                Work::Eval { q, .. } => slot.evals.push((q, p.trace_id, p.tx, p.cancel)),
                 Work::Update { .. } => unreachable!("updates are barriers, not segment items"),
             }
         }
@@ -730,18 +880,28 @@ impl Batcher {
         }
     }
 
-    fn run_checks(&self, session: &Session, checks: Vec<(usize, usize, Sender<Outcome>)>) {
+    fn run_checks(
+        &self,
+        session: &Session,
+        checks: Vec<(usize, usize, Sender<Outcome>, CancelToken)>,
+    ) {
         use std::sync::atomic::Ordering;
         if checks.is_empty() {
             return;
         }
-        // Coalesce identical pairs: one computation, many answers.
+        // Coalesce identical pairs: one computation, many answers. The
+        // computation runs under the FIRST waiter's token; coalesced
+        // riders share its fate (documented trade — a rider with a
+        // longer deadline may see the representative's cancellation,
+        // but the shared chase stays live for every other pair).
         let mut unique: Vec<ContainmentPair> = Vec::new();
+        let mut tokens: Vec<CancelToken> = Vec::new();
         let mut waiters: FxHashMap<(usize, usize), Vec<Sender<Outcome>>> = FxHashMap::default();
-        for (q, q_prime, tx) in checks {
+        for (q, q_prime, tx, cancel) in checks {
             let entry = waiters.entry((q, q_prime)).or_default();
             if entry.is_empty() {
                 unique.push(ContainmentPair { q, q_prime });
+                tokens.push(cancel);
             } else {
                 self.metrics.coalesced_items.fetch_add(1, Ordering::Relaxed);
                 self.metrics
@@ -753,16 +913,30 @@ impl Batcher {
         }
 
         let program = session.program();
-        let answers = cqchase_par::check_batch(
+        let answers = cqchase_par::check_batch_cancellable(
             &program.queries,
             &unique,
             &program.deps,
             &program.catalog,
             &session.opts,
             BatchOptions::with_threads(self.threads),
+            Some(&tokens),
         );
 
-        for (pair, answer) in unique.iter().zip(answers) {
+        for ((pair, cancel), answer) in unique.iter().zip(&tokens).zip(answers) {
+            let txs = waiters
+                .remove(&(pair.q, pair.q_prime))
+                .expect("every unique pair has waiters");
+            if let Err(e @ ContainmentEngineError::Cancelled { .. }) = &answer {
+                // A cancelled check never certifies anything and never
+                // enters the semantic cache; every waiter of the pair
+                // is told, with the partial-progress detail.
+                let detail = e.to_string();
+                for tx in txs {
+                    let _ = tx.send(self.cancelled_outcome(cancel, &detail));
+                }
+                continue;
+            }
             let summary = match answer {
                 Ok(a) => {
                     let s = CheckSummary {
@@ -783,9 +957,6 @@ impl Batcher {
                 }
                 Err(e) => Err(e.to_string()),
             };
-            let txs = waiters
-                .remove(&(pair.q, pair.q_prime))
-                .expect("every unique pair has waiters");
             for (i, tx) in txs.into_iter().enumerate() {
                 // A waiter that hung up (connection died) is not an
                 // error worth surfacing.
@@ -798,17 +969,19 @@ impl Batcher {
         }
     }
 
-    fn run_evals(&self, session: &Session, evals: Vec<(usize, u64, Sender<Outcome>)>) {
+    fn run_evals(&self, session: &Session, evals: Vec<(usize, u64, Sender<Outcome>, CancelToken)>) {
         use std::sync::atomic::Ordering;
         if evals.is_empty() {
             return;
         }
+        // As in `run_checks`: the computation runs under the first
+        // waiter's token, coalesced riders share its fate.
         let mut waiters: FxHashMap<usize, Vec<(u64, Sender<Outcome>)>> = FxHashMap::default();
-        let mut unique: Vec<usize> = Vec::new();
-        for (q, trace_id, tx) in evals {
+        let mut unique: Vec<(usize, CancelToken)> = Vec::new();
+        for (q, trace_id, tx, cancel) in evals {
             let entry = waiters.entry(q).or_default();
             if entry.is_empty() {
-                unique.push(q);
+                unique.push((q, cancel));
             } else {
                 self.metrics.coalesced_items.fetch_add(1, Ordering::Relaxed);
                 self.metrics
@@ -818,21 +991,29 @@ impl Batcher {
             }
             entry.push((trace_id, tx));
         }
-        for q in unique {
+        for (q, cancel) in unique {
             let ids: Vec<u64> = waiters
                 .get(&q)
                 .expect("every unique query has waiters")
                 .iter()
                 .map(|(id, _)| *id)
                 .collect();
-            let (rows, cached, annotation) = session.eval_observed(q, self.trace_ctx(&ids));
+            let answer = session.eval_observed_cancellable(q, self.trace_ctx(&ids), Some(&cancel));
+            let txs = waiters.remove(&q).expect("every unique query has waiters");
+            let Some((rows, cached, annotation)) = answer else {
+                // Cancelled mid-join: the partial rows were discarded
+                // inside the session, nothing was cached.
+                for (_, tx) in txs {
+                    let _ = tx.send(self.cancelled_outcome(&cancel, "eval cancelled mid-join"));
+                }
+                continue;
+            };
             if let Some(ann) = annotation {
                 let mut map = self.annotations.lock().expect("annotations lock");
                 for &id in ids.iter().filter(|id| **id != 0) {
                     map.insert(id, ann.clone());
                 }
             }
-            let txs = waiters.remove(&q).expect("every unique query has waiters");
             for (i, (_, tx)) in txs.into_iter().enumerate() {
                 let _ = tx.send(Outcome::Eval {
                     rows: rows.clone(),
@@ -1209,6 +1390,101 @@ mod tests {
             computed >= 2,
             "both distinct questions must actually compute"
         );
+    }
+
+    #[test]
+    fn fired_tokens_refuse_work_without_running_it() {
+        use cqchase_ir::Constant;
+        use std::sync::atomic::Ordering;
+        let s = test_session();
+        let metrics = Arc::new(Metrics::new());
+        let batcher = Batcher::new(1, Arc::clone(&metrics));
+        let fired = CancelToken::unlimited();
+        fired.cancel();
+        let expired = CancelToken::with_deadline_ms(0);
+        // A disconnected check, an expired eval, an expired update, and
+        // a live eval, submitted as one batch.
+        let outs: Vec<Outcome> = batcher
+            .submit_many_cancellable(vec![
+                (
+                    Work::Check {
+                        session: Arc::clone(&s),
+                        q: 0,
+                        q_prime: 1,
+                    },
+                    fired,
+                ),
+                (
+                    Work::Eval {
+                        session: Arc::clone(&s),
+                        q: 0,
+                    },
+                    expired.clone(),
+                ),
+                (
+                    Work::Update {
+                        session: Arc::clone(&s),
+                        insert: vec![("R".into(), vec![Constant::Int(7), Constant::Int(8)])],
+                        delete: vec![],
+                    },
+                    expired,
+                ),
+                (
+                    Work::Eval {
+                        session: Arc::clone(&s),
+                        q: 0,
+                    },
+                    CancelToken::unlimited(),
+                ),
+            ])
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        assert!(
+            matches!(
+                &outs[0],
+                Outcome::Cancelled {
+                    disconnect: true,
+                    ..
+                }
+            ),
+            "{outs:?}"
+        );
+        assert!(
+            matches!(
+                &outs[1],
+                Outcome::Cancelled {
+                    disconnect: false,
+                    ..
+                }
+            ),
+            "{outs:?}"
+        );
+        assert!(
+            matches!(
+                &outs[2],
+                Outcome::Cancelled {
+                    disconnect: false,
+                    ..
+                }
+            ),
+            "{outs:?}"
+        );
+        assert!(matches!(&outs[3], Outcome::Eval { .. }), "{outs:?}");
+        // The refused update applied nothing: epoch and facts untouched.
+        assert_eq!(s.facts_epoch(), 0);
+        assert_eq!(s.facts_len(), 2);
+        assert_eq!(metrics.cancelled_disconnect.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.deadline_exceeded.load(Ordering::Relaxed), 2);
+        // The session still answers normally afterwards.
+        let out = batcher
+            .submit(Work::Check {
+                session: Arc::clone(&s),
+                q: 0,
+                q_prime: 1,
+            })
+            .unwrap();
+        assert!(matches!(out, Outcome::Check { summary: Ok(_), .. }));
     }
 
     #[test]

@@ -204,6 +204,17 @@ impl SemanticCache {
         self.evictions += 1;
     }
 
+    /// Drops every cached answer (pressure shedding / tests). Counters
+    /// survive, with the dropped entries counted as evictions, so the
+    /// stats stay monotone across a shed.
+    pub fn clear(&mut self) -> usize {
+        let dropped = self.len;
+        self.entries.clear();
+        self.evictions += dropped as u64;
+        self.len = 0;
+        dropped
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

@@ -129,27 +129,68 @@ impl Client {
         insert: &[FactSpec],
         delete: &[FactSpec],
     ) -> Result<Value, ClientError> {
+        self.update_deadline(session, insert, delete, None)
+    }
+
+    /// [`Client::update`] with an optional per-request deadline. The
+    /// deadline is measured from admission on the server (queue wait
+    /// counts); a deadline can only refuse the update before its commit
+    /// point — an `ok:true` answer means it was fully applied, a
+    /// deadline error means it was not applied at all.
+    pub fn update_deadline(
+        &mut self,
+        session: &str,
+        insert: &[FactSpec],
+        delete: &[FactSpec],
+        deadline_ms: Option<u64>,
+    ) -> Result<Value, ClientError> {
         self.checked(&Request::Update {
             session: session.into(),
             insert: insert.to_vec(),
             delete: delete.to_vec(),
+            deadline_ms,
         })
     }
 
     /// Tests `Σ ⊨ q ⊆∞ q_prime` between two registered queries.
     pub fn check(&mut self, session: &str, q: &str, q_prime: &str) -> Result<Value, ClientError> {
+        self.check_deadline(session, q, q_prime, None)
+    }
+
+    /// [`Client::check`] with an optional per-request deadline in
+    /// milliseconds (server-side, measured from admission).
+    pub fn check_deadline(
+        &mut self,
+        session: &str,
+        q: &str,
+        q_prime: &str,
+        deadline_ms: Option<u64>,
+    ) -> Result<Value, ClientError> {
         self.checked(&Request::Check {
             session: session.into(),
             q: q.into(),
             q_prime: q_prime.into(),
+            deadline_ms,
         })
     }
 
     /// Evaluates a registered query over the session's facts.
     pub fn eval(&mut self, session: &str, query: &str) -> Result<Value, ClientError> {
+        self.eval_deadline(session, query, None)
+    }
+
+    /// [`Client::eval`] with an optional per-request deadline in
+    /// milliseconds (server-side, measured from admission).
+    pub fn eval_deadline(
+        &mut self,
+        session: &str,
+        query: &str,
+        deadline_ms: Option<u64>,
+    ) -> Result<Value, ClientError> {
         self.checked(&Request::Eval {
             session: session.into(),
             query: query.into(),
+            deadline_ms,
         })
     }
 
@@ -183,8 +224,127 @@ impl Client {
         self.checked(&Request::Persist)
     }
 
+    /// Health/readiness probe: uptime, lane count, shedding state, and
+    /// the recovery summary. Answered inline by the server — never
+    /// queued behind the admission lanes, never shed — so it stays
+    /// responsive while the server is saturated.
+    pub fn ping(&mut self) -> Result<Value, ClientError> {
+        self.checked(&Request::Ping)
+    }
+
     /// Asks the server to shut down gracefully.
     pub fn shutdown(&mut self) -> Result<Value, ClientError> {
         self.checked(&Request::Shutdown)
+    }
+
+    /// Sends a typed request under a [`RetryPolicy`]: load-shed
+    /// refusals (`ok:false` carrying a `retry_after_ms` hint) are
+    /// retried with exponential backoff and jitter, sleeping at least
+    /// the server's hint. Every other response — success, hard error,
+    /// deadline — returns immediately; transport errors are not
+    /// retried (the connection state is unknown).
+    pub fn request_with_retry(
+        &mut self,
+        req: &Request,
+        policy: &mut RetryPolicy,
+    ) -> Result<Value, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            let v = self.request(req)?;
+            let hint = (v["ok"] != true)
+                .then(|| v["retry_after_ms"].as_u64())
+                .flatten();
+            let Some(hint_ms) = hint else {
+                return Self::expect_ok(v);
+            };
+            if attempt >= policy.max_retries {
+                return Self::expect_ok(v);
+            }
+            std::thread::sleep(policy.backoff(attempt, hint_ms));
+            attempt += 1;
+        }
+    }
+}
+
+/// Bounded exponential backoff with jitter for retrying load-shed
+/// refusals. The delay for attempt *n* is
+/// `max(hint, base · 2ⁿ)` plus up to 50% random jitter, capped at
+/// `max_backoff_ms` — the jitter decorrelates a thundering herd of
+/// clients all shed at the same instant.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Base delay for the exponential schedule.
+    pub base_backoff_ms: u64,
+    /// Ceiling on any single delay (applied after jitter).
+    pub max_backoff_ms: u64,
+    /// xorshift64 state for the jitter (no external RNG dependency).
+    rng: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with the given bounds; `seed` decorrelates the jitter
+    /// across client instances (any nonzero value works — 0 is mapped
+    /// to a fixed odd constant).
+    pub fn new(max_retries: u32, base_backoff_ms: u64, max_backoff_ms: u64, seed: u64) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_backoff_ms,
+            max_backoff_ms,
+            rng: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64: tiny, seedable, plenty for jitter.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    /// The sleep before retry number `attempt` (0-based), honoring the
+    /// server's `retry_after_ms` hint as a floor.
+    pub fn backoff(&mut self, attempt: u32, retry_after_ms: u64) -> std::time::Duration {
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .max(retry_after_ms);
+        let jitter = self.next_rand() % (exp / 2).max(1);
+        std::time::Duration::from_millis(exp.saturating_add(jitter).min(self.max_backoff_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_honors_hint_and_caps() {
+        let mut p = RetryPolicy::new(5, 10, 500, 42);
+        let d0 = p.backoff(0, 0);
+        assert!(d0.as_millis() >= 10 && d0.as_millis() < 500 + 1);
+        // The server hint floors the schedule.
+        let hinted = p.backoff(0, 200);
+        assert!(hinted.as_millis() >= 200);
+        // Deep attempts saturate at the cap, jitter included.
+        let deep = p.backoff(12, 0);
+        assert_eq!(deep.as_millis(), 500);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_varies_across_seeds() {
+        let a = RetryPolicy::new(3, 10, 10_000, 1).backoff(3, 0);
+        let b = RetryPolicy::new(3, 10, 10_000, 1).backoff(3, 0);
+        let c = RetryPolicy::new(3, 10, 10_000, 2).backoff(3, 0);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seeds decorrelate");
     }
 }

@@ -72,10 +72,10 @@ pub mod session;
 pub use batch::{BarrierMode, Batcher, Outcome, TraceAnnotations, Work};
 pub use cache::{CacheStats, SemanticCache};
 pub use catalog::{BaseFacts, CatalogRegistry, FrozenCatalog};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use durable::{Durability, RecoveryReport};
 pub use lanes::{lane_of, LaneSet};
 pub use metrics::Metrics;
 pub use proto::{CheckSummary, FactSpec, Op, Request};
-pub use server::{ServeOptions, Server};
+pub use server::{default_lanes, ServeOptions, Server};
 pub use session::{Session, SessionRegistry, UpdateSummary};

@@ -200,6 +200,24 @@ pub struct Metrics {
     /// at its connection cap. One counter shared by every lane —
     /// refusal happens before lane routing.
     pub overload_refusals: AtomicU64,
+    /// Requests that missed their deadline (refused at leader pickup
+    /// already expired, or cancelled mid-run by deadline expiry).
+    pub deadline_exceeded: AtomicU64,
+    /// Requests cancelled because their client disconnected mid-flight.
+    pub cancelled_disconnect: AtomicU64,
+    /// Requests refused at dispatch by the pressure watermarks (lane
+    /// queue depth or resident bytes), answered with `retry_after_ms`.
+    pub shed: AtomicU64,
+    /// Cache entries (result rows, plans, semantic-cache answers)
+    /// dropped by eviction passes the resident-bytes watermark
+    /// triggered.
+    pub pressure_evictions: AtomicU64,
+    /// Connections dropped because a response write timed out.
+    pub write_timeouts: AtomicU64,
+    /// How far past its deadline a deadline-carrying request was
+    /// answered (µs; 0 for requests answered in time). Bounds the
+    /// cancellation check's reaction lag.
+    pub deadline_overrun: EndpointStats,
 }
 
 impl Default for Metrics {
@@ -228,6 +246,12 @@ impl Metrics {
             barrier_flushes: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             overload_refusals: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            cancelled_disconnect: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            pressure_evictions: AtomicU64::new(0),
+            write_timeouts: AtomicU64::new(0),
+            deadline_overrun: EndpointStats::default(),
         }
     }
 
@@ -324,6 +348,29 @@ impl Metrics {
         m.insert("batching".into(), Value::Object(batching));
         m.insert("queue_wait".into(), self.queue_wait.snapshot());
         m.insert("lanes".into(), Value::Object(lanes));
+        let mut resilience = Map::new();
+        resilience.insert(
+            "deadline_exceeded".into(),
+            Value::from(self.deadline_exceeded.load(Ordering::Relaxed)),
+        );
+        resilience.insert(
+            "cancelled_disconnect".into(),
+            Value::from(self.cancelled_disconnect.load(Ordering::Relaxed)),
+        );
+        resilience.insert(
+            "shed".into(),
+            Value::from(self.shed.load(Ordering::Relaxed)),
+        );
+        resilience.insert(
+            "pressure_evictions".into(),
+            Value::from(self.pressure_evictions.load(Ordering::Relaxed)),
+        );
+        resilience.insert(
+            "write_timeouts".into(),
+            Value::from(self.write_timeouts.load(Ordering::Relaxed)),
+        );
+        resilience.insert("deadline_overrun".into(), self.deadline_overrun.snapshot());
+        m.insert("resilience".into(), Value::Object(resilience));
         m
     }
 }
@@ -419,6 +466,23 @@ mod tests {
         );
         // Out-of-range lane indexes fold onto lane 0 instead of panicking.
         assert_eq!(Metrics::new().lane(7).batches.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn resilience_counters_appear_in_snapshot() {
+        let m = Metrics::new();
+        m.deadline_exceeded.fetch_add(2, Ordering::Relaxed);
+        m.cancelled_disconnect.fetch_add(1, Ordering::Relaxed);
+        m.shed.fetch_add(3, Ordering::Relaxed);
+        m.write_timeouts.fetch_add(1, Ordering::Relaxed);
+        m.deadline_overrun.record(Duration::from_micros(40), true);
+        let snap = Value::Object(m.snapshot());
+        assert_eq!(snap["resilience"]["deadline_exceeded"], 2u64);
+        assert_eq!(snap["resilience"]["cancelled_disconnect"], 1u64);
+        assert_eq!(snap["resilience"]["shed"], 3u64);
+        assert_eq!(snap["resilience"]["pressure_evictions"], 0u64);
+        assert_eq!(snap["resilience"]["write_timeouts"], 1u64);
+        assert_eq!(snap["resilience"]["deadline_overrun"]["count"], 1u64);
     }
 
     #[test]

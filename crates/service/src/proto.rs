@@ -56,10 +56,14 @@ pub enum Op {
     Persist,
     /// Graceful shutdown: stop accepting, drain, exit.
     Shutdown,
+    /// Health/readiness probe: uptime, lane count, shedding state,
+    /// recovery summary. Never queued, never shed — answered inline
+    /// even when the admission lanes are saturated.
+    Ping,
 }
 
 /// All operations, indexable by `op as usize`.
-pub const ALL_OPS: [Op; 9] = [
+pub const ALL_OPS: [Op; 10] = [
     Op::Register,
     Op::Update,
     Op::Check,
@@ -69,6 +73,7 @@ pub const ALL_OPS: [Op; 9] = [
     Op::Metrics,
     Op::Persist,
     Op::Shutdown,
+    Op::Ping,
 ];
 
 impl Op {
@@ -84,6 +89,7 @@ impl Op {
             Op::Metrics => "metrics",
             Op::Persist => "persist",
             Op::Shutdown => "shutdown",
+            Op::Ping => "ping",
         }
     }
 
@@ -118,6 +124,11 @@ pub enum Request {
         insert: Vec<FactSpec>,
         /// Facts to delete, as `(relation, constants)` pairs.
         delete: Vec<FactSpec>,
+        /// Optional per-request deadline in milliseconds, measured from
+        /// admission (queue wait counts). Updates are all-or-nothing: a
+        /// deadline can only refuse the update before its commit point,
+        /// never leave it half-applied.
+        deadline_ms: Option<u64>,
     },
     /// `{"op":"check","session":S,"q":Q,"q_prime":QP}` — test
     /// `Σ ⊨ Q ⊆∞ QP` for two queries registered in `S`.
@@ -128,6 +139,9 @@ pub enum Request {
         q: String,
         /// Name of the containing-side query.
         q_prime: String,
+        /// Optional per-request deadline in milliseconds, measured from
+        /// admission (queue wait counts).
+        deadline_ms: Option<u64>,
     },
     /// `{"op":"eval","session":S,"query":Q}` — evaluate `Q` over the
     /// session's ground facts.
@@ -136,6 +150,9 @@ pub enum Request {
         session: String,
         /// Name of the query to evaluate.
         query: String,
+        /// Optional per-request deadline in milliseconds, measured from
+        /// admission (queue wait counts).
+        deadline_ms: Option<u64>,
     },
     /// `{"op":"classify","session":S}` — the session's Σ class.
     Classify {
@@ -152,6 +169,8 @@ pub enum Request {
     Persist,
     /// `{"op":"shutdown"}` — graceful shutdown.
     Shutdown,
+    /// `{"op":"ping"}` — health/readiness probe, answered inline.
+    Ping,
 }
 
 /// One ground fact on the wire: relation name plus constant values.
@@ -162,6 +181,18 @@ fn str_field(obj: &Map<String, Value>, key: &str) -> Result<String, String> {
         .and_then(Value::as_str)
         .map(str::to_owned)
         .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+/// Decodes the optional `deadline_ms` field (absent reads as `None`;
+/// present values must be non-negative integers).
+fn deadline_field(obj: &Map<String, Value>) -> Result<Option<u64>, String> {
+    match obj.get("deadline_ms") {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| "field `deadline_ms` must be a non-negative integer".into()),
+    }
 }
 
 /// Decodes one `[relation, [value, …]]` fact. Integer JSON numbers map
@@ -235,6 +266,7 @@ impl Request {
             Request::Metrics => Op::Metrics,
             Request::Persist => Op::Persist,
             Request::Shutdown => Op::Shutdown,
+            Request::Ping => Op::Ping,
         }
     }
 
@@ -257,16 +289,19 @@ impl Request {
                     session: str_field(obj, "session")?,
                     insert,
                     delete,
+                    deadline_ms: deadline_field(obj)?,
                 })
             }
             "check" => Ok(Request::Check {
                 session: str_field(obj, "session")?,
                 q: str_field(obj, "q")?,
                 q_prime: str_field(obj, "q_prime")?,
+                deadline_ms: deadline_field(obj)?,
             }),
             "eval" => Ok(Request::Eval {
                 session: str_field(obj, "session")?,
                 query: str_field(obj, "query")?,
+                deadline_ms: deadline_field(obj)?,
             }),
             "classify" => Ok(Request::Classify {
                 session: str_field(obj, "session")?,
@@ -275,9 +310,10 @@ impl Request {
             "metrics" => Ok(Request::Metrics),
             "persist" => Ok(Request::Persist),
             "shutdown" => Ok(Request::Shutdown),
+            "ping" => Ok(Request::Ping),
             other => Err(format!(
                 "unknown op `{other}` (expected \
-                 register/update/check/eval/classify/stats/metrics/persist/shutdown)"
+                 register/update/check/eval/classify/stats/metrics/persist/shutdown/ping)"
             )),
         }
     }
@@ -301,28 +337,47 @@ impl Request {
                 session,
                 insert,
                 delete,
+                deadline_ms,
             } => {
                 m.insert("session".into(), Value::from(session.as_str()));
                 m.insert("insert".into(), facts_to_value(insert));
                 m.insert("delete".into(), facts_to_value(delete));
+                if let Some(d) = deadline_ms {
+                    m.insert("deadline_ms".into(), Value::from(*d));
+                }
             }
             Request::Check {
                 session,
                 q,
                 q_prime,
+                deadline_ms,
             } => {
                 m.insert("session".into(), Value::from(session.as_str()));
                 m.insert("q".into(), Value::from(q.as_str()));
                 m.insert("q_prime".into(), Value::from(q_prime.as_str()));
+                if let Some(d) = deadline_ms {
+                    m.insert("deadline_ms".into(), Value::from(*d));
+                }
             }
-            Request::Eval { session, query } => {
+            Request::Eval {
+                session,
+                query,
+                deadline_ms,
+            } => {
                 m.insert("session".into(), Value::from(session.as_str()));
                 m.insert("query".into(), Value::from(query.as_str()));
+                if let Some(d) = deadline_ms {
+                    m.insert("deadline_ms".into(), Value::from(*d));
+                }
             }
             Request::Classify { session } => {
                 m.insert("session".into(), Value::from(session.as_str()));
             }
-            Request::Stats | Request::Metrics | Request::Persist | Request::Shutdown => {}
+            Request::Stats
+            | Request::Metrics
+            | Request::Persist
+            | Request::Shutdown
+            | Request::Ping => {}
         }
         Value::Object(m)
     }
@@ -401,15 +456,24 @@ mod tests {
                     ("S".into(), vec![Constant::str("x")]),
                 ],
                 delete: vec![("R".into(), vec![Constant::Int(7), Constant::Int(8)])],
+                deadline_ms: Some(250),
             },
             Request::Check {
                 session: "s".into(),
                 q: "Q1".into(),
                 q_prime: "Q2".into(),
+                deadline_ms: None,
+            },
+            Request::Check {
+                session: "s".into(),
+                q: "Q1".into(),
+                q_prime: "Q2".into(),
+                deadline_ms: Some(50),
             },
             Request::Eval {
                 session: "s".into(),
                 query: "Q1".into(),
+                deadline_ms: Some(0),
             },
             Request::Classify {
                 session: "s".into(),
@@ -418,6 +482,7 @@ mod tests {
             Request::Metrics,
             Request::Persist,
             Request::Shutdown,
+            Request::Ping,
         ];
         for r in reqs {
             let line = serde_json::to_string(&r.to_value()).unwrap();
@@ -456,6 +521,31 @@ mod tests {
                 session: "s".into(),
                 insert: vec![("R".into(), vec![Constant::Int(1), Constant::str("a")])],
                 delete: vec![],
+                deadline_ms: None,
+            }
+        );
+    }
+
+    #[test]
+    fn deadlines_validate() {
+        // Negative and non-integer deadlines are rejected.
+        assert!(Request::from_line(
+            r#"{"op":"check","session":"s","q":"a","q_prime":"b","deadline_ms":-1}"#
+        )
+        .is_err());
+        assert!(Request::from_line(
+            r#"{"op":"eval","session":"s","query":"q","deadline_ms":"soon"}"#
+        )
+        .is_err());
+        // Zero is legal: the request is refused as already expired.
+        let r = Request::from_line(r#"{"op":"eval","session":"s","query":"q","deadline_ms":0}"#)
+            .unwrap();
+        assert_eq!(
+            r,
+            Request::Eval {
+                session: "s".into(),
+                query: "q".into(),
+                deadline_ms: Some(0),
             }
         );
     }

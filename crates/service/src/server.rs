@@ -17,11 +17,11 @@
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use cqchase_index::FxHashMap;
+use cqchase_index::{CancelToken, FxHashMap};
 use cqchase_obs::{SpanKind, Tracer};
 use cqchase_par::ThreadPool;
 use serde_json::{Map, Value};
@@ -55,6 +55,144 @@ pub fn default_lanes() -> usize {
         .map(|n| n.get())
         .unwrap_or(1)
         .min(8)
+}
+
+/// How often the disconnect watcher polls its registered sockets, and
+/// therefore the upper bound it adds to how long an abandoned request
+/// keeps computing before its token fires.
+const WATCH_POLL: Duration = Duration::from_millis(20);
+
+/// How long a computed resident-bytes figure is trusted before the
+/// pressure check walks the session registry again. Residency moves
+/// only on updates/registrations, so re-summing it on every request
+/// would buy nothing and cost a registry snapshot per dispatch.
+const PRESSURE_RECHECK: Duration = Duration::from_millis(250);
+
+/// Minimum spacing between pressure-triggered cache-eviction passes:
+/// shedding a burst must not clear the caches once per refused
+/// request — one pass per window, the rest of the burst just sheds.
+const EVICT_WINDOW: Duration = Duration::from_secs(1);
+
+/// The `retry_after_ms` hint attached to shed refusals. Chosen to
+/// outlast a typical batch drain so a backing-off client's retry
+/// lands after the queue has actually moved.
+const SHED_RETRY_AFTER_MS: u64 = 100;
+
+/// One socket being watched for peer disconnect while its request is
+/// in flight.
+struct WatchSlot {
+    id: u64,
+    stream: TcpStream,
+    token: CancelToken,
+}
+
+/// Cancels in-flight work whose client hung up.
+///
+/// One thread for the whole server polls a registry of
+/// `(socket, token)` pairs every [`WATCH_POLL`]: a zero-byte `peek`
+/// (orderly shutdown) or a hard socket error fires the request's
+/// [`CancelToken`], and the engines unwind at their next coalesced
+/// cancellation check — work nobody is waiting for stops occupying
+/// the compute pool. Sockets are registered only while a queued verb
+/// is in flight and deregistered by guard the moment it completes, so
+/// the poll list stays as small as the number of concurrently
+/// executing requests.
+struct DisconnectWatcher {
+    slots: Mutex<Vec<WatchSlot>>,
+    stop: AtomicBool,
+    next_id: AtomicU64,
+}
+
+/// Deregisters a watched socket when the request finishes (including
+/// by panic — the guard lives on the dispatch stack).
+struct WatchGuard<'a> {
+    watcher: &'a DisconnectWatcher,
+    id: u64,
+}
+
+impl Drop for WatchGuard<'_> {
+    fn drop(&mut self) {
+        let mut slots = self.watcher.slots.lock().expect("watcher slots lock");
+        slots.retain(|s| s.id != self.id);
+    }
+}
+
+impl DisconnectWatcher {
+    /// Builds the watcher and starts its poll thread.
+    fn spawn() -> (Arc<DisconnectWatcher>, std::thread::JoinHandle<()>) {
+        let watcher = Arc::new(DisconnectWatcher {
+            slots: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+        });
+        let w = Arc::clone(&watcher);
+        let handle = std::thread::Builder::new()
+            .name("disconnect-watcher".into())
+            .spawn(move || w.run())
+            .expect("spawn disconnect watcher");
+        (watcher, handle)
+    }
+
+    /// Registers `stream` for disconnect polling; its `token` fires if
+    /// the peer goes away. Returns `None` (watching disabled for this
+    /// request, nothing else changes) when the socket cannot be
+    /// cloned — cancellation is an optimization, never a correctness
+    /// dependency.
+    fn watch<'a>(&'a self, stream: &TcpStream, token: CancelToken) -> Option<WatchGuard<'a>> {
+        let clone = stream.try_clone().ok()?;
+        clone.set_nonblocking(true).ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.slots
+            .lock()
+            .expect("watcher slots lock")
+            .push(WatchSlot {
+                id,
+                stream: clone,
+                token,
+            });
+        Some(WatchGuard { watcher: self, id })
+    }
+
+    fn run(&self) {
+        let mut probe = [0u8; 1];
+        while !self.stop.load(Ordering::Acquire) {
+            std::thread::sleep(WATCH_POLL);
+            let mut slots = self.slots.lock().expect("watcher slots lock");
+            slots.retain(|s| {
+                // A nonblocking peek never consumes protocol bytes:
+                // pending data (the client pipelining its next request)
+                // and WouldBlock both mean the peer is still there.
+                match s.stream.peek(&mut probe) {
+                    Ok(0) => {
+                        s.token.cancel();
+                        false
+                    }
+                    Ok(_) => true,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                        ) =>
+                    {
+                        true
+                    }
+                    Err(_) => {
+                        s.token.cancel();
+                        false
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// The throttled resident-bytes figure behind the memory watermark.
+struct PressureState {
+    /// When `resident_bytes` was last recomputed (`None` = never).
+    checked_at: Option<Instant>,
+    resident_bytes: u64,
+    /// When the last pressure-triggered eviction pass ran.
+    evicted_at: Option<Instant>,
 }
 
 /// Server configuration.
@@ -93,6 +231,29 @@ pub struct ServeOptions {
     /// (spans are recorded but nothing is emitted — useful for the
     /// tracing-overhead benchmark and tests reading the recorder).
     pub trace: bool,
+    /// Default deadline applied to `update`/`check`/`eval` requests
+    /// that do not carry their own `deadline_ms`. `None` leaves
+    /// hintless requests unlimited (the prior behavior). The deadline
+    /// is measured from admission, so queue wait counts against it.
+    pub default_deadline_ms: Option<u64>,
+    /// Load-shedding watermark on a lane's admission-queue depth:
+    /// when the target lane already holds at least this many queued
+    /// work items, new `update`/`check`/`eval` requests are refused
+    /// with `retry_after_ms` instead of queued. `None` disables
+    /// depth-based shedding.
+    pub shed_queue_depth: Option<u64>,
+    /// Load-shedding watermark on resident bytes (owned session
+    /// indexes plus shared catalogs): above it, new expensive requests
+    /// are refused with `retry_after_ms` and one cache-eviction pass
+    /// drops rebuildable state (result caches, plan caches, semantic
+    /// caches). Residency is recomputed at most every
+    /// [`PRESSURE_RECHECK`]. `None` disables memory-based shedding.
+    pub shed_resident_bytes: Option<u64>,
+    /// Write timeout on every accepted connection: a response write
+    /// that stalls this long (a reader that stopped draining) counts
+    /// one `write_timeouts` and drops the connection instead of
+    /// wedging a handler thread. 0 disables the timeout.
+    pub write_timeout_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -108,6 +269,10 @@ impl Default for ServeOptions {
             wal_rotate_bytes: None,
             slow_query_us: None,
             trace: false,
+            default_deadline_ms: None,
+            shed_queue_depth: None,
+            shed_resident_bytes: None,
+            write_timeout_ms: 10_000,
         }
     }
 }
@@ -138,6 +303,17 @@ struct Shared {
     /// The slow-query log sink: `--data-dir/slowlog` when a data
     /// directory is configured, `None` falls back to stderr.
     slowlog: Option<std::sync::Mutex<std::fs::File>>,
+    /// The disconnect poller (see [`DisconnectWatcher`]).
+    watcher: Arc<DisconnectWatcher>,
+    /// Whether the last pressure check refused work — the `ping`
+    /// verb's shedding gauge.
+    shedding: AtomicBool,
+    /// Throttled residency accounting for the memory watermark.
+    pressure: Mutex<PressureState>,
+    /// What recovery restored at bind (`Null` without a data dir) —
+    /// reported by `ping` so probes can tell a fresh process from a
+    /// restored one.
+    recovery_json: Value,
 }
 
 /// Decrements the active-connection count when a handler finishes —
@@ -155,6 +331,7 @@ pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
     recovery: Option<RecoveryReport>,
+    watcher_handle: std::thread::JoinHandle<()>,
 }
 
 impl Server {
@@ -222,6 +399,7 @@ impl Server {
                 .map(std::sync::Mutex::new),
             _ => None,
         };
+        let (watcher, watcher_handle) = DisconnectWatcher::spawn();
         let shared = Arc::new(Shared {
             sessions,
             lanes,
@@ -235,11 +413,23 @@ impl Server {
             tracer,
             annotations,
             slowlog,
+            watcher,
+            shedding: AtomicBool::new(false),
+            pressure: Mutex::new(PressureState {
+                checked_at: None,
+                resident_bytes: 0,
+                evicted_at: None,
+            }),
+            recovery_json: recovery
+                .as_ref()
+                .map(RecoveryReport::to_json)
+                .unwrap_or(Value::Null),
         });
         Ok(Server {
             listener,
             shared,
             recovery,
+            watcher_handle,
         })
     }
 
@@ -314,6 +504,10 @@ impl Server {
         // connection notices the flag within one read timeout and
         // exits. That is the graceful drain.
         drop(pool);
+        // No handlers left means no watched sockets left; stop the
+        // disconnect poller and wait for its tick to finish.
+        self.shared.watcher.stop.store(true, Ordering::Release);
+        let _ = self.watcher_handle.join();
         Ok(())
     }
 
@@ -454,15 +648,43 @@ fn drain_briefly(stream: &mut TcpStream, shutdown: &AtomicBool) {
     }
 }
 
-/// Writes one response line, reporting whether the peer is still there.
-fn write_line(stream: &mut TcpStream, response: &Value) -> bool {
+/// Writes one response line; the error (if any) lets the caller tell a
+/// stalled writer from a vanished peer.
+fn write_line(stream: &mut TcpStream, response: &Value) -> io::Result<()> {
     let mut line = response.to_string();
     line.push('\n');
-    stream.write_all(line.as_bytes()).is_ok() && stream.flush().is_ok()
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+/// [`write_line`] plus the write-timeout policy: a write that timed
+/// out (the peer stopped draining its socket) counts one
+/// `write_timeouts`; any write failure drops the connection (returns
+/// `false`) — a handler thread must never stay wedged behind a dead
+/// reader.
+fn write_or_drop(stream: &mut TcpStream, shared: &Shared, response: &Value) -> bool {
+    match write_line(stream, response) {
+        Ok(()) => true,
+        Err(e) => {
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) {
+                shared
+                    .metrics
+                    .write_timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            false
+        }
+    }
 }
 
 fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(READ_POLL));
+    if shared.opts.write_timeout_ms > 0 {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(shared.opts.write_timeout_ms)));
+    }
     let _ = stream.set_nodelay(true);
     let mut reader = LineReader::new();
     loop {
@@ -476,8 +698,9 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                 // close lingers briefly (discarding input) so the
                 // refusal is not clobbered by a TCP reset triggered by
                 // closing with unread bytes queued.
-                let sent = write_line(
+                let sent = write_or_drop(
                     &mut stream,
+                    &shared,
                     &error_response(
                         None,
                         &format!(
@@ -499,7 +722,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
                 // The frame was consumed through its newline, so the
                 // stream stays synchronized: answer and read on.
                 let resp = error_response(None, "bad utf-8: request line is not valid UTF-8");
-                if !write_line(&mut stream, &resp) {
+                if !write_or_drop(&mut stream, &shared, &resp) {
                     break;
                 }
                 continue;
@@ -517,7 +740,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
         let (response, op) = match Request::from_line(&line) {
             Ok(req) => {
                 let op = req.op();
-                (dispatch(&shared, req, trace_id), Some(op))
+                (dispatch(&shared, req, trace_id, &stream), Some(op))
             }
             Err(msg) => (error_response(None, &msg), None),
         };
@@ -534,7 +757,7 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
             );
             finish_trace(&shared, trace_id, op, started.elapsed(), ok);
         }
-        if !write_line(&mut stream, &response) {
+        if !write_or_drop(&mut stream, &shared, &response) {
             break;
         }
         if op == Some(Op::Shutdown) && ok {
@@ -617,7 +840,181 @@ fn get_session(shared: &Shared, name: &str) -> Result<Arc<Session>, String> {
     Ok(s)
 }
 
-fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
+/// One queued request's cancellation wiring: the token the engines
+/// poll, the effective deadline (request field or server default), and
+/// the disconnect-watch registration (dropped — deregistering the
+/// socket — when the request finishes).
+struct Lifecycle<'a> {
+    token: CancelToken,
+    deadline_ms: Option<u64>,
+    _watch: Option<WatchGuard<'a>>,
+}
+
+/// Arms the request lifecycle for a queued verb: the deadline clock
+/// starts here — *before* admission, so queue wait counts against it —
+/// and the connection is registered with the disconnect watcher so a
+/// peer hang-up cancels the work mid-flight.
+fn arm_lifecycle<'a>(
+    shared: &'a Shared,
+    stream: &TcpStream,
+    deadline_ms: Option<u64>,
+) -> Lifecycle<'a> {
+    let deadline_ms = deadline_ms.or(shared.opts.default_deadline_ms);
+    let token = match deadline_ms {
+        Some(ms) => CancelToken::with_deadline_ms(ms),
+        None => CancelToken::unlimited(),
+    };
+    let watch = shared.watcher.watch(stream, token.clone());
+    Lifecycle {
+        token,
+        deadline_ms,
+        _watch: watch,
+    }
+}
+
+/// Closes out a queued verb: records how far past its deadline a
+/// deadline-carrying request was answered (0 when in time — the
+/// `deadline_overrun` distribution bounds the cancellation-check
+/// reaction lag).
+fn finish_lifecycle(shared: &Shared, lc: &Lifecycle<'_>) {
+    if lc.deadline_ms.is_some() {
+        shared
+            .metrics
+            .deadline_overrun
+            .record(Duration::from_micros(lc.token.overrun_us()), true);
+    }
+}
+
+/// The structured refusal for a cancelled request: `error` is the
+/// stable headline (`deadline exceeded` / `cancelled: client
+/// disconnected`), `detail` carries the partial-progress counters the
+/// engine reported, and a [`SpanKind::Cancelled`] span records how
+/// long the cooperative unwind took (deadline expiry → reply).
+fn cancelled_response(
+    shared: &Shared,
+    op: Op,
+    lc: &Lifecycle<'_>,
+    disconnect: bool,
+    detail: &str,
+    trace_id: u64,
+) -> Value {
+    if trace_id != 0 {
+        let now = shared.tracer.now_us();
+        let lag = if disconnect { 0 } else { lc.token.overrun_us() };
+        shared
+            .tracer
+            .record(trace_id, SpanKind::Cancelled, now.saturating_sub(lag), now);
+    }
+    let headline = if disconnect {
+        "cancelled: client disconnected"
+    } else {
+        "deadline exceeded"
+    };
+    let mut v = error_response(Some(op), headline);
+    if let Value::Object(m) = &mut v {
+        m.insert("cancelled".into(), Value::from(true));
+        m.insert("detail".into(), Value::from(detail));
+        if let Some(ms) = lc.deadline_ms {
+            m.insert("deadline_ms".into(), Value::from(ms));
+        }
+    }
+    v
+}
+
+/// The pressure gate for queued verbs: `Some(refusal)` when the
+/// session's lane is past the queue-depth watermark or the process is
+/// past the resident-bytes watermark. Refusals carry `retry_after_ms`
+/// (and count on `metrics.shed`); crossing the memory watermark also
+/// triggers at most one cache-eviction pass per [`EVICT_WINDOW`],
+/// dropping rebuildable state (result rows, plans, semantic-cache
+/// answers) while facts and epochs stay untouched.
+fn shed_refusal(shared: &Shared, op: Op, session: &str) -> Option<Value> {
+    let mut reason: Option<String> = None;
+    if let Some(mark) = shared.opts.shed_queue_depth {
+        let lane = lane_of(session, shared.lanes.len());
+        let depth = shared
+            .metrics
+            .lane(lane)
+            .queue_depth
+            .load(Ordering::Relaxed);
+        if depth >= mark {
+            reason = Some(format!(
+                "lane {lane} admission queue holds {depth} items (watermark {mark})"
+            ));
+        }
+    }
+    if reason.is_none() {
+        if let Some(mark) = shared.opts.shed_resident_bytes {
+            let resident = resident_bytes_throttled(shared);
+            if resident >= mark {
+                reason = Some(format!("resident bytes {resident} past watermark {mark}"));
+                evict_for_pressure(shared);
+            }
+        }
+    }
+    let Some(why) = reason else {
+        shared.shedding.store(false, Ordering::Relaxed);
+        return None;
+    };
+    shared.shedding.store(true, Ordering::Relaxed);
+    shared.metrics.shed.fetch_add(1, Ordering::Relaxed);
+    let mut v = error_response(Some(op), &format!("server overloaded: {why}; retry later"));
+    if let Value::Object(m) = &mut v {
+        m.insert("shed".into(), Value::from(true));
+        m.insert("retry_after_ms".into(), Value::from(SHED_RETRY_AFTER_MS));
+    }
+    Some(v)
+}
+
+/// Resident bytes (owned session indexes plus shared catalogs),
+/// recomputed at most once per [`PRESSURE_RECHECK`].
+fn resident_bytes_throttled(shared: &Shared) -> u64 {
+    let mut p = shared.pressure.lock().expect("pressure lock");
+    if p.checked_at.is_some_and(|t| t.elapsed() < PRESSURE_RECHECK) {
+        return p.resident_bytes;
+    }
+    let sessions: usize = shared
+        .sessions
+        .snapshot()
+        .iter()
+        .map(|s| s.resident_bytes())
+        .sum();
+    let catalogs: usize = shared
+        .catalogs
+        .snapshot()
+        .iter()
+        .map(|c| c.resident_bytes())
+        .sum();
+    p.resident_bytes = (sessions + catalogs) as u64;
+    p.checked_at = Some(Instant::now());
+    p.resident_bytes
+}
+
+/// One cache-eviction pass over every session, at most once per
+/// [`EVICT_WINDOW`]. Only rebuildable state is dropped.
+fn evict_for_pressure(shared: &Shared) {
+    {
+        let mut p = shared.pressure.lock().expect("pressure lock");
+        if p.evicted_at.is_some_and(|t| t.elapsed() < EVICT_WINDOW) {
+            return;
+        }
+        p.evicted_at = Some(Instant::now());
+        // The caches we are about to clear are part of what residency
+        // counted; force the next check to re-measure.
+        p.checked_at = None;
+    }
+    // Outside the pressure lock: shedding walks per-session locks.
+    let mut dropped = 0u64;
+    for s in shared.sessions.snapshot() {
+        dropped += s.shed_caches() as u64;
+    }
+    shared
+        .metrics
+        .pressure_evictions
+        .fetch_add(dropped, Ordering::Relaxed);
+}
+
+fn dispatch(shared: &Shared, req: Request, trace_id: u64, stream: &TcpStream) -> Value {
     let op = req.op();
     let trace = (trace_id != 0).then(|| (shared.tracer.as_ref(), trace_id));
     match req {
@@ -680,19 +1077,27 @@ fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
             session,
             insert,
             delete,
+            deadline_ms,
         } => {
             let s = match get_session(shared, &session) {
                 Ok(s) => s,
                 Err(msg) => return error_response(Some(op), &msg),
             };
-            match shared.lanes.for_session(&session).submit_traced(
+            if let Some(refusal) = shed_refusal(shared, op, &session) {
+                return refusal;
+            }
+            let lc = arm_lifecycle(shared, stream, deadline_ms);
+            let result = shared.lanes.for_session(&session).submit_cancellable(
                 Work::Update {
                     session: s,
                     insert,
                     delete,
                 },
                 trace_id,
-            ) {
+                lc.token.clone(),
+            );
+            finish_lifecycle(shared, &lc);
+            match result {
                 Ok(Outcome::Update(Ok(sum))) => {
                     let mut m = ok_response(op);
                     m.insert("session".into(), Value::from(session.as_str()));
@@ -702,6 +1107,9 @@ fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
                     m.insert("epoch".into(), Value::from(sum.epoch));
                     Value::Object(m)
                 }
+                Ok(Outcome::Cancelled { disconnect, detail }) => {
+                    cancelled_response(shared, op, &lc, disconnect, &detail, trace_id)
+                }
                 Ok(Outcome::Update(Err(msg))) | Err(msg) => error_response(Some(op), &msg),
                 Ok(other) => unreachable!("update work yields update outcomes, got {other:?}"),
             }
@@ -710,6 +1118,7 @@ fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
             session,
             q,
             q_prime,
+            deadline_ms,
         } => {
             let result = get_session(shared, &session).and_then(|s| {
                 let qi = s.query_index(&q)?;
@@ -720,14 +1129,21 @@ fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
                 Ok(x) => x,
                 Err(msg) => return error_response(Some(op), &msg),
             };
-            match shared.lanes.for_session(&session).submit_traced(
+            if let Some(refusal) = shed_refusal(shared, op, &session) {
+                return refusal;
+            }
+            let lc = arm_lifecycle(shared, stream, deadline_ms);
+            let result = shared.lanes.for_session(&session).submit_cancellable(
                 Work::Check {
                     session: s,
                     q: qi,
                     q_prime: qpi,
                 },
                 trace_id,
-            ) {
+                lc.token.clone(),
+            );
+            finish_lifecycle(shared, &lc);
+            match result {
                 Ok(Outcome::Check {
                     summary: Ok(sum),
                     cached,
@@ -741,6 +1157,9 @@ fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
                     m.insert("coalesced".into(), Value::from(coalesced));
                     Value::Object(m)
                 }
+                Ok(Outcome::Cancelled { disconnect, detail }) => {
+                    cancelled_response(shared, op, &lc, disconnect, &detail, trace_id)
+                }
                 Ok(Outcome::Check {
                     summary: Err(msg), ..
                 })
@@ -748,18 +1167,28 @@ fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
                 Ok(other) => unreachable!("check work yields check outcomes, got {other:?}"),
             }
         }
-        Request::Eval { session, query } => {
+        Request::Eval {
+            session,
+            query,
+            deadline_ms,
+        } => {
             let result =
                 get_session(shared, &session).and_then(|s| s.query_index(&query).map(|qi| (s, qi)));
             let (s, qi) = match result {
                 Ok(x) => x,
                 Err(msg) => return error_response(Some(op), &msg),
             };
-            match shared
-                .lanes
-                .for_session(&session)
-                .submit_traced(Work::Eval { session: s, q: qi }, trace_id)
-            {
+            if let Some(refusal) = shed_refusal(shared, op, &session) {
+                return refusal;
+            }
+            let lc = arm_lifecycle(shared, stream, deadline_ms);
+            let result = shared.lanes.for_session(&session).submit_cancellable(
+                Work::Eval { session: s, q: qi },
+                trace_id,
+                lc.token.clone(),
+            );
+            finish_lifecycle(shared, &lc);
+            match result {
                 Ok(Outcome::Eval {
                     rows,
                     cached,
@@ -772,6 +1201,9 @@ fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
                     m.insert("cached".into(), Value::from(cached));
                     m.insert("coalesced".into(), Value::from(coalesced));
                     Value::Object(m)
+                }
+                Ok(Outcome::Cancelled { disconnect, detail }) => {
+                    cancelled_response(shared, op, &lc, disconnect, &detail, trace_id)
                 }
                 Err(msg) => error_response(Some(op), &msg),
                 Ok(other) => unreachable!("eval work yields eval outcomes, got {other:?}"),
@@ -821,6 +1253,32 @@ fn dispatch(shared: &Shared, req: Request, trace_id: u64) -> Value {
             ),
         },
         Request::Shutdown => Value::Object(ok_response(op)),
+        Request::Ping => {
+            // Answered inline on the handler thread — never queued
+            // behind the admission lanes, never shed — so health
+            // probes keep working exactly when the server is drowning.
+            let mut m = ok_response(op);
+            m.insert(
+                "uptime_s".into(),
+                Value::from(shared.metrics.uptime().as_secs_f64()),
+            );
+            m.insert("lanes".into(), Value::from(shared.lanes.len()));
+            m.insert("sessions".into(), Value::from(shared.sessions.len()));
+            m.insert(
+                "shedding".into(),
+                Value::from(shared.shedding.load(Ordering::Relaxed)),
+            );
+            m.insert(
+                "shed_total".into(),
+                Value::from(shared.metrics.shed.load(Ordering::Relaxed)),
+            );
+            m.insert(
+                "durability".into(),
+                Value::from(shared.durability.is_some()),
+            );
+            m.insert("recovery".into(), shared.recovery_json.clone());
+            Value::Object(m)
+        }
     }
 }
 
@@ -871,6 +1329,23 @@ fn stats_value(shared: &Shared) -> Map<String, Value> {
         server.insert("slow_query_us".into(), Value::from(t));
     }
     server.insert("trace".into(), Value::from(shared.tracer.is_enabled()));
+    if let Some(d) = shared.opts.default_deadline_ms {
+        server.insert("default_deadline_ms".into(), Value::from(d));
+    }
+    if let Some(d) = shared.opts.shed_queue_depth {
+        server.insert("shed_queue_depth".into(), Value::from(d));
+    }
+    if let Some(b) = shared.opts.shed_resident_bytes {
+        server.insert("shed_resident_bytes".into(), Value::from(b));
+    }
+    server.insert(
+        "write_timeout_ms".into(),
+        Value::from(shared.opts.write_timeout_ms),
+    );
+    server.insert(
+        "shedding".into(),
+        Value::from(shared.shedding.load(Ordering::Relaxed)),
+    );
     m.insert("server".into(), Value::Object(server));
     // Aggregate cache counters across sessions, and collect per-session
     // gauges (rendered as `{session="…"}`-labelled Prometheus series).

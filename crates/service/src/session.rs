@@ -43,7 +43,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use cqchase_core::{ContainmentOptions, SigmaClass};
-use cqchase_index::{ExecStats, FxHashMap, JoinScratch, PlanCache};
+use cqchase_index::{CancelToken, ExecStats, FxHashMap, JoinScratch, PlanCache};
 use cqchase_ir::{parse_program, ConjunctiveQuery, Program};
 use cqchase_obs::{SpanKind, Tracer};
 use cqchase_storage::{evaluate_indexed_with, Database, DbIndex, Tuple, Value};
@@ -387,6 +387,24 @@ impl Session {
         idx: usize,
         obs: Option<(&Tracer, &[u64])>,
     ) -> (Vec<Tuple>, bool, Option<Json>) {
+        self.eval_observed_cancellable(idx, obs, None)
+            .expect("uncancellable eval always completes")
+    }
+
+    /// [`Session::eval_observed`] under an optional [`CancelToken`].
+    /// Returns `None` when the token fires — before the run (the work
+    /// is refused outright) or mid-join (the partial rows are
+    /// discarded, **not** inserted into the result cache, so session
+    /// state is indistinguishable from the eval never having run).
+    pub fn eval_observed_cancellable(
+        &self,
+        idx: usize,
+        obs: Option<(&Tracer, &[u64])>,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(Vec<Tuple>, bool, Option<Json>)> {
+        if cancel.is_some_and(|c| c.should_stop()) {
+            return None;
+        }
         let q = &self.catalog.program.queries[idx];
         // Lock order: facts before eval_state (before the shared plan
         // cache). Holding the facts lock shared for the whole call pins
@@ -421,7 +439,7 @@ impl Session {
                 m.insert("result_cache_hit".into(), Json::from(true));
                 Json::Object(m)
             });
-            return (rows, true, annotation);
+            return Some((rows, true, annotation));
         }
         let index = facts.index();
         let shared_plans = if facts.is_shared() {
@@ -429,6 +447,9 @@ impl Session {
         } else {
             None
         };
+        if let Some(c) = cancel {
+            state.scratch.set_cancel(c.clone());
+        }
         let EvalState {
             plans,
             scratch,
@@ -504,8 +525,17 @@ impl Session {
             Some(m) => run(&mut m.lock().expect("shared plan cache lock")),
             None => run(plans),
         };
+        let cancelled = cancel.is_some() && scratch.cancelled();
+        if cancel.is_some() {
+            scratch.clear_cancel();
+        }
+        if cancelled {
+            // Partial rows never reach the result cache: the session
+            // looks exactly as if this eval was never submitted.
+            return None;
+        }
         state.results.insert(idx, (facts.epoch, rows.clone()));
-        (rows, false, annotation)
+        Some((rows, false, annotation))
     }
 
     /// Builds the slow-query log's join annotation. The engine counters
@@ -566,6 +596,27 @@ impl Session {
             Json::from(after.rows_emitted - before.rows_emitted),
         );
         Json::Object(m)
+    }
+
+    /// Drops the session's rebuildable caches under memory pressure:
+    /// semantic containment answers, epoch-tagged eval rows, and the
+    /// private plan cache. Correctness state — facts, index, epoch —
+    /// is untouched; everything dropped is recomputed on demand.
+    /// Returns the number of cache entries dropped. Lock order is
+    /// `eval_state` then `sem_cache` (neither is ever held while
+    /// taking the other elsewhere, so the order only needs to be
+    /// consistent here).
+    pub fn shed_caches(&self) -> usize {
+        let mut dropped = 0usize;
+        {
+            let mut state = self.eval_state.lock().expect("eval state lock");
+            dropped += state.results.len();
+            state.results.clear();
+            dropped += state.plans.len();
+            state.plans.clear();
+        }
+        dropped += self.sem_cache.lock().expect("semantic cache lock").clear();
+        dropped
     }
 
     /// Checks one delta exactly as [`Session::apply_updates`] will —
@@ -1031,6 +1082,52 @@ mod tests {
         assert!(s.eval(0).is_empty());
         s.apply_update(&[fact("R", &[7, 99])], &[]).unwrap();
         assert_eq!(s.eval(0).len(), 1);
+    }
+
+    #[test]
+    fn cancelled_eval_leaves_no_trace() {
+        let s = Session::new(
+            "c",
+            "relation R(a, b). Q(x) :- R(x, y). R(1, 2). R(2, 3).",
+            8,
+            8,
+        )
+        .unwrap();
+        let fired = CancelToken::unlimited();
+        fired.cancel();
+        assert!(
+            s.eval_observed_cancellable(0, None, Some(&fired)).is_none(),
+            "pre-fired token refuses the eval"
+        );
+        {
+            let state = s.eval_state.lock().unwrap();
+            assert!(state.results.is_empty(), "no partial rows cached");
+            assert_eq!(state.result_hits, 0);
+        }
+        // A live token runs to completion and caches normally.
+        let live = CancelToken::unlimited();
+        let (rows, cached, _) = s.eval_observed_cancellable(0, None, Some(&live)).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(!cached);
+        assert!(s.eval_cached(0).1, "completed eval warmed the cache");
+    }
+
+    #[test]
+    fn shed_caches_drops_only_rebuildable_state() {
+        let s = Session::new(
+            "shed",
+            "relation R(a, b). Q(x) :- R(x, y). R(1, 2). R(2, 3).",
+            8,
+            8,
+        )
+        .unwrap();
+        s.eval(0);
+        assert!(s.shed_caches() > 0, "warm rows and plans were dropped");
+        let (facts, epoch) = s.facts_snapshot();
+        assert_eq!((facts, epoch), (2, 0), "facts and epoch untouched");
+        let (rows, cached) = s.eval_cached(0);
+        assert_eq!(rows.len(), 2);
+        assert!(!cached, "the shed cache recomputes, correctly");
     }
 
     #[test]

@@ -156,6 +156,15 @@ echo "$S" | grep -q '"planner"' || fail "stats missing planner counters"
 echo "$S" | grep -qE '"compiled":[1-9]' || fail "planner should report compiled plans"
 echo "$S" | grep -qE '"acyclic_hits":[1-9]' || fail "planner should report acyclic fast-path hits"
 
+# --- ping: the inline health probe -----------------------------------
+PING=$(req '{"op":"ping"}')
+echo "$PING"
+echo "$PING" | grep -q '"ok":true' || fail "ping not ok"
+echo "$PING" | grep -q '"shedding":false' || fail "unloaded server must not report shedding"
+echo "$PING" | grep -q '"sessions":3' || fail "ping should count the 3 registered sessions"
+echo "$PING" | grep -q '"uptime_s"' || fail "ping missing uptime_s"
+echo "$PING" | grep -q '"lanes"' || fail "ping missing lane count"
+
 # --- metrics: Prometheus exposition must carry every family ----------
 # The text body is a JSON string, so `\n` separates samples; unescape
 # before grepping line-shaped patterns.
@@ -369,5 +378,122 @@ for _ in $(seq 50); do
     sleep 0.1
 done
 [ -z "$SERVER_PID" ] || fail "lanes server still running after shutdown"
+
+# --- chaos: deadlines, a killed client, shed burst, retry recovery ---
+# Serve with a low queue-depth watermark and plenty of connection
+# workers, register a deliberately expensive session (3-hop chain over
+# a complete digraph), then: a 1ms deadline must come back as a
+# structured refusal; a client SIGKILLed mid-eval must have its work
+# cancelled by the disconnect watcher; an oversized eval burst must
+# trip the shed watermark with a retry hint; and a bash-level
+# retry-with-backoff loop honoring that hint must recover once the
+# burst drains. `ping` stays answerable throughout.
+start_chaos() {
+    "$BIN" serve --addr "$ADDR" --conn-workers 16 --shed-queue-depth 3 &
+    SERVER_PID=$!
+    for _ in $(seq 100); do
+        if "$BIN" request --addr "$ADDR" '{"op":"ping"}' >/dev/null 2>&1; then
+            return
+        fi
+        kill -0 "$SERVER_PID" 2>/dev/null || fail "chaos server exited before accepting connections"
+        sleep 0.1
+    done
+    fail "chaos server never accepted connections"
+}
+start_chaos
+DN=64
+DPROG='relation R(a, b). Q(w, z) :- R(w, x), R(x, y), R(y, z). Small(x) :- R(x, x).'
+for ((i = 0; i < DN; i++)); do
+    for ((j = 0; j < DN; j++)); do
+        DPROG+=" R($i, $j)."
+    done
+done
+req "{\"op\":\"register\",\"session\":\"dense\",\"program\":\"$DPROG\"}" \
+    | grep -q '"ok":true' || fail "dense register not ok"
+
+# A 1ms deadline on the dense join: structured refusal, echoed deadline.
+DL=$(req '{"op":"eval","session":"dense","query":"Q","deadline_ms":1}' || true)
+echo "$DL"
+echo "$DL" | grep -q '"error":"deadline exceeded"' || fail "deadline refusal missing"
+echo "$DL" | grep -q '"cancelled":true' || fail "deadline refusal must mark cancelled"
+echo "$DL" | grep -q '"deadline_ms":1' || fail "deadline refusal must echo the deadline"
+# The session is untouched: a deadline-free eval still answers.
+req '{"op":"eval","session":"dense","query":"Small"}' \
+    | grep -q "\"count\":$DN" || fail "dense session must survive the deadline refusal"
+
+# A client killed mid-eval: the disconnect watcher cancels its work.
+"$BIN" request --addr "$ADDR" '{"op":"eval","session":"dense","query":"Q"}' >/dev/null 2>&1 &
+DOOMED=$!
+sleep 0.2
+kill -9 "$DOOMED" 2>/dev/null || true
+wait "$DOOMED" 2>/dev/null || true
+DISC=
+for _ in $(seq 100); do
+    if req '{"op":"stats"}' | grep -qE '"cancelled_disconnect":[1-9]'; then
+        DISC=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$DISC" ] || fail "killed client's eval was never cancelled"
+
+# An oversized burst trips the shed watermark; refusals carry a hint.
+BURST_PIDS=
+for _ in $(seq 8); do
+    "$BIN" request --addr "$ADDR" '{"op":"eval","session":"dense","query":"Q"}' >/dev/null 2>&1 &
+    BURST_PIDS="$BURST_PIDS $!"
+done
+SHED=
+for _ in $(seq 200); do
+    R=$(req '{"op":"eval","session":"dense","query":"Small"}' || true)
+    if echo "$R" | grep -q '"shed":true'; then
+        SHED="$R"
+        break
+    fi
+    sleep 0.05
+done
+echo "$SHED"
+[ -n "$SHED" ] || fail "the burst never tripped the shed watermark"
+echo "$SHED" | grep -q '"retry_after_ms"' || fail "shed refusal must carry retry_after_ms"
+echo "$SHED" | grep -q 'overloaded' || fail "shed refusal must say the server is overloaded"
+HINT=$(echo "$SHED" | grep -oE '"retry_after_ms":[0-9]+' | grep -oE '[0-9]+$')
+# Ping is answered inline while the server sheds, and reports it.
+req '{"op":"ping"}' | grep -q '"shedding":true' || fail "ping must report shedding under load"
+# Bounded retry with exponential backoff, honoring the server's hint:
+# must recover once the burst drains.
+BACKOFF_MS=$HINT
+RECOVERED=
+for _ in $(seq 40); do
+    sleep "$(awk "BEGIN{printf \"%.3f\", $BACKOFF_MS / 1000}")"
+    R=$(req '{"op":"eval","session":"dense","query":"Small"}' || true)
+    if echo "$R" | grep -q '"ok":true'; then
+        RECOVERED=1
+        break
+    fi
+    echo "$R" | grep -q '"shed":true' || fail "retry hit a non-shed failure: $R"
+    BACKOFF_MS=$((BACKOFF_MS * 2))
+    [ "$BACKOFF_MS" -gt 2000 ] && BACKOFF_MS=2000
+done
+[ -n "$RECOVERED" ] || fail "retry with backoff never recovered after the burst"
+# shellcheck disable=SC2086
+wait $BURST_PIDS 2>/dev/null || true
+
+# The lifecycle counters and their Prometheus families are live.
+SC=$(req '{"op":"stats"}')
+echo "$SC" | grep -qE '"deadline_exceeded":[1-9]' || fail "stats should count deadline refusals"
+echo "$SC" | grep -qE '"cancelled_disconnect":[1-9]' || fail "stats should count disconnect cancellations"
+echo "$SC" | grep -qE '"shed":[1-9]' || fail "stats should count shed refusals"
+MC=$(req '{"op":"metrics"}')
+MCT=$(printf '%s' "$MC" | sed 's/\\n/\n/g; s/\\"/"/g')
+for family in cqchase_resilience_deadline_exceeded \
+    cqchase_resilience_cancelled_disconnect cqchase_resilience_shed; do
+    echo "$MCT" | grep -qE "^$family [1-9]" || fail "metrics missing live family $family"
+done
+req '{"op":"shutdown"}' | grep -q '"ok":true' || fail "chaos shutdown not ok"
+for _ in $(seq 50); do
+    kill -0 "$SERVER_PID" 2>/dev/null || { SERVER_PID=; break; }
+    sleep 0.1
+done
+[ -z "$SERVER_PID" ] || fail "chaos server still running after shutdown"
 
 echo "service smoke: OK"

@@ -11,6 +11,8 @@
 //!               [--cache-capacity N] [--plan-cache-capacity N]
 //!               [--data-dir DIR] [--wal-rotate-bytes N]
 //!               [--slow-query-us N] [--trace]
+//!               [--default-deadline-ms N] [--shed-queue-depth N]
+//!               [--shed-resident-bytes N] [--write-timeout-ms N]
 //!                                       run the containment/eval server
 //! cqchase request [--addr A] JSON…|-    send protocol lines, print replies
 //! ```
@@ -224,6 +226,32 @@ fn cmd_serve(opts: &[String]) -> Result<(), String> {
                 )
             }
             "--trace" => serve.trace = true,
+            "--default-deadline-ms" => {
+                serve.default_deadline_ms = Some(
+                    next("--default-deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--default-deadline-ms needs an integer".to_string())?,
+                )
+            }
+            "--shed-queue-depth" => {
+                serve.shed_queue_depth = Some(
+                    next("--shed-queue-depth")?
+                        .parse()
+                        .map_err(|_| "--shed-queue-depth needs an integer".to_string())?,
+                )
+            }
+            "--shed-resident-bytes" => {
+                serve.shed_resident_bytes = Some(
+                    next("--shed-resident-bytes")?
+                        .parse()
+                        .map_err(|_| "--shed-resident-bytes needs an integer".to_string())?,
+                )
+            }
+            "--write-timeout-ms" => {
+                serve.write_timeout_ms = next("--write-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--write-timeout-ms needs an integer".to_string())?
+            }
             other => return Err(format!("unknown serve option {other}")),
         }
     }
@@ -306,7 +334,7 @@ fn serde_json_reply_ok(line: &str) -> Option<bool> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  cqchase check FILE\n  cqchase chase FILE Q [--levels N] [--mode r|o] [--dot]\n  cqchase contain FILE Q QP\n  cqchase equiv FILE Q QP\n  cqchase minimize FILE Q\n  cqchase eval FILE Q\n  cqchase serve [--addr HOST:PORT] [--threads N] [--lanes N] [--conn-workers N] [--cache-capacity N] [--plan-cache-capacity N] [--data-dir DIR] [--wal-rotate-bytes N] [--slow-query-us N] [--trace]\n  cqchase request [--addr HOST:PORT] JSON...|-"
+        "usage:\n  cqchase check FILE\n  cqchase chase FILE Q [--levels N] [--mode r|o] [--dot]\n  cqchase contain FILE Q QP\n  cqchase equiv FILE Q QP\n  cqchase minimize FILE Q\n  cqchase eval FILE Q\n  cqchase serve [--addr HOST:PORT] [--threads N] [--lanes N] [--conn-workers N] [--cache-capacity N] [--plan-cache-capacity N] [--data-dir DIR] [--wal-rotate-bytes N] [--slow-query-us N] [--trace] [--default-deadline-ms N] [--shed-queue-depth N] [--shed-resident-bytes N] [--write-timeout-ms N]\n  cqchase request [--addr HOST:PORT] JSON...|-"
     );
     ExitCode::from(2)
 }
